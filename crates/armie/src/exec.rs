@@ -1,0 +1,499 @@
+//! The interpreter — the emulator proper.
+//!
+//! Executes a [`Program`] against a [`Machine`], one instruction per step,
+//! exactly as ArmIE executed the paper's compiled listings. Vector
+//! arithmetic delegates to the `sve` intrinsics so the two levels of the
+//! stack cannot drift apart; loads/stores respect predication (inactive
+//! lanes touch no memory). Every executed instruction is tallied in the
+//! machine's [`sve::Counters`].
+
+use crate::inst::{Cond, Inst, Program};
+use crate::machine::Machine;
+use sve::intrinsics as sv;
+use sve::{Opcode, PReg, VReg};
+
+/// Why execution stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Halt {
+    /// A `ret` was executed.
+    Ret,
+    /// The program counter ran past the last instruction.
+    End,
+    /// The step budget was exhausted (runaway loop guard).
+    StepLimit,
+}
+
+/// Execution report.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Why the program stopped.
+    pub halt: Halt,
+    /// Dynamically executed instruction count.
+    pub steps: u64,
+}
+
+/// Default step budget: generous for the listings, small enough to catch
+/// infinite loops in tests quickly.
+pub const DEFAULT_STEP_LIMIT: u64 = 100_000_000;
+
+/// Execute `program` on `machine` from `pc = 0` until halt.
+pub fn run(machine: &mut Machine, program: &Program) -> RunReport {
+    run_with(machine, program, DEFAULT_STEP_LIMIT, |_, _| {})
+}
+
+/// Execute with a per-step observer (used by the tracing front-end).
+pub fn run_with(
+    machine: &mut Machine,
+    program: &Program,
+    step_limit: u64,
+    mut observe: impl FnMut(usize, &Inst),
+) -> RunReport {
+    machine.pc = 0;
+    let mut steps = 0u64;
+    loop {
+        if steps >= step_limit {
+            return RunReport {
+                halt: Halt::StepLimit,
+                steps,
+            };
+        }
+        let Some(&inst) = program.insts.get(machine.pc) else {
+            return RunReport {
+                halt: Halt::End,
+                steps,
+            };
+        };
+        observe(machine.pc, &inst);
+        steps += 1;
+        if step(machine, inst) {
+            return RunReport {
+                halt: Halt::Ret,
+                steps,
+            };
+        }
+    }
+}
+
+/// Execute `program` recording a line per executed instruction (pc and
+/// disassembly), for the instruction-audit binaries.
+pub fn run_traced(machine: &mut Machine, program: &Program) -> (RunReport, Vec<String>) {
+    let mut trace = Vec::new();
+    let report = run_with(machine, program, DEFAULT_STEP_LIMIT, |pc, inst| {
+        trace.push(format!("{pc:4}: {inst}"));
+    });
+    (report, trace)
+}
+
+/// Effective address of the listings' `[xbase, xidx, lsl #3]` operand.
+fn ea(m: &Machine, xbase: u8, xidx: u8) -> u64 {
+    m.x(xbase).wrapping_add(m.x(xidx) << 3)
+}
+
+/// Execute one instruction; returns `true` on `ret`. Advances `pc`.
+fn step(m: &mut Machine, inst: Inst) -> bool {
+    let vl = m.vl();
+    let lanes = vl.lanes64();
+    let mut next_pc = m.pc + 1;
+    match inst {
+        Inst::MovX { xd, xn } => {
+            m.ctx.exec(Opcode::ScalarAlu);
+            let v = m.x(xn);
+            m.set_x(xd, v);
+        }
+        Inst::MovXImm { xd, imm } => {
+            m.ctx.exec(Opcode::ScalarAlu);
+            m.set_x(xd, imm);
+        }
+        Inst::Lsl { xd, xn, shift } => {
+            m.ctx.exec(Opcode::ScalarAlu);
+            let v = m.x(xn) << shift;
+            m.set_x(xd, v);
+        }
+        Inst::AddXImm { xd, xn, imm } => {
+            m.ctx.exec(Opcode::ScalarAlu);
+            let v = m.x(xn).wrapping_add(imm);
+            m.set_x(xd, v);
+        }
+        Inst::IncD { xd } => {
+            m.ctx.exec(Opcode::Incd);
+            let v = m.x(xd).wrapping_add(lanes as u64);
+            m.set_x(xd, v);
+        }
+        Inst::CmpX { xn, xm } => {
+            m.ctx.exec(Opcode::ScalarAlu);
+            let (a, b) = (m.x(xn), m.x(xm));
+            let diff = a.wrapping_sub(b);
+            m.flags.n = (diff as i64) < 0;
+            m.flags.z = a == b;
+            m.flags.c = a >= b; // no borrow
+            m.flags.v = false;
+        }
+        Inst::B { cond, target } => {
+            m.ctx.exec(Opcode::Branch);
+            let taken = match cond {
+                Cond::Mi => m.flags.n,
+                Cond::Lo => !m.flags.c,
+                Cond::Always => true,
+            };
+            if taken {
+                next_pc = target;
+            }
+        }
+        Inst::Ret => {
+            m.ctx.exec(Opcode::Branch);
+            return true;
+        }
+        Inst::Ptrue { pd } => {
+            m.p[pd as usize] = sv::svptrue::<f64>(&m.ctx);
+        }
+        Inst::Whilelo { pd, xn, xm } => {
+            let (p, flags) = sv::svwhilelt_with_flags::<f64>(&m.ctx, m.x(xn), m.x(xm));
+            m.p[pd as usize] = p;
+            m.flags = flags;
+        }
+        Inst::Brkns { pd, pg, pn, pm } => {
+            let (p, flags) = sv::svbrkn_s(
+                &m.ctx,
+                &m.p[pg as usize],
+                &m.p[pn as usize],
+                &m.p[pm as usize],
+            );
+            m.p[pd as usize] = p;
+            m.flags = flags;
+        }
+        Inst::MovP { pd, pn } => {
+            m.ctx.exec(Opcode::MovP);
+            m.p[pd as usize] = m.p[pn as usize];
+        }
+        Inst::DupImm { zd, imm } => {
+            m.z[zd as usize] = sv::svdup::<f64>(&m.ctx, imm);
+        }
+        Inst::MovZ { zd, zn } => {
+            m.ctx.exec(Opcode::MovZ);
+            m.z[zd as usize] = m.z[zn as usize];
+        }
+        Inst::Movprfx { zd, zn } => {
+            m.ctx.exec(Opcode::Movprfx);
+            m.z[zd as usize] = m.z[zn as usize];
+        }
+        Inst::Ld1D {
+            zt,
+            pg,
+            xbase,
+            xidx,
+        } => {
+            m.ctx.exec(Opcode::Ld1);
+            let base = ea(m, xbase, xidx);
+            let p = m.p[pg as usize];
+            let mut out = VReg::zeroed();
+            for e in 0..lanes {
+                if p.elem_active::<f64>(e) {
+                    out.set_lane(e, m.mem.read_f64(base + 8 * e as u64));
+                }
+            }
+            m.z[zt as usize] = out;
+        }
+        Inst::Ld2D {
+            zt,
+            zt2,
+            pg,
+            xbase,
+            xidx,
+        } => {
+            m.ctx.exec(Opcode::Ld2);
+            let base = ea(m, xbase, xidx);
+            let p = m.p[pg as usize];
+            let (mut a, mut b) = (VReg::zeroed(), VReg::zeroed());
+            for e in 0..lanes {
+                if p.elem_active::<f64>(e) {
+                    a.set_lane(e, m.mem.read_f64(base + 16 * e as u64));
+                    b.set_lane(e, m.mem.read_f64(base + 16 * e as u64 + 8));
+                }
+            }
+            m.z[zt as usize] = a;
+            m.z[zt2 as usize] = b;
+        }
+        Inst::St1D {
+            zt,
+            pg,
+            xbase,
+            xidx,
+        } => {
+            m.ctx.exec(Opcode::St1);
+            let base = ea(m, xbase, xidx);
+            let p = m.p[pg as usize];
+            let v = m.z[zt as usize];
+            for e in 0..lanes {
+                if p.elem_active::<f64>(e) {
+                    m.mem.write_f64(base + 8 * e as u64, v.lane(e));
+                }
+            }
+        }
+        Inst::St2D {
+            zt,
+            zt2,
+            pg,
+            xbase,
+            xidx,
+        } => {
+            m.ctx.exec(Opcode::St2);
+            let base = ea(m, xbase, xidx);
+            let p = m.p[pg as usize];
+            let (a, b) = (m.z[zt as usize], m.z[zt2 as usize]);
+            for e in 0..lanes {
+                if p.elem_active::<f64>(e) {
+                    m.mem.write_f64(base + 16 * e as u64, a.lane(e));
+                    m.mem.write_f64(base + 16 * e as u64 + 8, b.lane(e));
+                }
+            }
+        }
+        Inst::Fmul { zd, zn, zm } => {
+            // Unpredicated form: all lanes.
+            let pg = PReg::ptrue::<f64>(vl);
+            m.z[zd as usize] =
+                sv::svmul_x::<f64>(&m.ctx, &pg, &m.z[zn as usize], &m.z[zm as usize]);
+        }
+        Inst::Fmla { zd, pg, zn, zm } => {
+            m.z[zd as usize] = sv::svmla_m::<f64>(
+                &m.ctx,
+                &m.p[pg as usize],
+                &m.z[zd as usize],
+                &m.z[zn as usize],
+                &m.z[zm as usize],
+            );
+        }
+        Inst::Fnmls { zd, pg, zn, zm } => {
+            m.z[zd as usize] = sv::svnmls_m::<f64>(
+                &m.ctx,
+                &m.p[pg as usize],
+                &m.z[zd as usize],
+                &m.z[zn as usize],
+                &m.z[zm as usize],
+            );
+        }
+        Inst::Fcmla {
+            zd,
+            pg,
+            zn,
+            zm,
+            rot,
+        } => {
+            m.z[zd as usize] = sv::svcmla::<f64>(
+                &m.ctx,
+                &m.p[pg as usize],
+                &m.z[zd as usize],
+                &m.z[zn as usize],
+                &m.z[zm as usize],
+                rot,
+            );
+        }
+    }
+    m.pc = next_pc;
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::XZR;
+    use sve::VectorLength;
+
+    fn machine() -> Machine {
+        Machine::new(VectorLength::of(256), 1 << 16)
+    }
+
+    #[test]
+    fn scalar_moves_and_alu() {
+        let mut m = machine();
+        let prog = Program::new(
+            "scalar",
+            vec![
+                Inst::MovXImm { xd: 0, imm: 5 },
+                Inst::Lsl {
+                    xd: 1,
+                    xn: 0,
+                    shift: 3,
+                },
+                Inst::AddXImm {
+                    xd: 2,
+                    xn: 1,
+                    imm: 2,
+                },
+                Inst::MovX { xd: 3, xn: XZR },
+                Inst::Ret,
+            ],
+        );
+        let r = run(&mut m, &prog);
+        assert_eq!(r.halt, Halt::Ret);
+        assert_eq!(m.x(1), 40);
+        assert_eq!(m.x(2), 42);
+        assert_eq!(m.x(3), 0);
+    }
+
+    #[test]
+    fn incd_advances_by_lane_count() {
+        let mut m = machine(); // VL256: 4 d-lanes
+        let prog = Program::new(
+            "incd",
+            vec![Inst::IncD { xd: 0 }, Inst::IncD { xd: 0 }, Inst::Ret],
+        );
+        run(&mut m, &prog);
+        assert_eq!(m.x(0), 8);
+    }
+
+    #[test]
+    fn cmp_blo_loop_terminates() {
+        // x0 counts 0,4,8,...; loop while x0 < x1 = 12 (three iterations).
+        let mut m = machine();
+        m.set_x(1, 12);
+        let prog = Program::new(
+            "loop",
+            vec![
+                Inst::IncD { xd: 0 },
+                Inst::AddXImm {
+                    xd: 2,
+                    xn: 2,
+                    imm: 1,
+                }, // iteration counter
+                Inst::CmpX { xn: 0, xm: 1 },
+                Inst::B {
+                    cond: Cond::Lo,
+                    target: 0,
+                },
+                Inst::Ret,
+            ],
+        );
+        let r = run(&mut m, &prog);
+        assert_eq!(r.halt, Halt::Ret);
+        assert_eq!(m.x(2), 3);
+    }
+
+    #[test]
+    fn runaway_loop_hits_step_limit() {
+        let mut m = machine();
+        let prog = Program::new(
+            "spin",
+            vec![Inst::B {
+                cond: Cond::Always,
+                target: 0,
+            }],
+        );
+        let r = run_with(&mut m, &prog, 100, |_, _| {});
+        assert_eq!(r.halt, Halt::StepLimit);
+        assert_eq!(r.steps, 100);
+    }
+
+    #[test]
+    fn falling_off_the_end_halts() {
+        let mut m = machine();
+        let prog = Program::new("empty", vec![Inst::MovXImm { xd: 0, imm: 1 }]);
+        let r = run(&mut m, &prog);
+        assert_eq!(r.halt, Halt::End);
+    }
+
+    #[test]
+    fn vector_load_compute_store() {
+        let mut m = machine();
+        let x_addr = m.alloc_f64_slice(&[1.0, 2.0, 3.0, 4.0]);
+        let z_addr = m.alloc(32);
+        m.set_x(1, x_addr);
+        m.set_x(3, z_addr);
+        let prog = Program::new(
+            "square",
+            vec![
+                Inst::Ptrue { pd: 0 },
+                Inst::MovX { xd: 8, xn: XZR },
+                Inst::Ld1D {
+                    zt: 0,
+                    pg: 0,
+                    xbase: 1,
+                    xidx: 8,
+                },
+                Inst::Fmul {
+                    zd: 1,
+                    zn: 0,
+                    zm: 0,
+                },
+                Inst::St1D {
+                    zt: 1,
+                    pg: 0,
+                    xbase: 3,
+                    xidx: 8,
+                },
+                Inst::Ret,
+            ],
+        );
+        run(&mut m, &prog);
+        assert_eq!(m.mem.load_f64_slice(z_addr, 4), vec![1.0, 4.0, 9.0, 16.0]);
+    }
+
+    #[test]
+    fn ld2d_deinterleaves_in_memory_order() {
+        let mut m = machine();
+        let addr = m.alloc_f64_slice(&[1.0, 10.0, 2.0, 20.0, 3.0, 30.0, 4.0, 40.0]);
+        m.set_x(2, addr);
+        let prog = Program::new(
+            "ld2",
+            vec![
+                Inst::Ptrue { pd: 0 },
+                Inst::MovX { xd: 9, xn: XZR },
+                Inst::Ld2D {
+                    zt: 0,
+                    zt2: 1,
+                    pg: 0,
+                    xbase: 2,
+                    xidx: 9,
+                },
+                Inst::Ret,
+            ],
+        );
+        run(&mut m, &prog);
+        assert_eq!(m.zreg(0).to_vec::<f64>(m.vl()), vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(
+            m.zreg(1).to_vec::<f64>(m.vl()),
+            vec![10.0, 20.0, 30.0, 40.0]
+        );
+    }
+
+    #[test]
+    fn trace_captures_dynamic_stream() {
+        let mut m = machine();
+        let prog = Program::new("t", vec![Inst::MovXImm { xd: 0, imm: 3 }, Inst::Ret]);
+        let (report, trace) = run_traced(&mut m, &prog);
+        assert_eq!(report.steps, 2);
+        assert_eq!(trace.len(), 2);
+        assert!(trace[0].contains("mov x0, #3"));
+        assert!(trace[1].contains("ret"));
+    }
+
+    #[test]
+    fn counters_tally_executed_instructions() {
+        let mut m = machine();
+        let prog = Program::new(
+            "count",
+            vec![
+                Inst::Ptrue { pd: 0 },
+                Inst::DupImm { zd: 0, imm: 0.0 },
+                Inst::Fcmla {
+                    zd: 0,
+                    pg: 0,
+                    zn: 1,
+                    zm: 2,
+                    rot: sve::intrinsics::Rot::R90,
+                },
+                Inst::Fcmla {
+                    zd: 0,
+                    pg: 0,
+                    zn: 1,
+                    zm: 2,
+                    rot: sve::intrinsics::Rot::R0,
+                },
+                Inst::Ret,
+            ],
+        );
+        run(&mut m, &prog);
+        assert_eq!(m.ctx.counters().get(Opcode::Fcmla), 2);
+        assert_eq!(m.ctx.counters().get(Opcode::Ptrue), 1);
+        assert_eq!(m.ctx.counters().get(Opcode::Dup), 1);
+    }
+}

@@ -1,0 +1,355 @@
+//! The AArch64 + SVE instruction subset the paper's listings use.
+//!
+//! Every variant corresponds to a mnemonic appearing in Section IV of the
+//! paper (plus the handful of scalar instructions around them). The
+//! [`std::fmt::Display`] impl prints in the paper's assembly style so a
+//! disassembly of our programs can be compared line by line with the
+//! listings.
+
+use sve::intrinsics::Rot;
+
+/// A general-purpose register `x0`..`x30`; index 31 is `xzr`, the zero
+/// register (reads 0, writes discarded).
+pub type XId = u8;
+/// Index of the zero register.
+pub const XZR: XId = 31;
+
+/// An SVE vector register `z0`..`z31`.
+pub type ZId = u8;
+
+/// An SVE predicate register `p0`..`p15`.
+pub type PId = u8;
+
+/// Branch conditions used by the listings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Cond {
+    /// `b.mi` — negative flag set (whilelo/brkns: first element active).
+    Mi,
+    /// `b.lo` — unsigned lower (carry clear).
+    Lo,
+    /// `b` — unconditional.
+    Always,
+}
+
+/// One instruction. Memory operands follow the listings' addressing modes:
+/// `[xbase]` or `[xbase, xidx, lsl #shift]` (byte address
+/// `x[base] + (x[idx] << shift)`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[allow(missing_docs)] // field names follow ARM operand conventions (zd/zn/zm/pg/...)
+pub enum Inst {
+    // ----- scalar -----
+    /// `mov xd, xn` (with `xn = xzr` this is the loop-counter zeroing of
+    /// listing IV-A line 1).
+    MovX { xd: XId, xn: XId },
+    /// `mov xd, #imm`.
+    MovXImm { xd: XId, imm: u64 },
+    /// `lsl xd, xn, #shift` (listing IV-B line 5).
+    Lsl { xd: XId, xn: XId, shift: u8 },
+    /// `add xd, xn, #imm`.
+    AddXImm { xd: XId, xn: XId, imm: u64 },
+    /// `incd xd` — advance by the number of 64-bit lanes (listing IV-A
+    /// line 9); the quintessential VLA instruction.
+    IncD { xd: XId },
+    /// `cmp xn, xm` — sets NZCV for `b.lo` (listing IV-C line 12).
+    CmpX { xn: XId, xm: XId },
+    /// Conditional/unconditional branch to an instruction index.
+    B { cond: Cond, target: usize },
+    /// `ret` — halt.
+    Ret,
+
+    // ----- predicates -----
+    /// `ptrue pd.d`.
+    Ptrue { pd: PId },
+    /// `whilelo pd.d, xn, xm` — sets NZCV.
+    Whilelo { pd: PId, xn: XId, xm: XId },
+    /// `brkns pd.b, pg/z, pn.b, pm.b` — sets NZCV (listing IV-A line 11).
+    Brkns { pd: PId, pg: PId, pn: PId, pm: PId },
+    /// `mov pd.b, pn.b`.
+    MovP { pd: PId, pn: PId },
+
+    // ----- vector moves -----
+    /// `mov zd.d, #imm` — broadcast immediate (listing IV-C line 2).
+    DupImm { zd: ZId, imm: f64 },
+    /// `mov zd.d, zn.d`.
+    MovZ { zd: ZId, zn: ZId },
+    /// `movprfx zd, zn` (listing IV-B lines 12/14).
+    Movprfx { zd: ZId, zn: ZId },
+
+    // ----- memory -----
+    /// `ld1d {zt.d}, pg/z, [xbase, xidx, lsl #3]`.
+    Ld1D {
+        zt: ZId,
+        pg: PId,
+        xbase: XId,
+        xidx: XId,
+    },
+    /// `ld2d {zt.d, zt2.d}, pg/z, [xbase, xidx, lsl #3]`.
+    Ld2D {
+        zt: ZId,
+        zt2: ZId,
+        pg: PId,
+        xbase: XId,
+        xidx: XId,
+    },
+    /// `st1d {zt.d}, pg, [xbase, xidx, lsl #3]`.
+    St1D {
+        zt: ZId,
+        pg: PId,
+        xbase: XId,
+        xidx: XId,
+    },
+    /// `st2d {zt.d, zt2.d}, pg, [xbase, xidx, lsl #3]`.
+    St2D {
+        zt: ZId,
+        zt2: ZId,
+        pg: PId,
+        xbase: XId,
+        xidx: XId,
+    },
+
+    // ----- arithmetic -----
+    /// `fmul zd.d, zn.d, zm.d` — unpredicated.
+    Fmul { zd: ZId, zn: ZId, zm: ZId },
+    /// `fmla zd.d, pg/m, zn.d, zm.d` — `zd += zn * zm`.
+    Fmla { zd: ZId, pg: PId, zn: ZId, zm: ZId },
+    /// `fnmls zd.d, pg/m, zn.d, zm.d` — `zd = zn * zm - zd`.
+    Fnmls { zd: ZId, pg: PId, zn: ZId, zm: ZId },
+    /// `fcmla zd.d, pg/m, zn.d, zm.d, #rot` (listings IV-C/IV-D).
+    Fcmla {
+        zd: ZId,
+        pg: PId,
+        zn: ZId,
+        zm: ZId,
+        rot: Rot,
+    },
+}
+
+fn rot_imm(rot: Rot) -> u32 {
+    match rot {
+        Rot::R0 => 0,
+        Rot::R90 => 90,
+        Rot::R180 => 180,
+        Rot::R270 => 270,
+    }
+}
+
+fn xname(x: XId) -> String {
+    if x == XZR {
+        "xzr".to_string()
+    } else {
+        format!("x{x}")
+    }
+}
+
+impl std::fmt::Display for Inst {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Inst::MovX { xd, xn } => write!(f, "mov {}, {}", xname(xd), xname(xn)),
+            Inst::MovXImm { xd, imm } => write!(f, "mov {}, #{imm}", xname(xd)),
+            Inst::Lsl { xd, xn, shift } => {
+                write!(f, "lsl {}, {}, #{shift}", xname(xd), xname(xn))
+            }
+            Inst::AddXImm { xd, xn, imm } => {
+                write!(f, "add {}, {}, #{imm}", xname(xd), xname(xn))
+            }
+            Inst::IncD { xd } => write!(f, "incd {}", xname(xd)),
+            Inst::CmpX { xn, xm } => write!(f, "cmp {}, {}", xname(xn), xname(xm)),
+            Inst::B { cond, target } => match cond {
+                Cond::Mi => write!(f, "b.mi .L{target}"),
+                Cond::Lo => write!(f, "b.lo .L{target}"),
+                Cond::Always => write!(f, "b .L{target}"),
+            },
+            Inst::Ret => write!(f, "ret"),
+            Inst::Ptrue { pd } => write!(f, "ptrue p{pd}.d"),
+            Inst::Whilelo { pd, xn, xm } => {
+                write!(f, "whilelo p{pd}.d, {}, {}", xname(xn), xname(xm))
+            }
+            Inst::Brkns { pd, pg, pn, pm } => {
+                write!(f, "brkns p{pd}.b, p{pg}/z, p{pn}.b, p{pm}.b")
+            }
+            Inst::MovP { pd, pn } => write!(f, "mov p{pd}.b, p{pn}.b"),
+            Inst::DupImm { zd, imm } => write!(f, "mov z{zd}.d, #{imm}"),
+            Inst::MovZ { zd, zn } => write!(f, "mov z{zd}.d, z{zn}.d"),
+            Inst::Movprfx { zd, zn } => write!(f, "movprfx z{zd}, z{zn}"),
+            Inst::Ld1D {
+                zt,
+                pg,
+                xbase,
+                xidx,
+            } => write!(
+                f,
+                "ld1d {{z{zt}.d}}, p{pg}/z, [{}, {}, lsl #3]",
+                xname(xbase),
+                xname(xidx)
+            ),
+            Inst::Ld2D {
+                zt,
+                zt2,
+                pg,
+                xbase,
+                xidx,
+            } => write!(
+                f,
+                "ld2d {{z{zt}.d, z{zt2}.d}}, p{pg}/z, [{}, {}, lsl #3]",
+                xname(xbase),
+                xname(xidx)
+            ),
+            Inst::St1D {
+                zt,
+                pg,
+                xbase,
+                xidx,
+            } => write!(
+                f,
+                "st1d {{z{zt}.d}}, p{pg}, [{}, {}, lsl #3]",
+                xname(xbase),
+                xname(xidx)
+            ),
+            Inst::St2D {
+                zt,
+                zt2,
+                pg,
+                xbase,
+                xidx,
+            } => write!(
+                f,
+                "st2d {{z{zt}.d, z{zt2}.d}}, p{pg}, [{}, {}, lsl #3]",
+                xname(xbase),
+                xname(xidx)
+            ),
+            Inst::Fmul { zd, zn, zm } => write!(f, "fmul z{zd}.d, z{zn}.d, z{zm}.d"),
+            Inst::Fmla { zd, pg, zn, zm } => {
+                write!(f, "fmla z{zd}.d, p{pg}/m, z{zn}.d, z{zm}.d")
+            }
+            Inst::Fnmls { zd, pg, zn, zm } => {
+                write!(f, "fnmls z{zd}.d, p{pg}/m, z{zn}.d, z{zm}.d")
+            }
+            Inst::Fcmla {
+                zd,
+                pg,
+                zn,
+                zm,
+                rot,
+            } => write!(
+                f,
+                "fcmla z{zd}.d, p{pg}/m, z{zn}.d, z{zm}.d, #{}",
+                rot_imm(rot)
+            ),
+        }
+    }
+}
+
+/// A program: a flat instruction sequence. Branch targets are instruction
+/// indices; [`Program::disassemble`] prints labels for every branch target
+/// in the paper's `.LBBn` style.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// The instructions, in order.
+    pub insts: Vec<Inst>,
+    /// Human-readable name (e.g. "mult_real (listing IV-A)").
+    pub name: String,
+}
+
+impl Program {
+    /// Create a named program.
+    pub fn new(name: impl Into<String>, insts: Vec<Inst>) -> Self {
+        Program {
+            insts,
+            name: name.into(),
+        }
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True if the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Paper-style disassembly with `.Ln:` labels at branch targets.
+    pub fn disassemble(&self) -> String {
+        use std::collections::BTreeSet;
+        let targets: BTreeSet<usize> = self
+            .insts
+            .iter()
+            .filter_map(|i| match i {
+                Inst::B { target, .. } => Some(*target),
+                _ => None,
+            })
+            .collect();
+        let mut out = String::new();
+        out.push_str(&format!("// {}\n", self.name));
+        for (idx, inst) in self.insts.iter().enumerate() {
+            if targets.contains(&idx) {
+                out.push_str(&format!(".L{idx}:\n"));
+            }
+            out.push_str(&format!("    {inst}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_style() {
+        assert_eq!(Inst::MovX { xd: 8, xn: XZR }.to_string(), "mov x8, xzr");
+        assert_eq!(
+            Inst::Ld1D {
+                zt: 0,
+                pg: 1,
+                xbase: 1,
+                xidx: 8
+            }
+            .to_string(),
+            "ld1d {z0.d}, p1/z, [x1, x8, lsl #3]"
+        );
+        assert_eq!(
+            Inst::Fcmla {
+                zd: 3,
+                pg: 0,
+                zn: 1,
+                zm: 2,
+                rot: Rot::R90
+            }
+            .to_string(),
+            "fcmla z3.d, p0/m, z1.d, z2.d, #90"
+        );
+        assert_eq!(
+            Inst::Brkns {
+                pd: 2,
+                pg: 0,
+                pn: 1,
+                pm: 2
+            }
+            .to_string(),
+            "brkns p2.b, p0/z, p1.b, p2.b"
+        );
+        assert_eq!(Inst::IncD { xd: 8 }.to_string(), "incd x8");
+    }
+
+    #[test]
+    fn disassembly_labels_branch_targets() {
+        let p = Program::new(
+            "loop",
+            vec![
+                Inst::MovX { xd: 8, xn: XZR },
+                Inst::IncD { xd: 8 },
+                Inst::B {
+                    cond: Cond::Mi,
+                    target: 1,
+                },
+                Inst::Ret,
+            ],
+        );
+        let asm = p.disassemble();
+        assert!(asm.contains(".L1:"));
+        assert!(asm.contains("b.mi .L1"));
+        assert!(asm.contains("// loop"));
+    }
+}

@@ -1,0 +1,38 @@
+//! ArmIE-like emulator for an AArch64 + SVE instruction subset.
+//!
+//! The paper *"SVE-enabling Lattice QCD Codes"* (Meyer et al., CLUSTER 2018)
+//! verified its port functionally with the ARM Instruction Emulator (ArmIE
+//! 18.1), which executes SVE binaries on plain AArch64 hardware with the
+//! vector length supplied "as a command-line parameter". This crate is that
+//! emulator for the reproduction: an instruction IR covering every mnemonic
+//! in the paper's listings, a register-file + memory machine model, an
+//! interpreter with tracing and per-opcode accounting, and the paper's four
+//! Section IV listings pre-encoded as programs.
+//!
+//! ```
+//! use armie::listings;
+//! use sve::{SveCtx, VectorLength};
+//!
+//! // Run the paper's listing IV-C (FCMLA complex multiply, VLA loop)
+//! // "emulating multiple vector lengths" as the authors did:
+//! let x = vec![1.0, 2.0, 3.0, -4.0]; // 2 complex numbers, interleaved
+//! let y = vec![0.5, 0.5, -1.0, 2.0];
+//! for vl in VectorLength::sweep() {
+//!     let run = listings::run_mult_cplx_fcmla_vla(SveCtx::new(vl), &x, &y);
+//!     assert_eq!(run.z, listings::mult_cplx_ref(&x, &y));
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod exec;
+mod inst;
+pub mod listings;
+mod machine;
+pub mod parse;
+
+pub use exec::{run, run_traced, run_with, Halt, RunReport, DEFAULT_STEP_LIMIT};
+pub use inst::{Cond, Inst, PId, Program, XId, ZId, XZR};
+pub use machine::{Machine, Memory};
+pub use parse::{parse, ParseError};

@@ -1,0 +1,586 @@
+//! The paper's Section IV assembly listings, instruction for instruction.
+//!
+//! Each constructor returns the binary code the paper shows being generated
+//! by armclang 18.3 (`-Ofast -march=armv8-a+sve`), as a [`Program`] for the
+//! emulator; each `run_*` helper sets up the AAPCS argument registers
+//! (`x0` = element count, `x1`/`x2` = input arrays, `x3` = output array),
+//! executes under a chosen vector length — possibly with an injected
+//! toolchain fault — and returns the output array plus the machine for
+//! instruction-count inspection.
+//!
+//! All four kernels compute `z[i] = x[i] * y[i]`, differing in data type and
+//! code generation strategy:
+//!
+//! | listing | data | strategy |
+//! |---|---|---|
+//! | IV-A | real `double` | VLA loop, auto-vectorized |
+//! | IV-B | `std::complex<double>` | VLA loop, auto-vectorized: `ld2d` + real FMAs |
+//! | IV-C | interleaved complex | VLA loop, ACLE `FCMLA` |
+//! | IV-D | interleaved complex | fixed-length, loop-free ACLE `FCMLA` |
+
+use crate::exec::{run, RunReport};
+use crate::inst::{Cond, Inst, Program, XZR};
+use crate::machine::Machine;
+use sve::intrinsics::Rot;
+use sve::SveCtx;
+
+/// Result of running a listing.
+#[derive(Debug)]
+pub struct ListingRun {
+    /// The output array `z`.
+    pub z: Vec<f64>,
+    /// Halt reason and dynamic instruction count.
+    pub report: RunReport,
+    /// The machine after execution (counters, registers, memory).
+    pub machine: Machine,
+}
+
+/// Listing IV-A — `mult_real`: `z[i] = x[i] * y[i]` over `double[n]`,
+/// the compiler's VLA loop with `whilelo`/`brkns` predication.
+pub fn mult_real_program() -> Program {
+    Program::new(
+        "mult_real (listing IV-A)",
+        vec![
+            /* 0 */ Inst::MovX { xd: 8, xn: XZR },
+            /* 1 */
+            Inst::Whilelo {
+                pd: 1,
+                xn: XZR,
+                xm: 0,
+            },
+            /* 2 */ Inst::Ptrue { pd: 0 },
+            // .LBB0_4:
+            /* 3 */
+            Inst::Ld1D {
+                zt: 0,
+                pg: 1,
+                xbase: 1,
+                xidx: 8,
+            },
+            /* 4 */
+            Inst::Ld1D {
+                zt: 1,
+                pg: 1,
+                xbase: 2,
+                xidx: 8,
+            },
+            /* 5 */
+            Inst::Fmul {
+                zd: 0,
+                zn: 1,
+                zm: 0,
+            },
+            /* 6 */
+            Inst::St1D {
+                zt: 0,
+                pg: 1,
+                xbase: 3,
+                xidx: 8,
+            },
+            /* 7 */ Inst::IncD { xd: 8 },
+            /* 8 */
+            Inst::Whilelo {
+                pd: 2,
+                xn: 8,
+                xm: 0,
+            },
+            /* 9 */
+            Inst::Brkns {
+                pd: 2,
+                pg: 0,
+                pn: 1,
+                pm: 2,
+            },
+            /* 10 */ Inst::MovP { pd: 1, pn: 2 },
+            /* 11 */
+            Inst::B {
+                cond: Cond::Mi,
+                target: 3,
+            },
+            /* 12 */ Inst::Ret,
+        ],
+    )
+}
+
+/// Listing IV-B — `mult_cplx`, auto-vectorized: complex multiply through
+/// `ld2d` structure loads and real-arithmetic FMAs ("the compiler does not
+/// exploit the full SVE ISA ... due to the lack of support for complex
+/// arithmetics in the LLVM 5 backend").
+pub fn mult_cplx_autovec_program() -> Program {
+    Program::new(
+        "mult_cplx auto-vectorized (listing IV-B)",
+        vec![
+            /* 0 */ Inst::MovX { xd: 8, xn: XZR },
+            /* 1 */
+            Inst::Whilelo {
+                pd: 0,
+                xn: XZR,
+                xm: 0,
+            },
+            /* 2 */ Inst::Ptrue { pd: 1 },
+            // .LBB2_7:
+            /* 3 */
+            Inst::Lsl {
+                xd: 9,
+                xn: 8,
+                shift: 1,
+            },
+            /* 4 */
+            Inst::Ld2D {
+                zt: 0,
+                zt2: 1,
+                pg: 0,
+                xbase: 2,
+                xidx: 9,
+            },
+            /* 5 */
+            Inst::Ld2D {
+                zt: 2,
+                zt2: 3,
+                pg: 0,
+                xbase: 1,
+                xidx: 9,
+            },
+            /* 6 */ Inst::IncD { xd: 8 },
+            /* 7 */
+            Inst::Whilelo {
+                pd: 2,
+                xn: 8,
+                xm: 0,
+            },
+            /* 8 */
+            Inst::Fmul {
+                zd: 4,
+                zn: 2,
+                zm: 1,
+            },
+            /* 9 */
+            Inst::Fmul {
+                zd: 5,
+                zn: 3,
+                zm: 1,
+            },
+            /* 10 */ Inst::Movprfx { zd: 7, zn: 4 },
+            /* 11 */
+            Inst::Fmla {
+                zd: 7,
+                pg: 1,
+                zn: 3,
+                zm: 0,
+            },
+            /* 12 */ Inst::Movprfx { zd: 6, zn: 5 },
+            /* 13 */
+            Inst::Fnmls {
+                zd: 6,
+                pg: 1,
+                zn: 2,
+                zm: 0,
+            },
+            /* 14 */
+            Inst::St2D {
+                zt: 6,
+                zt2: 7,
+                pg: 0,
+                xbase: 3,
+                xidx: 9,
+            },
+            /* 15 */
+            Inst::Brkns {
+                pd: 2,
+                pg: 1,
+                pn: 0,
+                pm: 2,
+            },
+            /* 16 */ Inst::MovP { pd: 0, pn: 2 },
+            /* 17 */
+            Inst::B {
+                cond: Cond::Mi,
+                target: 3,
+            },
+            /* 18 */ Inst::Ret,
+        ],
+    )
+}
+
+/// Listing IV-C — `mult_cplx` via ACLE `FCMLA`, VLA loop. The paper's
+/// listing enters with `x8 = 2n` already computed; the leading `lsl`
+/// materializes it from the argument register.
+pub fn mult_cplx_fcmla_vla_program() -> Program {
+    Program::new(
+        "mult_cplx ACLE FCMLA, VLA loop (listing IV-C)",
+        vec![
+            /* 0 */
+            Inst::Lsl {
+                xd: 8,
+                xn: 0,
+                shift: 1,
+            }, // x8 = 2n (prologue)
+            /* 1 */ Inst::MovX { xd: 9, xn: XZR },
+            /* 2 */ Inst::DupImm { zd: 0, imm: 0.0 },
+            // .LBB3_2:
+            /* 3 */
+            Inst::Whilelo {
+                pd: 0,
+                xn: 9,
+                xm: 8,
+            },
+            /* 4 */
+            Inst::Ld1D {
+                zt: 1,
+                pg: 0,
+                xbase: 1,
+                xidx: 9,
+            },
+            /* 5 */
+            Inst::Ld1D {
+                zt: 2,
+                pg: 0,
+                xbase: 2,
+                xidx: 9,
+            },
+            /* 6 */ Inst::MovZ { zd: 3, zn: 0 },
+            /* 7 */
+            Inst::Fcmla {
+                zd: 3,
+                pg: 0,
+                zn: 1,
+                zm: 2,
+                rot: Rot::R90,
+            },
+            /* 8 */
+            Inst::Fcmla {
+                zd: 3,
+                pg: 0,
+                zn: 1,
+                zm: 2,
+                rot: Rot::R0,
+            },
+            /* 9 */
+            Inst::St1D {
+                zt: 3,
+                pg: 0,
+                xbase: 3,
+                xidx: 9,
+            },
+            /* 10 */ Inst::IncD { xd: 9 },
+            /* 11 */ Inst::CmpX { xn: 9, xm: 8 },
+            /* 12 */
+            Inst::B {
+                cond: Cond::Lo,
+                target: 3,
+            },
+            /* 13 */ Inst::Ret,
+        ],
+    )
+}
+
+/// Listing IV-D — `mult_cplx` via ACLE `FCMLA`, fixed-length and loop-free:
+/// "for small arrays of the size of the SVE vector length it is possible to
+/// omit the loop overhead implied by the VLA programming model."
+pub fn mult_cplx_fcmla_fixed_program() -> Program {
+    Program::new(
+        "mult_cplx ACLE FCMLA, fixed-length (listing IV-D)",
+        vec![
+            /* 0 */ Inst::Ptrue { pd: 0 },
+            /* 1 */
+            Inst::Ld1D {
+                zt: 0,
+                pg: 0,
+                xbase: 1,
+                xidx: XZR,
+            },
+            /* 2 */
+            Inst::Ld1D {
+                zt: 1,
+                pg: 0,
+                xbase: 2,
+                xidx: XZR,
+            },
+            /* 3 */ Inst::DupImm { zd: 2, imm: 0.0 },
+            /* 4 */
+            Inst::Fcmla {
+                zd: 2,
+                pg: 0,
+                zn: 0,
+                zm: 1,
+                rot: Rot::R90,
+            },
+            /* 5 */
+            Inst::Fcmla {
+                zd: 2,
+                pg: 0,
+                zn: 0,
+                zm: 1,
+                rot: Rot::R0,
+            },
+            /* 6 */
+            Inst::St1D {
+                zt: 2,
+                pg: 0,
+                xbase: 3,
+                xidx: XZR,
+            },
+            /* 7 */ Inst::Ret,
+        ],
+    )
+}
+
+/// All four listings, with short ids matching the paper's section numbers.
+pub fn all_listings() -> Vec<(&'static str, Program)> {
+    vec![
+        ("IV-A", mult_real_program()),
+        ("IV-B", mult_cplx_autovec_program()),
+        ("IV-C", mult_cplx_fcmla_vla_program()),
+        ("IV-D", mult_cplx_fcmla_fixed_program()),
+    ]
+}
+
+fn run_kernel(ctx: SveCtx, program: &Program, n_arg: u64, x: &[f64], y: &[f64]) -> ListingRun {
+    let out_len = x.len();
+    let bytes = 4096 + 8 * (x.len() + y.len() + out_len) + 1024;
+    let mut m = Machine::with_ctx(ctx, bytes.next_power_of_two());
+    let xa = m.alloc_f64_slice(x);
+    let ya = m.alloc_f64_slice(y);
+    let za = m.alloc(8 * out_len);
+    m.set_x(0, n_arg);
+    m.set_x(1, xa);
+    m.set_x(2, ya);
+    m.set_x(3, za);
+    let report = run(&mut m, program);
+    let z = m.mem.load_f64_slice(za, out_len);
+    ListingRun {
+        z,
+        report,
+        machine: m,
+    }
+}
+
+/// Run listing IV-A: `z[i] = x[i] * y[i]` for real arrays of length `n`.
+pub fn run_mult_real(ctx: SveCtx, x: &[f64], y: &[f64]) -> ListingRun {
+    assert_eq!(x.len(), y.len());
+    run_kernel(ctx, &mult_real_program(), x.len() as u64, x, y)
+}
+
+/// Run listing IV-B: complex multiply of `n` interleaved (re,im) pairs
+/// (slices have length `2n`), auto-vectorized code.
+pub fn run_mult_cplx_autovec(ctx: SveCtx, x: &[f64], y: &[f64]) -> ListingRun {
+    assert_eq!(x.len(), y.len());
+    assert_eq!(x.len() % 2, 0);
+    run_kernel(
+        ctx,
+        &mult_cplx_autovec_program(),
+        (x.len() / 2) as u64,
+        x,
+        y,
+    )
+}
+
+/// Run listing IV-C: complex multiply via FCMLA, VLA loop.
+pub fn run_mult_cplx_fcmla_vla(ctx: SveCtx, x: &[f64], y: &[f64]) -> ListingRun {
+    assert_eq!(x.len(), y.len());
+    assert_eq!(x.len() % 2, 0);
+    run_kernel(
+        ctx,
+        &mult_cplx_fcmla_vla_program(),
+        (x.len() / 2) as u64,
+        x,
+        y,
+    )
+}
+
+/// Run listing IV-D: complex multiply via FCMLA on exactly one vector
+/// register's worth of data (`x.len()` must equal the 64-bit lane count,
+/// and the binary "will only be operating correctly on matching SVE
+/// hardware").
+pub fn run_mult_cplx_fcmla_fixed(ctx: SveCtx, x: &[f64], y: &[f64]) -> ListingRun {
+    assert_eq!(x.len(), y.len());
+    assert_eq!(
+        x.len(),
+        ctx.vl().lanes64(),
+        "listing IV-D processes exactly one full vector"
+    );
+    run_kernel(ctx, &mult_cplx_fcmla_fixed_program(), 0, x, y)
+}
+
+/// Scalar reference: real pairwise multiply.
+pub fn mult_real_ref(x: &[f64], y: &[f64]) -> Vec<f64> {
+    x.iter().zip(y).map(|(a, b)| a * b).collect()
+}
+
+/// Scalar reference: complex pairwise multiply over interleaved (re,im)
+/// data.
+pub fn mult_cplx_ref(x: &[f64], y: &[f64]) -> Vec<f64> {
+    let mut z = vec![0.0; x.len()];
+    for p in 0..x.len() / 2 {
+        let (xr, xi) = (x[2 * p], x[2 * p + 1]);
+        let (yr, yi) = (y[2 * p], y[2 * p + 1]);
+        z[2 * p] = xr * yr - xi * yi;
+        z[2 * p + 1] = xr * yi + xi * yr;
+    }
+    z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sve::VectorLength;
+
+    fn data(n: usize) -> (Vec<f64>, Vec<f64>) {
+        let x: Vec<f64> = (0..n).map(|i| (i as f64) * 0.5 - 3.0).collect();
+        let y: Vec<f64> = (0..n).map(|i| 2.0 - (i as f64) * 0.25).collect();
+        (x, y)
+    }
+
+    fn close(a: &[f64], b: &[f64]) -> bool {
+        a.len() == b.len()
+            && a.iter()
+                .zip(b)
+                .all(|(p, q)| (p - q).abs() <= 1e-12 * q.abs().max(1.0))
+    }
+
+    #[test]
+    fn listing_a_matches_reference_across_vls_and_sizes() {
+        for vl in VectorLength::sweep() {
+            for n in [0usize, 1, 3, 7, 8, 13, 64, 100] {
+                let (x, y) = data(n);
+                let run = run_mult_real(SveCtx::new(vl), &x, &y);
+                assert!(close(&run.z, &mult_real_ref(&x, &y)), "IV-A vl={vl} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn listing_b_matches_reference_across_vls_and_sizes() {
+        for vl in VectorLength::sweep() {
+            for n in [0usize, 1, 2, 5, 8, 17, 50] {
+                let (x, y) = data(2 * n);
+                let run = run_mult_cplx_autovec(SveCtx::new(vl), &x, &y);
+                assert!(close(&run.z, &mult_cplx_ref(&x, &y)), "IV-B vl={vl} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn listing_c_matches_reference_across_vls_and_sizes() {
+        for vl in VectorLength::sweep() {
+            for n in [0usize, 1, 2, 5, 8, 17, 50] {
+                let (x, y) = data(2 * n);
+                let run = run_mult_cplx_fcmla_vla(SveCtx::new(vl), &x, &y);
+                assert!(close(&run.z, &mult_cplx_ref(&x, &y)), "IV-C vl={vl} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn listing_d_matches_reference_at_its_native_vl() {
+        for vl in VectorLength::sweep() {
+            let (x, y) = data(vl.lanes64());
+            let run = run_mult_cplx_fcmla_fixed(SveCtx::new(vl), &x, &y);
+            assert!(close(&run.z, &mult_cplx_ref(&x, &y)), "IV-D vl={vl}");
+        }
+    }
+
+    #[test]
+    fn listings_b_and_c_agree_with_each_other() {
+        let vl = VectorLength::of(512);
+        let (x, y) = data(34);
+        let b = run_mult_cplx_autovec(SveCtx::new(vl), &x, &y);
+        let c = run_mult_cplx_fcmla_vla(SveCtx::new(vl), &x, &y);
+        assert!(close(&b.z, &c.z));
+    }
+
+    #[test]
+    fn fcmla_needs_fewer_arithmetic_and_move_instructions() {
+        // The paper's Section III-D/IV point: without FCMLA, complex
+        // multiplication costs extra instructions (4 real FMAs + 2 movprfx
+        // per vector of complex numbers, vs 2 FCMLA per vector of doubles =
+        // 4 per vector of complex numbers, with no moves) plus structure
+        // loads/stores instead of contiguous ones.
+        use sve::{OpClass, Opcode};
+        let vl = VectorLength::of(512);
+        let (x, y) = data(2 * 64);
+        let b = run_mult_cplx_autovec(SveCtx::new(vl), &x, &y);
+        let c = run_mult_cplx_fcmla_vla(SveCtx::new(vl), &x, &y);
+        let bc = b.machine.ctx.counters();
+        let cc = c.machine.ctx.counters();
+        let b_arith_and_moves = bc.total_class(OpClass::FpArith)
+            + bc.total_class(OpClass::FpComplex)
+            + bc.get(Opcode::Movprfx);
+        let c_arith_and_moves = cc.total_class(OpClass::FpArith)
+            + cc.total_class(OpClass::FpComplex)
+            + cc.get(Opcode::Movprfx);
+        assert!(
+            c_arith_and_moves < b_arith_and_moves,
+            "FCMLA {c_arith_and_moves} vs autovec {b_arith_and_moves}"
+        );
+        // And it avoids the structure load/store forms entirely.
+        assert_eq!(cc.total_class(OpClass::LoadStruct), 0);
+        assert!(bc.total_class(OpClass::LoadStruct) > 0);
+    }
+
+    #[test]
+    fn cost_models_decide_the_fcmla_vs_real_arithmetic_race() {
+        // Section V-E: "It is not guaranteed that the FCMLA instruction
+        // outperforms alternative implementations of complex arithmetics."
+        // Under the fcmla-fast profile the FCMLA kernel wins; under
+        // fcmla-slow the auto-vectorized real-arithmetic kernel wins.
+        use sve::CostModel;
+        let vl = VectorLength::of(512);
+        let (x, y) = data(2 * 240);
+        let b = run_mult_cplx_autovec(SveCtx::new(vl), &x, &y);
+        let c = run_mult_cplx_fcmla_vla(SveCtx::new(vl), &x, &y);
+        let fast_b = b.machine.ctx.cycles(CostModel::FcmlaFast);
+        let fast_c = c.machine.ctx.cycles(CostModel::FcmlaFast);
+        let slow_b = b.machine.ctx.cycles(CostModel::FcmlaSlow);
+        let slow_c = c.machine.ctx.cycles(CostModel::FcmlaSlow);
+        assert!(fast_c < fast_b, "fcmla-fast: {fast_c} !< {fast_b}");
+        assert!(slow_c > slow_b, "fcmla-slow: {slow_c} !> {slow_b}");
+    }
+
+    #[test]
+    fn fixed_version_is_loop_free() {
+        let vl = VectorLength::of(1024);
+        let (x, y) = data(vl.lanes64());
+        let d = run_mult_cplx_fcmla_fixed(SveCtx::new(vl), &x, &y);
+        // 8 static instructions, 8 dynamic: no loop overhead at all.
+        assert_eq!(d.report.steps, 8);
+    }
+
+    #[test]
+    fn dynamic_instructions_scale_inversely_with_vl() {
+        // Same workload, wider vectors -> fewer executed instructions; the
+        // core promise of the wide-vector ISA for LQCD (paper Section I).
+        let (x, y) = data(2 * 240);
+        let narrow = run_mult_cplx_fcmla_vla(SveCtx::new(VectorLength::of(128)), &x, &y);
+        let wide = run_mult_cplx_fcmla_vla(SveCtx::new(VectorLength::of(2048)), &x, &y);
+        assert!(wide.report.steps * 8 < narrow.report.steps);
+    }
+
+    #[test]
+    fn injected_toolchain_fault_breaks_only_tail_iterations() {
+        // Reproduces the Section V-D phenomenon: with a tail-predication
+        // miscompile at VL512, sizes that divide the vector length still
+        // pass while others fail.
+        let vl = VectorLength::of(512);
+        let fault = sve::ToolchainFault::TailPredicationBug(vl);
+        // 2n = 32 doubles = 4 full vectors: immune.
+        let (x, y) = data(32);
+        let ok = run_mult_cplx_fcmla_vla(SveCtx::with_fault(vl, fault), &x, &y);
+        assert!(close(&ok.z, &mult_cplx_ref(&x, &y)));
+        // 2n = 34 doubles: final partial vector is corrupted.
+        let (x, y) = data(34);
+        let bad = run_mult_cplx_fcmla_vla(SveCtx::with_fault(vl, fault), &x, &y);
+        assert!(!close(&bad.z, &mult_cplx_ref(&x, &y)));
+    }
+
+    #[test]
+    fn disassembly_contains_paper_mnemonics() {
+        let asm = mult_cplx_autovec_program().disassemble();
+        for needle in ["ld2d", "st2d", "fnmls", "movprfx", "brkns", "whilelo"] {
+            assert!(asm.contains(needle), "{needle} missing from\n{asm}");
+        }
+        let asm = mult_cplx_fcmla_vla_program().disassemble();
+        assert!(asm.contains("fcmla"));
+        assert!(asm.contains("#90"));
+    }
+}

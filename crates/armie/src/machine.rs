@@ -1,0 +1,203 @@
+//! Machine state: register files, flags and byte-addressed memory.
+
+use sve::{PReg, PredFlags, SveCtx, VReg, VectorLength};
+
+/// Byte-addressed little-endian memory with a bump allocator, standing in
+/// for the process address space of the emulated program.
+#[derive(Debug, Default)]
+pub struct Memory {
+    bytes: Vec<u8>,
+}
+
+impl Memory {
+    /// Memory of `size` zeroed bytes.
+    pub fn new(size: usize) -> Self {
+        Memory {
+            bytes: vec![0; size],
+        }
+    }
+
+    /// Total size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True if the memory has zero size.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Read an `f64` at byte address `addr`.
+    pub fn read_f64(&self, addr: u64) -> f64 {
+        let a = addr as usize;
+        let b: [u8; 8] = self.bytes[a..a + 8]
+            .try_into()
+            .expect("read_f64 within bounds");
+        f64::from_le_bytes(b)
+    }
+
+    /// Write an `f64` at byte address `addr`.
+    pub fn write_f64(&mut self, addr: u64, v: f64) {
+        let a = addr as usize;
+        self.bytes[a..a + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Copy a whole `f64` slice to `addr`.
+    pub fn store_f64_slice(&mut self, addr: u64, data: &[f64]) {
+        for (i, &v) in data.iter().enumerate() {
+            self.write_f64(addr + 8 * i as u64, v);
+        }
+    }
+
+    /// Read `n` `f64` values starting at `addr`.
+    pub fn load_f64_slice(&self, addr: u64, n: usize) -> Vec<f64> {
+        (0..n).map(|i| self.read_f64(addr + 8 * i as u64)).collect()
+    }
+}
+
+/// The emulated CPU: scalar registers `x0..x30` (+`xzr`), vector registers
+/// `z0..z31`, predicate registers `p0..p15`, NZCV flags, and a program
+/// counter. Vector semantics (and instruction accounting) are delegated to
+/// an [`SveCtx`], so the emulator and the intrinsics layer can never
+/// disagree on what an instruction does.
+#[derive(Debug)]
+pub struct Machine {
+    /// Scalar register file (index 31 is the zero register).
+    x: [u64; 32],
+    /// Vector register file.
+    pub(crate) z: [VReg; 32],
+    /// Predicate register file.
+    pub(crate) p: [PReg; 16],
+    /// Condition flags (N, Z, C, V).
+    pub flags: PredFlags,
+    /// Program counter (instruction index).
+    pub pc: usize,
+    /// Memory image.
+    pub mem: Memory,
+    /// The SVE "silicon" this machine implements.
+    pub ctx: SveCtx,
+    next_alloc: u64,
+}
+
+impl Machine {
+    /// A machine with `mem_bytes` of memory at vector length `vl`.
+    pub fn new(vl: VectorLength, mem_bytes: usize) -> Self {
+        Machine {
+            x: [0; 32],
+            z: [VReg::zeroed(); 32],
+            p: [PReg::none(); 16],
+            flags: PredFlags {
+                n: false,
+                z: false,
+                c: false,
+                v: false,
+            },
+            pc: 0,
+            mem: Memory::new(mem_bytes),
+            ctx: SveCtx::new(vl),
+            next_alloc: 64, // keep address 0 unmapped-ish for debugging
+        }
+    }
+
+    /// A machine whose SVE context carries an injected toolchain fault.
+    pub fn with_ctx(ctx: SveCtx, mem_bytes: usize) -> Self {
+        let mut m = Self::new(ctx.vl(), mem_bytes);
+        m.ctx = ctx;
+        m
+    }
+
+    /// The configured vector length.
+    pub fn vl(&self) -> VectorLength {
+        self.ctx.vl()
+    }
+
+    /// Read scalar register `id` (`xzr` reads zero).
+    #[inline]
+    pub fn x(&self, id: u8) -> u64 {
+        if id == 31 {
+            0
+        } else {
+            self.x[id as usize]
+        }
+    }
+
+    /// Write scalar register `id` (writes to `xzr` are discarded).
+    #[inline]
+    pub fn set_x(&mut self, id: u8, v: u64) {
+        if id != 31 {
+            self.x[id as usize] = v;
+        }
+    }
+
+    /// Read vector register `id`.
+    pub fn zreg(&self, id: u8) -> &VReg {
+        &self.z[id as usize]
+    }
+
+    /// Read predicate register `id`.
+    pub fn preg(&self, id: u8) -> &PReg {
+        &self.p[id as usize]
+    }
+
+    /// Bump-allocate `bytes` of memory, 256-byte aligned (the maximum
+    /// vector length, matching the paper's `alignas(SVE_VECTOR_LENGTH)`).
+    pub fn alloc(&mut self, bytes: usize) -> u64 {
+        let addr = (self.next_alloc + 255) & !255;
+        self.next_alloc = addr + bytes as u64;
+        assert!(
+            (self.next_alloc as usize) <= self.mem.len(),
+            "emulated memory exhausted"
+        );
+        addr
+    }
+
+    /// Allocate and initialize an `f64` array; returns its address.
+    pub fn alloc_f64_slice(&mut self, data: &[f64]) -> u64 {
+        let addr = self.alloc(8 * data.len());
+        self.mem.store_f64_slice(addr, data);
+        addr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xzr_reads_zero_and_swallows_writes() {
+        let mut m = Machine::new(VectorLength::of(256), 1 << 12);
+        m.set_x(31, 123);
+        assert_eq!(m.x(31), 0);
+        m.set_x(5, 7);
+        assert_eq!(m.x(5), 7);
+    }
+
+    #[test]
+    fn memory_round_trips() {
+        let mut mem = Memory::new(128);
+        mem.write_f64(16, 3.25);
+        assert_eq!(mem.read_f64(16), 3.25);
+        mem.store_f64_slice(24, &[1.0, 2.0, 3.0]);
+        assert_eq!(mem.load_f64_slice(24, 3), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn alloc_is_aligned_and_disjoint() {
+        let mut m = Machine::new(VectorLength::of(128), 1 << 14);
+        let a = m.alloc_f64_slice(&[1.0; 10]);
+        let b = m.alloc_f64_slice(&[2.0; 10]);
+        assert_eq!(a % 256, 0);
+        assert_eq!(b % 256, 0);
+        assert!(b >= a + 80);
+        assert_eq!(m.mem.read_f64(a), 1.0);
+        assert_eq!(m.mem.read_f64(b), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "memory exhausted")]
+    fn alloc_beyond_memory_panics() {
+        let mut m = Machine::new(VectorLength::of(128), 1 << 10);
+        let _ = m.alloc(2 << 10);
+        let _ = m.alloc(1);
+    }
+}

@@ -1,0 +1,73 @@
+//! Criterion benches of the data-movement layer: `cshift` (the lane-permute
+//! machinery of the virtual-node layout) and the halo-exchange codec with
+//! and without binary16 compression (paper, Section V-B).
+
+use bench::BENCH_LATTICE;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grid::comms::{Compression, HaloMsg};
+use grid::prelude::*;
+
+fn bench_cshift(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cshift");
+    group.sample_size(10);
+    for vl in [
+        VectorLength::of(128),
+        VectorLength::of(512),
+        VectorLength::of(2048),
+    ] {
+        let g = Grid::new(BENCH_LATTICE, vl, SimdBackend::Fcmla);
+        let f = FermionField::random(g.clone(), 7);
+        // mu = 0 rarely permutes; mu = 3 is the most-split dimension.
+        group.bench_with_input(BenchmarkId::new("mu0", vl), &vl, |b, _| {
+            b.iter(|| cshift(&f, 0, 1))
+        });
+        group.bench_with_input(BenchmarkId::new("mu3", vl), &vl, |b, _| {
+            b.iter(|| cshift(&f, 3, 1))
+        });
+    }
+    group.finish();
+}
+
+fn bench_halo_codec(c: &mut Criterion) {
+    // One time-slice of a fermion field on a 16^3 boundary.
+    let data: Vec<f64> = (0..16 * 16 * 16 * 24)
+        .map(|i| (i as f64 * 0.173).sin())
+        .collect();
+    let mut group = c.benchmark_group("halo_codec");
+    group.bench_function("encode_f64", |b| {
+        b.iter(|| HaloMsg::encode(&data, Compression::None))
+    });
+    group.bench_function("encode_f16", |b| {
+        b.iter(|| HaloMsg::encode(&data, Compression::F16))
+    });
+    let f16 = HaloMsg::encode(&data, Compression::F16);
+    group.bench_function("decode_f16", |b| b.iter(|| f16.decode()));
+    group.finish();
+}
+
+fn bench_multinode_hopping(c: &mut Criterion) {
+    let global = [4, 4, 4, 8];
+    let vl = VectorLength::of(256);
+    let mut group = c.benchmark_group("multinode_hopping_2ranks");
+    group.sample_size(10);
+    for compression in [Compression::None, Compression::F16] {
+        group.bench_function(format!("{compression:?}"), |b| {
+            b.iter(|| {
+                run_multinode(global, 2, vl, SimdBackend::Fcmla, |ctx| {
+                    let u = random_gauge(ctx.grid.clone(), 41);
+                    let f = FermionField::random(ctx.grid.clone(), 42);
+                    hopping_dist(ctx, &u, &f, compression).norm2()
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cshift,
+    bench_halo_codec,
+    bench_multinode_hopping
+);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion benches of the paper's four Section IV listings under the
+//! emulator, across vector lengths. Wall time here measures the functional
+//! simulation, so absolute numbers are not silicon performance — the
+//! meaningful series (matching the paper's argument) is the *relative* cost
+//! per listing and its scaling with vector length, which tracks the dynamic
+//! instruction count.
+
+use armie::listings;
+use bench::{bench_vls, interleaved};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sve::SveCtx;
+
+fn bench_listings(c: &mut Criterion) {
+    let n = 64; // complex elements
+    let x = interleaved(2 * n, 0.0);
+    let y = interleaved(2 * n, 1.0);
+
+    let mut group = c.benchmark_group("listings");
+    group.throughput(Throughput::Elements(n as u64));
+    for vl in bench_vls() {
+        group.bench_with_input(BenchmarkId::new("IV-A_real_vla", vl), &vl, |b, &vl| {
+            b.iter(|| listings::run_mult_real(SveCtx::new(vl), &x, &y))
+        });
+        group.bench_with_input(BenchmarkId::new("IV-B_cplx_autovec", vl), &vl, |b, &vl| {
+            b.iter(|| listings::run_mult_cplx_autovec(SveCtx::new(vl), &x, &y))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("IV-C_cplx_fcmla_vla", vl),
+            &vl,
+            |b, &vl| b.iter(|| listings::run_mult_cplx_fcmla_vla(SveCtx::new(vl), &x, &y)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("IV-D_cplx_fcmla_fixed", vl),
+            &vl,
+            |b, &vl| {
+                let lanes = vl.lanes64();
+                b.iter(|| {
+                    listings::run_mult_cplx_fcmla_fixed(SveCtx::new(vl), &x[..lanes], &y[..lanes])
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_listings);
+criterion_main!(benches);

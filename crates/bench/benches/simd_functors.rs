@@ -1,0 +1,47 @@
+//! Criterion benches of the Section V-C functor layer: `MultComplex` (and
+//! friends) per SIMD word, for each complex-arithmetic backend and vector
+//! length — the Section V-E ablation as a wall-clock series.
+
+use bench::{bench_vls, interleaved};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use grid::simd::functors::{Conj, MultComplex, TimesI, UnaryWordFunctor, WordFunctor};
+use grid::simd::{SimdBackend, SimdEngine};
+use std::sync::Arc;
+use sve::SveCtx;
+
+fn bench_mult_complex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mult_complex_word");
+    for vl in bench_vls() {
+        for backend in SimdBackend::all() {
+            let eng = SimdEngine::new(Arc::new(SveCtx::new(vl)), backend);
+            let x = interleaved(vl.lanes64(), 0.2);
+            let y = interleaved(vl.lanes64(), 0.8);
+            let mut out = vec![0.0; vl.lanes64()];
+            group.throughput(Throughput::Elements((vl.lanes64() / 2) as u64));
+            group.bench_with_input(BenchmarkId::new(backend.name(), vl), &vl, |b, _| {
+                b.iter(|| MultComplex.apply(&eng, &x, &y, &mut out))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_unary_functors(c: &mut Criterion) {
+    let vl = sve::VectorLength::of(512);
+    let mut group = c.benchmark_group("unary_functors_vl512");
+    for backend in SimdBackend::all() {
+        let eng = SimdEngine::new(Arc::new(SveCtx::new(vl)), backend);
+        let x = interleaved(vl.lanes64(), 0.4);
+        let mut out = vec![0.0; vl.lanes64()];
+        group.bench_function(format!("times_i/{}", backend.name()), |b| {
+            b.iter(|| TimesI.apply(&eng, &x, &mut out))
+        });
+        group.bench_function(format!("conj/{}", backend.name()), |b| {
+            b.iter(|| Conj.apply(&eng, &x, &mut out))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mult_complex, bench_unary_functors);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion benches of the Wilson hopping term — the paper's key
+//! computational pattern — across backends and vector lengths, plus the
+//! γ5 and gauge-multiply building blocks.
+
+use bench::{bench_vls, wilson_setup, BENCH_LATTICE};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use grid::dirac::{gamma5, hopping_via_cshift};
+use grid::prelude::*;
+
+fn bench_hopping(c: &mut Criterion) {
+    let sites: usize = BENCH_LATTICE.iter().product();
+    let mut group = c.benchmark_group("wilson_hopping");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(sites as u64));
+    for vl in bench_vls() {
+        for backend in SimdBackend::all() {
+            let (op, b_field) = wilson_setup(BENCH_LATTICE, vl, backend);
+            group.bench_with_input(BenchmarkId::new(backend.name(), vl), &vl, |bch, _| {
+                bch.iter(|| op.hopping(&b_field))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_formulations(c: &mut Criterion) {
+    // Fused stencil kernel vs whole-field cshift composition: the fusion
+    // ablation (Grid fuses; naive implementations don't).
+    let vl = VectorLength::of(512);
+    let g = Grid::new(BENCH_LATTICE, vl, SimdBackend::Fcmla);
+    let u = random_gauge(g.clone(), 1001);
+    let psi = FermionField::random(g.clone(), 1002);
+    let op = WilsonDirac::new(u.clone(), 0.25);
+    let mut group = c.benchmark_group("hopping_formulations_vl512");
+    group.sample_size(10);
+    group.bench_function("fused_stencil", |b| b.iter(|| op.hopping(&psi)));
+    group.bench_function("cshift_composition", |b| {
+        b.iter(|| hopping_via_cshift(&u, &psi))
+    });
+    group.finish();
+}
+
+fn bench_building_blocks(c: &mut Criterion) {
+    let vl = VectorLength::of(512);
+    let (op, psi) = wilson_setup(BENCH_LATTICE, vl, SimdBackend::Fcmla);
+    let mut group = c.benchmark_group("operator_blocks_vl512");
+    group.sample_size(10);
+    group.bench_function("full_wilson_m", |b| b.iter(|| op.apply(&psi)));
+    group.bench_function("mdag_m", |b| b.iter(|| op.mdag_m(&psi)));
+    group.bench_function("gamma5", |b| b.iter(|| gamma5(&psi)));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hopping,
+    bench_formulations,
+    bench_building_blocks
+);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Regenerates **Fig. 1** of the paper — "Decomposing a sub-lattice over
+//! multiple virtual nodes" — as an ASCII rendering of a 2-D slice, plus a
+//! check of the property the figure illustrates: nearest-neighbour sites
+//! are assigned to *different vectors* (same lane), so the hopping term
+//! needs lane permutations only at virtual-node boundaries.
+
+use grid::prelude::*;
+use grid::stencil::{dir_index, Stencil};
+
+fn main() {
+    let vl = VectorLength::of(512); // 4 complex lanes = 4 virtual nodes
+    let g = Grid::<f64>::new([8, 8, 4, 4], vl, SimdBackend::Fcmla);
+    println!("FIG. 1 — SUB-LATTICE DECOMPOSED OVER VIRTUAL NODES\n");
+    println!(
+        "lattice {:?}, SIMD complex lanes {}, virtual-node grid {:?}, \
+         per-node sub-lattice {:?}\n",
+        g.fdims(),
+        g.lanes_c(),
+        g.simd_layout(),
+        g.rdims()
+    );
+
+    // Render the (x, y) plane at z = t = 0: each site shows the SIMD lane
+    // (= virtual node) that holds it.
+    println!("lane (virtual node) per site in the x-y plane (z = t = 0):\n");
+    for y in (0..g.fdims()[1]).rev() {
+        let mut line = String::new();
+        for x in 0..g.fdims()[0] {
+            let (_, lane) = g.coor_to_osite_lane(&[x, y, 0, 0]);
+            line.push_str(&format!("{lane:^3}"));
+            if (x + 1) % g.rdims()[0] == 0 && x + 1 != g.fdims()[0] {
+                line.push('|');
+            }
+        }
+        println!("  {line}");
+        if y % g.rdims()[1] == 0 && y != 0 {
+            let width = 3 * g.fdims()[0] + g.simd_layout()[0] - 1;
+            println!("  {}", "-".repeat(width));
+        }
+    }
+
+    // The figure's point, verified.
+    let stencil = Stencil::new(g.clone());
+    let mut interior = 0usize;
+    let mut boundary = 0usize;
+    for o in 0..g.osites() {
+        for dir in 0..8 {
+            if stencil.leg(dir, o).perm.is_some() {
+                boundary += 1;
+            } else {
+                interior += 1;
+            }
+        }
+    }
+    println!(
+        "\nstencil legs: {interior} stay within lanes, {boundary} cross a \
+         virtual-node boundary (lane permutation)"
+    );
+    let frac = boundary as f64 / (interior + boundary) as f64;
+    println!(
+        "permutation fraction {:.1}% — data for neighbouring sites lives in \
+         different vectors, as the virtual-node layout promises",
+        frac * 100.0
+    );
+
+    // And directions that are not split need no permutation at all.
+    for mu in 0..4 {
+        let any = (0..g.osites()).any(|o| stencil.leg(dir_index(mu, true), o).perm.is_some());
+        println!(
+            "  direction {mu}: simd_layout {} -> {}",
+            g.simd_layout()[mu],
+            if any {
+                "permutes at block boundary"
+            } else {
+                "never permutes"
+            }
+        );
+    }
+}

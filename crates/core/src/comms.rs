@@ -1,0 +1,675 @@
+//! Simulated multi-process domain decomposition.
+//!
+//! "For the coarsest level a set of sub-lattices is distributed over (a very
+//! large number of) different processes, e.g., different MPI ranks" (paper,
+//! Section II-A). Here ranks are threads: the global lattice is split along
+//! the time direction, each rank owns a local [`Grid`], and nearest-
+//! neighbour halo exchange runs over channels. Boundary data can optionally
+//! be compressed to binary16 on the wire — the paper's only use of fp16:
+//! "this data type is used only for data compression upon data exchange
+//! over the communications network" (Section V-B).
+
+use crate::cshift::cshift;
+use crate::dirac::{mult_gauge, proj_recon};
+use crate::field::{FermionField, Field, FieldKind, GaugeField};
+use crate::layout::{Coor, Grid, NDIM};
+use crate::simd::SimdBackend;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::Arc;
+use sve::{VectorLength, F16};
+
+/// The dimension the rank grid splits (time).
+pub const SPLIT_DIM: usize = 3;
+
+/// Wire format for halo buffers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Compression {
+    /// Full double precision on the wire.
+    None,
+    /// Compress to IEEE binary16, quartering the wire volume
+    /// (8 bytes → 2 bytes per real), at ~2^-11 relative error.
+    F16,
+}
+
+/// A halo message.
+#[derive(Clone, Debug)]
+pub enum HaloMsg {
+    /// Uncompressed payload.
+    F64(Vec<f64>),
+    /// binary16-compressed payload.
+    F16(Vec<u16>),
+}
+
+impl HaloMsg {
+    /// Encode a buffer under the chosen compression.
+    pub fn encode(data: &[f64], compression: Compression) -> HaloMsg {
+        match compression {
+            Compression::None => HaloMsg::F64(data.to_vec()),
+            Compression::F16 => {
+                HaloMsg::F16(data.iter().map(|&x| F16::from_f64(x).to_bits()).collect())
+            }
+        }
+    }
+
+    /// Decode back to doubles.
+    pub fn decode(&self) -> Vec<f64> {
+        match self {
+            HaloMsg::F64(v) => v.clone(),
+            HaloMsg::F16(v) => v.iter().map(|&b| F16::from_bits(b).to_f64()).collect(),
+        }
+    }
+
+    /// Wire size in bytes.
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            HaloMsg::F64(v) => v.len() * 8,
+            HaloMsg::F16(v) => v.len() * 2,
+        }
+    }
+}
+
+/// Channel endpoints to the two neighbours along one split dimension.
+struct DimLinks {
+    send_next: Sender<HaloMsg>,
+    recv_prev: Receiver<HaloMsg>,
+    send_prev: Sender<HaloMsg>,
+    recv_next: Receiver<HaloMsg>,
+}
+
+/// Per-rank communication context: the local lattice, its placement in the
+/// global one, and channels to nearest neighbours along every split
+/// dimension — "parallelization ... is achieved by a domain decomposition
+/// in 1 to 4 dimensions" (paper, Section II-A).
+pub struct RankCtx {
+    /// This rank's linear id.
+    pub rank: usize,
+    /// The rank grid (one entry per dimension; product = total ranks).
+    pub rank_grid: Coor,
+    /// This rank's coordinate in the rank grid.
+    pub rank_coor: Coor,
+    /// Total ranks.
+    pub nranks: usize,
+    /// Global lattice extents.
+    pub global_dims: Coor,
+    /// The rank-local lattice.
+    pub grid: Arc<Grid>,
+    /// Global coordinate of the local origin.
+    pub offset: Coor,
+    links: [Option<DimLinks>; NDIM],
+    /// Total bytes this rank has put on the wire.
+    pub sent_bytes: std::cell::Cell<usize>,
+}
+
+impl RankCtx {
+    /// Translate a local coordinate to the global one.
+    pub fn to_global(&self, local: &Coor) -> Coor {
+        std::array::from_fn(|d| local[d] + self.offset[d])
+    }
+
+    /// Exchange halo slices with both neighbours along split dimension `d`
+    /// (periodic ring): sends `to_next` toward the +d neighbour and
+    /// `to_prev` toward the −d neighbour; returns `(from_prev, from_next)`.
+    pub fn exchange_dim(
+        &self,
+        d: usize,
+        to_next: &[f64],
+        to_prev: &[f64],
+        compression: Compression,
+    ) -> (Vec<f64>, Vec<f64>) {
+        let links = self.links[d]
+            .as_ref()
+            .expect("dimension is not split across ranks");
+        let up = HaloMsg::encode(to_next, compression);
+        let down = HaloMsg::encode(to_prev, compression);
+        self.sent_bytes
+            .set(self.sent_bytes.get() + up.wire_bytes() + down.wire_bytes());
+        links.send_next.send(up).expect("neighbour hung up");
+        links.send_prev.send(down).expect("neighbour hung up");
+        let from_prev = links.recv_prev.recv().expect("neighbour hung up");
+        let from_next = links.recv_next.recv().expect("neighbour hung up");
+        (from_prev.decode(), from_next.decode())
+    }
+
+    /// Legacy single-dimension exchange along the default split (time).
+    pub fn exchange(
+        &self,
+        to_next: &[f64],
+        to_prev: &[f64],
+        compression: Compression,
+    ) -> (Vec<f64>, Vec<f64>) {
+        self.exchange_dim(SPLIT_DIM, to_next, to_prev, compression)
+    }
+}
+
+/// Run `f` on a full rank grid (threads), splitting `global_dims` by
+/// `rank_grid` (entry `d` = ranks along dimension `d`). Returns per-rank
+/// results in linear rank order.
+pub fn run_multinode_grid<T: Send>(
+    global_dims: Coor,
+    rank_grid: Coor,
+    vl: VectorLength,
+    backend: SimdBackend,
+    f: impl Fn(&RankCtx) -> T + Sync,
+) -> Vec<T> {
+    let nranks: usize = rank_grid.iter().product();
+    assert!(nranks >= 1);
+    let mut local_dims = [0; NDIM];
+    for d in 0..NDIM {
+        assert!(
+            global_dims[d] % rank_grid[d] == 0,
+            "dimension {d} must divide evenly over its ranks"
+        );
+        local_dims[d] = global_dims[d] / rank_grid[d];
+    }
+
+    // One forward and one backward channel per (dimension, rank): the
+    // forward channel at (d, r) carries r -> next_d(r), so rank r receives
+    // "from prev" on the forward channel of prev_d(r).
+    let prev_of = |r: usize, d: usize| {
+        let mut c = crate::layout::delex(r, &rank_grid);
+        c[d] = (c[d] + rank_grid[d] - 1) % rank_grid[d];
+        crate::layout::lex(&c, &rank_grid)
+    };
+    let mk = |n: usize| -> Vec<(Sender<HaloMsg>, Receiver<HaloMsg>)> {
+        (0..n).map(|_| unbounded()).collect()
+    };
+    let fwd: [Vec<(Sender<HaloMsg>, Receiver<HaloMsg>)>; NDIM] =
+        std::array::from_fn(|_| mk(nranks));
+    let bwd: [Vec<(Sender<HaloMsg>, Receiver<HaloMsg>)>; NDIM] =
+        std::array::from_fn(|_| mk(nranks));
+
+    let mut ctxs: Vec<RankCtx> = (0..nranks)
+        .map(|r| {
+            let rank_coor = crate::layout::delex(r, &rank_grid);
+            let offset: Coor = std::array::from_fn(|d| rank_coor[d] * local_dims[d]);
+            let links: [Option<DimLinks>; NDIM] = std::array::from_fn(|d| {
+                if rank_grid[d] > 1 {
+                    Some(DimLinks {
+                        send_next: fwd[d][r].0.clone(),
+                        recv_prev: fwd[d][prev_of(r, d)].1.clone(),
+                        send_prev: bwd[d][prev_of(r, d)].0.clone(),
+                        recv_next: bwd[d][r].1.clone(),
+                    })
+                } else {
+                    None
+                }
+            });
+            RankCtx {
+                rank: r,
+                rank_grid,
+                rank_coor,
+                nranks,
+                global_dims,
+                grid: Grid::new(local_dims, vl, backend),
+                offset,
+                links,
+                sent_bytes: std::cell::Cell::new(0),
+            }
+        })
+        .collect();
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ctxs
+            .iter_mut()
+            .map(|ctx| {
+                let f = &f;
+                scope.spawn(move || f(ctx))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+/// Run `f` on `nranks` ranks, splitting `global_dims` along the time
+/// direction (the common 1-D decomposition). Returns per-rank results in
+/// rank order.
+pub fn run_multinode<T: Send>(
+    global_dims: Coor,
+    nranks: usize,
+    vl: VectorLength,
+    backend: SimdBackend,
+    f: impl Fn(&RankCtx) -> T + Sync,
+) -> Vec<T> {
+    let mut rank_grid = [1; NDIM];
+    rank_grid[SPLIT_DIM] = nranks;
+    run_multinode_grid(global_dims, rank_grid, vl, backend, f)
+}
+
+/// Serialize one slice (`x[d] = idx`) of a field, iterating the remaining
+/// coordinates in global lex order (deterministic on both ends of the
+/// wire).
+fn pack_slice<K: FieldKind>(field: &Field<K>, d: usize, idx: usize) -> Vec<f64> {
+    let grid = field.grid();
+    let dims = grid.fdims();
+    let mut out = Vec::with_capacity(grid.volume() / dims[d] * K::NCOMP * 2);
+    for coor in grid.coords() {
+        if coor[d] != idx {
+            continue;
+        }
+        for comp in 0..K::NCOMP {
+            let v = field.peek(&coor, comp);
+            out.push(v.re);
+            out.push(v.im);
+        }
+    }
+    out
+}
+
+/// Write a packed slice into `field` at `x[d] = idx`.
+fn unpack_slice<K: FieldKind>(field: &mut Field<K>, d: usize, idx: usize, data: &[f64]) {
+    let grid = field.grid().clone();
+    let mut it = data.iter();
+    for coor in grid.coords() {
+        if coor[d] != idx {
+            continue;
+        }
+        for comp in 0..K::NCOMP {
+            let re = *it.next().expect("slice underrun");
+            let im = *it.next().expect("slice underrun");
+            field.poke(&coor, comp, crate::complex::Complex::new(re, im));
+        }
+    }
+    assert!(it.next().is_none(), "slice overrun");
+}
+
+/// Distributed circular shift: local [`cshift`] plus a halo exchange when
+/// the shifted dimension is split across ranks.
+pub fn cshift_dist<K: FieldKind>(
+    ctx: &RankCtx,
+    f: &Field<K>,
+    mu: usize,
+    disp: i32,
+    compression: Compression,
+) -> Field<K> {
+    let mut out = cshift(f, mu, disp);
+    if ctx.rank_grid[mu] == 1 {
+        return out;
+    }
+    let l = ctx.grid.fdims()[mu];
+    if disp == 1 {
+        // out(.., x_mu = l-1) needs f(.., x_mu = 0) of the +mu neighbour:
+        // every rank sends its own leading slice toward -mu.
+        let mine = pack_slice(f, mu, 0);
+        let (_ignored, from_next) = ctx.exchange_dim(mu, &[], &mine, compression);
+        unpack_slice(&mut out, mu, l - 1, &from_next);
+    } else {
+        // out(.., x_mu = 0) needs f(.., x_mu = l-1) of the -mu neighbour.
+        let mine = pack_slice(f, mu, l - 1);
+        let (from_prev, _ignored) = ctx.exchange_dim(mu, &mine, &[], compression);
+        unpack_slice(&mut out, mu, 0, &from_prev);
+    }
+    out
+}
+
+/// Distributed Wilson hopping term via the cshift composition, with halo
+/// exchange (optionally fp16-compressed) on the time-direction legs.
+pub fn hopping_dist(
+    ctx: &RankCtx,
+    u: &GaugeField,
+    psi: &FermionField,
+    compression: Compression,
+) -> FermionField {
+    let grid = psi.grid().clone();
+    let mut out = FermionField::zero(grid);
+    for mu in 0..4 {
+        let fwd_src = cshift_dist(ctx, psi, mu, 1, compression);
+        let fwd = mult_gauge(u, mu, &proj_recon(mu, true, &fwd_src), false);
+        out.add_assign_field(&fwd);
+        let bwd_pre = mult_gauge(u, mu, &proj_recon(mu, false, psi), true);
+        let bwd = cshift_dist(ctx, &bwd_pre, mu, -1, compression);
+        out.add_assign_field(&bwd);
+    }
+    out
+}
+
+/// Distributed Wilson hopping term with Grid's spin-projection compressor:
+/// only *half spinors* cross the network (6 complex components instead of
+/// 12), optionally fp16-compressed on top — together an 8x wire-volume
+/// reduction over plain double-precision full spinors.
+pub fn hopping_dist_half(
+    ctx: &RankCtx,
+    u: &GaugeField,
+    psi: &FermionField,
+    compression: Compression,
+) -> FermionField {
+    use crate::dirac::{mult_gauge_half, project_half, reconstruct_half};
+    let grid = psi.grid().clone();
+    let mut out = FermionField::zero(grid);
+    for mu in 0..4 {
+        // Forward: shift the projected half spinor, then U, then expand.
+        let h = project_half(mu, true, psi);
+        let hs = cshift_dist(ctx, &h, mu, 1, compression);
+        let fwd = reconstruct_half(mu, true, &mult_gauge_half(u, mu, &hs, false));
+        out.add_assign_field(&fwd);
+        // Backward: project, U†, shift the half spinor, then expand.
+        let h = project_half(mu, false, psi);
+        let uh = mult_gauge_half(u, mu, &h, true);
+        let uhs = cshift_dist(ctx, &uh, mu, -1, compression);
+        let bwd = reconstruct_half(mu, false, &uhs);
+        out.add_assign_field(&bwd);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::Complex;
+    use crate::dirac::WilsonDirac;
+    use crate::rng::{stream_id, uniform};
+    use crate::tensor::su3::random_gauge;
+
+    const GLOBAL: Coor = [4, 4, 4, 8];
+    const VL: VectorLength = VectorLength::of(256);
+
+    /// Build rank-local fields whose content matches the global-seeded
+    /// fields site by site.
+    fn local_fermion(ctx: &RankCtx, seed: u64) -> FermionField {
+        let mut f = FermionField::zero(ctx.grid.clone());
+        for local in ctx.grid.coords() {
+            let g = ctx.to_global(&local);
+            let gidx = crate::layout::lex(&g, &ctx.global_dims);
+            for comp in 0..12 {
+                f.poke(
+                    &local,
+                    comp,
+                    Complex::new(
+                        uniform(seed, stream_id(gidx, comp, 0)),
+                        uniform(seed, stream_id(gidx, comp, 1)),
+                    ),
+                );
+            }
+        }
+        f
+    }
+
+    fn local_gauge(ctx: &RankCtx, seed: u64) -> GaugeField {
+        use crate::field::gauge_comp;
+        use crate::tensor::su3::random_su3;
+        let mut u = GaugeField::zero(ctx.grid.clone());
+        for local in ctx.grid.coords() {
+            let g = ctx.to_global(&local);
+            let gidx = crate::layout::lex(&g, &ctx.global_dims);
+            for mu in 0..4 {
+                let m = random_su3(seed, stream_id(gidx, mu, 0) | 1);
+                for r in 0..3 {
+                    for c in 0..3 {
+                        u.poke(&local, gauge_comp(mu, r, c), m[r][c]);
+                    }
+                }
+            }
+        }
+        u
+    }
+
+    #[test]
+    fn halo_msg_round_trips() {
+        let data = vec![1.5, -2.25, 0.0, 1024.0];
+        let none = HaloMsg::encode(&data, Compression::None);
+        assert_eq!(none.decode(), data);
+        assert_eq!(none.wire_bytes(), 32);
+        let f16 = HaloMsg::encode(&data, Compression::F16);
+        assert_eq!(f16.decode(), data); // all values exact in binary16
+        assert_eq!(f16.wire_bytes(), 8);
+    }
+
+    #[test]
+    fn f16_wire_is_4x_smaller_with_bounded_error() {
+        let data: Vec<f64> = (0..1000).map(|i| (i as f64 - 500.0) * 0.37).collect();
+        let msg = HaloMsg::encode(&data, Compression::F16);
+        assert_eq!(msg.wire_bytes() * 4, data.len() * 8);
+        for (orig, got) in data.iter().zip(msg.decode()) {
+            let rel = if orig.abs() > 1e-10 {
+                ((orig - got) / orig).abs()
+            } else {
+                (orig - got).abs()
+            };
+            assert!(rel < 5e-4, "{orig} -> {got}");
+        }
+    }
+
+    #[test]
+    fn distributed_cshift_matches_global() {
+        let nranks = 2;
+        let global_grid = Grid::new(GLOBAL, VL, SimdBackend::Fcmla);
+        let global_f = FermionField::random(global_grid.clone(), 31);
+        let global_shift = cshift(&global_f, SPLIT_DIM, 1);
+
+        let locals = run_multinode(GLOBAL, nranks, VL, SimdBackend::Fcmla, |ctx| {
+            let f = local_fermion(ctx, 31);
+            let s = cshift_dist(ctx, &f, SPLIT_DIM, 1, Compression::None);
+            (ctx.offset, s)
+        });
+        for (offset, local) in &locals {
+            for lx in local.grid().coords() {
+                let gx: Coor = std::array::from_fn(|d| lx[d] + offset[d]);
+                for comp in [0usize, 5, 11] {
+                    assert_eq!(
+                        local.peek(&lx, comp),
+                        global_shift.peek(&gx, comp),
+                        "{gx:?} comp {comp}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_hopping_matches_single_rank() {
+        for nranks in [1usize, 2, 4] {
+            let global_grid = Grid::new(GLOBAL, VL, SimdBackend::Fcmla);
+            let d = WilsonDirac::new(random_gauge(global_grid.clone(), 41), 0.1);
+            let psi = FermionField::random(global_grid.clone(), 42);
+            let reference = d.hopping(&psi);
+
+            let locals = run_multinode(GLOBAL, nranks, VL, SimdBackend::Fcmla, |ctx| {
+                let u = local_gauge(ctx, 41);
+                let f = local_fermion(ctx, 42);
+                (ctx.offset, hopping_dist(ctx, &u, &f, Compression::None))
+            });
+            for (offset, local) in &locals {
+                for lx in local.grid().coords() {
+                    let gx: Coor = std::array::from_fn(|d| lx[d] + offset[d]);
+                    for comp in 0..12 {
+                        let a = local.peek(&lx, comp);
+                        let b = reference.peek(&gx, comp);
+                        assert!(
+                            (a - b).abs() < 1e-12,
+                            "nranks={nranks} {gx:?} comp {comp}: {a:?} vs {b:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_halos_introduce_only_f16_error() {
+        let nranks = 2;
+        let global_grid = Grid::new(GLOBAL, VL, SimdBackend::Fcmla);
+        let d = WilsonDirac::new(random_gauge(global_grid.clone(), 51), 0.1);
+        let psi = FermionField::random(global_grid.clone(), 52);
+        let reference = d.hopping(&psi);
+
+        let locals = run_multinode(GLOBAL, nranks, VL, SimdBackend::Fcmla, |ctx| {
+            let u = local_gauge(ctx, 51);
+            let f = local_fermion(ctx, 52);
+            let h = hopping_dist(ctx, &u, &f, Compression::F16);
+            (ctx.offset, h, ctx.sent_bytes.get())
+        });
+        let mut worst: f64 = 0.0;
+        for (offset, local, sent) in &locals {
+            assert!(*sent > 0, "compression path must actually send bytes");
+            for lx in local.grid().coords() {
+                let gx: Coor = std::array::from_fn(|d| lx[d] + offset[d]);
+                for comp in 0..12 {
+                    let a = local.peek(&lx, comp);
+                    let b = reference.peek(&gx, comp);
+                    worst = worst.max((a - b).abs());
+                }
+            }
+        }
+        // Interior untouched; boundary error bounded by f16 epsilon times
+        // the data scale (|spinor| <= 1, SU(3) row norm 1, 8 legs).
+        assert!(worst > 0.0, "f16 must actually round something");
+        assert!(worst < 0.05, "worst error {worst} exceeds f16 budget");
+    }
+
+    #[test]
+    fn half_spinor_exchange_matches_full_spinor_exchange() {
+        let nranks = 2;
+        let global_grid = Grid::new(GLOBAL, VL, SimdBackend::Fcmla);
+        let d = WilsonDirac::new(random_gauge(global_grid.clone(), 71), 0.1);
+        let psi = FermionField::random(global_grid.clone(), 72);
+        let reference = d.hopping(&psi);
+
+        let locals = run_multinode(GLOBAL, nranks, VL, SimdBackend::Fcmla, |ctx| {
+            let u = local_gauge(ctx, 71);
+            let f = local_fermion(ctx, 72);
+            let h = hopping_dist_half(ctx, &u, &f, Compression::None);
+            (ctx.offset, h, ctx.sent_bytes.get())
+        });
+        for (offset, local, _) in &locals {
+            for lx in local.grid().coords().step_by(3) {
+                let gx: Coor = std::array::from_fn(|d| lx[d] + offset[d]);
+                for comp in 0..12 {
+                    let a = local.peek(&lx, comp);
+                    let b = reference.peek(&gx, comp);
+                    assert!((a - b).abs() < 1e-11, "{gx:?} comp {comp}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spin_projection_halves_the_wire_volume() {
+        let volume = |half: bool, comp: Compression| -> usize {
+            run_multinode(GLOBAL, 2, VL, SimdBackend::Fcmla, |ctx| {
+                let u = local_gauge(ctx, 73);
+                let f = local_fermion(ctx, 74);
+                if half {
+                    let _ = hopping_dist_half(ctx, &u, &f, comp);
+                } else {
+                    let _ = hopping_dist(ctx, &u, &f, comp);
+                }
+                ctx.sent_bytes.get()
+            })
+            .into_iter()
+            .sum()
+        };
+        let full_f64 = volume(false, Compression::None);
+        let half_f64 = volume(true, Compression::None);
+        let half_f16 = volume(true, Compression::F16);
+        assert_eq!(
+            full_f64,
+            2 * half_f64,
+            "spin projection must halve wire volume"
+        );
+        assert_eq!(half_f64, 4 * half_f16, "fp16 must quarter it again");
+        assert_eq!(full_f64, 8 * half_f16, "combined: 8x reduction");
+    }
+
+    #[test]
+    fn wire_volume_shrinks_4x_under_f16() {
+        let volumes: Vec<usize> = [Compression::None, Compression::F16]
+            .iter()
+            .map(|&comp| {
+                let locals = run_multinode(GLOBAL, 2, VL, SimdBackend::Fcmla, |ctx| {
+                    let f = local_fermion(ctx, 61);
+                    let _ = cshift_dist(ctx, &f, SPLIT_DIM, 1, comp);
+                    ctx.sent_bytes.get()
+                });
+                locals.into_iter().sum()
+            })
+            .collect();
+        assert_eq!(volumes[0], 4 * volumes[1]);
+    }
+}
+
+#[cfg(test)]
+mod grid_decomposition_tests {
+    use super::*;
+    use crate::dirac::WilsonDirac;
+    use crate::tensor::su3::random_gauge;
+    use crate::FermionField;
+
+    const GLOBAL: Coor = [4, 4, 4, 8];
+    const VL: sve::VectorLength = sve::VectorLength::of(256);
+
+    /// Assemble rank-local fields from a shared global field.
+    fn scatter(ctx: &RankCtx, u: &GaugeField, psi: &FermionField) -> (GaugeField, FermionField) {
+        let mut lu = GaugeField::zero(ctx.grid.clone());
+        let mut lf = FermionField::zero(ctx.grid.clone());
+        for lx in ctx.grid.coords() {
+            let gx = ctx.to_global(&lx);
+            for comp in 0..36 {
+                lu.poke(&lx, comp, u.peek(&gx, comp));
+            }
+            for comp in 0..12 {
+                lf.poke(&lx, comp, psi.peek(&gx, comp));
+            }
+        }
+        (lu, lf)
+    }
+
+    fn check_hopping(rank_grid: Coor) {
+        let gg = Grid::new(GLOBAL, VL, SimdBackend::Fcmla);
+        let u = random_gauge(gg.clone(), 81);
+        let psi = FermionField::random(gg.clone(), 82);
+        let want = WilsonDirac::new(u.clone(), 0.1).hopping(&psi);
+        let locals = run_multinode_grid(GLOBAL, rank_grid, VL, SimdBackend::Fcmla, |ctx| {
+            let (lu, lf) = scatter(ctx, &u, &psi);
+            (ctx.offset, hopping_dist(ctx, &lu, &lf, Compression::None))
+        });
+        for (offset, local) in &locals {
+            for lx in local.grid().coords().step_by(5) {
+                let gx: Coor = std::array::from_fn(|d| lx[d] + offset[d]);
+                for comp in 0..12 {
+                    let a = local.peek(&lx, comp);
+                    let b = want.peek(&gx, comp);
+                    assert!(
+                        (a - b).abs() < 1e-12,
+                        "{rank_grid:?} {gx:?} comp {comp}: {a:?} vs {b:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_dimensional_rank_grid() {
+        check_hopping([1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn three_dimensional_rank_grid() {
+        check_hopping([2, 2, 1, 2]);
+    }
+
+    #[test]
+    fn four_dimensional_rank_grid() {
+        // "domain decomposition in 1 to 4 dimensions" (paper, Section II-A):
+        // the full 4-D decomposition, 16 ranks.
+        check_hopping([2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn spatial_only_decomposition() {
+        check_hopping([4, 1, 1, 1]);
+    }
+
+    #[test]
+    fn rank_grid_coordinates_cover_the_lattice() {
+        let counts = run_multinode_grid(GLOBAL, [2, 1, 2, 2], VL, SimdBackend::Fcmla, |ctx| {
+            assert_eq!(ctx.nranks, 8);
+            (ctx.rank, ctx.rank_coor, ctx.offset, ctx.grid.volume())
+        });
+        let total: usize = counts.iter().map(|c| c.3).sum();
+        assert_eq!(total, GLOBAL.iter().product::<usize>());
+        // Offsets are all distinct.
+        let mut offsets: Vec<_> = counts.iter().map(|c| c.2).collect();
+        offsets.sort();
+        offsets.dedup();
+        assert_eq!(offsets.len(), 8);
+    }
+}

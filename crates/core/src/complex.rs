@@ -1,0 +1,149 @@
+//! Scalar complex arithmetic.
+//!
+//! The scalar counterpart of the vectorized kernels: used for reference
+//! implementations, reductions (inner products, norms) and test oracles.
+//! Lattice QCD data is complex throughout — a quark field has `12 V` complex
+//! entries (paper, Section II-A).
+
+/// A complex number over `f64`.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Construct from parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Squared modulus `|z|^2`.
+    pub fn norm2(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    pub fn abs(self) -> f64 {
+        self.norm2().sqrt()
+    }
+
+    /// Multiplication by the imaginary unit: `i*z`.
+    pub fn times_i(self) -> Self {
+        Complex::new(-self.im, self.re)
+    }
+
+    /// Multiplication by `-i`.
+    pub fn times_minus_i(self) -> Self {
+        Complex::new(self.im, -self.re)
+    }
+
+    /// Scale by a real factor.
+    pub fn scale(self, s: f64) -> Self {
+        Complex::new(self.re * s, self.im * s)
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl std::ops::AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Complex) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl std::ops::SubAssign for Complex {
+    fn sub_assign(&mut self, rhs: Complex) {
+        *self = *self - rhs;
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl std::ops::Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl std::ops::Mul<f64> for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: f64) -> Complex {
+        self.scale(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_axioms_spot_checks() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(-0.5, 3.0);
+        let c = Complex::new(2.0, -1.0);
+        assert_eq!(a + b, b + a);
+        assert_eq!(a * b, b * a);
+        assert_eq!((a + b) + c, a + (b + c));
+        let d = a * (b + c);
+        let e = a * b + a * c;
+        assert!((d - e).abs() < 1e-14);
+        assert_eq!(a * Complex::ONE, a);
+        assert_eq!(a + Complex::ZERO, a);
+    }
+
+    #[test]
+    fn conjugation_and_norm() {
+        let a = Complex::new(3.0, 4.0);
+        assert_eq!(a.norm2(), 25.0);
+        assert_eq!(a.abs(), 5.0);
+        let p = a * a.conj();
+        assert_eq!(p.re, 25.0);
+        assert_eq!(p.im, 0.0);
+    }
+
+    #[test]
+    fn times_i_matches_multiplication_by_i() {
+        let a = Complex::new(2.0, -3.0);
+        assert_eq!(a.times_i(), Complex::I * a);
+        assert_eq!(a.times_minus_i(), -(Complex::I) * a);
+        assert_eq!(a.times_i().times_minus_i(), a);
+        // i^2 = -1
+        assert_eq!(Complex::I * Complex::I, -Complex::ONE);
+    }
+}

@@ -1,0 +1,651 @@
+//! The Wilson Dirac operator — "the most compute-intensive task" of LQCD
+//! (paper, Section II-A).
+//!
+//! The hopping term, Eq. (1) of the paper:
+//!
+//! ```text
+//! ψ'_x = Dh ψ = Σ_µ { U_{x,µ} (1+γµ) ψ_{x+µ̂}  +  U†_{x−µ̂,µ} (1−γµ) ψ_{x−µ̂} }
+//! ```
+//!
+//! Each of the eight legs spin-projects the neighbour spinor to a half
+//! spinor (two spin components), multiplies it by the SU(3) link — forward
+//! legs use `U` at the site, backward legs the adjoint of `U` at the
+//! neighbour, via the conjugated-FCMLA idiom — and reconstructs into the
+//! accumulator. Every complex multiply goes through the engine, so backend
+//! choice (FCMLA / real-arithmetic / generic) switches the innermost
+//! instruction mix of the entire operator.
+//!
+//! Site kernels are independent, so outer sites run under Rayon — the
+//! thread-level parallelization Grid gets from OpenMP (paper, Section II-A).
+
+use crate::field::{spinor_comp, FermionKind, Field, GaugeKind, HalfFermionKind};
+use crate::layout::{Grid, NCOLOR, NSPIN};
+use crate::simd::{CVec, SimdEngine};
+use crate::stencil::{dir_index, Stencil, StencilEntry};
+use crate::tensor::gamma::{proj_table, Coeff};
+use crate::tensor::su3::{mat_dag_vec, mat_vec};
+use rayon::prelude::*;
+use std::sync::Arc;
+use sve::SveFloat;
+
+/// Apply a projector coefficient to a SIMD word.
+#[inline]
+fn apply_coeff<E: SveFloat>(eng: &SimdEngine<E>, coeff: Coeff, v: CVec) -> CVec {
+    match coeff {
+        Coeff::One => v,
+        Coeff::MinusOne => eng.neg(v),
+        Coeff::I => eng.times_i(v),
+        Coeff::MinusI => eng.times_minus_i(v),
+    }
+}
+
+/// The Wilson fermion operator `M = (m + 4)·1 − ½ Dh` on a fixed gauge
+/// background.
+pub struct WilsonDirac<E: SveFloat = f64> {
+    grid: Arc<Grid<E>>,
+    u: Field<GaugeKind, E>,
+    stencil: Stencil<E>,
+    /// The bare quark mass `m`.
+    pub mass: f64,
+}
+
+impl<E: SveFloat> WilsonDirac<E> {
+    /// Build the operator for gauge configuration `u` and bare mass `mass`.
+    pub fn new(u: Field<GaugeKind, E>, mass: f64) -> Self {
+        let grid = u.grid().clone();
+        let stencil = Stencil::new(grid.clone());
+        WilsonDirac {
+            grid,
+            u,
+            stencil,
+            mass,
+        }
+    }
+
+    /// The lattice.
+    pub fn grid(&self) -> &Arc<Grid<E>> {
+        &self.grid
+    }
+
+    /// The gauge configuration.
+    pub fn gauge(&self) -> &Field<GaugeKind, E> {
+        &self.u
+    }
+
+    /// The hopping term `Dh ψ` (paper Eq. (1)).
+    pub fn hopping(&self, psi: &Field<FermionKind, E>) -> Field<FermionKind, E> {
+        self.hopping_impl(psi, false)
+    }
+
+    /// The adjoint hopping term `Dh† ψ` — same color structure with the
+    /// projector signs swapped.
+    pub fn hopping_dag(&self, psi: &Field<FermionKind, E>) -> Field<FermionKind, E> {
+        self.hopping_impl(psi, true)
+    }
+
+    /// `M ψ = (m + 4) ψ − ½ Dh ψ`.
+    pub fn apply(&self, psi: &Field<FermionKind, E>) -> Field<FermionKind, E> {
+        let mut out = self.hopping(psi);
+        out.scale(-0.5);
+        out.axpy_inplace(self.mass + 4.0, psi);
+        out
+    }
+
+    /// `M† ψ = (m + 4) ψ − ½ Dh† ψ`.
+    pub fn apply_dag(&self, psi: &Field<FermionKind, E>) -> Field<FermionKind, E> {
+        let mut out = self.hopping_dag(psi);
+        out.scale(-0.5);
+        out.axpy_inplace(self.mass + 4.0, psi);
+        out
+    }
+
+    /// The normal operator `M† M ψ` — hermitian positive definite, the
+    /// operator Conjugate Gradient inverts.
+    pub fn mdag_m(&self, psi: &Field<FermionKind, E>) -> Field<FermionKind, E> {
+        self.apply_dag(&self.apply(psi))
+    }
+
+    fn hopping_impl(&self, psi: &Field<FermionKind, E>, dagger: bool) -> Field<FermionKind, E> {
+        assert!(
+            Arc::ptr_eq(psi.grid(), &self.grid),
+            "fermion field lives on a different grid"
+        );
+        let mut out = Field::<FermionKind, E>::zero(self.grid.clone());
+        let eng = self.grid.engine();
+        let word = eng.word_len();
+        let stride = out.site_stride();
+        out.data_mut()
+            .par_chunks_mut(stride)
+            .enumerate()
+            .for_each(|(osite, chunk)| {
+                let acc = self.site_hopping(psi, osite, dagger);
+                for s in 0..NSPIN {
+                    for c in 0..NCOLOR {
+                        let comp = spinor_comp(s, c);
+                        eng.store(&mut chunk[comp * word..(comp + 1) * word], acc[s][c]);
+                    }
+                }
+            });
+        out
+    }
+
+    /// All eight legs of the hopping term for one outer site.
+    fn site_hopping(
+        &self,
+        psi: &Field<FermionKind, E>,
+        osite: usize,
+        dagger: bool,
+    ) -> [[CVec; NCOLOR]; NSPIN] {
+        let eng = self.grid.engine();
+        let mut out = [[eng.zero(); NCOLOR]; NSPIN];
+        for mu in 0..4 {
+            for forward in [true, false] {
+                // Paper convention: (1+γµ) on the forward leg, (1−γµ) on the
+                // backward leg; the adjoint operator swaps the signs.
+                let plus = forward ^ dagger;
+                let dir = dir_index(mu, forward);
+                let entry = self.stencil.leg(dir, osite);
+                let t = proj_table(mu, plus);
+
+                // Spin-project the neighbour spinor into a half spinor.
+                let mut h = [[eng.zero(); NCOLOR]; 2];
+                for (k, row) in h.iter_mut().enumerate() {
+                    let (src, coeff) = t.proj[k];
+                    for (c, out_w) in row.iter_mut().enumerate() {
+                        let sk = self.stencil.fetch(psi, spinor_comp(k, c), entry);
+                        let ss = self.stencil.fetch(psi, spinor_comp(src, c), entry);
+                        *out_w = eng.add(sk, apply_coeff(eng, coeff, ss));
+                    }
+                }
+
+                // Color-multiply the two half-spinor rows.
+                let uh: [[CVec; NCOLOR]; 2] = if forward {
+                    let uw = self.load_link_local(osite, mu);
+                    [mat_vec(eng, &uw, &h[0]), mat_vec(eng, &uw, &h[1])]
+                } else {
+                    let uw = self.load_link_leg(entry, mu);
+                    [mat_dag_vec(eng, &uw, &h[0]), mat_dag_vec(eng, &uw, &h[1])]
+                };
+
+                // Reconstruct the full spinor and accumulate.
+                for c in 0..NCOLOR {
+                    out[0][c] = eng.add(out[0][c], uh[0][c]);
+                    out[1][c] = eng.add(out[1][c], uh[1][c]);
+                    for k in 0..2 {
+                        let (row, coeff) = t.recon[k];
+                        out[2 + k][c] = eng.add(out[2 + k][c], apply_coeff(eng, coeff, uh[row][c]));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Load `U_µ` at this outer site (forward legs).
+    #[inline]
+    fn load_link_local(&self, osite: usize, mu: usize) -> [[CVec; NCOLOR]; NCOLOR] {
+        let eng = self.grid.engine();
+        std::array::from_fn(|r| {
+            std::array::from_fn(|c| {
+                eng.load(self.u.word(osite, crate::field::gauge_comp(mu, r, c)))
+            })
+        })
+    }
+
+    /// Load `U_µ` at the leg's neighbour site, lane-permuted like the
+    /// spinor data (backward legs need `U_{x−µ̂,µ}`).
+    #[inline]
+    fn load_link_leg(&self, entry: StencilEntry, mu: usize) -> [[CVec; NCOLOR]; NCOLOR] {
+        std::array::from_fn(|r| {
+            std::array::from_fn(|c| {
+                self.stencil
+                    .fetch(&self.u, crate::field::gauge_comp(mu, r, c), entry)
+            })
+        })
+    }
+}
+
+/// Site-local gauge multiply: `out(x) = U_µ(x) ψ(x)` (or `U†_µ(x) ψ(x)`),
+/// applied to every spin component. A building block of the
+/// cshift-composition form of the hopping term used by the distributed
+/// implementation.
+pub fn mult_gauge<E: SveFloat>(
+    u: &Field<GaugeKind, E>,
+    mu: usize,
+    psi: &Field<FermionKind, E>,
+    dagger: bool,
+) -> Field<FermionKind, E> {
+    assert!(Arc::ptr_eq(u.grid(), psi.grid()));
+    let grid = psi.grid().clone();
+    let eng = grid.engine();
+    let mut out = Field::<FermionKind, E>::zero(grid.clone());
+    for osite in 0..grid.osites() {
+        let uw: [[CVec; NCOLOR]; NCOLOR] = std::array::from_fn(|r| {
+            std::array::from_fn(|c| eng.load(u.word(osite, crate::field::gauge_comp(mu, r, c))))
+        });
+        for s in 0..NSPIN {
+            let v: [CVec; NCOLOR] =
+                std::array::from_fn(|c| eng.load(psi.word(osite, spinor_comp(s, c))));
+            let r = if dagger {
+                mat_dag_vec(eng, &uw, &v)
+            } else {
+                mat_vec(eng, &uw, &v)
+            };
+            for c in 0..NCOLOR {
+                eng.store(out.word_mut(osite, spinor_comp(s, c)), r[c]);
+            }
+        }
+    }
+    out
+}
+
+/// Site-local spin projection + reconstruction: `out(x) = (1 ± γµ) ψ(x)`.
+pub fn proj_recon<E: SveFloat>(
+    mu: usize,
+    plus: bool,
+    psi: &Field<FermionKind, E>,
+) -> Field<FermionKind, E> {
+    let grid = psi.grid().clone();
+    let eng = grid.engine();
+    let t = proj_table(mu, plus);
+    let mut out = Field::<FermionKind, E>::zero(grid.clone());
+    for osite in 0..grid.osites() {
+        for c in 0..NCOLOR {
+            let mut h = [eng.zero(); 2];
+            for (k, hw) in h.iter_mut().enumerate() {
+                let (src, coeff) = t.proj[k];
+                let sk = eng.load(psi.word(osite, spinor_comp(k, c)));
+                let ss = eng.load(psi.word(osite, spinor_comp(src, c)));
+                *hw = eng.add(sk, apply_coeff(eng, coeff, ss));
+            }
+            eng.store(out.word_mut(osite, spinor_comp(0, c)), h[0]);
+            eng.store(out.word_mut(osite, spinor_comp(1, c)), h[1]);
+            for k in 0..2 {
+                let (row, coeff) = t.recon[k];
+                let r = apply_coeff(eng, coeff, h[row]);
+                eng.store(out.word_mut(osite, spinor_comp(2 + k, c)), r);
+            }
+        }
+    }
+    out
+}
+
+/// Spin-project a fermion field to a half-spinor field:
+/// `h_k = ψ_k + coeff·ψ_src` for the two independent rows of `(1 ± γµ)`.
+/// This is Grid's comms *compressor*: only the half spinor needs to cross
+/// the network, halving wire volume before any fp16 compression.
+pub fn project_half<E: SveFloat>(
+    mu: usize,
+    plus: bool,
+    psi: &Field<FermionKind, E>,
+) -> Field<HalfFermionKind, E> {
+    let grid = psi.grid().clone();
+    let eng = grid.engine();
+    let t = proj_table(mu, plus);
+    let mut out = Field::<HalfFermionKind, E>::zero(grid.clone());
+    for osite in 0..grid.osites() {
+        for k in 0..2 {
+            let (src, coeff) = t.proj[k];
+            for c in 0..NCOLOR {
+                let sk = eng.load(psi.word(osite, spinor_comp(k, c)));
+                let ss = eng.load(psi.word(osite, spinor_comp(src, c)));
+                let h = eng.add(sk, apply_coeff(eng, coeff, ss));
+                eng.store(out.word_mut(osite, k * NCOLOR + c), h);
+            }
+        }
+    }
+    out
+}
+
+/// Expand a half-spinor field back to the full `(1 ± γµ)`-projected fermion.
+pub fn reconstruct_half<E: SveFloat>(
+    mu: usize,
+    plus: bool,
+    h: &Field<HalfFermionKind, E>,
+) -> Field<FermionKind, E> {
+    let grid = h.grid().clone();
+    let eng = grid.engine();
+    let t = proj_table(mu, plus);
+    let mut out = Field::<FermionKind, E>::zero(grid.clone());
+    for osite in 0..grid.osites() {
+        for c in 0..NCOLOR {
+            let h0 = eng.load(h.word(osite, c));
+            let h1 = eng.load(h.word(osite, NCOLOR + c));
+            eng.store(out.word_mut(osite, spinor_comp(0, c)), h0);
+            eng.store(out.word_mut(osite, spinor_comp(1, c)), h1);
+            for k in 0..2 {
+                let (row, coeff) = t.recon[k];
+                let hv = if row == 0 { h0 } else { h1 };
+                let r = apply_coeff(eng, coeff, hv);
+                eng.store(out.word_mut(osite, spinor_comp(2 + k, c)), r);
+            }
+        }
+    }
+    out
+}
+
+/// Site-local gauge multiply on a half-spinor field (`U` or `U†` applied to
+/// both half-spinor rows).
+pub fn mult_gauge_half<E: SveFloat>(
+    u: &Field<GaugeKind, E>,
+    mu: usize,
+    h: &Field<HalfFermionKind, E>,
+    dagger: bool,
+) -> Field<HalfFermionKind, E> {
+    assert!(Arc::ptr_eq(u.grid(), h.grid()));
+    let grid = h.grid().clone();
+    let eng = grid.engine();
+    let mut out = Field::<HalfFermionKind, E>::zero(grid.clone());
+    for osite in 0..grid.osites() {
+        let uw: [[CVec; NCOLOR]; NCOLOR] = std::array::from_fn(|r| {
+            std::array::from_fn(|c| eng.load(u.word(osite, crate::field::gauge_comp(mu, r, c))))
+        });
+        for k in 0..2 {
+            let v: [CVec; NCOLOR] =
+                std::array::from_fn(|c| eng.load(h.word(osite, k * NCOLOR + c)));
+            let r = if dagger {
+                mat_dag_vec(eng, &uw, &v)
+            } else {
+                mat_vec(eng, &uw, &v)
+            };
+            for c in 0..NCOLOR {
+                eng.store(out.word_mut(osite, k * NCOLOR + c), r[c]);
+            }
+        }
+    }
+    out
+}
+
+/// The hopping term assembled from whole-field primitives —
+/// `Σµ { U_µ ∘ (1+γµ) ∘ cshift(+µ) + cshift(−µ) ∘ U†_µ ∘ (1−γµ) } ψ` —
+/// the formulation whose `cshift` legs generalize to multi-rank halo
+/// exchange. Slower than the fused stencil kernel, bit-compatible physics.
+pub fn hopping_via_cshift<E: SveFloat>(
+    u: &Field<GaugeKind, E>,
+    psi: &Field<FermionKind, E>,
+) -> Field<FermionKind, E> {
+    use crate::cshift::cshift;
+    let grid = psi.grid().clone();
+    let mut out = Field::<FermionKind, E>::zero(grid);
+    for mu in 0..4 {
+        // Forward: U_µ(x) (1+γµ) ψ(x+µ̂).
+        let fwd = mult_gauge(u, mu, &proj_recon(mu, true, &cshift(psi, mu, 1)), false);
+        out.add_assign_field(&fwd);
+        // Backward: cshift_{−µ} of U†_µ (1−γµ) ψ.
+        let bwd = cshift(
+            &mult_gauge(u, mu, &proj_recon(mu, false, psi), true),
+            mu,
+            -1,
+        );
+        out.add_assign_field(&bwd);
+    }
+    out
+}
+
+/// Multiply a fermion field by γ5 (diag(1,1,−1,−1) on the spin index).
+pub fn gamma5<E: SveFloat>(psi: &Field<FermionKind, E>) -> Field<FermionKind, E> {
+    let grid = psi.grid().clone();
+    let eng = grid.engine().clone();
+    let mut out = psi.clone();
+    for osite in 0..grid.osites() {
+        for s in 2..NSPIN {
+            for c in 0..NCOLOR {
+                let comp = spinor_comp(s, c);
+                let v = eng.load(psi.word(osite, comp));
+                let n = eng.neg(v);
+                eng.store(out.word_mut(osite, comp), n);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::Complex;
+    use crate::field::FermionField;
+    use crate::layout::Coor;
+    use crate::simd::SimdBackend;
+    use crate::tensor::su3::{random_gauge, unit_gauge};
+    use sve::VectorLength;
+
+    const L: Coor = [4, 4, 4, 4];
+
+    fn grid(bits: usize, backend: SimdBackend) -> Arc<Grid> {
+        Grid::new(L, VectorLength::of(bits), backend)
+    }
+
+    fn rel_close(a: &FermionField, b: &FermionField, tol: f64) -> bool {
+        let scale = b.norm2().sqrt().max(1.0);
+        a.max_abs_diff(b) <= tol * scale
+    }
+
+    #[test]
+    fn free_field_constant_spinor_is_operator_eigenvector() {
+        // Unit gauge, constant ψ: Dh ψ = Σµ [(1+γµ) + (1−γµ)] ψ = 8 ψ,
+        // so M ψ = (m + 4) ψ − 4 ψ = m ψ.
+        let g = grid(512, SimdBackend::Fcmla);
+        let d = WilsonDirac::new(unit_gauge(g.clone()), 0.3);
+        let mut psi = FermionField::zero(g.clone());
+        for x in g.coords() {
+            for comp in 0..12 {
+                psi.poke(&x, comp, Complex::new(1.0 + comp as f64, -0.5));
+            }
+        }
+        let hop = d.hopping(&psi);
+        let mut want = psi.clone();
+        want.scale(8.0);
+        assert!(rel_close(&hop, &want, 1e-12), "Dh ψ != 8ψ");
+        let m = d.apply(&psi);
+        let mut want_m = psi.clone();
+        want_m.scale(0.3);
+        assert!(rel_close(&m, &want_m, 1e-12), "M ψ != m ψ");
+    }
+
+    #[test]
+    fn hopping_connects_only_opposite_parities() {
+        let g = grid(256, SimdBackend::Fcmla);
+        let d = WilsonDirac::new(random_gauge(g.clone(), 1), 0.1);
+        // ψ supported on even sites only.
+        let mut psi = FermionField::zero(g.clone());
+        for x in g.coords() {
+            if g.parity(&x) == 0 {
+                psi.poke(&x, 0, Complex::ONE);
+            }
+        }
+        let hop = d.hopping(&psi);
+        for x in g.coords() {
+            let on_even: f64 = (0..12).map(|c| hop.peek(&x, c).norm2()).sum();
+            if g.parity(&x) == 0 {
+                assert!(on_even < 1e-24, "Dh must vanish on even sites, {x:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn gamma5_hermiticity() {
+        // γ5 M γ5 = M†: the standard Wilson-operator identity, checked as
+        // fields on a random gauge background.
+        let g = grid(512, SimdBackend::Fcmla);
+        let d = WilsonDirac::new(random_gauge(g.clone(), 2), 0.2);
+        let psi = FermionField::random(g.clone(), 3);
+        let lhs = gamma5(&d.apply(&gamma5(&psi)));
+        let rhs = d.apply_dag(&psi);
+        assert!(rel_close(&lhs, &rhs, 1e-12));
+    }
+
+    #[test]
+    fn adjoint_is_the_true_adjoint() {
+        // <φ, M ψ> == <M† φ, ψ> for random fields.
+        let g = grid(256, SimdBackend::Fcmla);
+        let d = WilsonDirac::new(random_gauge(g.clone(), 4), 0.15);
+        let phi = FermionField::random(g.clone(), 5);
+        let psi = FermionField::random(g.clone(), 6);
+        let a = phi.inner(&d.apply(&psi));
+        let b = d.apply_dag(&phi).inner(&psi);
+        assert!((a - b).abs() < 1e-9 * a.abs().max(1.0), "{a:?} vs {b:?}");
+    }
+
+    #[test]
+    fn mdag_m_is_hermitian_positive() {
+        let g = grid(256, SimdBackend::Fcmla);
+        let d = WilsonDirac::new(random_gauge(g.clone(), 7), 0.1);
+        let psi = FermionField::random(g.clone(), 8);
+        let phi = FermionField::random(g.clone(), 9);
+        let a = phi.inner(&d.mdag_m(&psi));
+        let b = d.mdag_m(&phi).inner(&psi);
+        assert!((a - b).abs() < 1e-9 * a.abs().max(1.0));
+        let e = psi.inner(&d.mdag_m(&psi));
+        assert!(e.re > 0.0);
+        assert!(e.im.abs() < 1e-9 * e.re);
+    }
+
+    #[test]
+    fn all_backends_agree_on_the_hopping_term() {
+        // The same physics regardless of instruction strategy — Section
+        // V-E's alternative implementation must be a drop-in replacement.
+        let reference = {
+            let g = grid(512, SimdBackend::Fcmla);
+            let d = WilsonDirac::new(random_gauge(g.clone(), 10), 0.1);
+            d.hopping(&FermionField::random(g.clone(), 11))
+        };
+        for backend in [SimdBackend::RealArith, SimdBackend::GenericAutovec] {
+            let g = grid(512, backend);
+            let d = WilsonDirac::new(random_gauge(g.clone(), 10), 0.1);
+            let hop = d.hopping(&FermionField::random(g.clone(), 11));
+            let diff: f64 = hop
+                .data()
+                .iter()
+                .zip(reference.data())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            assert!(diff < 1e-12, "{backend:?} deviates by {diff}");
+        }
+    }
+
+    #[test]
+    fn hopping_term_is_identical_across_vector_lengths() {
+        // Site values must agree bitwise across layouts (same per-site
+        // arithmetic, only lane placement differs) — this is what the
+        // paper's multi-VL ArmIE verification checks.
+        let outputs: Vec<FermionField> = [128usize, 512, 2048]
+            .iter()
+            .map(|&bits| {
+                let g = grid(bits, SimdBackend::Fcmla);
+                let d = WilsonDirac::new(random_gauge(g.clone(), 12), 0.1);
+                d.hopping(&FermionField::random(g.clone(), 13))
+            })
+            .collect();
+        let g0 = outputs[0].grid().clone();
+        for x in g0.coords() {
+            for comp in 0..12 {
+                let a = outputs[0].peek(&x, comp);
+                for other in &outputs[1..] {
+                    assert_eq!(a, other.peek(&x, comp), "{x:?} comp {comp}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cshift_composition_matches_the_stencil_kernel() {
+        // Two independent formulations of Eq. (1) — the fused stencil
+        // kernel and the whole-field cshift composition — must agree.
+        for backend in [SimdBackend::Fcmla, SimdBackend::RealArith] {
+            let g = grid(512, backend);
+            let u = random_gauge(g.clone(), 15);
+            let psi = FermionField::random(g.clone(), 16);
+            let d = WilsonDirac::new(u.clone(), 0.1);
+            let fused = d.hopping(&psi);
+            let composed = hopping_via_cshift(&u, &psi);
+            assert!(
+                rel_close(&fused, &composed, 1e-12),
+                "{backend:?}: max diff {}",
+                fused.max_abs_diff(&composed)
+            );
+        }
+    }
+
+    #[test]
+    fn proj_recon_matches_scalar_gamma_algebra() {
+        use crate::tensor::gamma::Gamma;
+        let g = grid(256, SimdBackend::Fcmla);
+        let psi = FermionField::random(g.clone(), 17);
+        for mu in 0..4 {
+            for plus in [true, false] {
+                let out = proj_recon(mu, plus, &psi);
+                let sign = if plus { 1.0 } else { -1.0 };
+                for x in g.coords().step_by(13) {
+                    for c in 0..3 {
+                        let s: [Complex; 4] =
+                            std::array::from_fn(|sp| psi.peek(&x, spinor_comp(sp, c)));
+                        let gs = Gamma::dir(mu).apply(&s);
+                        for sp in 0..4 {
+                            let want = s[sp] + gs[sp] * sign;
+                            let got = out.peek(&x, spinor_comp(sp, c));
+                            assert!((got - want).abs() < 1e-13, "mu={mu} plus={plus}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn half_spinor_project_reconstruct_matches_proj_recon() {
+        // project -> reconstruct through the compressed half-spinor field
+        // must equal the direct (1 ± γµ) application.
+        let g = grid(512, SimdBackend::Fcmla);
+        let psi = FermionField::random(g.clone(), 20);
+        for mu in 0..4 {
+            for plus in [true, false] {
+                let via_half = reconstruct_half(mu, plus, &project_half(mu, plus, &psi));
+                let direct = proj_recon(mu, plus, &psi);
+                assert_eq!(via_half.max_abs_diff(&direct), 0.0, "mu={mu} plus={plus}");
+            }
+        }
+    }
+
+    #[test]
+    fn half_spinor_gauge_multiply_commutes_with_reconstruction() {
+        // U acting on the half spinor then reconstructing equals
+        // reconstructing then applying U to all four spin rows.
+        let g = grid(256, SimdBackend::Fcmla);
+        let u = random_gauge(g.clone(), 21);
+        let psi = FermionField::random(g.clone(), 22);
+        for mu in 0..4 {
+            let h = project_half(mu, true, &psi);
+            let a = reconstruct_half(mu, true, &mult_gauge_half(&u, mu, &h, false));
+            let b = mult_gauge(&u, mu, &reconstruct_half(mu, true, &h), false);
+            assert!(rel_close(&a, &b, 1e-12), "mu={mu}");
+        }
+    }
+
+    #[test]
+    fn half_spinor_field_is_half_the_data() {
+        let g = grid(256, SimdBackend::Fcmla);
+        let psi = FermionField::random(g.clone(), 23);
+        let h = project_half(0, true, &psi);
+        assert_eq!(2 * h.data().len(), psi.data().len());
+    }
+
+    #[test]
+    fn mult_gauge_then_dagger_is_identity() {
+        let g = grid(256, SimdBackend::Fcmla);
+        let u = random_gauge(g.clone(), 18);
+        let psi = FermionField::random(g.clone(), 19);
+        for mu in 0..4 {
+            let round = mult_gauge(&u, mu, &mult_gauge(&u, mu, &psi, false), true);
+            assert!(rel_close(&round, &psi, 1e-12), "mu={mu}");
+        }
+    }
+
+    #[test]
+    fn gamma5_is_an_involution() {
+        let g = grid(256, SimdBackend::Fcmla);
+        let psi = FermionField::random(g.clone(), 14);
+        let twice = gamma5(&gamma5(&psi));
+        assert_eq!(twice.max_abs_diff(&psi), 0.0);
+    }
+}

@@ -1,0 +1,268 @@
+//! Even-odd (red-black) preconditioning of the Wilson operator.
+//!
+//! The hopping term connects only sites of opposite parity
+//! (checkerboards), so the Wilson operator is 2×2 block-structured:
+//!
+//! ```text
+//! M = [  a·1      -½ D_eo ]          a = m + 4
+//!     [ -½ D_oe    a·1    ]
+//! ```
+//!
+//! Eliminating the odd block gives the Schur complement on the even
+//! checkerboard, `S = a − D_eo D_oe / (4a)`, a better-conditioned operator
+//! on half the degrees of freedom — the standard production solver
+//! formulation in Grid (its `SchurRedBlack` family). Parity in the
+//! virtual-node layout is interesting in its own right: a SIMD word mixes
+//! both parities (lanes belong to different virtual nodes), so checkerboard
+//! projection is a predicated lane-select (`svsel`), not a slice operation.
+//!
+//! Storage note: unlike Grid, which compacts checkerboards into half-volume
+//! fields, this implementation keeps full-volume fields with the opposite
+//! parity zeroed. The *iteration-count* benefit of the preconditioning is
+//! preserved and measured; the memory-halving is not (documented
+//! simplification).
+
+use crate::dirac::{gamma5, WilsonDirac};
+use crate::field::{FermionField, Field, FieldKind};
+use crate::layout::{delex, Grid, NDIM};
+use crate::solver::{cg_op, SolveReport};
+use std::sync::Arc;
+use sve::PReg;
+
+/// Parity masks for a grid: `mask[q]` activates the f64 lanes of complex
+/// lanes whose *virtual-node* coordinate has parity `q`.
+pub fn vnode_parity_masks(grid: &Grid) -> [PReg; 2] {
+    let sl = grid.simd_layout();
+    let mut masks = [PReg::none(), PReg::none()];
+    for l in 0..grid.lanes_c() {
+        let n = delex(l, &sl);
+        let q = n.iter().sum::<usize>() % 2;
+        masks[q].set_elem_active::<f64>(2 * l, true);
+        masks[q].set_elem_active::<f64>(2 * l + 1, true);
+    }
+    masks
+}
+
+/// Project a field onto one checkerboard: sites of the other parity are
+/// zeroed. One predicated `svsel` per word.
+pub fn parity_project<K: FieldKind>(f: &Field<K>, parity: usize) -> Field<K> {
+    assert!(parity < 2);
+    let grid = f.grid().clone();
+    let eng = grid.engine().clone();
+    let masks = vnode_parity_masks(&grid);
+    let mut out = Field::<K>::zero(grid.clone());
+    let zero = eng.zero();
+    for osite in 0..grid.osites() {
+        // Site parity = parity(vnode origin) + parity(inner coordinate);
+        // the mask activating lanes of the requested parity is the same for
+        // every component of the site.
+        let mask = osite_parity_mask(&grid, &masks, osite, parity);
+        for comp in 0..K::NCOMP {
+            let v = eng.load(f.word(osite, comp));
+            let r = eng.select_lanes(&mask, v, zero);
+            eng.store(out.word_mut(osite, comp), r);
+        }
+    }
+    out
+}
+
+/// The per-osite lane mask selecting lanes of global parity `parity`.
+fn osite_parity_mask(grid: &Grid, masks: &[PReg; 2], osite: usize, parity: usize) -> PReg {
+    let rd = grid.rdims();
+    let sl = grid.simd_layout();
+    let inner = delex(osite, &rd);
+    let p_inner = inner.iter().sum::<usize>() % 2;
+    // Lane l's vnode origin parity: Σ_d n[d]*rd[d] (mod 2). If every block
+    // extent rd[d] is even, all origins are even and the two vnode parity
+    // classes collapse; recompute exactly per lane in that case.
+    let origins_follow_vnode_parity = (0..NDIM).all(|d| rd[d] % 2 == 1);
+    if origins_follow_vnode_parity {
+        // origin parity == vnode parity, so class q = parity - p_inner.
+        let q = (2 + parity - p_inner) % 2;
+        masks[q]
+    } else {
+        let mut mask = PReg::none();
+        for l in 0..grid.lanes_c() {
+            let n = delex(l, &sl);
+            let origin: usize = (0..NDIM).map(|d| n[d] * rd[d]).sum();
+            if (origin + p_inner) % 2 == parity {
+                mask.set_elem_active::<f64>(2 * l, true);
+                mask.set_elem_active::<f64>(2 * l + 1, true);
+            }
+        }
+        mask
+    }
+}
+
+/// Schur-complement (even-odd preconditioned) Wilson solve: `M x = b`
+/// through CG on the normal equations of `S = a − Dh²/(4a)` restricted to
+/// the even checkerboard, followed by back-substitution for the odd sites.
+pub fn solve_eo(
+    op: &WilsonDirac,
+    b: &FermionField,
+    tol: f64,
+    max_iter: usize,
+) -> (FermionField, SolveReport) {
+    let grid: Arc<Grid> = b.grid().clone();
+    let a = op.mass + 4.0;
+    let be = parity_project(b, 0);
+    let bo = parity_project(b, 1);
+
+    // b'_e = b_e + D_eo b_o / (2a).
+    let mut bp = op.hopping(&bo); // odd-supported input -> even-supported output
+    bp.scale(0.5 / a);
+    bp.add_assign_field(&be);
+
+    // S v = a v − Dh(Dh v) / (4a) for even-supported v.
+    let s = |v: &FermionField| {
+        let dd = op.hopping(&op.hopping(v));
+        let mut out = v.clone();
+        out.scale(a);
+        out.axpy_inplace(-0.25 / a, &dd);
+        out
+    };
+    // γ5-hermiticity gives S† = γ5 S γ5 (γ5 is parity-diagonal).
+    let s_dag = |v: &FermionField| gamma5(&s(&gamma5(v)));
+
+    let rhs = s_dag(&bp);
+    let (xe, inner_report) = cg_op(|v| s_dag(&s(v)), &rhs, tol, max_iter);
+
+    // Back-substitution: x_o = (b_o + ½ D_oe x_e) / a.
+    let mut xo = op.hopping(&xe); // even-supported input -> odd-supported output
+    xo.scale(0.5);
+    xo.add_assign_field(&bo);
+    xo.scale(1.0 / a);
+
+    let mut x = xe;
+    x.add_assign_field(&xo);
+
+    // True residual of the original full system.
+    let mut diff = FermionField::zero(grid);
+    diff.sub(b, &op.apply(&x));
+    let residual = (diff.norm2() / b.norm2()).sqrt();
+    (
+        x,
+        SolveReport {
+            iterations: inner_report.iterations,
+            residual,
+            converged: residual <= tol * 100.0,
+            history: inner_report.history,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::Complex;
+    use crate::simd::SimdBackend;
+    use crate::solver::solve_wilson;
+    use crate::tensor::su3::random_gauge;
+    use sve::VectorLength;
+
+    fn grid(bits: usize) -> Arc<Grid> {
+        Grid::new([4, 4, 4, 4], VectorLength::of(bits), SimdBackend::Fcmla)
+    }
+
+    #[test]
+    fn parity_projection_splits_and_reassembles() {
+        for bits in [128usize, 512, 2048] {
+            let g = grid(bits);
+            let f = FermionField::random(g.clone(), 71);
+            let even = parity_project(&f, 0);
+            let odd = parity_project(&f, 1);
+            for x in g.coords() {
+                let p = g.parity(&x);
+                for comp in [0usize, 7] {
+                    let want_e = if p == 0 {
+                        f.peek(&x, comp)
+                    } else {
+                        Complex::ZERO
+                    };
+                    let want_o = if p == 1 {
+                        f.peek(&x, comp)
+                    } else {
+                        Complex::ZERO
+                    };
+                    assert_eq!(even.peek(&x, comp), want_e, "vl={bits} {x:?}");
+                    assert_eq!(odd.peek(&x, comp), want_o, "vl={bits} {x:?}");
+                }
+            }
+            let mut sum = even.clone();
+            sum.add_assign_field(&odd);
+            assert_eq!(sum.max_abs_diff(&f), 0.0);
+        }
+    }
+
+    #[test]
+    fn projections_are_idempotent_and_orthogonal() {
+        let g = grid(512);
+        let f = FermionField::random(g.clone(), 72);
+        let even = parity_project(&f, 0);
+        let twice = parity_project(&even, 0);
+        assert_eq!(twice.max_abs_diff(&even), 0.0);
+        let cross = parity_project(&even, 1);
+        assert_eq!(cross.norm2(), 0.0);
+        // Pythagoras across checkerboards.
+        let odd = parity_project(&f, 1);
+        assert!((even.norm2() + odd.norm2() - f.norm2()).abs() < 1e-9 * f.norm2());
+    }
+
+    #[test]
+    fn schur_solve_inverts_the_full_operator() {
+        let g = grid(512);
+        let op = WilsonDirac::new(random_gauge(g.clone(), 73), 0.3);
+        let b = FermionField::random(g.clone(), 74);
+        let (x, report) = solve_eo(&op, &b, 1e-9, 1000);
+        assert!(report.residual < 1e-7, "residual {}", report.residual);
+        let mx = op.apply(&x);
+        let mut diff = FermionField::zero(g);
+        diff.sub(&mx, &b);
+        assert!((diff.norm2() / b.norm2()).sqrt() < 1e-7);
+    }
+
+    #[test]
+    fn schur_solve_agrees_with_plain_solve() {
+        let g = grid(256);
+        let op = WilsonDirac::new(random_gauge(g.clone(), 75), 0.3);
+        let b = FermionField::random(g.clone(), 76);
+        let (x_eo, _) = solve_eo(&op, &b, 1e-10, 1000);
+        let (x_plain, _) = solve_wilson(&op, &b, 1e-10, 2000);
+        let mut diff = FermionField::zero(g);
+        diff.sub(&x_eo, &x_plain);
+        let rel = (diff.norm2() / x_plain.norm2()).sqrt();
+        assert!(rel < 1e-7, "solutions differ by {rel}");
+    }
+
+    #[test]
+    fn preconditioning_reduces_iteration_count() {
+        // The point of even-odd: the Schur system is better conditioned
+        // than the full normal equations.
+        let g = grid(256);
+        let op = WilsonDirac::new(random_gauge(g.clone(), 77), 0.2);
+        let b = FermionField::random(g.clone(), 78);
+        let (_, eo) = solve_eo(&op, &b, 1e-8, 2000);
+        let (_, plain) = solve_wilson(&op, &b, 1e-8, 2000);
+        assert!(
+            eo.iterations < plain.iterations,
+            "EO {} !< plain {}",
+            eo.iterations,
+            plain.iterations
+        );
+    }
+
+    #[test]
+    fn schur_operator_preserves_the_even_checkerboard() {
+        let g = grid(512);
+        let op = WilsonDirac::new(random_gauge(g.clone(), 79), 0.2);
+        let v = parity_project(&FermionField::random(g.clone(), 80), 0);
+        let a = op.mass + 4.0;
+        let dd = op.hopping(&op.hopping(&v));
+        let mut s = v.clone();
+        s.scale(a);
+        s.axpy_inplace(-0.25 / a, &dd);
+        // The result must live entirely on even sites.
+        let leak = parity_project(&s, 1);
+        assert!(leak.norm2() < 1e-24 * s.norm2().max(1.0));
+    }
+}

@@ -1,0 +1,512 @@
+//! Lattice fields over the virtual-node layout.
+//!
+//! A field stores, per outer site, `NCOMP` complex components, each as one
+//! interleaved SIMD word (lane `l` = virtual node `l`). The backing store is
+//! a flat `Vec<f64>` of ordinary scalars — precisely the paper's answer to
+//! the sizeless-type restriction: "we use ordinary arrays as class member
+//! data and implement SVE ACLE only for data processing within functions"
+//! (Section V-A). Every arithmetic method below loads words, computes with
+//! the engine's intrinsics and stores back.
+
+use crate::complex::Complex;
+use crate::layout::{Coor, Grid};
+use crate::rng::{stream_id, uniform};
+use crate::simd::CVec;
+use std::marker::PhantomData;
+use std::sync::Arc;
+use sve::SveFloat;
+
+/// The tensor structure living on every site.
+pub trait FieldKind: Send + Sync + 'static {
+    /// Complex components per site.
+    const NCOMP: usize;
+    /// Human-readable name.
+    const NAME: &'static str;
+}
+
+/// A single complex number per site.
+pub struct ScalarKind;
+impl FieldKind for ScalarKind {
+    const NCOMP: usize = 1;
+    const NAME: &'static str = "complex scalar";
+}
+
+/// A quark field: 4 spinor x 3 color components (12 complex per site,
+/// "thus, ψ is a vector with 12 V complex entries" — paper, Section II-A).
+pub struct FermionKind;
+impl FieldKind for FermionKind {
+    const NCOMP: usize = 12;
+    const NAME: &'static str = "spin-color fermion";
+}
+
+/// A half (spin-projected) fermion: 2 spinor x 3 color components.
+pub struct HalfFermionKind;
+impl FieldKind for HalfFermionKind {
+    const NCOMP: usize = 6;
+    const NAME: &'static str = "half spinor";
+}
+
+/// The gauge field: one SU(3) matrix (9 complex) per direction, 4
+/// directions.
+pub struct GaugeKind;
+impl FieldKind for GaugeKind {
+    const NCOMP: usize = 36;
+    const NAME: &'static str = "SU(3) gauge links";
+}
+
+/// Component index of spinor component (`spin`, `color`).
+pub fn spinor_comp(spin: usize, color: usize) -> usize {
+    spin * 3 + color
+}
+
+/// Component index of gauge-link entry (`mu`, `row`, `col`).
+pub fn gauge_comp(mu: usize, row: usize, col: usize) -> usize {
+    mu * 9 + row * 3 + col
+}
+
+/// A lattice field of kind `K`.
+pub struct Field<K: FieldKind, E: SveFloat = f64> {
+    grid: Arc<Grid<E>>,
+    data: Vec<E>,
+    _k: PhantomData<K>,
+}
+
+/// A complex scalar field.
+pub type ComplexField = Field<ScalarKind>;
+/// A quark (spin-color) field.
+pub type FermionField = Field<FermionKind>;
+/// A spin-projected half fermion field.
+pub type HalfFermionField = Field<HalfFermionKind>;
+/// The SU(3) gauge configuration.
+pub type GaugeField = Field<GaugeKind>;
+
+impl<K: FieldKind, E: SveFloat> Clone for Field<K, E> {
+    fn clone(&self) -> Self {
+        Field {
+            grid: self.grid.clone(),
+            data: self.data.clone(),
+            _k: PhantomData,
+        }
+    }
+}
+
+impl<K: FieldKind, E: SveFloat> Field<K, E> {
+    /// A zero field on `grid`.
+    pub fn zero(grid: Arc<Grid<E>>) -> Self {
+        let word = grid.engine().word_len();
+        let data = vec![E::zero(); grid.osites() * K::NCOMP * word];
+        Field {
+            grid,
+            data,
+            _k: PhantomData,
+        }
+    }
+
+    /// A field filled with layout-independent uniform noise in `[-1,1)`
+    /// (same physical content for every vector length).
+    pub fn random(grid: Arc<Grid<E>>, seed: u64) -> Self {
+        let mut f = Self::zero(grid.clone());
+        for x in grid.coords() {
+            let gidx = grid.global_index(&x);
+            for comp in 0..K::NCOMP {
+                f.poke(
+                    &x,
+                    comp,
+                    Complex::new(
+                        uniform(seed, stream_id(gidx, comp, 0)),
+                        uniform(seed, stream_id(gidx, comp, 1)),
+                    ),
+                );
+            }
+        }
+        f
+    }
+
+    /// The lattice this field lives on.
+    pub fn grid(&self) -> &Arc<Grid<E>> {
+        &self.grid
+    }
+
+    /// Scalars per site = `NCOMP * 2 * lanes_c`.
+    pub fn site_stride(&self) -> usize {
+        K::NCOMP * self.grid.engine().word_len()
+    }
+
+    /// One component's SIMD word at an outer site.
+    #[inline]
+    pub fn word(&self, osite: usize, comp: usize) -> &[E] {
+        let w = self.grid.engine().word_len();
+        let off = (osite * K::NCOMP + comp) * w;
+        &self.data[off..off + w]
+    }
+
+    /// Mutable SIMD word.
+    #[inline]
+    pub fn word_mut(&mut self, osite: usize, comp: usize) -> &mut [E] {
+        let w = self.grid.engine().word_len();
+        let off = (osite * K::NCOMP + comp) * w;
+        &mut self.data[off..off + w]
+    }
+
+    /// Raw storage (site-major, component, interleaved lanes).
+    pub fn data(&self) -> &[E] {
+        &self.data
+    }
+
+    /// Mutable raw storage.
+    pub fn data_mut(&mut self) -> &mut [E] {
+        &mut self.data
+    }
+
+    /// Read component `comp` at global coordinate `x` (scalar path).
+    pub fn peek(&self, x: &Coor, comp: usize) -> Complex {
+        let (osite, lane) = self.grid.coor_to_osite_lane(x);
+        let w = self.word(osite, comp);
+        Complex::new(w[2 * lane].to_f64(), w[2 * lane + 1].to_f64())
+    }
+
+    /// Write component `comp` at global coordinate `x` (scalar path).
+    pub fn poke(&mut self, x: &Coor, comp: usize, z: Complex) {
+        let (osite, lane) = self.grid.coor_to_osite_lane(x);
+        let w = self.word_mut(osite, comp);
+        w[2 * lane] = E::from_f64(z.re);
+        w[2 * lane + 1] = E::from_f64(z.im);
+    }
+
+    fn assert_compatible(&self, other: &Field<K, E>) {
+        assert!(
+            Arc::ptr_eq(&self.grid, &other.grid),
+            "fields live on different grids"
+        );
+    }
+
+    /// `self = a * x + y` lane-wise (one fused `fmla` per word).
+    pub fn axpy(&mut self, a: f64, x: &Field<K, E>, y: &Field<K, E>) {
+        self.assert_compatible(x);
+        self.assert_compatible(y);
+        let eng = self.grid.engine().clone();
+        let a_dup = eng.dup_real(a);
+        for osite in 0..self.grid.osites() {
+            for comp in 0..K::NCOMP {
+                let xv = eng.load(x.word(osite, comp));
+                let yv = eng.load(y.word(osite, comp));
+                let r = eng.axpy_word(a_dup, xv, yv);
+                eng.store(self.word_mut(osite, comp), r);
+            }
+        }
+    }
+
+    /// `self += a * x`.
+    pub fn axpy_inplace(&mut self, a: f64, x: &Field<K, E>) {
+        self.assert_compatible(x);
+        let eng = self.grid.engine().clone();
+        let a_dup = eng.dup_real(a);
+        for osite in 0..self.grid.osites() {
+            for comp in 0..K::NCOMP {
+                let xv = eng.load(x.word(osite, comp));
+                let sv = eng.load(self.word(osite, comp));
+                let r = eng.axpy_word(a_dup, xv, sv);
+                eng.store(self.word_mut(osite, comp), r);
+            }
+        }
+    }
+
+    /// `self = x + a * self` (the CG search-direction update).
+    pub fn aypx(&mut self, a: f64, x: &Field<K, E>) {
+        self.assert_compatible(x);
+        let eng = self.grid.engine().clone();
+        let a_dup = eng.dup_real(a);
+        for osite in 0..self.grid.osites() {
+            for comp in 0..K::NCOMP {
+                let xv = eng.load(x.word(osite, comp));
+                let sv = eng.load(self.word(osite, comp));
+                let r = eng.axpy_word(a_dup, sv, xv);
+                eng.store(self.word_mut(osite, comp), r);
+            }
+        }
+    }
+
+    /// `self *= a` (real scale).
+    pub fn scale(&mut self, a: f64) {
+        let eng = self.grid.engine().clone();
+        let a_dup = eng.dup_real(a);
+        for osite in 0..self.grid.osites() {
+            for comp in 0..K::NCOMP {
+                let sv = eng.load(self.word(osite, comp));
+                let r = eng.scale(a_dup, sv);
+                eng.store(self.word_mut(osite, comp), r);
+            }
+        }
+    }
+
+    /// `self = x - y`.
+    pub fn sub(&mut self, x: &Field<K, E>, y: &Field<K, E>) {
+        self.assert_compatible(x);
+        self.assert_compatible(y);
+        let eng = self.grid.engine().clone();
+        for osite in 0..self.grid.osites() {
+            for comp in 0..K::NCOMP {
+                let xv = eng.load(x.word(osite, comp));
+                let yv = eng.load(y.word(osite, comp));
+                let r = eng.sub(xv, yv);
+                eng.store(self.word_mut(osite, comp), r);
+            }
+        }
+    }
+
+    /// `self += a * x` with a complex scalar `a` (splat + complex FMA).
+    pub fn axpy_complex(&mut self, a: Complex, x: &Field<K, E>) {
+        self.assert_compatible(x);
+        let eng = self.grid.engine().clone();
+        let a_splat = eng.splat(a);
+        for osite in 0..self.grid.osites() {
+            for comp in 0..K::NCOMP {
+                let xv = eng.load(x.word(osite, comp));
+                let sv = eng.load(self.word(osite, comp));
+                let r = eng.madd(sv, a_splat, xv);
+                eng.store(self.word_mut(osite, comp), r);
+            }
+        }
+    }
+
+    /// `self *= a` with a complex scalar `a`.
+    pub fn scale_complex(&mut self, a: Complex) {
+        let eng = self.grid.engine().clone();
+        let a_splat = eng.splat(a);
+        for osite in 0..self.grid.osites() {
+            for comp in 0..K::NCOMP {
+                let sv = eng.load(self.word(osite, comp));
+                let r = eng.mult(a_splat, sv);
+                eng.store(self.word_mut(osite, comp), r);
+            }
+        }
+    }
+
+    /// `self += x`.
+    pub fn add_assign_field(&mut self, x: &Field<K, E>) {
+        self.assert_compatible(x);
+        let eng = self.grid.engine().clone();
+        for osite in 0..self.grid.osites() {
+            for comp in 0..K::NCOMP {
+                let xv = eng.load(x.word(osite, comp));
+                let sv = eng.load(self.word(osite, comp));
+                let r = eng.add(sv, xv);
+                eng.store(self.word_mut(osite, comp), r);
+            }
+        }
+    }
+
+    /// Global inner product `<self, other> = Σ conj(self) · other`
+    /// (vectorized conjugate-FMA accumulation, one reduction at the end).
+    pub fn inner(&self, other: &Field<K, E>) -> Complex {
+        self.assert_compatible(other);
+        let eng = self.grid.engine();
+        let mut acc: CVec = eng.zero();
+        for osite in 0..self.grid.osites() {
+            for comp in 0..K::NCOMP {
+                let a = eng.load(self.word(osite, comp));
+                let b = eng.load(other.word(osite, comp));
+                acc = eng.madd_conj(acc, a, b);
+            }
+        }
+        eng.reduce_sum(acc)
+    }
+
+    /// Global squared norm `|self|^2` (always real, computed as a real
+    /// lane-square accumulation).
+    pub fn norm2(&self) -> f64 {
+        let eng = self.grid.engine();
+        let mut total = 0.0;
+        for osite in 0..self.grid.osites() {
+            for comp in 0..K::NCOMP {
+                let a = eng.load(self.word(osite, comp));
+                total += eng.norm2(a);
+            }
+        }
+        total
+    }
+
+    /// Maximum absolute difference to another field (test metric).
+    pub fn max_abs_diff(&self, other: &Field<K, E>) -> f64 {
+        self.assert_compatible(other);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a.to_f64() - b.to_f64()).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simd::SimdBackend;
+    use sve::VectorLength;
+
+    fn grid() -> Arc<Grid> {
+        Grid::new([4, 4, 4, 4], VectorLength::of(512), SimdBackend::Fcmla)
+    }
+
+    #[test]
+    fn zero_field_has_zero_norm() {
+        let f = FermionField::zero(grid());
+        assert_eq!(f.norm2(), 0.0);
+    }
+
+    #[test]
+    fn peek_poke_round_trip() {
+        let g = grid();
+        let mut f = FermionField::zero(g.clone());
+        let z = Complex::new(1.25, -0.5);
+        f.poke(&[1, 2, 3, 0], spinor_comp(2, 1), z);
+        assert_eq!(f.peek(&[1, 2, 3, 0], spinor_comp(2, 1)), z);
+        // Other slots untouched.
+        assert_eq!(f.peek(&[1, 2, 3, 0], spinor_comp(2, 2)), Complex::ZERO);
+        assert_eq!(f.peek(&[0, 2, 3, 0], spinor_comp(2, 1)), Complex::ZERO);
+        assert!((f.norm2() - z.norm2()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn random_field_is_layout_independent() {
+        let a = FermionField::random(
+            Grid::new([4, 4, 4, 4], VectorLength::of(128), SimdBackend::Fcmla),
+            7,
+        );
+        let b = FermionField::random(
+            Grid::new([4, 4, 4, 4], VectorLength::of(2048), SimdBackend::Fcmla),
+            7,
+        );
+        for x in a.grid().coords() {
+            for comp in 0..12 {
+                assert_eq!(a.peek(&x, comp), b.peek(&x, comp), "{x:?} {comp}");
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_matches_scalar_reference() {
+        let g = grid();
+        let x = FermionField::random(g.clone(), 1);
+        let y = FermionField::random(g.clone(), 2);
+        let mut out = FermionField::zero(g.clone());
+        out.axpy(2.5, &x, &y);
+        for coor in g.coords().take(32) {
+            for comp in 0..12 {
+                let want = x.peek(&coor, comp) * 2.5 + y.peek(&coor, comp);
+                let got = out.peek(&coor, comp);
+                assert!((got - want).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn aypx_and_axpy_inplace() {
+        let g = grid();
+        let x = FermionField::random(g.clone(), 1);
+        let mut p = FermionField::random(g.clone(), 2);
+        let p0 = p.clone();
+        p.aypx(0.5, &x); // p = x + 0.5 p
+        for coor in g.coords().take(16) {
+            let want = x.peek(&coor, 0) + p0.peek(&coor, 0) * 0.5;
+            assert!((p.peek(&coor, 0) - want).abs() < 1e-13);
+        }
+        let mut r = p0.clone();
+        r.axpy_inplace(-1.0, &x); // r -= x
+        for coor in g.coords().take(16) {
+            let want = p0.peek(&coor, 3) - x.peek(&coor, 3);
+            assert!((r.peek(&coor, 3) - want).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn inner_product_is_conjugate_symmetric_and_positive() {
+        let g = grid();
+        let x = FermionField::random(g.clone(), 3);
+        let y = FermionField::random(g.clone(), 4);
+        let xy = x.inner(&y);
+        let yx = y.inner(&x);
+        assert!((xy - yx.conj()).abs() < 1e-10);
+        let xx = x.inner(&x);
+        assert!(xx.im.abs() < 1e-10);
+        assert!(xx.re > 0.0);
+        assert!((xx.re - x.norm2()).abs() < 1e-9 * xx.re);
+    }
+
+    #[test]
+    fn norm_is_layout_invariant_up_to_rounding() {
+        let n128 = FermionField::random(
+            Grid::new([4, 4, 4, 4], VectorLength::of(128), SimdBackend::Fcmla),
+            9,
+        )
+        .norm2();
+        let n1024 = FermionField::random(
+            Grid::new([4, 4, 4, 4], VectorLength::of(1024), SimdBackend::Fcmla),
+            9,
+        )
+        .norm2();
+        assert!((n128 - n1024).abs() < 1e-9 * n128);
+    }
+
+    #[test]
+    fn scale_and_sub() {
+        let g = grid();
+        let x = FermionField::random(g.clone(), 5);
+        let mut y = x.clone();
+        y.scale(3.0);
+        let mut d = FermionField::zero(g.clone());
+        d.sub(&y, &x); // 2x
+        let ratio = d.norm2() / x.norm2();
+        assert!((ratio - 4.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn complex_scalar_ops_match_scalar_reference() {
+        let g = grid();
+        let a = Complex::new(0.75, -1.25);
+        let x = FermionField::random(g.clone(), 6);
+        let mut y = FermionField::random(g.clone(), 7);
+        let y0 = y.clone();
+        y.axpy_complex(a, &x); // y += a x
+        for coor in g.coords().take(16) {
+            for comp in [0usize, 11] {
+                let want = y0.peek(&coor, comp) + a * x.peek(&coor, comp);
+                assert!((y.peek(&coor, comp) - want).abs() < 1e-13);
+            }
+        }
+        let mut z = x.clone();
+        z.scale_complex(a);
+        for coor in g.coords().take(16) {
+            let want = a * x.peek(&coor, 5);
+            assert!((z.peek(&coor, 5) - want).abs() < 1e-13);
+        }
+        let mut w = x.clone();
+        w.add_assign_field(&y0);
+        for coor in g.coords().take(16) {
+            let want = x.peek(&coor, 3) + y0.peek(&coor, 3);
+            assert!((w.peek(&coor, 3) - want).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn f32_fields_round_trip_and_compute() {
+        let g32 = Grid::<f32>::new([4, 4, 4, 4], VectorLength::of(512), SimdBackend::Fcmla);
+        let mut f = Field::<FermionKind, f32>::zero(g32.clone());
+        let z = Complex::new(0.5, -0.25); // exact in f32
+        f.poke(&[1, 2, 3, 0], 4, z);
+        assert_eq!(f.peek(&[1, 2, 3, 0], 4), z);
+        let x = Field::<FermionKind, f32>::random(g32.clone(), 9);
+        let n = x.norm2();
+        assert!(n > 0.0);
+        let ip = x.inner(&x);
+        assert!((ip.re - n).abs() < 1e-4 * n);
+        assert!(ip.im.abs() < 1e-4 * n);
+    }
+
+    #[test]
+    #[should_panic(expected = "different grids")]
+    fn cross_grid_ops_panic() {
+        let a = FermionField::zero(grid());
+        let b = FermionField::zero(grid());
+        let _ = a.inner(&b);
+    }
+}

@@ -1,0 +1,216 @@
+//! Mixed-precision solving — the payoff of the SIMD layer's precision
+//! genericity.
+//!
+//! "Conversion of floating-point precision" is one of the machine-specific
+//! operations Grid's abstraction layer provides per architecture (paper,
+//! Section II-C), and SVE supports "vectorized 16-, 32-, 64-bit
+//! floating-point operations, including ... conversion of precision"
+//! (Section III-A). The production use of that machinery is the
+//! mixed-precision defect-correction solver: run the expensive Krylov
+//! iterations in single precision — twice the SIMD lanes per vector, twice
+//! the virtual nodes — and restore full double-precision accuracy with a
+//! cheap outer correction loop.
+//!
+//! Single precision doubles `lanes_c`, so the f32 lattice has a *different
+//! virtual-node decomposition* than the f64 one — converting a field is a
+//! genuine re-layout, exactly as in Grid (separate `GridF`/`GridD`).
+
+use crate::dirac::WilsonDirac;
+use crate::field::{Field, FieldKind};
+use crate::layout::Grid;
+use crate::solver::{cg_op, SolveReport};
+use crate::FermionField;
+use std::sync::Arc;
+use sve::{Opcode, SveFloat};
+
+/// Convert a field to another precision (and its grid's layout). The
+/// per-scalar conversions are accounted as vectorized `fcvt` on the target
+/// context.
+pub fn to_precision<K: FieldKind, E1: SveFloat, E2: SveFloat>(
+    f: &Field<K, E1>,
+    grid2: &Arc<Grid<E2>>,
+) -> Field<K, E2> {
+    assert_eq!(f.grid().fdims(), grid2.fdims(), "lattices must match");
+    let mut out = Field::<K, E2>::zero(grid2.clone());
+    for x in f.grid().coords() {
+        for comp in 0..K::NCOMP {
+            out.poke(&x, comp, f.peek(&x, comp));
+        }
+    }
+    // One fcvt per vector of scalars converted (2 per complex).
+    let scalars = (f.grid().volume() * K::NCOMP * 2) as u64;
+    let per_vec = grid2.engine().word_len() as u64;
+    grid2
+        .engine()
+        .ctx()
+        .counters()
+        .bump_n(Opcode::Fcvt, scalars.div_ceil(per_vec));
+    out
+}
+
+/// Report of a mixed-precision solve.
+#[derive(Clone, Debug)]
+pub struct MixedReport {
+    /// Outer (double-precision) defect-correction steps.
+    pub outer_iterations: usize,
+    /// Total inner (single-precision) CG iterations.
+    pub inner_iterations: usize,
+    /// Final true relative residual in double precision.
+    pub residual: f64,
+    /// Whether the target tolerance was reached.
+    pub converged: bool,
+    /// Vector instructions retired on the f32 context.
+    pub f32_instructions: u64,
+    /// Vector instructions retired on the f64 context during the solve
+    /// (approximate: counter delta on the operator's context).
+    pub f64_instructions: u64,
+}
+
+/// Mixed-precision defect-correction solve of `M x = b`: inner CG on the
+/// single-precision normal equations, outer double-precision residual
+/// correction — Grid's `MixedPrecisionConjugateGradient` scheme.
+pub fn mixed_precision_solve(
+    op: &WilsonDirac<f64>,
+    b: &FermionField,
+    tol: f64,
+    inner_tol: f64,
+    max_outer: usize,
+    max_inner: usize,
+) -> (FermionField, MixedReport) {
+    let grid64 = b.grid().clone();
+    let grid32 = Grid::<f32>::new(grid64.fdims(), grid64.vl(), grid64.engine().backend());
+    let f64_before = grid64.engine().ctx().counters().total();
+
+    // Single-precision replica of the operator.
+    let u32 = to_precision(op.gauge(), &grid32);
+    let op32 = WilsonDirac::<f32>::new(u32, op.mass);
+
+    let b_norm2 = b.norm2();
+    assert!(b_norm2 > 0.0, "mixed solve needs a nonzero right-hand side");
+    let mut x = FermionField::zero(grid64.clone());
+    let mut outer = 0;
+    let mut inner_total = 0;
+    let mut residual = 1.0;
+
+    while outer < max_outer {
+        // Double-precision defect.
+        let mut r = FermionField::zero(grid64.clone());
+        r.sub(b, &op.apply(&x));
+        residual = (r.norm2() / b_norm2).sqrt();
+        if residual <= tol {
+            break;
+        }
+        // Inner solve M d = r in single precision (normal equations).
+        let r32 = to_precision(&r, &grid32);
+        let rhs32 = op32.apply_dag(&r32);
+        let (d32, inner_report): (Field<crate::field::FermionKind, f32>, SolveReport) =
+            cg_op(|v| op32.mdag_m(v), &rhs32, inner_tol, max_inner);
+        inner_total += inner_report.iterations;
+        // Prolongate and correct.
+        let d64 = to_precision(&d32, &grid64);
+        x.add_assign_field(&d64);
+        outer += 1;
+    }
+
+    let f32_instructions = grid32.engine().ctx().counters().total();
+    let f64_instructions = grid64.engine().ctx().counters().total() - f64_before;
+    (
+        x,
+        MixedReport {
+            outer_iterations: outer,
+            inner_iterations: inner_total,
+            residual,
+            converged: residual <= tol,
+            f32_instructions,
+            f64_instructions,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simd::SimdBackend;
+    use crate::solver::{cg, solve_wilson};
+    use crate::tensor::su3::random_gauge;
+    use sve::VectorLength;
+
+    fn setup() -> (WilsonDirac<f64>, FermionField) {
+        let g = Grid::new([4, 4, 4, 4], VectorLength::of(512), SimdBackend::Fcmla);
+        let u = random_gauge(g.clone(), 121);
+        let b = FermionField::random(g.clone(), 122);
+        (WilsonDirac::new(u, 0.3), b)
+    }
+
+    #[test]
+    fn f32_lattice_has_twice_the_virtual_nodes() {
+        let vl = VectorLength::of(512);
+        let g64 = Grid::<f64>::new([4, 4, 4, 4], vl, SimdBackend::Fcmla);
+        let g32 = Grid::<f32>::new([4, 4, 4, 4], vl, SimdBackend::Fcmla);
+        assert_eq!(g32.lanes_c(), 2 * g64.lanes_c());
+        assert_eq!(2 * g32.osites(), g64.osites());
+    }
+
+    #[test]
+    fn precision_round_trip_is_f32_exact() {
+        let vl = VectorLength::of(512);
+        let g64 = Grid::<f64>::new([4, 4, 4, 4], vl, SimdBackend::Fcmla);
+        let g32 = Grid::<f32>::new([4, 4, 4, 4], vl, SimdBackend::Fcmla);
+        let f = FermionField::random(g64.clone(), 7);
+        let f32v = to_precision(&f, &g32);
+        let back = to_precision(&f32v, &g64);
+        // Error bounded by f32 epsilon relative to each value.
+        for x in g64.coords().step_by(7) {
+            for comp in 0..12 {
+                let a = f.peek(&x, comp);
+                let b = back.peek(&x, comp);
+                assert!((a - b).abs() <= 1.2e-7 * a.abs().max(1e-3));
+            }
+        }
+        // And converting twice is idempotent (f32 values are exact in f64).
+        let again = to_precision(&to_precision(&back, &g32), &g64);
+        assert_eq!(again.max_abs_diff(&back), 0.0);
+    }
+
+    #[test]
+    fn single_precision_wilson_operator_works() {
+        // The whole operator stack runs at f32 on its own layout.
+        let g32 = Grid::<f32>::new([4, 4, 4, 4], VectorLength::of(512), SimdBackend::Fcmla);
+        let u = random_gauge(g32.clone(), 123);
+        let op = WilsonDirac::<f32>::new(u, 0.3);
+        let b = Field::<crate::field::FermionKind, f32>::random(g32.clone(), 124);
+        let (x, report) = cg(&op, &b, 1e-4, 1000);
+        assert!(report.converged, "{report:?}");
+        assert!(report.residual < 1e-3);
+        let _ = x;
+    }
+
+    #[test]
+    fn mixed_solve_reaches_double_precision_accuracy() {
+        // The inner solver is single precision (can't go below ~1e-6), yet
+        // defect correction drives the f64 residual to 1e-10.
+        let (op, b) = setup();
+        let (x, report) = mixed_precision_solve(&op, &b, 1e-10, 1e-4, 30, 500);
+        assert!(report.converged, "{report:?}");
+        assert!(report.residual <= 1e-10, "residual {}", report.residual);
+        assert!(report.outer_iterations >= 2, "needs multiple corrections");
+        // Verify against the plain double solve.
+        let (x_ref, _) = solve_wilson(&op, &b, 1e-10, 3000);
+        let mut diff = FermionField::zero(b.grid().clone());
+        diff.sub(&x, &x_ref);
+        assert!((diff.norm2() / x_ref.norm2()).sqrt() < 1e-8);
+    }
+
+    #[test]
+    fn bulk_of_the_work_runs_in_single_precision() {
+        let (op, b) = setup();
+        let (_, report) = mixed_precision_solve(&op, &b, 1e-9, 1e-4, 30, 500);
+        assert!(
+            report.f32_instructions > 4 * report.f64_instructions,
+            "f32 {} vs f64 {}",
+            report.f32_instructions,
+            report.f64_instructions
+        );
+        assert!(report.inner_iterations > 10 * report.outer_iterations);
+    }
+}

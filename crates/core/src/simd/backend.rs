@@ -1,0 +1,151 @@
+//! SIMD backend selection and the architecture table.
+//!
+//! Grid confines machine-specific code to a small abstraction layer with one
+//! implementation per SIMD family (paper, Table I). This reproduction keeps
+//! the table and adds the SVE entries the paper contributes, in the three
+//! arithmetic styles it discusses.
+
+use sve::VectorLength;
+
+/// How complex arithmetic is lowered to vector instructions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SimdBackend {
+    /// The paper's chosen strategy (Sections IV-D, V-C): dedicated complex
+    /// instructions — two `FCMLA` per multiply, `FCADD` for `±i` factors —
+    /// on interleaved (re,im) data.
+    Fcmla,
+    /// The paper's fallback (Section V-E): complex arithmetic "based on
+    /// instructions for real arithmetics at the cost of higher instruction
+    /// count" — in-register de-interleave/duplicate permutes plus real FMAs.
+    RealArith,
+    /// What the armclang 18 auto-vectorizer produced (Section IV-B): split
+    /// re/im processing with real arithmetic, modelled in-register by a full
+    /// de-interleave → 4 real ops + 2 `movprfx` → re-interleave round trip.
+    GenericAutovec,
+}
+
+impl SimdBackend {
+    /// All backends, for sweeps.
+    pub fn all() -> [SimdBackend; 3] {
+        [
+            SimdBackend::Fcmla,
+            SimdBackend::RealArith,
+            SimdBackend::GenericAutovec,
+        ]
+    }
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdBackend::Fcmla => "sve-fcmla",
+            SimdBackend::RealArith => "sve-real",
+            SimdBackend::GenericAutovec => "generic",
+        }
+    }
+}
+
+/// One row of the supported-architecture table (paper, Table I, extended
+/// with the SVE rows this work adds).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArchRow {
+    /// SIMD family name.
+    pub family: &'static str,
+    /// Supported vector lengths in bits (empty = user-defined).
+    pub vector_bits: &'static [usize],
+    /// Whether the entry is contributed by the paper's port.
+    pub sve_contribution: bool,
+}
+
+/// The architectures supported by Grid at the time of the paper (Table I)
+/// plus the SVE support the paper adds (Section V-B: 128/256/512 enabled,
+/// wider vectors "possible but specialization ... necessary" — implemented
+/// here through 2048).
+pub fn architecture_table() -> Vec<ArchRow> {
+    vec![
+        ArchRow {
+            family: "Intel SSE4",
+            vector_bits: &[128],
+            sve_contribution: false,
+        },
+        ArchRow {
+            family: "Intel AVX/AVX2",
+            vector_bits: &[256],
+            sve_contribution: false,
+        },
+        ArchRow {
+            family: "Intel ICMI, AVX-512",
+            vector_bits: &[512],
+            sve_contribution: false,
+        },
+        ArchRow {
+            family: "IBM QPX",
+            vector_bits: &[256],
+            sve_contribution: false,
+        },
+        ArchRow {
+            family: "ARM NEONv8",
+            vector_bits: &[128],
+            sve_contribution: false,
+        },
+        ArchRow {
+            family: "generic C/C++",
+            vector_bits: &[],
+            sve_contribution: false,
+        },
+        ArchRow {
+            family: "ARM SVE (this work)",
+            vector_bits: &[128, 256, 512],
+            sve_contribution: true,
+        },
+        ArchRow {
+            family: "ARM SVE (future-work widths, implemented here)",
+            vector_bits: &[1024, 2048],
+            sve_contribution: true,
+        },
+    ]
+}
+
+/// Vector lengths enabled for the SVE port in this reproduction.
+pub fn supported_vector_lengths() -> Vec<VectorLength> {
+    VectorLength::sweep().to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_contains_papers_rows() {
+        let table = architecture_table();
+        let families: Vec<_> = table.iter().map(|r| r.family).collect();
+        for f in [
+            "Intel SSE4",
+            "Intel AVX/AVX2",
+            "Intel ICMI, AVX-512",
+            "IBM QPX",
+            "ARM NEONv8",
+            "generic C/C++",
+        ] {
+            assert!(families.contains(&f), "{f} missing");
+        }
+    }
+
+    #[test]
+    fn sve_rows_cover_paper_and_future_widths() {
+        let sve: Vec<_> = architecture_table()
+            .into_iter()
+            .filter(|r| r.sve_contribution)
+            .flat_map(|r| r.vector_bits.to_vec())
+            .collect();
+        assert_eq!(sve, vec![128, 256, 512, 1024, 2048]);
+        assert_eq!(supported_vector_lengths().len(), 5);
+    }
+
+    #[test]
+    fn backend_names_unique() {
+        let names: Vec<_> = SimdBackend::all().iter().map(|b| b.name()).collect();
+        let mut dedup = names.clone();
+        dedup.dedup();
+        assert_eq!(names, dedup);
+    }
+}

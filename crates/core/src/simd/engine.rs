@@ -1,0 +1,640 @@
+//! The `vec<T>`/`acle<T>` abstraction layer of the port (paper, Section V).
+//!
+//! Grid's lower-level abstraction layer keeps vector data as class member
+//! data; since SVE ACLE types are sizeless, the port stores "ordinary arrays
+//! as class member data and implements SVE ACLE only for data processing
+//! within functions" (Section V-A). [`CVec`] is one such array's worth of
+//! data — a single SIMD word of interleaved complex numbers — and
+//! [`SimdEngine`] is the `acle<T>` utility: it caches the predicates and
+//! lookup tables every kernel needs and lowers each complex operation to the
+//! instruction sequence of the selected [`SimdBackend`].
+//!
+//! All three backends produce the same values (up to FP rounding-order
+//! differences between fused and unfused formulations); they differ in
+//! instruction count and mix, which the context's counters expose.
+
+use crate::simd::backend::SimdBackend;
+use crate::Complex;
+use std::sync::Arc;
+use sve::intrinsics as sv;
+use sve::{PReg, Rot, SveCtx, SveFloat, VReg};
+
+/// One SIMD word of complex numbers in FCMLA layout: real components in
+/// even lanes, imaginary in odd lanes (paper, Section III-D). The number of
+/// complex lanes is half the element lane count, fixed by the engine's
+/// vector length and element precision.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CVec {
+    reg: VReg,
+}
+
+impl CVec {
+    /// Wrap a raw vector register.
+    pub fn from_reg(reg: VReg) -> Self {
+        CVec { reg }
+    }
+
+    /// The underlying register.
+    pub fn reg(&self) -> &VReg {
+        &self.reg
+    }
+}
+
+/// The per-"machine" SIMD execution engine: vector length, backend and the
+/// cached predicates/constants that Grid's `acle<T>` struct provides
+/// ("various definitions for predication", Section V-B).
+#[derive(Clone)]
+pub struct SimdEngine<E: SveFloat = f64> {
+    ctx: Arc<SveCtx>,
+    backend: SimdBackend,
+    /// ptrue over all element lanes.
+    pg: PReg,
+    /// Even (real-part) lanes only.
+    pg_even: PReg,
+    /// Odd (imaginary-part) lanes only.
+    pg_odd: PReg,
+    /// First `lanes_c` element lanes — governs reductions after
+    /// de-interleaving.
+    pg_half: PReg,
+    /// Pairwise lane swap (1,0,3,2,...) for real-arithmetic kernels.
+    swap_tbl: Vec<usize>,
+    /// Cached all-zero register (accumulator seed).
+    zero: VReg,
+    /// Complex lanes per vector.
+    lanes_c: usize,
+    _e: std::marker::PhantomData<E>,
+}
+
+impl<E: SveFloat> SimdEngine<E> {
+    /// Build an engine over `ctx` with the given backend. Predicates and
+    /// constants are materialized once here (and counted once), mirroring
+    /// how Grid hoists `acle<T>::pg1()` out of kernels.
+    pub fn new(ctx: Arc<SveCtx>, backend: SimdBackend) -> Self {
+        let lanes = ctx.vl().lanes_of(E::BYTES);
+        assert!(lanes >= 2, "need at least one complex lane");
+        let pg = sv::svptrue::<E>(&ctx);
+        let mut pg_even = PReg::none();
+        let mut pg_odd = PReg::none();
+        for e in 0..lanes {
+            if e % 2 == 0 {
+                pg_even.set_elem_active::<E>(e, true);
+            } else {
+                pg_odd.set_elem_active::<E>(e, true);
+            }
+        }
+        let pg_half = PReg::whilelt::<E>(ctx.vl(), 0, (lanes / 2) as u64);
+        let swap_tbl: Vec<usize> = (0..lanes).map(|e| e ^ 1).collect();
+        let zero = sv::svdup::<E>(&ctx, E::zero());
+        SimdEngine {
+            ctx,
+            backend,
+            pg,
+            pg_even,
+            pg_odd,
+            pg_half,
+            swap_tbl,
+            zero,
+            lanes_c: lanes / 2,
+            _e: std::marker::PhantomData,
+        }
+    }
+
+    /// The SVE context (vector length, counters).
+    pub fn ctx(&self) -> &SveCtx {
+        &self.ctx
+    }
+
+    /// The backend this engine lowers complex arithmetic to.
+    pub fn backend(&self) -> SimdBackend {
+        self.backend
+    }
+
+    /// Complex lanes per SIMD word — the number of virtual nodes a thread's
+    /// sub-lattice is decomposed over (paper, Fig. 1).
+    pub fn lanes_c(&self) -> usize {
+        self.lanes_c
+    }
+
+    /// Scalars (of the engine's element type) per SIMD word = `2 * lanes_c`.
+    pub fn word_len(&self) -> usize {
+        2 * self.lanes_c
+    }
+
+    // ---- memory ----
+
+    /// Load one SIMD word from an interleaved slice (`svld1`).
+    #[inline]
+    pub fn load(&self, src: &[E]) -> CVec {
+        CVec::from_reg(sv::svld1(&self.ctx, &self.pg, src))
+    }
+
+    /// Store one SIMD word to an interleaved slice (`svst1`).
+    #[inline]
+    pub fn store(&self, dst: &mut [E], v: CVec) {
+        sv::svst1(&self.ctx, &self.pg, dst, &v.reg);
+    }
+
+    // ---- constants ----
+
+    /// The zero word (cached; costs nothing per use).
+    #[inline]
+    pub fn zero(&self) -> CVec {
+        CVec::from_reg(self.zero)
+    }
+
+    /// Broadcast a complex scalar into all complex lanes.
+    pub fn splat(&self, z: Complex) -> CVec {
+        // Two dups + zip would be faithful; a single `index`-style ld1rqd
+        // would too. Model as one dup-pair (counted as 2 dup).
+        let re = sv::svdup::<E>(&self.ctx, E::from_f64(z.re));
+        let im = sv::svdup::<E>(&self.ctx, E::from_f64(z.im));
+        CVec::from_reg(sv::svzip1::<E>(&self.ctx, &re, &im))
+    }
+
+    /// Broadcast a real scalar (imaginary parts zero).
+    pub fn splat_re(&self, s: f64) -> CVec {
+        self.splat(Complex::new(s, 0.0))
+    }
+
+    // ---- backend-independent lane arithmetic ----
+
+    /// Lane-wise complex addition (`fadd`).
+    #[inline]
+    pub fn add(&self, a: CVec, b: CVec) -> CVec {
+        CVec::from_reg(sv::svadd_x::<E>(&self.ctx, &self.pg, &a.reg, &b.reg))
+    }
+
+    /// Lane-wise complex subtraction (`fsub`).
+    #[inline]
+    pub fn sub(&self, a: CVec, b: CVec) -> CVec {
+        CVec::from_reg(sv::svsub_x::<E>(&self.ctx, &self.pg, &a.reg, &b.reg))
+    }
+
+    /// Negate every lane (`fneg`).
+    #[inline]
+    pub fn neg(&self, a: CVec) -> CVec {
+        CVec::from_reg(sv::svneg_x::<E>(&self.ctx, &self.pg, &a.reg))
+    }
+
+    /// Complex conjugate: negate the odd (imaginary) lanes — one merging
+    /// `fneg`.
+    #[inline]
+    pub fn conj(&self, a: CVec) -> CVec {
+        CVec::from_reg(sv::svneg_m::<E>(&self.ctx, &self.pg_odd, &a.reg))
+    }
+
+    /// Multiply every complex lane by the real parts of `s` lane-wise
+    /// (`fmul` by a re-duplicated operand): Grid's `MultRealPart`.
+    #[inline]
+    pub fn mul_real_part(&self, s: CVec, a: CVec) -> CVec {
+        let re_dup = sv::svtrn1::<E>(&self.ctx, &s.reg, &s.reg);
+        CVec::from_reg(sv::svmul_x::<E>(&self.ctx, &self.pg, &re_dup, &a.reg))
+    }
+
+    /// Scale all lanes by a pre-splat real factor (plain `fmul`; `scale`
+    /// must have equal re/im duplicates, as produced by [`Self::dup_real`]).
+    #[inline]
+    pub fn scale(&self, scale_dup: CVec, a: CVec) -> CVec {
+        CVec::from_reg(sv::svmul_x::<E>(
+            &self.ctx,
+            &self.pg,
+            &scale_dup.reg,
+            &a.reg,
+        ))
+    }
+
+    /// Duplicate a real factor across *all* (even and odd) lanes, for
+    /// [`Self::scale`] and [`Self::axpy_word`].
+    pub fn dup_real(&self, s: f64) -> CVec {
+        CVec::from_reg(sv::svdup::<E>(&self.ctx, E::from_f64(s)))
+    }
+
+    /// Fused `y + a*x` with a real, pre-duplicated `a` — one `fmla`; the
+    /// kernel of every BLAS-1 field operation in the solvers.
+    #[inline]
+    pub fn axpy_word(&self, a_dup: CVec, x: CVec, y: CVec) -> CVec {
+        CVec::from_reg(sv::svmla_m::<E>(
+            &self.ctx, &self.pg, &y.reg, &a_dup.reg, &x.reg,
+        ))
+    }
+
+    // ---- backend-dispatched complex arithmetic ----
+
+    /// Complex multiply `a * b` lane-wise.
+    #[inline]
+    pub fn mult(&self, a: CVec, b: CVec) -> CVec {
+        self.madd(self.zero(), a, b)
+    }
+
+    /// Complex multiply-accumulate `acc + a * b` lane-wise.
+    pub fn madd(&self, acc: CVec, a: CVec, b: CVec) -> CVec {
+        match self.backend {
+            SimdBackend::Fcmla => CVec::from_reg(sv::fcmla_mul_add::<E>(
+                &self.ctx, &self.pg, &acc.reg, &a.reg, &b.reg,
+            )),
+            SimdBackend::RealArith => {
+                // Section V-E: duplicate re/im parts, swap pairs, flip one
+                // sign, two real FMAs. 6 instructions vs FCMLA's 2.
+                let re_dup = sv::svtrn1::<E>(&self.ctx, &a.reg, &a.reg);
+                let im_dup = sv::svtrn2::<E>(&self.ctx, &a.reg, &a.reg);
+                let b_swap = sv::svtbl::<E>(&self.ctx, &b.reg, &self.swap_tbl);
+                let b_swap_sgn = sv::svneg_m::<E>(&self.ctx, &self.pg_even, &b_swap);
+                let t = sv::svmla_m::<E>(&self.ctx, &self.pg, &acc.reg, &re_dup, &b.reg);
+                CVec::from_reg(sv::svmla_m::<E>(
+                    &self.ctx,
+                    &self.pg,
+                    &t,
+                    &im_dup,
+                    &b_swap_sgn,
+                ))
+            }
+            SimdBackend::GenericAutovec => {
+                // Section IV-B as an in-register dance: de-interleave with
+                // uzp, the listing's fmul/fmla/fnmls/movprfx body, zip back.
+                let ar = sv::svuzp1::<E>(&self.ctx, &a.reg, &a.reg);
+                let ai = sv::svuzp2::<E>(&self.ctx, &a.reg, &a.reg);
+                let br = sv::svuzp1::<E>(&self.ctx, &b.reg, &b.reg);
+                let bi = sv::svuzp2::<E>(&self.ctx, &b.reg, &b.reg);
+                let z4 = sv::svmul_x::<E>(&self.ctx, &self.pg, &ar, &bi);
+                let z5 = sv::svmul_x::<E>(&self.ctx, &self.pg, &ai, &bi);
+                let z7 = sv::movprfx(&self.ctx, &z4);
+                let im = sv::svmla_m::<E>(&self.ctx, &self.pg, &z7, &ai, &br);
+                let z6 = sv::movprfx(&self.ctx, &z5);
+                let re = sv::svnmls_m::<E>(&self.ctx, &self.pg, &z6, &ar, &br);
+                let prod = sv::svzip1::<E>(&self.ctx, &re, &im);
+                CVec::from_reg(sv::svadd_x::<E>(&self.ctx, &self.pg, &acc.reg, &prod))
+            }
+        }
+    }
+
+    /// Conjugated multiply `conj(a) * b` lane-wise.
+    #[inline]
+    pub fn mult_conj(&self, a: CVec, b: CVec) -> CVec {
+        self.madd_conj(self.zero(), a, b)
+    }
+
+    /// Conjugated multiply-accumulate `acc + conj(a) * b` lane-wise — the
+    /// `U†` side of the hopping term (paper Eq. (1)) and the kernel of inner
+    /// products.
+    pub fn madd_conj(&self, acc: CVec, a: CVec, b: CVec) -> CVec {
+        match self.backend {
+            SimdBackend::Fcmla => CVec::from_reg(sv::fcmla_conj_mul_add::<E>(
+                &self.ctx, &self.pg, &acc.reg, &a.reg, &b.reg,
+            )),
+            SimdBackend::RealArith => {
+                // re: +ar*br + ai*bi ; im: +ar*bi - ai*br.
+                let re_dup = sv::svtrn1::<E>(&self.ctx, &a.reg, &a.reg);
+                let im_dup = sv::svtrn2::<E>(&self.ctx, &a.reg, &a.reg);
+                let b_swap = sv::svtbl::<E>(&self.ctx, &b.reg, &self.swap_tbl);
+                let b_swap_sgn = sv::svneg_m::<E>(&self.ctx, &self.pg_odd, &b_swap);
+                let t = sv::svmla_m::<E>(&self.ctx, &self.pg, &acc.reg, &re_dup, &b.reg);
+                CVec::from_reg(sv::svmla_m::<E>(
+                    &self.ctx,
+                    &self.pg,
+                    &t,
+                    &im_dup,
+                    &b_swap_sgn,
+                ))
+            }
+            SimdBackend::GenericAutovec => {
+                let ar = sv::svuzp1::<E>(&self.ctx, &a.reg, &a.reg);
+                let ai = sv::svuzp2::<E>(&self.ctx, &a.reg, &a.reg);
+                let br = sv::svuzp1::<E>(&self.ctx, &b.reg, &b.reg);
+                let bi = sv::svuzp2::<E>(&self.ctx, &b.reg, &b.reg);
+                // re = ar*br + ai*bi ; im = ar*bi - ai*br
+                let t0 = sv::svmul_x::<E>(&self.ctx, &self.pg, &ai, &bi);
+                let re = sv::svmla_m::<E>(&self.ctx, &self.pg, &t0, &ar, &br);
+                let t1 = sv::svmul_x::<E>(&self.ctx, &self.pg, &ai, &br);
+                let im = sv::svnmls_m::<E>(&self.ctx, &self.pg, &t1, &ar, &bi);
+                let prod = sv::svzip1::<E>(&self.ctx, &re, &im);
+                CVec::from_reg(sv::svadd_x::<E>(&self.ctx, &self.pg, &acc.reg, &prod))
+            }
+        }
+    }
+
+    /// Multiply every complex lane by `+i` (Grid's `timesI`).
+    pub fn times_i(&self, a: CVec) -> CVec {
+        match self.backend {
+            SimdBackend::Fcmla => CVec::from_reg(sv::svcadd::<E>(
+                &self.ctx,
+                &self.pg,
+                &self.zero,
+                &a.reg,
+                Rot::R90,
+            )),
+            _ => {
+                // (re, im) -> (-im, re): pair swap + negate even lanes.
+                let sw = sv::svtbl::<E>(&self.ctx, &a.reg, &self.swap_tbl);
+                CVec::from_reg(sv::svneg_m::<E>(&self.ctx, &self.pg_even, &sw))
+            }
+        }
+    }
+
+    /// Multiply every complex lane by `-i` (Grid's `timesMinusI`).
+    pub fn times_minus_i(&self, a: CVec) -> CVec {
+        match self.backend {
+            SimdBackend::Fcmla => CVec::from_reg(sv::svcadd::<E>(
+                &self.ctx,
+                &self.pg,
+                &self.zero,
+                &a.reg,
+                Rot::R270,
+            )),
+            _ => {
+                let sw = sv::svtbl::<E>(&self.ctx, &a.reg, &self.swap_tbl);
+                CVec::from_reg(sv::svneg_m::<E>(&self.ctx, &self.pg_odd, &sw))
+            }
+        }
+    }
+
+    /// Lane select (`svsel`): active lanes of `mask` from `a`, inactive
+    /// from `b`. Used by the even-odd machinery to mask parities within a
+    /// word (both f64 lanes of a complex element must agree in `mask`).
+    #[inline]
+    pub fn select_lanes(&self, mask: &PReg, a: CVec, b: CVec) -> CVec {
+        CVec::from_reg(sv::svsel::<E>(&self.ctx, mask, &a.reg, &b.reg))
+    }
+
+    // ---- permutation (virtual-node boundary shuffles) ----
+
+    /// Permute complex lanes: output complex lane `p` takes input complex
+    /// lane `perm[p]` (`svtbl` on the expanded f64 index table).
+    pub fn permute(&self, a: CVec, perm: &[usize]) -> CVec {
+        debug_assert_eq!(perm.len(), self.lanes_c);
+        let mut tbl = vec![0usize; 2 * self.lanes_c];
+        for (p, &src) in perm.iter().enumerate() {
+            tbl[2 * p] = 2 * src;
+            tbl[2 * p + 1] = 2 * src + 1;
+        }
+        CVec::from_reg(sv::svtbl::<E>(&self.ctx, &a.reg, &tbl))
+    }
+
+    // ---- reductions and lane access ----
+
+    /// Sum the complex lanes to a scalar (`uzp1`/`uzp2` + two `faddv`):
+    /// Grid's `Reduce`.
+    pub fn reduce_sum(&self, a: CVec) -> Complex {
+        let re = sv::svuzp1::<E>(&self.ctx, &a.reg, &a.reg);
+        let im = sv::svuzp2::<E>(&self.ctx, &a.reg, &a.reg);
+        Complex::new(
+            sv::svaddv::<E>(&self.ctx, &self.pg_half, &re).to_f64(),
+            sv::svaddv::<E>(&self.ctx, &self.pg_half, &im).to_f64(),
+        )
+    }
+
+    /// Sum of `|lane|^2` over all complex lanes (`fmul` + `faddv`).
+    pub fn norm2(&self, a: CVec) -> f64 {
+        let sq = sv::svmul_x::<E>(&self.ctx, &self.pg, &a.reg, &a.reg);
+        sv::svaddv::<E>(&self.ctx, &self.pg, &sq).to_f64()
+    }
+
+    /// Read complex lane `p` (test/debug path; not an SVE operation).
+    pub fn lane(&self, a: CVec, p: usize) -> Complex {
+        Complex::new(
+            a.reg.lane::<E>(2 * p).to_f64(),
+            a.reg.lane::<E>(2 * p + 1).to_f64(),
+        )
+    }
+
+    /// Build a word from a per-lane function (test/debug path).
+    pub fn from_fn(&self, mut f: impl FnMut(usize) -> Complex) -> CVec {
+        let lanes_c = self.lanes_c;
+        CVec::from_reg(VReg::from_fn::<E>(self.ctx.vl(), |e| {
+            let z = f((e / 2).min(lanes_c - 1));
+            E::from_f64(if e % 2 == 0 { z.re } else { z.im })
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sve::VectorLength;
+
+    fn engines() -> Vec<SimdEngine> {
+        SimdBackend::all()
+            .into_iter()
+            .map(|b| SimdEngine::new(Arc::new(SveCtx::new(VectorLength::of(512))), b))
+            .collect()
+    }
+
+    fn c(re: f64, im: f64) -> Complex {
+        Complex::new(re, im)
+    }
+
+    fn approx(a: Complex, b: Complex) -> bool {
+        (a - b).abs() <= 1e-12 * b.abs().max(1.0)
+    }
+
+    #[test]
+    fn load_store_round_trip() {
+        for eng in engines() {
+            let data: Vec<f64> = (0..eng.word_len()).map(|i| i as f64 * 0.5).collect();
+            let v = eng.load(&data);
+            let mut out = vec![0.0; eng.word_len()];
+            eng.store(&mut out, v);
+            assert_eq!(out, data, "{:?}", eng.backend());
+        }
+    }
+
+    #[test]
+    fn all_backends_multiply_identically() {
+        let mut results = Vec::new();
+        for eng in engines() {
+            let a = eng.from_fn(|p| c(p as f64 + 1.0, -(p as f64) * 0.5));
+            let b = eng.from_fn(|p| c(0.5 - p as f64, 2.0 + p as f64));
+            let r = eng.mult(a, b);
+            results.push(
+                (0..eng.lanes_c())
+                    .map(|p| eng.lane(r, p))
+                    .collect::<Vec<_>>(),
+            );
+        }
+        for p in 0..results[0].len() {
+            let want = c(p as f64 + 1.0, -(p as f64) * 0.5) * c(0.5 - p as f64, 2.0 + p as f64);
+            for (bi, res) in results.iter().enumerate() {
+                assert!(
+                    approx(res[p], want),
+                    "backend {bi} lane {p}: {:?} vs {want:?}",
+                    res[p]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn madd_accumulates() {
+        for eng in engines() {
+            let acc = eng.from_fn(|_| c(10.0, -10.0));
+            let a = eng.from_fn(|_| c(1.0, 2.0));
+            let b = eng.from_fn(|_| c(3.0, -1.0));
+            let r = eng.madd(acc, a, b);
+            let want = c(10.0, -10.0) + c(1.0, 2.0) * c(3.0, -1.0);
+            assert!(approx(eng.lane(r, 0), want), "{:?}", eng.backend());
+        }
+    }
+
+    #[test]
+    fn conjugated_multiply_all_backends() {
+        for eng in engines() {
+            let a = eng.from_fn(|p| c(1.5, p as f64 - 1.0));
+            let b = eng.from_fn(|p| c(-0.5 * p as f64, 2.0));
+            let r = eng.mult_conj(a, b);
+            for p in 0..eng.lanes_c() {
+                let want = c(1.5, p as f64 - 1.0).conj() * c(-0.5 * p as f64, 2.0);
+                assert!(approx(eng.lane(r, p), want), "{:?} lane {p}", eng.backend());
+            }
+        }
+    }
+
+    #[test]
+    fn times_i_and_conj() {
+        for eng in engines() {
+            let a = eng.from_fn(|p| c(2.0 + p as f64, -1.0));
+            let ti = eng.times_i(a);
+            let tmi = eng.times_minus_i(a);
+            let cj = eng.conj(a);
+            for p in 0..eng.lanes_c() {
+                let z = c(2.0 + p as f64, -1.0);
+                assert_eq!(eng.lane(ti, p), z.times_i(), "{:?}", eng.backend());
+                assert_eq!(eng.lane(tmi, p), z.times_minus_i());
+                assert_eq!(eng.lane(cj, p), z.conj());
+            }
+        }
+    }
+
+    #[test]
+    fn add_sub_neg_scale() {
+        for eng in engines() {
+            let a = eng.from_fn(|p| c(p as f64, 1.0));
+            let b = eng.from_fn(|p| c(1.0, p as f64));
+            assert_eq!(eng.lane(eng.add(a, b), 2), c(3.0, 3.0));
+            assert_eq!(eng.lane(eng.sub(a, b), 2), c(1.0, -1.0));
+            assert_eq!(eng.lane(eng.neg(a), 2), c(-2.0, -1.0));
+            let s = eng.dup_real(2.5);
+            assert_eq!(eng.lane(eng.scale(s, a), 2), c(5.0, 2.5));
+        }
+    }
+
+    #[test]
+    fn permute_rotates_complex_lanes() {
+        for eng in engines() {
+            let lanes = eng.lanes_c();
+            let a = eng.from_fn(|p| c(p as f64, 100.0 + p as f64));
+            let perm: Vec<usize> = (0..lanes).map(|p| (p + 1) % lanes).collect();
+            let r = eng.permute(a, &perm);
+            for p in 0..lanes {
+                let src = (p + 1) % lanes;
+                assert_eq!(eng.lane(r, p), c(src as f64, 100.0 + src as f64));
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_and_norm() {
+        for eng in engines() {
+            let a = eng.from_fn(|p| c(p as f64 + 1.0, -1.0));
+            let lanes = eng.lanes_c() as f64;
+            let sum = eng.reduce_sum(a);
+            assert!((sum.re - (lanes * (lanes + 1.0) / 2.0)).abs() < 1e-12);
+            assert!((sum.im + lanes).abs() < 1e-12);
+            let n2 = eng.norm2(a);
+            let want: f64 = (0..eng.lanes_c())
+                .map(|p| c(p as f64 + 1.0, -1.0).norm2())
+                .sum();
+            assert!((n2 - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn splat_fills_all_lanes() {
+        for eng in engines() {
+            let v = eng.splat(c(3.0, -4.0));
+            for p in 0..eng.lanes_c() {
+                assert_eq!(eng.lane(v, p), c(3.0, -4.0));
+            }
+        }
+    }
+
+    #[test]
+    fn mul_real_part_uses_only_real_components() {
+        for eng in engines() {
+            let s = eng.from_fn(|_| c(2.0, 999.0)); // imaginary must be ignored
+            let a = eng.from_fn(|_| c(3.0, -5.0));
+            let r = eng.mul_real_part(s, a);
+            assert_eq!(eng.lane(r, 0), c(6.0, -10.0));
+        }
+    }
+
+    #[test]
+    fn backend_instruction_counts_are_ordered() {
+        // FCMLA: 2 arith instructions per madd. RealArith: 6. Autovec: 12.
+        use sve::Opcode;
+        let mut totals = Vec::new();
+        for eng in engines() {
+            let before = eng.ctx().counters().total();
+            let a = eng.from_fn(|_| c(1.0, 1.0));
+            let b = eng.from_fn(|_| c(1.0, -1.0));
+            let acc = eng.zero();
+            let _ = eng.madd(acc, a, b);
+            totals.push((eng.backend(), eng.ctx().counters().total() - before));
+        }
+        let fcmla = totals.iter().find(|t| t.0 == SimdBackend::Fcmla).unwrap().1;
+        let real = totals
+            .iter()
+            .find(|t| t.0 == SimdBackend::RealArith)
+            .unwrap()
+            .1;
+        let auto = totals
+            .iter()
+            .find(|t| t.0 == SimdBackend::GenericAutovec)
+            .unwrap()
+            .1;
+        assert!(fcmla < real, "fcmla {fcmla} !< real {real}");
+        assert!(real < auto, "real {real} !< autovec {auto}");
+        // And the FCMLA backend issues exactly two fcmla per madd.
+        let eng = SimdEngine::<f64>::new(
+            Arc::new(SveCtx::new(VectorLength::of(256))),
+            SimdBackend::Fcmla,
+        );
+        let a = eng.zero();
+        let _ = eng.madd(a, a, a);
+        assert_eq!(eng.ctx().counters().get(Opcode::Fcmla), 2);
+    }
+
+    #[test]
+    fn works_at_every_vector_length() {
+        for vl in VectorLength::sweep() {
+            for backend in SimdBackend::all() {
+                let eng = SimdEngine::<f64>::new(Arc::new(SveCtx::new(vl)), backend);
+                let a = eng.from_fn(|p| c(p as f64, 1.0));
+                let b = eng.from_fn(|p| c(1.0, -(p as f64)));
+                let r = eng.mult(a, b);
+                for p in 0..eng.lanes_c() {
+                    let want = c(p as f64, 1.0) * c(1.0, -(p as f64));
+                    assert!(approx(eng.lane(r, p), want), "{vl} {backend:?} lane {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_precision_engine_has_twice_the_lanes() {
+        for vl in VectorLength::sweep() {
+            let e64 = SimdEngine::<f64>::new(Arc::new(SveCtx::new(vl)), SimdBackend::Fcmla);
+            let e32 = SimdEngine::<f32>::new(Arc::new(SveCtx::new(vl)), SimdBackend::Fcmla);
+            assert_eq!(e32.lanes_c(), 2 * e64.lanes_c());
+            // Complex multiply correct in f32 on all backends.
+            for backend in SimdBackend::all() {
+                let eng = SimdEngine::<f32>::new(Arc::new(SveCtx::new(vl)), backend);
+                let a = eng.from_fn(|p| c(p as f64 * 0.5, 1.0));
+                let b = eng.from_fn(|p| c(1.0, -(p as f64) * 0.25));
+                let r = eng.mult(a, b);
+                for p in 0..eng.lanes_c() {
+                    let want = c(p as f64 * 0.5, 1.0) * c(1.0, -(p as f64) * 0.25);
+                    assert!((eng.lane(r, p) - want).abs() < 1e-5, "{vl} {backend:?}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Iterative Krylov solvers.
+//!
+//! "A significant fraction of time-to-solution of LQCD applications is spent
+//! in solving a linear set of equations, for which iterative solvers like
+//! Conjugate Gradient are used" (paper, Section II-A). CG inverts the
+//! hermitian positive-definite normal operator `M†M`; BiCGStab works on `M`
+//! directly. Both are built purely from the vectorized field primitives
+//! (`axpy`, inner products, norms), so every arithmetic instruction they
+//! retire is visible to the SVE counters.
+
+use crate::dirac::WilsonDirac;
+use crate::field::{FermionField, FermionKind, Field};
+use sve::SveFloat;
+
+/// Solver outcome.
+#[derive(Clone, Debug)]
+pub struct SolveReport {
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final relative residual `|b - A x| / |b|`.
+    pub residual: f64,
+    /// Whether the target tolerance was reached.
+    pub converged: bool,
+    /// Relative true residual per iteration (preconditioned residual norm
+    /// history), for convergence plots.
+    pub history: Vec<f64>,
+}
+
+/// Conjugate Gradient on an arbitrary hermitian positive-definite operator,
+/// supplied as a closure (the shape Grid's `ConjugateGradient` template
+/// takes). Standard Hestenes–Stiefel recurrence; `tol` is relative to `|b|`.
+pub fn cg_op<E: SveFloat>(
+    apply: impl Fn(&Field<FermionKind, E>) -> Field<FermionKind, E>,
+    b: &Field<FermionKind, E>,
+    tol: f64,
+    max_iter: usize,
+) -> (Field<FermionKind, E>, SolveReport) {
+    let grid = b.grid().clone();
+    let b_norm2 = b.norm2();
+    assert!(b_norm2 > 0.0, "CG needs a nonzero right-hand side");
+
+    let mut x = Field::<FermionKind, E>::zero(grid.clone());
+    let mut r = b.clone(); // r = b - A*0
+    let mut p = r.clone();
+    let mut r2 = r.norm2();
+    let target = tol * tol * b_norm2;
+    let mut history = vec![(r2 / b_norm2).sqrt()];
+
+    let mut iterations = 0;
+    while iterations < max_iter && r2 > target {
+        let ap = apply(&p);
+        let p_ap = p.inner(&ap).re;
+        assert!(
+            p_ap > 0.0,
+            "search direction has non-positive curvature: operator not HPD?"
+        );
+        let alpha = r2 / p_ap;
+        x.axpy_inplace(alpha, &p);
+        r.axpy_inplace(-alpha, &ap);
+        let r2_new = r.norm2();
+        let beta = r2_new / r2;
+        p.aypx(beta, &r); // p = r + beta p
+        r2 = r2_new;
+        iterations += 1;
+        history.push((r2 / b_norm2).sqrt());
+    }
+
+    // True residual check (guards against recurrence drift).
+    let mut true_r = Field::<FermionKind, E>::zero(grid);
+    true_r.sub(b, &apply(&x));
+    let residual = (true_r.norm2() / b_norm2).sqrt();
+    let converged = r2 <= target;
+    (
+        x,
+        SolveReport {
+            iterations,
+            residual,
+            converged,
+            history,
+        },
+    )
+}
+
+/// Conjugate Gradient on the Wilson normal equations: solves `M†M x = b`.
+pub fn cg<E: SveFloat>(
+    op: &WilsonDirac<E>,
+    b: &Field<FermionKind, E>,
+    tol: f64,
+    max_iter: usize,
+) -> (Field<FermionKind, E>, SolveReport) {
+    cg_op(|p| op.mdag_m(p), b, tol, max_iter)
+}
+
+/// Solve `M x = b` through the normal equations: CG on `M†M x = M†b`.
+pub fn solve_wilson(
+    op: &WilsonDirac,
+    b: &FermionField,
+    tol: f64,
+    max_iter: usize,
+) -> (FermionField, SolveReport) {
+    let rhs = op.apply_dag(b);
+    let (x, mut report) = cg(op, &rhs, tol, max_iter);
+    // Report the residual of the original system.
+    let mut true_r = FermionField::zero(b.grid().clone());
+    true_r.sub(b, &op.apply(&x));
+    report.residual = (true_r.norm2() / b.norm2()).sqrt();
+    (x, report)
+}
+
+/// BiCGStab on `M x = b` — the non-hermitian workhorse; roughly half the
+/// operator applications of normal-equation CG per iteration pair.
+pub fn bicgstab(
+    op: &WilsonDirac,
+    b: &FermionField,
+    tol: f64,
+    max_iter: usize,
+) -> (FermionField, SolveReport) {
+    let grid = b.grid().clone();
+    let b_norm2 = b.norm2();
+    assert!(b_norm2 > 0.0, "BiCGStab needs a nonzero right-hand side");
+    let target = tol * tol * b_norm2;
+
+    let mut x = FermionField::zero(grid.clone());
+    let mut r = b.clone();
+    let r0 = r.clone(); // shadow residual
+    let mut p = r.clone();
+    let mut rho = r0.inner(&r);
+    let mut history = vec![(r.norm2() / b_norm2).sqrt()];
+    let mut iterations = 0;
+
+    while iterations < max_iter && r.norm2() > target {
+        let v = op.apply(&p);
+        let alpha = rho * {
+            let d = r0.inner(&v);
+            let n2 = d.norm2();
+            assert!(n2 > 0.0, "BiCGStab breakdown: <r0, v> = 0");
+            d.conj().scale(1.0 / n2)
+        };
+        // s = r - alpha v
+        let mut s = r.clone();
+        s.axpy_complex(-alpha, &v);
+        let t = op.apply(&s);
+        let t2 = t.norm2();
+        assert!(t2 > 0.0, "BiCGStab breakdown: t = 0");
+        let omega = {
+            let ts = t.inner(&s);
+            ts.scale(1.0 / t2)
+        };
+        // x += alpha p + omega s
+        x.axpy_complex(alpha, &p);
+        x.axpy_complex(omega, &s);
+        // r = s - omega t
+        r = s;
+        r.axpy_complex(-omega, &t);
+        let rho_new = r0.inner(&r);
+        let beta = (rho_new * alpha) * {
+            let d = rho * omega;
+            let n2 = d.norm2();
+            assert!(n2 > 0.0, "BiCGStab breakdown: rho*omega = 0");
+            d.conj().scale(1.0 / n2)
+        };
+        // p = r + beta (p - omega v)
+        p.axpy_complex(-omega, &v);
+        p.scale_complex(beta);
+        p.add_assign_field(&r);
+        rho = rho_new;
+        iterations += 1;
+        history.push((r.norm2() / b_norm2).sqrt());
+    }
+
+    let mut true_r = FermionField::zero(grid);
+    true_r.sub(b, &op.apply(&x));
+    let residual = (true_r.norm2() / b_norm2).sqrt();
+    (
+        x,
+        SolveReport {
+            iterations,
+            residual,
+            converged: residual <= tol * 10.0,
+            history,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::Grid;
+    use crate::simd::SimdBackend;
+    use crate::tensor::su3::random_gauge;
+    use sve::VectorLength;
+
+    fn setup(bits: usize, backend: SimdBackend) -> (WilsonDirac, FermionField) {
+        let g = Grid::new([4, 4, 4, 4], VectorLength::of(bits), backend);
+        let u = random_gauge(g.clone(), 21);
+        let b = FermionField::random(g.clone(), 22);
+        (WilsonDirac::new(u, 0.2), b)
+    }
+
+    #[test]
+    fn cg_converges_on_the_normal_operator() {
+        let (op, b) = setup(512, SimdBackend::Fcmla);
+        let (x, report) = cg(&op, &b, 1e-8, 2000);
+        assert!(report.converged, "CG failed: {report:?}");
+        assert!(report.residual < 1e-7, "true residual {}", report.residual);
+        // Verify by direct application.
+        let ax = op.mdag_m(&x);
+        let mut diff = FermionField::zero(b.grid().clone());
+        diff.sub(&ax, &b);
+        assert!(diff.norm2() / b.norm2() < 1e-13);
+    }
+
+    #[test]
+    fn residual_history_is_monotone_enough() {
+        let (op, b) = setup(256, SimdBackend::Fcmla);
+        let (_, report) = cg(&op, &b, 1e-8, 2000);
+        // CG residuals may wobble, but first and last tell the story.
+        assert!(report.history.first().unwrap() > report.history.last().unwrap());
+        assert_eq!(report.history.len(), report.iterations + 1);
+    }
+
+    #[test]
+    fn solve_wilson_inverts_m() {
+        let (op, b) = setup(512, SimdBackend::Fcmla);
+        let (x, report) = solve_wilson(&op, &b, 1e-8, 2000);
+        assert!(report.residual < 1e-6, "residual {}", report.residual);
+        let mx = op.apply(&x);
+        let mut diff = FermionField::zero(b.grid().clone());
+        diff.sub(&mx, &b);
+        assert!((diff.norm2() / b.norm2()).sqrt() < 1e-6);
+    }
+
+    #[test]
+    fn bicgstab_inverts_m_directly() {
+        let (op, b) = setup(256, SimdBackend::Fcmla);
+        let (x, report) = bicgstab(&op, &b, 1e-8, 2000);
+        assert!(report.residual < 1e-6, "residual {}", report.residual);
+        let mx = op.apply(&x);
+        let mut diff = FermionField::zero(b.grid().clone());
+        diff.sub(&mx, &b);
+        assert!((diff.norm2() / b.norm2()).sqrt() < 1e-6);
+    }
+
+    #[test]
+    fn backends_converge_to_the_same_solution() {
+        let mut solutions = Vec::new();
+        for backend in SimdBackend::all() {
+            let (op, b) = setup(512, backend);
+            let (x, report) = cg(&op, &b, 1e-10, 2000);
+            assert!(report.converged, "{backend:?}");
+            solutions.push(x);
+        }
+        let norm = solutions[0].norm2().sqrt();
+        for other in &solutions[1..] {
+            // Fields live on per-backend grids: compare raw storage (layout
+            // is identical — same dims, same vector length).
+            let d = solutions[0]
+                .data()
+                .iter()
+                .zip(other.data())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            assert!(d < 1e-7 * norm.max(1.0), "solutions differ by {d}");
+        }
+    }
+
+    #[test]
+    fn convergence_is_vl_independent() {
+        // Same physics at every vector length: iteration counts match and
+        // solutions agree site by site (the V-D verification idea applied
+        // to a full solve).
+        let mut reports = Vec::new();
+        let mut sols = Vec::new();
+        for bits in [128usize, 1024] {
+            let (op, b) = setup(bits, SimdBackend::Fcmla);
+            let (x, report) = cg(&op, &b, 1e-8, 2000);
+            reports.push(report);
+            sols.push(x);
+        }
+        assert_eq!(reports[0].iterations, reports[1].iterations);
+        let g0 = sols[0].grid().clone();
+        for x in g0.coords().step_by(5) {
+            for comp in 0..12 {
+                let a = sols[0].peek(&x, comp);
+                let b = sols[1].peek(&x, comp);
+                assert!((a - b).abs() < 1e-8, "{x:?} {comp}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero right-hand side")]
+    fn cg_rejects_zero_rhs() {
+        let (op, b) = setup(128, SimdBackend::Fcmla);
+        let zero = FermionField::zero(b.grid().clone());
+        let _ = cg(&op, &zero, 1e-8, 10);
+    }
+}

@@ -1,0 +1,330 @@
+//! Dirac gamma matrices and the Wilson spin projectors.
+//!
+//! "The γµ are the (constant) Dirac matrices, carrying spinor indices"
+//! (paper, Section II-A). We use the chiral basis Grid uses; all entries are
+//! `0`, `±1` or `±i`, so applying `(1 ± γµ)` never needs a general complex
+//! multiply — just adds, subtracts and `±i` factors, which is why the SIMD
+//! layer exposes `TimesI`/`TimesMinusI` as first-class functors.
+//!
+//! The projection trick: `(1 ± γµ)` has rank 2, so its image is determined
+//! by two spinor components (a *half spinor*); the lower two components are
+//! reconstructed from the upper two by a fixed `±1`/`±i` relation. The
+//! hopping term (paper Eq. (1)) multiplies only half spinors by SU(3)
+//! links, halving the color-multiply work. [`project`]/[`reconstruct`]
+//! implement the trick; the unit tests prove them equal to the literal
+//! `(1 ± γµ)` matrix action for every direction and sign.
+
+use crate::complex::Complex;
+use crate::layout::NSPIN;
+
+/// The four space-time gamma matrices plus γ5, as dense 4x4 complex
+/// matrices in the chiral basis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Gamma {
+    /// γ_x (direction 0).
+    X,
+    /// γ_y (direction 1).
+    Y,
+    /// γ_z (direction 2).
+    Z,
+    /// γ_t (direction 3).
+    T,
+    /// γ5 = γx γy γz γt (chirality).
+    Five,
+}
+
+impl Gamma {
+    /// The gamma matrix for space-time direction `mu` (0..4).
+    pub fn dir(mu: usize) -> Gamma {
+        match mu {
+            0 => Gamma::X,
+            1 => Gamma::Y,
+            2 => Gamma::Z,
+            3 => Gamma::T,
+            _ => panic!("direction out of range"),
+        }
+    }
+
+    /// Dense matrix representation.
+    pub fn matrix(self) -> [[Complex; NSPIN]; NSPIN] {
+        let o = Complex::ZERO;
+        let e = Complex::ONE;
+        let i = Complex::I;
+        let m = -Complex::ONE;
+        let mi = -Complex::I;
+        match self {
+            Gamma::X => [[o, o, o, i], [o, o, i, o], [o, mi, o, o], [mi, o, o, o]],
+            Gamma::Y => [[o, o, o, m], [o, o, e, o], [o, e, o, o], [m, o, o, o]],
+            Gamma::Z => [[o, o, i, o], [o, o, o, mi], [mi, o, o, o], [o, i, o, o]],
+            Gamma::T => [[o, o, e, o], [o, o, o, e], [e, o, o, o], [o, e, o, o]],
+            Gamma::Five => [[e, o, o, o], [o, e, o, o], [o, o, m, o], [o, o, o, m]],
+        }
+    }
+
+    /// Apply this gamma matrix to a spin 4-vector.
+    pub fn apply(self, s: &[Complex; NSPIN]) -> [Complex; NSPIN] {
+        let g = self.matrix();
+        std::array::from_fn(|r| (0..NSPIN).fold(Complex::ZERO, |acc, c| acc + g[r][c] * s[c]))
+    }
+}
+
+/// How a half-spinor component is built from (or reconstructed into) full
+/// spinor components: `coeff * spinor[index]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Coeff {
+    /// `+1`.
+    One,
+    /// `-1`.
+    MinusOne,
+    /// `+i`.
+    I,
+    /// `-i`.
+    MinusI,
+}
+
+impl Coeff {
+    /// Apply to a scalar complex value.
+    pub fn apply(self, z: Complex) -> Complex {
+        match self {
+            Coeff::One => z,
+            Coeff::MinusOne => -z,
+            Coeff::I => z.times_i(),
+            Coeff::MinusI => z.times_minus_i(),
+        }
+    }
+}
+
+/// The spin-projection table for `(1 + sign*γµ)`:
+/// half spinor `h_k = s_k + proj[k].1 * s[proj[k].0]` for `k = 0, 1`, and
+/// full-spinor reconstruction `r_{2+k} = recon[k].1 * h[recon[k].0]`.
+#[derive(Clone, Copy, Debug)]
+pub struct ProjTable {
+    /// For each of the two half-spinor rows: (source spin index, coefficient).
+    pub proj: [(usize, Coeff); 2],
+    /// For each of the two reconstructed rows: (half-spinor row, coefficient).
+    pub recon: [(usize, Coeff); 2],
+}
+
+/// Projection table for direction `mu` and sign `+1`/`-1` (the paper's
+/// `(1 + γµ)` forward / `(1 - γµ)` backward legs).
+pub fn proj_table(mu: usize, plus: bool) -> ProjTable {
+    use Coeff::*;
+    match (mu, plus) {
+        // (1 + γx): h0 = s0 + i s3, h1 = s1 + i s2 ; r2 = -i h1, r3 = -i h0
+        (0, true) => ProjTable {
+            proj: [(3, I), (2, I)],
+            recon: [(1, MinusI), (0, MinusI)],
+        },
+        // (1 - γx): h0 = s0 - i s3, h1 = s1 - i s2 ; r2 = +i h1, r3 = +i h0
+        (0, false) => ProjTable {
+            proj: [(3, MinusI), (2, MinusI)],
+            recon: [(1, I), (0, I)],
+        },
+        // (1 + γy): h0 = s0 - s3, h1 = s1 + s2 ; r2 = h1, r3 = -h0
+        (1, true) => ProjTable {
+            proj: [(3, MinusOne), (2, One)],
+            recon: [(1, One), (0, MinusOne)],
+        },
+        // (1 - γy): h0 = s0 + s3, h1 = s1 - s2 ; r2 = -h1, r3 = h0
+        (1, false) => ProjTable {
+            proj: [(3, One), (2, MinusOne)],
+            recon: [(1, MinusOne), (0, One)],
+        },
+        // (1 + γz): h0 = s0 + i s2, h1 = s1 - i s3 ; r2 = -i h0, r3 = +i h1
+        (2, true) => ProjTable {
+            proj: [(2, I), (3, MinusI)],
+            recon: [(0, MinusI), (1, I)],
+        },
+        // (1 - γz): h0 = s0 - i s2, h1 = s1 + i s3 ; r2 = +i h0, r3 = -i h1
+        (2, false) => ProjTable {
+            proj: [(2, MinusI), (3, I)],
+            recon: [(0, I), (1, MinusI)],
+        },
+        // (1 + γt): h0 = s0 + s2, h1 = s1 + s3 ; r2 = h0, r3 = h1
+        (3, true) => ProjTable {
+            proj: [(2, One), (3, One)],
+            recon: [(0, One), (1, One)],
+        },
+        // (1 - γt): h0 = s0 - s2, h1 = s1 - s3 ; r2 = -h0, r3 = -h1
+        (3, false) => ProjTable {
+            proj: [(2, MinusOne), (3, MinusOne)],
+            recon: [(0, MinusOne), (1, MinusOne)],
+        },
+        _ => panic!("direction out of range"),
+    }
+}
+
+/// Scalar spin projection: `(1 ± γµ) s` restricted to its two independent
+/// rows.
+pub fn project(mu: usize, plus: bool, s: &[Complex; NSPIN]) -> [Complex; 2] {
+    let t = proj_table(mu, plus);
+    std::array::from_fn(|k| {
+        let (src, coeff) = t.proj[k];
+        s[k] + coeff.apply(s[src])
+    })
+}
+
+/// Scalar reconstruction: expand a half spinor back to the full `(1 ± γµ) s`.
+pub fn reconstruct(mu: usize, plus: bool, h: &[Complex; 2]) -> [Complex; NSPIN] {
+    let t = proj_table(mu, plus);
+    let mut out = [Complex::ZERO; NSPIN];
+    out[0] = h[0];
+    out[1] = h[1];
+    for k in 0..2 {
+        let (row, coeff) = t.recon[k];
+        out[2 + k] = coeff.apply(h[row]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spinors() -> Vec<[Complex; NSPIN]> {
+        let mut out = Vec::new();
+        for k in 0..8 {
+            out.push(std::array::from_fn(|s| {
+                Complex::new(
+                    (s as f64 + 1.0) * 0.5 - k as f64,
+                    k as f64 * 0.25 - s as f64,
+                )
+            }));
+        }
+        out
+    }
+
+    fn mat_mul(a: [[Complex; 4]; 4], b: [[Complex; 4]; 4]) -> [[Complex; 4]; 4] {
+        std::array::from_fn(|r| {
+            std::array::from_fn(|c| (0..4).fold(Complex::ZERO, |acc, k| acc + a[r][k] * b[k][c]))
+        })
+    }
+
+    fn approx_eq(a: Complex, b: Complex) -> bool {
+        (a - b).abs() < 1e-13
+    }
+
+    #[test]
+    fn gammas_square_to_identity() {
+        for g in [Gamma::X, Gamma::Y, Gamma::Z, Gamma::T, Gamma::Five] {
+            let sq = mat_mul(g.matrix(), g.matrix());
+            for r in 0..4 {
+                for c in 0..4 {
+                    let want = if r == c { Complex::ONE } else { Complex::ZERO };
+                    assert!(approx_eq(sq[r][c], want), "{g:?}^2 at ({r},{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gammas_anticommute() {
+        let gs = [Gamma::X, Gamma::Y, Gamma::Z, Gamma::T];
+        for (i, &a) in gs.iter().enumerate() {
+            for &b in gs.iter().skip(i + 1) {
+                let ab = mat_mul(a.matrix(), b.matrix());
+                let ba = mat_mul(b.matrix(), a.matrix());
+                for r in 0..4 {
+                    for c in 0..4 {
+                        assert!(
+                            approx_eq(ab[r][c] + ba[r][c], Complex::ZERO),
+                            "{{{a:?},{b:?}}} != 0 at ({r},{c})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gamma5_is_product_of_all_gammas() {
+        let prod = mat_mul(
+            mat_mul(Gamma::X.matrix(), Gamma::Y.matrix()),
+            mat_mul(Gamma::Z.matrix(), Gamma::T.matrix()),
+        );
+        let g5 = Gamma::Five.matrix();
+        for r in 0..4 {
+            for c in 0..4 {
+                assert!(approx_eq(prod[r][c], g5[r][c]), "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn gamma5_anticommutes_with_directions() {
+        for mu in 0..4 {
+            let g = Gamma::dir(mu).matrix();
+            let g5 = Gamma::Five.matrix();
+            let a = mat_mul(g5, g);
+            let b = mat_mul(g, g5);
+            for r in 0..4 {
+                for c in 0..4 {
+                    assert!(approx_eq(a[r][c] + b[r][c], Complex::ZERO));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn projector_equals_literal_one_plus_minus_gamma() {
+        // The load-bearing identity of the Wilson kernel: for every
+        // direction and sign, reconstruct(project(s)) == (1 ± γµ) s.
+        for mu in 0..4 {
+            for plus in [true, false] {
+                for s in spinors() {
+                    let h = project(mu, plus, &s);
+                    let got = reconstruct(mu, plus, &h);
+                    let gs = Gamma::dir(mu).apply(&s);
+                    let sign = if plus { 1.0 } else { -1.0 };
+                    for r in 0..NSPIN {
+                        let want = s[r] + gs[r] * sign;
+                        assert!(
+                            approx_eq(got[r], want),
+                            "mu={mu} plus={plus} row {r}: {:?} vs {want:?}",
+                            got[r]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn projectors_are_rank_two() {
+        // (1±γµ)^2 = 2 (1±γµ): projecting a reconstructed spinor doubles it.
+        for mu in 0..4 {
+            for plus in [true, false] {
+                for s in spinors() {
+                    let once = reconstruct(mu, plus, &project(mu, plus, &s));
+                    let twice = reconstruct(mu, plus, &project(mu, plus, &once));
+                    for r in 0..NSPIN {
+                        assert!(approx_eq(twice[r], once[r] * 2.0), "mu={mu} plus={plus}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn opposite_projectors_sum_to_twice_identity() {
+        // (1+γµ) + (1−γµ) = 2.
+        for mu in 0..4 {
+            for s in spinors() {
+                let p = reconstruct(mu, true, &project(mu, true, &s));
+                let m = reconstruct(mu, false, &project(mu, false, &s));
+                for r in 0..NSPIN {
+                    assert!(approx_eq(p[r] + m[r], s[r] * 2.0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coeff_algebra() {
+        let z = Complex::new(2.0, -3.0);
+        assert_eq!(Coeff::One.apply(z), z);
+        assert_eq!(Coeff::MinusOne.apply(z), -z);
+        assert_eq!(Coeff::I.apply(z), z.times_i());
+        assert_eq!(Coeff::MinusI.apply(z), z.times_minus_i());
+    }
+}

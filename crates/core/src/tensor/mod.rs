@@ -1,0 +1,13 @@
+//! Site-local tensor algebra: SU(3) color matrices, spinors and the Dirac
+//! gamma matrices (paper, Section II-A).
+
+pub mod gamma;
+pub mod gamma_algebra;
+pub mod su3;
+
+pub use gamma::{proj_table, project, reconstruct, Coeff, Gamma, ProjTable};
+pub use gamma_algebra::{mult_gamma, GammaElement, SpinPerm};
+pub use su3::{
+    dagger, det, mat_dag_vec, mat_dag_vec_scalar, mat_mul_scalar, mat_vec, mat_vec_scalar,
+    peek_link, random_gauge, random_su3, unit_gauge, unitarity_defect, ColorMatrix, ColorVector,
+};

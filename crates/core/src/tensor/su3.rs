@@ -1,0 +1,298 @@
+//! SU(3) color algebra.
+//!
+//! "The gauge matrices carry color indices and are represented by 3 × 3
+//! matrices with complex entries" (paper, Section II-A). Scalar routines
+//! build and validate gauge configurations; the word-level routines are the
+//! color kernels of the hopping term, running on SIMD words so every call
+//! processes one matrix-vector product per virtual node.
+
+use crate::complex::Complex;
+use crate::field::{gauge_comp, Field, GaugeKind};
+use crate::layout::{Coor, Grid, NCOLOR, NDIM};
+use crate::rng::{stream_id, uniform};
+use crate::simd::{CVec, SimdEngine};
+use std::sync::Arc;
+use sve::SveFloat;
+
+/// A scalar 3x3 complex matrix.
+pub type ColorMatrix = [[Complex; NCOLOR]; NCOLOR];
+/// A scalar color 3-vector.
+pub type ColorVector = [Complex; NCOLOR];
+
+/// Matrix-vector product `U v` (scalar reference path).
+pub fn mat_vec_scalar(u: &ColorMatrix, v: &ColorVector) -> ColorVector {
+    std::array::from_fn(|r| (0..NCOLOR).fold(Complex::ZERO, |acc, c| acc + u[r][c] * v[c]))
+}
+
+/// Adjoint matrix-vector product `U† v` (scalar reference path).
+pub fn mat_dag_vec_scalar(u: &ColorMatrix, v: &ColorVector) -> ColorVector {
+    std::array::from_fn(|r| (0..NCOLOR).fold(Complex::ZERO, |acc, c| acc + u[c][r].conj() * v[c]))
+}
+
+/// Matrix product `A B` (scalar path).
+pub fn mat_mul_scalar(a: &ColorMatrix, b: &ColorMatrix) -> ColorMatrix {
+    std::array::from_fn(|r| {
+        std::array::from_fn(|c| (0..NCOLOR).fold(Complex::ZERO, |acc, k| acc + a[r][k] * b[k][c]))
+    })
+}
+
+/// Hermitian conjugate `U†`.
+pub fn dagger(u: &ColorMatrix) -> ColorMatrix {
+    std::array::from_fn(|r| std::array::from_fn(|c| u[c][r].conj()))
+}
+
+/// Determinant of a 3x3 complex matrix.
+pub fn det(u: &ColorMatrix) -> Complex {
+    u[0][0] * (u[1][1] * u[2][2] - u[1][2] * u[2][1])
+        - u[0][1] * (u[1][0] * u[2][2] - u[1][2] * u[2][0])
+        + u[0][2] * (u[1][0] * u[2][1] - u[1][1] * u[2][0])
+}
+
+/// Deviation from unitarity: `max |U†U - 1|` entry-wise.
+pub fn unitarity_defect(u: &ColorMatrix) -> f64 {
+    let udu = mat_mul_scalar(&dagger(u), u);
+    let mut worst: f64 = 0.0;
+    for r in 0..NCOLOR {
+        for c in 0..NCOLOR {
+            let want = if r == c { Complex::ONE } else { Complex::ZERO };
+            worst = worst.max((udu[r][c] - want).abs());
+        }
+    }
+    worst
+}
+
+fn cdot(a: &ColorVector, b: &ColorVector) -> Complex {
+    (0..NCOLOR).fold(Complex::ZERO, |acc, i| acc + a[i].conj() * b[i])
+}
+
+fn vnorm(a: &ColorVector) -> f64 {
+    cdot(a, a).re.sqrt()
+}
+
+/// A deterministic pseudo-random SU(3) matrix for (seed, stream):
+/// Gram-Schmidt two random rows, third row = conjugate cross product
+/// (guarantees `det = +1`).
+pub fn random_su3(seed: u64, stream: u64) -> ColorMatrix {
+    let mut rows: [ColorVector; 2] = std::array::from_fn(|r| {
+        std::array::from_fn(|c| {
+            Complex::new(
+                uniform(seed, stream.wrapping_mul(64) + (r * 6 + c * 2) as u64),
+                uniform(seed, stream.wrapping_mul(64) + (r * 6 + c * 2 + 1) as u64),
+            )
+        })
+    });
+    // Normalize row 0.
+    let n0 = vnorm(&rows[0]);
+    for c in 0..NCOLOR {
+        rows[0][c] = rows[0][c].scale(1.0 / n0);
+    }
+    // Orthogonalize and normalize row 1.
+    let overlap = cdot(&rows[0], &rows[1]);
+    for c in 0..NCOLOR {
+        rows[1][c] = rows[1][c] - rows[0][c] * overlap;
+    }
+    let n1 = vnorm(&rows[1]);
+    for c in 0..NCOLOR {
+        rows[1][c] = rows[1][c].scale(1.0 / n1);
+    }
+    // Row 2 = conj(row0 x row1): unitary completion with det = 1.
+    let r0 = rows[0];
+    let r1 = rows[1];
+    let row2: ColorVector = [
+        (r0[1] * r1[2] - r0[2] * r1[1]).conj(),
+        (r0[2] * r1[0] - r0[0] * r1[2]).conj(),
+        (r0[0] * r1[1] - r0[1] * r1[0]).conj(),
+    ];
+    [rows[0], rows[1], row2]
+}
+
+/// Fill a gauge field with deterministic random SU(3) links (one matrix per
+/// site and direction, layout independent).
+pub fn random_gauge<E: SveFloat>(grid: Arc<Grid<E>>, seed: u64) -> Field<GaugeKind, E> {
+    let mut u = Field::<GaugeKind, E>::zero(grid.clone());
+    for x in grid.coords() {
+        let gidx = grid.global_index(&x);
+        for mu in 0..NDIM {
+            let m = random_su3(seed, stream_id(gidx, mu, 0) | 1);
+            for r in 0..NCOLOR {
+                for c in 0..NCOLOR {
+                    u.poke(&x, gauge_comp(mu, r, c), m[r][c]);
+                }
+            }
+        }
+    }
+    u
+}
+
+/// A unit (free-field) gauge configuration: every link the identity.
+pub fn unit_gauge<E: SveFloat>(grid: Arc<Grid<E>>) -> Field<GaugeKind, E> {
+    let mut u = Field::<GaugeKind, E>::zero(grid.clone());
+    for x in grid.coords() {
+        for mu in 0..NDIM {
+            for r in 0..NCOLOR {
+                u.poke(&x, gauge_comp(mu, r, r), Complex::ONE);
+            }
+        }
+    }
+    u
+}
+
+/// Read one link matrix at a site (scalar/test path).
+pub fn peek_link<E: SveFloat>(u: &Field<GaugeKind, E>, x: &Coor, mu: usize) -> ColorMatrix {
+    std::array::from_fn(|r| std::array::from_fn(|c| u.peek(x, gauge_comp(mu, r, c))))
+}
+
+// ---- word-level kernels (one product per virtual node per call) ----
+
+/// `out[r] = Σ_c u[r][c] * v[c]` over SIMD words: 9 complex multiply-adds.
+#[inline]
+pub fn mat_vec<E: SveFloat>(
+    eng: &SimdEngine<E>,
+    u: &[[CVec; NCOLOR]; NCOLOR],
+    v: &[CVec; NCOLOR],
+) -> [CVec; NCOLOR] {
+    std::array::from_fn(|r| {
+        let mut acc = eng.mult(u[r][0], v[0]);
+        acc = eng.madd(acc, u[r][1], v[1]);
+        eng.madd(acc, u[r][2], v[2])
+    })
+}
+
+/// `out[r] = Σ_c conj(u[c][r]) * v[c]` over SIMD words — the `U†` leg of the
+/// hopping term, using the conjugated-FCMLA idiom (paper Eq. (2), second
+/// line) instead of materializing the adjoint.
+#[inline]
+pub fn mat_dag_vec<E: SveFloat>(
+    eng: &SimdEngine<E>,
+    u: &[[CVec; NCOLOR]; NCOLOR],
+    v: &[CVec; NCOLOR],
+) -> [CVec; NCOLOR] {
+    std::array::from_fn(|r| {
+        let mut acc = eng.mult_conj(u[0][r], v[0]);
+        acc = eng.madd_conj(acc, u[1][r], v[1]);
+        eng.madd_conj(acc, u[2][r], v[2])
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simd::SimdBackend;
+    use sve::VectorLength;
+
+    #[test]
+    fn random_su3_is_special_unitary() {
+        for stream in 1..64u64 {
+            let u = random_su3(11, stream);
+            assert!(
+                unitarity_defect(&u) < 1e-12,
+                "stream {stream}: defect {}",
+                unitarity_defect(&u)
+            );
+            let d = det(&u);
+            assert!(
+                (d - Complex::ONE).abs() < 1e-12,
+                "stream {stream}: det {d:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_streams_give_distinct_matrices() {
+        let a = random_su3(11, 1);
+        let b = random_su3(11, 2);
+        assert!((a[0][0] - b[0][0]).abs() > 1e-6);
+    }
+
+    #[test]
+    fn scalar_mat_vec_identities() {
+        let u = random_su3(3, 5);
+        let v: ColorVector = [
+            Complex::new(1.0, 2.0),
+            Complex::new(-0.5, 0.25),
+            Complex::new(0.0, -1.0),
+        ];
+        // U†(Uv) = v (unitarity).
+        let uv = mat_vec_scalar(&u, &v);
+        let back = mat_dag_vec_scalar(&u, &uv);
+        for c in 0..NCOLOR {
+            assert!((back[c] - v[c]).abs() < 1e-12);
+        }
+        // mat_dag_vec == mat_vec with the explicit adjoint.
+        let explicit = mat_vec_scalar(&dagger(&u), &v);
+        let implicit = mat_dag_vec_scalar(&u, &v);
+        for c in 0..NCOLOR {
+            assert!((explicit[c] - implicit[c]).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn word_level_matches_scalar_all_backends() {
+        for backend in SimdBackend::all() {
+            let eng = SimdEngine::<f64>::new(
+                std::sync::Arc::new(sve::SveCtx::new(VectorLength::of(512))),
+                backend,
+            );
+            // Different matrix/vector per lane.
+            let mats: Vec<ColorMatrix> = (0..eng.lanes_c())
+                .map(|l| random_su3(5, l as u64 + 1))
+                .collect();
+            let vecs: Vec<ColorVector> = (0..eng.lanes_c())
+                .map(|l| {
+                    std::array::from_fn(|c| Complex::new(l as f64 + c as f64 * 0.5, 1.0 - c as f64))
+                })
+                .collect();
+            let u_words: [[CVec; 3]; 3] =
+                std::array::from_fn(|r| std::array::from_fn(|c| eng.from_fn(|l| mats[l][r][c])));
+            let v_words: [CVec; 3] = std::array::from_fn(|c| eng.from_fn(|l| vecs[l][c]));
+            let uv = mat_vec(&eng, &u_words, &v_words);
+            let udv = mat_dag_vec(&eng, &u_words, &v_words);
+            for l in 0..eng.lanes_c() {
+                let want = mat_vec_scalar(&mats[l], &vecs[l]);
+                let want_dag = mat_dag_vec_scalar(&mats[l], &vecs[l]);
+                for r in 0..NCOLOR {
+                    assert!(
+                        (eng.lane(uv[r], l) - want[r]).abs() < 1e-12,
+                        "{backend:?} Uv lane {l} row {r}"
+                    );
+                    assert!(
+                        (eng.lane(udv[r], l) - want_dag[r]).abs() < 1e-12,
+                        "{backend:?} U†v lane {l} row {r}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gauge_field_fill_and_peek() {
+        let grid = Grid::<f64>::new([4, 4, 4, 4], VectorLength::of(256), SimdBackend::Fcmla);
+        let u = random_gauge(grid.clone(), 2);
+        for x in grid.coords().take(8) {
+            for mu in 0..NDIM {
+                let link = peek_link(&u, &x, mu);
+                assert!(unitarity_defect(&link) < 1e-12, "{x:?} mu={mu}");
+            }
+        }
+        // Layout independence.
+        let u2 = random_gauge(
+            Grid::<f64>::new([4, 4, 4, 4], VectorLength::of(1024), SimdBackend::Fcmla),
+            2,
+        );
+        let x = [1, 2, 3, 0];
+        assert_eq!(peek_link(&u, &x, 1), peek_link(&u2, &x, 1));
+    }
+
+    #[test]
+    fn unit_gauge_links_are_identity() {
+        let grid = Grid::<f64>::new([2, 2, 2, 2], VectorLength::of(128), SimdBackend::Fcmla);
+        let u = unit_gauge(grid.clone());
+        let link = peek_link(&u, &[1, 0, 1, 0], 2);
+        for r in 0..NCOLOR {
+            for c in 0..NCOLOR {
+                let want = if r == c { Complex::ONE } else { Complex::ZERO };
+                assert_eq!(link[r][c], want);
+            }
+        }
+    }
+}

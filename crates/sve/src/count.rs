@@ -1,0 +1,393 @@
+//! Instruction accounting and silicon cost profiles.
+//!
+//! The paper could not measure performance ("lack of processor architectures
+//! supporting SVE", Section VII) and argues instead from instruction
+//! sequences, noting that "the performance signatures of the instructions
+//! might differ across different SVE platforms" and that "it is not
+//! guaranteed that the FCMLA instruction outperforms alternative
+//! implementations" (Section V-E). This module makes those arguments
+//! quantitative: every intrinsic executed under an [`crate::SveCtx`] is
+//! tallied per [`Opcode`], and pluggable [`CostModel`]s convert tallies into
+//! cycle estimates for hypothetical silicon.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+macro_rules! opcodes {
+    ($($name:ident => $mnemonic:literal, $class:ident;)*) => {
+        /// The SVE (and supporting scalar) operations the model accounts for.
+        #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        #[repr(usize)]
+        pub enum Opcode {
+            $(#[doc = $mnemonic] $name,)*
+        }
+
+        impl Opcode {
+            /// Total number of distinct opcodes.
+            pub const COUNT: usize = opcodes!(@count $($name)*);
+
+            /// All opcodes, in declaration order.
+            pub const ALL: [Opcode; Self::COUNT] = [$(Opcode::$name,)*];
+
+            /// Assembly mnemonic as it appears in the paper's listings.
+            pub fn mnemonic(self) -> &'static str {
+                match self {
+                    $(Opcode::$name => $mnemonic,)*
+                }
+            }
+
+            /// Broad functional class, used by cost models and reports.
+            pub fn class(self) -> OpClass {
+                match self {
+                    $(Opcode::$name => OpClass::$class,)*
+                }
+            }
+        }
+    };
+    (@count) => { 0 };
+    (@count $head:ident $($tail:ident)*) => { 1 + opcodes!(@count $($tail)*) };
+}
+
+/// Functional classes of operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Contiguous predicated loads (`ld1d` ...).
+    Load,
+    /// Structure loads (`ld2d`, `ld3d`, `ld4d`): de-interleave on the way in.
+    LoadStruct,
+    /// Gather loads (`ld1d` with vector index).
+    Gather,
+    /// Contiguous predicated stores.
+    Store,
+    /// Structure stores (`st2d` ...): re-interleave on the way out.
+    StoreStruct,
+    /// Real floating-point arithmetic (`fmul`, `fadd`, `fmla`, ...).
+    FpArith,
+    /// Complex floating-point arithmetic (`fcmla`, `fcadd`).
+    FpComplex,
+    /// Precision conversion (`fcvt`).
+    FpConvert,
+    /// Horizontal reductions (`faddv`, `fmaxv`).
+    Reduce,
+    /// Permutes and selects (`ext`, `rev`, `zip`, `uzp`, `trn`, `tbl`, `sel`, `dup`).
+    Permute,
+    /// Predicate manipulation (`ptrue`, `whilelo`, `brkns`, `cntp`).
+    Predicate,
+    /// Register moves and prefixes (`mov`, `movprfx`, `dup` immediate).
+    Move,
+    /// Scalar bookkeeping (`incd`, `add`, `lsl`, `cmp`, branches).
+    Scalar,
+}
+
+opcodes! {
+    // Loads / stores
+    Ld1 => "ld1", Load;
+    Ld1Gather => "ld1 (gather)", Gather;
+    Ld2 => "ld2", LoadStruct;
+    Ld3 => "ld3", LoadStruct;
+    Ld4 => "ld4", LoadStruct;
+    St1 => "st1", Store;
+    St1Scatter => "st1 (scatter)", Store;
+    St2 => "st2", StoreStruct;
+    St3 => "st3", StoreStruct;
+    St4 => "st4", StoreStruct;
+    Prf => "prf", Load;
+    // Real arithmetic
+    Fadd => "fadd", FpArith;
+    Fsub => "fsub", FpArith;
+    Fmul => "fmul", FpArith;
+    Fneg => "fneg", FpArith;
+    Fabs => "fabs", FpArith;
+    Fsqrt => "fsqrt", FpArith;
+    Fmla => "fmla", FpArith;
+    Fmls => "fmls", FpArith;
+    Fnmls => "fnmls", FpArith;
+    Fmax => "fmax", FpArith;
+    Fmin => "fmin", FpArith;
+    Fscale => "fscale", FpArith;
+    // Integer arithmetic (index math inside kernels)
+    Add => "add", FpArith;
+    Sub => "sub", FpArith;
+    Mul => "mul", FpArith;
+    // Complex arithmetic
+    Fcmla => "fcmla", FpComplex;
+    Fcadd => "fcadd", FpComplex;
+    // Conversion
+    Fcvt => "fcvt", FpConvert;
+    // Reductions
+    Faddv => "faddv", Reduce;
+    Fmaxv => "fmaxv", Reduce;
+    // Permutes
+    Dup => "dup", Move;
+    DupLane => "dup (lane)", Permute;
+    Ext => "ext", Permute;
+    Rev => "rev", Permute;
+    Zip1 => "zip1", Permute;
+    Zip2 => "zip2", Permute;
+    Uzp1 => "uzp1", Permute;
+    Uzp2 => "uzp2", Permute;
+    Trn1 => "trn1", Permute;
+    Trn2 => "trn2", Permute;
+    Tbl => "tbl", Permute;
+    Sel => "sel", Permute;
+    Splice => "splice", Permute;
+    // Predicates
+    Ptrue => "ptrue", Predicate;
+    Whilelo => "whilelo", Predicate;
+    Brkns => "brkns", Predicate;
+    Cntp => "cntp", Predicate;
+    PredLogic => "and/orr (pred)", Predicate;
+    // Moves
+    MovZ => "mov (z)", Move;
+    MovP => "mov (p)", Move;
+    Movprfx => "movprfx", Move;
+    // Scalar bookkeeping
+    Cnt => "cntb/h/w/d", Scalar;
+    Incd => "incb/h/w/d", Scalar;
+    ScalarAlu => "scalar alu", Scalar;
+    Branch => "b.cond", Scalar;
+}
+
+/// Per-opcode execution tally. Thread-safe: kernels may run under Rayon.
+pub struct Counters {
+    counts: [AtomicU64; Opcode::COUNT],
+    enabled: std::sync::atomic::AtomicBool,
+}
+
+impl Default for Counters {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Counters {
+    /// Fresh zeroed counters with counting enabled.
+    pub fn new() -> Self {
+        Counters {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            enabled: std::sync::atomic::AtomicBool::new(true),
+        }
+    }
+
+    /// Record one execution of `op`.
+    #[inline]
+    pub fn bump(&self, op: Opcode) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.counts[op as usize].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record `n` executions of `op`.
+    #[inline]
+    pub fn bump_n(&self, op: Opcode, n: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.counts[op as usize].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Enable or disable counting (e.g. around warm-up phases).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Executions recorded for `op`.
+    pub fn get(&self, op: Opcode) -> u64 {
+        self.counts[op as usize].load(Ordering::Relaxed)
+    }
+
+    /// Total executions across all opcodes.
+    pub fn total(&self) -> u64 {
+        Opcode::ALL.iter().map(|&op| self.get(op)).sum()
+    }
+
+    /// Total executions within one functional class.
+    pub fn total_class(&self, class: OpClass) -> u64 {
+        Opcode::ALL
+            .iter()
+            .filter(|op| op.class() == class)
+            .map(|&op| self.get(op))
+            .sum()
+    }
+
+    /// Reset all tallies to zero.
+    pub fn reset(&self) {
+        for c in &self.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot as (opcode, count) pairs with nonzero counts, sorted
+    /// descending by count.
+    pub fn snapshot(&self) -> Vec<(Opcode, u64)> {
+        let mut v: Vec<_> = Opcode::ALL
+            .iter()
+            .map(|&op| (op, self.get(op)))
+            .filter(|&(_, n)| n > 0)
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+impl std::fmt::Debug for Counters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map()
+            .entries(
+                self.snapshot()
+                    .into_iter()
+                    .map(|(op, n)| (op.mnemonic(), n)),
+            )
+            .finish()
+    }
+}
+
+/// A hypothetical silicon implementation: reciprocal-throughput cost (in
+/// cycles) per opcode. "The silicon provider ... defines the performance
+/// characteristics of the hardware" (paper, Section III-B) — these profiles
+/// are the knob that sentence describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CostModel {
+    /// Every instruction costs one cycle: pure instruction count, the
+    /// metric the paper's Section IV comparisons use implicitly.
+    Uniform,
+    /// FCMLA at full rate (one per cycle), like a machine whose FP pipes
+    /// implement complex arithmetic natively (A64FX-class).
+    FcmlaFast,
+    /// FCMLA microcoded at 4 cycles: the Section V-E scenario where "it is
+    /// not guaranteed that the FCMLA instruction outperforms alternative
+    /// implementations".
+    FcmlaSlow,
+}
+
+impl CostModel {
+    /// Reciprocal throughput, in cycles, of one execution of `op`.
+    pub fn cost(self, op: Opcode) -> u64 {
+        match self {
+            CostModel::Uniform => 1,
+            CostModel::FcmlaFast => match op.class() {
+                OpClass::LoadStruct | OpClass::StoreStruct => 3,
+                OpClass::Gather => 4,
+                OpClass::Reduce => 4,
+                OpClass::FpComplex => 1,
+                _ => 1,
+            },
+            CostModel::FcmlaSlow => match op.class() {
+                OpClass::LoadStruct | OpClass::StoreStruct => 3,
+                OpClass::Gather => 4,
+                OpClass::Reduce => 4,
+                OpClass::FpComplex => 4,
+                _ => 1,
+            },
+        }
+    }
+
+    /// Cycle estimate for a counter snapshot under this model.
+    pub fn cycles(self, counters: &Counters) -> u64 {
+        Opcode::ALL
+            .iter()
+            .map(|&op| counters.get(op) * self.cost(op))
+            .sum()
+    }
+
+    /// All profiles, for sweeps.
+    pub fn all() -> [CostModel; 3] {
+        [
+            CostModel::Uniform,
+            CostModel::FcmlaFast,
+            CostModel::FcmlaSlow,
+        ]
+    }
+
+    /// Short profile name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CostModel::Uniform => "uniform",
+            CostModel::FcmlaFast => "fcmla-fast",
+            CostModel::FcmlaSlow => "fcmla-slow",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_and_total() {
+        let c = Counters::new();
+        c.bump(Opcode::Fcmla);
+        c.bump(Opcode::Fcmla);
+        c.bump(Opcode::Ld1);
+        assert_eq!(c.get(Opcode::Fcmla), 2);
+        assert_eq!(c.get(Opcode::Ld1), 1);
+        assert_eq!(c.get(Opcode::St1), 0);
+        assert_eq!(c.total(), 3);
+    }
+
+    #[test]
+    fn class_totals() {
+        let c = Counters::new();
+        c.bump_n(Opcode::Fmul, 4);
+        c.bump_n(Opcode::Fmla, 2);
+        c.bump(Opcode::Fcmla);
+        assert_eq!(c.total_class(OpClass::FpArith), 6);
+        assert_eq!(c.total_class(OpClass::FpComplex), 1);
+    }
+
+    #[test]
+    fn disabled_counters_do_not_record() {
+        let c = Counters::new();
+        c.set_enabled(false);
+        c.bump(Opcode::Fmul);
+        assert_eq!(c.total(), 0);
+        c.set_enabled(true);
+        c.bump(Opcode::Fmul);
+        assert_eq!(c.total(), 1);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let c = Counters::new();
+        c.bump_n(Opcode::St2, 7);
+        c.reset();
+        assert_eq!(c.total(), 0);
+    }
+
+    #[test]
+    fn snapshot_sorted_desc() {
+        let c = Counters::new();
+        c.bump_n(Opcode::Ld1, 5);
+        c.bump_n(Opcode::Fcmla, 9);
+        c.bump_n(Opcode::St1, 1);
+        let snap = c.snapshot();
+        assert_eq!(snap[0], (Opcode::Fcmla, 9));
+        assert_eq!(snap[2], (Opcode::St1, 1));
+    }
+
+    #[test]
+    fn cost_models_diverge_only_where_documented() {
+        // fcmla: 1 cycle fast, 4 slow; fmul identical everywhere.
+        assert_eq!(CostModel::FcmlaFast.cost(Opcode::Fcmla), 1);
+        assert_eq!(CostModel::FcmlaSlow.cost(Opcode::Fcmla), 4);
+        for m in CostModel::all() {
+            assert_eq!(m.cost(Opcode::Fmul), 1);
+        }
+    }
+
+    #[test]
+    fn cycles_weighted_sum() {
+        let c = Counters::new();
+        c.bump_n(Opcode::Fcmla, 10);
+        c.bump_n(Opcode::Fmul, 10);
+        assert_eq!(CostModel::Uniform.cycles(&c), 20);
+        assert_eq!(CostModel::FcmlaSlow.cycles(&c), 50);
+    }
+
+    #[test]
+    fn every_opcode_has_mnemonic_and_class() {
+        for op in Opcode::ALL {
+            assert!(!op.mnemonic().is_empty());
+            let _ = op.class();
+        }
+        assert!(Opcode::COUNT > 40);
+    }
+}

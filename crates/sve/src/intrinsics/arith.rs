@@ -1,0 +1,364 @@
+//! Real floating-point arithmetic intrinsics.
+//!
+//! These are the instructions the auto-vectorizer falls back to for complex
+//! multiplication (listing IV-B: `fmul`, `fmla`, `fnmls`, `movprfx`) and the
+//! building blocks of the paper's Section V-E "alternative implementation of
+//! complex arithmetics based on instructions for real arithmetics".
+
+use crate::count::Opcode;
+use crate::ctx::SveCtx;
+use crate::elem::{SveElem, SveFloat};
+use crate::pred::PReg;
+use crate::vreg::VReg;
+
+#[inline]
+fn map2<E: SveFloat>(
+    ctx: &SveCtx,
+    pg: &PReg,
+    a: &VReg,
+    b: &VReg,
+    merge: Merge,
+    f: impl Fn(E, E) -> E,
+) -> VReg {
+    let mut out = VReg::zeroed();
+    for e in 0..ctx.vl().lanes_of(E::BYTES) {
+        let v = if pg.elem_active::<E>(e) {
+            f(a.lane(e), b.lane(e))
+        } else {
+            match merge {
+                Merge::Zero => E::zero(),
+                Merge::First => a.lane(e),
+                Merge::All => f(a.lane(e), b.lane(e)),
+            }
+        };
+        out.set_lane(e, v);
+    }
+    out
+}
+
+#[derive(Clone, Copy)]
+enum Merge {
+    Zero,
+    First,
+    All,
+}
+
+/// `svdup` — broadcast a scalar into every lane (`mov z0.d, #imm` /
+/// `dup z0.d, x0`).
+pub fn svdup<E: SveElem>(ctx: &SveCtx, x: E) -> VReg {
+    ctx.exec(Opcode::Dup);
+    VReg::from_fn::<E>(ctx.vl(), |_| x)
+}
+
+/// `svadd_x` — lane-wise add; inactive lanes computed unpredicated.
+pub fn svadd_x<E: SveFloat>(ctx: &SveCtx, pg: &PReg, a: &VReg, b: &VReg) -> VReg {
+    ctx.exec(Opcode::Fadd);
+    map2::<E>(ctx, pg, a, b, Merge::All, |x, y| x.add(y))
+}
+
+/// `svadd_m` — lane-wise add, inactive lanes keep `a`.
+pub fn svadd_m<E: SveFloat>(ctx: &SveCtx, pg: &PReg, a: &VReg, b: &VReg) -> VReg {
+    ctx.exec(Opcode::Fadd);
+    map2::<E>(ctx, pg, a, b, Merge::First, |x, y| x.add(y))
+}
+
+/// `svsub_x` — lane-wise subtract.
+pub fn svsub_x<E: SveFloat>(ctx: &SveCtx, pg: &PReg, a: &VReg, b: &VReg) -> VReg {
+    ctx.exec(Opcode::Fsub);
+    map2::<E>(ctx, pg, a, b, Merge::All, |x, y| x.sub(y))
+}
+
+/// `svmul_x` — lane-wise multiply (listing IV-A's `fmul`).
+pub fn svmul_x<E: SveFloat>(ctx: &SveCtx, pg: &PReg, a: &VReg, b: &VReg) -> VReg {
+    ctx.exec(Opcode::Fmul);
+    map2::<E>(ctx, pg, a, b, Merge::All, |x, y| x.mul(y))
+}
+
+/// `svmul_z` — lane-wise multiply with zeroing predication.
+pub fn svmul_z<E: SveFloat>(ctx: &SveCtx, pg: &PReg, a: &VReg, b: &VReg) -> VReg {
+    ctx.exec(Opcode::Fmul);
+    map2::<E>(ctx, pg, a, b, Merge::Zero, |x, y| x.mul(y))
+}
+
+/// `svneg_x` — lane-wise negate.
+pub fn svneg_x<E: SveFloat>(ctx: &SveCtx, pg: &PReg, a: &VReg) -> VReg {
+    ctx.exec(Opcode::Fneg);
+    map2::<E>(ctx, pg, a, a, Merge::All, |x, _| x.neg())
+}
+
+/// `svneg_m` — lane-wise negate with merging predication: active lanes are
+/// negated, inactive lanes keep their value. One instruction; this is how
+/// the real-arithmetic complex kernels flip signs on alternating lanes.
+pub fn svneg_m<E: SveFloat>(ctx: &SveCtx, pg: &PReg, a: &VReg) -> VReg {
+    ctx.exec(Opcode::Fneg);
+    let mut out = *a;
+    for e in 0..ctx.vl().lanes_of(E::BYTES) {
+        if pg.elem_active::<E>(e) {
+            out.set_lane(e, a.lane::<E>(e).neg());
+        }
+    }
+    out
+}
+
+/// `svabs_x` — lane-wise absolute value.
+pub fn svabs_x<E: SveFloat>(ctx: &SveCtx, pg: &PReg, a: &VReg) -> VReg {
+    ctx.exec(Opcode::Fabs);
+    map2::<E>(ctx, pg, a, a, Merge::All, |x, _| x.abs())
+}
+
+/// `svsqrt_x` — lane-wise square root.
+pub fn svsqrt_x<E: SveFloat>(ctx: &SveCtx, pg: &PReg, a: &VReg) -> VReg {
+    ctx.exec(Opcode::Fsqrt);
+    map2::<E>(ctx, pg, a, a, Merge::All, |x, _| x.sqrt())
+}
+
+/// `svmax_x` / `svmin_x` — lane-wise max/min.
+pub fn svmax_x<E: SveFloat>(ctx: &SveCtx, pg: &PReg, a: &VReg, b: &VReg) -> VReg {
+    ctx.exec(Opcode::Fmax);
+    map2::<E>(ctx, pg, a, b, Merge::All, |x, y| x.max(y))
+}
+
+/// `svmin_x` — lane-wise minimum.
+pub fn svmin_x<E: SveFloat>(ctx: &SveCtx, pg: &PReg, a: &VReg, b: &VReg) -> VReg {
+    ctx.exec(Opcode::Fmin);
+    map2::<E>(ctx, pg, a, b, Merge::All, |x, y| x.min(y))
+}
+
+/// `svmla_m` — fused multiply-add: `acc + a*b` per lane, inactive lanes keep
+/// `acc` (listing IV-B's `fmla z7.d, p1/m, z3.d, z0.d`).
+pub fn svmla_m<E: SveFloat>(ctx: &SveCtx, pg: &PReg, acc: &VReg, a: &VReg, b: &VReg) -> VReg {
+    ctx.exec(Opcode::Fmla);
+    let mut out = *acc;
+    for e in 0..ctx.vl().lanes_of(E::BYTES) {
+        if pg.elem_active::<E>(e) {
+            out.set_lane(e, a.lane::<E>(e).mul_add(b.lane(e), acc.lane(e)));
+        }
+    }
+    out
+}
+
+/// `svmls_m` — fused multiply-subtract: `acc - a*b` per lane.
+pub fn svmls_m<E: SveFloat>(ctx: &SveCtx, pg: &PReg, acc: &VReg, a: &VReg, b: &VReg) -> VReg {
+    ctx.exec(Opcode::Fmls);
+    let mut out = *acc;
+    for e in 0..ctx.vl().lanes_of(E::BYTES) {
+        if pg.elem_active::<E>(e) {
+            out.set_lane(e, a.lane::<E>(e).neg().mul_add(b.lane(e), acc.lane(e)));
+        }
+    }
+    out
+}
+
+/// `svnmls_m` — negated multiply-subtract: `a*b - acc` per lane (listing
+/// IV-B's `fnmls z6.d, p1/m, z2.d, z0.d`).
+pub fn svnmls_m<E: SveFloat>(ctx: &SveCtx, pg: &PReg, acc: &VReg, a: &VReg, b: &VReg) -> VReg {
+    ctx.exec(Opcode::Fnmls);
+    let mut out = *acc;
+    for e in 0..ctx.vl().lanes_of(E::BYTES) {
+        if pg.elem_active::<E>(e) {
+            out.set_lane(e, a.lane::<E>(e).mul_add(b.lane(e), acc.lane::<E>(e).neg()));
+        }
+    }
+    out
+}
+
+/// `svindex` — lane `i` gets `base + i * step` (64-bit integer lanes); the
+/// standard way to materialize gather indices.
+pub fn svindex(ctx: &SveCtx, base: u64, step: u64) -> VReg {
+    ctx.exec(Opcode::Dup);
+    VReg::from_fn::<u64>(ctx.vl(), |i| base.wrapping_add(step.wrapping_mul(i as u64)))
+}
+
+/// `svadda` — strictly-ordered add-accumulate: fold the active lanes into
+/// `init` in lane order. Unlike the tree-reducing `faddv`, the result is
+/// bit-identical to a scalar loop — what reproducible global sums use.
+pub fn svadda<E: SveFloat>(ctx: &SveCtx, pg: &PReg, init: E, a: &VReg) -> E {
+    ctx.exec(Opcode::Faddv);
+    let mut acc = init;
+    for e in 0..ctx.vl().lanes_of(E::BYTES) {
+        if pg.elem_active::<E>(e) {
+            acc = acc.add(a.lane(e));
+        }
+    }
+    acc
+}
+
+/// `svscale_x` — multiply each active lane by `2^exp[i]` (integer exponent
+/// lanes); exact scaling used by range-reduction kernels.
+pub fn svscale_x<E: SveFloat>(ctx: &SveCtx, pg: &PReg, a: &VReg, exp: &VReg) -> VReg {
+    ctx.exec(Opcode::Fscale);
+    let mut out = *a;
+    for e in 0..ctx.vl().lanes_of(E::BYTES) {
+        if pg.elem_active::<E>(e) {
+            let k = exp.lane::<u64>(e * E::BYTES / 8) as i32;
+            out.set_lane(e, E::from_f64(a.lane::<E>(e).to_f64() * (2.0f64).powi(k)));
+        }
+    }
+    out
+}
+
+/// `movprfx` — move-prefix: copies a register so a destructive FMA can have
+/// an independent destination (listing IV-B lines 12/14). Functionally a
+/// register copy; accounted separately because it occupies an issue slot.
+pub fn movprfx(ctx: &SveCtx, src: &VReg) -> VReg {
+    ctx.exec(Opcode::Movprfx);
+    *src
+}
+
+/// `mov z, z` — plain vector register move.
+pub fn movz(ctx: &SveCtx, src: &VReg) -> VReg {
+    ctx.exec(Opcode::MovZ);
+    *src
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intrinsics::{svptrue, svwhilelt};
+    use crate::vl::VectorLength;
+
+    fn ctx() -> SveCtx {
+        SveCtx::new(VectorLength::of(256))
+    }
+
+    fn v(ctx: &SveCtx, vals: &[f64]) -> VReg {
+        VReg::from_fn::<f64>(ctx.vl(), |i| vals[i])
+    }
+
+    #[test]
+    fn dup_broadcasts() {
+        let ctx = ctx();
+        let r = svdup::<f64>(&ctx, 2.5);
+        assert_eq!(r.to_vec::<f64>(ctx.vl()), vec![2.5; 4]);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let ctx = ctx();
+        let pg = svptrue::<f64>(&ctx);
+        let a = v(&ctx, &[1.0, 2.0, 3.0, 4.0]);
+        let b = v(&ctx, &[10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(
+            svadd_x::<f64>(&ctx, &pg, &a, &b).to_vec::<f64>(ctx.vl()),
+            vec![11.0, 22.0, 33.0, 44.0]
+        );
+        assert_eq!(
+            svsub_x::<f64>(&ctx, &pg, &b, &a).to_vec::<f64>(ctx.vl()),
+            vec![9.0, 18.0, 27.0, 36.0]
+        );
+        assert_eq!(
+            svmul_x::<f64>(&ctx, &pg, &a, &b).to_vec::<f64>(ctx.vl()),
+            vec![10.0, 40.0, 90.0, 160.0]
+        );
+        assert_eq!(
+            svneg_x::<f64>(&ctx, &pg, &a).to_vec::<f64>(ctx.vl()),
+            vec![-1.0, -2.0, -3.0, -4.0]
+        );
+        assert_eq!(
+            svmax_x::<f64>(&ctx, &pg, &a, &b).to_vec::<f64>(ctx.vl()),
+            vec![10.0, 20.0, 30.0, 40.0]
+        );
+    }
+
+    #[test]
+    fn fma_family_matches_arm_semantics() {
+        let ctx = ctx();
+        let pg = svptrue::<f64>(&ctx);
+        let acc = v(&ctx, &[100.0, 100.0, 100.0, 100.0]);
+        let a = v(&ctx, &[2.0, 3.0, 4.0, 5.0]);
+        let b = v(&ctx, &[10.0, 10.0, 10.0, 10.0]);
+        // fmla: acc + a*b
+        assert_eq!(
+            svmla_m::<f64>(&ctx, &pg, &acc, &a, &b).to_vec::<f64>(ctx.vl()),
+            vec![120.0, 130.0, 140.0, 150.0]
+        );
+        // fmls: acc - a*b
+        assert_eq!(
+            svmls_m::<f64>(&ctx, &pg, &acc, &a, &b).to_vec::<f64>(ctx.vl()),
+            vec![80.0, 70.0, 60.0, 50.0]
+        );
+        // fnmls: a*b - acc
+        assert_eq!(
+            svnmls_m::<f64>(&ctx, &pg, &acc, &a, &b).to_vec::<f64>(ctx.vl()),
+            vec![-80.0, -70.0, -60.0, -50.0]
+        );
+    }
+
+    #[test]
+    fn merge_predication_keeps_inactive_lanes() {
+        let ctx = ctx();
+        let pg = svwhilelt::<f64>(&ctx, 0, 2);
+        let acc = v(&ctx, &[1.0, 1.0, 1.0, 1.0]);
+        let a = v(&ctx, &[5.0, 5.0, 5.0, 5.0]);
+        let b = v(&ctx, &[2.0, 2.0, 2.0, 2.0]);
+        let r = svmla_m::<f64>(&ctx, &pg, &acc, &a, &b);
+        assert_eq!(r.to_vec::<f64>(ctx.vl()), vec![11.0, 11.0, 1.0, 1.0]);
+        let rz = svmul_z::<f64>(&ctx, &pg, &a, &b);
+        assert_eq!(rz.to_vec::<f64>(ctx.vl()), vec![10.0, 10.0, 0.0, 0.0]);
+        let rm = svadd_m::<f64>(&ctx, &pg, &a, &b);
+        assert_eq!(rm.to_vec::<f64>(ctx.vl()), vec![7.0, 7.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn sqrt_abs() {
+        let ctx = ctx();
+        let pg = svptrue::<f64>(&ctx);
+        let a = v(&ctx, &[4.0, 9.0, 16.0, 25.0]);
+        assert_eq!(
+            svsqrt_x::<f64>(&ctx, &pg, &a).to_vec::<f64>(ctx.vl()),
+            vec![2.0, 3.0, 4.0, 5.0]
+        );
+        let n = svneg_x::<f64>(&ctx, &pg, &a);
+        assert_eq!(
+            svabs_x::<f64>(&ctx, &pg, &n).to_vec::<f64>(ctx.vl()),
+            vec![4.0, 9.0, 16.0, 25.0]
+        );
+    }
+
+    #[test]
+    fn movprfx_copies_and_counts() {
+        let ctx = ctx();
+        let a = v(&ctx, &[1.0, 2.0, 3.0, 4.0]);
+        let c = movprfx(&ctx, &a);
+        assert!(c.lanes_eq::<f64>(&a, ctx.vl()));
+        assert_eq!(ctx.counters().get(Opcode::Movprfx), 1);
+    }
+
+    #[test]
+    fn f32_lanes() {
+        let ctx = ctx(); // 8 x f32
+        let pg = svptrue::<f32>(&ctx);
+        let a = VReg::from_fn::<f32>(ctx.vl(), |i| i as f32);
+        let b = svdup::<f32>(&ctx, 2.0);
+        let r = svmul_x::<f32>(&ctx, &pg, &a, &b);
+        assert_eq!(r.lane::<f32>(7), 14.0);
+    }
+
+    #[test]
+    fn index_materializes_arithmetic_sequence() {
+        let ctx = ctx();
+        let r = svindex(&ctx, 10, 3);
+        assert_eq!(r.lane::<u64>(0), 10);
+        assert_eq!(r.lane::<u64>(3), 19);
+    }
+
+    #[test]
+    fn adda_is_strictly_ordered() {
+        let ctx = ctx();
+        let pg = svptrue::<f64>(&ctx);
+        let a = v(&ctx, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(svadda::<f64>(&ctx, &pg, 100.0, &a), 110.0);
+        let partial = svwhilelt::<f64>(&ctx, 0, 2);
+        assert_eq!(svadda::<f64>(&ctx, &partial, 0.0, &a), 3.0);
+    }
+
+    #[test]
+    fn scale_multiplies_by_powers_of_two() {
+        let ctx = ctx();
+        let pg = svptrue::<f64>(&ctx);
+        let a = v(&ctx, &[1.5, 1.5, 1.5, 1.5]);
+        let exp = VReg::from_fn::<u64>(ctx.vl(), |i| i as u64);
+        let r = svscale_x::<f64>(&ctx, &pg, &a, &exp);
+        assert_eq!(r.to_vec::<f64>(ctx.vl()), vec![1.5, 3.0, 6.0, 12.0]);
+    }
+}

@@ -1,0 +1,69 @@
+//! Functional model of the ARM Scalable Vector Extension (SVE).
+//!
+//! This crate is the hardware substrate for the reproduction of
+//! *"SVE-enabling Lattice QCD Codes"* (Meyer et al., IEEE CLUSTER 2018).
+//! The paper ported the Grid lattice-QCD framework to SVE before any SVE
+//! silicon existed, verifying functionally under ARM's instruction emulator
+//! (ArmIE). This crate plays the role of that missing hardware/emulator
+//! stack in Rust, where SVE intrinsics are nightly-only and scalable vectors
+//! are not expressible:
+//!
+//! * [`VectorLength`] — the vector-length-agnostic register size
+//!   (128..2048 bits in multiples of 128, Section III-B of the paper);
+//! * [`VReg`] / [`PReg`] — untyped vector registers and per-byte predicate
+//!   registers, exactly as architected;
+//! * [`intrinsics`] — an ACLE-style API (the paper's reference \[6\]): predicated
+//!   loads/stores, structure loads, real and complex arithmetic (`FCMLA`,
+//!   `FCADD`, Section III-D), permutes, reductions, precision conversion and
+//!   predicate construction;
+//! * [`SveCtx`] — the "silicon": fixes the vector length, tallies every
+//!   executed operation per [`Opcode`], prices tallies under pluggable
+//!   [`CostModel`]s, and can inject the toolchain faults that made some of
+//!   the paper's verification runs fail (Section V-D);
+//! * [`F16`] — software binary16 for the comms-compression data path
+//!   (Section V-B).
+//!
+//! # Example: the paper's two-FCMLA complex multiply (Section IV-D)
+//!
+//! ```
+//! use sve::{SveCtx, VectorLength, VReg};
+//! use sve::intrinsics::*;
+//!
+//! let ctx = SveCtx::new(VectorLength::of(512));
+//! let pg = svptrue::<f64>(&ctx);
+//! // Interleaved (re, im) data, one full vector: 4 complex doubles.
+//! let x: Vec<f64> = vec![1.0, 2.0, -0.5, 3.0, 0.0, 1.0, 2.5, -1.5];
+//! let y: Vec<f64> = vec![3.0, -1.0, 2.0, 2.0, -1.0, 0.5, 0.0, -2.0];
+//! let sx = svld1(&ctx, &pg, &x);
+//! let sy = svld1(&ctx, &pg, &y);
+//! let zero = svdup::<f64>(&ctx, 0.0);
+//! let t = svcmla::<f64>(&ctx, &pg, &zero, &sx, &sy, Rot::R90);
+//! let sz = svcmla::<f64>(&ctx, &pg, &t, &sx, &sy, Rot::R0);
+//! let mut z = vec![0.0; 8];
+//! svst1(&ctx, &pg, &mut z, &sz);
+//! assert_eq!(z[0], 1.0 * 3.0 - 2.0 * (-1.0)); // re(x0 * y0)
+//! assert_eq!(z[1], 1.0 * (-1.0) + 2.0 * 3.0); // im(x0 * y0)
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod count;
+mod ctx;
+mod elem;
+mod f16;
+mod pred;
+mod vl;
+mod vreg;
+
+pub mod acle;
+pub mod intrinsics;
+
+pub use count::{CostModel, Counters, OpClass, Opcode};
+pub use ctx::{SveCtx, ToolchainFault};
+pub use elem::{SveElem, SveFloat};
+pub use f16::F16;
+pub use intrinsics::Rot;
+pub use pred::{PReg, PredFlags};
+pub use vl::{VectorLength, VL_MAX_BITS, VL_MAX_BYTES, VL_MIN_BITS, VL_STEP_BITS};
+pub use vreg::VReg;

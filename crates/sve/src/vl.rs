@@ -1,0 +1,187 @@
+//! SVE vector-length configuration.
+//!
+//! SVE does not fix the vector-register size; it constrains it to a multiple
+//! of 128 bits between 128 and 2048 bits (paper, Section III-B). The silicon
+//! provider picks the value. In this model the "silicon" is a [`VectorLength`]
+//! chosen at context-construction time, and every intrinsic adapts to it —
+//! exactly the role the `-vl` command-line switch plays for ArmIE.
+
+/// Maximum architectural vector length in bits.
+pub const VL_MAX_BITS: usize = 2048;
+/// Minimum architectural vector length in bits.
+pub const VL_MIN_BITS: usize = 128;
+/// Vector-length granule in bits.
+pub const VL_STEP_BITS: usize = 128;
+/// Maximum vector length in bytes (= 256); sizes the backing store of a
+/// vector register and the per-byte predicate bits.
+pub const VL_MAX_BYTES: usize = VL_MAX_BITS / 8;
+
+/// An SVE vector length, validated to be a multiple of 128 bits in
+/// `128..=2048`.
+///
+/// ```
+/// use sve::VectorLength;
+/// let vl = VectorLength::new(512).unwrap();
+/// assert_eq!(vl.bytes(), 64);
+/// assert_eq!(vl.lanes64(), 8);   // svcntd()
+/// assert_eq!(vl.lanes32(), 16);  // svcntw()
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VectorLength {
+    bits: u16,
+}
+
+impl VectorLength {
+    /// Create a vector length from a bit count. Returns `None` unless the
+    /// count is a multiple of 128 in `128..=2048`.
+    pub const fn new(bits: usize) -> Option<Self> {
+        if bits >= VL_MIN_BITS && bits <= VL_MAX_BITS && bits % VL_STEP_BITS == 0 {
+            Some(Self { bits: bits as u16 })
+        } else {
+            None
+        }
+    }
+
+    /// Create a vector length, panicking on invalid sizes. Convenience for
+    /// literals in tests and benches.
+    pub const fn of(bits: usize) -> Self {
+        match Self::new(bits) {
+            Some(vl) => vl,
+            None => panic!("SVE vector length must be a multiple of 128 in 128..=2048"),
+        }
+    }
+
+    /// Vector length in bits.
+    pub const fn bits(self) -> usize {
+        self.bits as usize
+    }
+
+    /// Vector length in bytes (the value of the paper's
+    /// `SVE_VECTOR_LENGTH` compile-time constant).
+    pub const fn bytes(self) -> usize {
+        self.bits as usize / 8
+    }
+
+    /// Number of 64-bit lanes (`svcntd`).
+    pub const fn lanes64(self) -> usize {
+        self.bytes() / 8
+    }
+
+    /// Number of 32-bit lanes (`svcntw`).
+    pub const fn lanes32(self) -> usize {
+        self.bytes() / 4
+    }
+
+    /// Number of 16-bit lanes (`svcnth`).
+    pub const fn lanes16(self) -> usize {
+        self.bytes() / 2
+    }
+
+    /// Number of 8-bit lanes (`svcntb`).
+    pub const fn lanes8(self) -> usize {
+        self.bytes()
+    }
+
+    /// Number of lanes for an element size in bytes.
+    pub const fn lanes_of(self, elem_bytes: usize) -> usize {
+        self.bytes() / elem_bytes
+    }
+
+    /// Number of complex lanes for a scalar element size in bytes
+    /// (a complex number occupies two adjacent lanes: even = real,
+    /// odd = imaginary, the layout FCMLA expects).
+    pub const fn complex_lanes_of(self, elem_bytes: usize) -> usize {
+        self.lanes_of(elem_bytes) / 2
+    }
+
+    /// All architecturally valid vector lengths, smallest first.
+    pub fn all() -> impl Iterator<Item = VectorLength> {
+        (1..=(VL_MAX_BITS / VL_STEP_BITS)).map(|k| VectorLength {
+            bits: (k * VL_STEP_BITS) as u16,
+        })
+    }
+
+    /// The vector lengths the paper enables in Grid (Section V-B):
+    /// 128, 256 and 512 bits.
+    pub fn grid_supported() -> [VectorLength; 3] {
+        [Self::of(128), Self::of(256), Self::of(512)]
+    }
+
+    /// The vector lengths swept in this reproduction: the paper's three plus
+    /// the "future work" widths 1024 and 2048 (Section V-B notes wider
+    /// vectors are possible with additional specialization — implemented
+    /// here).
+    pub fn sweep() -> [VectorLength; 5] {
+        [
+            Self::of(128),
+            Self::of(256),
+            Self::of(512),
+            Self::of(1024),
+            Self::of(2048),
+        ]
+    }
+}
+
+impl std::fmt::Debug for VectorLength {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "VL{}", self.bits)
+    }
+}
+
+impl std::fmt::Display for VectorLength {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} bit", self.bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_lengths() {
+        for bits in [128, 256, 384, 512, 1024, 2048] {
+            assert!(VectorLength::new(bits).is_some(), "{bits} should be valid");
+        }
+    }
+
+    #[test]
+    fn invalid_lengths() {
+        for bits in [0, 64, 100, 129, 192 + 1, 2048 + 128, 4096] {
+            assert!(
+                VectorLength::new(bits).is_none(),
+                "{bits} should be invalid"
+            );
+        }
+    }
+
+    #[test]
+    fn lane_counts() {
+        let vl = VectorLength::of(512);
+        assert_eq!(vl.lanes64(), 8);
+        assert_eq!(vl.lanes32(), 16);
+        assert_eq!(vl.lanes16(), 32);
+        assert_eq!(vl.lanes8(), 64);
+        assert_eq!(vl.complex_lanes_of(8), 4);
+        assert_eq!(vl.complex_lanes_of(4), 8);
+    }
+
+    #[test]
+    fn all_enumerates_sixteen() {
+        let all: Vec<_> = VectorLength::all().collect();
+        assert_eq!(all.len(), 16);
+        assert_eq!(all[0], VectorLength::of(128));
+        assert_eq!(all[15], VectorLength::of(2048));
+        assert!(all.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn sweep_covers_paper_and_future_work() {
+        let sweep = VectorLength::sweep();
+        let grid = VectorLength::grid_supported();
+        for vl in grid {
+            assert!(sweep.contains(&vl));
+        }
+        assert!(sweep.contains(&VectorLength::of(2048)));
+    }
+}

@@ -1,0 +1,143 @@
+//! The vector register file model.
+//!
+//! A `z` register is an untyped container of `VL` bits; instructions impose
+//! the element view. [`VReg`] therefore stores raw bytes sized for the
+//! architectural maximum (2048 bits) — a context's [`VectorLength`]
+//! determines how many of them an operation touches.
+
+use crate::elem::SveElem;
+use crate::vl::{VectorLength, VL_MAX_BYTES};
+
+/// One SVE vector register (`z0`..`z31`): 2048 bits of untyped storage,
+/// interpreted per-instruction through [`SveElem`] lane views.
+#[derive(Clone, Copy)]
+pub struct VReg {
+    bytes: [u8; VL_MAX_BYTES],
+}
+
+impl Default for VReg {
+    fn default() -> Self {
+        Self::zeroed()
+    }
+}
+
+impl VReg {
+    /// An all-zero register (`mov z0.d, #0` writes this).
+    pub const fn zeroed() -> Self {
+        VReg {
+            bytes: [0; VL_MAX_BYTES],
+        }
+    }
+
+    /// Read lane `i` under the element view `E`.
+    #[inline]
+    pub fn lane<E: SveElem>(&self, i: usize) -> E {
+        let off = i * E::BYTES;
+        E::read_le(&self.bytes[off..off + E::BYTES])
+    }
+
+    /// Write lane `i` under the element view `E`.
+    #[inline]
+    pub fn set_lane<E: SveElem>(&mut self, i: usize, v: E) {
+        let off = i * E::BYTES;
+        v.write_le(&mut self.bytes[off..off + E::BYTES]);
+    }
+
+    /// Raw little-endian bytes of the register.
+    pub fn bytes(&self) -> &[u8; VL_MAX_BYTES] {
+        &self.bytes
+    }
+
+    /// Mutable raw bytes.
+    pub fn bytes_mut(&mut self) -> &mut [u8; VL_MAX_BYTES] {
+        &mut self.bytes
+    }
+
+    /// Build a register by evaluating `f` on every lane index active for
+    /// vector length `vl` (inactive upper storage stays zero).
+    pub fn from_fn<E: SveElem>(vl: VectorLength, mut f: impl FnMut(usize) -> E) -> Self {
+        let mut r = VReg::zeroed();
+        for i in 0..vl.lanes_of(E::BYTES) {
+            r.set_lane(i, f(i));
+        }
+        r
+    }
+
+    /// Collect the lanes active for `vl` into a `Vec` (test/debug helper).
+    pub fn to_vec<E: SveElem>(&self, vl: VectorLength) -> Vec<E> {
+        (0..vl.lanes_of(E::BYTES))
+            .map(|i| self.lane::<E>(i))
+            .collect()
+    }
+
+    /// True if the registers agree on all lanes active for `vl` under view
+    /// `E` (upper storage is ignored, as hardware would).
+    pub fn lanes_eq<E: SveElem>(&self, other: &VReg, vl: VectorLength) -> bool {
+        (0..vl.lanes_of(E::BYTES)).all(|i| self.lane::<E>(i) == other.lane::<E>(i))
+    }
+}
+
+impl std::fmt::Debug for VReg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Print as 64-bit lanes of the architectural maximum; contexts know
+        // their own VL.
+        write!(f, "VReg[")?;
+        for i in 0..4 {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{:#018x}", self.lane::<u64>(i))?;
+        }
+        write!(f, ", ...]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::f16::F16;
+
+    #[test]
+    fn zeroed_is_all_zero_under_every_view() {
+        let r = VReg::zeroed();
+        for i in 0..32 {
+            assert_eq!(r.lane::<f64>(i), 0.0);
+        }
+        for i in 0..64 {
+            assert_eq!(r.lane::<f32>(i), 0.0);
+            assert_eq!(r.lane::<i32>(i), 0);
+        }
+        for i in 0..128 {
+            assert_eq!(r.lane::<F16>(i).to_bits(), 0);
+        }
+    }
+
+    #[test]
+    fn lane_views_alias_the_same_bytes() {
+        let mut r = VReg::zeroed();
+        r.set_lane::<u64>(0, 0x3ff0_0000_0000_0000); // bits of 1.0f64
+        assert_eq!(r.lane::<f64>(0), 1.0);
+        r.set_lane::<f32>(2, 2.0);
+        assert_eq!(r.lane::<u64>(1) & 0xffff_ffff, 2.0f32.to_bits() as u64);
+    }
+
+    #[test]
+    fn from_fn_respects_vector_length() {
+        let vl = VectorLength::of(256); // 4 x f64
+        let r = VReg::from_fn::<f64>(vl, |i| i as f64);
+        assert_eq!(r.to_vec::<f64>(vl), vec![0.0, 1.0, 2.0, 3.0]);
+        // Storage beyond VL stays zero.
+        assert_eq!(r.lane::<f64>(4), 0.0);
+        assert_eq!(r.lane::<f64>(31), 0.0);
+    }
+
+    #[test]
+    fn lanes_eq_ignores_inactive_storage() {
+        let vl = VectorLength::of(128);
+        let mut a = VReg::from_fn::<f64>(vl, |i| i as f64 + 1.0);
+        let b = a;
+        a.set_lane::<f64>(5, 99.0); // beyond VL128's 2 lanes
+        assert!(a.lanes_eq::<f64>(&b, vl));
+        assert!(!a.lanes_eq::<f64>(&b, VectorLength::of(512)));
+    }
+}

@@ -1,0 +1,225 @@
+//! Property-based tests for the SVE functional model: invariants that must
+//! hold for every vector length, predicate and operand values. These are the
+//! contracts the Grid port (paper, Section V) relies on.
+
+use proptest::prelude::*;
+use sve::intrinsics::*;
+use sve::{SveCtx, VReg, VectorLength};
+
+/// Strategy: any architecturally valid vector length.
+fn any_vl() -> impl Strategy<Value = VectorLength> {
+    (1usize..=16).prop_map(|k| VectorLength::of(k * 128))
+}
+
+/// Strategy: a vector length plus finite f64 lane data covering it.
+fn vl_and_lanes() -> impl Strategy<Value = (VectorLength, Vec<f64>, Vec<f64>)> {
+    any_vl().prop_flat_map(|vl| {
+        let n = vl.lanes64();
+        (
+            Just(vl),
+            proptest::collection::vec(-1.0e6f64..1.0e6, n..=n),
+            proptest::collection::vec(-1.0e6f64..1.0e6, n..=n),
+        )
+    })
+}
+
+fn vreg_from(vl: VectorLength, data: &[f64]) -> VReg {
+    VReg::from_fn::<f64>(vl, |i| data[i])
+}
+
+proptest! {
+    /// st1(ld1(x)) == x for any vector length and any slice covering the
+    /// vector.
+    #[test]
+    fn ld1_st1_round_trip((vl, data, _) in vl_and_lanes()) {
+        let ctx = SveCtx::new(vl);
+        let pg = svptrue::<f64>(&ctx);
+        let v = svld1(&ctx, &pg, &data);
+        let mut out = vec![0.0; data.len()];
+        svst1(&ctx, &pg, &mut out, &v);
+        prop_assert_eq!(out, data);
+    }
+
+    /// A whilelt predicate never activates more lanes than remain, and a
+    /// loop of whilelt steps covers 0..n exactly once.
+    #[test]
+    fn whilelt_partitions_the_index_space(vl in any_vl(), n in 0u64..10_000) {
+        let ctx = SveCtx::new(vl);
+        let lanes = vl.lanes64() as u64;
+        let mut covered = 0u64;
+        let mut i = 0u64;
+        while i < n + lanes {
+            let pg = svwhilelt::<f64>(&ctx, i, n);
+            let active = pg.active_count::<f64>(vl) as u64;
+            prop_assert!(active <= lanes);
+            prop_assert_eq!(active, n.saturating_sub(i).min(lanes));
+            covered += active;
+            if active == 0 { break; }
+            i += lanes;
+        }
+        prop_assert_eq!(covered, n);
+    }
+
+    /// Structure load/store are inverses: st2(ld2(x)) == x.
+    #[test]
+    fn ld2_st2_round_trip(vl in any_vl(), seed in any::<u64>()) {
+        let ctx = SveCtx::new(vl);
+        let pg = svptrue::<f64>(&ctx);
+        let n = 2 * vl.lanes64();
+        let data: Vec<f64> = (0..n)
+            .map(|i| ((seed.wrapping_add(i as u64 * 0x9e37_79b9) % 2048) as f64) - 1024.0)
+            .collect();
+        let (a, b) = svld2(&ctx, &pg, &data);
+        let mut out = vec![0.0; n];
+        svst2(&ctx, &pg, &mut out, &a, &b);
+        prop_assert_eq!(out, data);
+    }
+
+    /// The two-FCMLA idiom equals the scalar complex product on every pair,
+    /// for every vector length.
+    #[test]
+    fn fcmla_pair_is_complex_multiply((vl, xs, ys) in vl_and_lanes()) {
+        let ctx = SveCtx::new(vl);
+        let pg = svptrue::<f64>(&ctx);
+        let x = vreg_from(vl, &xs);
+        let y = vreg_from(vl, &ys);
+        let zero = svdup::<f64>(&ctx, 0.0);
+        let r = fcmla_mul_add::<f64>(&ctx, &pg, &zero, &x, &y);
+        for p in 0..vl.lanes64() / 2 {
+            let (xr, xi) = (xs[2 * p], xs[2 * p + 1]);
+            let (yr, yi) = (ys[2 * p], ys[2 * p + 1]);
+            let re = xr * yr - xi * yi;
+            let im = xr * yi + xi * yr;
+            let scale = re.abs().max(im.abs()).max(1.0);
+            prop_assert!((r.lane::<f64>(2 * p) - re).abs() / scale < 1e-12);
+            prop_assert!((r.lane::<f64>(2 * p + 1) - im).abs() / scale < 1e-12);
+        }
+    }
+
+    /// conj(x)*y via FCMLA rotations (0, 270) matches scalar reference.
+    #[test]
+    fn fcmla_conjugate_matches_reference((vl, xs, ys) in vl_and_lanes()) {
+        let ctx = SveCtx::new(vl);
+        let pg = svptrue::<f64>(&ctx);
+        let x = vreg_from(vl, &xs);
+        let y = vreg_from(vl, &ys);
+        let zero = svdup::<f64>(&ctx, 0.0);
+        let r = fcmla_conj_mul_add::<f64>(&ctx, &pg, &zero, &x, &y);
+        for p in 0..vl.lanes64() / 2 {
+            let (xr, xi) = (xs[2 * p], -xs[2 * p + 1]);
+            let (yr, yi) = (ys[2 * p], ys[2 * p + 1]);
+            let re = xr * yr - xi * yi;
+            let im = xr * yi + xi * yr;
+            let scale = re.abs().max(im.abs()).max(1.0);
+            prop_assert!((r.lane::<f64>(2 * p) - re).abs() / scale < 1e-12);
+            prop_assert!((r.lane::<f64>(2 * p + 1) - im).abs() / scale < 1e-12);
+        }
+    }
+
+    /// Predicated arithmetic only writes active lanes (merge form).
+    #[test]
+    fn merge_predication_is_surgical((vl, xs, ys) in vl_and_lanes(), cut in 0usize..33) {
+        let ctx = SveCtx::new(vl);
+        let cut = cut.min(vl.lanes64());
+        let pg = svwhilelt::<f64>(&ctx, 0, cut as u64);
+        let acc = vreg_from(vl, &xs);
+        let a = vreg_from(vl, &ys);
+        let r = svmla_m::<f64>(&ctx, &pg, &acc, &a, &a);
+        for e in 0..vl.lanes64() {
+            if e >= cut {
+                prop_assert_eq!(r.lane::<f64>(e), xs[e], "inactive lane {} must merge", e);
+            }
+        }
+    }
+
+    /// zip1/zip2 followed by uzp1/uzp2 is the identity (the de/re-interleave
+    /// pair behind precision packing).
+    #[test]
+    fn zip_uzp_identity((vl, xs, ys) in vl_and_lanes()) {
+        let ctx = SveCtx::new(vl);
+        let a = vreg_from(vl, &xs);
+        let b = vreg_from(vl, &ys);
+        let lo = svzip1::<f64>(&ctx, &a, &b);
+        let hi = svzip2::<f64>(&ctx, &a, &b);
+        let ra = svuzp1::<f64>(&ctx, &lo, &hi);
+        let rb = svuzp2::<f64>(&ctx, &lo, &hi);
+        prop_assert!(ra.lanes_eq::<f64>(&a, vl));
+        prop_assert!(rb.lanes_eq::<f64>(&b, vl));
+    }
+
+    /// ext(v, v, k) is a rotation: applying it lanes times returns v.
+    #[test]
+    fn ext_rotation_has_full_period((vl, xs, _) in vl_and_lanes(), k in 1usize..8) {
+        let ctx = SveCtx::new(vl);
+        let lanes = vl.lanes64();
+        let k = k % lanes.max(1);
+        prop_assume!(k != 0);
+        let v = vreg_from(vl, &xs);
+        let mut r = v;
+        // Rotate by k, lanes/gcd(k,lanes) ... simpler: rotate `lanes` times by k
+        // equals rotating by k*lanes ≡ 0 (mod lanes).
+        for _ in 0..lanes {
+            r = svext::<f64>(&ctx, &r, &r, k);
+        }
+        prop_assert!(r.lanes_eq::<f64>(&v, vl));
+    }
+
+    /// rev(rev(v)) == v.
+    #[test]
+    fn rev_is_involution((vl, xs, _) in vl_and_lanes()) {
+        let ctx = SveCtx::new(vl);
+        let v = vreg_from(vl, &xs);
+        let r = svrev::<f64>(&ctx, &svrev::<f64>(&ctx, &v));
+        prop_assert!(r.lanes_eq::<f64>(&v, vl));
+    }
+
+    /// addv of a vector equals the sequential sum of its lanes.
+    #[test]
+    fn addv_matches_sequential_sum((vl, xs, _) in vl_and_lanes()) {
+        let ctx = SveCtx::new(vl);
+        let pg = svptrue::<f64>(&ctx);
+        let v = vreg_from(vl, &xs);
+        let got = svaddv::<f64>(&ctx, &pg, &v);
+        let want: f64 = xs.iter().sum();
+        prop_assert!((got - want).abs() <= 1e-9 * want.abs().max(1.0));
+    }
+
+    /// f64 -> f32 -> f16 -> f32 compression path error stays within the
+    /// binary16 epsilon bound for normal-range values.
+    #[test]
+    fn f16_codec_error_bounded(x in -6.0e4f64..6.0e4) {
+        prop_assume!(x.abs() > 6.2e-5); // stay in f16 normal range
+        let rel = ((x - f64_through_f16(x)) / x).abs();
+        prop_assert!(rel <= 4.9e-4, "x={} rel={}", x, rel);
+    }
+
+    /// Executing any predicated op never touches memory out of bounds when
+    /// the predicate comes from whilelt over the slice length.
+    #[test]
+    fn whilelt_guards_short_slices(vl in any_vl(), n in 0usize..64) {
+        let ctx = SveCtx::new(vl);
+        let data: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let pg = svwhilelt::<f64>(&ctx, 0, n as u64);
+        let v = svld1(&ctx, &pg, &data); // must not panic
+        let mut out = vec![0.0; n];
+        svst1(&ctx, &pg, &mut out, &v);
+        let m = n.min(vl.lanes64());
+        prop_assert_eq!(&out[..m], &data[..m]);
+    }
+
+    /// The toolchain-fault model only corrupts partial predicates at its
+    /// target vector length — full vectors are immune (why the paper's
+    /// fixed-size style, listing IV-D, dodges such bugs).
+    #[test]
+    fn fault_model_spares_full_vectors(vl in any_vl(), n in 1u64..1000) {
+        let ctx = SveCtx::with_fault(vl, sve::ToolchainFault::TailPredicationBug(vl));
+        let pg = svwhilelt::<f64>(&ctx, 0, n);
+        let lanes = vl.lanes64() as u64;
+        if n >= lanes {
+            prop_assert!(pg.is_full::<f64>(vl));
+        } else {
+            // Partial predicate: fault drops exactly one lane.
+            prop_assert_eq!(pg.active_count::<f64>(vl) as u64, n - 1);
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Multi-rank domain decomposition with halo exchange — the coarsest level
+//! of LQCD parallelism (paper, Section II-A) — including binary16
+//! compression of the wire traffic, the paper's only use of fp16
+//! (Section V-B).
+//!
+//! ```text
+//! cargo run --release --example multinode_halo [nranks]
+//! ```
+
+use grid::prelude::*;
+use grid::Coor;
+
+fn main() {
+    let nranks: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let global: Coor = [4, 4, 4, 4 * nranks.max(1)];
+    let vl = VectorLength::of(512);
+    println!(
+        "Global lattice {:?} split over {nranks} ranks along t (VL {vl})\n",
+        global
+    );
+
+    // Single-rank reference.
+    let gg = Grid::new(global, vl, SimdBackend::Fcmla);
+    let u = random_gauge(gg.clone(), 42);
+    let psi = FermionField::random(gg.clone(), 43);
+    let reference = WilsonDirac::new(u.clone(), 0.1).hopping(&psi);
+
+    for compression in [Compression::None, Compression::F16] {
+        let results = run_multinode(global, nranks, vl, SimdBackend::Fcmla, |ctx| {
+            // Each rank reconstructs its local slice of the global fields
+            // (layout-independent seeding makes this embarrassingly local).
+            let mut lu = GaugeField::zero(ctx.grid.clone());
+            let mut lf = FermionField::zero(ctx.grid.clone());
+            for lx in ctx.grid.coords() {
+                let gx = ctx.to_global(&lx);
+                for comp in 0..36 {
+                    lu.poke(&lx, comp, u.peek(&gx, comp));
+                }
+                for comp in 0..12 {
+                    lf.poke(&lx, comp, psi.peek(&gx, comp));
+                }
+            }
+            let hop = hopping_dist(ctx, &lu, &lf, compression);
+            (ctx.rank, ctx.offset, hop, ctx.sent_bytes.get())
+        });
+
+        let mut worst: f64 = 0.0;
+        let mut wire = 0usize;
+        for (_rank, offset, local, sent) in &results {
+            wire += sent;
+            for lx in local.grid().coords() {
+                let gx: Coor = std::array::from_fn(|d| lx[d] + offset[d]);
+                for comp in 0..12 {
+                    worst = worst.max((local.peek(&lx, comp) - reference.peek(&gx, comp)).abs());
+                }
+            }
+        }
+        println!(
+            "compression {:?}: wire volume {:>9} bytes, max deviation from single-rank {:.3e}",
+            compression, wire, worst
+        );
+    }
+    println!(
+        "\n(f16 quarters the wire volume; the deviation it introduces is\n\
+         bounded by the binary16 epsilon and confined to halo sites.)"
+    );
+}

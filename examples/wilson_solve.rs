@@ -1,0 +1,86 @@
+//! The paper's motivating workload: invert the Wilson Dirac operator on a
+//! random SU(3) gauge background, the inner loop of every lattice QCD
+//! campaign (paper, Section II-A), and account for the SVE instructions it
+//! retires across backends and vector lengths.
+//!
+//! ```text
+//! cargo run --release --example wilson_solve [L] [T]
+//! ```
+
+use grid::prelude::*;
+use sve::OpClass;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let l: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(6);
+    let t: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let dims = [l, l, l, t];
+    let volume: usize = dims.iter().product();
+    println!("Wilson solve on a {l}^3 x {t} lattice (V = {volume} sites)\n");
+
+    println!(
+        "{:<10} {:<12} {:>6} {:>10} {:>14} {:>12}",
+        "VL", "backend", "iters", "residual", "instructions", "insts/site"
+    );
+    for vl in [
+        VectorLength::of(128),
+        VectorLength::of(512),
+        VectorLength::of(2048),
+    ] {
+        for backend in SimdBackend::all() {
+            let g = Grid::new(dims, vl, backend);
+            let u = random_gauge(g.clone(), 11);
+            let d = WilsonDirac::new(u, 0.3);
+            let b = FermionField::random(g.clone(), 12);
+            g.engine().ctx().counters().reset();
+            let (_, report) = cg(&d, &b, 1e-8, 2000);
+            let c = g.engine().ctx().counters();
+            let total = c.total();
+            // Work per site per operator application: the figure of merit
+            // the paper's wide-vector argument is about.
+            let dh_apps = 2 * report.iterations; // M and M† per iteration
+            let per_site = total as f64 / (dh_apps.max(1) * volume) as f64;
+            println!(
+                "{:<10} {:<12} {:>6} {:>10.2e} {:>13.1}M {:>12.1}",
+                format!("{}", vl),
+                backend.name(),
+                report.iterations,
+                report.residual,
+                total as f64 / 1e6,
+                per_site
+            );
+        }
+    }
+
+    // Convergence history for one configuration.
+    println!("\nResidual history (VL512, FCMLA), every 10th iteration:");
+    let g = Grid::new(dims, VectorLength::of(512), SimdBackend::Fcmla);
+    let d = WilsonDirac::new(random_gauge(g.clone(), 11), 0.3);
+    let b = FermionField::random(g.clone(), 12);
+    let (_, report) = cg(&d, &b, 1e-8, 2000);
+    for (i, r) in report.history.iter().enumerate().step_by(10) {
+        println!("  iter {i:>4}: |r|/|b| = {r:.3e}");
+    }
+    println!(
+        "  iter {:>4}: |r|/|b| = {:.3e}",
+        report.iterations,
+        report.history.last().unwrap()
+    );
+
+    // Instruction-mix profile of one hopping-term application.
+    println!("\nInstruction mix of one Dh application (VL512, FCMLA):");
+    let psi = FermionField::random(g.clone(), 13);
+    g.engine().ctx().counters().reset();
+    let _ = d.hopping(&psi);
+    let c = g.engine().ctx().counters();
+    for class in [
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::FpComplex,
+        OpClass::FpArith,
+        OpClass::Permute,
+        OpClass::Move,
+    ] {
+        println!("  {:?}: {}", class, c.total_class(class));
+    }
+}

@@ -1,0 +1,25 @@
+//! Reproduction of *"SVE-enabling Lattice QCD Codes"* (Meyer, Georg,
+//! Pleiter, Solbrig, Wettig — IEEE CLUSTER 2018, arXiv:1901.07294).
+//!
+//! The workspace splits along the paper's own structure:
+//!
+//! * [`sve`] — functional model of the ARM Scalable Vector Extension
+//!   (registers, predicates, ACLE-style intrinsics, instruction accounting,
+//!   silicon cost profiles, injectable toolchain faults);
+//! * [`armie`] — ArmIE-like instruction-level emulator, with the paper's
+//!   four Section IV assembly listings pre-encoded;
+//! * [`grid`] — the Grid-style lattice QCD library with three SVE complex-
+//!   arithmetic backends, virtual-node layout, Wilson Dirac operator,
+//!   Krylov solvers and simulated multi-rank comms;
+//! * [`verification`] — the Section V-D campaign: 40 named checks runnable
+//!   at any vector length, under a faithful or deliberately buggy
+//!   "toolchain".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use armie;
+pub use grid;
+pub use sve;
+
+pub mod verification;

@@ -1,0 +1,134 @@
+//! Cross-crate consistency: the three levels of the stack — emulated
+//! assembly (armie), ACLE intrinsics (sve), and the Grid abstraction layer
+//! (grid) — must compute identical complex arithmetic, and their instruction
+//! accounting must agree where the code paths are the same.
+
+use grid::simd::functors::{MultComplex, WordFunctor};
+use grid::simd::{SimdBackend, SimdEngine};
+use std::sync::Arc;
+use sve::intrinsics::*;
+use sve::{CostModel, Opcode, SveCtx, VectorLength};
+
+fn interleaved(n: usize, phase: f64) -> Vec<f64> {
+    (0..n)
+        .map(|i| (i as f64 * 0.37 + phase).sin() * 2.0)
+        .collect()
+}
+
+#[test]
+fn emulator_intrinsics_and_grid_agree_on_complex_multiply() {
+    for vl in VectorLength::sweep() {
+        let n = vl.lanes64();
+        let x = interleaved(n, 0.0);
+        let y = interleaved(n, 1.0);
+
+        // Level 1: the paper's listing IV-D under the emulator.
+        let run = armie::listings::run_mult_cplx_fcmla_fixed(SveCtx::new(vl), &x, &y);
+
+        // Level 2: direct ACLE intrinsics (the listing's source code).
+        let ctx = SveCtx::new(vl);
+        let pg = svptrue::<f64>(&ctx);
+        let sx = svld1(&ctx, &pg, &x);
+        let sy = svld1(&ctx, &pg, &y);
+        let zero = svdup::<f64>(&ctx, 0.0);
+        let t = svcmla::<f64>(&ctx, &pg, &zero, &sx, &sy, Rot::R90);
+        let sz = svcmla::<f64>(&ctx, &pg, &t, &sx, &sy, Rot::R0);
+        let mut z_acle = vec![0.0; n];
+        svst1(&ctx, &pg, &mut z_acle, &sz);
+
+        // Level 3: Grid's MultComplex functor (Section V-C).
+        let eng = SimdEngine::new(Arc::new(SveCtx::new(vl)), SimdBackend::Fcmla);
+        let mut z_grid = vec![0.0; n];
+        MultComplex.apply(&eng, &x, &y, &mut z_grid);
+
+        assert_eq!(run.z, z_acle, "emulator vs intrinsics at {vl}");
+        assert_eq!(z_acle, z_grid, "intrinsics vs grid functor at {vl}");
+    }
+}
+
+#[test]
+fn fcmla_counts_match_across_stack_levels() {
+    let vl = VectorLength::of(512);
+    let n = vl.lanes64();
+    let x = interleaved(n, 0.3);
+    let y = interleaved(n, 0.9);
+
+    let run = armie::listings::run_mult_cplx_fcmla_fixed(SveCtx::new(vl), &x, &y);
+    let emulator_fcmla = run.machine.ctx.counters().get(Opcode::Fcmla);
+
+    let eng = SimdEngine::new(Arc::new(SveCtx::new(vl)), SimdBackend::Fcmla);
+    let mut out = vec![0.0; n];
+    MultComplex.apply(&eng, &x, &y, &mut out);
+    let grid_fcmla = eng.ctx().counters().get(Opcode::Fcmla);
+
+    assert_eq!(emulator_fcmla, 2);
+    assert_eq!(grid_fcmla, 2);
+    // Both levels also perform exactly 2 loads and 1 store.
+    assert_eq!(run.machine.ctx.counters().get(Opcode::Ld1), 2);
+    assert_eq!(eng.ctx().counters().get(Opcode::Ld1), 2);
+    assert_eq!(run.machine.ctx.counters().get(Opcode::St1), 1);
+    assert_eq!(eng.ctx().counters().get(Opcode::St1), 1);
+}
+
+#[test]
+fn cost_model_ranks_backends_consistently_at_every_vl() {
+    // Section V-E quantified: per MultComplex word, fcmla wins under the
+    // fcmla-fast profile and loses under fcmla-slow to the real-arithmetic
+    // alternative, at every vector length.
+    for vl in VectorLength::sweep() {
+        let mut cycles = std::collections::HashMap::new();
+        for backend in SimdBackend::all() {
+            let eng = SimdEngine::new(Arc::new(SveCtx::new(vl)), backend);
+            let x = interleaved(vl.lanes64(), 0.1);
+            let y = interleaved(vl.lanes64(), 0.2);
+            let mut out = vec![0.0; vl.lanes64()];
+            eng.ctx().counters().reset();
+            for _ in 0..100 {
+                MultComplex.apply(&eng, &x, &y, &mut out);
+            }
+            cycles.insert(
+                backend,
+                (
+                    eng.ctx().cycles(CostModel::FcmlaFast),
+                    eng.ctx().cycles(CostModel::FcmlaSlow),
+                ),
+            );
+        }
+        let fcmla = cycles[&SimdBackend::Fcmla];
+        let real = cycles[&SimdBackend::RealArith];
+        assert!(fcmla.0 < real.0, "{vl}: fast profile must favour FCMLA");
+        assert!(
+            fcmla.1 > real.1,
+            "{vl}: slow profile must favour real arithmetic"
+        );
+    }
+}
+
+#[test]
+fn vla_loop_overhead_disappears_in_fixed_size_style() {
+    // Section IV-D's point: for one vector's worth of data the fixed-size
+    // kernel runs 8 instructions; the VLA loop (IV-C) pays loop control.
+    let vl = VectorLength::of(512);
+    let n = vl.lanes64();
+    let x = interleaved(n, 0.0);
+    let y = interleaved(n, 0.5);
+    let fixed = armie::listings::run_mult_cplx_fcmla_fixed(SveCtx::new(vl), &x, &y);
+    let vla = armie::listings::run_mult_cplx_fcmla_vla(SveCtx::new(vl), &x, &y);
+    assert_eq!(fixed.z, vla.z, "same values either way");
+    assert!(fixed.report.steps < vla.report.steps);
+    assert_eq!(fixed.report.steps, 8);
+}
+
+#[test]
+fn whole_stack_runs_at_the_architectural_extremes() {
+    // 128-bit (NEON-width) and 2048-bit (architectural max) both work end
+    // to end: listing, functor, Wilson operator, solver.
+    use grid::prelude::*;
+    for vl in [VectorLength::of(128), VectorLength::of(2048)] {
+        let g = Grid::new([4, 4, 4, 4], vl, SimdBackend::Fcmla);
+        let d = WilsonDirac::new(random_gauge(g.clone(), 5), 0.3);
+        let b = FermionField::random(g.clone(), 6);
+        let (_, report) = cg(&d, &b, 1e-7, 600);
+        assert!(report.converged, "{vl}: {report:?}");
+    }
+}

@@ -1,0 +1,127 @@
+//! Physics-level integration: gauge covariance, preconditioning and mixed
+//! precision working together across vector lengths — the extension layer
+//! on top of the paper's verification campaign.
+
+use grid::prelude::*;
+
+#[test]
+fn full_pipeline_at_every_grid_supported_vl() {
+    // The paper enables 128/256/512 in Grid (Section V-B); run the whole
+    // pipeline (gauge generation -> observables -> EO solve -> verification)
+    // at each.
+    for vl in VectorLength::grid_supported() {
+        let g = Grid::new([4, 4, 4, 4], vl, SimdBackend::Fcmla);
+        let u = random_gauge(g.clone(), 201);
+        // Observables sane.
+        let p = average_plaquette(&u);
+        assert!(p.abs() < 0.3, "{vl}: plaquette {p}");
+        // EO-preconditioned solve verifies against the operator.
+        let op = WilsonDirac::new(u, 0.25);
+        let b = FermionField::random(g.clone(), 202);
+        let (x, report) = solve_eo(&op, &b, 1e-9, 2000);
+        assert!(report.residual < 1e-7, "{vl}: {report:?}");
+        let mx = op.apply(&x);
+        let mut diff = FermionField::zero(g.clone());
+        diff.sub(&mx, &b);
+        assert!((diff.norm2() / b.norm2()).sqrt() < 1e-7, "{vl}");
+    }
+}
+
+#[test]
+fn gauge_covariance_composes_with_solving() {
+    // Solving in a gauge-rotated frame gives the rotated solution.
+    let g = Grid::new([4, 4, 4, 4], VectorLength::of(512), SimdBackend::Fcmla);
+    let u = random_gauge(g.clone(), 203);
+    let t = random_transform(g.clone(), 204);
+    let b = FermionField::random(g.clone(), 205);
+
+    let (x, _) = solve_wilson(&WilsonDirac::new(u.clone(), 0.3), &b, 1e-10, 3000);
+    let (x_rot, _) = solve_wilson(
+        &WilsonDirac::new(transform_links(&u, &t), 0.3),
+        &transform_fermion(&b, &t),
+        1e-10,
+        3000,
+    );
+    let expected = transform_fermion(&x, &t);
+    let diff = x_rot.max_abs_diff(&expected);
+    assert!(diff < 1e-7, "covariance of the solve broken by {diff}");
+}
+
+#[test]
+fn mixed_precision_agrees_with_pure_double_across_backends() {
+    for backend in [SimdBackend::Fcmla, SimdBackend::RealArith] {
+        let g = Grid::new([4, 4, 4, 4], VectorLength::of(512), backend);
+        let op = WilsonDirac::new(random_gauge(g.clone(), 206), 0.3);
+        let b = FermionField::random(g.clone(), 207);
+        let (x_mixed, rep) = mixed_precision_solve(&op, &b, 1e-10, 1e-4, 30, 1000);
+        assert!(rep.converged, "{backend:?}: {rep:?}");
+        let (x_ref, _) = solve_wilson(&op, &b, 1e-10, 3000);
+        let diff = x_mixed.max_abs_diff(&x_ref);
+        assert!(diff < 1e-7, "{backend:?}: solutions differ by {diff}");
+    }
+}
+
+#[test]
+fn half_spinor_comms_compose_with_fp16_compression() {
+    // The two comms compressions stack: spin projection (x2) and binary16
+    // (x4); the result still matches the single-rank hopping term to f16
+    // accuracy.
+    use grid::Coor;
+    let global: Coor = [4, 4, 4, 8];
+    let vl = VectorLength::of(256);
+    let gg = Grid::new(global, vl, SimdBackend::Fcmla);
+    let u = random_gauge(gg.clone(), 208);
+    let psi = FermionField::random(gg.clone(), 209);
+    let want = WilsonDirac::new(u.clone(), 0.1).hopping(&psi);
+
+    let locals = run_multinode(global, 2, vl, SimdBackend::Fcmla, |ctx| {
+        let mut lu = GaugeField::zero(ctx.grid.clone());
+        let mut lf = FermionField::zero(ctx.grid.clone());
+        for lx in ctx.grid.coords() {
+            let gx = ctx.to_global(&lx);
+            for comp in 0..36 {
+                lu.poke(&lx, comp, u.peek(&gx, comp));
+            }
+            for comp in 0..12 {
+                lf.poke(&lx, comp, psi.peek(&gx, comp));
+            }
+        }
+        let h = hopping_dist_half(ctx, &lu, &lf, Compression::F16);
+        (ctx.offset, h, ctx.sent_bytes.get())
+    });
+    let mut worst: f64 = 0.0;
+    let mut wire = 0;
+    for (offset, local, sent) in &locals {
+        wire += sent;
+        for lx in local.grid().coords() {
+            let gx: Coor = std::array::from_fn(|d| lx[d] + offset[d]);
+            for comp in 0..12 {
+                worst = worst.max((local.peek(&lx, comp) - want.peek(&gx, comp)).abs());
+            }
+        }
+    }
+    assert!(worst > 0.0 && worst < 0.05, "f16 halo error {worst}");
+    // Wire volume: half-spinor f16 slices = 6 comps * 2 reals * 2 bytes per
+    // site per exchanged slice; 8 slices exchanged per rank (2 per mu-leg
+    // pair at mu=3 only -> 2 legs * 1 slice each per rank).
+    assert!(wire > 0);
+}
+
+#[test]
+fn observables_are_layout_invariant() {
+    // Plaquette / Polyakov / Wilson loops must not depend on the vector
+    // length (they are computed from the same physical configuration).
+    let mut values = Vec::new();
+    for vl in [VectorLength::of(128), VectorLength::of(1024)] {
+        let g = Grid::new([4, 4, 4, 4], vl, SimdBackend::Fcmla);
+        let u = random_gauge(g.clone(), 210);
+        values.push((
+            average_plaquette(&u),
+            average_polyakov_loop(&u),
+            wilson_loop(&u, 0, 3, 2, 2),
+        ));
+    }
+    assert!((values[0].0 - values[1].0).abs() < 1e-13);
+    assert!((values[0].1 - values[1].1).abs() < 1e-13);
+    assert!((values[0].2 - values[1].2).abs() < 1e-13);
+}

@@ -1,0 +1,134 @@
+//! The Section V-D verification campaign as an integration test.
+//!
+//! The paper ran 40 representative Grid tests/benchmarks under ArmIE "for
+//! different SVE vector lengths": "The majority of tests and benchmarks
+//! complete with success. However, some tests fail due to incorrect results
+//! for some choices of the SVE vector length and implementations of the
+//! predication. We attribute the failing tests to minor issues of the ARM
+//! SVE toolchain."
+//!
+//! Faithful toolchain → all 40 checks pass at all five vector lengths.
+//! Injected tail-predication bug (the class of defect the paper hit) →
+//! exactly the VLA-style checks fail, only at the faulted vector length,
+//! while the fixed-size kernels (the style the Grid port adopts) survive.
+
+use lqcd_sve::verification::{all_checks, run_matrix, CheckCfg};
+use sve::{SveCtx, ToolchainFault, VectorLength};
+
+use grid::SimdBackend;
+
+#[test]
+fn campaign_has_forty_checks() {
+    assert_eq!(all_checks().len(), 40);
+    // Names are unique.
+    let mut names: Vec<_> = all_checks().iter().map(|c| c.name).collect();
+    names.sort();
+    names.dedup();
+    assert_eq!(names.len(), 40);
+}
+
+#[test]
+fn faithful_toolchain_passes_everything_across_vector_lengths() {
+    let vls = VectorLength::sweep();
+    let matrix = run_matrix(&vls, SimdBackend::Fcmla, ToolchainFault::None);
+    let failures: Vec<String> = matrix
+        .names
+        .iter()
+        .zip(&matrix.results)
+        .flat_map(|(name, row)| {
+            row.iter().zip(&matrix.vls).filter_map(move |(res, vl)| {
+                res.as_ref().err().map(|e| format!("{name} @ {vl}: {e}"))
+            })
+        })
+        .collect();
+    assert!(failures.is_empty(), "failures:\n{}", failures.join("\n"));
+    assert_eq!(matrix.passed(), matrix.total());
+    assert_eq!(matrix.total(), 40 * 5);
+}
+
+#[test]
+fn faithful_toolchain_passes_for_every_backend_at_512() {
+    // The paper's headline configuration (512-bit, AVX-512 equivalent),
+    // checked with all three complex-arithmetic lowerings.
+    for backend in SimdBackend::all() {
+        let matrix = run_matrix(&[VectorLength::of(512)], backend, ToolchainFault::None);
+        assert_eq!(matrix.passed(), matrix.total(), "{backend:?} has failures");
+    }
+}
+
+#[test]
+fn buggy_toolchain_fails_only_vla_checks_at_the_faulted_vl() {
+    let bad_vl = VectorLength::of(512);
+    let fault = ToolchainFault::TailPredicationBug(bad_vl);
+    let vls = [VectorLength::of(256), bad_vl, VectorLength::of(1024)];
+    let matrix = run_matrix(&vls, SimdBackend::Fcmla, fault);
+
+    // The checks the paper's class of bug can reach: VLA loops with
+    // partial tail predicates.
+    let vla_checks = [
+        "Test_simd_real_vla",
+        "Test_simd_cplx_autovec",
+        "Test_simd_cplx_fcmla_vla",
+        "Test_predication_whilelt",
+    ];
+
+    let mut failed_at_bad_vl = Vec::new();
+    for (i, name) in matrix.names.iter().enumerate() {
+        for (j, vl) in matrix.vls.iter().enumerate() {
+            let ok = matrix.results[i][j].is_ok();
+            if *vl == bad_vl {
+                if vla_checks.contains(name) {
+                    assert!(!ok, "{name} should fail at the faulted VL");
+                    failed_at_bad_vl.push(*name);
+                } else {
+                    assert!(
+                        ok,
+                        "{name} (fixed-size style) should survive the fault: {:?}",
+                        matrix.results[i][j]
+                    );
+                }
+            } else {
+                assert!(ok, "{name} must pass at unaffected {vl}");
+            }
+        }
+    }
+    assert_eq!(failed_at_bad_vl.len(), vla_checks.len());
+
+    // "The majority of tests and benchmarks complete with success."
+    let frac = matrix.passed() as f64 / matrix.total() as f64;
+    assert!(frac > 0.9, "pass fraction {frac}");
+}
+
+#[test]
+fn fixed_size_style_is_immune_by_construction() {
+    // Section V-A/V-B: the port binds kernels to the hardware vector length
+    // and never runs partial vectors, so even a tail-predication miscompile
+    // cannot corrupt Grid results — only ACLE VLA code is exposed.
+    let bad_vl = VectorLength::of(1024);
+    let cfg = CheckCfg {
+        vl: bad_vl,
+        backend: SimdBackend::Fcmla,
+        fault: ToolchainFault::TailPredicationBug(bad_vl),
+    };
+    for check in all_checks() {
+        if check.group != "sve" {
+            assert!(
+                (check.run)(&cfg).is_ok(),
+                "{} should be immune to tail-predication faults",
+                check.name
+            );
+        }
+    }
+}
+
+#[test]
+fn fault_context_construction_smoke() {
+    let ctx = SveCtx::with_fault(
+        VectorLength::of(256),
+        ToolchainFault::TailPredicationBug(VectorLength::of(256)),
+    );
+    assert_eq!(
+        ctx.fault(),
+        ToolchainFault::TailPredicationBug(VectorLength::of(256))
+    );
+}
