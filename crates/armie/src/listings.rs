@@ -346,7 +346,15 @@ fn run_kernel(ctx: SveCtx, program: &Program, n_arg: u64, x: &[f64], y: &[f64]) 
     m.set_x(1, xa);
     m.set_x(2, ya);
     m.set_x(3, za);
+    // Profile the emulated execution. The machine is borrowed mutably by
+    // `run`, so the span cannot hold `&m.ctx` — attribute the instruction
+    // delta manually from a snapshot taken just before execution.
+    let mut span = qcd_trace::SpanGuard::enter(&format!("armie.{}", program.name), None);
+    let base = qcd_trace::snapshot_counters(&m.ctx);
     let report = run(&mut m, program);
+    span.add_counters_since(&m.ctx, &base);
+    qcd_trace::record_bytes(8 * (x.len() + y.len()) as u64, 8 * out_len as u64);
+    drop(span);
     let z = m.mem.load_f64_slice(za, out_len);
     ListingRun {
         z,

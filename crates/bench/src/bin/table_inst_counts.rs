@@ -1,42 +1,39 @@
 //! The implicit table of the paper's Section IV: per-iteration and
 //! per-element instruction costs of the four listings, across vector
 //! lengths — what the listing walk-throughs argue in prose, in numbers.
+//!
+//! Built on the `qcd-trace` region registry: every emulated listing run is
+//! a `listings/<bits>b/armie.<name>` region, so the table, the wall-time
+//! profile, and the JSON export all come from one measurement.
+//!
+//! Usage: `table_inst_counts [--json <path>]` — with `--json`, writes the
+//! registry snapshot as a `qcd-trace/v1` document (schema documented on
+//! `qcd_trace::Snapshot::to_json`), validated by a parse-back round-trip.
 
-use armie::listings;
-use bench::interleaved;
-use sve::{OpClass, SveCtx, VectorLength};
+use bench::profile;
+use sve::OpClass;
 
 fn main() {
-    let n = 240; // complex elements
-    let x = interleaved(2 * n, 0.0);
-    let y = interleaved(2 * n, 1.0);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = match profile::parse_json_arg(&args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("table_inst_counts: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let n = profile::MULT_CPLX_ELEMS; // complex elements
+    let (all, snap) = profile::build_listings_profile(n);
 
     println!("SECTION IV — DYNAMIC INSTRUCTION ANALYSIS ({n} complex elements)\n");
     println!(
         "{:<10} {:<28} {:>8} {:>10} {:>8} {:>8} {:>8}",
         "VL", "listing", "steps", "per cplx", "arith", "complex", "mem"
     );
-    for vl in VectorLength::sweep() {
+    for (vl, runs) in &all {
         let lanes = vl.lanes64();
-        let runs: Vec<(&str, listings::ListingRun)> = vec![
-            (
-                "IV-A real VLA",
-                listings::run_mult_real(SveCtx::new(vl), &x, &y),
-            ),
-            (
-                "IV-B cplx autovec",
-                listings::run_mult_cplx_autovec(SveCtx::new(vl), &x, &y),
-            ),
-            (
-                "IV-C cplx FCMLA VLA",
-                listings::run_mult_cplx_fcmla_vla(SveCtx::new(vl), &x, &y),
-            ),
-            (
-                "IV-D cplx FCMLA fixed",
-                listings::run_mult_cplx_fcmla_fixed(SveCtx::new(vl), &x[..lanes], &y[..lanes]),
-            ),
-        ];
-        for (name, run) in &runs {
+        for (name, run) in runs {
             let c = run.machine.ctx.counters();
             // IV-A processes 2n reals; the complex listings n complex; IV-D
             // one vector = lanes/2 complex.
@@ -69,4 +66,17 @@ fn main() {
            (4 + 2 movprfx per vector) plus structure loads/stores;\n\
          - IV-D is loop-free: 8 instructions regardless of VL."
     );
+
+    println!("\nFULL REGION PROFILE\n");
+    println!("{}", qcd_trace::render_table(&snap));
+
+    if let Some(path) = json_path {
+        match profile::write_validated_json(&snap, &path) {
+            Ok(()) => println!("wrote validated qcd-trace/v1 profile to {path}"),
+            Err(e) => {
+                eprintln!("table_inst_counts: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -2,23 +2,35 @@
 //! implementation of key computational patterns used in LQCD applications"
 //! (paper, contribution 3).
 //!
-//! For the Wilson hopping term — the key computational pattern — this
-//! prints, per vector length and backend: dynamic instructions per site,
-//! useful FLOPs per instruction (vector-ISA efficiency), and the scaling of
-//! instruction count with vector width.
+//! Built on the `qcd-trace` region registry: one profiled sweep of the
+//! Wilson hopping term over every vector length and backend, plus the
+//! FCMLA complex-multiply kernels of Sections IV-C/IV-D with their
+//! paper-predicted instruction counts. Prints per-region efficiency
+//! numbers, the VL-scaling of the FCMLA backend, and the full region
+//! profile.
+//!
+//! Usage: `wilson_report [--json <path>]` — with `--json`, additionally
+//! writes the registry snapshot as a `qcd-trace/v1` document (schema
+//! documented on `qcd_trace::Snapshot::to_json`), validated by a parse-back
+//! round-trip before anything touches disk.
 
+use bench::profile;
 use bench::BENCH_LATTICE;
 use grid::prelude::*;
 use sve::{OpClass, Opcode};
 
-/// Useful floating-point operations per lattice site for one Dh
-/// application: 8 legs x (spin project 2x3 cadds + SU(3) halfspinor
-/// multiply 2x(9 cmul + 6 cadd) + reconstruct 2x3 cadds) with 6 flops per
-/// complex multiply-add and 2 per complex add. The standard Wilson dslash
-/// count is 1320 flops/site.
-const FLOPS_PER_SITE: f64 = 1320.0;
-
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = match profile::parse_json_arg(&args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("wilson_report: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let snap = profile::build_wilson_profile(BENCH_LATTICE);
+
     println!(
         "WILSON HOPPING TERM — INSTRUCTION EFFICIENCY ACROSS VECTOR LENGTHS\n\
          lattice {:?}, {} sites\n",
@@ -26,29 +38,31 @@ fn main() {
         BENCH_LATTICE.iter().product::<usize>()
     );
     println!(
-        "{:<10} {:<11} {:>11} {:>12} {:>10} {:>12}",
-        "VL", "backend", "insts/site", "flops/inst", "fcmla/site", "perm/site"
+        "{:<10} {:<11} {:>11} {:>12} {:>10} {:>12} {:>10}",
+        "VL", "backend", "insts/site", "flops/inst", "fcmla/site", "perm/site", "AI f/B"
     );
     let mut base: Option<f64> = None;
     for vl in VectorLength::sweep() {
         for backend in SimdBackend::all() {
-            let g = Grid::new(BENCH_LATTICE, vl, backend);
-            let d = WilsonDirac::new(random_gauge(g.clone(), 77), 0.2);
-            let psi = FermionField::random(g.clone(), 78);
-            g.engine().ctx().counters().reset();
-            let _ = d.hopping(&psi);
-            let c = g.engine().ctx().counters();
-            let sites = g.volume() as f64;
-            let per_site = c.total() as f64 / sites;
-            let flops_per_inst = FLOPS_PER_SITE / per_site;
+            let hop = snap
+                .region(&profile::wilson_hop_region(vl, backend))
+                .expect("profiled hopping region");
+            let sites = hop.sites as f64;
+            let per_site = hop.total_insts() as f64 / sites;
+            let perm: u64 = Opcode::ALL
+                .iter()
+                .filter(|op| op.class() == OpClass::Permute)
+                .map(|&op| hop.insts_for(op))
+                .sum();
             println!(
-                "{:<10} {:<11} {:>11.1} {:>12.2} {:>10.1} {:>12.2}",
+                "{:<10} {:<11} {:>11.1} {:>12.2} {:>10.1} {:>12.2} {:>10.2}",
                 format!("{vl}"),
                 backend.name(),
                 per_site,
-                flops_per_inst,
-                c.get(Opcode::Fcmla) as f64 / sites,
-                c.total_class(OpClass::Permute) as f64 / sites,
+                hop.flops as f64 / hop.total_insts() as f64,
+                hop.insts_for(Opcode::Fcmla) as f64 / sites,
+                perm as f64 / sites,
+                hop.arithmetic_intensity().unwrap_or(0.0),
             );
             if backend == SimdBackend::Fcmla && vl == VectorLength::of(128) {
                 base = Some(per_site);
@@ -60,12 +74,10 @@ fn main() {
     if let Some(b128) = base {
         println!("instruction-count scaling of the FCMLA backend vs VL128:");
         for vl in VectorLength::sweep() {
-            let g = Grid::new(BENCH_LATTICE, vl, SimdBackend::Fcmla);
-            let d = WilsonDirac::new(random_gauge(g.clone(), 77), 0.2);
-            let psi = FermionField::random(g.clone(), 78);
-            g.engine().ctx().counters().reset();
-            let _ = d.hopping(&psi);
-            let per_site = g.engine().ctx().counters().total() as f64 / g.volume() as f64;
+            let hop = snap
+                .region(&profile::wilson_hop_region(vl, SimdBackend::Fcmla))
+                .expect("profiled hopping region");
+            let per_site = hop.total_insts() as f64 / hop.sites as f64;
             println!(
                 "  {:<10} {:>8.1} insts/site   speedup x{:.2} (ideal x{:.0})",
                 format!("{vl}"),
@@ -80,5 +92,41 @@ fn main() {
              boundaries, i.e. more lane permutations — the cost the\n\
              virtual-node layout keeps sub-linear.)"
         );
+    }
+
+    println!("\nFCMLA COMPLEX MULTIPLY — MEASURED VS PAPER LISTINGS IV-C/IV-D\n");
+    println!(
+        "{:<46} {:>6} {:>8} {:>7} {:>8}",
+        "region", "runs", "insts", "fcmla", "% pred"
+    );
+    for path in [
+        profile::MULT_CPLX_FIXED_REGION.to_string(),
+        profile::MULT_CPLX_VLA_REGION.to_string(),
+        profile::armie_fixed_region(),
+    ] {
+        let stat = snap.region(&path).expect("profiled mult_cplx region");
+        println!(
+            "{:<46} {:>6} {:>8} {:>7} {:>8}",
+            path,
+            stat.count,
+            stat.total_insts(),
+            stat.insts_for(Opcode::Fcmla),
+            stat.percent_of_predicted()
+                .map(|p| format!("{p:.0}%"))
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+
+    println!("\nFULL REGION PROFILE\n");
+    println!("{}", qcd_trace::render_table(&snap));
+
+    if let Some(path) = json_path {
+        match profile::write_validated_json(&snap, &path) {
+            Ok(()) => println!("wrote validated qcd-trace/v1 profile to {path}"),
+            Err(e) => {
+                eprintln!("wilson_report: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }

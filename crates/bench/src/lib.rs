@@ -1,4 +1,10 @@
 //! Shared helpers for the benchmark harness and table generators.
+//!
+//! [`profile`] builds the registry-backed (`qcd-trace`) profiles behind the
+//! `wilson_report` and `table_inst_counts` binaries, including their
+//! `--json` export in the `qcd-trace/v1` schema.
+
+pub mod profile;
 
 use grid::prelude::*;
 use grid::Coor;

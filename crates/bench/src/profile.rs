@@ -1,0 +1,350 @@
+//! Registry-backed profiles behind the `wilson_report` and
+//! `table_inst_counts` binaries.
+//!
+//! Both binaries drive the instrumented library under [`qcd_trace`] spans,
+//! snapshot the global registry, print the rendered profile, and can export
+//! the snapshot with `--json <path>`. The JSON document is the
+//! self-describing `qcd-trace/v1` schema documented on
+//! [`qcd_trace::Snapshot::to_json`]; [`write_validated_json`] refuses to
+//! write a document that does not parse back into an identical snapshot.
+
+use armie::listings;
+use grid::prelude::*;
+use grid::Coor;
+use sve::SveCtx;
+
+use crate::interleaved;
+
+/// Paper listing IV-D as an intrinsics kernel, minus the final `ret` the
+/// emulator executes: ptrue + 2x ld1d + dup + 2x fcmla + st1d.
+pub const FIXED_KERNEL_PREDICTED_INSTS: u64 = 7;
+
+/// FCMLA instructions per vector in listings IV-C/IV-D: one rotation-90 and
+/// one rotation-0 per complex multiply.
+pub const FCMLA_PER_VECTOR: u64 = 2;
+
+/// Complex elements the VLA kernels process per profile invocation.
+pub const MULT_CPLX_ELEMS: usize = 240;
+
+/// Registry path of the ACLE fixed-length FCMLA complex multiply (the
+/// intrinsics form of paper listing IV-D).
+pub const MULT_CPLX_FIXED_REGION: &str = "mult_cplx/acle_fixed";
+
+/// Registry path of the ACLE VLA FCMLA complex multiply (listing IV-C).
+pub const MULT_CPLX_VLA_REGION: &str = "mult_cplx/acle_vla";
+
+/// Predicted dynamic instruction count of the ACLE VLA kernel (listing
+/// IV-C) for `n` complex elements: a `dup` prologue plus, per iteration,
+/// scalar bookkeeping + whilelt + 2x ld1d + 2x fcmla + st1d + cntd.
+pub fn vla_kernel_predicted_insts(vl: VectorLength, n: usize) -> u64 {
+    let iters = (2 * n).div_ceil(vl.lanes64()) as u64;
+    1 + 8 * iters
+}
+
+/// Registry path of one vector-length x backend combination in the Wilson
+/// sweep.
+pub fn wilson_region(vl: VectorLength, backend: SimdBackend) -> String {
+    format!("wilson/{}@{}b", backend.name(), vl.bits())
+}
+
+/// Registry path of the hopping-term span the instrumented Dirac operator
+/// opens inside one sweep combination.
+pub fn wilson_hop_region(vl: VectorLength, backend: SimdBackend) -> String {
+    format!("{}/dirac.hop", wilson_region(vl, backend))
+}
+
+/// Registry path of the emulated listing IV-D run inside the `mult_cplx`
+/// profile (the emulator names its own span after the program).
+pub fn armie_fixed_region() -> String {
+    format!(
+        "mult_cplx/armie.{}",
+        listings::mult_cplx_fcmla_fixed_program().name
+    )
+}
+
+/// Run the Wilson hopping term at every vector length and backend under
+/// profiling spans, plus the FCMLA complex-multiply kernels of paper
+/// Sections IV-C/IV-D, and return the registry snapshot.
+///
+/// Region layout: `wilson/<backend>@<bits>b/dirac.hop` for the sweep, and
+/// `mult_cplx/{acle_fixed,acle_vla,armie.<listing IV-D>}` for the kernels.
+pub fn build_wilson_profile(dims: Coor) -> qcd_trace::Snapshot {
+    qcd_trace::reset();
+    {
+        let _sweep = qcd_trace::span!("wilson");
+        for vl in VectorLength::sweep() {
+            for backend in SimdBackend::all() {
+                let g = Grid::new(dims, vl, backend);
+                let d = WilsonDirac::new(random_gauge(g.clone(), 77), 0.2);
+                let psi = FermionField::random(g.clone(), 78);
+                let name = format!("{}@{}b", backend.name(), vl.bits());
+                let _combo = qcd_trace::SpanGuard::enter(&name, None);
+                let _ = d.hopping(&psi);
+            }
+        }
+    }
+    profile_mult_cplx();
+    qcd_trace::snapshot()
+}
+
+/// Profile the FCMLA complex-multiply kernels across the vector-length
+/// sweep, recording the paper-predicted instruction counts so
+/// `percent_of_predicted` validates the listings (100% = the measured
+/// opcode stream matches the paper's).
+pub fn profile_mult_cplx() {
+    let n = MULT_CPLX_ELEMS;
+    let xs = interleaved(2 * n, 0.0);
+    let ys = interleaved(2 * n, 1.0);
+    let _root = qcd_trace::span!("mult_cplx");
+    for vl in VectorLength::sweep() {
+        let lanes = vl.lanes64();
+        let ctx = SveCtx::new(vl);
+        {
+            // One vector of interleaved complex data: lanes/2 complex
+            // multiplies at 6 flops each; two operand vectors in, one out.
+            let mut z = vec![0.0; lanes];
+            let _s = qcd_trace::span!("acle_fixed", &ctx);
+            qcd_trace::record_predicted_insts(FIXED_KERNEL_PREDICTED_INSTS);
+            qcd_trace::record_flops(6 * (lanes as u64 / 2));
+            qcd_trace::record_bytes(16 * lanes as u64, 8 * lanes as u64);
+            sve::acle::mult_cplx_acle_fixed(&ctx, &xs[..lanes], &ys[..lanes], &mut z);
+        }
+        {
+            let mut z = vec![0.0; 2 * n];
+            let _s = qcd_trace::span!("acle_vla", &ctx);
+            qcd_trace::record_predicted_insts(vla_kernel_predicted_insts(vl, n));
+            qcd_trace::record_flops(6 * n as u64);
+            qcd_trace::record_bytes(2 * 16 * n as u64, 16 * n as u64);
+            sve::acle::mult_cplx_acle_vla(&ctx, n, &xs, &ys, &mut z);
+        }
+        // The same IV-D kernel as an emulated binary; the emulator opens
+        // its own `armie.<name>` span, which nests under `mult_cplx` here.
+        let _ = listings::run_mult_cplx_fcmla_fixed(SveCtx::new(vl), &xs[..lanes], &ys[..lanes]);
+    }
+}
+
+/// Registry path of one listing run in the Section IV profile.
+pub fn listing_region(vl: VectorLength, program_name: &str) -> String {
+    format!("listings/{}b/armie.{}", vl.bits(), program_name)
+}
+
+/// Run the four Section IV listings at every vector length under profiling
+/// spans. Returns the per-run results (for the per-listing table) and the
+/// registry snapshot (for export).
+#[allow(clippy::type_complexity)]
+pub fn build_listings_profile(
+    n: usize,
+) -> (
+    Vec<(VectorLength, Vec<(&'static str, listings::ListingRun)>)>,
+    qcd_trace::Snapshot,
+) {
+    qcd_trace::reset();
+    let x = interleaved(2 * n, 0.0);
+    let y = interleaved(2 * n, 1.0);
+    let mut all = Vec::new();
+    {
+        let _root = qcd_trace::span!("listings");
+        for vl in VectorLength::sweep() {
+            let lanes = vl.lanes64();
+            let _per_vl = qcd_trace::SpanGuard::enter(&format!("{}b", vl.bits()), None);
+            let runs = vec![
+                (
+                    "IV-A real VLA",
+                    listings::run_mult_real(SveCtx::new(vl), &x, &y),
+                ),
+                (
+                    "IV-B cplx autovec",
+                    listings::run_mult_cplx_autovec(SveCtx::new(vl), &x, &y),
+                ),
+                (
+                    "IV-C cplx FCMLA VLA",
+                    listings::run_mult_cplx_fcmla_vla(SveCtx::new(vl), &x, &y),
+                ),
+                (
+                    "IV-D cplx FCMLA fixed",
+                    listings::run_mult_cplx_fcmla_fixed(SveCtx::new(vl), &x[..lanes], &y[..lanes]),
+                ),
+            ];
+            all.push((vl, runs));
+        }
+    }
+    (all, qcd_trace::snapshot())
+}
+
+/// Parse `--json <path>` out of a raw argument list. Returns
+/// `Ok(Some(path))` when present, `Ok(None)` when absent, and an error for
+/// a dangling `--json` or an unrecognised argument.
+pub fn parse_json_arg(args: &[String]) -> Result<Option<String>, String> {
+    let mut out = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => match it.next() {
+                Some(path) => out = Some(path.clone()),
+                None => return Err("--json requires a path argument".into()),
+            },
+            other => {
+                return Err(format!(
+                    "unrecognised argument `{other}` (expected --json <path>)"
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Render `snap` as a `qcd-trace/v1` document, validate it by parsing it
+/// back into an identical snapshot, then write it to `path`. An invalid
+/// document is an error, not an artifact.
+pub fn write_validated_json(snap: &qcd_trace::Snapshot, path: &str) -> Result<(), String> {
+    let doc = snap.to_json().render();
+    let parsed = qcd_trace::Json::parse(&doc)
+        .map_err(|e| format!("emitted JSON does not parse: {} at byte {}", e.msg, e.at))?;
+    let back = qcd_trace::Snapshot::from_json(&parsed)
+        .map_err(|e| format!("emitted JSON fails schema validation: {}", e.msg))?;
+    if &back != snap {
+        return Err("JSON round-trip did not reproduce the snapshot".into());
+    }
+    std::fs::write(path, doc).map_err(|e| format!("write {path}: {e}"))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sve::Opcode;
+
+    /// The registry is process-global; profile-building tests serialise on
+    /// this lock so concurrent `reset()` calls cannot shear each other's
+    /// snapshots.
+    fn registry_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn fcmla_regions_match_paper_listings() {
+        // ISSUE acceptance: the FCMLA-backend complex-multiply regions must
+        // reproduce the instruction counts of paper listings IV-C/IV-D.
+        let _guard = registry_lock();
+        qcd_trace::reset();
+        profile_mult_cplx();
+        let snap = qcd_trace::snapshot();
+
+        // Listing IV-D (intrinsics): exactly 7 instructions per invocation
+        // — ptrue + 2 ld1d + dup + 2 fcmla + st1d — at every vector length.
+        let fixed = snap.region(MULT_CPLX_FIXED_REGION).unwrap();
+        assert_eq!(fixed.count, 5, "one invocation per swept vector length");
+        assert_eq!(
+            fixed.total_insts(),
+            fixed.count * FIXED_KERNEL_PREDICTED_INSTS
+        );
+        assert_eq!(
+            fixed.insts_for(Opcode::Fcmla),
+            fixed.count * FCMLA_PER_VECTOR
+        );
+        assert_eq!(fixed.percent_of_predicted(), Some(100.0));
+
+        // Listing IV-C (VLA loop): dup prologue + 7 instructions per
+        // iteration, iterations = ceil(2n / lanes) per vector length.
+        let vla = snap.region(MULT_CPLX_VLA_REGION).unwrap();
+        assert_eq!(vla.percent_of_predicted(), Some(100.0));
+        let expected: u64 = VectorLength::sweep()
+            .iter()
+            .map(|&vl| vla_kernel_predicted_insts(vl, MULT_CPLX_ELEMS))
+            .sum();
+        assert_eq!(vla.total_insts(), expected);
+
+        // Listing IV-D under the emulator: the same seven instructions plus
+        // the `ret` the machine executes, and the same opcode mix.
+        let armie = snap.region(&armie_fixed_region()).unwrap();
+        assert_eq!(armie.count, 5);
+        assert_eq!(
+            armie.insts_for(Opcode::Fcmla),
+            armie.count * FCMLA_PER_VECTOR
+        );
+        for (op, per_run) in [
+            (Opcode::Ptrue, 1),
+            (Opcode::Ld1, 2),
+            (Opcode::Dup, 1),
+            (Opcode::St1, 1),
+        ] {
+            assert_eq!(
+                armie.insts_for(op),
+                armie.count * per_run,
+                "listing IV-D opcode mix: {}",
+                op.mnemonic()
+            );
+        }
+    }
+
+    #[test]
+    fn wilson_profile_nests_and_nested_times_fit_parents() {
+        let _guard = registry_lock();
+        let snap = build_wilson_profile([4, 4, 4, 4]);
+
+        // Every sweep combination produced an instrumented hopping region
+        // with sites/flops accounting attached.
+        let sites = 4u64 * 4 * 4 * 4;
+        for vl in VectorLength::sweep() {
+            for backend in SimdBackend::all() {
+                let hop = snap.region(&wilson_hop_region(vl, backend)).unwrap();
+                assert_eq!(hop.count, 1);
+                assert_eq!(hop.sites, sites);
+                assert_eq!(hop.flops, sites * 1320);
+                assert!(hop.total_insts() > 0, "{vl} {} counted", backend.name());
+            }
+        }
+
+        // ISSUE acceptance: nested region times sum to <= the parent time,
+        // for every parent in the snapshot.
+        for (path, stat) in &snap.regions {
+            let child_sum: u64 = snap.children(path).iter().map(|(_, c)| c.wall_ns).sum();
+            assert!(
+                child_sum <= stat.wall_ns,
+                "children of `{path}` ({child_sum} ns) exceed parent ({} ns)",
+                stat.wall_ns
+            );
+            assert!(
+                stat.child_ns <= stat.wall_ns,
+                "`{path}` self time underflow"
+            );
+        }
+
+        // The sweep exports cleanly through the schema round-trip.
+        let doc = snap.to_json().render();
+        let back = qcd_trace::Snapshot::from_json(&qcd_trace::Json::parse(&doc).unwrap()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn listings_profile_matches_run_reports() {
+        let _guard = registry_lock();
+        let (all, snap) = build_listings_profile(24);
+        // Region totals equal the per-run counter totals the old table used.
+        for (vl, runs) in &all {
+            for (label, run) in runs {
+                let program_name = match *label {
+                    "IV-A real VLA" => listings::mult_real_program().name,
+                    "IV-B cplx autovec" => listings::mult_cplx_autovec_program().name,
+                    "IV-C cplx FCMLA VLA" => listings::mult_cplx_fcmla_vla_program().name,
+                    _ => listings::mult_cplx_fcmla_fixed_program().name,
+                };
+                let stat = snap.region(&listing_region(*vl, &program_name)).unwrap();
+                assert_eq!(stat.total_insts(), run.machine.ctx.counters().total());
+            }
+        }
+    }
+
+    #[test]
+    fn json_arg_parsing() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(parse_json_arg(&args(&[])).unwrap(), None);
+        assert_eq!(
+            parse_json_arg(&args(&["--json", "out.json"])).unwrap(),
+            Some("out.json".into())
+        );
+        assert!(parse_json_arg(&args(&["--json"])).is_err());
+        assert!(parse_json_arg(&args(&["--frobnicate"])).is_err());
+    }
+}

@@ -176,6 +176,12 @@ impl CloverWilson {
     pub fn clover_term(&self, psi: &FermionField) -> FermionField {
         let grid = self.grid().clone();
         let eng = grid.engine();
+        let _span = qcd_trace::span!("clover.term", eng.ctx());
+        let sites = grid.volume() as u64;
+        // Per site: 6 planes x (F matrix 18 reals + matrix-vector products on
+        // a full spinor), one spinor read and one written.
+        qcd_trace::record_sites(sites);
+        qcd_trace::record_bytes(sites * (6 * 18 + 24) * 8, sites * 24 * 8);
         let mut out = FermionField::zero(grid.clone());
         let sigmas: [SpinPerm; 6] = std::array::from_fn(|p| sigma_munu(PLANES[p].0, PLANES[p].1));
         for osite in 0..grid.osites() {

@@ -116,11 +116,13 @@ impl RankCtx {
         to_prev: &[f64],
         compression: Compression,
     ) -> (Vec<f64>, Vec<f64>) {
+        let _span = qcd_trace::span!("comms.exchange");
         let links = self.links[d]
             .as_ref()
             .expect("dimension is not split across ranks");
         let up = HaloMsg::encode(to_next, compression);
         let down = HaloMsg::encode(to_prev, compression);
+        qcd_trace::record_wire_bytes((up.wire_bytes() + down.wire_bytes()) as u64);
         self.sent_bytes
             .set(self.sent_bytes.get() + up.wire_bytes() + down.wire_bytes());
         links.send_next.send(up).expect("neighbour hung up");
@@ -151,6 +153,7 @@ pub fn run_multinode_grid<T: Send>(
     backend: SimdBackend,
     f: impl Fn(&RankCtx) -> T + Sync,
 ) -> Vec<T> {
+    let _span = qcd_trace::span!("comms.run_multinode");
     let nranks: usize = rank_grid.iter().product();
     assert!(nranks >= 1);
     let mut local_dims = [0; NDIM];
@@ -281,6 +284,7 @@ pub fn cshift_dist<K: FieldKind>(
     disp: i32,
     compression: Compression,
 ) -> Field<K> {
+    let _span = qcd_trace::span!("comms.cshift_dist");
     let mut out = cshift(f, mu, disp);
     if ctx.rank_grid[mu] == 1 {
         return out;
@@ -310,7 +314,8 @@ pub fn hopping_dist(
     compression: Compression,
 ) -> FermionField {
     let grid = psi.grid().clone();
-    let mut out = FermionField::zero(grid);
+    let _span = qcd_trace::span!("comms.hopping_dist", grid.engine().ctx());
+    let mut out = FermionField::zero(grid.clone());
     for mu in 0..4 {
         let fwd_src = cshift_dist(ctx, psi, mu, 1, compression);
         let fwd = mult_gauge(u, mu, &proj_recon(mu, true, &fwd_src), false);
@@ -334,7 +339,8 @@ pub fn hopping_dist_half(
 ) -> FermionField {
     use crate::dirac::{mult_gauge_half, project_half, reconstruct_half};
     let grid = psi.grid().clone();
-    let mut out = FermionField::zero(grid);
+    let _span = qcd_trace::span!("comms.hopping_dist_half", grid.engine().ctx());
+    let mut out = FermionField::zero(grid.clone());
     for mu in 0..4 {
         // Forward: shift the projected half spinor, then U, then expand.
         let h = project_half(mu, true, psi);

@@ -26,6 +26,11 @@ pub fn cshift_with<K: FieldKind, E: SveFloat>(
 ) -> Field<K, E> {
     let grid = f.grid().clone();
     let eng = grid.engine().clone();
+    let _span = qcd_trace::span!("cshift", eng.ctx());
+    let sites = grid.volume() as u64;
+    let word_bytes = (K::NCOMP * 2 * std::mem::size_of::<E>()) as u64;
+    qcd_trace::record_sites(sites);
+    qcd_trace::record_bytes(sites * word_bytes, sites * word_bytes);
     let dir = dir_index(mu, disp == 1);
     let mut out = Field::<K, E>::zero(grid.clone());
     for osite in 0..grid.osites() {

@@ -28,6 +28,18 @@ use rayon::prelude::*;
 use std::sync::Arc;
 use sve::SveFloat;
 
+/// Real floating-point operations per lattice site of one hopping-term
+/// application (the standard Wilson dslash count the paper benchmarks
+/// against).
+pub const HOPPING_FLOPS_PER_SITE: u64 = 1320;
+
+/// Real numbers read per site by the hopping term: 8 neighbour spinors
+/// (8 × 24) plus 8 links (8 × 18).
+pub const HOPPING_READS_PER_SITE: u64 = 8 * 24 + 8 * 18;
+
+/// Real numbers written per site by the hopping term: one output spinor.
+pub const HOPPING_WRITES_PER_SITE: u64 = 24;
+
 /// Apply a projector coefficient to a SIMD word.
 #[inline]
 fn apply_coeff<E: SveFloat>(eng: &SimdEngine<E>, coeff: Coeff, v: CVec) -> CVec {
@@ -112,6 +124,18 @@ impl<E: SveFloat> WilsonDirac<E> {
         );
         let mut out = Field::<FermionKind, E>::zero(self.grid.clone());
         let eng = self.grid.engine();
+        let _span = qcd_trace::span!(
+            if dagger { "dirac.hop_dag" } else { "dirac.hop" },
+            eng.ctx()
+        );
+        let sites = self.grid.volume() as u64;
+        let esize = std::mem::size_of::<E>() as u64;
+        qcd_trace::record_sites(sites);
+        qcd_trace::record_flops(sites * HOPPING_FLOPS_PER_SITE);
+        qcd_trace::record_bytes(
+            sites * HOPPING_READS_PER_SITE * esize,
+            sites * HOPPING_WRITES_PER_SITE * esize,
+        );
         let word = eng.word_len();
         let stride = out.site_stride();
         out.data_mut()

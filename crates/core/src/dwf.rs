@@ -216,6 +216,7 @@ pub fn cg_dwf(op: &DomainWall, b: &Fermion5, tol: f64, max_iter: usize) -> (Ferm
     let b_norm2 = b.norm2();
     assert!(b_norm2 > 0.0, "CG needs a nonzero right-hand side");
     let grid = b.slices[0].grid().clone();
+    let span = qcd_trace::span!("solver.cg_dwf", grid.engine().ctx());
     let mut x = Fermion5::zero(grid.clone(), b.ls());
     let mut r = b.clone();
     let mut p = r.clone();
@@ -224,6 +225,7 @@ pub fn cg_dwf(op: &DomainWall, b: &Fermion5, tol: f64, max_iter: usize) -> (Ferm
     let mut history = vec![(r2 / b_norm2).sqrt()];
     let mut iterations = 0;
     while iterations < max_iter && r2 > target {
+        let _iter_span = qcd_trace::span!("iter", grid.engine().ctx());
         let ap = op.ddag_d(&p);
         let p_ap = p.inner(&ap).re;
         assert!(p_ap > 0.0, "operator not HPD?");
@@ -236,7 +238,7 @@ pub fn cg_dwf(op: &DomainWall, b: &Fermion5, tol: f64, max_iter: usize) -> (Ferm
         iterations += 1;
         history.push((r2 / b_norm2).sqrt());
     }
-    let mut true_r = Fermion5::zero(grid, b.ls());
+    let mut true_r = Fermion5::zero(grid.clone(), b.ls());
     true_r.sub(b, &op.ddag_d(&x));
     let residual = (true_r.norm2() / b_norm2).sqrt();
     (
@@ -246,6 +248,7 @@ pub fn cg_dwf(op: &DomainWall, b: &Fermion5, tol: f64, max_iter: usize) -> (Ferm
             residual,
             converged: r2 <= target,
             history,
+            telemetry: span.finish(),
         },
     )
 }

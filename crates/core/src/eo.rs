@@ -104,6 +104,7 @@ pub fn solve_eo(
     max_iter: usize,
 ) -> (FermionField, SolveReport) {
     let grid: Arc<Grid> = b.grid().clone();
+    let span = qcd_trace::span!("solver.eo", grid.engine().ctx());
     let a = op.mass + 4.0;
     let be = parity_project(b, 0);
     let bo = parity_project(b, 1);
@@ -137,7 +138,7 @@ pub fn solve_eo(
     x.add_assign_field(&xo);
 
     // True residual of the original full system.
-    let mut diff = FermionField::zero(grid);
+    let mut diff = FermionField::zero(grid.clone());
     diff.sub(b, &op.apply(&x));
     let residual = (diff.norm2() / b.norm2()).sqrt();
     (
@@ -147,6 +148,7 @@ pub fn solve_eo(
             residual,
             converged: residual <= tol * 100.0,
             history: inner_report.history,
+            telemetry: span.finish(),
         },
     )
 }

@@ -78,6 +78,7 @@ pub fn mixed_precision_solve(
     max_inner: usize,
 ) -> (FermionField, MixedReport) {
     let grid64 = b.grid().clone();
+    let _span = qcd_trace::span!("solver.mixed", grid64.engine().ctx());
     let grid32 = Grid::<f32>::new(grid64.fdims(), grid64.vl(), grid64.engine().backend());
     let f64_before = grid64.engine().ctx().counters().total();
 

@@ -24,6 +24,9 @@ pub struct SolveReport {
     /// Relative true residual per iteration (preconditioned residual norm
     /// history), for convergence plots.
     pub history: Vec<f64>,
+    /// Profile of the solve: wall time, per-iteration child time, and the
+    /// SVE instruction delta the solve retired (see [`qcd_trace`]).
+    pub telemetry: qcd_trace::RegionSummary,
 }
 
 /// Conjugate Gradient on an arbitrary hermitian positive-definite operator,
@@ -36,6 +39,7 @@ pub fn cg_op<E: SveFloat>(
     max_iter: usize,
 ) -> (Field<FermionKind, E>, SolveReport) {
     let grid = b.grid().clone();
+    let span = qcd_trace::span!("solver.cg", grid.engine().ctx());
     let b_norm2 = b.norm2();
     assert!(b_norm2 > 0.0, "CG needs a nonzero right-hand side");
 
@@ -48,6 +52,7 @@ pub fn cg_op<E: SveFloat>(
 
     let mut iterations = 0;
     while iterations < max_iter && r2 > target {
+        let _iter_span = qcd_trace::span!("iter", grid.engine().ctx());
         let ap = apply(&p);
         let p_ap = p.inner(&ap).re;
         assert!(
@@ -66,7 +71,7 @@ pub fn cg_op<E: SveFloat>(
     }
 
     // True residual check (guards against recurrence drift).
-    let mut true_r = Field::<FermionKind, E>::zero(grid);
+    let mut true_r = Field::<FermionKind, E>::zero(grid.clone());
     true_r.sub(b, &apply(&x));
     let residual = (true_r.norm2() / b_norm2).sqrt();
     let converged = r2 <= target;
@@ -77,6 +82,7 @@ pub fn cg_op<E: SveFloat>(
             residual,
             converged,
             history,
+            telemetry: span.finish(),
         },
     )
 }
@@ -116,6 +122,7 @@ pub fn bicgstab(
     max_iter: usize,
 ) -> (FermionField, SolveReport) {
     let grid = b.grid().clone();
+    let span = qcd_trace::span!("solver.bicgstab", grid.engine().ctx());
     let b_norm2 = b.norm2();
     assert!(b_norm2 > 0.0, "BiCGStab needs a nonzero right-hand side");
     let target = tol * tol * b_norm2;
@@ -129,6 +136,7 @@ pub fn bicgstab(
     let mut iterations = 0;
 
     while iterations < max_iter && r.norm2() > target {
+        let _iter_span = qcd_trace::span!("iter", grid.engine().ctx());
         let v = op.apply(&p);
         let alpha = rho * {
             let d = r0.inner(&v);
@@ -168,7 +176,7 @@ pub fn bicgstab(
         history.push((r.norm2() / b_norm2).sqrt());
     }
 
-    let mut true_r = FermionField::zero(grid);
+    let mut true_r = FermionField::zero(grid.clone());
     true_r.sub(b, &op.apply(&x));
     let residual = (true_r.norm2() / b_norm2).sqrt();
     (
@@ -178,6 +186,7 @@ pub fn bicgstab(
             residual,
             converged: residual <= tol * 10.0,
             history,
+            telemetry: span.finish(),
         },
     )
 }

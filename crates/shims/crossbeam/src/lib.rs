@@ -1,0 +1,176 @@
+//! Offline stand-in for the [crossbeam](https://crates.io/crates/crossbeam)
+//! API surface this workspace uses: multi-producer multi-consumer unbounded
+//! channels with cloneable senders *and* receivers.
+//!
+//! The build container has no crates.io access; this vendors the one slice
+//! the comms layer calls, over `Mutex<VecDeque>` + `Condvar`.
+
+#![forbid(unsafe_code)]
+
+pub mod channel {
+    //! Unbounded MPMC channels, mirroring `crossbeam::channel`.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+    }
+
+    struct Inner<T> {
+        state: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    /// Sending half; cloneable.
+    pub struct Sender<T>(Arc<Inner<T>>);
+
+    /// Receiving half; cloneable (any one receiver gets each message).
+    pub struct Receiver<T>(Arc<Inner<T>>);
+
+    /// Error returned when sending on a channel with no receivers left.
+    /// (Never produced by this shim — receivers keep the queue alive —
+    /// but kept for API compatibility.)
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned when all senders disconnected and the queue drained.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (Sender(inner.clone()), Receiver(inner))
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.state.lock().unwrap().senders += 1;
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.state.lock().unwrap();
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                self.0.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue a message; never blocks.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.state.lock().unwrap().queue.push_back(value);
+            self.0.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(self.0.clone())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives or every sender disconnects.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.0.state.lock().unwrap();
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.0.ready.wait(st).unwrap();
+            }
+        }
+
+        /// Non-blocking receive of an already-queued message.
+        pub fn try_recv(&self) -> Result<T, RecvError> {
+            self.0
+                .state
+                .lock()
+                .unwrap()
+                .queue
+                .pop_front()
+                .ok_or(RecvError)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+
+    #[test]
+    fn fifo_round_trip() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn cross_thread_exchange() {
+        let (tx, rx) = unbounded();
+        let (tx2, rx2) = unbounded();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                tx.send(42u64).unwrap();
+                assert_eq!(rx2.recv(), Ok(7u64));
+            });
+            tx2.send(7).unwrap();
+            assert_eq!(rx.recv(), Ok(42));
+        });
+    }
+
+    #[test]
+    fn disconnected_recv_errors() {
+        let (tx, rx) = unbounded::<u8>();
+        tx.send(9).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(9));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn cloned_endpoints_share_the_queue() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        let rx2 = rx.clone();
+        tx2.send("a").unwrap();
+        assert_eq!(rx2.recv(), Ok("a"));
+        drop(tx);
+        drop(tx2);
+        assert!(rx.recv().is_err());
+    }
+}

@@ -1,0 +1,217 @@
+//! Offline stand-in for the [proptest](https://crates.io/crates/proptest)
+//! property-testing API surface this workspace uses.
+//!
+//! The build container has no crates.io access, so this vendors the slice
+//! the three `properties.rs` suites call: the [`proptest!`] macro, the
+//! [`strategy::Strategy`] trait with `prop_map`/`prop_flat_map`/`prop_filter`,
+//! range and tuple strategies, `collection::vec`, `sample::select`,
+//! `Just`, `any`, and the `prop_assert*`/`prop_assume!` macros.
+//!
+//! Cases are generated deterministically from a splitmix64 stream seeded by
+//! the test name and case index, so failures reproduce across runs. There is
+//! no shrinking: a failing case panics with its generated inputs visible in
+//! the assert message.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! Strategies for collections (`proptest::collection::vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Anything usable as a collection size specification.
+    pub trait SizeRange {
+        /// Draw a size from the range.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end);
+            self.start + (rng.next_u64() as usize) % (self.end - self.start)
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi);
+            lo + (rng.next_u64() as usize) % (hi - lo + 1)
+        }
+    }
+
+    /// Strategy producing a `Vec` of values from `element`, with a length
+    /// drawn from `size`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Strategies that sample from explicit collections.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy choosing uniformly from `items` (must be non-empty).
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select() needs at least one item");
+        Select { items }
+    }
+
+    /// See [`select`].
+    pub struct Select<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.items[(rng.next_u64() as usize) % self.items.len()].clone()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The names `use proptest::prelude::*` is expected to provide.
+
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Run a block of property tests. Mirrors proptest's macro of the same
+/// name: an optional `#![proptest_config(..)]` header followed by
+/// `fn name(pat in strategy, ...) { body }` items (each carrying its own
+/// `#[test]` attribute).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                for case in 0..config.cases {
+                    let mut rng =
+                        $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                    // The closure lets `prop_assume!` reject a case by
+                    // returning early; rejected cases are simply skipped.
+                    let _outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Reject the current case (skip it) when `cond` does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_case("ranges", 0);
+        for _ in 0..1000 {
+            let x = (3usize..17).generate(&mut rng);
+            assert!((3..17).contains(&x));
+            let y = (-2.5f64..4.0).generate(&mut rng);
+            assert!((-2.5..4.0).contains(&y));
+            let z = (1u64..=8).generate(&mut rng);
+            assert!((1..=8).contains(&z));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_case() {
+        let strat = crate::collection::vec(0.0f64..1.0, 5usize..=5);
+        let a = strat.generate(&mut crate::test_runner::TestRng::for_case("d", 3));
+        let b = strat.generate(&mut crate::test_runner::TestRng::for_case("d", 3));
+        let c = strat.generate(&mut crate::test_runner::TestRng::for_case("d", 4));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let strat = (1usize..=4)
+            .prop_map(|k| k * 128)
+            .prop_flat_map(|bits| (Just(bits), 0usize..bits))
+            .prop_filter("even only", |(_, x)| x % 2 == 0);
+        let mut rng = crate::test_runner::TestRng::for_case("combo", 1);
+        for _ in 0..200 {
+            let (bits, x) = strat.generate(&mut rng);
+            assert!(bits % 128 == 0 && x < bits && x % 2 == 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: patterns, assume, assert.
+        #[test]
+        fn macro_smoke((a, b) in (0u64..50, 0u64..50), c in any::<bool>()) {
+            prop_assume!(a != b || c);
+            prop_assert!(a < 50 && b < 50);
+            prop_assert_eq!(a + b, b + a);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Offline stand-in for the [rayon](https://crates.io/crates/rayon) API
+//! surface this workspace uses.
+//!
+//! The build container has no crates.io access, so the workspace vendors the
+//! thin slice of rayon it actually calls — `par_chunks_mut` with
+//! `enumerate().for_each(...)` — implemented over `std::thread::scope`.
+//! Chunks are distributed in contiguous groups across
+//! `available_parallelism()` worker threads, so data-parallel kernels still
+//! exercise real multi-threading (the telemetry crate's thread-merge tests
+//! rely on that).
+
+#![forbid(unsafe_code)]
+
+/// The items a `use rayon::prelude::*` is expected to bring into scope.
+pub mod prelude {
+    pub use crate::{IndexedParallelIterator, ParallelSliceMut};
+}
+
+/// Number of worker threads parallel operations will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Slices that can be split into parallel mutable chunks.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel equivalent of [`slice::chunks_mut`].
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+/// Marker trait so `use rayon::prelude::*` call sites that name it resolve.
+pub trait IndexedParallelIterator {}
+
+/// Parallel mutable chunk iterator (see [`ParallelSliceMut::par_chunks_mut`]).
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pair every chunk with its index, preserving slice order.
+    pub fn enumerate(self) -> EnumParChunksMut<'a, T> {
+        EnumParChunksMut { inner: self }
+    }
+
+    /// Run `f` on every chunk, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+/// Enumerated variant of [`ParChunksMut`].
+pub struct EnumParChunksMut<'a, T> {
+    inner: ParChunksMut<'a, T>,
+}
+
+impl<'a, T: Send> EnumParChunksMut<'a, T> {
+    /// Run `f` on every `(index, chunk)` pair, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let mut work: Vec<(usize, &mut [T])> = self
+            .inner
+            .slice
+            .chunks_mut(self.inner.chunk_size)
+            .enumerate()
+            .collect();
+        let threads = current_num_threads().min(work.len()).max(1);
+        if threads <= 1 {
+            for item in work {
+                f(item);
+            }
+            return;
+        }
+        let per_thread = work.len().div_ceil(threads);
+        let f = &f;
+        std::thread::scope(|scope| {
+            while !work.is_empty() {
+                let take = per_thread.min(work.len());
+                let group: Vec<(usize, &mut [T])> = work.drain(..take).collect();
+                scope.spawn(move || {
+                    for item in group {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunks_cover_the_slice_in_order() {
+        let mut data = vec![0usize; 103];
+        data.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for v in chunk.iter_mut() {
+                *v = i + 1;
+            }
+        });
+        for (j, v) in data.iter().enumerate() {
+            assert_eq!(*v, j / 10 + 1);
+        }
+    }
+
+    #[test]
+    fn runs_on_multiple_threads_when_available() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids = Mutex::new(HashSet::new());
+        let mut data = vec![0u8; 64];
+        data.par_chunks_mut(1).for_each(|_| {
+            ids.lock().unwrap().insert(std::thread::current().id());
+        });
+        let seen = ids.lock().unwrap().len();
+        assert!(seen >= 1);
+        if super::current_num_threads() > 1 {
+            assert!(seen > 1, "expected work on more than one thread");
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! `qcd-trace`: hierarchical region profiling for the lattice QCD stack.
+//!
+//! The paper this repository reproduces (*SVE-Enabling Lattice QCD Codes*,
+//! CLUSTER 2018) argues about kernels in three currencies at once: wall
+//! time, per-opcode SVE instruction counts (its Tables/Listings IV-A..IV-D),
+//! and derived roofline quantities (flops, bytes, arithmetic intensity).
+//! This crate makes all three observable from one instrument:
+//!
+//! ```
+//! use qcd_trace::span;
+//! use sve::{SveCtx, VectorLength};
+//!
+//! qcd_trace::reset();
+//! let ctx = SveCtx::new(VectorLength::new(512).unwrap());
+//! {
+//!     let _outer = span!("dirac.hop");
+//!     let _inner = span!("dirac.hop.site", &ctx); // counts ctx instructions
+//!     qcd_trace::record_flops(1320);
+//!     qcd_trace::record_sites(1);
+//! }
+//! let snap = qcd_trace::snapshot();
+//! assert_eq!(snap.region("dirac.hop/dirac.hop.site").unwrap().flops, 1320);
+//! ```
+//!
+//! # Model
+//!
+//! - A [`span!`] opens a region on the current thread's frame stack; nesting
+//!   is lexical per thread, and paths join with `/`.
+//! - Passing an [`sve::SveCtx`] attributes the delta of its per-opcode
+//!   [`sve::Counters`] to the region — *exclusively*: a child span
+//!   with the same context claims its own delta and the parent reports the
+//!   remainder.
+//! - Free functions ([`record_flops`], [`record_sites`], [`record_bytes`],
+//!   [`record_wire_bytes`], [`record_predicted_insts`]) credit quantities to
+//!   the innermost open region.
+//! - Closed spans merge into a process-global registry; [`snapshot`] copies
+//!   it, [`reset`] clears it. [`SpanGuard::finish`] additionally returns a
+//!   race-free per-invocation [`RegionSummary`] (used by solver reports).
+//!
+//! # Export
+//!
+//! [`render_table`] prints an aligned profile with derived metrics
+//! (self time, arithmetic intensity, percent of the paper-predicted
+//! instruction count, cycle estimates under every [`sve::CostModel`]).
+//! [`to_json_lines`] emits one self-describing JSON object per region.
+//! [`Snapshot::to_json`] / [`Snapshot::from_json`] round-trip the
+//! `qcd-trace/v1` schema (documented on [`Snapshot::to_json`]) — CI validates
+//! emitted profiles by parsing them back. [`to_chrome_trace`] dumps the span
+//! timeline for `chrome://tracing` / Perfetto.
+
+#![forbid(unsafe_code)]
+
+pub mod export;
+pub mod json;
+pub mod region;
+pub mod span;
+
+pub use export::{render_table, to_chrome_trace, to_json_lines};
+pub use json::{Json, JsonError};
+pub use region::{RegionStat, RegionSummary, Snapshot, SCHEMA};
+pub use span::{
+    record_bytes, record_flops, record_predicted_insts, record_sites, record_wire_bytes, reset,
+    snapshot, snapshot_counters, CounterSnapshot, SpanGuard,
+};
+
+/// Open a profiling region for the enclosing scope.
+///
+/// `span!("name")` times the region; `span!("name", &ctx)` additionally
+/// attributes the `SveCtx` instruction-counter delta to it. Bind the result
+/// (`let _span = span!(...)`) — an unbound guard drops immediately.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanGuard::enter($name, ::core::option::Option::None)
+    };
+    ($name:expr, $ctx:expr) => {
+        $crate::SpanGuard::enter($name, ::core::option::Option::Some($ctx))
+    };
+}

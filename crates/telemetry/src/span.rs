@@ -1,0 +1,321 @@
+//! RAII region spans, thread-local frame stacks, and the global registry.
+//!
+//! Every thread keeps its own stack of open frames, so instrumented code in
+//! rayon-style worker threads never contends on a lock while running. A
+//! frame folds into the process-global registry exactly once, when its
+//! [`SpanGuard`] drops (or [`SpanGuard::finish`] consumes it), which keeps
+//! merged results deterministic regardless of thread scheduling.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use sve::{Opcode, SveCtx};
+
+use crate::region::{RegionStat, RegionSummary, Snapshot};
+
+/// A point-in-time copy of an `SveCtx`'s per-opcode counters, for manual
+/// attribution with [`SpanGuard::add_counters_since`] when holding `&SveCtx`
+/// across the instrumented call is impossible (e.g. the context lives inside
+/// a machine passed by `&mut`).
+#[derive(Clone, Copy, Debug)]
+pub struct CounterSnapshot {
+    vals: [u64; Opcode::COUNT],
+}
+
+/// Capture the current counter values of `ctx`.
+pub fn snapshot_counters(ctx: &SveCtx) -> CounterSnapshot {
+    CounterSnapshot {
+        vals: Opcode::ALL.map(|op| ctx.counters().get(op)),
+    }
+}
+
+impl CounterSnapshot {
+    /// Per-opcode difference `now - self` (saturating).
+    fn delta_to(&self, ctx: &SveCtx) -> [u64; Opcode::COUNT] {
+        let mut out = [0u64; Opcode::COUNT];
+        for op in Opcode::ALL {
+            out[op as usize] = ctx
+                .counters()
+                .get(op)
+                .saturating_sub(self.vals[op as usize]);
+        }
+        out
+    }
+}
+
+/// One open region on a thread's stack.
+struct Frame {
+    path: String,
+    start: Instant,
+    /// Wall time of already-finished direct children.
+    child_ns: u64,
+    /// Inclusive instruction deltas of already-finished children (subtracted
+    /// from this frame's own delta so registry counts are exclusive).
+    child_insts: [u64; Opcode::COUNT],
+    /// Instruction deltas attributed to this frame so far (manual adds).
+    own_insts: [u64; Opcode::COUNT],
+    flops: u64,
+    sites: u64,
+    bytes_read: u64,
+    bytes_written: u64,
+    wire_bytes: u64,
+    predicted_insts: u64,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+fn registry() -> &'static Mutex<BTreeMap<String, RegionStat>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<String, RegionStat>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// A completed-span event for Chrome `trace_event` export.
+pub(crate) struct TraceEvent {
+    pub path: String,
+    pub start_us: u64,
+    pub dur_us: u64,
+    pub tid: u64,
+}
+
+/// Trace-event log, bounded so long solver runs cannot grow without limit.
+pub(crate) fn trace_log() -> &'static Mutex<Vec<TraceEvent>> {
+    static LOG: OnceLock<Mutex<Vec<TraceEvent>>> = OnceLock::new();
+    LOG.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Hard cap on retained trace events; later events are dropped, not rotated,
+/// so the retained prefix stays a faithful start-of-run timeline.
+pub(crate) const TRACE_EVENT_CAP: usize = 100_000;
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn thread_ordinal() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static ORDINAL: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    ORDINAL.with(|t| *t)
+}
+
+/// An open profiling region. Created by [`crate::span!`] or
+/// [`SpanGuard::enter`]; folds its measurements into the global registry when
+/// dropped or [`finish`](SpanGuard::finish)ed.
+#[must_use = "a span measures nothing unless it is held"]
+pub struct SpanGuard<'a> {
+    /// Index of this guard's frame in the thread-local stack; used to detect
+    /// out-of-order drops (which would corrupt parent/child attribution).
+    depth: usize,
+    ctx: Option<&'a SveCtx>,
+    baseline: Option<CounterSnapshot>,
+    done: bool,
+}
+
+impl<'a> SpanGuard<'a> {
+    /// Open a region named `name` nested under the innermost open region on
+    /// this thread (if any). With `Some(ctx)`, the guard snapshots the
+    /// context's instruction counters and attributes the delta to the region
+    /// when it closes.
+    pub fn enter(name: &str, ctx: Option<&'a SveCtx>) -> SpanGuard<'a> {
+        let depth = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = match stack.last() {
+                Some(parent) => format!("{}/{name}", parent.path),
+                None => name.to_string(),
+            };
+            stack.push(Frame {
+                path,
+                start: Instant::now(),
+                child_ns: 0,
+                child_insts: [0; Opcode::COUNT],
+                own_insts: [0; Opcode::COUNT],
+                flops: 0,
+                sites: 0,
+                bytes_read: 0,
+                bytes_written: 0,
+                wire_bytes: 0,
+                predicted_insts: 0,
+            });
+            stack.len() - 1
+        });
+        // Touch the epoch so trace timestamps are monotone from first span.
+        epoch();
+        SpanGuard {
+            depth,
+            ctx,
+            baseline: ctx.map(snapshot_counters),
+            done: false,
+        }
+    }
+
+    /// Attribute `now - base` of `ctx`'s counters to this span. For call
+    /// sites that cannot keep `&SveCtx` borrowed across the measured call.
+    pub fn add_counters_since(&mut self, ctx: &SveCtx, base: &CounterSnapshot) {
+        let delta = base.delta_to(ctx);
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let frame = &mut stack[self.depth];
+            for (acc, v) in frame.own_insts.iter_mut().zip(delta.iter()) {
+                *acc += v;
+            }
+        });
+    }
+
+    /// Close the span and return a per-invocation summary (race-free: built
+    /// from this frame alone, not the shared registry).
+    pub fn finish(mut self) -> RegionSummary {
+        self.complete()
+    }
+
+    fn complete(&mut self) -> RegionSummary {
+        self.done = true;
+        let ctx_delta = self
+            .ctx
+            .and_then(|ctx| self.baseline.as_ref().map(|base| base.delta_to(ctx)));
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            assert_eq!(
+                stack.len(),
+                self.depth + 1,
+                "span closed out of order: `{}` is not the innermost open region",
+                stack[self.depth].path
+            );
+            let frame = stack.pop().expect("span stack underflow");
+            let wall_ns = frame.start.elapsed().as_nanos() as u64;
+
+            // Inclusive delta for this frame: manual adds plus the ctx
+            // baseline delta (which itself includes any child activity).
+            let mut inclusive = frame.own_insts;
+            if let Some(delta) = &ctx_delta {
+                for (acc, v) in inclusive.iter_mut().zip(delta.iter()) {
+                    *acc += v;
+                }
+            }
+            // Exclusive = inclusive minus what finished children claimed.
+            let mut exclusive = inclusive;
+            for (acc, v) in exclusive.iter_mut().zip(frame.child_insts.iter()) {
+                *acc = acc.saturating_sub(*v);
+            }
+
+            let summary = RegionSummary {
+                path: frame.path.clone(),
+                wall_ns,
+                child_ns: frame.child_ns,
+                insts: exclusive.iter().sum(),
+                fcmla_insts: exclusive[Opcode::Fcmla as usize],
+                flops: frame.flops,
+                sites: frame.sites,
+                bytes_read: frame.bytes_read,
+                bytes_written: frame.bytes_written,
+                wire_bytes: frame.wire_bytes,
+            };
+
+            // Propagate to the parent frame before taking the global lock.
+            if let Some(parent) = stack.last_mut() {
+                parent.child_ns += wall_ns;
+                for (acc, v) in parent.child_insts.iter_mut().zip(inclusive.iter()) {
+                    *acc += v;
+                }
+            }
+
+            let contribution = RegionStat {
+                count: 1,
+                wall_ns,
+                child_ns: frame.child_ns,
+                insts: exclusive,
+                flops: frame.flops,
+                sites: frame.sites,
+                bytes_read: frame.bytes_read,
+                bytes_written: frame.bytes_written,
+                wire_bytes: frame.wire_bytes,
+                predicted_insts: frame.predicted_insts,
+            };
+            registry()
+                .lock()
+                .unwrap()
+                .entry(frame.path.clone())
+                .or_default()
+                .merge(&contribution);
+
+            let start_us = frame.start.saturating_duration_since(epoch()).as_micros() as u64;
+            let mut log = trace_log().lock().unwrap();
+            if log.len() < TRACE_EVENT_CAP {
+                log.push(TraceEvent {
+                    path: frame.path,
+                    start_us,
+                    dur_us: wall_ns / 1_000,
+                    tid: thread_ordinal(),
+                });
+            }
+
+            summary
+        })
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if !self.done {
+            let _ = self.complete();
+        }
+    }
+}
+
+fn with_innermost(f: impl FnOnce(&mut Frame)) {
+    STACK.with(|stack| {
+        if let Some(frame) = stack.borrow_mut().last_mut() {
+            f(frame);
+        }
+    });
+}
+
+/// Credit `n` floating-point operations to the innermost open region on this
+/// thread. No-op outside any span.
+pub fn record_flops(n: u64) {
+    with_innermost(|frame| frame.flops += n);
+}
+
+/// Credit `n` processed lattice sites to the innermost open region.
+pub fn record_sites(n: u64) {
+    with_innermost(|frame| frame.sites += n);
+}
+
+/// Credit field-storage traffic to the innermost open region.
+pub fn record_bytes(read: u64, written: u64) {
+    with_innermost(|frame| {
+        frame.bytes_read += read;
+        frame.bytes_written += written;
+    });
+}
+
+/// Credit post-compression wire traffic to the innermost open region.
+pub fn record_wire_bytes(n: u64) {
+    with_innermost(|frame| frame.wire_bytes += n);
+}
+
+/// Credit `n` paper-predicted instructions to the innermost open region
+/// (accumulates, like the measured counters).
+pub fn record_predicted_insts(n: u64) {
+    with_innermost(|frame| frame.predicted_insts += n);
+}
+
+/// Copy the global registry.
+pub fn snapshot() -> Snapshot {
+    Snapshot {
+        regions: registry().lock().unwrap().clone(),
+    }
+}
+
+/// Clear the global registry and the trace-event log. Open spans are
+/// unaffected: they fold into the cleared registry when they close.
+pub fn reset() {
+    registry().lock().unwrap().clear();
+    trace_log().lock().unwrap().clear();
+}

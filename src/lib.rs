@@ -11,6 +11,9 @@
 //! * [`grid`] — the Grid-style lattice QCD library with three SVE complex-
 //!   arithmetic backends, virtual-node layout, Wilson Dirac operator,
 //!   Krylov solvers and simulated multi-rank comms;
+//! * [`qcd_trace`] — hierarchical region profiler threaded through the
+//!   stack: RAII spans, per-opcode SVE instruction deltas, derived roofline
+//!   metrics, and table / JSON / Chrome `trace_event` export;
 //! * [`verification`] — the Section V-D campaign: 40 named checks runnable
 //!   at any vector length, under a faithful or deliberately buggy
 //!   "toolchain".
@@ -20,6 +23,7 @@
 
 pub use armie;
 pub use grid;
+pub use qcd_trace;
 pub use sve;
 
 pub mod verification;
