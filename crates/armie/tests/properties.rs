@@ -94,7 +94,7 @@ proptest! {
         let fault = ToolchainFault::TailPredicationBug(vl);
         let lanes = vl.lanes64();
         let n2 = k * lanes + extra; // doubles
-        prop_assume!(n2 % 2 == 0);
+        prop_assume!(n2.is_multiple_of(2));
         let x = data(n2, seed);
         let y = data(n2, seed ^ 0x9999);
         let want = listings::mult_cplx_ref(&x, &y);

@@ -10,7 +10,8 @@ fn bench_solvers(c: &mut Criterion) {
     let dims = [4, 4, 4, 4];
     let mut group = c.benchmark_group("solvers_4x4x4x4");
     group.sample_size(10);
-    for vl in [VectorLength::of(512)] {
+    {
+        let vl = VectorLength::of(512);
         let (op, b_field) = wilson_setup(dims, vl, SimdBackend::Fcmla);
         group.bench_with_input(BenchmarkId::new("cg_normal_eqs", vl), &vl, |bch, _| {
             bch.iter(|| cg(&op, &b_field, 1e-6, 500))

@@ -6,7 +6,7 @@ use grid::simd::{architecture_table, supported_vector_lengths};
 
 fn main() {
     println!("TABLE I — ARCHITECTURES SUPPORTED BY GRID\n");
-    println!("{:<48} {}", "SIMD family", "Vector length");
+    println!("{:<48} Vector length", "SIMD family");
     println!("{}", "-".repeat(76));
     for row in architecture_table() {
         let bits = if row.vector_bits.is_empty() {

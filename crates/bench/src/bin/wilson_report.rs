@@ -9,10 +9,19 @@
 //! numbers, the VL-scaling of the FCMLA backend, and the full region
 //! profile.
 //!
-//! Usage: `wilson_report [--json <path>]` — with `--json`, additionally
-//! writes the registry snapshot as a `qcd-trace/v1` document (schema
-//! documented on `qcd_trace::Snapshot::to_json`), validated by a parse-back
-//! round-trip before anything touches disk.
+//! Usage: `wilson_report [--json <path>] [--checkpoint <path>]
+//! [--resume <path>] [--ckpt-every <n>]`.
+//!
+//! With `--json`, additionally writes the registry snapshot as a
+//! `qcd-trace/v1` document (schema documented on
+//! `qcd_trace::Snapshot::to_json`), validated by a parse-back round-trip
+//! before anything touches disk.
+//!
+//! With `--checkpoint`, runs a CG solve on a fixed demo problem, kills it
+//! after a few iterations, and leaves the latest `qcd-io` snapshot at the
+//! path. A later invocation with `--resume` restores that snapshot,
+//! finishes the solve, and verifies the result is bit-identical to an
+//! uninterrupted run — the kill-and-resume smoke test CI executes.
 
 use bench::profile;
 use bench::BENCH_LATTICE;
@@ -21,13 +30,46 @@ use sve::{OpClass, Opcode};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let json_path = match profile::parse_json_arg(&args) {
+    let report_args = match profile::parse_report_args(&args) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("wilson_report: {e}");
             std::process::exit(2);
         }
     };
+    let json_path = report_args.json.clone();
+
+    // Checkpoint/restart runs are standalone: do the solve work, skip the
+    // instruction-efficiency sweep.
+    if report_args.checkpoint.is_some() || report_args.resume.is_some() {
+        if let Some(path) = &report_args.checkpoint {
+            match profile::write_interrupted_checkpoint(path, report_args.every) {
+                Ok((iters, snapshots, bytes)) => println!(
+                    "checkpoint: killed CG after {iters} iterations; {snapshots} snapshot(s) \
+                     written, latest at {path} ({bytes} bytes)"
+                ),
+                Err(e) => {
+                    eprintln!("wilson_report: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        if let Some(path) = &report_args.resume {
+            match profile::resume_from_checkpoint(path) {
+                Ok((from, report)) => println!(
+                    "resume: restored iteration {from} from {path}; converged after \
+                     {} total iterations, residual {:.3e} — bit-identical to the \
+                     uninterrupted solve",
+                    report.iterations, report.residual
+                ),
+                Err(e) => {
+                    eprintln!("wilson_report: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        return;
+    }
 
     let snap = profile::build_wilson_profile(BENCH_LATTICE);
 

@@ -193,6 +193,140 @@ pub fn parse_json_arg(args: &[String]) -> Result<Option<String>, String> {
     Ok(out)
 }
 
+/// Parsed command line of `wilson_report`.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct ReportArgs {
+    /// `--json <path>`: export the profile snapshot.
+    pub json: Option<String>,
+    /// `--checkpoint <path>`: run the interrupted checkpointed solve demo,
+    /// leaving a mid-solve snapshot at the path.
+    pub checkpoint: Option<String>,
+    /// `--resume <path>`: restore a snapshot and finish the solve,
+    /// verifying bit-equivalence against the uninterrupted run.
+    pub resume: Option<String>,
+    /// `--ckpt-every <n>`: checkpoint interval in CG iterations.
+    pub every: usize,
+}
+
+/// Parse the `wilson_report` command line: `[--json <path>]
+/// [--checkpoint <path>] [--resume <path>] [--ckpt-every <n>]`.
+pub fn parse_report_args(args: &[String]) -> Result<ReportArgs, String> {
+    let mut out = ReportArgs {
+        every: 5,
+        ..ReportArgs::default()
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut path_arg = |slot: &mut Option<String>| match it.next() {
+            Some(v) => {
+                *slot = Some(v.clone());
+                Ok(())
+            }
+            None => Err(format!("{arg} requires a path argument")),
+        };
+        match arg.as_str() {
+            "--json" => path_arg(&mut out.json)?,
+            "--checkpoint" => path_arg(&mut out.checkpoint)?,
+            "--resume" => path_arg(&mut out.resume)?,
+            "--ckpt-every" => {
+                out.every = it
+                    .next()
+                    .ok_or("--ckpt-every requires a count".to_string())?
+                    .parse()
+                    .map_err(|e| format!("--ckpt-every: {e}"))?;
+                if out.every == 0 {
+                    return Err("--ckpt-every must be positive".into());
+                }
+            }
+            other => {
+                return Err(format!(
+                    "unrecognised argument `{other}` (expected --json/--checkpoint/--resume <path> or --ckpt-every <n>)"
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Lattice, operator and right-hand side of the checkpoint/resume demo —
+/// fixed seeds, so the interrupted and resumed runs are comparable across
+/// separate process invocations.
+fn checkpoint_demo_problem() -> (WilsonDirac<f64>, FermionField) {
+    let g = Grid::new([4, 4, 4, 4], VectorLength::of(512), SimdBackend::Fcmla);
+    let u = random_gauge(g.clone(), 77);
+    let b = FermionField::random(g.clone(), 78);
+    (WilsonDirac::new(u, 0.2), b)
+}
+
+/// Iteration budget at which the "interrupted" solve is killed.
+pub const CHECKPOINT_DEMO_KILL_AT: usize = 12;
+/// Relative tolerance of the demo solve.
+pub const CHECKPOINT_DEMO_TOL: f64 = 1e-10;
+/// Full iteration budget of the resumed solve.
+pub const CHECKPOINT_DEMO_MAX_ITER: usize = 500;
+
+/// Run a checkpointed CG solve on the demo problem and kill it after
+/// [`CHECKPOINT_DEMO_KILL_AT`] iterations, leaving the latest snapshot at
+/// `path`. Returns `(iterations run, snapshots written, bytes on disk)`.
+pub fn write_interrupted_checkpoint(
+    path: &str,
+    every: usize,
+) -> Result<(usize, usize, u64), String> {
+    let (op, b) = checkpoint_demo_problem();
+    let (_, report, snapshots) = qcd_io::cg_checkpointed(
+        |v| op.mdag_m(v),
+        &b,
+        CHECKPOINT_DEMO_TOL,
+        CHECKPOINT_DEMO_KILL_AT,
+        every,
+        std::path::Path::new(path),
+    )
+    .map_err(|e| format!("checkpoint demo: {e}"))?;
+    if snapshots == 0 {
+        return Err(format!(
+            "interval {every} wrote no snapshot within {CHECKPOINT_DEMO_KILL_AT} iterations"
+        ));
+    }
+    let bytes = std::fs::metadata(path)
+        .map_err(|e| format!("stat {path}: {e}"))?
+        .len();
+    Ok((report.iterations, snapshots, bytes))
+}
+
+/// Resume the demo solve from the snapshot at `path`, run it to
+/// convergence, and verify the result is bit-identical to the
+/// uninterrupted solve. Returns `(resumed-from iteration, final report)`.
+pub fn resume_from_checkpoint(path: &str) -> Result<(usize, SolveReport), String> {
+    let (op, b) = checkpoint_demo_problem();
+    let apply = |v: &FermionField| op.mdag_m(v);
+    let state = qcd_io::load_cg(std::path::Path::new(path), b.grid())
+        .map_err(|e| format!("load {path}: {e}"))?;
+    let resumed_from = state.iterations;
+    let (x, report, _) = qcd_io::checkpoint::cg_checkpointed_from(
+        apply,
+        &b,
+        state,
+        CHECKPOINT_DEMO_TOL,
+        CHECKPOINT_DEMO_MAX_ITER,
+        CHECKPOINT_DEMO_MAX_ITER,
+        std::path::Path::new(path),
+    )
+    .map_err(|e| format!("resume: {e}"))?;
+
+    // Bit-equivalence against the uninterrupted in-process reference.
+    let (x_ref, ref_report) = cg_op(apply, &b, CHECKPOINT_DEMO_TOL, CHECKPOINT_DEMO_MAX_ITER);
+    if report.residual.to_bits() != ref_report.residual.to_bits()
+        || x.max_abs_diff(&x_ref) != 0.0
+        || report.iterations != ref_report.iterations
+    {
+        return Err(format!(
+            "resumed solve diverged from the uninterrupted run: {} iters / residual {} vs {} iters / residual {}",
+            report.iterations, report.residual, ref_report.iterations, ref_report.residual
+        ));
+    }
+    Ok((resumed_from, report))
+}
+
 /// Render `snap` as a `qcd-trace/v1` document, validate it by parsing it
 /// back into an identical snapshot, then write it to `path`. An invalid
 /// document is an error, not an artifact.

@@ -135,7 +135,7 @@ pub fn sigma_munu(mu: usize, nu: usize) -> SpinPerm {
     // Multiply every coefficient by i.
     let mut p = base.perm();
     for c in &mut p.coeff {
-        *c = c.mul(Coeff::I);
+        *c = *c * Coeff::I;
     }
     p
 }

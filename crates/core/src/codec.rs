@@ -1,0 +1,233 @@
+//! Scalar-stream precision codec — the single fp16/fp32 compression path.
+//!
+//! Two subsystems move `f64` lattice data through a narrower representation:
+//! the halo exchange ("this data type is used only for data compression upon
+//! data exchange over the communications network" — paper, Section V-B) and
+//! the `qcd-io` checkpoint container, which stores fields at a selectable
+//! on-disk precision. Both must round scalars identically, or a
+//! configuration written from a compressed halo buffer would not compare
+//! bit-for-bit with one re-read from disk. This module is that one shared
+//! path: [`HaloMsg`](crate::comms::HaloMsg) and the `qcd-io` record payloads
+//! are both thin wrappers over [`encode_f64s`] / [`decode_f64s`].
+//!
+//! All multi-byte values are little-endian, matching the lane serialization
+//! of [`sve::SveElem`] and the `qcd-io/v1` on-disk format.
+
+use sve::F16;
+
+/// Storage precision of an encoded scalar stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Precision {
+    /// IEEE binary64 — lossless for in-memory `f64` data.
+    F64,
+    /// IEEE binary32 — ~2^-24 relative rounding per scalar.
+    F32,
+    /// IEEE binary16 — ~2^-11 relative rounding per scalar; the paper's
+    /// wire-compression format (Section V-B).
+    F16,
+}
+
+impl Precision {
+    /// Every supported precision, widest first.
+    pub const ALL: [Precision; 3] = [Precision::F64, Precision::F32, Precision::F16];
+
+    /// Encoded bytes per scalar.
+    pub const fn bytes_per_scalar(self) -> usize {
+        match self {
+            Precision::F64 => 8,
+            Precision::F32 => 4,
+            Precision::F16 => 2,
+        }
+    }
+
+    /// Stable one-byte tag used on the wire and on disk.
+    pub const fn tag(self) -> u8 {
+        match self {
+            Precision::F64 => 0,
+            Precision::F32 => 1,
+            Precision::F16 => 2,
+        }
+    }
+
+    /// Inverse of [`Precision::tag`].
+    pub const fn from_tag(tag: u8) -> Option<Precision> {
+        match tag {
+            0 => Some(Precision::F64),
+            1 => Some(Precision::F32),
+            2 => Some(Precision::F16),
+            _ => None,
+        }
+    }
+
+    /// Human-readable name (`f64` / `f32` / `f16`).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Precision::F64 => "f64",
+            Precision::F32 => "f32",
+            Precision::F16 => "f16",
+        }
+    }
+
+    /// Worst-case relative rounding error for values in the format's normal
+    /// range (half an ulp), 0 for the lossless f64 path.
+    pub const fn relative_error_bound(self) -> f64 {
+        match self {
+            Precision::F64 => 0.0,
+            Precision::F32 => 5.97e-8, // 2^-24
+            Precision::F16 => 4.89e-4, // 2^-11
+        }
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error decoding an encoded scalar stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CodecError {
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "codec error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Compress a double-precision buffer to binary16 bit patterns
+/// (round-to-nearest-even, via [`sve::F16`]).
+pub fn compress_f16(data: &[f64]) -> Vec<u16> {
+    data.iter().map(|&x| F16::from_f64(x).to_bits()).collect()
+}
+
+/// Expand binary16 bit patterns back to doubles (exact).
+pub fn decompress_f16(bits: &[u16]) -> Vec<f64> {
+    bits.iter().map(|&b| F16::from_bits(b).to_f64()).collect()
+}
+
+/// Encode a double-precision buffer at `precision`, little-endian.
+pub fn encode_f64s(data: &[f64], precision: Precision) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() * precision.bytes_per_scalar());
+    match precision {
+        Precision::F64 => {
+            for &x in data {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        Precision::F32 => {
+            for &x in data {
+                out.extend_from_slice(&(x as f32).to_le_bytes());
+            }
+        }
+        Precision::F16 => {
+            for bits in compress_f16(data) {
+                out.extend_from_slice(&bits.to_le_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// Decode a little-endian scalar stream produced by [`encode_f64s`].
+///
+/// Fails (typed, no panic) when the byte length is not a whole number of
+/// scalars — the shape truncation takes after a record payload is cut.
+pub fn decode_f64s(bytes: &[u8], precision: Precision) -> Result<Vec<f64>, CodecError> {
+    let w = precision.bytes_per_scalar();
+    if !bytes.len().is_multiple_of(w) {
+        return Err(CodecError {
+            msg: format!(
+                "{} byte stream of length {} is not a multiple of {w}",
+                precision,
+                bytes.len()
+            ),
+        });
+    }
+    let out = match precision {
+        Precision::F64 => bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect(),
+        Precision::F32 => bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk")) as f64)
+            .collect(),
+        Precision::F16 => bytes
+            .chunks_exact(2)
+            .map(|c| {
+                F16::from_bits(u16::from_le_bytes(c.try_into().expect("2-byte chunk"))).to_f64()
+            })
+            .collect(),
+    };
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_round_trip() {
+        for p in Precision::ALL {
+            assert_eq!(Precision::from_tag(p.tag()), Some(p));
+        }
+        assert_eq!(Precision::from_tag(99), None);
+    }
+
+    #[test]
+    fn f64_encoding_is_bit_exact() {
+        let data = vec![1.0, -2.5, 1e-300, f64::MAX, -0.0, std::f64::consts::PI];
+        let enc = encode_f64s(&data, Precision::F64);
+        assert_eq!(enc.len(), data.len() * 8);
+        let dec = decode_f64s(&enc, Precision::F64).unwrap();
+        for (a, b) in data.iter().zip(&dec) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn f32_encoding_rounds_once() {
+        let data = vec![0.1, -7.25, 1.0e30];
+        let dec = decode_f64s(&encode_f64s(&data, Precision::F32), Precision::F32).unwrap();
+        for (a, b) in data.iter().zip(&dec) {
+            assert_eq!(*b, (*a as f32) as f64);
+        }
+    }
+
+    #[test]
+    fn f16_encoding_matches_the_f16_type() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64 - 50.0) * 0.73).collect();
+        let dec = decode_f64s(&encode_f64s(&data, Precision::F16), Precision::F16).unwrap();
+        for (a, b) in data.iter().zip(&dec) {
+            assert_eq!(*b, F16::from_f64(*a).to_f64());
+        }
+    }
+
+    #[test]
+    fn ragged_streams_are_typed_errors() {
+        for p in Precision::ALL {
+            let bytes = vec![0u8; p.bytes_per_scalar() + 1];
+            assert!(decode_f64s(&bytes, p).is_err(), "{p}");
+        }
+    }
+
+    #[test]
+    fn compress_decompress_agree_with_byte_path() {
+        let data = vec![1.5, -0.375, 6.0e4, 1.0e-7];
+        let bits = compress_f16(&data);
+        let bytes = encode_f64s(&data, Precision::F16);
+        for (i, b) in bits.iter().enumerate() {
+            assert_eq!(*b, u16::from_le_bytes([bytes[2 * i], bytes[2 * i + 1]]));
+        }
+        assert_eq!(
+            decompress_f16(&bits),
+            decode_f64s(&bytes, Precision::F16).unwrap()
+        );
+    }
+}

@@ -16,7 +16,7 @@ use crate::layout::{Coor, Grid, NDIM};
 use crate::simd::SimdBackend;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::sync::Arc;
-use sve::{VectorLength, F16};
+use sve::VectorLength;
 
 /// The dimension the rank grid splits (time).
 pub const SPLIT_DIM: usize = 3;
@@ -41,21 +41,21 @@ pub enum HaloMsg {
 }
 
 impl HaloMsg {
-    /// Encode a buffer under the chosen compression.
+    /// Encode a buffer under the chosen compression. The binary16 rounding
+    /// is the shared [`codec`](crate::codec) path, so wire halos and
+    /// `qcd-io` on-disk records compress identically.
     pub fn encode(data: &[f64], compression: Compression) -> HaloMsg {
         match compression {
             Compression::None => HaloMsg::F64(data.to_vec()),
-            Compression::F16 => {
-                HaloMsg::F16(data.iter().map(|&x| F16::from_f64(x).to_bits()).collect())
-            }
+            Compression::F16 => HaloMsg::F16(crate::codec::compress_f16(data)),
         }
     }
 
-    /// Decode back to doubles.
+    /// Decode back to doubles (the shared codec's exact expansion).
     pub fn decode(&self) -> Vec<f64> {
         match self {
             HaloMsg::F64(v) => v.clone(),
-            HaloMsg::F16(v) => v.iter().map(|&b| F16::from_bits(b).to_f64()).collect(),
+            HaloMsg::F16(v) => crate::codec::decompress_f16(v),
         }
     }
 
@@ -159,7 +159,7 @@ pub fn run_multinode_grid<T: Send>(
     let mut local_dims = [0; NDIM];
     for d in 0..NDIM {
         assert!(
-            global_dims[d] % rank_grid[d] == 0,
+            global_dims[d].is_multiple_of(rank_grid[d]),
             "dimension {d} must divide evenly over its ranks"
         );
         local_dims[d] = global_dims[d] / rank_grid[d];
@@ -417,6 +417,35 @@ mod tests {
         let f16 = HaloMsg::encode(&data, Compression::F16);
         assert_eq!(f16.decode(), data); // all values exact in binary16
         assert_eq!(f16.wire_bytes(), 8);
+    }
+
+    #[test]
+    fn wire_format_is_compatible_with_the_shared_codec() {
+        // The halo wire format and the qcd-io on-disk format must be the
+        // *same* fp16 compression path: identical bit patterns scalar by
+        // scalar, under both the u16 and the little-endian byte view.
+        use crate::codec::{decode_f64s, encode_f64s, Precision};
+        let data: Vec<f64> = (0..257)
+            .map(|i| (i as f64 - 128.0) * 0.173 + 1.0e-6)
+            .collect();
+        let msg = HaloMsg::encode(&data, Compression::F16);
+        let bytes = encode_f64s(&data, Precision::F16);
+        let HaloMsg::F16(bits) = &msg else {
+            panic!("F16 compression must produce an F16 message");
+        };
+        assert_eq!(bits.len() * 2, bytes.len());
+        for (i, b) in bits.iter().enumerate() {
+            assert_eq!(
+                *b,
+                u16::from_le_bytes([bytes[2 * i], bytes[2 * i + 1]]),
+                "scalar {i} diverges between wire and disk codecs"
+            );
+        }
+        // And both decode paths reproduce the same doubles.
+        assert_eq!(msg.decode(), decode_f64s(&bytes, Precision::F16).unwrap());
+        // The uncompressed wire path is bit-exact.
+        let none = HaloMsg::encode(&data, Compression::None);
+        assert_eq!(none.decode(), data);
     }
 
     #[test]

@@ -158,10 +158,8 @@ impl DomainWall {
 
             // 5-D hopping. The adjoint swaps P₋ and P₊ (they are hermitian
             // and the shift direction reverses).
-            let (proj_up, proj_dn): (
-                fn(&FermionField) -> FermionField,
-                fn(&FermionField) -> FermionField,
-            ) = if dagger {
+            type Projector = fn(&FermionField) -> FermionField;
+            let (proj_up, proj_dn): (Projector, Projector) = if dagger {
                 (chiral_plus, chiral_minus)
             } else {
                 (chiral_minus, chiral_plus)

@@ -73,7 +73,7 @@ impl<E: SveFloat> Grid<E> {
         let mut rdims = [0; NDIM];
         for d in 0..NDIM {
             assert!(
-                fdims[d] % simd_layout[d] == 0,
+                fdims[d].is_multiple_of(simd_layout[d]),
                 "dimension {d} ({}) not divisible by simd layout {}",
                 fdims[d],
                 simd_layout[d]

@@ -1,3 +1,8 @@
+// Matrix algebra throughout this crate loops over explicit row/column
+// indices; the iterator-with-enumerate form clippy prefers obscures which
+// index walks which side of the product.
+#![allow(clippy::needless_range_loop)]
+
 //! A Grid-style lattice QCD library with SVE backends — the primary
 //! contribution of the reproduced paper, *"SVE-enabling Lattice QCD Codes"*
 //! (Meyer et al., IEEE CLUSTER 2018).
@@ -42,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod clover;
+pub mod codec;
 pub mod comms;
 pub mod complex;
 pub mod cshift;
@@ -69,6 +75,7 @@ pub use simd::{CVec, SimdBackend, SimdEngine};
 /// Everything a downstream application typically needs.
 pub mod prelude {
     pub use crate::clover::{field_strength, CloverWilson};
+    pub use crate::codec::Precision;
     pub use crate::comms::{
         cshift_dist, hopping_dist, hopping_dist_half, run_multinode, run_multinode_grid,
         Compression, RankCtx,
@@ -87,9 +94,15 @@ pub mod prelude {
         transform_links, wilson_loop, TransformField,
     };
     pub use crate::layout::Grid;
-    pub use crate::mixed::{mixed_precision_solve, to_precision, MixedReport};
+    pub use crate::mixed::{
+        mixed_precision_solve, mixed_precision_solve_from, to_precision, MixedReport,
+    };
+    pub use crate::rng::StreamRng;
     pub use crate::simd::{SimdBackend, SimdEngine};
-    pub use crate::solver::{bicgstab, cg, cg_op, solve_wilson, SolveReport};
+    pub use crate::solver::{
+        bicgstab, bicgstab_from_state, cg, cg_op, cg_op_from_state, solve_wilson, BicgStabState,
+        CgState, SolveReport,
+    };
     pub use crate::tensor::gamma_algebra::{mult_gamma, GammaElement};
     pub use crate::tensor::su3::{random_gauge, unit_gauge};
     pub use crate::Complex;

@@ -29,6 +29,81 @@ pub struct SolveReport {
     pub telemetry: qcd_trace::RegionSummary,
 }
 
+/// The complete state of an in-flight Conjugate Gradient solve.
+///
+/// Every scalar and vector of the Hestenes–Stiefel recurrence lives here,
+/// which makes the struct the unit of checkpoint/restart: snapshot the
+/// fields (`x`, `r`, `p`) and scalars mid-solve, kill the process, rebuild
+/// the state, and [`CgState::step`] continues *bit-identically* — every
+/// quantity below is exactly the same f64 data an uninterrupted run would
+/// hold. `qcd-io`'s `SolverCheckpoint` serializes exactly these members.
+#[derive(Clone)]
+pub struct CgState<E: SveFloat = f64> {
+    /// Current solution estimate.
+    pub x: Field<FermionKind, E>,
+    /// Recurrence residual `b - A x`.
+    pub r: Field<FermionKind, E>,
+    /// Search direction.
+    pub p: Field<FermionKind, E>,
+    /// Squared norm of `r` (recurrence value, not recomputed).
+    pub r2: f64,
+    /// Squared norm of the right-hand side (fixes the relative target).
+    pub b_norm2: f64,
+    /// Iterations completed so far.
+    pub iterations: usize,
+    /// Relative residual history, entry 0 = before the first iteration.
+    pub history: Vec<f64>,
+}
+
+impl<E: SveFloat> CgState<E> {
+    /// Fresh state for solving `A x = b` from the zero initial guess.
+    pub fn new(b: &Field<FermionKind, E>) -> Self {
+        let grid = b.grid().clone();
+        let b_norm2 = b.norm2();
+        assert!(b_norm2 > 0.0, "CG needs a nonzero right-hand side");
+        let x = Field::<FermionKind, E>::zero(grid);
+        let r = b.clone(); // r = b - A*0
+        let p = r.clone();
+        let r2 = r.norm2();
+        CgState {
+            x,
+            r,
+            p,
+            r2,
+            b_norm2,
+            iterations: 0,
+            history: vec![(r2 / b_norm2).sqrt()],
+        }
+    }
+
+    /// Whether the recurrence residual is at or below `tol` relative to
+    /// `|b|`.
+    pub fn converged(&self, tol: f64) -> bool {
+        self.r2 <= tol * tol * self.b_norm2
+    }
+
+    /// One Hestenes–Stiefel iteration under a per-iteration telemetry span.
+    pub fn step(&mut self, apply: impl Fn(&Field<FermionKind, E>) -> Field<FermionKind, E>) {
+        let grid = self.x.grid().clone();
+        let _iter_span = qcd_trace::span!("iter", grid.engine().ctx());
+        let ap = apply(&self.p);
+        let p_ap = self.p.inner(&ap).re;
+        assert!(
+            p_ap > 0.0,
+            "search direction has non-positive curvature: operator not HPD?"
+        );
+        let alpha = self.r2 / p_ap;
+        self.x.axpy_inplace(alpha, &self.p);
+        self.r.axpy_inplace(-alpha, &ap);
+        let r2_new = self.r.norm2();
+        let beta = r2_new / self.r2;
+        self.p.aypx(beta, &self.r); // p = r + beta p
+        self.r2 = r2_new;
+        self.iterations += 1;
+        self.history.push((self.r2 / self.b_norm2).sqrt());
+    }
+}
+
 /// Conjugate Gradient on an arbitrary hermitian positive-definite operator,
 /// supplied as a closure (the shape Grid's `ConjugateGradient` template
 /// takes). Standard Hestenes–Stiefel recurrence; `tol` is relative to `|b|`.
@@ -38,50 +113,40 @@ pub fn cg_op<E: SveFloat>(
     tol: f64,
     max_iter: usize,
 ) -> (Field<FermionKind, E>, SolveReport) {
+    cg_op_from_state(apply, b, CgState::new(b), tol, max_iter)
+}
+
+/// Continue a Conjugate Gradient solve from an arbitrary [`CgState`] —
+/// freshly built by [`CgState::new`] or restored from a checkpoint. The
+/// iteration budget `max_iter` counts *total* iterations including those
+/// already inside `state`, so a resumed solve stops at the same point the
+/// uninterrupted one would.
+pub fn cg_op_from_state<E: SveFloat>(
+    apply: impl Fn(&Field<FermionKind, E>) -> Field<FermionKind, E>,
+    b: &Field<FermionKind, E>,
+    mut state: CgState<E>,
+    tol: f64,
+    max_iter: usize,
+) -> (Field<FermionKind, E>, SolveReport) {
     let grid = b.grid().clone();
     let span = qcd_trace::span!("solver.cg", grid.engine().ctx());
-    let b_norm2 = b.norm2();
-    assert!(b_norm2 > 0.0, "CG needs a nonzero right-hand side");
 
-    let mut x = Field::<FermionKind, E>::zero(grid.clone());
-    let mut r = b.clone(); // r = b - A*0
-    let mut p = r.clone();
-    let mut r2 = r.norm2();
-    let target = tol * tol * b_norm2;
-    let mut history = vec![(r2 / b_norm2).sqrt()];
-
-    let mut iterations = 0;
-    while iterations < max_iter && r2 > target {
-        let _iter_span = qcd_trace::span!("iter", grid.engine().ctx());
-        let ap = apply(&p);
-        let p_ap = p.inner(&ap).re;
-        assert!(
-            p_ap > 0.0,
-            "search direction has non-positive curvature: operator not HPD?"
-        );
-        let alpha = r2 / p_ap;
-        x.axpy_inplace(alpha, &p);
-        r.axpy_inplace(-alpha, &ap);
-        let r2_new = r.norm2();
-        let beta = r2_new / r2;
-        p.aypx(beta, &r); // p = r + beta p
-        r2 = r2_new;
-        iterations += 1;
-        history.push((r2 / b_norm2).sqrt());
+    while state.iterations < max_iter && !state.converged(tol) {
+        state.step(&apply);
     }
 
     // True residual check (guards against recurrence drift).
     let mut true_r = Field::<FermionKind, E>::zero(grid.clone());
-    true_r.sub(b, &apply(&x));
-    let residual = (true_r.norm2() / b_norm2).sqrt();
-    let converged = r2 <= target;
+    true_r.sub(b, &apply(&state.x));
+    let residual = (true_r.norm2() / state.b_norm2).sqrt();
+    let converged = state.converged(tol);
     (
-        x,
+        state.x,
         SolveReport {
-            iterations,
+            iterations: state.iterations,
             residual,
             converged,
-            history,
+            history: state.history,
             telemetry: span.finish(),
         },
     )
@@ -113,6 +178,103 @@ pub fn solve_wilson(
     (x, report)
 }
 
+/// The complete state of an in-flight BiCGStab solve — the checkpoint unit
+/// for the non-hermitian solver, mirroring [`CgState`].
+#[derive(Clone)]
+pub struct BicgStabState {
+    /// Current solution estimate.
+    pub x: FermionField,
+    /// Recurrence residual.
+    pub r: FermionField,
+    /// Shadow residual (fixed at the initial residual).
+    pub r0: FermionField,
+    /// Search direction.
+    pub p: FermionField,
+    /// Current `<r0, r>` recurrence scalar.
+    pub rho: crate::complex::Complex,
+    /// Squared norm of the right-hand side.
+    pub b_norm2: f64,
+    /// Iterations completed so far.
+    pub iterations: usize,
+    /// Relative residual history, entry 0 = before the first iteration.
+    pub history: Vec<f64>,
+}
+
+impl BicgStabState {
+    /// Fresh state for solving `M x = b` from the zero initial guess.
+    pub fn new(b: &FermionField) -> Self {
+        let grid = b.grid().clone();
+        let b_norm2 = b.norm2();
+        assert!(b_norm2 > 0.0, "BiCGStab needs a nonzero right-hand side");
+        let x = FermionField::zero(grid);
+        let r = b.clone();
+        let r0 = r.clone(); // shadow residual
+        let p = r.clone();
+        let rho = r0.inner(&r);
+        let history = vec![(r.norm2() / b_norm2).sqrt()];
+        BicgStabState {
+            x,
+            r,
+            r0,
+            p,
+            rho,
+            b_norm2,
+            iterations: 0,
+            history,
+        }
+    }
+
+    /// Whether the recurrence residual is at or below `tol` relative to
+    /// `|b|`.
+    pub fn converged(&self, tol: f64) -> bool {
+        self.r.norm2() <= tol * tol * self.b_norm2
+    }
+
+    /// One BiCGStab iteration (two operator applications) under a
+    /// per-iteration telemetry span.
+    pub fn step(&mut self, apply: impl Fn(&FermionField) -> FermionField) {
+        let grid = self.x.grid().clone();
+        let _iter_span = qcd_trace::span!("iter", grid.engine().ctx());
+        let v = apply(&self.p);
+        let alpha = self.rho * {
+            let d = self.r0.inner(&v);
+            let n2 = d.norm2();
+            assert!(n2 > 0.0, "BiCGStab breakdown: <r0, v> = 0");
+            d.conj().scale(1.0 / n2)
+        };
+        // s = r - alpha v
+        let mut s = self.r.clone();
+        s.axpy_complex(-alpha, &v);
+        let t = apply(&s);
+        let t2 = t.norm2();
+        assert!(t2 > 0.0, "BiCGStab breakdown: t = 0");
+        let omega = {
+            let ts = t.inner(&s);
+            ts.scale(1.0 / t2)
+        };
+        // x += alpha p + omega s
+        self.x.axpy_complex(alpha, &self.p);
+        self.x.axpy_complex(omega, &s);
+        // r = s - omega t
+        self.r = s;
+        self.r.axpy_complex(-omega, &t);
+        let rho_new = self.r0.inner(&self.r);
+        let beta = (rho_new * alpha) * {
+            let d = self.rho * omega;
+            let n2 = d.norm2();
+            assert!(n2 > 0.0, "BiCGStab breakdown: rho*omega = 0");
+            d.conj().scale(1.0 / n2)
+        };
+        // p = r + beta (p - omega v)
+        self.p.axpy_complex(-omega, &v);
+        self.p.scale_complex(beta);
+        self.p.add_assign_field(&self.r);
+        self.rho = rho_new;
+        self.iterations += 1;
+        self.history.push((self.r.norm2() / self.b_norm2).sqrt());
+    }
+}
+
 /// BiCGStab on `M x = b` — the non-hermitian workhorse; roughly half the
 /// operator applications of normal-equation CG per iteration pair.
 pub fn bicgstab(
@@ -121,71 +283,36 @@ pub fn bicgstab(
     tol: f64,
     max_iter: usize,
 ) -> (FermionField, SolveReport) {
+    bicgstab_from_state(op, b, BicgStabState::new(b), tol, max_iter)
+}
+
+/// Continue a BiCGStab solve from an arbitrary [`BicgStabState`] — freshly
+/// built or restored from a checkpoint. `max_iter` counts total iterations
+/// including those already inside `state`.
+pub fn bicgstab_from_state(
+    op: &WilsonDirac,
+    b: &FermionField,
+    mut state: BicgStabState,
+    tol: f64,
+    max_iter: usize,
+) -> (FermionField, SolveReport) {
     let grid = b.grid().clone();
     let span = qcd_trace::span!("solver.bicgstab", grid.engine().ctx());
-    let b_norm2 = b.norm2();
-    assert!(b_norm2 > 0.0, "BiCGStab needs a nonzero right-hand side");
-    let target = tol * tol * b_norm2;
 
-    let mut x = FermionField::zero(grid.clone());
-    let mut r = b.clone();
-    let r0 = r.clone(); // shadow residual
-    let mut p = r.clone();
-    let mut rho = r0.inner(&r);
-    let mut history = vec![(r.norm2() / b_norm2).sqrt()];
-    let mut iterations = 0;
-
-    while iterations < max_iter && r.norm2() > target {
-        let _iter_span = qcd_trace::span!("iter", grid.engine().ctx());
-        let v = op.apply(&p);
-        let alpha = rho * {
-            let d = r0.inner(&v);
-            let n2 = d.norm2();
-            assert!(n2 > 0.0, "BiCGStab breakdown: <r0, v> = 0");
-            d.conj().scale(1.0 / n2)
-        };
-        // s = r - alpha v
-        let mut s = r.clone();
-        s.axpy_complex(-alpha, &v);
-        let t = op.apply(&s);
-        let t2 = t.norm2();
-        assert!(t2 > 0.0, "BiCGStab breakdown: t = 0");
-        let omega = {
-            let ts = t.inner(&s);
-            ts.scale(1.0 / t2)
-        };
-        // x += alpha p + omega s
-        x.axpy_complex(alpha, &p);
-        x.axpy_complex(omega, &s);
-        // r = s - omega t
-        r = s;
-        r.axpy_complex(-omega, &t);
-        let rho_new = r0.inner(&r);
-        let beta = (rho_new * alpha) * {
-            let d = rho * omega;
-            let n2 = d.norm2();
-            assert!(n2 > 0.0, "BiCGStab breakdown: rho*omega = 0");
-            d.conj().scale(1.0 / n2)
-        };
-        // p = r + beta (p - omega v)
-        p.axpy_complex(-omega, &v);
-        p.scale_complex(beta);
-        p.add_assign_field(&r);
-        rho = rho_new;
-        iterations += 1;
-        history.push((r.norm2() / b_norm2).sqrt());
+    while state.iterations < max_iter && !state.converged(tol) {
+        state.step(|f| op.apply(f));
     }
 
     let mut true_r = FermionField::zero(grid.clone());
-    true_r.sub(b, &op.apply(&x));
-    let residual = (true_r.norm2() / b_norm2).sqrt();
+    true_r.sub(b, &op.apply(&state.x));
+    let residual = (true_r.norm2() / state.b_norm2).sqrt();
     (
-        x,
+        state.x,
         SolveReport {
-            iterations,
+            iterations: state.iterations,
             residual,
             converged: residual <= tol * 10.0,
-            history,
+            history: state.history,
             telemetry: span.finish(),
         },
     )
@@ -294,6 +421,53 @@ mod tests {
                 let b = sols[1].peek(&x, comp);
                 assert!((a - b).abs() < 1e-8, "{x:?} {comp}");
             }
+        }
+    }
+
+    #[test]
+    fn cg_resumed_from_mid_solve_state_is_bit_identical() {
+        // The checkpoint/restart contract: interrupt CG at iteration k,
+        // snapshot the state, continue from the snapshot — iteration count,
+        // history, and the solution *bits* must match an uninterrupted run.
+        let (op, b) = setup(256, SimdBackend::Fcmla);
+        let apply = |p: &FermionField| op.mdag_m(p);
+        let (x_full, full) = cg(&op, &b, 1e-8, 2000);
+
+        let mut st = CgState::new(&b);
+        for _ in 0..10 {
+            st.step(apply);
+        }
+        let snapshot = st.clone(); // what qcd-io serializes
+        drop(st); // the "killed" solve
+        let (x_res, res) = cg_op_from_state(apply, &b, snapshot, 1e-8, 2000);
+
+        assert_eq!(res.iterations, full.iterations);
+        assert_eq!(res.history.len(), full.history.len());
+        for (a, c) in full.history.iter().zip(&res.history) {
+            assert_eq!(a.to_bits(), c.to_bits(), "history diverged");
+        }
+        for (a, c) in x_full.data().iter().zip(x_res.data()) {
+            assert_eq!(a.to_bits(), c.to_bits(), "solution bits diverged");
+        }
+        assert_eq!(res.residual.to_bits(), full.residual.to_bits());
+    }
+
+    #[test]
+    fn bicgstab_resumed_from_mid_solve_state_is_bit_identical() {
+        let (op, b) = setup(256, SimdBackend::Fcmla);
+        let (x_full, full) = bicgstab(&op, &b, 1e-8, 2000);
+
+        let mut st = BicgStabState::new(&b);
+        for _ in 0..7 {
+            st.step(|f| op.apply(f));
+        }
+        let snapshot = st.clone();
+        drop(st);
+        let (x_res, res) = bicgstab_from_state(&op, &b, snapshot, 1e-8, 2000);
+
+        assert_eq!(res.iterations, full.iterations);
+        for (a, c) in x_full.data().iter().zip(x_res.data()) {
+            assert_eq!(a.to_bits(), c.to_bits(), "solution bits diverged");
         }
     }
 

@@ -138,7 +138,7 @@ impl<E: SveFloat> Stencil<E> {
     /// `x` through direction `dir`.
     pub fn neighbour_coor(&self, x: &Coor, dir: usize) -> Coor {
         let mu = dir / 2;
-        let forward = dir % 2 == 0;
+        let forward = dir.is_multiple_of(2);
         let f = self.grid.fdims();
         let mut y = *x;
         y[mu] = if forward {

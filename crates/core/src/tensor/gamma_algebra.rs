@@ -15,9 +15,11 @@ use crate::layout::{NCOLOR, NSPIN};
 use crate::tensor::gamma::{Coeff, Gamma};
 use sve::SveFloat;
 
-impl Coeff {
+impl std::ops::Mul for Coeff {
+    type Output = Coeff;
+
     /// Multiply two fourth-roots-of-unity coefficients.
-    pub fn mul(self, rhs: Coeff) -> Coeff {
+    fn mul(self, rhs: Coeff) -> Coeff {
         use Coeff::*;
         let to_k = |c: Coeff| match c {
             One => 0u8,
@@ -32,7 +34,9 @@ impl Coeff {
             _ => MinusI,
         }
     }
+}
 
+impl Coeff {
     /// Complex conjugate of the coefficient.
     pub fn conj(self) -> Coeff {
         match self {
@@ -97,19 +101,6 @@ impl SpinPerm {
         SpinPerm { src, coeff }
     }
 
-    /// Matrix product `self * rhs`.
-    pub fn mul(self, rhs: SpinPerm) -> SpinPerm {
-        let mut out = SpinPerm::IDENTITY;
-        for r in 0..NSPIN {
-            // (A B) row r: A picks column src_a with coeff_a; B's row src_a
-            // picks column src_b with coeff_b.
-            let (sa, ca) = (self.src[r], self.coeff[r]);
-            out.src[r] = rhs.src[sa];
-            out.coeff[r] = ca.mul(rhs.coeff[sa]);
-        }
-        out
-    }
-
     /// Hermitian conjugate.
     pub fn adjoint(self) -> SpinPerm {
         let mut out = SpinPerm::IDENTITY;
@@ -118,15 +109,6 @@ impl SpinPerm {
             // conj(coeff[r]).
             out.src[self.src[r]] = r;
             out.coeff[self.src[r]] = self.coeff[r].conj();
-        }
-        out
-    }
-
-    /// Negate (multiply by −1).
-    pub fn neg(self) -> SpinPerm {
-        let mut out = self;
-        for c in &mut out.coeff {
-            *c = c.mul(Coeff::MinusOne);
         }
         out
     }
@@ -143,6 +125,36 @@ impl SpinPerm {
             m[r][self.src[r]] = self.coeff[r].value();
         }
         m
+    }
+}
+
+impl std::ops::Mul for SpinPerm {
+    type Output = SpinPerm;
+
+    /// Matrix product `self * rhs`.
+    fn mul(self, rhs: SpinPerm) -> SpinPerm {
+        let mut out = SpinPerm::IDENTITY;
+        for r in 0..NSPIN {
+            // (A B) row r: A picks column src_a with coeff_a; B's row src_a
+            // picks column src_b with coeff_b.
+            let (sa, ca) = (self.src[r], self.coeff[r]);
+            out.src[r] = rhs.src[sa];
+            out.coeff[r] = ca * rhs.coeff[sa];
+        }
+        out
+    }
+}
+
+impl std::ops::Neg for SpinPerm {
+    type Output = SpinPerm;
+
+    /// Negate (multiply by −1).
+    fn neg(self) -> SpinPerm {
+        let mut out = self;
+        for c in &mut out.coeff {
+            *c = *c * Coeff::MinusOne;
+        }
+        out
     }
 }
 
@@ -219,16 +231,16 @@ impl GammaElement {
             GammaZ => g(Gamma::Z),
             GammaT => g(Gamma::T),
             Gamma5 => g(Gamma::Five),
-            GammaXGamma5 => g(Gamma::X).mul(g(Gamma::Five)),
-            GammaYGamma5 => g(Gamma::Y).mul(g(Gamma::Five)),
-            GammaZGamma5 => g(Gamma::Z).mul(g(Gamma::Five)),
-            GammaTGamma5 => g(Gamma::T).mul(g(Gamma::Five)),
-            SigmaXY => g(Gamma::X).mul(g(Gamma::Y)),
-            SigmaXZ => g(Gamma::X).mul(g(Gamma::Z)),
-            SigmaXT => g(Gamma::X).mul(g(Gamma::T)),
-            SigmaYZ => g(Gamma::Y).mul(g(Gamma::Z)),
-            SigmaYT => g(Gamma::Y).mul(g(Gamma::T)),
-            SigmaZT => g(Gamma::Z).mul(g(Gamma::T)),
+            GammaXGamma5 => g(Gamma::X) * g(Gamma::Five),
+            GammaYGamma5 => g(Gamma::Y) * g(Gamma::Five),
+            GammaZGamma5 => g(Gamma::Z) * g(Gamma::Five),
+            GammaTGamma5 => g(Gamma::T) * g(Gamma::Five),
+            SigmaXY => g(Gamma::X) * g(Gamma::Y),
+            SigmaXZ => g(Gamma::X) * g(Gamma::Z),
+            SigmaXT => g(Gamma::X) * g(Gamma::T),
+            SigmaYZ => g(Gamma::Y) * g(Gamma::Z),
+            SigmaYT => g(Gamma::Y) * g(Gamma::T),
+            SigmaZT => g(Gamma::Z) * g(Gamma::T),
         }
     }
 }
@@ -281,15 +293,15 @@ mod tests {
     #[test]
     fn coeff_group_is_z4() {
         use Coeff::*;
-        assert_eq!(I.mul(I), MinusOne);
-        assert_eq!(I.mul(MinusI), One);
-        assert_eq!(MinusOne.mul(MinusOne), One);
+        assert_eq!(I * I, MinusOne);
+        assert_eq!(I * MinusI, One);
+        assert_eq!(MinusOne * MinusOne, One);
         assert_eq!(I.conj(), MinusI);
         assert_eq!(One.conj(), One);
         for a in [One, I, MinusOne, MinusI] {
-            assert_eq!(a.mul(One), a);
+            assert_eq!(a * One, a);
             // |c|^2 = 1: c * conj(c) = 1.
-            assert_eq!(a.mul(a.conj()), One);
+            assert_eq!(a * a.conj(), One);
         }
     }
 
@@ -306,7 +318,7 @@ mod tests {
         // All 16 x 16 products agree with dense matrix multiplication.
         for a in GammaElement::all() {
             for b in GammaElement::all() {
-                let lhs = a.perm().mul(b.perm()).matrix();
+                let lhs = (a.perm() * b.perm()).matrix();
                 let rhs = dense_mul(&a.perm().matrix(), &b.perm().matrix());
                 assert!(close(&lhs, &rhs), "{a:?} * {b:?}");
             }
@@ -342,11 +354,7 @@ mod tests {
             GammaZGamma5,
             GammaTGamma5,
         ] {
-            assert_eq!(
-                s.perm().adjoint(),
-                s.perm().neg(),
-                "{s:?} must be antihermitian"
-            );
+            assert_eq!(s.perm().adjoint(), -s.perm(), "{s:?} must be antihermitian");
         }
     }
 
@@ -355,10 +363,10 @@ mod tests {
         use GammaElement::*;
         // γµ² = 1, γ5² = 1, σµν² = −1.
         for g in [GammaX, GammaY, GammaZ, GammaT, Gamma5] {
-            assert_eq!(g.perm().mul(g.perm()), SpinPerm::IDENTITY);
+            assert_eq!(g.perm() * g.perm(), SpinPerm::IDENTITY);
         }
         for s in [SigmaXY, SigmaXZ, SigmaXT, SigmaYZ, SigmaYT, SigmaZT] {
-            assert_eq!(s.perm().mul(s.perm()), SpinPerm::IDENTITY.neg());
+            assert_eq!(s.perm() * s.perm(), -SpinPerm::IDENTITY);
         }
     }
 
@@ -372,8 +380,8 @@ mod tests {
             (GammaT, GammaTGamma5),
         ] {
             // γµ γ5 as built equals the named element, and γ5 γµ = −γµ γ5.
-            assert_eq!(g.perm().mul(Gamma5.perm()), g5g.perm());
-            assert_eq!(Gamma5.perm().mul(g.perm()), g5g.perm().neg());
+            assert_eq!(g.perm() * Gamma5.perm(), g5g.perm());
+            assert_eq!(Gamma5.perm() * g.perm(), -g5g.perm());
         }
     }
 
@@ -385,7 +393,7 @@ mod tests {
         for (i, a) in all.iter().enumerate() {
             for b in all.iter().skip(i + 1) {
                 assert_ne!(a.perm(), b.perm(), "{a:?} == {b:?}");
-                assert_ne!(a.perm(), b.perm().neg(), "{a:?} == -{b:?}");
+                assert_ne!(a.perm(), -b.perm(), "{a:?} == -{b:?}");
             }
         }
     }

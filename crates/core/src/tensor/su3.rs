@@ -89,7 +89,7 @@ pub fn random_su3(seed: u64, stream: u64) -> ColorMatrix {
     // Orthogonalize and normalize row 1.
     let overlap = cdot(&rows[0], &rows[1]);
     for c in 0..NCOLOR {
-        rows[1][c] = rows[1][c] - rows[0][c] * overlap;
+        rows[1][c] -= rows[0][c] * overlap;
     }
     let n1 = vnorm(&rows[1]);
     for c in 0..NCOLOR {

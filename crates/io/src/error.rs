@@ -1,0 +1,221 @@
+//! Typed error surface of the checkpoint subsystem.
+//!
+//! Every failure mode a reader or writer can hit — OS errors, corrupted
+//! headers, cut-off files, CRC mismatches, physically implausible content —
+//! maps to a distinct [`IoError`] variant. Readers never panic on malformed
+//! input and never hand back silently wrong data: the fault-injection tests
+//! drive every corruption class through this enum.
+
+use grid::codec::CodecError;
+use std::fmt;
+
+/// Any error the qcd-io readers and writers can produce.
+#[derive(Debug)]
+pub enum IoError {
+    /// An operating-system level I/O failure (open, read, write, fsync,
+    /// rename).
+    Io(std::io::Error),
+    /// The file does not start with the `qcd-io/v1` magic bytes.
+    BadMagic {
+        /// The first eight bytes actually found.
+        found: [u8; 8],
+    },
+    /// The container declares a format version this reader does not speak.
+    UnsupportedVersion(u32),
+    /// A record boundary did not carry the record mark — the stream lost
+    /// framing (overwritten, shifted, or interleaved bytes).
+    BadRecordMark {
+        /// Byte offset of the failed record header, relative to the start
+        /// of the record stream.
+        offset: u64,
+    },
+    /// The stream ended in the middle of a record header or payload.
+    Truncated {
+        /// What was being read when the bytes ran out.
+        context: String,
+    },
+    /// A record's stored CRC-32 does not match the checksum of its bytes.
+    CrcMismatch {
+        /// Type name of the damaged record.
+        record: String,
+        /// Checksum stored in the file.
+        stored: u32,
+        /// Checksum recomputed from the record bytes.
+        computed: u32,
+    },
+    /// A record passed its CRC but its payload does not parse as the
+    /// declared type.
+    BadRecord {
+        /// Type name of the malformed record.
+        record: String,
+        /// What is wrong with it.
+        msg: String,
+    },
+    /// A record the operation requires is absent from the container.
+    MissingRecord {
+        /// Type name of the record that was expected.
+        record: String,
+    },
+    /// The file's lattice geometry does not match the target grid.
+    GridMismatch {
+        /// Geometry of the grid the caller wants to load into.
+        want: String,
+        /// Geometry recorded in the file.
+        found: String,
+    },
+    /// The file stores a different field kind than the one requested
+    /// (e.g. reading gauge links into a fermion field).
+    KindMismatch {
+        /// Kind the caller asked for.
+        want: String,
+        /// Kind recorded in the file.
+        found: String,
+    },
+    /// Physics validation failed: the plaquette recomputed from the loaded
+    /// gauge field disagrees with the value stored at write time beyond the
+    /// precision's tolerance.
+    PlaquetteMismatch {
+        /// Plaquette stored in the metadata record.
+        stored: f64,
+        /// Plaquette recomputed from the loaded links.
+        computed: f64,
+        /// Tolerance allowed for the file's storage precision.
+        tolerance: f64,
+    },
+    /// A scalar-stream decode failure from the shared precision codec.
+    Codec(CodecError),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o failure: {e}"),
+            IoError::BadMagic { found } => {
+                write!(f, "not a qcd-io container: magic bytes {found:02x?}")
+            }
+            IoError::UnsupportedVersion(v) => {
+                write!(f, "unsupported qcd-io container version {v}")
+            }
+            IoError::BadRecordMark { offset } => {
+                write!(f, "record framing lost at stream offset {offset}")
+            }
+            IoError::Truncated { context } => {
+                write!(f, "container truncated while reading {context}")
+            }
+            IoError::CrcMismatch {
+                record,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "CRC mismatch in record '{record}': stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            IoError::BadRecord { record, msg } => {
+                write!(f, "malformed record '{record}': {msg}")
+            }
+            IoError::MissingRecord { record } => {
+                write!(f, "required record '{record}' not present in container")
+            }
+            IoError::GridMismatch { want, found } => {
+                write!(f, "grid mismatch: want {want}, file has {found}")
+            }
+            IoError::KindMismatch { want, found } => {
+                write!(f, "field kind mismatch: want {want}, file has {found}")
+            }
+            IoError::PlaquetteMismatch {
+                stored,
+                computed,
+                tolerance,
+            } => write!(
+                f,
+                "plaquette validation failed: stored {stored:.12}, recomputed {computed:.12}, tolerance {tolerance:e}"
+            ),
+            IoError::Codec(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            IoError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<CodecError> for IoError {
+    fn from(e: CodecError) -> Self {
+        IoError::Codec(e)
+    }
+}
+
+/// Shorthand result type for the whole crate.
+pub type Result<T> = std::result::Result<T, IoError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_displays() {
+        let cases: Vec<IoError> = vec![
+            IoError::Io(std::io::Error::other("disk on fire")),
+            IoError::BadMagic {
+                found: *b"GARBAGE!",
+            },
+            IoError::UnsupportedVersion(42),
+            IoError::BadRecordMark { offset: 96 },
+            IoError::Truncated {
+                context: "record payload".into(),
+            },
+            IoError::CrcMismatch {
+                record: "gauge.field".into(),
+                stored: 0xDEADBEEF,
+                computed: 0x12345678,
+            },
+            IoError::BadRecord {
+                record: "meta".into(),
+                msg: "short header".into(),
+            },
+            IoError::MissingRecord {
+                record: "meta".into(),
+            },
+            IoError::GridMismatch {
+                want: "[4, 4, 4, 4]".into(),
+                found: "[8, 8, 8, 8]".into(),
+            },
+            IoError::KindMismatch {
+                want: "SU(3) gauge links".into(),
+                found: "spin-color fermion".into(),
+            },
+            IoError::PlaquetteMismatch {
+                stored: 0.5,
+                computed: 0.4,
+                tolerance: 1e-11,
+            },
+            IoError::Codec(CodecError {
+                msg: "ragged stream".into(),
+            }),
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn io_and_codec_sources_are_chained() {
+        let e = IoError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = IoError::from(CodecError { msg: "bad".into() });
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&IoError::UnsupportedVersion(9)).is_none());
+    }
+}

@@ -1,0 +1,257 @@
+//! Fault injection for the I/O path.
+//!
+//! Checkpointing code is only trustworthy if its failure handling has been
+//! exercised; real bit rot and torn writes are too rare to test against.
+//! [`FaultyWriter`] and [`FaultyReader`] wrap any `Write`/`Read` and inject
+//! a chosen [`Fault`] at a byte-exact position, so tests can assert that
+//! every corruption class surfaces as the right typed [`IoError`] variant —
+//! never a panic, never silently wrong data.
+
+use std::io::{self, Read, Write};
+
+/// A deterministic fault to inject into a byte stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Flip bit `bit` (0–7) of the byte at stream `offset` — models bit rot
+    /// on the medium.
+    BitFlip {
+        /// Byte position in the stream, counted from 0.
+        offset: u64,
+        /// Which bit of that byte to invert.
+        bit: u8,
+    },
+    /// Silently stop transferring after `bytes` — models a torn write
+    /// (writer) or a file cut short (reader). No error is reported; that is
+    /// the point.
+    TruncateAfter {
+        /// Bytes transferred before the cut.
+        bytes: u64,
+    },
+    /// Return an I/O error once `bytes` have been transferred — models a
+    /// device failing mid-operation.
+    FailAfter {
+        /// Bytes transferred before the failure.
+        bytes: u64,
+    },
+}
+
+/// Kind used for injected [`Fault::FailAfter`] errors, so tests can tell
+/// them from genuine OS failures.
+pub const INJECTED_ERROR_KIND: io::ErrorKind = io::ErrorKind::BrokenPipe;
+
+fn injected_error(pos: u64) -> io::Error {
+    io::Error::new(
+        INJECTED_ERROR_KIND,
+        format!("injected device failure after {pos} bytes"),
+    )
+}
+
+/// Apply a bit flip to the slice if the target offset falls inside
+/// `[pos, pos + buf.len())`.
+fn maybe_flip(buf: &mut [u8], pos: u64, offset: u64, bit: u8) {
+    if offset >= pos && offset < pos + buf.len() as u64 {
+        buf[(offset - pos) as usize] ^= 1 << (bit & 7);
+    }
+}
+
+/// A `Write` adapter that injects one [`Fault`] into the outgoing stream.
+pub struct FaultyWriter<W: Write> {
+    inner: W,
+    fault: Fault,
+    pos: u64,
+}
+
+impl<W: Write> FaultyWriter<W> {
+    /// Wrap `inner`, injecting `fault`.
+    pub fn new(inner: W, fault: Fault) -> Self {
+        FaultyWriter {
+            inner,
+            fault,
+            pos: 0,
+        }
+    }
+
+    /// Bytes the caller has written so far (including silently dropped
+    /// ones).
+    pub fn position(&self) -> u64 {
+        self.pos
+    }
+
+    /// Unwrap the inner sink.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FaultyWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self.fault {
+            Fault::BitFlip { offset, bit } => {
+                let mut owned = buf.to_vec();
+                maybe_flip(&mut owned, self.pos, offset, bit);
+                let n = self.inner.write(&owned)?;
+                self.pos += n as u64;
+                Ok(n)
+            }
+            Fault::TruncateAfter { bytes } => {
+                let room = bytes.saturating_sub(self.pos).min(buf.len() as u64) as usize;
+                if room > 0 {
+                    let n = self.inner.write(&buf[..room])?;
+                    self.pos += n as u64;
+                    if n < room {
+                        return Ok(n);
+                    }
+                }
+                // Pretend the remainder landed: a torn write looks like
+                // success to the application that made it.
+                self.pos += (buf.len() - room) as u64;
+                Ok(buf.len())
+            }
+            Fault::FailAfter { bytes } => {
+                if self.pos >= bytes {
+                    return Err(injected_error(self.pos));
+                }
+                let room = (bytes - self.pos).min(buf.len() as u64) as usize;
+                let n = self.inner.write(&buf[..room])?;
+                self.pos += n as u64;
+                Ok(n)
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// A `Read` adapter that injects one [`Fault`] into the incoming stream.
+pub struct FaultyReader<R: Read> {
+    inner: R,
+    fault: Fault,
+    pos: u64,
+}
+
+impl<R: Read> FaultyReader<R> {
+    /// Wrap `inner`, injecting `fault`.
+    pub fn new(inner: R, fault: Fault) -> Self {
+        FaultyReader {
+            inner,
+            fault,
+            pos: 0,
+        }
+    }
+
+    /// Bytes delivered to the caller so far.
+    pub fn position(&self) -> u64 {
+        self.pos
+    }
+}
+
+impl<R: Read> Read for FaultyReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self.fault {
+            Fault::BitFlip { offset, bit } => {
+                let n = self.inner.read(buf)?;
+                maybe_flip(&mut buf[..n], self.pos, offset, bit);
+                self.pos += n as u64;
+                Ok(n)
+            }
+            Fault::TruncateAfter { bytes } => {
+                let room = bytes.saturating_sub(self.pos).min(buf.len() as u64) as usize;
+                if room == 0 {
+                    return Ok(0); // premature, silent end of stream
+                }
+                let n = self.inner.read(&mut buf[..room])?;
+                self.pos += n as u64;
+                Ok(n)
+            }
+            Fault::FailAfter { bytes } => {
+                if self.pos >= bytes && !buf.is_empty() {
+                    return Err(injected_error(self.pos));
+                }
+                let room = (bytes - self.pos).min(buf.len() as u64) as usize;
+                let n = self.inner.read(&mut buf[..room])?;
+                self.pos += n as u64;
+                Ok(n)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload() -> Vec<u8> {
+        (0..200u8).collect()
+    }
+
+    #[test]
+    fn bit_flip_writer_flips_exactly_one_bit() {
+        let mut w = FaultyWriter::new(
+            Vec::new(),
+            Fault::BitFlip {
+                offset: 130,
+                bit: 5,
+            },
+        );
+        // Write in awkward chunks to cross the fault offset.
+        for chunk in payload().chunks(7) {
+            w.write_all(chunk).unwrap();
+        }
+        let out = w.into_inner();
+        let expect = payload();
+        for (i, (a, b)) in out.iter().zip(&expect).enumerate() {
+            if i == 130 {
+                assert_eq!(*a, b ^ (1 << 5));
+            } else {
+                assert_eq!(a, b, "byte {i} must be untouched");
+            }
+        }
+    }
+
+    #[test]
+    fn truncating_writer_reports_success_but_drops_the_tail() {
+        let mut w = FaultyWriter::new(Vec::new(), Fault::TruncateAfter { bytes: 64 });
+        w.write_all(&payload()).unwrap(); // no error — a torn write is silent
+        assert_eq!(w.position(), 200);
+        assert_eq!(w.into_inner(), payload()[..64].to_vec());
+    }
+
+    #[test]
+    fn failing_writer_errors_at_the_boundary() {
+        let mut w = FaultyWriter::new(Vec::new(), Fault::FailAfter { bytes: 50 });
+        let err = w.write_all(&payload()).unwrap_err();
+        assert_eq!(err.kind(), INJECTED_ERROR_KIND);
+        assert_eq!(w.into_inner().len(), 50);
+    }
+
+    #[test]
+    fn bit_flip_reader_flips_exactly_one_bit() {
+        let src = payload();
+        let mut r = FaultyReader::new(&src[..], Fault::BitFlip { offset: 3, bit: 0 });
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out[3], src[3] ^ 1);
+        out[3] = src[3];
+        assert_eq!(out, src);
+    }
+
+    #[test]
+    fn truncating_reader_ends_early_without_error() {
+        let src = payload();
+        let mut r = FaultyReader::new(&src[..], Fault::TruncateAfter { bytes: 33 });
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, src[..33].to_vec());
+    }
+
+    #[test]
+    fn failing_reader_errors_at_the_boundary() {
+        let src = payload();
+        let mut r = FaultyReader::new(&src[..], Fault::FailAfter { bytes: 10 });
+        let mut out = Vec::new();
+        let err = r.read_to_end(&mut out).unwrap_err();
+        assert_eq!(err.kind(), INJECTED_ERROR_KIND);
+    }
+}

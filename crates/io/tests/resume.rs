@@ -1,0 +1,184 @@
+//! Resume-equivalence tests: a solve killed mid-flight and restored from
+//! its on-disk checkpoint must retrace the uninterrupted iteration
+//! sequence bit-for-bit.
+
+use grid::prelude::*;
+use qcd_io::checkpoint::bicgstab_checkpointed_from;
+use qcd_io::{
+    cg_checkpointed, load_bicgstab, load_cg, load_mixed, resume_bicgstab, resume_cg, save_bicgstab,
+    save_cg, save_mixed, IoError, MixedCheckpoint,
+};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("qcd-io-resume");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn setup() -> (WilsonDirac<f64>, FermionField) {
+    let g: Arc<Grid<f64>> = Grid::new([4, 4, 4, 4], VectorLength::of(512), SimdBackend::Fcmla);
+    let u = random_gauge(g.clone(), 81);
+    let b = FermionField::random(g.clone(), 82);
+    (WilsonDirac::new(u, 0.3), b)
+}
+
+#[test]
+fn cg_killed_and_resumed_from_disk_is_bit_identical() {
+    let (op, b) = setup();
+    let apply = |v: &FermionField| op.mdag_m(v);
+    let tol = 1e-10;
+    let max_iter = 500;
+
+    // Reference: the uninterrupted solve.
+    let (x_ref, ref_report) = cg_op(apply, &b, tol, max_iter);
+
+    // "Kill" a checkpointing solve by capping its iteration budget at 12;
+    // the snapshot on disk is then the one written at iteration 10.
+    let path = tmp("cg.qio");
+    let (_, partial, snapshots) = cg_checkpointed(apply, &b, tol, 12, 5, &path).unwrap();
+    assert_eq!(partial.iterations, 12);
+    assert_eq!(snapshots, 2, "snapshots at iterations 5 and 10");
+    let on_disk = load_cg(&path, b.grid()).unwrap();
+    assert_eq!(on_disk.iterations, 10);
+
+    // Resume from disk with the full budget.
+    let (x, resumed, _) = resume_cg(apply, &b, tol, max_iter, 50, &path).unwrap();
+
+    assert_eq!(resumed.iterations, ref_report.iterations);
+    assert_eq!(
+        resumed.residual.to_bits(),
+        ref_report.residual.to_bits(),
+        "final residual must match to the last bit ({} vs {})",
+        resumed.residual,
+        ref_report.residual
+    );
+    assert_eq!(
+        x.max_abs_diff(&x_ref),
+        0.0,
+        "solutions must be bit-identical"
+    );
+    assert_eq!(resumed.history.len(), ref_report.history.len());
+    for (i, (a, r)) in resumed.history.iter().zip(&ref_report.history).enumerate() {
+        assert_eq!(a.to_bits(), r.to_bits(), "history entry {i} diverged");
+    }
+    assert!(resumed.converged);
+    assert!((resumed.residual / tol) < 10.0);
+}
+
+#[test]
+fn cg_state_survives_a_save_load_cycle_bit_exactly() {
+    let (op, b) = setup();
+    let mut state = CgState::new(&b);
+    for _ in 0..7 {
+        state.step(|v| op.mdag_m(v));
+    }
+    let path = tmp("cg_state.qio");
+    save_cg(&state, &path).unwrap();
+    let back = load_cg(&path, b.grid()).unwrap();
+    assert_eq!(back.iterations, state.iterations);
+    assert_eq!(back.r2.to_bits(), state.r2.to_bits());
+    assert_eq!(back.b_norm2.to_bits(), state.b_norm2.to_bits());
+    assert_eq!(back.x.max_abs_diff(&state.x), 0.0);
+    assert_eq!(back.r.max_abs_diff(&state.r), 0.0);
+    assert_eq!(back.p.max_abs_diff(&state.p), 0.0);
+    for (a, s) in back.history.iter().zip(&state.history) {
+        assert_eq!(a.to_bits(), s.to_bits());
+    }
+}
+
+#[test]
+fn bicgstab_killed_and_resumed_from_disk_is_bit_identical() {
+    let (op, b) = setup();
+    let tol = 1e-8;
+    let max_iter = 300;
+    let (x_ref, ref_report) = bicgstab(&op, &b, tol, max_iter);
+
+    let path = tmp("bicgstab.qio");
+    let (_, _, snapshots) =
+        bicgstab_checkpointed_from(&op, &b, BicgStabState::new(&b), tol, 9, 4, &path).unwrap();
+    assert_eq!(snapshots, 2, "snapshots at iterations 4 and 8");
+    let on_disk = load_bicgstab(&path, b.grid()).unwrap();
+    assert_eq!(on_disk.iterations, 8);
+
+    let (x, resumed, _) = resume_bicgstab(&op, &b, tol, max_iter, 100, &path).unwrap();
+    assert_eq!(resumed.iterations, ref_report.iterations);
+    assert_eq!(resumed.residual.to_bits(), ref_report.residual.to_bits());
+    assert_eq!(x.max_abs_diff(&x_ref), 0.0);
+}
+
+#[test]
+fn bicgstab_state_survives_a_save_load_cycle_bit_exactly() {
+    let (op, b) = setup();
+    let mut state = BicgStabState::new(&b);
+    for _ in 0..5 {
+        state.step(|v| op.apply(v));
+    }
+    let path = tmp("bicgstab_state.qio");
+    save_bicgstab(&state, &path).unwrap();
+    let back = load_bicgstab(&path, b.grid()).unwrap();
+    assert_eq!(back.iterations, state.iterations);
+    assert_eq!(back.rho.re.to_bits(), state.rho.re.to_bits());
+    assert_eq!(back.rho.im.to_bits(), state.rho.im.to_bits());
+    assert_eq!(back.b_norm2.to_bits(), state.b_norm2.to_bits());
+    for (f_back, f_state) in [
+        (&back.x, &state.x),
+        (&back.r, &state.r),
+        (&back.r0, &state.r0),
+        (&back.p, &state.p),
+    ] {
+        assert_eq!(f_back.max_abs_diff(f_state), 0.0);
+    }
+}
+
+#[test]
+fn mixed_solve_resumes_from_a_disk_checkpoint() {
+    let (op, b) = setup();
+    // Partial solve, snapshot the f64 iterate, reload, and finish.
+    let (x_partial, partial) = mixed_precision_solve(&op, &b, 1e-4, 1e-4, 2, 500);
+    let path = tmp("mixed.qio");
+    save_mixed(
+        &MixedCheckpoint {
+            x: x_partial,
+            outer_done: partial.outer_iterations,
+            inner_done: partial.inner_iterations,
+        },
+        &path,
+    )
+    .unwrap();
+
+    let ck = load_mixed(&path, b.grid()).unwrap();
+    assert_eq!(ck.outer_done, partial.outer_iterations);
+    assert_eq!(ck.inner_done, partial.inner_iterations);
+    let (x, resumed) = mixed_precision_solve_from(&op, &b, ck.x, 1e-10, 1e-4, 30, 500);
+    assert!(resumed.converged, "{resumed:?}");
+    assert!(resumed.residual <= 1e-10);
+    let (_, cold) = mixed_precision_solve(&op, &b, 1e-10, 1e-4, 30, 500);
+    assert!(
+        resumed.outer_iterations < cold.outer_iterations,
+        "the checkpointed progress must be reused ({} vs {})",
+        resumed.outer_iterations,
+        cold.outer_iterations
+    );
+    let (x_ref, _) = solve_wilson(&op, &b, 1e-10, 3000);
+    let mut diff = FermionField::zero(b.grid().clone());
+    diff.sub(&x, &x_ref);
+    assert!((diff.norm2() / x_ref.norm2()).sqrt() < 1e-8);
+}
+
+#[test]
+fn resuming_against_the_wrong_rhs_is_refused() {
+    let (op, b) = setup();
+    let apply = |v: &FermionField| op.mdag_m(v);
+    let path = tmp("cg_wrong_rhs.qio");
+    let (_, _, _) = cg_checkpointed(apply, &b, 1e-10, 12, 5, &path).unwrap();
+    let other_b = FermionField::random(b.grid().clone(), 999);
+    match resume_cg(apply, &other_b, 1e-10, 500, 50, &path) {
+        Err(IoError::BadRecord { record, .. }) => assert_eq!(record, "cg.scalars"),
+        other => panic!(
+            "expected a right-hand-side mismatch, got {other:?}",
+            other = other.err()
+        ),
+    }
+}

@@ -1,0 +1,182 @@
+//! Round-trip tests for the `qcd-io/v1` field container: lossless f64
+//! storage, bounded-error narrow precisions, vector-length portability,
+//! and validated metadata.
+
+use grid::codec::Precision;
+use grid::gauge::average_plaquette;
+use grid::prelude::*;
+use qcd_io::{
+    plaquette_tolerance, read_field, read_gauge, rng_from_record, rng_record, write_field,
+    write_gauge, Container, IoError,
+};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("qcd-io-roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn grid_of(bits: usize) -> Arc<Grid<f64>> {
+    Grid::new([4, 4, 4, 4], VectorLength::of(bits), SimdBackend::Fcmla)
+}
+
+#[test]
+fn gauge_f64_round_trip_is_bit_exact() {
+    let g = grid_of(512);
+    let u = random_gauge(g.clone(), 41);
+    let path = tmp("gauge_f64.qio");
+    write_gauge(&u, &path, Precision::F64).unwrap();
+    let v = read_gauge(&path, &g).unwrap();
+    assert_eq!(u.max_abs_diff(&v), 0.0, "f64 storage must be lossless");
+    assert_eq!(
+        average_plaquette(&u).to_bits(),
+        average_plaquette(&v).to_bits()
+    );
+}
+
+#[test]
+fn fermion_f64_round_trip_is_bit_exact() {
+    let g = grid_of(256);
+    let b = FermionField::random(g.clone(), 42);
+    let path = tmp("fermion_f64.qio");
+    write_field(&b, &path, Precision::F64).unwrap();
+    let c = read_field::<grid::field::FermionKind, f64>(&path, &g).unwrap();
+    assert_eq!(b.max_abs_diff(&c), 0.0);
+}
+
+#[test]
+fn narrow_precisions_bound_the_per_scalar_error() {
+    let g = grid_of(512);
+    let u = random_gauge(g.clone(), 43);
+    for precision in [Precision::F32, Precision::F16] {
+        let path = tmp(&format!("gauge_{precision}.qio"));
+        write_gauge(&u, &path, precision).unwrap();
+        // Plaquette validation passes at the precision's own tolerance.
+        let v = read_gauge(&path, &g).unwrap();
+        let bound = precision.relative_error_bound();
+        for x in g.coords().step_by(5) {
+            for comp in 0..36 {
+                let a = u.peek(&x, comp);
+                let b = v.peek(&x, comp);
+                // Gauge link entries are O(1); bound the absolute error by
+                // the relative bound with a small margin for subnormal-f16
+                // quantization near zero.
+                let tol = bound.max(1e-9) * a.re.abs().max(1.0);
+                assert!(
+                    (a.re - b.re).abs() <= tol && (a.im - b.im).abs() <= tol.max(bound),
+                    "{precision}: site {x:?} comp {comp}: {a:?} vs {b:?}"
+                );
+            }
+        }
+        assert!(
+            (average_plaquette(&u) - average_plaquette(&v)).abs() <= plaquette_tolerance(precision)
+        );
+    }
+}
+
+#[test]
+fn files_are_portable_across_vector_lengths() {
+    // The paper's whole point is VL-agnostic code; the container follows:
+    // a file written on wide silicon loads bit-exactly on narrow silicon.
+    let g_wide = grid_of(512);
+    let u = random_gauge(g_wide.clone(), 44);
+    let path = tmp("gauge_vl512.qio");
+    write_gauge(&u, &path, Precision::F64).unwrap();
+    for bits in [128, 256, 1024] {
+        let g_narrow = grid_of(bits);
+        let v = read_gauge(&path, &g_narrow).unwrap();
+        for x in g_wide.coords().step_by(3) {
+            for comp in (0..36).step_by(7) {
+                assert_eq!(
+                    u.peek(&x, comp).re.to_bits(),
+                    v.peek(&x, comp).re.to_bits(),
+                    "VL{bits}: site {x:?} comp {comp}"
+                );
+                assert_eq!(u.peek(&x, comp).im.to_bits(), v.peek(&x, comp).im.to_bits());
+            }
+        }
+    }
+}
+
+#[test]
+fn dimension_mismatch_is_typed() {
+    let g = grid_of(256);
+    let u = random_gauge(g.clone(), 45);
+    let path = tmp("gauge_dims.qio");
+    write_gauge(&u, &path, Precision::F64).unwrap();
+    let g_other: Arc<Grid<f64>> =
+        Grid::new([8, 4, 4, 4], VectorLength::of(256), SimdBackend::Fcmla);
+    match read_gauge(&path, &g_other) {
+        Err(IoError::GridMismatch { .. }) => {}
+        other => panic!("expected GridMismatch, got {other:?}", other = other.err()),
+    }
+}
+
+#[test]
+fn kind_mismatch_is_typed() {
+    let g = grid_of(256);
+    let b = FermionField::random(g.clone(), 46);
+    let path = tmp("fermion_kind.qio");
+    write_field(&b, &path, Precision::F64).unwrap();
+    match read_gauge(&path, &g) {
+        Err(IoError::KindMismatch { want, found }) => {
+            assert_eq!(want, "SU(3) gauge links");
+            assert_eq!(found, "spin-color fermion");
+        }
+        other => panic!("expected KindMismatch, got {other:?}", other = other.err()),
+    }
+}
+
+#[test]
+fn rng_state_round_trips_through_a_container_file() {
+    // Serialize a mid-stream RNG, restore it from disk, and check the
+    // continued stream is bit-identical to the uninterrupted one.
+    let mut reference = StreamRng::new(0xFEED_5EED);
+    let reference_draws: Vec<u64> = (0..300).map(|_| reference.next_u64()).collect();
+
+    let mut rng = StreamRng::new(0xFEED_5EED);
+    for _ in 0..123 {
+        rng.next_u64();
+    }
+    let path = tmp("rng.qio");
+    let mut c = Container::new();
+    c.push(rng_record(&rng));
+    c.write_atomic(&path).unwrap();
+
+    let back = Container::open(&path).unwrap();
+    let mut restored = rng_from_record(back.expect("rng").unwrap()).unwrap();
+    assert_eq!(restored.draws(), 123);
+    for (i, want) in reference_draws.iter().enumerate().skip(123) {
+        assert_eq!(
+            restored.next_u64(),
+            *want,
+            "draw {i} diverged after restore"
+        );
+    }
+}
+
+#[test]
+fn io_spans_carry_byte_counts() {
+    let g = grid_of(256);
+    let u = random_gauge(g.clone(), 47);
+    let path = tmp("gauge_telemetry.qio");
+    write_gauge(&u, &path, Precision::F64).unwrap();
+    let _ = read_gauge(&path, &g).unwrap();
+    let snap = qcd_trace::snapshot();
+    let file_len = std::fs::metadata(&path).unwrap().len();
+    let w = snap.region("io.write").expect("io.write span recorded");
+    assert!(
+        w.bytes_written >= file_len,
+        "io.write recorded {} bytes, file is {file_len}",
+        w.bytes_written
+    );
+    let r = snap.region("io.read").expect("io.read span recorded");
+    assert!(r.bytes_read >= file_len);
+    assert!(
+        snap.region("io.validate").is_some(),
+        "plaquette validation must run under io.validate: {:?}",
+        snap.regions.keys().collect::<Vec<_>>()
+    );
+}

@@ -125,7 +125,7 @@ mod tests {
         use std::collections::HashSet;
         use std::sync::Mutex;
         let ids = Mutex::new(HashSet::new());
-        let mut data = vec![0u8; 64];
+        let mut data = [0u8; 64];
         data.par_chunks_mut(1).for_each(|_| {
             ids.lock().unwrap().insert(std::thread::current().id());
         });

@@ -72,8 +72,11 @@ impl F16 {
             }
             return F16(sign | out);
         }
-        if unbiased >= -24 {
-            // Subnormal result: shift the implicit leading 1 into the mantissa.
+        if unbiased >= -25 {
+            // Subnormal result: shift the implicit leading 1 into the
+            // mantissa. -25 is included because inputs above 2^-25 round up
+            // to the smallest subnormal 2^-24 (the tie at exactly 2^-25
+            // goes to even, i.e. zero), which the rounding below produces.
             let full = mant | 0x0080_0000;
             let shift = (-14 - unbiased) as u32 + 13;
             let mant16 = (full >> shift) as u16;
@@ -187,6 +190,12 @@ mod tests {
         assert_eq!(F16::from_bits(0x0001).to_f32(), tiny);
         let below = (2.0f32).powi(-26);
         assert_eq!(F16::from_f32(below).to_bits(), 0x0000);
+        // The half-subnormal boundary: exactly 2^-25 ties to even (zero),
+        // anything above it rounds up to the smallest subnormal.
+        let half_tiny = (2.0f32).powi(-25);
+        assert_eq!(F16::from_f32(half_tiny).to_bits(), 0x0000);
+        assert_eq!(F16::from_f32(half_tiny * 1.0001).to_bits(), 0x0001);
+        assert_eq!(F16::from_f32(-half_tiny * 1.5).to_bits(), 0x8001);
     }
 
     #[test]

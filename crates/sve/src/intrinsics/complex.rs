@@ -222,11 +222,11 @@ mod tests {
         let plus_i = svcadd::<f64>(&ctx, &pg, &zero, &y, Rot::R90);
         // 0 - i*y
         let minus_i = svcadd::<f64>(&ctx, &pg, &zero, &y, Rot::R270);
-        for p in 0..4 {
-            assert_eq!(plus_i.lane::<f64>(2 * p), -XS[p].1);
-            assert_eq!(plus_i.lane::<f64>(2 * p + 1), XS[p].0);
-            assert_eq!(minus_i.lane::<f64>(2 * p), XS[p].1);
-            assert_eq!(minus_i.lane::<f64>(2 * p + 1), -XS[p].0);
+        for (p, &(re, im)) in XS.iter().enumerate() {
+            assert_eq!(plus_i.lane::<f64>(2 * p), -im);
+            assert_eq!(plus_i.lane::<f64>(2 * p + 1), re);
+            assert_eq!(minus_i.lane::<f64>(2 * p), im);
+            assert_eq!(minus_i.lane::<f64>(2 * p + 1), -re);
         }
     }
 

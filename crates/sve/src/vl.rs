@@ -35,7 +35,7 @@ impl VectorLength {
     /// Create a vector length from a bit count. Returns `None` unless the
     /// count is a multiple of 128 in `128..=2048`.
     pub const fn new(bits: usize) -> Option<Self> {
-        if bits >= VL_MIN_BITS && bits <= VL_MAX_BITS && bits % VL_STEP_BITS == 0 {
+        if bits >= VL_MIN_BITS && bits <= VL_MAX_BITS && bits.is_multiple_of(VL_STEP_BITS) {
             Some(Self { bits: bits as u16 })
         } else {
             None

@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use sve::intrinsics::*;
-use sve::{SveCtx, VReg, VectorLength};
+use sve::{SveCtx, VReg, VectorLength, F16};
 
 /// Strategy: any architecturally valid vector length.
 fn any_vl() -> impl Strategy<Value = VectorLength> {
@@ -125,9 +125,9 @@ proptest! {
         let acc = vreg_from(vl, &xs);
         let a = vreg_from(vl, &ys);
         let r = svmla_m::<f64>(&ctx, &pg, &acc, &a, &a);
-        for e in 0..vl.lanes64() {
+        for (e, &x) in xs.iter().enumerate().take(vl.lanes64()) {
             if e >= cut {
-                prop_assert_eq!(r.lane::<f64>(e), xs[e], "inactive lane {} must merge", e);
+                prop_assert_eq!(r.lane::<f64>(e), x, "inactive lane {} must merge", e);
             }
         }
     }
@@ -222,4 +222,143 @@ proptest! {
             prop_assert_eq!(pg.active_count::<f64>(vl) as u64, n - 1);
         }
     }
+}
+
+// --- binary16 conversion audit: `F16::from_f64`/`to_f64` must implement
+// IEEE round-to-nearest-even with correct NaN/inf/subnormal handling,
+// because the qcd-io container and the halo-exchange compression both
+// trust it for on-disk / on-wire scalar rounding. ---
+
+/// The finite binary16 values adjacent to `h` (crossing zero if needed).
+fn f16_finite_neighbors(h: F16) -> Vec<F16> {
+    let bits = h.to_bits();
+    let sign = bits & 0x8000;
+    let mag = bits & 0x7fff;
+    let mut out = Vec::new();
+    if mag == 0 {
+        // ±0: the neighbors are the smallest subnormals of either sign.
+        out.push(F16::from_bits(0x0001));
+        out.push(F16::from_bits(0x8001));
+    } else {
+        out.push(F16::from_bits(sign | (mag - 1)));
+        if mag + 1 < 0x7c00 {
+            out.push(F16::from_bits(sign | (mag + 1)));
+        }
+    }
+    out
+}
+
+proptest! {
+    /// Nearest-representable: no finite f16 neighbor of the conversion
+    /// result lies strictly closer to the input. This is the whole of
+    /// "round to nearest" in one property.
+    #[test]
+    fn from_f64_picks_the_nearest_representable(x in -7.0e4f64..7.0e4) {
+        let h = F16::from_f64(x);
+        prop_assume!(!h.is_infinite()); // overflow handled separately
+        let hv = h.to_f64();
+        let err = (hv - x).abs();
+        for n in f16_finite_neighbors(h) {
+            let nerr = (n.to_f64() - x).abs();
+            prop_assert!(
+                err <= nerr,
+                "x={} chose {:?} (err {}) over neighbor {:?} (err {})",
+                x, h, err, n, nerr
+            );
+            // And exact ties must land on the even bit pattern.
+            if err == nerr && h.to_bits() != n.to_bits() {
+                prop_assert_eq!(h.to_bits() & 1, 0, "tie at x={} not to even", x);
+            }
+        }
+    }
+
+    /// Ties-to-even, constructed exactly: a value halfway between two
+    /// adjacent normal f16 values rounds to the one with even mantissa.
+    #[test]
+    fn exact_midpoints_round_to_even(mag in 0x0400u16..0x7bff, neg in any::<bool>()) {
+        // Midpoint between consecutive f16 values is exact in f64.
+        let sign = if neg { -1.0 } else { 1.0 };
+        let lo = F16::from_bits(mag);
+        let hi = F16::from_bits(mag + 1);
+        let mid = sign * (lo.to_f64() + hi.to_f64()) / 2.0;
+        let got = F16::from_f64(mid);
+        let want_mag = if mag & 1 == 0 { mag } else { mag + 1 };
+        prop_assert_eq!(
+            got.to_bits() & 0x7fff, want_mag,
+            "midpoint of {:#06x}/{:#06x} (x={})", mag, mag + 1, mid
+        );
+        prop_assert_eq!(got.is_sign_negative(), neg);
+    }
+
+    /// Every f16 bit pattern survives a trip through f64 (NaNs stay NaN).
+    #[test]
+    fn to_f64_from_f64_is_identity_on_f16(bits in any::<u16>()) {
+        let h = F16::from_bits(bits);
+        let back = F16::from_f64(h.to_f64());
+        if h.is_nan() {
+            prop_assert!(back.is_nan());
+        } else {
+            prop_assert_eq!(back.to_bits(), bits, "bits {:#06x}", bits);
+        }
+    }
+
+    /// Subnormal f16 results are still nearest-representable: exercise the
+    /// denormalized rounding path with inputs across 2^-26..2^-14.
+    #[test]
+    fn subnormal_range_rounds_nearest(frac in 0.0f64..1.0, e in -26i32..-13, neg in any::<bool>()) {
+        let sign = if neg { -1.0 } else { 1.0 };
+        let x = sign * (1.0 + frac) * (2.0f64).powi(e);
+        let h = F16::from_f64(x);
+        prop_assert!(!h.is_infinite());
+        let err = (h.to_f64() - x).abs();
+        for n in f16_finite_neighbors(h) {
+            prop_assert!(err <= (n.to_f64() - x).abs(), "x={x} h={h:?} n={n:?}");
+        }
+        // A subnormal ulp is 2^-24; nearest means within half of it.
+        prop_assert!(err <= (2.0f64).powi(-25) * 1.0000001 || err <= x.abs() * 4.89e-4);
+    }
+
+    /// Large magnitudes: overflow to infinity happens exactly at the
+    /// rounding boundary 65520 = midpoint(MAX, 2^16), ties-to-even sending
+    /// the midpoint itself up to infinity.
+    #[test]
+    fn overflow_boundary_is_exact(x in 6.0e4f64..7.0e4, neg in any::<bool>()) {
+        let sign = if neg { -1.0 } else { 1.0 };
+        let h = F16::from_f64(sign * x);
+        prop_assert_eq!(h.is_sign_negative(), neg);
+        if x >= 65520.0 {
+            prop_assert!(h.is_infinite(), "x={x} must overflow");
+        } else if x <= 65519.0 {
+            prop_assert!(!h.is_infinite(), "x={x} must stay finite");
+            // Anything past the last midpoint below MAX saturates to MAX.
+            if x >= 65488.0 {
+                prop_assert_eq!(h.to_bits() & 0x7fff, F16::MAX.to_bits());
+            }
+        }
+    }
+}
+
+#[test]
+fn f16_special_values_convert_exactly() {
+    assert!(F16::from_f64(f64::NAN).is_nan());
+    assert!(F16::from_f64(f64::NAN).to_f64().is_nan());
+    assert_eq!(
+        F16::from_f64(f64::INFINITY).to_bits(),
+        F16::INFINITY.to_bits()
+    );
+    assert_eq!(
+        F16::from_f64(f64::NEG_INFINITY).to_bits(),
+        F16::NEG_INFINITY.to_bits()
+    );
+    // Signed zeros survive, including the sign of -0.0.
+    assert_eq!(F16::from_f64(0.0).to_bits(), 0x0000);
+    assert_eq!(F16::from_f64(-0.0).to_bits(), 0x8000);
+    assert_eq!(F16::from_f64(-0.0).to_f64().to_bits(), (-0.0f64).to_bits());
+    // Values beyond f32 range funnel through the f32 cast to ±inf.
+    assert!(F16::from_f64(1.0e308).is_infinite());
+    assert!(F16::from_f64(-1.0e308).is_infinite());
+    assert!(F16::from_f64(-1.0e308).is_sign_negative());
+    // f64 subnormals flush to f16 zero with the sign kept.
+    assert_eq!(F16::from_f64(5.0e-324).to_bits(), 0x0000);
+    assert_eq!(F16::from_f64(-5.0e-324).to_bits(), 0x8000);
 }

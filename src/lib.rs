@@ -1,3 +1,7 @@
+// The verification campaign compares lane-indexed SIMD results against
+// scalar references; explicit indices keep the lane bookkeeping visible.
+#![allow(clippy::needless_range_loop)]
+
 //! Reproduction of *"SVE-enabling Lattice QCD Codes"* (Meyer, Georg,
 //! Pleiter, Solbrig, Wettig — IEEE CLUSTER 2018, arXiv:1901.07294).
 //!
