@@ -10,7 +10,8 @@
 //! profile.
 //!
 //! Usage: `wilson_report [--json <path>] [--checkpoint <path>]
-//! [--resume <path>] [--ckpt-every <n>]`.
+//! [--resume <path>] [--ckpt-every <n>] [--bench <path>] [--bench-l <n>]
+//! [--bench-iters <n>]`.
 //!
 //! With `--json`, additionally writes the registry snapshot as a
 //! `qcd-trace/v1` document (schema documented on
@@ -22,8 +23,14 @@
 //! path. A later invocation with `--resume` restores that snapshot,
 //! finishes the solve, and verifies the result is bit-identical to an
 //! uninterrupted run — the kill-and-resume smoke test CI executes.
+//!
+//! With `--bench`, times the unfused allocating CG against the fused
+//! workspace CG on an `l⁴` demo problem (bit-identical iterates asserted)
+//! and writes the validated `qcd-bench-solver/v1` document — the artifact
+//! the CI bench-smoke job uploads.
 
 use bench::profile;
+use bench::solver_bench;
 use bench::BENCH_LATTICE;
 use grid::prelude::*;
 use sve::{OpClass, Opcode};
@@ -38,6 +45,53 @@ fn main() {
         }
     };
     let json_path = report_args.json.clone();
+
+    // A benchmark run is standalone: time the two solver legs, write the
+    // validated document, skip the instruction-efficiency sweep.
+    if let Some(path) = &report_args.bench {
+        let bench =
+            match solver_bench::run_solver_bench(report_args.bench_l, report_args.bench_iters) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("wilson_report: {e}");
+                    std::process::exit(1);
+                }
+            };
+        println!(
+            "SOLVER BENCHMARK — fused workspace CG vs unfused allocating CG\n\
+             lattice {:?}, VL{} {}, {} thread(s), {} iterations/leg\n",
+            bench.dims, bench.vl_bits, bench.backend, bench.threads, bench.iterations
+        );
+        println!(
+            "{:<10} {:>14} {:>14} {:>10} {:>12}",
+            "leg", "wall ms", "sites/s", "GFLOP/s", "sweeps/iter"
+        );
+        for (name, leg) in [("baseline", &bench.baseline), ("fused", &bench.fused)] {
+            println!(
+                "{:<10} {:>14.2} {:>14.0} {:>10.3} {:>12.1}",
+                name,
+                leg.wall_ns as f64 / 1e6,
+                leg.sites_per_sec,
+                leg.gflops,
+                leg.sweeps_per_iter
+            );
+        }
+        println!(
+            "\nspeedup: x{:.2} (fused / baseline, sites/s)",
+            bench.speedup
+        );
+        match solver_bench::write_validated_bench_json(&bench, path) {
+            Ok(()) => println!(
+                "wrote validated {schema} document to {path}",
+                schema = solver_bench::SOLVER_BENCH_SCHEMA
+            ),
+            Err(e) => {
+                eprintln!("wilson_report: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
 
     // Checkpoint/restart runs are standalone: do the solve work, skip the
     // instruction-efficiency sweep.

@@ -5,6 +5,7 @@
 //! `--json` export in the `qcd-trace/v1` schema.
 
 pub mod profile;
+pub mod solver_bench;
 
 use grid::prelude::*;
 use grid::Coor;

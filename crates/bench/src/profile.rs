@@ -206,41 +206,54 @@ pub struct ReportArgs {
     pub resume: Option<String>,
     /// `--ckpt-every <n>`: checkpoint interval in CG iterations.
     pub every: usize,
+    /// `--bench <path>`: run the fused-vs-baseline solver benchmark and
+    /// write the `qcd-bench-solver/v1` document to the path.
+    pub bench: Option<String>,
+    /// `--bench-l <n>`: benchmark lattice extent (an `n⁴` lattice).
+    pub bench_l: usize,
+    /// `--bench-iters <n>`: timed CG iterations per benchmark leg.
+    pub bench_iters: usize,
 }
 
 /// Parse the `wilson_report` command line: `[--json <path>]
-/// [--checkpoint <path>] [--resume <path>] [--ckpt-every <n>]`.
+/// [--checkpoint <path>] [--resume <path>] [--ckpt-every <n>]
+/// [--bench <path>] [--bench-l <n>] [--bench-iters <n>]`.
 pub fn parse_report_args(args: &[String]) -> Result<ReportArgs, String> {
     let mut out = ReportArgs {
         every: 5,
+        bench_l: 8,
+        bench_iters: 10,
         ..ReportArgs::default()
     };
+    fn path_value(it: &mut std::slice::Iter<'_, String>, arg: &str) -> Result<String, String> {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{arg} requires a path argument"))
+    }
+    fn count_value(it: &mut std::slice::Iter<'_, String>, arg: &str) -> Result<usize, String> {
+        let n: usize = it
+            .next()
+            .ok_or_else(|| format!("{arg} requires a count"))?
+            .parse()
+            .map_err(|e| format!("{arg}: {e}"))?;
+        if n == 0 {
+            return Err(format!("{arg} must be positive"));
+        }
+        Ok(n)
+    }
     let mut it = args.iter();
     while let Some(arg) = it.next() {
-        let mut path_arg = |slot: &mut Option<String>| match it.next() {
-            Some(v) => {
-                *slot = Some(v.clone());
-                Ok(())
-            }
-            None => Err(format!("{arg} requires a path argument")),
-        };
         match arg.as_str() {
-            "--json" => path_arg(&mut out.json)?,
-            "--checkpoint" => path_arg(&mut out.checkpoint)?,
-            "--resume" => path_arg(&mut out.resume)?,
-            "--ckpt-every" => {
-                out.every = it
-                    .next()
-                    .ok_or("--ckpt-every requires a count".to_string())?
-                    .parse()
-                    .map_err(|e| format!("--ckpt-every: {e}"))?;
-                if out.every == 0 {
-                    return Err("--ckpt-every must be positive".into());
-                }
-            }
+            "--json" => out.json = Some(path_value(&mut it, arg)?),
+            "--checkpoint" => out.checkpoint = Some(path_value(&mut it, arg)?),
+            "--resume" => out.resume = Some(path_value(&mut it, arg)?),
+            "--bench" => out.bench = Some(path_value(&mut it, arg)?),
+            "--ckpt-every" => out.every = count_value(&mut it, arg)?,
+            "--bench-l" => out.bench_l = count_value(&mut it, arg)?,
+            "--bench-iters" => out.bench_iters = count_value(&mut it, arg)?,
             other => {
                 return Err(format!(
-                    "unrecognised argument `{other}` (expected --json/--checkpoint/--resume <path> or --ckpt-every <n>)"
+                    "unrecognised argument `{other}` (expected --json/--checkpoint/--resume/--bench <path>, --ckpt-every/--bench-l/--bench-iters <n>)"
                 ))
             }
         }

@@ -1,0 +1,316 @@
+//! The before/after solver benchmark behind `wilson_report --bench`.
+//!
+//! Two Conjugate Gradient legs run the *same math* on the same problem for
+//! a fixed iteration count:
+//!
+//! - **baseline** — the unfused formulation this codebase used before the
+//!   allocation-free hot path: `M ψ` as a hopping sweep followed by a
+//!   separate `(m+4)ψ − ½(·)` linear-combination sweep (fresh fields each
+//!   application), the curvature dot as its own pass, and a per-iteration
+//!   telemetry span.
+//! - **fused** — the workspace path: dslash with the mass axpy fused into
+//!   the store loop, the curvature dot fused into the second hopping sweep
+//!   ([`WilsonDirac::mdag_m_into_dot`]), preallocated
+//!   [`SolverWorkspace`] storage, and zero steady-state allocations.
+//!
+//! Both legs retire bit-identical iterates (asserted), so the throughput
+//! ratio isolates the memory-traffic and allocation savings. The result is
+//! exported as a `qcd-bench-solver/v1` JSON document, validated by a
+//! parse-back schema check before anything touches disk — the artifact the
+//! CI bench-smoke job uploads.
+
+use grid::dirac::{
+    FUSED_DOT_FLOPS_PER_SITE, FUSED_MASS_AXPY_FLOPS_PER_SITE, HOPPING_FLOPS_PER_SITE,
+};
+use grid::prelude::*;
+use grid::Coor;
+use qcd_trace::Json;
+use std::time::Instant;
+
+/// Schema identifier of the exported benchmark document.
+pub const SOLVER_BENCH_SCHEMA: &str = "qcd-bench-solver/v1";
+
+/// Useful floating-point work per lattice site per CG iteration, identical
+/// for both legs (they compute the same recurrence):
+/// two fused operator applications (hopping + mass axpy), the curvature
+/// dot, the fused `x += αp / r −= αAp / |r|²` sweep (3 × 48 flops), and
+/// the `p = r + βp` update (48 flops).
+pub const CG_FLOPS_PER_SITE_PER_ITER: u64 = 2
+    * (HOPPING_FLOPS_PER_SITE + FUSED_MASS_AXPY_FLOPS_PER_SITE)
+    + FUSED_DOT_FLOPS_PER_SITE
+    + 3 * 48
+    + 48;
+
+/// Full-field memory sweeps per CG iteration *beyond* the two dslash
+/// stencil passes, baseline leg: one `scale_axpy` pass after each hopping
+/// sweep, the standalone curvature inner product, the fused x/r update,
+/// and the search-direction update. (Fresh-field zero-fills and
+/// allocations come on top and are part of what the wall clock measures.)
+pub const BASELINE_SWEEPS_PER_ITER: f64 = 5.0;
+
+/// Fused leg: the mass axpy and curvature dot ride the dslash store loops,
+/// leaving only the fused x/r update and the search-direction update.
+pub const FUSED_SWEEPS_PER_ITER: f64 = 2.0;
+
+/// Throughput of one benchmark leg.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LegResult {
+    /// Wall time of the iteration loop.
+    pub wall_ns: u64,
+    /// Lattice sites retired per second (volume × iterations / wall).
+    pub sites_per_sec: f64,
+    /// Useful GFLOP/s ([`CG_FLOPS_PER_SITE_PER_ITER`] per site-iteration).
+    pub gflops: f64,
+    /// Full-field sweeps per iteration beyond the dslash.
+    pub sweeps_per_iter: f64,
+}
+
+/// A complete before/after solver benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverBench {
+    /// Lattice extents.
+    pub dims: Coor,
+    /// SVE vector length in bits.
+    pub vl_bits: u64,
+    /// Complex-arithmetic backend name.
+    pub backend: String,
+    /// Worker threads the parallel field kernels used.
+    pub threads: usize,
+    /// CG iterations each leg ran.
+    pub iterations: usize,
+    /// The unfused allocating leg.
+    pub baseline: LegResult,
+    /// The fused workspace leg.
+    pub fused: LegResult,
+    /// `fused.sites_per_sec / baseline.sites_per_sec`.
+    pub speedup: f64,
+}
+
+fn leg_result(dims: Coor, iters: usize, wall_ns: u64, sweeps: f64) -> LegResult {
+    let sites = dims.iter().product::<usize>() as f64;
+    let secs = wall_ns as f64 / 1e9;
+    let site_iters = sites * iters as f64;
+    LegResult {
+        wall_ns,
+        sites_per_sec: site_iters / secs,
+        gflops: site_iters * CG_FLOPS_PER_SITE_PER_ITER as f64 / secs / 1e9,
+        sweeps_per_iter: sweeps,
+    }
+}
+
+/// Run both legs for exactly `iters` iterations on an `l⁴` lattice at
+/// 512-bit SVE with the FCMLA backend, assert their iterates agree bit for
+/// bit, and return the throughput comparison.
+pub fn run_solver_bench(l: usize, iters: usize) -> Result<SolverBench, String> {
+    if iters == 0 {
+        return Err("--bench-iters must be positive".into());
+    }
+    let dims: Coor = [l, l, l, l];
+    let vl = VectorLength::of(512);
+    let backend = SimdBackend::Fcmla;
+    let g = Grid::new(dims, vl, backend);
+    let u = random_gauge(g.clone(), 91);
+    let op = WilsonDirac::new(u, 0.2);
+    let b = FermionField::random(g.clone(), 92);
+    let a = 0.2 + 4.0;
+
+    // Baseline: hopping sweep + separate mass linear combination, fresh
+    // fields per application, standalone curvature dot inside `step`.
+    let unfused_apply = |p: &FermionField| {
+        let h = op.hopping(p);
+        let mut mp = FermionField::zero(g.clone());
+        mp.scale_axpy_from(-0.5, &h, a, p);
+        let hd = op.hopping_dag(&mp);
+        let mut out = FermionField::zero(g.clone());
+        out.scale_axpy_from(-0.5, &hd, a, &mp);
+        out
+    };
+    let mut base_state = CgState::new(&b);
+    base_state.step(unfused_apply); // warm-up outside the timed loop
+    let mut base_state = CgState::new(&b);
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        base_state.step(unfused_apply);
+    }
+    let base_wall = t0.elapsed().as_nanos() as u64;
+
+    // Fused: preallocated workspace, fused dslash+mass+dot sweeps.
+    let mut ws = SolverWorkspace::new(g.clone());
+    let mut fused_apply = |p: &FermionField, ws: &mut SolverWorkspace| {
+        let SolverWorkspace { tmp, ap, .. } = ws;
+        op.mdag_m_into_dot(p, tmp, ap)
+    };
+    let mut fused_state = CgState::new(&b);
+    fused_state.history.reserve(iters + 1);
+    fused_state.step_ws(&mut ws, &mut fused_apply); // warm-up
+    let mut fused_state = CgState::new(&b);
+    fused_state.history.reserve(iters + 1);
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        fused_state.step_ws(&mut ws, &mut fused_apply);
+    }
+    let fused_wall = t0.elapsed().as_nanos() as u64;
+
+    // The legs must have walked the same trajectory — the benchmark is
+    // meaningless if fusion changed the math.
+    if base_state.r2.to_bits() != fused_state.r2.to_bits()
+        || base_state.x.max_abs_diff(&fused_state.x) != 0.0
+    {
+        return Err("benchmark legs diverged: fused iterates are not bit-identical".into());
+    }
+
+    let baseline = leg_result(dims, iters, base_wall.max(1), BASELINE_SWEEPS_PER_ITER);
+    let fused = leg_result(dims, iters, fused_wall.max(1), FUSED_SWEEPS_PER_ITER);
+    Ok(SolverBench {
+        dims,
+        vl_bits: vl.bits() as u64,
+        backend: backend.name().to_string(),
+        threads: rayon::current_num_threads(),
+        iterations: iters,
+        speedup: fused.sites_per_sec / baseline.sites_per_sec,
+        baseline,
+        fused,
+    })
+}
+
+fn leg_json(leg: &LegResult) -> Json {
+    Json::Obj(vec![
+        ("wall_ns".into(), Json::Num(leg.wall_ns as f64)),
+        ("sites_per_sec".into(), Json::Num(leg.sites_per_sec)),
+        ("gflops".into(), Json::Num(leg.gflops)),
+        ("sweeps_per_iter".into(), Json::Num(leg.sweeps_per_iter)),
+    ])
+}
+
+/// Render a benchmark as a `qcd-bench-solver/v1` document.
+pub fn bench_to_json(b: &SolverBench) -> Json {
+    Json::Obj(vec![
+        ("schema".into(), Json::Str(SOLVER_BENCH_SCHEMA.into())),
+        (
+            "lattice".into(),
+            Json::Arr(b.dims.iter().map(|&d| Json::Num(d as f64)).collect()),
+        ),
+        ("vl_bits".into(), Json::Num(b.vl_bits as f64)),
+        ("backend".into(), Json::Str(b.backend.clone())),
+        ("threads".into(), Json::Num(b.threads as f64)),
+        ("iterations".into(), Json::Num(b.iterations as f64)),
+        ("baseline".into(), leg_json(&b.baseline)),
+        ("fused".into(), leg_json(&b.fused)),
+        ("speedup".into(), Json::Num(b.speedup)),
+    ])
+}
+
+fn check_leg(doc: &Json, key: &str) -> Result<(), String> {
+    let leg = doc
+        .get(key)
+        .ok_or_else(|| format!("missing object `{key}`"))?;
+    for field in ["wall_ns", "sites_per_sec", "gflops", "sweeps_per_iter"] {
+        let v = leg
+            .get(field)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("`{key}.{field}` missing or not a number"))?;
+        if v <= 0.0 || !v.is_finite() {
+            return Err(format!("`{key}.{field}` must be positive, got {v}"));
+        }
+    }
+    Ok(())
+}
+
+/// Validate a parsed document against the `qcd-bench-solver/v1` schema —
+/// the check the CI bench-smoke job runs on the uploaded artifact.
+pub fn validate_solver_bench_json(doc: &Json) -> Result<(), String> {
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(SOLVER_BENCH_SCHEMA) => {}
+        Some(other) => return Err(format!("schema `{other}` != `{SOLVER_BENCH_SCHEMA}`")),
+        None => return Err("missing `schema`".into()),
+    }
+    let lat = doc
+        .get("lattice")
+        .and_then(Json::as_arr)
+        .ok_or("missing array `lattice`")?;
+    if lat.len() != 4 || lat.iter().any(|d| d.as_u64().is_none_or(|v| v == 0)) {
+        return Err("`lattice` must be four positive extents".into());
+    }
+    for field in ["vl_bits", "threads", "iterations"] {
+        if doc.get(field).and_then(Json::as_u64).is_none_or(|v| v == 0) {
+            return Err(format!("`{field}` missing or not a positive integer"));
+        }
+    }
+    if doc.get("backend").and_then(Json::as_str).is_none() {
+        return Err("missing string `backend`".into());
+    }
+    check_leg(doc, "baseline")?;
+    check_leg(doc, "fused")?;
+    if !doc
+        .get("speedup")
+        .and_then(Json::as_f64)
+        .is_some_and(|v| v > 0.0)
+    {
+        return Err("`speedup` missing or not positive".into());
+    }
+    Ok(())
+}
+
+/// Render, validate by parse-back, and write `BENCH_solver.json`. An
+/// invalid document is an error, not an artifact.
+pub fn write_validated_bench_json(b: &SolverBench, path: &str) -> Result<(), String> {
+    let json = bench_to_json(b);
+    let doc = json.render();
+    let parsed = Json::parse(&doc)
+        .map_err(|e| format!("emitted JSON does not parse: {} at byte {}", e.msg, e.at))?;
+    validate_solver_bench_json(&parsed)?;
+    if parsed != json {
+        return Err("JSON round-trip did not reproduce the benchmark document".into());
+    }
+    std::fs::write(path, doc).map_err(|e| format!("write {path}: {e}"))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_exports_a_valid_document() {
+        let bench = run_solver_bench(4, 3).unwrap();
+        assert_eq!(bench.iterations, 3);
+        assert!(bench.baseline.sites_per_sec > 0.0);
+        assert!(bench.fused.sites_per_sec > 0.0);
+        assert!(bench.speedup > 0.0);
+        let doc = bench_to_json(&bench);
+        validate_solver_bench_json(&doc).unwrap();
+        // Rendered → parsed survives the schema check too (what CI does).
+        let parsed = Json::parse(&doc.render()).unwrap();
+        validate_solver_bench_json(&parsed).unwrap();
+        assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn schema_validation_rejects_malformed_documents() {
+        let bad = Json::parse(r#"{"schema":"qcd-bench-solver/v2"}"#).unwrap();
+        assert!(validate_solver_bench_json(&bad)
+            .unwrap_err()
+            .contains("schema"));
+        let bench = run_solver_bench(4, 1).unwrap();
+        let Json::Obj(mut members) = bench_to_json(&bench) else {
+            panic!("bench document must be an object");
+        };
+        members.retain(|(k, _)| k != "fused");
+        assert!(validate_solver_bench_json(&Json::Obj(members))
+            .unwrap_err()
+            .contains("fused"));
+        let zero_lat = Json::parse(
+            r#"{"schema":"qcd-bench-solver/v1","lattice":[4,4,4,0],"vl_bits":512,
+                "threads":1,"iterations":1,"backend":"fcmla"}"#,
+        )
+        .unwrap();
+        assert!(validate_solver_bench_json(&zero_lat)
+            .unwrap_err()
+            .contains("lattice"));
+    }
+
+    #[test]
+    fn zero_iterations_is_refused() {
+        assert!(run_solver_bench(4, 0).is_err());
+    }
+}

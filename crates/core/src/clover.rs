@@ -18,6 +18,7 @@ use crate::simd::CVec;
 use crate::tensor::gamma::Coeff;
 use crate::tensor::gamma_algebra::{GammaElement, SpinPerm};
 use crate::tensor::su3::{dagger, mat_mul_scalar, mat_vec, peek_link, ColorMatrix};
+use rayon::prelude::*;
 use std::sync::Arc;
 
 /// The six independent planes, in pair order.
@@ -170,9 +171,47 @@ impl CloverWilson {
         &self.wilson
     }
 
-    /// The site-local clover term `Σ_{µ<ν} σ_µν F_µν ψ` (vectorized: SU(3)
+    /// One site of the clover sum `Σ_{µ<ν} σ_µν F_µν ψ`: SU(3)
     /// matrix-vector products through the engine backends plus spin
-    /// coefficient ops).
+    /// coefficient ops, accumulated in registers.
+    fn site_clover(
+        &self,
+        psi: &FermionField,
+        osite: usize,
+        sigmas: &[SpinPerm; 6],
+    ) -> [[CVec; NCOLOR]; NSPIN] {
+        let eng = self.grid().engine();
+        let mut acc = [[eng.zero(); NCOLOR]; NSPIN];
+        for (p, sigma) in sigmas.iter().enumerate() {
+            // Load F words once per plane.
+            let fw: [[CVec; NCOLOR]; NCOLOR] = std::array::from_fn(|r| {
+                std::array::from_fn(|c| eng.load(self.f[p].word(osite, r * 3 + c)))
+            });
+            // F ψ for all four spins.
+            let f_psi: [[CVec; NCOLOR]; NSPIN] = std::array::from_fn(|s| {
+                let v: [CVec; NCOLOR] =
+                    std::array::from_fn(|c| eng.load(psi.word(osite, spinor_comp(s, c))));
+                mat_vec(eng, &fw, &v)
+            });
+            // Spin structure: out[r] += coeff[r] * (Fψ)[src[r]].
+            for r in 0..NSPIN {
+                let src = sigma.src[r];
+                for c in 0..NCOLOR {
+                    let term = match sigma.coeff[r] {
+                        Coeff::One => f_psi[src][c],
+                        Coeff::MinusOne => eng.neg(f_psi[src][c]),
+                        Coeff::I => eng.times_i(f_psi[src][c]),
+                        Coeff::MinusI => eng.times_minus_i(f_psi[src][c]),
+                    };
+                    acc[r][c] = eng.add(acc[r][c], term);
+                }
+            }
+        }
+        acc
+    }
+
+    /// The site-local clover term `Σ_{µ<ν} σ_µν F_µν ψ`, computed in
+    /// parallel over outer sites.
     pub fn clover_term(&self, psi: &FermionField) -> FermionField {
         let grid = self.grid().clone();
         let eng = grid.engine();
@@ -184,64 +223,96 @@ impl CloverWilson {
         qcd_trace::record_bytes(sites * (6 * 18 + 24) * 8, sites * 24 * 8);
         let mut out = FermionField::zero(grid.clone());
         let sigmas: [SpinPerm; 6] = std::array::from_fn(|p| sigma_munu(PLANES[p].0, PLANES[p].1));
-        for osite in 0..grid.osites() {
-            let mut acc = [[eng.zero(); NCOLOR]; NSPIN];
-            for (p, sigma) in sigmas.iter().enumerate() {
-                // Load F words once per plane.
-                let fw: [[CVec; NCOLOR]; NCOLOR] = std::array::from_fn(|r| {
-                    std::array::from_fn(|c| eng.load(self.f[p].word(osite, r * 3 + c)))
-                });
-                // F ψ for all four spins.
-                let f_psi: [[CVec; NCOLOR]; NSPIN] = std::array::from_fn(|s| {
-                    let v: [CVec; NCOLOR] =
-                        std::array::from_fn(|c| eng.load(psi.word(osite, spinor_comp(s, c))));
-                    mat_vec(eng, &fw, &v)
-                });
-                // Spin structure: out[r] += coeff[r] * (Fψ)[src[r]].
+        let word = eng.word_len();
+        let stride = out.site_stride();
+        out.data_mut()
+            .par_chunks_mut(stride)
+            .enumerate()
+            .for_each(|(osite, sw)| {
+                let acc = self.site_clover(psi, osite, &sigmas);
                 for r in 0..NSPIN {
-                    let src = sigma.src[r];
                     for c in 0..NCOLOR {
-                        let term = match sigma.coeff[r] {
-                            Coeff::One => f_psi[src][c],
-                            Coeff::MinusOne => eng.neg(f_psi[src][c]),
-                            Coeff::I => eng.times_i(f_psi[src][c]),
-                            Coeff::MinusI => eng.times_minus_i(f_psi[src][c]),
-                        };
-                        acc[r][c] = eng.add(acc[r][c], term);
+                        let comp = spinor_comp(r, c);
+                        eng.store(&mut sw[comp * word..(comp + 1) * word], acc[r][c]);
                     }
                 }
-            }
-            for r in 0..NSPIN {
-                for c in 0..NCOLOR {
-                    eng.store(out.word_mut(osite, spinor_comp(r, c)), acc[r][c]);
-                }
-            }
-        }
+            });
         out
+    }
+
+    /// `out += coef · Σ_{µ<ν} σ_µν F_µν ψ` with the scale-and-add fused
+    /// into the site store loop (one `fmla` per word) — the allocation-free
+    /// form [`Self::apply_into`] uses, sparing the full-field `scale` and
+    /// `add` passes of the unfused formulation. Opens no telemetry span
+    /// (span entry allocates); sites and bytes are recorded on the calling
+    /// thread and attributed to the enclosing span.
+    pub fn clover_term_axpy_into(&self, psi: &FermionField, coef: f64, out: &mut FermionField) {
+        let grid = self.grid().clone();
+        let eng = grid.engine();
+        let sites = grid.volume() as u64;
+        // As clover_term, plus the read of the destination spinor.
+        qcd_trace::record_sites(sites);
+        qcd_trace::record_bytes(sites * (6 * 18 + 2 * 24) * 8, sites * 24 * 8);
+        let sigmas: [SpinPerm; 6] = std::array::from_fn(|p| sigma_munu(PLANES[p].0, PLANES[p].1));
+        let c_dup = eng.dup_real(coef);
+        let word = eng.word_len();
+        let stride = out.site_stride();
+        out.data_mut()
+            .par_chunks_mut(stride)
+            .enumerate()
+            .for_each(|(osite, sw)| {
+                let acc = self.site_clover(psi, osite, &sigmas);
+                for r in 0..NSPIN {
+                    for c in 0..NCOLOR {
+                        let comp = spinor_comp(r, c);
+                        let w = &mut sw[comp * word..(comp + 1) * word];
+                        let sv = eng.load(w);
+                        eng.store(w, eng.axpy_word(c_dup, acc[r][c], sv));
+                    }
+                }
+            });
     }
 
     /// `M ψ` with the clover improvement.
     pub fn apply(&self, psi: &FermionField) -> FermionField {
-        let mut out = self.wilson.apply(psi);
-        let mut cl = self.clover_term(psi);
-        cl.scale(-0.5 * self.c_sw);
-        out.add_assign_field(&cl);
+        let mut out = FermionField::zero(self.grid().clone());
+        self.apply_into(psi, &mut out);
         out
     }
 
     /// `M† ψ` — the clover term is hermitian and γ5-even, so only the
     /// Wilson part changes.
     pub fn apply_dag(&self, psi: &FermionField) -> FermionField {
-        let mut out = self.wilson.apply_dag(psi);
-        let mut cl = self.clover_term(psi);
-        cl.scale(-0.5 * self.c_sw);
-        out.add_assign_field(&cl);
+        let mut out = FermionField::zero(self.grid().clone());
+        self.apply_dag_into(psi, &mut out);
         out
+    }
+
+    /// `out = M ψ` in two fused sweeps: the Wilson dslash+mass store loop,
+    /// then the clover term fma'd on top.
+    pub fn apply_into(&self, psi: &FermionField, out: &mut FermionField) {
+        self.wilson.apply_into(psi, out);
+        self.clover_term_axpy_into(psi, -0.5 * self.c_sw, out);
+    }
+
+    /// `out = M† ψ` in two fused sweeps.
+    pub fn apply_dag_into(&self, psi: &FermionField, out: &mut FermionField) {
+        self.wilson.apply_dag_into(psi, out);
+        self.clover_term_axpy_into(psi, -0.5 * self.c_sw, out);
     }
 
     /// The normal operator `M†M`.
     pub fn mdag_m(&self, psi: &FermionField) -> FermionField {
-        self.apply_dag(&self.apply(psi))
+        let mut tmp = FermionField::zero(self.grid().clone());
+        let mut out = FermionField::zero(self.grid().clone());
+        self.mdag_m_into(psi, &mut tmp, &mut out);
+        out
+    }
+
+    /// `out = M†M ψ` using caller-provided storage (`tmp` holds `M ψ`).
+    pub fn mdag_m_into(&self, psi: &FermionField, tmp: &mut FermionField, out: &mut FermionField) {
+        self.apply_into(psi, tmp);
+        self.apply_dag_into(tmp, out);
     }
 }
 

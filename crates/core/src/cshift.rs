@@ -25,7 +25,7 @@ pub fn cshift_with<K: FieldKind, E: SveFloat>(
     disp: i32,
 ) -> Field<K, E> {
     let grid = f.grid().clone();
-    let eng = grid.engine().clone();
+    let eng = grid.engine();
     let _span = qcd_trace::span!("cshift", eng.ctx());
     let sites = grid.volume() as u64;
     let word_bytes = (K::NCOMP * 2 * std::mem::size_of::<E>()) as u64;

@@ -18,8 +18,10 @@
 //! Site kernels are independent, so outer sites run under Rayon — the
 //! thread-level parallelization Grid gets from OpenMP (paper, Section II-A).
 
+use crate::complex::Complex;
 use crate::field::{spinor_comp, FermionKind, Field, GaugeKind, HalfFermionKind};
 use crate::layout::{Grid, NCOLOR, NSPIN};
+use crate::reduce;
 use crate::simd::{CVec, SimdEngine};
 use crate::stencil::{dir_index, Stencil, StencilEntry};
 use crate::tensor::gamma::{proj_table, Coeff};
@@ -39,6 +41,15 @@ pub const HOPPING_READS_PER_SITE: u64 = 8 * 24 + 8 * 18;
 
 /// Real numbers written per site by the hopping term: one output spinor.
 pub const HOPPING_WRITES_PER_SITE: u64 = 24;
+
+/// Extra flops per site when the Wilson mass term `(m+4)ψ − ½(·)` is fused
+/// into the hopping store loop: one real scale (24) plus one real axpy
+/// (2 × 24) on the output spinor.
+pub const FUSED_MASS_AXPY_FLOPS_PER_SITE: u64 = 72;
+
+/// Extra flops per site for the fused inner-product accumulation: one
+/// conjugated complex FMA (8 flops) per complex component.
+pub const FUSED_DOT_FLOPS_PER_SITE: u64 = 96;
 
 /// Apply a projector coefficient to a SIMD word.
 #[inline]
@@ -97,60 +108,209 @@ impl<E: SveFloat> WilsonDirac<E> {
 
     /// `M ψ = (m + 4) ψ − ½ Dh ψ`.
     pub fn apply(&self, psi: &Field<FermionKind, E>) -> Field<FermionKind, E> {
-        let mut out = self.hopping(psi);
-        out.scale(-0.5);
-        out.axpy_inplace(self.mass + 4.0, psi);
+        let mut out = Field::<FermionKind, E>::zero(self.grid.clone());
+        self.apply_into(psi, &mut out);
         out
     }
 
     /// `M† ψ = (m + 4) ψ − ½ Dh† ψ`.
     pub fn apply_dag(&self, psi: &Field<FermionKind, E>) -> Field<FermionKind, E> {
-        let mut out = self.hopping_dag(psi);
-        out.scale(-0.5);
-        out.axpy_inplace(self.mass + 4.0, psi);
+        let mut out = Field::<FermionKind, E>::zero(self.grid.clone());
+        self.apply_dag_into(psi, &mut out);
         out
     }
 
     /// The normal operator `M† M ψ` — hermitian positive definite, the
     /// operator Conjugate Gradient inverts.
     pub fn mdag_m(&self, psi: &Field<FermionKind, E>) -> Field<FermionKind, E> {
-        self.apply_dag(&self.apply(psi))
+        let mut tmp = Field::<FermionKind, E>::zero(self.grid.clone());
+        let mut out = Field::<FermionKind, E>::zero(self.grid.clone());
+        self.mdag_m_into(psi, &mut tmp, &mut out);
+        out
+    }
+
+    /// `out = Dh ψ` without allocating.
+    pub fn hopping_into(&self, psi: &Field<FermionKind, E>, out: &mut Field<FermionKind, E>) {
+        self.hopping_fused(psi, out, false, None, None);
+    }
+
+    /// `out = Dh† ψ` without allocating.
+    pub fn hopping_dag_into(&self, psi: &Field<FermionKind, E>, out: &mut Field<FermionKind, E>) {
+        self.hopping_fused(psi, out, true, None, None);
+    }
+
+    /// `out = M ψ` in a single fused sweep: the `(m+4)ψ − ½(·)` mass axpy
+    /// runs per word inside the hopping store loop, so the spinor never
+    /// makes the extra `scale` + `axpy` passes through memory. Bit-identical
+    /// to [`Self::apply`] (same engine ops per word, different sweep
+    /// structure only).
+    pub fn apply_into(&self, psi: &Field<FermionKind, E>, out: &mut Field<FermionKind, E>) {
+        self.hopping_fused(psi, out, false, Some(self.mass + 4.0), None);
+    }
+
+    /// `out = M† ψ` in a single fused sweep.
+    pub fn apply_dag_into(&self, psi: &Field<FermionKind, E>, out: &mut Field<FermionKind, E>) {
+        self.hopping_fused(psi, out, true, Some(self.mass + 4.0), None);
+    }
+
+    /// `out = M† ψ` fused with the reduction `Re ⟨dot_with, out⟩`, which
+    /// accumulates inside the same store loop using the deterministic chunk
+    /// tree of [`crate::reduce`] — bit-identical to calling
+    /// `dot_with.inner(&out).re` afterwards, without the extra sweep.
+    pub fn apply_dag_into_dot(
+        &self,
+        psi: &Field<FermionKind, E>,
+        out: &mut Field<FermionKind, E>,
+        dot_with: &Field<FermionKind, E>,
+    ) -> f64 {
+        self.hopping_fused(psi, out, true, Some(self.mass + 4.0), Some(dot_with))
+            .re
+    }
+
+    /// `out = M† M ψ` using caller-provided storage (`tmp` holds `M ψ`).
+    pub fn mdag_m_into(
+        &self,
+        psi: &Field<FermionKind, E>,
+        tmp: &mut Field<FermionKind, E>,
+        out: &mut Field<FermionKind, E>,
+    ) {
+        self.apply_into(psi, tmp);
+        self.apply_dag_into(tmp, out);
+    }
+
+    /// `out = M† M ψ` returning `Re ⟨ψ, M†M ψ⟩` fused into the second
+    /// sweep — the CG curvature term at zero extra memory traffic.
+    pub fn mdag_m_into_dot(
+        &self,
+        psi: &Field<FermionKind, E>,
+        tmp: &mut Field<FermionKind, E>,
+        out: &mut Field<FermionKind, E>,
+    ) -> f64 {
+        self.apply_into(psi, tmp);
+        self.apply_dag_into_dot(tmp, out, psi)
     }
 
     fn hopping_impl(&self, psi: &Field<FermionKind, E>, dagger: bool) -> Field<FermionKind, E> {
+        let mut out = Field::<FermionKind, E>::zero(self.grid.clone());
+        let _span = qcd_trace::span!(
+            if dagger { "dirac.hop_dag" } else { "dirac.hop" },
+            self.grid.engine().ctx()
+        );
+        self.hopping_fused(psi, &mut out, dagger, None, None);
+        out
+    }
+
+    /// The one parallel sweep behind every hopping/apply variant: per
+    /// reduction chunk of [`reduce::CHUNK_SITES`] outer sites, compute the
+    /// eight-leg stencil accumulator, optionally fuse the `(m+4)ψ − ½(·)`
+    /// mass axpy into the store (`mass_axpy = Some(m+4)`), and optionally
+    /// accumulate `⟨dot_with, out⟩` with the deterministic chunk tree.
+    ///
+    /// The fused mass term performs, per word, the exact op sequence of the
+    /// unfused path (`scale(-0.5)` then `axpy(m+4, ψ)`), and the fused dot
+    /// accumulates in the word order and chunk grouping of
+    /// [`Field::inner`] — both therefore match their unfused counterparts
+    /// bit for bit.
+    fn hopping_fused(
+        &self,
+        psi: &Field<FermionKind, E>,
+        out: &mut Field<FermionKind, E>,
+        dagger: bool,
+        mass_axpy: Option<f64>,
+        dot_with: Option<&Field<FermionKind, E>>,
+    ) -> Complex {
         assert!(
             Arc::ptr_eq(psi.grid(), &self.grid),
             "fermion field lives on a different grid"
         );
-        let mut out = Field::<FermionKind, E>::zero(self.grid.clone());
-        let eng = self.grid.engine();
-        let _span = qcd_trace::span!(
-            if dagger { "dirac.hop_dag" } else { "dirac.hop" },
-            eng.ctx()
+        assert!(
+            Arc::ptr_eq(out.grid(), &self.grid),
+            "output field lives on a different grid"
         );
+        let eng = self.grid.engine();
         let sites = self.grid.volume() as u64;
         let esize = std::mem::size_of::<E>() as u64;
+        let mut flops = HOPPING_FLOPS_PER_SITE;
+        let mut reads = HOPPING_READS_PER_SITE;
+        if mass_axpy.is_some() {
+            flops += FUSED_MASS_AXPY_FLOPS_PER_SITE;
+            reads += HOPPING_WRITES_PER_SITE;
+        }
+        if dot_with.is_some() {
+            flops += FUSED_DOT_FLOPS_PER_SITE;
+            reads += HOPPING_WRITES_PER_SITE;
+        }
         qcd_trace::record_sites(sites);
-        qcd_trace::record_flops(sites * HOPPING_FLOPS_PER_SITE);
+        qcd_trace::record_flops(sites * flops);
         qcd_trace::record_bytes(
-            sites * HOPPING_READS_PER_SITE * esize,
+            sites * reads * esize,
             sites * HOPPING_WRITES_PER_SITE * esize,
         );
         let word = eng.word_len();
         let stride = out.site_stride();
-        out.data_mut()
-            .par_chunks_mut(stride)
-            .enumerate()
-            .for_each(|(osite, chunk)| {
+        let cs = reduce::CHUNK_SITES * stride;
+        let mass_dup = mass_axpy.map(|m| eng.dup_real(m));
+        let neg_half = eng.dup_real(-0.5);
+        let data = out.data_mut();
+        let kernel = |ci: usize, chunk: &mut [E]| -> Complex {
+            let mut acc_dot = eng.zero();
+            for (k, site) in chunk.chunks_exact_mut(stride).enumerate() {
+                let osite = ci * reduce::CHUNK_SITES + k;
                 let acc = self.site_hopping(psi, osite, dagger);
                 for s in 0..NSPIN {
                     for c in 0..NCOLOR {
                         let comp = spinor_comp(s, c);
-                        eng.store(&mut chunk[comp * word..(comp + 1) * word], acc[s][c]);
+                        let mut r = acc[s][c];
+                        if let Some(m_dup) = mass_dup {
+                            let hs = eng.scale(neg_half, r);
+                            let pv = eng.load(psi.word(osite, comp));
+                            r = eng.axpy_word(m_dup, pv, hs);
+                        }
+                        eng.store(&mut site[comp * word..(comp + 1) * word], r);
+                        if let Some(d) = dot_with {
+                            let dv = eng.load(d.word(osite, comp));
+                            acc_dot = eng.madd_conj(acc_dot, dv, r);
+                        }
                     }
                 }
-            });
-        out
+            }
+            if dot_with.is_some() {
+                eng.reduce_sum(acc_dot)
+            } else {
+                Complex::ZERO
+            }
+        };
+        match dot_with {
+            None => {
+                data.par_chunks_mut(cs).enumerate().for_each(|(ci, chunk)| {
+                    kernel(ci, chunk);
+                });
+                Complex::ZERO
+            }
+            Some(d) => {
+                assert!(
+                    Arc::ptr_eq(d.grid(), &self.grid),
+                    "dot field lives on a different grid"
+                );
+                let n = reduce::n_chunks(data.len(), cs);
+                if rayon::current_num_threads() <= 1 || n <= 1 {
+                    let len = data.len();
+                    let mut lf = |ci: usize| {
+                        let lo = ci * cs;
+                        let hi = (lo + cs).min(len);
+                        kernel(ci, &mut data[lo..hi])
+                    };
+                    reduce::reduce_serial(n, &mut lf, &|a, b| a + b)
+                } else {
+                    let leaves: Vec<Complex> = data
+                        .par_chunks_mut(cs)
+                        .enumerate()
+                        .map(|(ci, chunk)| kernel(ci, chunk))
+                        .collect();
+                    reduce::combine_tree(&leaves, &|a, b| a + b)
+                }
+            }
+        }
     }
 
     /// All eight legs of the hopping term for one outer site.
@@ -408,20 +568,29 @@ pub fn hopping_via_cshift<E: SveFloat>(
 
 /// Multiply a fermion field by γ5 (diag(1,1,−1,−1) on the spin index).
 pub fn gamma5<E: SveFloat>(psi: &Field<FermionKind, E>) -> Field<FermionKind, E> {
-    let grid = psi.grid().clone();
-    let eng = grid.engine().clone();
     let mut out = psi.clone();
-    for osite in 0..grid.osites() {
+    gamma5_inplace(&mut out);
+    out
+}
+
+/// Multiply a fermion field by γ5 in place (negate spin components 2, 3) —
+/// the allocation-free form the fused even-odd solver uses.
+pub fn gamma5_inplace<E: SveFloat>(psi: &mut Field<FermionKind, E>) {
+    let grid = psi.grid().clone();
+    let eng = grid.engine();
+    let word = eng.word_len();
+    let stride = psi.site_stride();
+    psi.data_mut().par_chunks_mut(stride).for_each(|site| {
         for s in 2..NSPIN {
             for c in 0..NCOLOR {
                 let comp = spinor_comp(s, c);
-                let v = eng.load(psi.word(osite, comp));
+                let w = &mut site[comp * word..(comp + 1) * word];
+                let v = eng.load(w);
                 let n = eng.neg(v);
-                eng.store(out.word_mut(osite, comp), n);
+                eng.store(w, n);
             }
         }
-    }
-    out
+    });
 }
 
 #[cfg(test)]

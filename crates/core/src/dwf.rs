@@ -19,9 +19,11 @@
 //! which is exactly why wide vectors pay off for domain-wall QCD.
 
 use crate::dirac::{gamma5, WilsonDirac};
-use crate::field::{FermionField, GaugeField};
+use crate::field::{spinor_comp, FermionField, GaugeField};
+use crate::layout::NCOLOR;
 use crate::solver::SolveReport;
 use crate::Complex;
+use rayon::prelude::*;
 
 /// Chiral projection `P₊ ψ = (ψ + γ5 ψ)/2`.
 pub fn chiral_plus(psi: &FermionField) -> FermionField {
@@ -38,6 +40,37 @@ pub fn chiral_minus(psi: &FermionField) -> FermionField {
     out.axpy_inplace(-1.0, &g);
     out.scale(0.5);
     out
+}
+
+/// `out += coef · P± x` without materializing the projection: γ5 is
+/// `diag(1,1,−1,−1)` on spin, so `P₊` keeps spin rows 0,1 and `P₋` keeps
+/// rows 2,3 exactly — the kept components take one fused `fmla` per word
+/// and the dropped ones are untouched. This is the 5-D hopping leg of the
+/// domain-wall operator as a single allocation-free parallel sweep.
+pub fn axpy_chiral(out: &mut FermionField, coef: f64, x: &FermionField, plus: bool) {
+    let grid = out.grid().clone();
+    let eng = grid.engine();
+    let word = eng.word_len();
+    let stride = out.site_stride();
+    let c_dup = eng.dup_real(coef);
+    let spins = if plus { 0..2 } else { 2..4 };
+    let xd = x.data();
+    out.data_mut()
+        .par_chunks_mut(stride)
+        .enumerate()
+        .for_each(|(site, sw)| {
+            let base = site * stride;
+            for s in spins.clone() {
+                for c in 0..NCOLOR {
+                    let comp = spinor_comp(s, c);
+                    let w = &mut sw[comp * word..(comp + 1) * word];
+                    let off = base + comp * word;
+                    let xv = eng.load(&xd[off..off + word]);
+                    let sv = eng.load(w);
+                    eng.store(w, eng.axpy_word(c_dup, xv, sv));
+                }
+            }
+        });
 }
 
 /// A 5-D fermion: `Ls` four-dimensional spinor fields.
@@ -103,6 +136,17 @@ impl Fermion5 {
         }
     }
 
+    /// Fused `self += a * x` returning the new `|self|²`, slice-wise (one
+    /// pass per slice, partial norms summed in slice order so the result is
+    /// deterministic).
+    pub fn axpy_norm2(&mut self, a: f64, x: &Fermion5) -> f64 {
+        self.slices
+            .iter_mut()
+            .zip(&x.slices)
+            .map(|(s, xs)| s.axpy_norm2(a, xs))
+            .sum()
+    }
+
     /// Maximum absolute difference across all slices.
     pub fn max_abs_diff(&self, other: &Fermion5) -> f64 {
         self.slices
@@ -142,61 +186,78 @@ impl DomainWall {
         &self.wilson
     }
 
-    fn apply_impl(&self, psi: &Fermion5, dagger: bool) -> Fermion5 {
+    fn apply_impl_into(&self, psi: &Fermion5, out: &mut Fermion5, dagger: bool) {
         assert_eq!(psi.ls(), self.ls);
+        assert_eq!(out.ls(), self.ls);
         let ls = self.ls;
-        let grid = psi.slices[0].grid().clone();
-        let mut out = Fermion5::zero(grid, ls);
+        // 5-D hopping projectors: the adjoint swaps P₋ and P₊ (they are
+        // hermitian and the shift direction reverses).
+        let (up_plus, dn_plus) = if dagger { (true, false) } else { (false, true) };
         for s in 0..ls {
-            // 4-D part: (D_W + 1) ψ_s, slice-diagonal.
-            let mut slice = if dagger {
-                self.wilson.apply_dag(&psi.slices[s])
+            let slice = &mut out.slices[s];
+            // 4-D part: (D_W + 1) ψ_s, slice-diagonal; the Wilson mass axpy
+            // is fused into the hopping sweep.
+            if dagger {
+                self.wilson.apply_dag_into(&psi.slices[s], slice);
             } else {
-                self.wilson.apply(&psi.slices[s])
-            };
+                self.wilson.apply_into(&psi.slices[s], slice);
+            }
             slice.axpy_inplace(1.0, &psi.slices[s]);
 
-            // 5-D hopping. The adjoint swaps P₋ and P₊ (they are hermitian
-            // and the shift direction reverses).
-            type Projector = fn(&FermionField) -> FermionField;
-            let (proj_up, proj_dn): (Projector, Projector) = if dagger {
-                (chiral_plus, chiral_minus)
-            } else {
-                (chiral_minus, chiral_plus)
-            };
             // Up leg (needs slice s+1): −P ψ_{s+1}, wrapping with −m_f.
             let (up_idx, up_coef) = if s + 1 == ls {
                 (0, self.mf)
             } else {
                 (s + 1, -1.0)
             };
-            slice.axpy_inplace(up_coef, &proj_up(&psi.slices[up_idx]));
+            axpy_chiral(slice, up_coef, &psi.slices[up_idx], up_plus);
             // Down leg (needs slice s−1): −P ψ_{s−1}, wrapping with −m_f.
             let (dn_idx, dn_coef) = if s == 0 {
                 (ls - 1, self.mf)
             } else {
                 (s - 1, -1.0)
             };
-            slice.axpy_inplace(dn_coef, &proj_dn(&psi.slices[dn_idx]));
-
-            out.slices[s] = slice;
+            axpy_chiral(slice, dn_coef, &psi.slices[dn_idx], dn_plus);
         }
-        out
     }
 
     /// `D ψ`.
     pub fn apply(&self, psi: &Fermion5) -> Fermion5 {
-        self.apply_impl(psi, false)
+        let mut out = Fermion5::zero(psi.slices[0].grid().clone(), psi.ls());
+        self.apply_into(psi, &mut out);
+        out
     }
 
     /// `D† ψ`.
     pub fn apply_dag(&self, psi: &Fermion5) -> Fermion5 {
-        self.apply_impl(psi, true)
+        let mut out = Fermion5::zero(psi.slices[0].grid().clone(), psi.ls());
+        self.apply_dag_into(psi, &mut out);
+        out
+    }
+
+    /// `out = D ψ` without allocating.
+    pub fn apply_into(&self, psi: &Fermion5, out: &mut Fermion5) {
+        self.apply_impl_into(psi, out, false);
+    }
+
+    /// `out = D† ψ` without allocating.
+    pub fn apply_dag_into(&self, psi: &Fermion5, out: &mut Fermion5) {
+        self.apply_impl_into(psi, out, true);
     }
 
     /// The normal operator `D†D`.
     pub fn ddag_d(&self, psi: &Fermion5) -> Fermion5 {
-        self.apply_dag(&self.apply(psi))
+        let grid = psi.slices[0].grid().clone();
+        let mut tmp = Fermion5::zero(grid.clone(), psi.ls());
+        let mut out = Fermion5::zero(grid, psi.ls());
+        self.ddag_d_into(psi, &mut tmp, &mut out);
+        out
+    }
+
+    /// `out = D†D ψ` using caller-provided storage (`tmp` holds `D ψ`).
+    pub fn ddag_d_into(&self, psi: &Fermion5, tmp: &mut Fermion5, out: &mut Fermion5) {
+        self.apply_into(psi, tmp);
+        self.apply_dag_into(tmp, out);
     }
 }
 
@@ -210,35 +271,44 @@ pub fn r5_gamma5(psi: &Fermion5) -> Fermion5 {
 }
 
 /// Conjugate Gradient on the domain-wall normal equations `D†D x = b`.
+///
+/// Runs allocation-free in steady state: the `D ψ` intermediate and the
+/// operator output live in two preallocated 5-D workspaces reused across
+/// iterations, the residual update is the fused `axpy_norm2` sweep, and no
+/// per-iteration telemetry span is opened (span entry allocates; the
+/// solve-level span still collects flops and bytes).
 pub fn cg_dwf(op: &DomainWall, b: &Fermion5, tol: f64, max_iter: usize) -> (Fermion5, SolveReport) {
     let b_norm2 = b.norm2();
     assert!(b_norm2 > 0.0, "CG needs a nonzero right-hand side");
     let grid = b.slices[0].grid().clone();
     let span = qcd_trace::span!("solver.cg_dwf", grid.engine().ctx());
-    let mut x = Fermion5::zero(grid.clone(), b.ls());
+    let ls = b.ls();
+    let mut x = Fermion5::zero(grid.clone(), ls);
     let mut r = b.clone();
     let mut p = r.clone();
+    let mut tmp = Fermion5::zero(grid.clone(), ls);
+    let mut ap = Fermion5::zero(grid.clone(), ls);
     let mut r2 = r.norm2();
     let target = tol * tol * b_norm2;
-    let mut history = vec![(r2 / b_norm2).sqrt()];
+    let mut history = Vec::with_capacity(max_iter + 1);
+    history.push((r2 / b_norm2).sqrt());
     let mut iterations = 0;
     while iterations < max_iter && r2 > target {
-        let _iter_span = qcd_trace::span!("iter", grid.engine().ctx());
-        let ap = op.ddag_d(&p);
+        op.ddag_d_into(&p, &mut tmp, &mut ap);
         let p_ap = p.inner(&ap).re;
         assert!(p_ap > 0.0, "operator not HPD?");
         let alpha = r2 / p_ap;
         x.axpy_inplace(alpha, &p);
-        r.axpy_inplace(-alpha, &ap);
-        let r2_new = r.norm2();
+        let r2_new = r.axpy_norm2(-alpha, &ap);
         p.aypx(r2_new / r2, &r);
         r2 = r2_new;
         iterations += 1;
         history.push((r2 / b_norm2).sqrt());
     }
-    let mut true_r = Fermion5::zero(grid.clone(), b.ls());
-    true_r.sub(b, &op.ddag_d(&x));
-    let residual = (true_r.norm2() / b_norm2).sqrt();
+    // True residual check, reusing the workspaces and the spent residual.
+    op.ddag_d_into(&x, &mut tmp, &mut ap);
+    r.sub(b, &ap);
+    let residual = (r.norm2() / b_norm2).sqrt();
     (
         x,
         SolveReport {

@@ -22,10 +22,10 @@
 //! preserved and measured; the memory-halving is not (documented
 //! simplification).
 
-use crate::dirac::{gamma5, WilsonDirac};
+use crate::dirac::{gamma5_inplace, WilsonDirac};
 use crate::field::{FermionField, Field, FieldKind};
 use crate::layout::{delex, Grid, NDIM};
-use crate::solver::{cg_op, SolveReport};
+use crate::solver::{cg_ws_from_state, CgState, SolveReport, SolverWorkspace};
 use std::sync::Arc;
 use sve::PReg;
 
@@ -48,7 +48,7 @@ pub fn vnode_parity_masks(grid: &Grid) -> [PReg; 2] {
 pub fn parity_project<K: FieldKind>(f: &Field<K>, parity: usize) -> Field<K> {
     assert!(parity < 2);
     let grid = f.grid().clone();
-    let eng = grid.engine().clone();
+    let eng = grid.engine();
     let masks = vnode_parity_masks(&grid);
     let mut out = Field::<K>::zero(grid.clone());
     let zero = eng.zero();
@@ -97,6 +97,11 @@ fn osite_parity_mask(grid: &Grid, masks: &[PReg; 2], osite: usize, parity: usize
 /// Schur-complement (even-odd preconditioned) Wilson solve: `M x = b`
 /// through CG on the normal equations of `S = a − Dh²/(4a)` restricted to
 /// the even checkerboard, followed by back-substitution for the odd sites.
+///
+/// Runs on the allocation-free path: one [`SolverWorkspace`] carries every
+/// hopping intermediate of the nested `S†S` application, so a steady-state
+/// CG iteration (four hopping sweeps plus the fused BLAS) allocates
+/// nothing.
 pub fn solve_eo(
     op: &WilsonDirac,
     b: &FermionField,
@@ -108,39 +113,58 @@ pub fn solve_eo(
     let a = op.mass + 4.0;
     let be = parity_project(b, 0);
     let bo = parity_project(b, 1);
+    let mut ws = SolverWorkspace::new(grid.clone());
 
     // b'_e = b_e + D_eo b_o / (2a).
-    let mut bp = op.hopping(&bo); // odd-supported input -> even-supported output
+    let mut bp = FermionField::zero(grid.clone());
+    op.hopping_into(&bo, &mut bp); // odd-supported input -> even-supported
     bp.scale(0.5 / a);
     bp.add_assign_field(&be);
 
-    // S v = a v − Dh(Dh v) / (4a) for even-supported v.
-    let s = |v: &FermionField| {
-        let dd = op.hopping(&op.hopping(v));
-        let mut out = v.clone();
-        out.scale(a);
-        out.axpy_inplace(-0.25 / a, &dd);
-        out
-    };
-    // γ5-hermiticity gives S† = γ5 S γ5 (γ5 is parity-diagonal).
-    let s_dag = |v: &FermionField| gamma5(&s(&gamma5(v)));
+    // rhs = S† b'_e. γ5-hermiticity gives S† = γ5 S γ5 (γ5 is
+    // parity-diagonal), with S w = a w − Dh(Dh w)/(4a) applied in place.
+    let mut rhs = bp;
+    gamma5_inplace(&mut rhs);
+    {
+        let SolverWorkspace { tmp, hop, .. } = &mut ws;
+        op.hopping_into(&rhs, hop);
+        op.hopping_into(hop, tmp);
+    }
+    rhs.scale(a);
+    rhs.axpy_inplace(-0.25 / a, &ws.tmp);
+    gamma5_inplace(&mut rhs);
 
-    let rhs = s_dag(&bp);
-    let (xe, inner_report) = cg_op(|v| s_dag(&s(v)), &rhs, tol, max_iter);
+    // A v = S†S v into ws.ap, returning the CG curvature Re ⟨v, A v⟩.
+    // The second Schur application runs in place on the output field.
+    let apply = |v: &FermionField, ws: &mut SolverWorkspace| {
+        let SolverWorkspace { tmp, ap, hop } = ws;
+        op.hopping_into(v, hop);
+        op.hopping_into(hop, tmp);
+        ap.scale_axpy_from(a, v, -0.25 / a, tmp); // ap = S v
+        gamma5_inplace(ap);
+        op.hopping_into(ap, hop);
+        op.hopping_into(hop, tmp);
+        ap.scale(a);
+        ap.axpy_inplace(-0.25 / a, tmp);
+        gamma5_inplace(ap); // ap = γ5 S γ5 (S v) = S†S v
+        v.inner(ap).re
+    };
+    let state = CgState::new(&rhs);
+    let (xe, inner_report) = cg_ws_from_state(apply, &rhs, &mut ws, state, tol, max_iter);
 
     // Back-substitution: x_o = (b_o + ½ D_oe x_e) / a.
-    let mut xo = op.hopping(&xe); // even-supported input -> odd-supported output
+    let xo = &mut ws.hop;
+    op.hopping_into(&xe, xo); // even-supported input -> odd-supported
     xo.scale(0.5);
     xo.add_assign_field(&bo);
     xo.scale(1.0 / a);
 
     let mut x = xe;
-    x.add_assign_field(&xo);
+    x.add_assign_field(&ws.hop);
 
-    // True residual of the original full system.
-    let mut diff = FermionField::zero(grid.clone());
-    diff.sub(b, &op.apply(&x));
-    let residual = (diff.norm2() / b.norm2()).sqrt();
+    // True residual of the original full system (one fused sweep).
+    op.apply_into(&x, &mut ws.tmp);
+    let residual = (ws.ap.sub_norm2(b, &ws.tmp) / b.norm2()).sqrt();
     (
         x,
         SolveReport {

@@ -7,11 +7,22 @@
 //! data and implement SVE ACLE only for data processing within functions"
 //! (Section V-A). Every arithmetic method below loads words, computes with
 //! the engine's intrinsics and stores back.
+//!
+//! All linear algebra runs in parallel over fixed chunks of
+//! [`reduce::CHUNK_SITES`] outer sites. Reductions (`inner`, `norm2` and the
+//! fused `*_norm2` kernels) produce one partial per chunk, in ascending word
+//! order, and combine partials with the fixed binary tree of [`reduce`] —
+//! so their results are bit-identical for any worker count, which keeps
+//! qcd-io's bit-exact checkpoint resume valid under threading. With a single
+//! worker every operation degrades to a direct loop that allocates nothing;
+//! the solvers' allocation-free steady state depends on that.
 
 use crate::complex::Complex;
 use crate::layout::{Coor, Grid};
+use crate::reduce;
 use crate::rng::{stream_id, uniform};
-use crate::simd::CVec;
+use crate::simd::{CVec, SimdEngine};
+use rayon::prelude::*;
 use std::marker::PhantomData;
 use std::sync::Arc;
 use sve::SveFloat;
@@ -180,150 +191,377 @@ impl<K: FieldKind, E: SveFloat> Field<K, E> {
         );
     }
 
-    /// `self = a * x + y` lane-wise (one fused `fmla` per word).
-    pub fn axpy(&mut self, a: f64, x: &Field<K, E>, y: &Field<K, E>) {
+    /// Scalars per parallel work unit / reduction chunk.
+    #[inline]
+    fn chunk_scalars(&self) -> usize {
+        reduce::CHUNK_SITES * K::NCOMP * self.grid.engine().word_len()
+    }
+
+    /// Map every word of `self` through `f` in place, in parallel.
+    fn map_words0(&mut self, f: impl Fn(&SimdEngine<E>, CVec) -> CVec + Sync) {
+        let cs = self.chunk_scalars();
+        let Field { grid, data, .. } = self;
+        let eng = grid.engine();
+        let w = eng.word_len();
+        data.par_chunks_mut(cs).for_each(|chunk| {
+            for sw in chunk.chunks_exact_mut(w) {
+                let sv = eng.load(sw);
+                eng.store(sw, f(eng, sv));
+            }
+        });
+    }
+
+    /// Map every word of `self` through `f(self_word, x_word)` in place, in
+    /// parallel.
+    fn map_words1(
+        &mut self,
+        x: &Field<K, E>,
+        f: impl Fn(&SimdEngine<E>, CVec, CVec) -> CVec + Sync,
+    ) {
+        self.assert_compatible(x);
+        let cs = self.chunk_scalars();
+        let Field { grid, data, .. } = self;
+        let eng = grid.engine();
+        let w = eng.word_len();
+        let xd = x.data();
+        data.par_chunks_mut(cs).enumerate().for_each(|(ci, chunk)| {
+            let base = ci * cs;
+            for (j, sw) in chunk.chunks_exact_mut(w).enumerate() {
+                let off = base + j * w;
+                let sv = eng.load(sw);
+                let xv = eng.load(&xd[off..off + w]);
+                eng.store(sw, f(eng, sv, xv));
+            }
+        });
+    }
+
+    /// Overwrite every word of `self` with `f(x_word, y_word)`, in parallel.
+    fn map_words2(
+        &mut self,
+        x: &Field<K, E>,
+        y: &Field<K, E>,
+        f: impl Fn(&SimdEngine<E>, CVec, CVec) -> CVec + Sync,
+    ) {
         self.assert_compatible(x);
         self.assert_compatible(y);
-        let eng = self.grid.engine().clone();
-        let a_dup = eng.dup_real(a);
-        for osite in 0..self.grid.osites() {
-            for comp in 0..K::NCOMP {
-                let xv = eng.load(x.word(osite, comp));
-                let yv = eng.load(y.word(osite, comp));
-                let r = eng.axpy_word(a_dup, xv, yv);
-                eng.store(self.word_mut(osite, comp), r);
+        let cs = self.chunk_scalars();
+        let Field { grid, data, .. } = self;
+        let eng = grid.engine();
+        let w = eng.word_len();
+        let xd = x.data();
+        let yd = y.data();
+        data.par_chunks_mut(cs).enumerate().for_each(|(ci, chunk)| {
+            let base = ci * cs;
+            for (j, sw) in chunk.chunks_exact_mut(w).enumerate() {
+                let off = base + j * w;
+                let xv = eng.load(&xd[off..off + w]);
+                let yv = eng.load(&yd[off..off + w]);
+                eng.store(sw, f(eng, xv, yv));
             }
+        });
+    }
+
+    /// Deterministic chunked tree reduction over this field's chunks.
+    /// `leaf(chunk_index, chunk)` must accumulate in ascending word order so
+    /// the serial and parallel paths agree bit-for-bit.
+    fn chunk_reduce<R: Copy + Send>(
+        &self,
+        leaf: impl Fn(usize, &[E]) -> R + Sync,
+        combine: impl Fn(R, R) -> R + Sync,
+    ) -> R {
+        let cs = self.chunk_scalars();
+        let n = reduce::n_chunks(self.data.len(), cs);
+        if rayon::current_num_threads() <= 1 || n <= 1 {
+            let mut lf = |ci: usize| {
+                let lo = ci * cs;
+                let hi = (lo + cs).min(self.data.len());
+                leaf(ci, &self.data[lo..hi])
+            };
+            reduce::reduce_serial(n, &mut lf, &combine)
+        } else {
+            let leaves: Vec<R> = self
+                .data
+                .par_chunks(cs)
+                .enumerate()
+                .map(|(ci, c)| leaf(ci, c))
+                .collect();
+            reduce::combine_tree(&leaves, &combine)
         }
+    }
+
+    /// As [`Self::chunk_reduce`], but the leaf also mutates its chunk (the
+    /// fused update+reduce kernels).
+    fn chunk_reduce_mut<R: Copy + Send>(
+        &mut self,
+        leaf: impl Fn(usize, &mut [E]) -> R + Sync,
+        combine: impl Fn(R, R) -> R + Sync,
+    ) -> R {
+        let cs = self.chunk_scalars();
+        let len = self.data.len();
+        let n = reduce::n_chunks(len, cs);
+        let data = &mut self.data;
+        if rayon::current_num_threads() <= 1 || n <= 1 {
+            let mut lf = |ci: usize| {
+                let lo = ci * cs;
+                let hi = (lo + cs).min(len);
+                leaf(ci, &mut data[lo..hi])
+            };
+            reduce::reduce_serial(n, &mut lf, &combine)
+        } else {
+            let leaves: Vec<R> = data
+                .par_chunks_mut(cs)
+                .enumerate()
+                .map(|(ci, c)| leaf(ci, c))
+                .collect();
+            reduce::combine_tree(&leaves, &combine)
+        }
+    }
+
+    /// `self = a * x + y` lane-wise (one fused `fmla` per word).
+    pub fn axpy(&mut self, a: f64, x: &Field<K, E>, y: &Field<K, E>) {
+        let a_dup = self.grid.engine().dup_real(a);
+        self.map_words2(x, y, move |eng, xv, yv| eng.axpy_word(a_dup, xv, yv));
     }
 
     /// `self += a * x`.
     pub fn axpy_inplace(&mut self, a: f64, x: &Field<K, E>) {
-        self.assert_compatible(x);
-        let eng = self.grid.engine().clone();
-        let a_dup = eng.dup_real(a);
-        for osite in 0..self.grid.osites() {
-            for comp in 0..K::NCOMP {
-                let xv = eng.load(x.word(osite, comp));
-                let sv = eng.load(self.word(osite, comp));
-                let r = eng.axpy_word(a_dup, xv, sv);
-                eng.store(self.word_mut(osite, comp), r);
-            }
-        }
+        let a_dup = self.grid.engine().dup_real(a);
+        self.map_words1(x, move |eng, sv, xv| eng.axpy_word(a_dup, xv, sv));
     }
 
     /// `self = x + a * self` (the CG search-direction update).
     pub fn aypx(&mut self, a: f64, x: &Field<K, E>) {
-        self.assert_compatible(x);
-        let eng = self.grid.engine().clone();
-        let a_dup = eng.dup_real(a);
-        for osite in 0..self.grid.osites() {
-            for comp in 0..K::NCOMP {
-                let xv = eng.load(x.word(osite, comp));
-                let sv = eng.load(self.word(osite, comp));
-                let r = eng.axpy_word(a_dup, sv, xv);
-                eng.store(self.word_mut(osite, comp), r);
-            }
-        }
+        let a_dup = self.grid.engine().dup_real(a);
+        self.map_words1(x, move |eng, sv, xv| eng.axpy_word(a_dup, sv, xv));
     }
 
     /// `self *= a` (real scale).
     pub fn scale(&mut self, a: f64) {
-        let eng = self.grid.engine().clone();
-        let a_dup = eng.dup_real(a);
-        for osite in 0..self.grid.osites() {
-            for comp in 0..K::NCOMP {
-                let sv = eng.load(self.word(osite, comp));
-                let r = eng.scale(a_dup, sv);
-                eng.store(self.word_mut(osite, comp), r);
-            }
-        }
+        let a_dup = self.grid.engine().dup_real(a);
+        self.map_words0(move |eng, sv| eng.scale(a_dup, sv));
     }
 
     /// `self = x - y`.
     pub fn sub(&mut self, x: &Field<K, E>, y: &Field<K, E>) {
-        self.assert_compatible(x);
-        self.assert_compatible(y);
-        let eng = self.grid.engine().clone();
-        for osite in 0..self.grid.osites() {
-            for comp in 0..K::NCOMP {
-                let xv = eng.load(x.word(osite, comp));
-                let yv = eng.load(y.word(osite, comp));
-                let r = eng.sub(xv, yv);
-                eng.store(self.word_mut(osite, comp), r);
-            }
-        }
+        self.map_words2(x, y, |eng, xv, yv| eng.sub(xv, yv));
+    }
+
+    /// `self = a * x + c * y` (two-term real linear combination, computed
+    /// as `mul` then `fmla` — the exact op sequence of `scale` + `axpy`).
+    pub fn scale_axpy_from(&mut self, a: f64, x: &Field<K, E>, c: f64, y: &Field<K, E>) {
+        let eng = self.grid.engine();
+        let a_dup = eng.dup_real(a);
+        let c_dup = eng.dup_real(c);
+        self.map_words2(x, y, move |eng, xv, yv| {
+            eng.axpy_word(c_dup, yv, eng.scale(a_dup, xv))
+        });
     }
 
     /// `self += a * x` with a complex scalar `a` (splat + complex FMA).
     pub fn axpy_complex(&mut self, a: Complex, x: &Field<K, E>) {
-        self.assert_compatible(x);
-        let eng = self.grid.engine().clone();
-        let a_splat = eng.splat(a);
-        for osite in 0..self.grid.osites() {
-            for comp in 0..K::NCOMP {
-                let xv = eng.load(x.word(osite, comp));
-                let sv = eng.load(self.word(osite, comp));
-                let r = eng.madd(sv, a_splat, xv);
-                eng.store(self.word_mut(osite, comp), r);
-            }
-        }
+        let a_splat = self.grid.engine().splat(a);
+        self.map_words1(x, move |eng, sv, xv| eng.madd(sv, a_splat, xv));
     }
 
     /// `self *= a` with a complex scalar `a`.
     pub fn scale_complex(&mut self, a: Complex) {
-        let eng = self.grid.engine().clone();
-        let a_splat = eng.splat(a);
-        for osite in 0..self.grid.osites() {
-            for comp in 0..K::NCOMP {
-                let sv = eng.load(self.word(osite, comp));
-                let r = eng.mult(a_splat, sv);
-                eng.store(self.word_mut(osite, comp), r);
-            }
-        }
+        let a_splat = self.grid.engine().splat(a);
+        self.map_words0(move |eng, sv| eng.mult(a_splat, sv));
     }
 
     /// `self += x`.
     pub fn add_assign_field(&mut self, x: &Field<K, E>) {
+        self.map_words1(x, |eng, sv, xv| eng.add(sv, xv));
+    }
+
+    /// `self = y + a * x` with complex `a` — one sweep instead of
+    /// `clone` + `axpy_complex`.
+    pub fn caxpy_from(&mut self, a: Complex, x: &Field<K, E>, y: &Field<K, E>) {
+        let a_splat = self.grid.engine().splat(a);
+        self.map_words2(x, y, move |eng, xv, yv| eng.madd(yv, a_splat, xv));
+    }
+
+    /// `self += a * x + b * y` with complex scalars — one sweep instead of
+    /// two `axpy_complex` calls, same op sequence per word.
+    pub fn caxpy2(&mut self, a: Complex, x: &Field<K, E>, b: Complex, y: &Field<K, E>) {
         self.assert_compatible(x);
-        let eng = self.grid.engine().clone();
-        for osite in 0..self.grid.osites() {
-            for comp in 0..K::NCOMP {
-                let xv = eng.load(x.word(osite, comp));
-                let sv = eng.load(self.word(osite, comp));
-                let r = eng.add(sv, xv);
-                eng.store(self.word_mut(osite, comp), r);
+        self.assert_compatible(y);
+        let cs = self.chunk_scalars();
+        let Field { grid, data, .. } = self;
+        let eng = grid.engine();
+        let w = eng.word_len();
+        let a_splat = eng.splat(a);
+        let b_splat = eng.splat(b);
+        let xd = x.data();
+        let yd = y.data();
+        data.par_chunks_mut(cs).enumerate().for_each(|(ci, chunk)| {
+            let base = ci * cs;
+            for (j, sw) in chunk.chunks_exact_mut(w).enumerate() {
+                let off = base + j * w;
+                let sv = eng.load(sw);
+                let xv = eng.load(&xd[off..off + w]);
+                let yv = eng.load(&yd[off..off + w]);
+                let t = eng.madd(sv, a_splat, xv);
+                eng.store(sw, eng.madd(t, b_splat, yv));
             }
-        }
+        });
+    }
+
+    /// The BiCGStab search-direction update `self = r + beta * (self -
+    /// omega * v)`, fused into one sweep. Per word this performs the exact
+    /// op sequence of `axpy_complex(-omega, v)` + `scale_complex(beta)` +
+    /// `add_assign_field(r)`.
+    pub fn bicg_p_update(
+        &mut self,
+        beta: Complex,
+        omega: Complex,
+        v: &Field<K, E>,
+        r: &Field<K, E>,
+    ) {
+        self.assert_compatible(v);
+        self.assert_compatible(r);
+        let cs = self.chunk_scalars();
+        let Field { grid, data, .. } = self;
+        let eng = grid.engine();
+        let w = eng.word_len();
+        let no_splat = eng.splat(-omega);
+        let b_splat = eng.splat(beta);
+        let vd = v.data();
+        let rd = r.data();
+        data.par_chunks_mut(cs).enumerate().for_each(|(ci, chunk)| {
+            let base = ci * cs;
+            for (j, sw) in chunk.chunks_exact_mut(w).enumerate() {
+                let off = base + j * w;
+                let sv = eng.load(sw);
+                let vv = eng.load(&vd[off..off + w]);
+                let rv = eng.load(&rd[off..off + w]);
+                let t = eng.madd(sv, no_splat, vv);
+                let t = eng.mult(b_splat, t);
+                eng.store(sw, eng.add(t, rv));
+            }
+        });
     }
 
     /// Global inner product `<self, other> = Σ conj(self) · other`
-    /// (vectorized conjugate-FMA accumulation, one reduction at the end).
+    /// (vectorized conjugate-FMA accumulation, one chunk-tree reduction).
     pub fn inner(&self, other: &Field<K, E>) -> Complex {
         self.assert_compatible(other);
-        let eng = self.grid.engine();
-        let mut acc: CVec = eng.zero();
-        for osite in 0..self.grid.osites() {
-            for comp in 0..K::NCOMP {
-                let a = eng.load(self.word(osite, comp));
-                let b = eng.load(other.word(osite, comp));
-                acc = eng.madd_conj(acc, a, b);
-            }
-        }
-        eng.reduce_sum(acc)
+        let cs = self.chunk_scalars();
+        let eng = other.grid.engine();
+        let w = eng.word_len();
+        let od = other.data();
+        self.chunk_reduce(
+            |ci, chunk| {
+                let base = ci * cs;
+                let mut acc: CVec = eng.zero();
+                for (j, aw) in chunk.chunks_exact(w).enumerate() {
+                    let off = base + j * w;
+                    let a = eng.load(aw);
+                    let b = eng.load(&od[off..off + w]);
+                    acc = eng.madd_conj(acc, a, b);
+                }
+                eng.reduce_sum(acc)
+            },
+            |a, b| a + b,
+        )
     }
 
     /// Global squared norm `|self|^2` (always real, computed as a real
-    /// lane-square accumulation).
+    /// lane-square accumulation with the deterministic chunk tree).
     pub fn norm2(&self) -> f64 {
         let eng = self.grid.engine();
-        let mut total = 0.0;
-        for osite in 0..self.grid.osites() {
-            for comp in 0..K::NCOMP {
-                let a = eng.load(self.word(osite, comp));
-                total += eng.norm2(a);
-            }
-        }
-        total
+        let w = eng.word_len();
+        self.chunk_reduce(
+            |_, chunk| {
+                let mut t = 0.0;
+                for aw in chunk.chunks_exact(w) {
+                    t += eng.norm2(eng.load(aw));
+                }
+                t
+            },
+            |a, b| a + b,
+        )
+    }
+
+    /// Fused `self += a * x; |self|^2` in one sweep. Bit-identical to the
+    /// unfused pair: the norm accumulates the freshly computed words in the
+    /// same chunk order [`Self::norm2`] would read them back.
+    pub fn axpy_norm2(&mut self, a: f64, x: &Field<K, E>) -> f64 {
+        self.assert_compatible(x);
+        let cs = self.chunk_scalars();
+        let eng = x.grid.engine();
+        let w = eng.word_len();
+        let a_dup = eng.dup_real(a);
+        let xd = x.data();
+        self.chunk_reduce_mut(
+            |ci, chunk| {
+                let base = ci * cs;
+                let mut t = 0.0;
+                for (j, sw) in chunk.chunks_exact_mut(w).enumerate() {
+                    let off = base + j * w;
+                    let sv = eng.load(sw);
+                    let xv = eng.load(&xd[off..off + w]);
+                    let r = eng.axpy_word(a_dup, xv, sv);
+                    eng.store(sw, r);
+                    t += eng.norm2(r);
+                }
+                t
+            },
+            |a, b| a + b,
+        )
+    }
+
+    /// Fused `self += a * x; |self|^2` with complex `a`, one sweep.
+    pub fn caxpy_norm2(&mut self, a: Complex, x: &Field<K, E>) -> f64 {
+        self.assert_compatible(x);
+        let cs = self.chunk_scalars();
+        let eng = x.grid.engine();
+        let w = eng.word_len();
+        let a_splat = eng.splat(a);
+        let xd = x.data();
+        self.chunk_reduce_mut(
+            |ci, chunk| {
+                let base = ci * cs;
+                let mut t = 0.0;
+                for (j, sw) in chunk.chunks_exact_mut(w).enumerate() {
+                    let off = base + j * w;
+                    let sv = eng.load(sw);
+                    let xv = eng.load(&xd[off..off + w]);
+                    let r = eng.madd(sv, a_splat, xv);
+                    eng.store(sw, r);
+                    t += eng.norm2(r);
+                }
+                t
+            },
+            |a, b| a + b,
+        )
+    }
+
+    /// Fused `self = x - y; |self|^2` in one sweep (true-residual check).
+    pub fn sub_norm2(&mut self, x: &Field<K, E>, y: &Field<K, E>) -> f64 {
+        self.assert_compatible(x);
+        self.assert_compatible(y);
+        let cs = self.chunk_scalars();
+        let eng = x.grid.engine();
+        let w = eng.word_len();
+        let xd = x.data();
+        let yd = y.data();
+        self.chunk_reduce_mut(
+            |ci, chunk| {
+                let base = ci * cs;
+                let mut t = 0.0;
+                for (j, sw) in chunk.chunks_exact_mut(w).enumerate() {
+                    let off = base + j * w;
+                    let xv = eng.load(&xd[off..off + w]);
+                    let yv = eng.load(&yd[off..off + w]);
+                    let r = eng.sub(xv, yv);
+                    eng.store(sw, r);
+                    t += eng.norm2(r);
+                }
+                t
+            },
+            |a, b| a + b,
+        )
     }
 
     /// Maximum absolute difference to another field (test metric).
@@ -334,6 +572,71 @@ impl<K: FieldKind, E: SveFloat> Field<K, E> {
             .zip(&other.data)
             .map(|(a, b)| (a.to_f64() - b.to_f64()).abs())
             .fold(0.0, f64::max)
+    }
+}
+
+/// The fused CG iterate/residual update: `x += alpha * p`, `r -= alpha *
+/// ap`, returning the new `|r|^2` — one zipped sweep over `x`/`r` instead of
+/// two axpys plus a separate norm. Bit-identical to the unfused sequence
+/// (`axpy_inplace(alpha, p)`, `axpy_inplace(-alpha, ap)`, `norm2()`): every
+/// word sees the same engine ops, and the norm accumulates per reduction
+/// chunk in the order `norm2` would.
+pub fn cg_update_x_r<K: FieldKind, E: SveFloat>(
+    x: &mut Field<K, E>,
+    r: &mut Field<K, E>,
+    alpha: f64,
+    p: &Field<K, E>,
+    ap: &Field<K, E>,
+) -> f64 {
+    x.assert_compatible(r);
+    x.assert_compatible(p);
+    x.assert_compatible(ap);
+    let cs = x.chunk_scalars();
+    let eng = p.grid.engine();
+    let w = eng.word_len();
+    let a_dup = eng.dup_real(alpha);
+    let na_dup = eng.dup_real(-alpha);
+    let pd = p.data();
+    let apd = ap.data();
+    let xd = x.data.as_mut_slice();
+    let rd = r.data.as_mut_slice();
+    let len = xd.len();
+    let kernel = |ci: usize, xc: &mut [E], rc: &mut [E]| -> f64 {
+        let base = ci * cs;
+        let mut t = 0.0;
+        for (j, (xw, rw)) in xc
+            .chunks_exact_mut(w)
+            .zip(rc.chunks_exact_mut(w))
+            .enumerate()
+        {
+            let off = base + j * w;
+            let pv = eng.load(&pd[off..off + w]);
+            let apv = eng.load(&apd[off..off + w]);
+            let xv = eng.load(xw);
+            eng.store(xw, eng.axpy_word(a_dup, pv, xv));
+            let rv = eng.load(rw);
+            let rn = eng.axpy_word(na_dup, apv, rv);
+            eng.store(rw, rn);
+            t += eng.norm2(rn);
+        }
+        t
+    };
+    let n = reduce::n_chunks(len, cs);
+    if rayon::current_num_threads() <= 1 || n <= 1 {
+        let mut lf = |ci: usize| {
+            let lo = ci * cs;
+            let hi = (lo + cs).min(len);
+            kernel(ci, &mut xd[lo..hi], &mut rd[lo..hi])
+        };
+        reduce::reduce_serial(n, &mut lf, &|a, b| a + b)
+    } else {
+        let leaves: Vec<f64> = xd
+            .par_chunks_mut(cs)
+            .zip(rd.par_chunks_mut(cs))
+            .enumerate()
+            .map(|(ci, (xc, rc))| kernel(ci, xc, rc))
+            .collect();
+        reduce::combine_tree(&leaves, &|a, b| a + b)
     }
 }
 
@@ -508,5 +811,108 @@ mod tests {
         let a = FermionField::zero(grid());
         let b = FermionField::zero(grid());
         let _ = a.inner(&b);
+    }
+
+    #[test]
+    fn fused_axpy_norm2_matches_unfused_bitwise() {
+        let g = grid();
+        let x = FermionField::random(g.clone(), 11);
+        let mut a = FermionField::random(g.clone(), 12);
+        let mut b = a.clone();
+        let fused = a.axpy_norm2(-0.375, &x);
+        b.axpy_inplace(-0.375, &x);
+        let unfused = b.norm2();
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+        assert_eq!(fused.to_bits(), unfused.to_bits());
+    }
+
+    #[test]
+    fn fused_caxpy_norm2_matches_unfused_bitwise() {
+        let g = grid();
+        let z = Complex::new(0.3, -0.8);
+        let x = FermionField::random(g.clone(), 13);
+        let mut a = FermionField::random(g.clone(), 14);
+        let mut b = a.clone();
+        let fused = a.caxpy_norm2(z, &x);
+        b.axpy_complex(z, &x);
+        let unfused = b.norm2();
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+        assert_eq!(fused.to_bits(), unfused.to_bits());
+    }
+
+    #[test]
+    fn fused_sub_norm2_matches_unfused_bitwise() {
+        let g = grid();
+        let x = FermionField::random(g.clone(), 15);
+        let y = FermionField::random(g.clone(), 16);
+        let mut a = FermionField::zero(g.clone());
+        let mut b = FermionField::zero(g.clone());
+        let fused = a.sub_norm2(&x, &y);
+        b.sub(&x, &y);
+        let unfused = b.norm2();
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+        assert_eq!(fused.to_bits(), unfused.to_bits());
+    }
+
+    #[test]
+    fn fused_cg_update_matches_unfused_bitwise() {
+        let g = grid();
+        let p = FermionField::random(g.clone(), 17);
+        let ap = FermionField::random(g.clone(), 18);
+        let mut x1 = FermionField::random(g.clone(), 19);
+        let mut r1 = FermionField::random(g.clone(), 20);
+        let mut x2 = x1.clone();
+        let mut r2 = r1.clone();
+        let alpha = 0.6875;
+        let fused = cg_update_x_r(&mut x1, &mut r1, alpha, &p, &ap);
+        x2.axpy_inplace(alpha, &p);
+        r2.axpy_inplace(-alpha, &ap);
+        let unfused = r2.norm2();
+        assert_eq!(x1.max_abs_diff(&x2), 0.0);
+        assert_eq!(r1.max_abs_diff(&r2), 0.0);
+        assert_eq!(fused.to_bits(), unfused.to_bits());
+    }
+
+    #[test]
+    fn fused_caxpy_helpers_match_unfused_bitwise() {
+        let g = grid();
+        let a = Complex::new(-0.21, 0.43);
+        let b = Complex::new(0.9, 0.12);
+        let x = FermionField::random(g.clone(), 21);
+        let y = FermionField::random(g.clone(), 22);
+        // caxpy_from
+        let mut f1 = FermionField::zero(g.clone());
+        f1.caxpy_from(a, &x, &y);
+        let mut f2 = y.clone();
+        f2.axpy_complex(a, &x);
+        assert_eq!(f1.max_abs_diff(&f2), 0.0);
+        // caxpy2
+        let mut g1 = FermionField::random(g.clone(), 23);
+        let mut g2 = g1.clone();
+        g1.caxpy2(a, &x, b, &y);
+        g2.axpy_complex(a, &x);
+        g2.axpy_complex(b, &y);
+        assert_eq!(g1.max_abs_diff(&g2), 0.0);
+        // bicg_p_update
+        let mut p1 = FermionField::random(g.clone(), 24);
+        let mut p2 = p1.clone();
+        p1.bicg_p_update(b, a, &x, &y);
+        p2.axpy_complex(-a, &x);
+        p2.scale_complex(b);
+        p2.add_assign_field(&y);
+        assert_eq!(p1.max_abs_diff(&p2), 0.0);
+    }
+
+    #[test]
+    fn scale_axpy_from_matches_unfused_bitwise() {
+        let g = grid();
+        let x = FermionField::random(g.clone(), 25);
+        let y = FermionField::random(g.clone(), 26);
+        let mut f1 = FermionField::zero(g.clone());
+        f1.scale_axpy_from(1.7, &x, -0.25, &y);
+        let mut f2 = x.clone();
+        f2.scale(1.7);
+        f2.axpy_inplace(-0.25, &y);
+        assert_eq!(f1.max_abs_diff(&f2), 0.0);
     }
 }

@@ -58,6 +58,7 @@ pub mod field;
 pub mod gauge;
 pub mod layout;
 pub mod mixed;
+pub mod reduce;
 pub mod rng;
 pub mod simd;
 pub mod solver;
@@ -82,10 +83,12 @@ pub mod prelude {
     };
     pub use crate::cshift::cshift;
     pub use crate::dirac::{
-        gamma5, hopping_via_cshift, mult_gauge, project_half, reconstruct_half, WilsonDirac,
+        gamma5, gamma5_inplace, hopping_via_cshift, mult_gauge, project_half, reconstruct_half,
+        WilsonDirac,
     };
-    pub use crate::dwf::{cg_dwf, chiral_minus, chiral_plus, DomainWall, Fermion5};
+    pub use crate::dwf::{axpy_chiral, cg_dwf, chiral_minus, chiral_plus, DomainWall, Fermion5};
     pub use crate::eo::{parity_project, solve_eo};
+    pub use crate::field::cg_update_x_r;
     pub use crate::field::{
         gauge_comp, spinor_comp, ComplexField, FermionField, Field, GaugeField,
     };
@@ -95,13 +98,14 @@ pub mod prelude {
     };
     pub use crate::layout::Grid;
     pub use crate::mixed::{
-        mixed_precision_solve, mixed_precision_solve_from, to_precision, MixedReport,
+        mixed_precision_solve, mixed_precision_solve_from, to_precision, to_precision_into,
+        MixedReport,
     };
     pub use crate::rng::StreamRng;
     pub use crate::simd::{SimdBackend, SimdEngine};
     pub use crate::solver::{
-        bicgstab, bicgstab_from_state, cg, cg_op, cg_op_from_state, solve_wilson, BicgStabState,
-        CgState, SolveReport,
+        bicgstab, bicgstab_from_state, cg, cg_op, cg_op_from_state, cg_ws, cg_ws_from_state,
+        solve_wilson, BicgStabState, CgState, SolveReport, SolverWorkspace,
     };
     pub use crate::tensor::gamma_algebra::{mult_gamma, GammaElement};
     pub use crate::tensor::su3::{random_gauge, unit_gauge};

@@ -18,20 +18,19 @@
 use crate::dirac::WilsonDirac;
 use crate::field::{Field, FieldKind};
 use crate::layout::Grid;
-use crate::solver::{cg_op, SolveReport};
+use crate::solver::{cg_ws, SolverWorkspace};
 use crate::FermionField;
 use std::sync::Arc;
 use sve::{Opcode, SveFloat};
 
-/// Convert a field to another precision (and its grid's layout). The
-/// per-scalar conversions are accounted as vectorized `fcvt` on the target
-/// context.
-pub fn to_precision<K: FieldKind, E1: SveFloat, E2: SveFloat>(
+/// Convert a field into a preallocated field of another precision (and its
+/// grid's layout). The per-scalar conversions are accounted as vectorized
+/// `fcvt` on the target context.
+pub fn to_precision_into<K: FieldKind, E1: SveFloat, E2: SveFloat>(
     f: &Field<K, E1>,
-    grid2: &Arc<Grid<E2>>,
-) -> Field<K, E2> {
-    assert_eq!(f.grid().fdims(), grid2.fdims(), "lattices must match");
-    let mut out = Field::<K, E2>::zero(grid2.clone());
+    out: &mut Field<K, E2>,
+) {
+    assert_eq!(f.grid().fdims(), out.grid().fdims(), "lattices must match");
     for x in f.grid().coords() {
         for comp in 0..K::NCOMP {
             out.poke(&x, comp, f.peek(&x, comp));
@@ -39,12 +38,23 @@ pub fn to_precision<K: FieldKind, E1: SveFloat, E2: SveFloat>(
     }
     // One fcvt per vector of scalars converted (2 per complex).
     let scalars = (f.grid().volume() * K::NCOMP * 2) as u64;
+    let grid2 = out.grid();
     let per_vec = grid2.engine().word_len() as u64;
     grid2
         .engine()
         .ctx()
         .counters()
         .bump_n(Opcode::Fcvt, scalars.div_ceil(per_vec));
+}
+
+/// Convert a field to another precision (and its grid's layout), allocating
+/// the destination.
+pub fn to_precision<K: FieldKind, E1: SveFloat, E2: SveFloat>(
+    f: &Field<K, E1>,
+    grid2: &Arc<Grid<E2>>,
+) -> Field<K, E2> {
+    let mut out = Field::<K, E2>::zero(grid2.clone());
+    to_precision_into(f, &mut out);
     out
 }
 
@@ -112,22 +122,31 @@ pub fn mixed_precision_solve_from(
     let mut inner_total = 0;
     let mut residual = 1.0;
 
+    // All outer-loop buffers and the inner solver's workspace are hoisted
+    // out of the restart loop: the defect-correction rounds reuse the same
+    // storage end to end.
+    let mut ax = FermionField::zero(grid64.clone());
+    let mut r = FermionField::zero(grid64.clone());
+    let mut d64 = FermionField::zero(grid64.clone());
+    let mut r32 = Field::<crate::field::FermionKind, f32>::zero(grid32.clone());
+    let mut rhs32 = Field::<crate::field::FermionKind, f32>::zero(grid32.clone());
+    let mut ws32 = SolverWorkspace::<f32>::new(grid32.clone());
+
     while outer < max_outer {
-        // Double-precision defect.
-        let mut r = FermionField::zero(grid64.clone());
-        r.sub(b, &op.apply(&x));
-        residual = (r.norm2() / b_norm2).sqrt();
+        // Double-precision defect (fused subtract-and-norm sweep).
+        op.apply_into(&x, &mut ax);
+        residual = (r.sub_norm2(b, &ax) / b_norm2).sqrt();
         if residual <= tol {
             break;
         }
-        // Inner solve M d = r in single precision (normal equations).
-        let r32 = to_precision(&r, &grid32);
-        let rhs32 = op32.apply_dag(&r32);
-        let (d32, inner_report): (Field<crate::field::FermionKind, f32>, SolveReport) =
-            cg_op(|v| op32.mdag_m(v), &rhs32, inner_tol, max_inner);
+        // Inner solve M d = r in single precision (normal equations),
+        // through the persistent workspace.
+        to_precision_into(&r, &mut r32);
+        op32.apply_dag_into(&r32, &mut rhs32);
+        let (d32, inner_report) = cg_ws(&op32, &rhs32, &mut ws32, inner_tol, max_inner);
         inner_total += inner_report.iterations;
         // Prolongate and correct.
-        let d64 = to_precision(&d32, &grid64);
+        to_precision_into(&d32, &mut d64);
         x.add_assign_field(&d64);
         outer += 1;
     }

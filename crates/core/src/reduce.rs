@@ -1,0 +1,120 @@
+//! Deterministic fixed-chunk tree reductions.
+//!
+//! Floating-point addition is not associative, so a reduction whose grouping
+//! depends on the number of worker threads returns different bits on
+//! different machines. That would break two guarantees this codebase leans
+//! on: qcd-io's bit-exact checkpoint resume (PR 2) and the
+//! "convergence is identical across vector lengths / backends" test family.
+//!
+//! The fix used here (and by Grid's `sumD` reductions) is to make the
+//! grouping a property of the *data layout*, not of the executor: the
+//! iteration space is cut into fixed chunks of [`CHUNK_SITES`] outer sites,
+//! each chunk produces one partial in ascending word order, and the partials
+//! are combined with a fixed binary-split tree. Threads only change *where*
+//! a leaf is evaluated, never which values are added in which order, so the
+//! result is bit-identical for 1, 2, or 8 workers — and identical to the
+//! serial path, which walks the same tree recursively without allocating.
+
+/// Outer sites per reduction chunk (also the parallel work-unit granularity
+/// for the fused solver kernels). Fixed so that reduction trees — and hence
+/// solver trajectories — do not depend on thread count or lattice-agnostic
+/// tuning knobs.
+pub const CHUNK_SITES: usize = 16;
+
+/// Number of fixed-size chunks covering `n` items (at least 1 so empty
+/// ranges still have a well-defined tree shape).
+pub fn n_chunks(n: usize, chunk: usize) -> usize {
+    n.div_ceil(chunk).max(1)
+}
+
+/// Combine precomputed per-chunk partials with the fixed binary-split tree
+/// (`mid = lo + (hi - lo) / 2`). This is the parallel half of the reduction:
+/// leaves come from an order-preserving parallel map, the combine happens
+/// here on one thread.
+pub fn combine_tree<R: Copy>(leaves: &[R], combine: &impl Fn(R, R) -> R) -> R {
+    fn rec<R: Copy>(leaves: &[R], lo: usize, hi: usize, combine: &impl Fn(R, R) -> R) -> R {
+        if hi - lo == 1 {
+            return leaves[lo];
+        }
+        let mid = lo + (hi - lo) / 2;
+        combine(rec(leaves, lo, mid, combine), rec(leaves, mid, hi, combine))
+    }
+    assert!(!leaves.is_empty(), "reduction over an empty leaf set");
+    rec(leaves, 0, leaves.len(), combine)
+}
+
+/// Walk the same tree as [`combine_tree`] but evaluate leaves on demand,
+/// in ascending index order, on the calling thread. This is the serial,
+/// allocation-free half of the reduction: `leaf(i)` may mutate captured
+/// state (e.g. store fused kernel results) because chunks are disjoint and
+/// visited left-to-right.
+pub fn reduce_serial<R>(
+    n: usize,
+    leaf: &mut impl FnMut(usize) -> R,
+    combine: &impl Fn(R, R) -> R,
+) -> R {
+    fn rec<R>(
+        lo: usize,
+        hi: usize,
+        leaf: &mut impl FnMut(usize) -> R,
+        combine: &impl Fn(R, R) -> R,
+    ) -> R {
+        if hi - lo == 1 {
+            return leaf(lo);
+        }
+        let mid = lo + (hi - lo) / 2;
+        let left = rec(lo, mid, leaf, combine);
+        let right = rec(mid, hi, leaf, combine);
+        combine(left, right)
+    }
+    assert!(n > 0, "reduction over an empty range");
+    rec(0, n, leaf, combine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_tree_agree_exactly() {
+        // Values chosen so grouping matters in f64: mixing magnitudes makes
+        // (a+b)+c differ from a+(b+c) in the last bits.
+        let leaves: Vec<f64> = (0..37)
+            .map(|i| (1.0 + i as f64).powi(7) * if i % 3 == 0 { 1e-13 } else { 1.0 })
+            .collect();
+        let tree = combine_tree(&leaves, &|a, b| a + b);
+        let mut lf = |i: usize| leaves[i];
+        let serial = reduce_serial(leaves.len(), &mut lf, &|a, b| a + b);
+        assert_eq!(tree.to_bits(), serial.to_bits());
+    }
+
+    #[test]
+    fn tree_grouping_differs_from_left_fold() {
+        let leaves: Vec<f64> = (0..33).map(|i| (0.1f64 + i as f64).exp()).collect();
+        let fold: f64 = leaves.iter().sum();
+        let tree = combine_tree(&leaves, &|a, b| a + b);
+        // Not a correctness requirement, but documents that the tree is a
+        // genuinely different (and fixed) grouping.
+        assert!((fold - tree).abs() <= 1e-9 * fold.abs());
+    }
+
+    #[test]
+    fn serial_leaves_run_in_ascending_order() {
+        let mut seen = Vec::new();
+        let mut lf = |i: usize| {
+            seen.push(i);
+            i as u64
+        };
+        let total = reduce_serial(11, &mut lf, &|a, b| a + b);
+        assert_eq!(total, (0..11).sum::<u64>());
+        assert_eq!(seen, (0..11).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn n_chunks_covers_the_range() {
+        assert_eq!(n_chunks(0, 16), 1);
+        assert_eq!(n_chunks(16, 16), 1);
+        assert_eq!(n_chunks(17, 16), 2);
+        assert_eq!(n_chunks(256, 16), 16);
+    }
+}

@@ -360,13 +360,29 @@ impl<E: SveFloat> SimdEngine<E> {
     /// Permute complex lanes: output complex lane `p` takes input complex
     /// lane `perm[p]` (`svtbl` on the expanded f64 index table).
     pub fn permute(&self, a: CVec, perm: &[usize]) -> CVec {
+        self.permute_elems(a, &self.expand_perm(perm))
+    }
+
+    /// Permute with a precomputed *element* index table (length `2 *
+    /// lanes_c`, as produced by [`Self::expand_perm`]). This is the
+    /// allocation-free hot path used by the stencil; [`Self::permute`]
+    /// expands its complex-lane table on every call.
+    #[inline]
+    pub fn permute_elems(&self, a: CVec, tbl: &[usize]) -> CVec {
+        debug_assert_eq!(tbl.len(), 2 * self.lanes_c);
+        CVec::from_reg(sv::svtbl::<E>(&self.ctx, &a.reg, tbl))
+    }
+
+    /// Expand a complex-lane permutation to the element-index table
+    /// [`Self::permute_elems`] consumes (done once at stencil build).
+    pub fn expand_perm(&self, perm: &[usize]) -> Vec<usize> {
         debug_assert_eq!(perm.len(), self.lanes_c);
         let mut tbl = vec![0usize; 2 * self.lanes_c];
         for (p, &src) in perm.iter().enumerate() {
             tbl[2 * p] = 2 * src;
             tbl[2 * p + 1] = 2 * src + 1;
         }
-        CVec::from_reg(sv::svtbl::<E>(&self.ctx, &a.reg, &tbl))
+        tbl
     }
 
     // ---- reductions and lane access ----

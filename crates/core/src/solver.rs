@@ -7,9 +7,25 @@
 //! directly. Both are built purely from the vectorized field primitives
 //! (`axpy`, inner products, norms), so every arithmetic instruction they
 //! retire is visible to the SVE counters.
+//!
+//! # Allocation-free steady state
+//!
+//! Every solver has two faces. The closure-based entry points ([`cg_op`],
+//! [`CgState::step`]) allocate the operator output each iteration — simple,
+//! and the shape the checkpoint layer wraps. The workspace entry points
+//! ([`cg_ws`], [`CgState::step_ws`], [`BicgStabState::step_ws`]) instead
+//! thread a preallocated [`SolverWorkspace`] through every iteration: the
+//! operator writes into workspace fields, the linear algebra runs through
+//! the fused sweeps of [`crate::field`], and a steady-state iteration
+//! performs **zero** heap allocations. The two faces are bit-identical —
+//! the fused kernels retire the same engine ops per word in the same
+//! deterministic chunk-tree order — so a checkpoint taken on either path
+//! resumes exactly on the other.
 
 use crate::dirac::WilsonDirac;
-use crate::field::{FermionField, FermionKind, Field};
+use crate::field::{cg_update_x_r, FermionField, FermionKind, Field};
+use crate::layout::Grid;
+use std::sync::Arc;
 use sve::SveFloat;
 
 /// Solver outcome.
@@ -27,6 +43,39 @@ pub struct SolveReport {
     /// Profile of the solve: wall time, per-iteration child time, and the
     /// SVE instruction delta the solve retired (see [`qcd_trace`]).
     pub telemetry: qcd_trace::RegionSummary,
+}
+
+/// Preallocated scratch fields for the allocation-free solver paths: built
+/// once per grid, reused across every iteration (and across the restarts of
+/// the mixed-precision defect-correction loop).
+///
+/// Three fields cover every solver in the crate: CG on the normal equations
+/// uses `tmp` for the `M p` intermediate and `ap` for `M†M p`; BiCGStab maps
+/// `v`/`s`/`t` onto `ap`/`tmp`/`hop`; the even-odd Schur solve uses
+/// `hop`/`tmp` for its nested hopping applications.
+pub struct SolverWorkspace<E: SveFloat = f64> {
+    /// `M p` intermediate (CG on the normal equations), `s` (BiCGStab).
+    pub tmp: Field<FermionKind, E>,
+    /// Operator output `A p` (CG), `v` (BiCGStab).
+    pub ap: Field<FermionKind, E>,
+    /// Extra scratch: `t` (BiCGStab), hopping intermediates (even-odd).
+    pub hop: Field<FermionKind, E>,
+}
+
+impl<E: SveFloat> SolverWorkspace<E> {
+    /// Allocate a workspace on `grid`.
+    pub fn new(grid: Arc<Grid<E>>) -> Self {
+        SolverWorkspace {
+            tmp: Field::zero(grid.clone()),
+            ap: Field::zero(grid.clone()),
+            hop: Field::zero(grid),
+        }
+    }
+
+    /// The lattice the workspace fields live on.
+    pub fn grid(&self) -> &Arc<Grid<E>> {
+        self.tmp.grid()
+    }
 }
 
 /// The complete state of an in-flight Conjugate Gradient solve.
@@ -82,25 +131,52 @@ impl<E: SveFloat> CgState<E> {
         self.r2 <= tol * tol * self.b_norm2
     }
 
+    /// The Hestenes–Stiefel recurrence tail shared by [`Self::step`] and
+    /// [`Self::step_ws`], entered once `A p` and the curvature `p·Ap` are
+    /// in hand: the fused iterate/residual sweep of [`cg_update_x_r`]
+    /// (`x += α p`, `r −= α Ap`, new `|r|²` out of the same pass) followed
+    /// by the search-direction update.
+    fn advance(&mut self, p_ap: f64, ap: &Field<FermionKind, E>) {
+        assert!(
+            p_ap > 0.0,
+            "search direction has non-positive curvature: operator not HPD?"
+        );
+        let alpha = self.r2 / p_ap;
+        let r2_new = cg_update_x_r(&mut self.x, &mut self.r, alpha, &self.p, ap);
+        let beta = r2_new / self.r2;
+        self.p.aypx(beta, &self.r); // p = r + beta p
+        self.r2 = r2_new;
+        self.iterations += 1;
+        self.history.push((self.r2 / self.b_norm2).sqrt());
+    }
+
     /// One Hestenes–Stiefel iteration under a per-iteration telemetry span.
     pub fn step(&mut self, apply: impl Fn(&Field<FermionKind, E>) -> Field<FermionKind, E>) {
         let grid = self.x.grid().clone();
         let _iter_span = qcd_trace::span!("iter", grid.engine().ctx());
         let ap = apply(&self.p);
         let p_ap = self.p.inner(&ap).re;
-        assert!(
-            p_ap > 0.0,
-            "search direction has non-positive curvature: operator not HPD?"
-        );
-        let alpha = self.r2 / p_ap;
-        self.x.axpy_inplace(alpha, &self.p);
-        self.r.axpy_inplace(-alpha, &ap);
-        let r2_new = self.r.norm2();
-        let beta = r2_new / self.r2;
-        self.p.aypx(beta, &self.r); // p = r + beta p
-        self.r2 = r2_new;
-        self.iterations += 1;
-        self.history.push((self.r2 / self.b_norm2).sqrt());
+        self.advance(p_ap, &ap);
+    }
+
+    /// One Hestenes–Stiefel iteration through caller-provided storage.
+    ///
+    /// `apply_into` evaluates the operator at its first argument into
+    /// `ws.ap` (using whatever other workspace fields it needs) and returns
+    /// the curvature `Re ⟨p, A p⟩` — for the Wilson normal operator that
+    /// dot comes fused out of the second hopping sweep
+    /// ([`WilsonDirac::mdag_m_into_dot`]). No telemetry span is opened
+    /// here: span entry allocates its path string, and this is the
+    /// allocation-free path (the enclosing solve-level span still
+    /// attributes flops and bytes). The history push is amortized — the
+    /// driving loops reserve capacity up front.
+    pub fn step_ws(
+        &mut self,
+        ws: &mut SolverWorkspace<E>,
+        apply_into: &mut impl FnMut(&Field<FermionKind, E>, &mut SolverWorkspace<E>) -> f64,
+    ) {
+        let p_ap = apply_into(&self.p, ws);
+        self.advance(p_ap, &ws.ap);
     }
 }
 
@@ -152,14 +228,84 @@ pub fn cg_op_from_state<E: SveFloat>(
     )
 }
 
-/// Conjugate Gradient on the Wilson normal equations: solves `M†M x = b`.
+/// Continue an allocation-free Conjugate Gradient solve from an arbitrary
+/// [`CgState`] through a caller-provided [`SolverWorkspace`].
+///
+/// `apply_into` has the [`CgState::step_ws`] contract: evaluate the
+/// operator at the given field into `ws.ap` and return `Re ⟨p, A p⟩`.
+/// Bit-identical to [`cg_op_from_state`] with the matching allocating
+/// operator — same engine ops per word, same deterministic chunk-tree
+/// reductions; only the sweep structure and allocation count differ.
+pub fn cg_ws_from_state<E: SveFloat>(
+    mut apply_into: impl FnMut(&Field<FermionKind, E>, &mut SolverWorkspace<E>) -> f64,
+    b: &Field<FermionKind, E>,
+    ws: &mut SolverWorkspace<E>,
+    mut state: CgState<E>,
+    tol: f64,
+    max_iter: usize,
+) -> (Field<FermionKind, E>, SolveReport) {
+    let grid = b.grid().clone();
+    let span = qcd_trace::span!("solver.cg", grid.engine().ctx());
+    state
+        .history
+        .reserve((max_iter + 1).saturating_sub(state.history.len()));
+
+    while state.iterations < max_iter && !state.converged(tol) {
+        state.step_ws(ws, &mut apply_into);
+    }
+
+    let converged = state.converged(tol);
+    // True residual check (guards against recurrence drift): `A x` lands in
+    // the workspace and the subtract-and-norm runs as one fused sweep
+    // through the spent search direction — no fresh field.
+    apply_into(&state.x, ws);
+    let residual = (state.p.sub_norm2(b, &ws.ap) / state.b_norm2).sqrt();
+    (
+        state.x,
+        SolveReport {
+            iterations: state.iterations,
+            residual,
+            converged,
+            history: state.history,
+            telemetry: span.finish(),
+        },
+    )
+}
+
+/// Conjugate Gradient on the Wilson normal equations through a reusable
+/// workspace: `M†M x = b` with fused dslash+mass sweeps, the curvature dot
+/// fused into the second hopping pass, and zero steady-state allocations.
+pub fn cg_ws<E: SveFloat>(
+    op: &WilsonDirac<E>,
+    b: &Field<FermionKind, E>,
+    ws: &mut SolverWorkspace<E>,
+    tol: f64,
+    max_iter: usize,
+) -> (Field<FermionKind, E>, SolveReport) {
+    cg_ws_from_state(
+        |p, ws| {
+            let SolverWorkspace { tmp, ap, .. } = ws;
+            op.mdag_m_into_dot(p, tmp, ap)
+        },
+        b,
+        ws,
+        CgState::new(b),
+        tol,
+        max_iter,
+    )
+}
+
+/// Conjugate Gradient on the Wilson normal equations: solves `M†M x = b`
+/// on the fused allocation-free path (the workspace is allocated once here;
+/// bit-identical to the closure-based `cg_op(|p| op.mdag_m(p), ..)`).
 pub fn cg<E: SveFloat>(
     op: &WilsonDirac<E>,
     b: &Field<FermionKind, E>,
     tol: f64,
     max_iter: usize,
 ) -> (Field<FermionKind, E>, SolveReport) {
-    cg_op(|p| op.mdag_m(p), b, tol, max_iter)
+    let mut ws = SolverWorkspace::new(b.grid().clone());
+    cg_ws(op, b, &mut ws, tol, max_iter)
 }
 
 /// Solve `M x = b` through the normal equations: CG on `M†M x = M†b`.
@@ -171,10 +317,12 @@ pub fn solve_wilson(
 ) -> (FermionField, SolveReport) {
     let rhs = op.apply_dag(b);
     let (x, mut report) = cg(op, &rhs, tol, max_iter);
-    // Report the residual of the original system.
-    let mut true_r = FermionField::zero(b.grid().clone());
-    true_r.sub(b, &op.apply(&x));
-    report.residual = (true_r.norm2() / b.norm2()).sqrt();
+    // Report the residual of the original system; `M x` lands in a scratch
+    // field and the subtract-and-norm runs as one fused sweep.
+    let mut mx = FermionField::zero(b.grid().clone());
+    op.apply_into(&x, &mut mx);
+    let mut true_r = rhs; // reuse the spent right-hand side as scratch
+    report.residual = (true_r.sub_norm2(b, &mx) / b.norm2()).sqrt();
     (x, report)
 }
 
@@ -230,34 +378,32 @@ impl BicgStabState {
         self.r.norm2() <= tol * tol * self.b_norm2
     }
 
-    /// One BiCGStab iteration (two operator applications) under a
-    /// per-iteration telemetry span.
-    pub fn step(&mut self, apply: impl Fn(&FermionField) -> FermionField) {
-        let grid = self.x.grid().clone();
-        let _iter_span = qcd_trace::span!("iter", grid.engine().ctx());
-        let v = apply(&self.p);
-        let alpha = self.rho * {
-            let d = self.r0.inner(&v);
-            let n2 = d.norm2();
-            assert!(n2 > 0.0, "BiCGStab breakdown: <r0, v> = 0");
-            d.conj().scale(1.0 / n2)
-        };
-        // s = r - alpha v
-        let mut s = self.r.clone();
-        s.axpy_complex(-alpha, &v);
-        let t = apply(&s);
+    /// The stabilized step size `α = ρ / <r0, v>` (complex division via the
+    /// conjugate), asserting against the `<r0, v> = 0` breakdown.
+    fn alpha(&self, v: &FermionField) -> crate::complex::Complex {
+        let d = self.r0.inner(v);
+        let n2 = d.norm2();
+        assert!(n2 > 0.0, "BiCGStab breakdown: <r0, v> = 0");
+        self.rho * d.conj().scale(1.0 / n2)
+    }
+
+    /// The iteration tail shared by [`Self::step`] and [`Self::step_ws`]
+    /// once `v = M p`, `s = r − α v` and `t = M s` are in hand: fused
+    /// two-term sweeps for `x` and `r`, the fused three-op sweep for `p`.
+    fn conclude(
+        &mut self,
+        alpha: crate::complex::Complex,
+        v: &FermionField,
+        s: &FermionField,
+        t: &FermionField,
+    ) {
         let t2 = t.norm2();
         assert!(t2 > 0.0, "BiCGStab breakdown: t = 0");
-        let omega = {
-            let ts = t.inner(&s);
-            ts.scale(1.0 / t2)
-        };
-        // x += alpha p + omega s
-        self.x.axpy_complex(alpha, &self.p);
-        self.x.axpy_complex(omega, &s);
-        // r = s - omega t
-        self.r = s;
-        self.r.axpy_complex(-omega, &t);
+        let omega = t.inner(s).scale(1.0 / t2);
+        // x += alpha p + omega s (one sweep).
+        self.x.caxpy2(alpha, &self.p, omega, s);
+        // r = s - omega t (one sweep).
+        self.r.caxpy_from(-omega, t, s);
         let rho_new = self.r0.inner(&self.r);
         let beta = (rho_new * alpha) * {
             let d = self.rho * omega;
@@ -265,13 +411,43 @@ impl BicgStabState {
             assert!(n2 > 0.0, "BiCGStab breakdown: rho*omega = 0");
             d.conj().scale(1.0 / n2)
         };
-        // p = r + beta (p - omega v)
-        self.p.axpy_complex(-omega, &v);
-        self.p.scale_complex(beta);
-        self.p.add_assign_field(&self.r);
+        // p = r + beta (p - omega v) (one sweep).
+        self.p.bicg_p_update(beta, omega, v, &self.r);
         self.rho = rho_new;
         self.iterations += 1;
         self.history.push((self.r.norm2() / self.b_norm2).sqrt());
+    }
+
+    /// One BiCGStab iteration (two operator applications) under a
+    /// per-iteration telemetry span.
+    pub fn step(&mut self, apply: impl Fn(&FermionField) -> FermionField) {
+        let grid = self.x.grid().clone();
+        let _iter_span = qcd_trace::span!("iter", grid.engine().ctx());
+        let v = apply(&self.p);
+        let alpha = self.alpha(&v);
+        // s = r - alpha v (caxpy_from never reads its destination, so a
+        // zero field is as good as a clone of r).
+        let mut s = FermionField::zero(grid.clone());
+        s.caxpy_from(-alpha, &v, &self.r);
+        let t = apply(&s);
+        self.conclude(alpha, &v, &s, &t);
+    }
+
+    /// One BiCGStab iteration through caller-provided storage: `v`/`s`/`t`
+    /// live in the workspace (`ap`/`tmp`/`hop`), `apply_into` writes
+    /// `M · input` into its output argument, and a steady-state iteration
+    /// allocates nothing. Bit-identical to [`Self::step`].
+    pub fn step_ws(
+        &mut self,
+        ws: &mut SolverWorkspace,
+        apply_into: &mut impl FnMut(&FermionField, &mut FermionField),
+    ) {
+        apply_into(&self.p, &mut ws.ap); // v = M p
+        let alpha = self.alpha(&ws.ap);
+        ws.tmp.caxpy_from(-alpha, &ws.ap, &self.r); // s = r - alpha v
+        let SolverWorkspace { tmp, hop, .. } = ws;
+        apply_into(tmp, hop); // t = M s
+        self.conclude(alpha, &ws.ap, &ws.tmp, &ws.hop);
     }
 }
 
@@ -288,7 +464,9 @@ pub fn bicgstab(
 
 /// Continue a BiCGStab solve from an arbitrary [`BicgStabState`] — freshly
 /// built or restored from a checkpoint. `max_iter` counts total iterations
-/// including those already inside `state`.
+/// including those already inside `state`. Runs the allocation-free fused
+/// path: one workspace for the whole solve, `M` applied through
+/// [`WilsonDirac::apply_into`].
 pub fn bicgstab_from_state(
     op: &WilsonDirac,
     b: &FermionField,
@@ -298,14 +476,18 @@ pub fn bicgstab_from_state(
 ) -> (FermionField, SolveReport) {
     let grid = b.grid().clone();
     let span = qcd_trace::span!("solver.bicgstab", grid.engine().ctx());
+    let mut ws = SolverWorkspace::new(grid.clone());
+    state
+        .history
+        .reserve((max_iter + 1).saturating_sub(state.history.len()));
+    let mut apply_into = |f: &FermionField, out: &mut FermionField| op.apply_into(f, out);
 
     while state.iterations < max_iter && !state.converged(tol) {
-        state.step(|f| op.apply(f));
+        state.step_ws(&mut ws, &mut apply_into);
     }
 
-    let mut true_r = FermionField::zero(grid.clone());
-    true_r.sub(b, &op.apply(&state.x));
-    let residual = (true_r.norm2() / state.b_norm2).sqrt();
+    op.apply_into(&state.x, &mut ws.ap);
+    let residual = (ws.tmp.sub_norm2(b, &ws.ap) / state.b_norm2).sqrt();
     (
         state.x,
         SolveReport {
@@ -421,6 +603,42 @@ mod tests {
                 let b = sols[1].peek(&x, comp);
                 assert!((a - b).abs() < 1e-8, "{x:?} {comp}");
             }
+        }
+    }
+
+    #[test]
+    fn fused_cg_is_bit_identical_to_the_closure_path() {
+        // The tentpole contract: the allocation-free workspace solve and
+        // the allocating closure solve retire the same engine ops per word
+        // in the same order — solutions, histories, and the reported
+        // residual must agree bit for bit.
+        let (op, b) = setup(512, SimdBackend::Fcmla);
+        let (x_ws, ws_report) = cg(&op, &b, 1e-8, 2000);
+        let (x_cl, cl_report) = cg_op(|p| op.mdag_m(p), &b, 1e-8, 2000);
+        assert_eq!(ws_report.iterations, cl_report.iterations);
+        assert_eq!(ws_report.residual.to_bits(), cl_report.residual.to_bits());
+        for (a, c) in ws_report.history.iter().zip(&cl_report.history) {
+            assert_eq!(a.to_bits(), c.to_bits(), "history diverged");
+        }
+        for (a, c) in x_ws.data().iter().zip(x_cl.data()) {
+            assert_eq!(a.to_bits(), c.to_bits(), "solution bits diverged");
+        }
+    }
+
+    #[test]
+    fn workspace_is_reusable_across_solves() {
+        // A second solve through the same workspace must match a solve
+        // through a fresh one bitwise (no state leaks between solves).
+        let (op, b) = setup(256, SimdBackend::Fcmla);
+        let b2 = FermionField::random(b.grid().clone(), 23);
+        let mut ws = SolverWorkspace::new(b.grid().clone());
+        let _ = cg_ws(&op, &b, &mut ws, 1e-8, 2000);
+        let (x_reused, rep_reused) = cg_ws(&op, &b2, &mut ws, 1e-8, 2000);
+        let mut fresh = SolverWorkspace::new(b.grid().clone());
+        let (x_fresh, rep_fresh) = cg_ws(&op, &b2, &mut fresh, 1e-8, 2000);
+        assert_eq!(rep_reused.iterations, rep_fresh.iterations);
+        for (a, c) in x_reused.data().iter().zip(x_fresh.data()) {
+            assert_eq!(a.to_bits(), c.to_bits());
         }
     }
 

@@ -39,6 +39,10 @@ pub struct Stencil<E: SveFloat = f64> {
     /// Lane-permutation tables; `perms[dir]` is `Some` only if direction
     /// `dir` crosses a split dimension.
     perms: Vec<Option<Vec<usize>>>,
+    /// The same tables expanded to element indices (one entry per f64
+    /// lane), precomputed so [`Stencil::fetch`] permutes without
+    /// allocating.
+    eperms: Vec<Option<Vec<usize>>>,
 }
 
 impl<E: SveFloat> Stencil<E> {
@@ -92,10 +96,15 @@ impl<E: SveFloat> Stencil<E> {
                 perms.push(if is_identity { None } else { Some(table) });
             }
         }
+        let eperms = perms
+            .iter()
+            .map(|p| p.as_deref().map(|t| grid.engine().expand_perm(t)))
+            .collect();
         Stencil {
             grid,
             entries,
             perms,
+            eperms,
         }
     }
 
@@ -130,7 +139,12 @@ impl<E: SveFloat> Stencil<E> {
         let v = eng.load(field.word(entry.nbr as usize, comp));
         match entry.perm {
             None => v,
-            Some(id) => eng.permute(v, self.perm_table(id)),
+            Some(id) => eng.permute_elems(
+                v,
+                self.eperms[id as usize]
+                    .as_deref()
+                    .expect("permutation id refers to an identity direction"),
+            ),
         }
     }
 

@@ -1,0 +1,90 @@
+//! Proof that the solvers' steady state performs **zero heap allocations**.
+//!
+//! A counting global allocator wraps `System`; after a warm-up (which may
+//! grow the residual-history vector to its reserved capacity), a block of
+//! `step_ws` iterations must leave the allocation counter untouched — for
+//! both CG on the fused `M†M` path and BiCGStab on `apply_into`.
+//!
+//! The guarantee is for the serial sweep path (`rayon` worker spawning
+//! allocates thread stacks by design), so the test pins one worker. The
+//! allocator is process-global, hence this file is its own test binary.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use grid::prelude::*;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn solver_steady_state_allocates_nothing() {
+    rayon::set_num_threads(1);
+    let g = Grid::new([4, 4, 4, 4], VectorLength::of(512), SimdBackend::Fcmla);
+    let u = random_gauge(g.clone(), 51);
+    let d = WilsonDirac::new(u, 0.2);
+    let b = FermionField::random(g.clone(), 52);
+
+    // --- CG on the fused normal operator -------------------------------
+    let mut state = CgState::new(&b);
+    state.history.reserve(64);
+    let mut ws = SolverWorkspace::new(g.clone());
+    let mut apply = |p: &FermionField, ws: &mut SolverWorkspace| {
+        let SolverWorkspace { tmp, ap, .. } = ws;
+        d.mdag_m_into_dot(p, tmp, ap)
+    };
+    for _ in 0..3 {
+        state.step_ws(&mut ws, &mut apply); // warm-up
+    }
+    let before = allocations();
+    for _ in 0..10 {
+        state.step_ws(&mut ws, &mut apply);
+        assert!(!state.converged(1e-30), "test lattice converged too fast");
+    }
+    let delta = allocations() - before;
+    assert_eq!(delta, 0, "CG steady state performed {delta} allocations");
+
+    // --- BiCGStab on the fused Wilson apply ----------------------------
+    let mut bstate = BicgStabState::new(&b);
+    bstate.history.reserve(64);
+    let mut bapply = |p: &FermionField, out: &mut FermionField| d.apply_into(p, out);
+    for _ in 0..3 {
+        bstate.step_ws(&mut ws, &mut bapply);
+    }
+    let before = allocations();
+    for _ in 0..10 {
+        bstate.step_ws(&mut ws, &mut bapply);
+    }
+    let delta = allocations() - before;
+    assert_eq!(
+        delta, 0,
+        "BiCGStab steady state performed {delta} allocations"
+    );
+    rayon::set_num_threads(0);
+}

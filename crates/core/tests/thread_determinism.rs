@@ -1,0 +1,88 @@
+//! Thread-count determinism of the parallel field reductions.
+//!
+//! The fixed-chunk tree reduction guarantees that `inner`, `norm2` and the
+//! fused axpy+norm kernels produce *bit-identical* scalars whether they run
+//! on 1, 2 or 8 workers — the property that makes checkpoints, residual
+//! histories and CI logs reproducible across machines.
+//!
+//! `rayon::set_num_threads` mutates process-global state, so this file is a
+//! single `#[test]` in its own integration-test binary.
+
+use grid::prelude::*;
+
+struct Sample {
+    inner: (u64, u64),
+    norm2: u64,
+    axpy_norm2: u64,
+    caxpy_norm2: u64,
+    sub_norm2: u64,
+    axpy_out: Vec<u64>,
+}
+
+fn sample(x: &FermionField, y: &FermionField) -> Sample {
+    let ip = x.inner(y);
+    let mut ax = y.clone();
+    let axn = ax.axpy_norm2(-0.375, x);
+    let mut cx = y.clone();
+    let cxn = cx.caxpy_norm2(Complex::new(0.25, -0.5), x);
+    let mut sub = FermionField::zero(x.grid().clone());
+    let sn = sub.sub_norm2(x, y);
+    Sample {
+        inner: (ip.re.to_bits(), ip.im.to_bits()),
+        norm2: x.norm2().to_bits(),
+        axpy_norm2: axn.to_bits(),
+        caxpy_norm2: cxn.to_bits(),
+        sub_norm2: sn.to_bits(),
+        axpy_out: ax.data().iter().map(|v| v.to_bits()).collect(),
+    }
+}
+
+#[test]
+fn reductions_are_bit_identical_across_thread_counts() {
+    let g = Grid::new([4, 4, 4, 8], VectorLength::of(512), SimdBackend::Fcmla);
+    let x = FermionField::random(g.clone(), 41);
+    let y = FermionField::random(g.clone(), 42);
+
+    rayon::set_num_threads(1);
+    let reference = sample(&x, &y);
+
+    for threads in [2usize, 8] {
+        rayon::set_num_threads(threads);
+        let s = sample(&x, &y);
+        assert_eq!(s.inner, reference.inner, "inner @ {threads} threads");
+        assert_eq!(s.norm2, reference.norm2, "norm2 @ {threads} threads");
+        assert_eq!(
+            s.axpy_norm2, reference.axpy_norm2,
+            "axpy_norm2 @ {threads} threads"
+        );
+        assert_eq!(
+            s.caxpy_norm2, reference.caxpy_norm2,
+            "caxpy_norm2 @ {threads} threads"
+        );
+        assert_eq!(
+            s.sub_norm2, reference.sub_norm2,
+            "sub_norm2 @ {threads} threads"
+        );
+        assert_eq!(
+            s.axpy_out, reference.axpy_out,
+            "axpy_norm2 output field @ {threads} threads"
+        );
+    }
+
+    // A full solve — reductions feed step acceptance, so any divergence
+    // would compound. The whole history must match, not just the answer.
+    rayon::set_num_threads(1);
+    let u = random_gauge(g.clone(), 43);
+    let d = WilsonDirac::new(u, 0.3);
+    let (x1, rep1) = cg(&d, &y, 1e-8, 500);
+    rayon::set_num_threads(8);
+    let (x8, rep8) = cg(&d, &y, 1e-8, 500);
+    rayon::set_num_threads(0);
+    assert_eq!(rep1.iterations, rep8.iterations);
+    assert_eq!(rep1.residual.to_bits(), rep8.residual.to_bits());
+    assert_eq!(
+        rep1.history.iter().map(|r| r.to_bits()).collect::<Vec<_>>(),
+        rep8.history.iter().map(|r| r.to_bits()).collect::<Vec<_>>()
+    );
+    assert_eq!(x1.max_abs_diff(&x8), 0.0);
+}

@@ -68,6 +68,50 @@ fn cg_killed_and_resumed_from_disk_is_bit_identical() {
 }
 
 #[test]
+fn checkpoint_resumes_bit_identically_on_the_fused_workspace_path() {
+    // A checkpoint written by the legacy closure-driven solver, resumed
+    // through the allocation-free workspace path (`cg_ws_from_state` over
+    // the fused `M†M` + curvature-dot kernel), must retrace the fused
+    // reference solve bit for bit — the fused kernels retire the same
+    // engine ops in the same order, so checkpoints are interchangeable
+    // between the two drivers.
+    let (op, b) = setup();
+    let tol = 1e-10;
+    let max_iter = 500;
+
+    let (x_ref, ref_report) = cg(&op, &b, tol, max_iter);
+
+    let path = tmp("cg_fused.qio");
+    let apply = |v: &FermionField| op.mdag_m(v);
+    let (_, _, snapshots) = cg_checkpointed(apply, &b, tol, 12, 5, &path).unwrap();
+    assert_eq!(snapshots, 2);
+    let state = load_cg(&path, b.grid()).unwrap();
+    assert_eq!(state.iterations, 10);
+
+    let mut ws = SolverWorkspace::new(b.grid().clone());
+    let (x, resumed) = cg_ws_from_state(
+        |p, ws| {
+            let SolverWorkspace { tmp, ap, .. } = ws;
+            op.mdag_m_into_dot(p, tmp, ap)
+        },
+        &b,
+        &mut ws,
+        state,
+        tol,
+        max_iter,
+    );
+
+    assert_eq!(resumed.iterations, ref_report.iterations);
+    assert_eq!(resumed.residual.to_bits(), ref_report.residual.to_bits());
+    assert_eq!(x.max_abs_diff(&x_ref), 0.0);
+    assert_eq!(resumed.history.len(), ref_report.history.len());
+    for (i, (a, r)) in resumed.history.iter().zip(&ref_report.history).enumerate() {
+        assert_eq!(a.to_bits(), r.to_bits(), "history entry {i} diverged");
+    }
+    assert!(resumed.converged);
+}
+
+#[test]
 fn cg_state_survives_a_save_load_cycle_bit_exactly() {
     let (op, b) = setup();
     let mut state = CgState::new(&b);

@@ -2,25 +2,89 @@
 //! surface this workspace uses.
 //!
 //! The build container has no crates.io access, so the workspace vendors the
-//! thin slice of rayon it actually calls — `par_chunks_mut` with
-//! `enumerate().for_each(...)` — implemented over `std::thread::scope`.
-//! Chunks are distributed in contiguous groups across
-//! `available_parallelism()` worker threads, so data-parallel kernels still
-//! exercise real multi-threading (the telemetry crate's thread-merge tests
-//! rely on that).
+//! thin slice of rayon it actually calls, implemented over
+//! `std::thread::scope`. Chunks are distributed in contiguous groups across
+//! worker threads, so data-parallel kernels still exercise real
+//! multi-threading (the telemetry crate's thread-merge tests rely on that).
+//!
+//! Supported surface:
+//! - `par_chunks_mut` / `par_chunks` with `enumerate()`, `for_each`, and
+//!   order-preserving `map(..).collect()` (the indexed map/collect the
+//!   deterministic field reductions need);
+//! - `zip` of two mutable chunk iterators (fused two-field solver kernels);
+//! - `current_num_threads()` / `set_num_threads()` with a `RAYON_NUM_THREADS`
+//!   environment override, mirroring rayon's global pool sizing.
+//!
+//! When one worker would be used (or there is a single chunk), every
+//! combinator degrades to a direct serial loop that performs **no heap
+//! allocation** — the property the solvers' allocation-free steady state is
+//! built on. `map(..).collect()` necessarily allocates its result vector;
+//! callers that must stay allocation-free use `for_each` or serial fallbacks.
 
 #![forbid(unsafe_code)]
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
 /// The items a `use rayon::prelude::*` is expected to bring into scope.
 pub mod prelude {
-    pub use crate::{IndexedParallelIterator, ParallelSliceMut};
+    pub use crate::{IndexedParallelIterator, ParallelSlice, ParallelSliceMut};
 }
 
-/// Number of worker threads parallel operations will use.
+/// Global worker-count override installed by [`set_num_threads`];
+/// `0` = not set.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// `RAYON_NUM_THREADS` parsed once (reading the environment allocates, and
+/// `current_num_threads` is called from allocation-free kernels).
+fn env_num_threads() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .unwrap_or(0)
+    })
+}
+
+/// Fix the number of worker threads parallel operations use (the moral
+/// equivalent of rayon's `ThreadPoolBuilder::num_threads` on the global
+/// pool). `0` restores the default (environment, then hardware count).
+pub fn set_num_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// Number of worker threads parallel operations will use: the
+/// [`set_num_threads`] override, else `RAYON_NUM_THREADS`, else
+/// `available_parallelism()`.
 pub fn current_num_threads() -> usize {
+    let o = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if o > 0 {
+        return o;
+    }
+    let e = env_num_threads();
+    if e > 0 {
+        return e;
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Slices that can be split into parallel immutable chunks.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel equivalent of [`slice::chunks`].
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunks {
+            slice: self,
+            chunk_size,
+        }
+    }
 }
 
 /// Slices that can be split into parallel mutable chunks.
@@ -42,6 +106,139 @@ impl<T: Send> ParallelSliceMut<T> for [T] {
 /// Marker trait so `use rayon::prelude::*` call sites that name it resolve.
 pub trait IndexedParallelIterator {}
 
+/// How many chunks of `chunk_size` cover `len` elements, and how many of
+/// them each worker-thread group should take (contiguous assignment).
+fn plan(len: usize, chunk_size: usize) -> (usize, usize) {
+    let n_chunks = len.div_ceil(chunk_size).max(1);
+    let threads = current_num_threads().min(n_chunks).max(1);
+    (threads, n_chunks.div_ceil(threads))
+}
+
+// ---- immutable chunks ----
+
+/// Parallel immutable chunk iterator (see [`ParallelSlice::par_chunks`]).
+pub struct ParChunks<'a, T> {
+    slice: &'a [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Sync> ParChunks<'a, T> {
+    /// Pair every chunk with its index, preserving slice order.
+    pub fn enumerate(self) -> EnumParChunks<'a, T> {
+        EnumParChunks { inner: self }
+    }
+
+    /// Run `f` on every chunk, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&[T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+/// Enumerated variant of [`ParChunks`].
+pub struct EnumParChunks<'a, T> {
+    inner: ParChunks<'a, T>,
+}
+
+impl<'a, T: Sync> EnumParChunks<'a, T> {
+    /// Run `f` on every `(index, chunk)` pair, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &[T])) + Sync,
+    {
+        let cs = self.inner.chunk_size;
+        let slice = self.inner.slice;
+        let (threads, per) = plan(slice.len(), cs);
+        if threads <= 1 {
+            for item in slice.chunks(cs).enumerate() {
+                f(item);
+            }
+            return;
+        }
+        let f = &f;
+        std::thread::scope(|scope| {
+            let mut rest = slice;
+            let mut base = 0usize;
+            while !rest.is_empty() {
+                let take = (per * cs).min(rest.len());
+                let (group, tail) = rest.split_at(take);
+                rest = tail;
+                let b = base;
+                scope.spawn(move || {
+                    for (j, c) in group.chunks(cs).enumerate() {
+                        f((b + j, c));
+                    }
+                });
+                base += per;
+            }
+        });
+    }
+
+    /// Map every `(index, chunk)` pair through `f` (order-preserving; see
+    /// [`MapEnumParChunks::collect`]).
+    pub fn map<R, F>(self, f: F) -> MapEnumParChunks<'a, T, F>
+    where
+        F: Fn((usize, &[T])) -> R + Sync,
+        R: Send,
+    {
+        MapEnumParChunks {
+            inner: self.inner,
+            f,
+        }
+    }
+}
+
+/// Pending `map` over enumerated immutable chunks.
+pub struct MapEnumParChunks<'a, T, F> {
+    inner: ParChunks<'a, T>,
+    f: F,
+}
+
+impl<'a, T: Sync, F> MapEnumParChunks<'a, T, F> {
+    /// Evaluate the map in parallel and return results in chunk order.
+    pub fn collect<R>(self) -> Vec<R>
+    where
+        F: Fn((usize, &[T])) -> R + Sync,
+        R: Send,
+    {
+        let cs = self.inner.chunk_size;
+        let slice = self.inner.slice;
+        let (threads, per) = plan(slice.len(), cs);
+        let f = &self.f;
+        if threads <= 1 {
+            return slice.chunks(cs).enumerate().map(f).collect();
+        }
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            let mut rest = slice;
+            let mut base = 0usize;
+            while !rest.is_empty() {
+                let take = (per * cs).min(rest.len());
+                let (group, tail) = rest.split_at(take);
+                rest = tail;
+                let b = base;
+                handles.push(scope.spawn(move || {
+                    group
+                        .chunks(cs)
+                        .enumerate()
+                        .map(|(j, c)| f((b + j, c)))
+                        .collect::<Vec<R>>()
+                }));
+                base += per;
+            }
+            let mut out = Vec::with_capacity(slice.len().div_ceil(cs));
+            for h in handles {
+                out.extend(h.join().expect("worker thread panicked"));
+            }
+            out
+        })
+    }
+}
+
+// ---- mutable chunks ----
+
 /// Parallel mutable chunk iterator (see [`ParallelSliceMut::par_chunks_mut`]).
 pub struct ParChunksMut<'a, T> {
     slice: &'a mut [T],
@@ -61,6 +258,25 @@ impl<'a, T: Send> ParChunksMut<'a, T> {
     {
         self.enumerate().for_each(|(_, chunk)| f(chunk));
     }
+
+    /// Pair chunk `i` of `self` with chunk `i` of `other` (both slices must
+    /// have the same length; chunking is element-wise identical).
+    pub fn zip<U: Send>(self, other: ParChunksMut<'a, U>) -> ZipChunksMut<'a, T, U> {
+        assert_eq!(
+            self.slice.len(),
+            other.slice.len(),
+            "zipped parallel chunk iterators must cover equal lengths"
+        );
+        assert_eq!(
+            self.chunk_size, other.chunk_size,
+            "zipped parallel chunk iterators must agree on chunk size"
+        );
+        ZipChunksMut {
+            a: self.slice,
+            b: other.slice,
+            chunk_size: self.chunk_size,
+        }
+    }
 }
 
 /// Enumerated variant of [`ParChunksMut`].
@@ -74,32 +290,230 @@ impl<'a, T: Send> EnumParChunksMut<'a, T> {
     where
         F: Fn((usize, &mut [T])) + Sync,
     {
-        let mut work: Vec<(usize, &mut [T])> = self
-            .inner
-            .slice
-            .chunks_mut(self.inner.chunk_size)
-            .enumerate()
-            .collect();
-        let threads = current_num_threads().min(work.len()).max(1);
+        let cs = self.inner.chunk_size;
+        let slice = self.inner.slice;
+        let (threads, per) = plan(slice.len(), cs);
         if threads <= 1 {
-            for item in work {
+            for item in slice.chunks_mut(cs).enumerate() {
                 f(item);
             }
             return;
         }
-        let per_thread = work.len().div_ceil(threads);
         let f = &f;
         std::thread::scope(|scope| {
-            while !work.is_empty() {
-                let take = per_thread.min(work.len());
-                let group: Vec<(usize, &mut [T])> = work.drain(..take).collect();
+            let mut rest = slice;
+            let mut base = 0usize;
+            while !rest.is_empty() {
+                let take = (per * cs).min(rest.len());
+                let (group, tail) = rest.split_at_mut(take);
+                rest = tail;
+                let b = base;
                 scope.spawn(move || {
-                    for item in group {
-                        f(item);
+                    for (j, c) in group.chunks_mut(cs).enumerate() {
+                        f((b + j, c));
                     }
                 });
+                base += per;
             }
         });
+    }
+
+    /// Map every `(index, chunk)` pair through `f` (order-preserving; see
+    /// [`MapEnumParChunksMut::collect`]).
+    pub fn map<R, F>(self, f: F) -> MapEnumParChunksMut<'a, T, F>
+    where
+        F: Fn((usize, &mut [T])) -> R + Sync,
+        R: Send,
+    {
+        MapEnumParChunksMut {
+            inner: self.inner,
+            f,
+        }
+    }
+}
+
+/// Pending `map` over enumerated mutable chunks.
+pub struct MapEnumParChunksMut<'a, T, F> {
+    inner: ParChunksMut<'a, T>,
+    f: F,
+}
+
+impl<'a, T: Send, F> MapEnumParChunksMut<'a, T, F> {
+    /// Evaluate the map in parallel and return results in chunk order.
+    pub fn collect<R>(self) -> Vec<R>
+    where
+        F: Fn((usize, &mut [T])) -> R + Sync,
+        R: Send,
+    {
+        let cs = self.inner.chunk_size;
+        let slice = self.inner.slice;
+        let (threads, per) = plan(slice.len(), cs);
+        let f = &self.f;
+        if threads <= 1 {
+            return slice.chunks_mut(cs).enumerate().map(f).collect();
+        }
+        let n_chunks = slice.len().div_ceil(cs);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            let mut rest = slice;
+            let mut base = 0usize;
+            while !rest.is_empty() {
+                let take = (per * cs).min(rest.len());
+                let (group, tail) = rest.split_at_mut(take);
+                rest = tail;
+                let b = base;
+                handles.push(scope.spawn(move || {
+                    group
+                        .chunks_mut(cs)
+                        .enumerate()
+                        .map(|(j, c)| f((b + j, c)))
+                        .collect::<Vec<R>>()
+                }));
+                base += per;
+            }
+            let mut out = Vec::with_capacity(n_chunks);
+            for h in handles {
+                out.extend(h.join().expect("worker thread panicked"));
+            }
+            out
+        })
+    }
+}
+
+// ---- zipped mutable chunks ----
+
+/// Two mutable chunk iterators advanced in lockstep (see
+/// [`ParChunksMut::zip`]).
+pub struct ZipChunksMut<'a, T, U> {
+    a: &'a mut [T],
+    b: &'a mut [U],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send, U: Send> ZipChunksMut<'a, T, U> {
+    /// Pair every chunk pair with its index.
+    pub fn enumerate(self) -> EnumZipChunksMut<'a, T, U> {
+        EnumZipChunksMut { inner: self }
+    }
+
+    /// Run `f` on every chunk pair, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((&mut [T], &mut [U])) + Sync,
+    {
+        self.enumerate().for_each(|(_, pair)| f(pair));
+    }
+}
+
+/// Enumerated variant of [`ZipChunksMut`].
+pub struct EnumZipChunksMut<'a, T, U> {
+    inner: ZipChunksMut<'a, T, U>,
+}
+
+impl<'a, T: Send, U: Send> EnumZipChunksMut<'a, T, U> {
+    /// Run `f` on every `(index, (chunk_a, chunk_b))`, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, (&mut [T], &mut [U]))) + Sync,
+    {
+        let cs = self.inner.chunk_size;
+        let (a, b) = (self.inner.a, self.inner.b);
+        let (threads, per) = plan(a.len(), cs);
+        if threads <= 1 {
+            for (i, pair) in a.chunks_mut(cs).zip(b.chunks_mut(cs)).enumerate() {
+                f((i, pair));
+            }
+            return;
+        }
+        let f = &f;
+        std::thread::scope(|scope| {
+            let mut rest_a = a;
+            let mut rest_b = b;
+            let mut base = 0usize;
+            while !rest_a.is_empty() {
+                let take = (per * cs).min(rest_a.len());
+                let (ga, ta) = rest_a.split_at_mut(take);
+                let (gb, tb) = rest_b.split_at_mut(take);
+                rest_a = ta;
+                rest_b = tb;
+                let bse = base;
+                scope.spawn(move || {
+                    for (j, pair) in ga.chunks_mut(cs).zip(gb.chunks_mut(cs)).enumerate() {
+                        f((bse + j, pair));
+                    }
+                });
+                base += per;
+            }
+        });
+    }
+
+    /// Map every `(index, (chunk_a, chunk_b))` through `f`
+    /// (order-preserving).
+    pub fn map<R, F>(self, f: F) -> MapEnumZipChunksMut<'a, T, U, F>
+    where
+        F: Fn((usize, (&mut [T], &mut [U]))) -> R + Sync,
+        R: Send,
+    {
+        MapEnumZipChunksMut {
+            inner: self.inner,
+            f,
+        }
+    }
+}
+
+/// Pending `map` over enumerated zipped mutable chunks.
+pub struct MapEnumZipChunksMut<'a, T, U, F> {
+    inner: ZipChunksMut<'a, T, U>,
+    f: F,
+}
+
+impl<'a, T: Send, U: Send, F> MapEnumZipChunksMut<'a, T, U, F> {
+    /// Evaluate the map in parallel and return results in chunk order.
+    pub fn collect<R>(self) -> Vec<R>
+    where
+        F: Fn((usize, (&mut [T], &mut [U]))) -> R + Sync,
+        R: Send,
+    {
+        let cs = self.inner.chunk_size;
+        let (a, b) = (self.inner.a, self.inner.b);
+        let (threads, per) = plan(a.len(), cs);
+        let f = &self.f;
+        if threads <= 1 {
+            return a
+                .chunks_mut(cs)
+                .zip(b.chunks_mut(cs))
+                .enumerate()
+                .map(f)
+                .collect();
+        }
+        let n_chunks = a.len().div_ceil(cs);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            let mut rest_a = a;
+            let mut rest_b = b;
+            let mut base = 0usize;
+            while !rest_a.is_empty() {
+                let take = (per * cs).min(rest_a.len());
+                let (ga, ta) = rest_a.split_at_mut(take);
+                let (gb, tb) = rest_b.split_at_mut(take);
+                rest_a = ta;
+                rest_b = tb;
+                let bse = base;
+                handles.push(scope.spawn(move || {
+                    ga.chunks_mut(cs)
+                        .zip(gb.chunks_mut(cs))
+                        .enumerate()
+                        .map(|(j, pair)| f((bse + j, pair)))
+                        .collect::<Vec<R>>()
+                }));
+                base += per;
+            }
+            let mut out = Vec::with_capacity(n_chunks);
+            for h in handles {
+                out.extend(h.join().expect("worker thread panicked"));
+            }
+            out
+        })
     }
 }
 
@@ -134,5 +548,86 @@ mod tests {
         if super::current_num_threads() > 1 {
             assert!(seen > 1, "expected work on more than one thread");
         }
+    }
+
+    #[test]
+    fn immutable_chunks_see_the_right_data() {
+        let data: Vec<usize> = (0..97).collect();
+        let sums = std::sync::Mutex::new(vec![0usize; 10]);
+        data.par_chunks(10).enumerate().for_each(|(i, chunk)| {
+            sums.lock().unwrap()[i] = chunk.iter().sum();
+        });
+        let got = sums.into_inner().unwrap();
+        for (i, s) in got.iter().enumerate() {
+            let want: usize = (i * 10..((i + 1) * 10).min(97)).sum();
+            assert_eq!(*s, want, "chunk {i}");
+        }
+    }
+
+    #[test]
+    fn map_collect_preserves_chunk_order() {
+        let data: Vec<u32> = (0..57).collect();
+        for threads in [1usize, 2, 8] {
+            super::set_num_threads(threads);
+            let got: Vec<(usize, u32)> = data
+                .par_chunks(5)
+                .enumerate()
+                .map(|(i, c)| (i, c.iter().sum::<u32>()))
+                .collect();
+            assert_eq!(got.len(), 12);
+            for (i, (gi, _)) in got.iter().enumerate() {
+                assert_eq!(i, *gi);
+            }
+            let total: u32 = got.iter().map(|(_, s)| s).sum();
+            assert_eq!(total, (0..57).sum::<u32>(), "threads={threads}");
+        }
+        super::set_num_threads(0);
+    }
+
+    #[test]
+    fn mutable_map_collect_mutates_and_returns_in_order() {
+        let mut data = vec![1u64; 40];
+        let partials: Vec<u64> = data
+            .par_chunks_mut(7)
+            .enumerate()
+            .map(|(i, c)| {
+                for v in c.iter_mut() {
+                    *v += i as u64;
+                }
+                c.iter().sum()
+            })
+            .collect();
+        assert_eq!(partials.len(), 6);
+        let direct: Vec<u64> = data.chunks(7).map(|c| c.iter().sum()).collect();
+        assert_eq!(partials, direct);
+    }
+
+    #[test]
+    fn zip_advances_both_slices_in_lockstep() {
+        let mut a = vec![0usize; 33];
+        let mut b = vec![0usize; 33];
+        a.par_chunks_mut(4)
+            .zip(b.par_chunks_mut(4))
+            .enumerate()
+            .for_each(|(i, (ca, cb))| {
+                for v in ca.iter_mut() {
+                    *v = 2 * i;
+                }
+                for v in cb.iter_mut() {
+                    *v = 2 * i + 1;
+                }
+            });
+        for (j, (va, vb)) in a.iter().zip(&b).enumerate() {
+            assert_eq!(*va, 2 * (j / 4));
+            assert_eq!(*vb, 2 * (j / 4) + 1);
+        }
+    }
+
+    #[test]
+    fn set_num_threads_overrides_the_default() {
+        super::set_num_threads(3);
+        assert_eq!(super::current_num_threads(), 3);
+        super::set_num_threads(0);
+        assert!(super::current_num_threads() >= 1);
     }
 }
