@@ -28,7 +28,14 @@
 //! workspace CG on an `l⁴` demo problem (bit-identical iterates asserted)
 //! and writes the validated `qcd-bench-solver/v1` document — the artifact
 //! the CI bench-smoke job uploads.
+//!
+//! With `--hmc`, generates a short pure-gauge ensemble (cold start,
+//! `--hmc-therm` thermalization trajectories, `--hmc-traj` measured ones on
+//! an `--hmc-l`⁴ lattice), enforces the equilibrium gates — Metropolis
+//! acceptance above 0.5 and `⟨exp(-ΔH)⟩ = 1` within 3σ — and writes the
+//! validated `qcd-bench-hmc/v1` document the CI hmc-smoke job uploads.
 
+use bench::hmc_bench;
 use bench::profile;
 use bench::solver_bench;
 use bench::BENCH_LATTICE;
@@ -84,6 +91,64 @@ fn main() {
             Ok(()) => println!(
                 "wrote validated {schema} document to {path}",
                 schema = solver_bench::SOLVER_BENCH_SCHEMA
+            ),
+            Err(e) => {
+                eprintln!("wilson_report: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    // An HMC run is standalone: generate the ensemble, enforce the
+    // physics gates, write the validated document.
+    if let Some(path) = &report_args.hmc {
+        let cfg = hmc_bench::HmcBenchConfig {
+            l: report_args.hmc_l,
+            traj: report_args.hmc_traj,
+            therm: report_args.hmc_therm,
+            ..hmc_bench::HmcBenchConfig::default()
+        };
+        let bench = match hmc_bench::run_hmc_bench(cfg) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("wilson_report: {e}");
+                std::process::exit(1);
+            }
+        };
+        println!(
+            "HMC ENSEMBLE GENERATION — pure-gauge Wilson action, Omelyan integrator\n\
+             lattice {:?}, VL{} {}, {} thread(s), β={}, {} MD steps × ε={}\n\
+             {} thermalization + {} measured trajectories\n",
+            bench.dims,
+            bench.vl_bits,
+            bench.backend,
+            bench.threads,
+            bench.config.beta,
+            bench.config.n_steps,
+            bench.config.step_size,
+            bench.config.therm,
+            bench.config.traj,
+        );
+        println!(
+            "trajectories/s: {:.3}\nforce GFLOP/s:  {:.3}\nacceptance:     {:.3}\n\
+             <exp(-dH)>:     {:.4} ± {:.4}\navg plaquette:  {:.6}",
+            bench.trajectories_per_sec,
+            bench.force_gflops,
+            bench.acceptance,
+            bench.mean_exp_dh,
+            bench.stderr_exp_dh,
+            bench.avg_plaquette,
+        );
+        if let Err(e) = hmc_bench::check_hmc_physics(&bench) {
+            eprintln!("wilson_report: physics gate failed: {e}");
+            std::process::exit(1);
+        }
+        println!("physics gates passed: acceptance > 0.5, <exp(-dH)> = 1 within 3 sigma");
+        match hmc_bench::write_validated_hmc_bench_json(&bench, path) {
+            Ok(()) => println!(
+                "wrote validated {schema} document to {path}",
+                schema = hmc_bench::HMC_BENCH_SCHEMA
             ),
             Err(e) => {
                 eprintln!("wilson_report: {e}");

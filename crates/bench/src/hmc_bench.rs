@@ -1,0 +1,379 @@
+//! The ensemble-generation benchmark behind `wilson_report --hmc`.
+//!
+//! Runs a short pure-gauge HMC chain (cold start → thermalization →
+//! measurement window), checks the two equilibrium identities any correct
+//! implementation must satisfy — Metropolis acceptance well above half and
+//! Creutz's `⟨exp(-ΔH)⟩ = 1` within statistics — and exports the result as
+//! a `qcd-bench-hmc/v1` JSON document, validated by a parse-back schema
+//! check before anything touches disk. The force throughput number comes
+//! from the `hmc.force` trace spans the kernels emit, so the GFLOP/s is
+//! measured over the force's own wall time, not the whole trajectory.
+
+use grid::prelude::*;
+use grid::Coor;
+use qcd_hmc::{HmcParams, IntegratorKind, MarkovChain, FORCE_FLOPS_PER_SITE};
+use qcd_trace::Json;
+use std::time::Instant;
+
+/// Schema identifier of the exported benchmark document.
+pub const HMC_BENCH_SCHEMA: &str = "qcd-bench-hmc/v1";
+
+/// Configuration of one HMC benchmark run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HmcBenchConfig {
+    /// Lattice extent (an `l⁴` lattice).
+    pub l: usize,
+    /// Wilson gauge coupling.
+    pub beta: f64,
+    /// Trajectories discarded as thermalization.
+    pub therm: usize,
+    /// Measured trajectories.
+    pub traj: usize,
+    /// Molecular-dynamics steps per trajectory.
+    pub n_steps: usize,
+    /// Molecular-dynamics step size.
+    pub step_size: f64,
+    /// Chain seed.
+    pub seed: u64,
+}
+
+impl Default for HmcBenchConfig {
+    fn default() -> Self {
+        HmcBenchConfig {
+            l: 8,
+            beta: 5.7,
+            therm: 10,
+            traj: 20,
+            n_steps: 10,
+            step_size: 0.1,
+            seed: 7,
+        }
+    }
+}
+
+/// Results of one HMC benchmark run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HmcBench {
+    /// Lattice extents.
+    pub dims: Coor,
+    /// SVE vector length in bits.
+    pub vl_bits: u64,
+    /// Complex-arithmetic backend name.
+    pub backend: String,
+    /// Worker threads the parallel kernels used.
+    pub threads: usize,
+    /// The configuration that produced this run.
+    pub config: HmcBenchConfig,
+    /// Wall time of the measurement window.
+    pub wall_ns: u64,
+    /// Measured trajectories retired per second.
+    pub trajectories_per_sec: f64,
+    /// Gauge-force throughput over the force spans' own wall time.
+    pub force_gflops: f64,
+    /// Metropolis acceptance over the measurement window.
+    pub acceptance: f64,
+    /// `⟨exp(-ΔH)⟩` over the measurement window (1 in equilibrium).
+    pub mean_exp_dh: f64,
+    /// Standard error of `⟨exp(-ΔH)⟩`.
+    pub stderr_exp_dh: f64,
+    /// Mean plaquette over the measurement window.
+    pub avg_plaquette: f64,
+}
+
+/// Run the benchmark chain at 512-bit SVE with the FCMLA backend.
+///
+/// Resets the global `qcd-trace` registry (the force GFLOP/s comes out of
+/// the `hmc.force` spans), so don't interleave with another profile build.
+pub fn run_hmc_bench(cfg: HmcBenchConfig) -> Result<HmcBench, String> {
+    if cfg.traj == 0 || cfg.n_steps == 0 {
+        return Err("--hmc-traj and MD steps must be positive".into());
+    }
+    if !(cfg.beta.is_finite() && cfg.beta > 0.0 && cfg.step_size > 0.0) {
+        return Err(format!(
+            "unphysical HMC parameters beta={} eps={}",
+            cfg.beta, cfg.step_size
+        ));
+    }
+    let dims: Coor = [cfg.l; 4];
+    let vl = VectorLength::of(512);
+    let backend = SimdBackend::Fcmla;
+    let g = Grid::new(dims, vl, backend);
+    let mut chain = MarkovChain::cold_start(
+        g,
+        HmcParams {
+            beta: cfg.beta,
+            n_steps: cfg.n_steps,
+            step_size: cfg.step_size,
+            integrator: IntegratorKind::Omelyan,
+        },
+        cfg.seed,
+    );
+    // Thermalization accepts unconditionally — from the cold start the
+    // relaxation phase has systematically positive ΔH, and a Metropolis
+    // gate would pin the chain at U = 1 forever. The measurement window
+    // below is a proper detailed-balance chain.
+    chain.thermalize(cfg.therm);
+
+    qcd_trace::reset();
+    let t0 = Instant::now();
+    let reports = chain.run(cfg.traj);
+    let wall_ns = (t0.elapsed().as_nanos() as u64).max(1);
+    let snap = qcd_trace::snapshot();
+
+    // Sum every hmc.force region in the snapshot (they nest under the
+    // integrate span, so match by suffix).
+    let (force_flops, force_ns) = snap
+        .regions
+        .iter()
+        .filter(|(path, _)| path.ends_with("hmc.force"))
+        .fold((0u64, 0u64), |(f, t), (_, stat)| {
+            (f + stat.flops, t + stat.wall_ns)
+        });
+    if force_flops == 0 || force_ns == 0 {
+        return Err("no hmc.force spans recorded — trace registry clobbered mid-run".into());
+    }
+    let expected_flops = (cfg.traj * 3 * cfg.n_steps) as u64
+        * dims.iter().product::<usize>() as u64
+        * FORCE_FLOPS_PER_SITE;
+    if force_flops != expected_flops {
+        return Err(format!(
+            "force flop accounting drifted: spans say {force_flops}, expected {expected_flops}"
+        ));
+    }
+
+    let n = reports.len() as f64;
+    let exp_dh: Vec<f64> = reports.iter().map(|r| (-r.dh).exp()).collect();
+    let mean_exp_dh = exp_dh.iter().sum::<f64>() / n;
+    let var = exp_dh
+        .iter()
+        .map(|e| (e - mean_exp_dh).powi(2))
+        .sum::<f64>()
+        / (n - 1.0).max(1.0);
+    let accepted = reports.iter().filter(|r| r.accepted).count() as f64;
+
+    Ok(HmcBench {
+        dims,
+        vl_bits: vl.bits() as u64,
+        backend: backend.name().to_string(),
+        threads: rayon::current_num_threads(),
+        config: cfg,
+        wall_ns,
+        trajectories_per_sec: n / (wall_ns as f64 / 1e9),
+        force_gflops: force_flops as f64 / (force_ns as f64 / 1e9) / 1e9,
+        acceptance: accepted / n,
+        mean_exp_dh,
+        stderr_exp_dh: (var / n).sqrt(),
+        avg_plaquette: reports.iter().map(|r| r.plaquette).sum::<f64>() / n,
+    })
+}
+
+/// The physics gate the CI `hmc-smoke` job enforces: acceptance above one
+/// half, and Creutz's `⟨exp(-ΔH)⟩ = 1` within 3σ (with a small σ floor so
+/// a freakishly quiet chain cannot fail on roundoff).
+pub fn check_hmc_physics(b: &HmcBench) -> Result<(), String> {
+    if b.acceptance <= 0.5 {
+        return Err(format!(
+            "Metropolis acceptance {} is not above 0.5 — step size too coarse or force wrong",
+            b.acceptance
+        ));
+    }
+    let sigma = b.stderr_exp_dh.max(1e-3);
+    let pull = (b.mean_exp_dh - 1.0).abs() / sigma;
+    if pull > 3.0 {
+        return Err(format!(
+            "⟨exp(-ΔH)⟩ = {} ± {} is {pull:.1}σ from 1 — detailed balance violated",
+            b.mean_exp_dh, b.stderr_exp_dh
+        ));
+    }
+    if !(0.0..1.0).contains(&b.avg_plaquette) {
+        return Err(format!("plaquette {} outside (0, 1)", b.avg_plaquette));
+    }
+    Ok(())
+}
+
+/// Render a benchmark as a `qcd-bench-hmc/v1` document.
+pub fn hmc_bench_to_json(b: &HmcBench) -> Json {
+    Json::Obj(vec![
+        ("schema".into(), Json::Str(HMC_BENCH_SCHEMA.into())),
+        (
+            "lattice".into(),
+            Json::Arr(b.dims.iter().map(|&d| Json::Num(d as f64)).collect()),
+        ),
+        ("vl_bits".into(), Json::Num(b.vl_bits as f64)),
+        ("backend".into(), Json::Str(b.backend.clone())),
+        ("threads".into(), Json::Num(b.threads as f64)),
+        ("beta".into(), Json::Num(b.config.beta)),
+        ("therm".into(), Json::Num(b.config.therm as f64)),
+        ("trajectories".into(), Json::Num(b.config.traj as f64)),
+        ("n_steps".into(), Json::Num(b.config.n_steps as f64)),
+        ("step_size".into(), Json::Num(b.config.step_size)),
+        ("seed".into(), Json::Num(b.config.seed as f64)),
+        ("wall_ns".into(), Json::Num(b.wall_ns as f64)),
+        (
+            "trajectories_per_sec".into(),
+            Json::Num(b.trajectories_per_sec),
+        ),
+        ("force_gflops".into(), Json::Num(b.force_gflops)),
+        ("acceptance".into(), Json::Num(b.acceptance)),
+        ("mean_exp_dh".into(), Json::Num(b.mean_exp_dh)),
+        ("stderr_exp_dh".into(), Json::Num(b.stderr_exp_dh)),
+        ("avg_plaquette".into(), Json::Num(b.avg_plaquette)),
+    ])
+}
+
+/// Validate a parsed document against the `qcd-bench-hmc/v1` schema — the
+/// check the CI `hmc-smoke` job runs on the uploaded artifact.
+pub fn validate_hmc_bench_json(doc: &Json) -> Result<(), String> {
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(HMC_BENCH_SCHEMA) => {}
+        Some(other) => return Err(format!("schema `{other}` != `{HMC_BENCH_SCHEMA}`")),
+        None => return Err("missing `schema`".into()),
+    }
+    let lat = doc
+        .get("lattice")
+        .and_then(Json::as_arr)
+        .ok_or("missing array `lattice`")?;
+    if lat.len() != 4 || lat.iter().any(|d| d.as_u64().is_none_or(|v| v == 0)) {
+        return Err("`lattice` must be four positive extents".into());
+    }
+    for field in ["vl_bits", "threads", "trajectories", "n_steps"] {
+        if doc.get(field).and_then(Json::as_u64).is_none_or(|v| v == 0) {
+            return Err(format!("`{field}` missing or not a positive integer"));
+        }
+    }
+    if doc.get("therm").and_then(Json::as_u64).is_none() {
+        return Err("`therm` missing or not an integer".into());
+    }
+    if doc.get("backend").and_then(Json::as_str).is_none() {
+        return Err("missing string `backend`".into());
+    }
+    for field in [
+        "beta",
+        "step_size",
+        "wall_ns",
+        "trajectories_per_sec",
+        "force_gflops",
+        "mean_exp_dh",
+    ] {
+        let v = doc
+            .get(field)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("`{field}` missing or not a number"))?;
+        if v <= 0.0 || !v.is_finite() {
+            return Err(format!("`{field}` must be positive, got {v}"));
+        }
+    }
+    if doc.get("seed").and_then(Json::as_f64).is_none() {
+        return Err("`seed` missing".into());
+    }
+    if !doc
+        .get("stderr_exp_dh")
+        .and_then(Json::as_f64)
+        .is_some_and(|v| v >= 0.0 && v.is_finite())
+    {
+        return Err("`stderr_exp_dh` missing or negative".into());
+    }
+    if !doc
+        .get("acceptance")
+        .and_then(Json::as_f64)
+        .is_some_and(|v| (0.0..=1.0).contains(&v))
+    {
+        return Err("`acceptance` missing or outside [0, 1]".into());
+    }
+    if !doc
+        .get("avg_plaquette")
+        .and_then(Json::as_f64)
+        .is_some_and(|v| (0.0..1.0).contains(&v))
+    {
+        return Err("`avg_plaquette` missing or outside (0, 1)".into());
+    }
+    Ok(())
+}
+
+/// Render, validate by parse-back, and write `BENCH_hmc.json`. An invalid
+/// document is an error, not an artifact.
+pub fn write_validated_hmc_bench_json(b: &HmcBench, path: &str) -> Result<(), String> {
+    let json = hmc_bench_to_json(b);
+    let doc = json.render();
+    let parsed = Json::parse(&doc)
+        .map_err(|e| format!("emitted JSON does not parse: {} at byte {}", e.msg, e.at))?;
+    validate_hmc_bench_json(&parsed)?;
+    if parsed != json {
+        return Err("JSON round-trip did not reproduce the benchmark document".into());
+    }
+    std::fs::write(path, doc).map_err(|e| format!("write {path}: {e}"))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> HmcBenchConfig {
+        HmcBenchConfig {
+            l: 4,
+            beta: 5.6,
+            therm: 1,
+            traj: 3,
+            n_steps: 2,
+            step_size: 0.1,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn bench_runs_and_exports_a_valid_document() {
+        let _guard = crate::registry_lock();
+        let bench = run_hmc_bench(tiny()).unwrap();
+        assert_eq!(bench.config.traj, 3);
+        assert!(bench.trajectories_per_sec > 0.0);
+        assert!(bench.force_gflops > 0.0);
+        assert!((0.0..=1.0).contains(&bench.acceptance));
+        let doc = hmc_bench_to_json(&bench);
+        validate_hmc_bench_json(&doc).unwrap();
+        let parsed = Json::parse(&doc.render()).unwrap();
+        validate_hmc_bench_json(&parsed).unwrap();
+        assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn physics_gate_rejects_sick_chains() {
+        let _guard = crate::registry_lock();
+        let mut bench = run_hmc_bench(tiny()).unwrap();
+        bench.acceptance = 0.3;
+        assert!(check_hmc_physics(&bench)
+            .unwrap_err()
+            .contains("acceptance"));
+        bench.acceptance = 0.9;
+        bench.mean_exp_dh = 5.0;
+        bench.stderr_exp_dh = 0.01;
+        assert!(check_hmc_physics(&bench).unwrap_err().contains("exp(-ΔH)"));
+    }
+
+    #[test]
+    fn schema_validation_rejects_malformed_documents() {
+        let bad = Json::parse(r#"{"schema":"qcd-bench-hmc/v2"}"#).unwrap();
+        assert!(validate_hmc_bench_json(&bad)
+            .unwrap_err()
+            .contains("schema"));
+        let _guard = crate::registry_lock();
+        let bench = run_hmc_bench(tiny()).unwrap();
+        let Json::Obj(mut members) = hmc_bench_to_json(&bench) else {
+            panic!("bench document must be an object");
+        };
+        members.retain(|(k, _)| k != "force_gflops");
+        assert!(validate_hmc_bench_json(&Json::Obj(members))
+            .unwrap_err()
+            .contains("force_gflops"));
+    }
+
+    #[test]
+    fn degenerate_configs_are_refused() {
+        assert!(run_hmc_bench(HmcBenchConfig { traj: 0, ..tiny() }).is_err());
+        assert!(run_hmc_bench(HmcBenchConfig {
+            step_size: 0.0,
+            ..tiny()
+        })
+        .is_err());
+    }
+}

@@ -4,11 +4,20 @@
 //! `wilson_report` and `table_inst_counts` binaries, including their
 //! `--json` export in the `qcd-trace/v1` schema.
 
+pub mod hmc_bench;
 pub mod profile;
 pub mod solver_bench;
 
 use grid::prelude::*;
 use grid::Coor;
+
+/// The `qcd-trace` registry is process-global; anything that calls
+/// `qcd_trace::reset()` (profile builds, the HMC benchmark) serialises on
+/// this lock so concurrent resets cannot shear each other's snapshots.
+pub fn registry_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Deterministic interleaved complex test data.
 pub fn interleaved(n: usize, phase: f64) -> Vec<f64> {

@@ -213,16 +213,30 @@ pub struct ReportArgs {
     pub bench_l: usize,
     /// `--bench-iters <n>`: timed CG iterations per benchmark leg.
     pub bench_iters: usize,
+    /// `--hmc <path>`: run the HMC ensemble-generation benchmark, enforce
+    /// the equilibrium physics gates, and write the `qcd-bench-hmc/v1`
+    /// document to the path.
+    pub hmc: Option<String>,
+    /// `--hmc-l <n>`: HMC lattice extent (an `n⁴` lattice).
+    pub hmc_l: usize,
+    /// `--hmc-traj <n>`: measured HMC trajectories.
+    pub hmc_traj: usize,
+    /// `--hmc-therm <n>`: thermalization trajectories discarded first.
+    pub hmc_therm: usize,
 }
 
 /// Parse the `wilson_report` command line: `[--json <path>]
 /// [--checkpoint <path>] [--resume <path>] [--ckpt-every <n>]
-/// [--bench <path>] [--bench-l <n>] [--bench-iters <n>]`.
+/// [--bench <path>] [--bench-l <n>] [--bench-iters <n>]
+/// [--hmc <path>] [--hmc-l <n>] [--hmc-traj <n>] [--hmc-therm <n>]`.
 pub fn parse_report_args(args: &[String]) -> Result<ReportArgs, String> {
     let mut out = ReportArgs {
         every: 5,
         bench_l: 8,
         bench_iters: 10,
+        hmc_l: 8,
+        hmc_traj: 20,
+        hmc_therm: 10,
         ..ReportArgs::default()
     };
     fn path_value(it: &mut std::slice::Iter<'_, String>, arg: &str) -> Result<String, String> {
@@ -248,12 +262,16 @@ pub fn parse_report_args(args: &[String]) -> Result<ReportArgs, String> {
             "--checkpoint" => out.checkpoint = Some(path_value(&mut it, arg)?),
             "--resume" => out.resume = Some(path_value(&mut it, arg)?),
             "--bench" => out.bench = Some(path_value(&mut it, arg)?),
+            "--hmc" => out.hmc = Some(path_value(&mut it, arg)?),
             "--ckpt-every" => out.every = count_value(&mut it, arg)?,
             "--bench-l" => out.bench_l = count_value(&mut it, arg)?,
             "--bench-iters" => out.bench_iters = count_value(&mut it, arg)?,
+            "--hmc-l" => out.hmc_l = count_value(&mut it, arg)?,
+            "--hmc-traj" => out.hmc_traj = count_value(&mut it, arg)?,
+            "--hmc-therm" => out.hmc_therm = count_value(&mut it, arg)?,
             other => {
                 return Err(format!(
-                    "unrecognised argument `{other}` (expected --json/--checkpoint/--resume/--bench <path>, --ckpt-every/--bench-l/--bench-iters <n>)"
+                    "unrecognised argument `{other}` (expected --json/--checkpoint/--resume/--bench/--hmc <path>, --ckpt-every/--bench-l/--bench-iters/--hmc-l/--hmc-traj/--hmc-therm <n>)"
                 ))
             }
         }
@@ -361,13 +379,7 @@ mod tests {
     use super::*;
     use sve::Opcode;
 
-    /// The registry is process-global; profile-building tests serialise on
-    /// this lock so concurrent `reset()` calls cannot shear each other's
-    /// snapshots.
-    fn registry_lock() -> std::sync::MutexGuard<'static, ()> {
-        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
-        LOCK.lock().unwrap_or_else(|e| e.into_inner())
-    }
+    use crate::registry_lock;
 
     #[test]
     fn fcmla_regions_match_paper_listings() {

@@ -97,6 +97,50 @@ pub fn transform_fermion(psi: &FermionField, g: &TransformField) -> FermionField
     out
 }
 
+/// Largest entry-wise deviation from unitarity over every link of a gauge
+/// field: `max_{x,µ} max_ij |U†U - 1|_ij`. The drift diagnostic long HMC
+/// chains run after restoring a checkpoint — molecular-dynamics updates
+/// multiply links by matrix exponentials, so rounding error accumulates
+/// multiplicatively and this number grows slowly with trajectory count.
+pub fn max_unitarity_deviation<E: sve::SveFloat>(u: &Field<crate::field::GaugeKind, E>) -> f64 {
+    let grid = u.grid().clone();
+    let mut worst: f64 = 0.0;
+    for x in grid.coords() {
+        for mu in 0..NDIM {
+            worst = worst.max(crate::tensor::su3::unitarity_defect(
+                &crate::tensor::su3::peek_link(u, &x, mu),
+            ));
+        }
+    }
+    worst
+}
+
+impl<E: sve::SveFloat> Field<crate::field::GaugeKind, E> {
+    /// Project every link back onto SU(3)
+    /// ([`crate::tensor::su3::project_su3`]: Gram-Schmidt rows, unitary
+    /// completion with `det = +1`).
+    ///
+    /// This is an *explicit* maintenance step for long molecular-dynamics
+    /// chains, never applied implicitly: silently projecting on checkpoint
+    /// load would break the bit-exact resume contract, so loaders only
+    /// *diagnose* drift ([`max_unitarity_deviation`]) and leave the links
+    /// untouched.
+    pub fn reunitarize(&mut self) {
+        let grid = self.grid().clone();
+        for x in grid.coords() {
+            for mu in 0..NDIM {
+                let fixed =
+                    crate::tensor::su3::project_su3(&crate::tensor::su3::peek_link(self, &x, mu));
+                for r in 0..NCOLOR {
+                    for c in 0..NCOLOR {
+                        self.poke(&x, crate::field::gauge_comp(mu, r, c), fixed[r][c]);
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Average plaquette: `(1/6V) Σ_x Σ_{µ<ν} Re tr[U_µ(x) U_ν(x+µ̂) U†_µ(x+ν̂)
 /// U†_ν(x)] / 3` — the basic gauge-invariant observable (1 on a unit gauge
 /// configuration, ~0 deep in the random/strong-coupling regime).
@@ -215,6 +259,30 @@ mod tests {
         for x in gr.coords().step_by(11) {
             for mu in 0..4 {
                 assert!(unitarity_defect(&peek_link(&up, &x, mu)) < 1e-11);
+            }
+        }
+    }
+
+    #[test]
+    fn reunitarize_removes_injected_drift() {
+        let gr = grid(256);
+        let mut u = random_gauge(gr.clone(), 41);
+        assert!(max_unitarity_deviation(&u) < 1e-12);
+        // Inject multiplicative rounding-style drift on every link entry.
+        for (i, v) in u.data_mut().iter_mut().enumerate() {
+            *v *= 1.0 + 1e-7 * ((i % 13) as f64 - 6.0);
+        }
+        let drifted = max_unitarity_deviation(&u);
+        assert!(drifted > 1e-8, "injected drift invisible: {drifted}");
+        let before = u.clone();
+        u.reunitarize();
+        assert!(max_unitarity_deviation(&u) < 1e-13);
+        // The projection is a small correction, not a rebuild.
+        assert!(u.max_abs_diff(&before) < 1e-5);
+        for x in gr.coords().step_by(17) {
+            for mu in 0..4 {
+                let d = crate::tensor::su3::det(&peek_link(&u, &x, mu));
+                assert!((d - Complex::ONE).abs() < 1e-13, "det {d:?}");
             }
         }
     }

@@ -93,8 +93,8 @@ pub mod prelude {
         gauge_comp, spinor_comp, ComplexField, FermionField, Field, GaugeField,
     };
     pub use crate::gauge::{
-        average_plaquette, average_polyakov_loop, random_transform, transform_fermion,
-        transform_links, wilson_loop, TransformField,
+        average_plaquette, average_polyakov_loop, max_unitarity_deviation, random_transform,
+        transform_fermion, transform_links, wilson_loop, TransformField,
     };
     pub use crate::layout::Grid;
     pub use crate::mixed::{

@@ -34,6 +34,43 @@ pub fn stream_id(global_site: usize, comp: usize, reim: usize) -> u64 {
         .wrapping_add((comp as u64) * 2 + reim as u64)
 }
 
+/// 53 random mantissa bits mapped to the half-open interval `(0, 1]` —
+/// shifted up by one ulp of the grid so `ln` of the result is always finite
+/// (the radial draw of Box–Muller takes a log).
+fn unit_open(h: u64) -> f64 {
+    ((h >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// 53 random mantissa bits mapped to `[0, 1)`.
+fn unit_halfopen(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Box–Muller: map two raw 64-bit draws to a pair of independent standard
+/// normals. Pure function of its inputs — every Gaussian in the codebase
+/// (stateless field fills and [`StreamRng`] cursors alike) funnels through
+/// this one transform, so the two paths agree bit for bit.
+pub fn box_muller(h1: u64, h2: u64) -> (f64, f64) {
+    let r = (-2.0 * unit_open(h1).ln()).sqrt();
+    let theta = 2.0 * std::f64::consts::PI * unit_halfopen(h2);
+    (r * theta.cos(), r * theta.sin())
+}
+
+/// The raw mixer output draw `stream` of `seed` — the value
+/// [`StreamRng::next_u64`] returns when its counter sits at `stream`.
+fn mix(seed: u64, stream: u64) -> u64 {
+    splitmix64(seed ^ splitmix64(stream))
+}
+
+/// Standard normal for a (seed, stream) pair — stateless, so drawing order
+/// never matters. Consumes the `stream` and `stream + 1` mixer slots (the
+/// re/im pair of a [`stream_id`], whose `reim` bit is the low bit), i.e. one
+/// Gaussian per field component. Identical bits to
+/// [`StreamRng::next_gaussian`] called with the counter at `stream`.
+pub fn gaussian(seed: u64, stream: u64) -> f64 {
+    box_muller(mix(seed, stream), mix(seed, stream.wrapping_add(1))).0
+}
+
 /// A sequential counter-mode RNG over the same splitmix64 mixer the field
 /// generators use.
 ///
@@ -81,6 +118,32 @@ impl StreamRng {
         let h = self.next_u64();
         let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
         2.0 * u - 1.0
+    }
+
+    /// Next uniform value in `[0, 1)` — the Metropolis accept draw.
+    pub fn next_uniform01(&mut self) -> f64 {
+        unit_halfopen(self.next_u64())
+    }
+
+    /// Next pair of independent standard normals (Box–Muller).
+    ///
+    /// Consumes exactly two counter draws and carries **no hidden state**
+    /// (no cached second value), so `(seed, counter)` remains the complete
+    /// RNG state: a stream serialized between the two raw draws of a pair
+    /// and restored via [`StreamRng::from_state`] still reproduces the pair
+    /// bit for bit.
+    pub fn next_gaussian_pair(&mut self) -> (f64, f64) {
+        let h1 = self.next_u64();
+        let h2 = self.next_u64();
+        box_muller(h1, h2)
+    }
+
+    /// Next standard normal. Consumes two counter draws (the second normal
+    /// of the Box–Muller pair is discarded, never cached — checkpoint state
+    /// stays `(seed, counter)` alone). Bit-identical to the stateless
+    /// [`gaussian`] at `stream = counter`.
+    pub fn next_gaussian(&mut self) -> f64 {
+        self.next_gaussian_pair().0
     }
 }
 
@@ -156,6 +219,72 @@ mod tests {
         for i in 0..32 {
             assert_eq!(rng.next_uniform(), uniform(42, i));
         }
+    }
+
+    #[test]
+    fn gaussian_moments_are_standard_normal() {
+        let n = 20_000u64;
+        let (mut sum, mut sum2) = (0.0, 0.0);
+        for i in 0..n {
+            let z = gaussian(9, 2 * i);
+            assert!(z.is_finite());
+            sum += z;
+            sum2 += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn gaussian_pair_components_are_uncorrelated() {
+        let n = 10_000u64;
+        let mut cross = 0.0;
+        let mut rng = StreamRng::new(31);
+        for _ in 0..n {
+            let (a, b) = rng.next_gaussian_pair();
+            cross += a * b;
+        }
+        assert!((cross / n as f64).abs() < 0.05);
+    }
+
+    #[test]
+    fn stateful_gaussian_matches_stateless_and_costs_two_draws() {
+        let mut rng = StreamRng::new(77);
+        for i in 0..16u64 {
+            assert_eq!(rng.draws(), 2 * i);
+            let z = rng.next_gaussian();
+            assert_eq!(z.to_bits(), gaussian(77, 2 * i).to_bits());
+        }
+    }
+
+    #[test]
+    fn gaussian_survives_mid_pair_checkpoint() {
+        // Save between the two raw draws of one Box–Muller pair: because
+        // there is no cached spare value, the restored stream completes the
+        // pair bit-identically.
+        let mut whole = StreamRng::new(5);
+        let want = whole.next_gaussian_pair();
+
+        let mut head = StreamRng::new(5);
+        let h1 = head.next_u64();
+        let (seed, counter) = head.state();
+        let mut resumed = StreamRng::from_state(seed, counter);
+        let h2 = resumed.next_u64();
+        let got = box_muller(h1, h2);
+        assert_eq!(want.0.to_bits(), got.0.to_bits());
+        assert_eq!(want.1.to_bits(), got.1.to_bits());
+    }
+
+    #[test]
+    fn uniform01_is_in_range_and_resumes() {
+        let mut a = StreamRng::new(13);
+        let vals: Vec<f64> = (0..64).map(|_| a.next_uniform01()).collect();
+        assert!(vals.iter().all(|v| (0.0..1.0).contains(v)));
+        let (seed, counter) = a.state();
+        let mut b = StreamRng::from_state(seed, counter);
+        assert_eq!(a.next_uniform01().to_bits(), b.next_uniform01().to_bits());
     }
 
     #[test]

@@ -69,18 +69,13 @@ fn vnorm(a: &ColorVector) -> f64 {
     cdot(a, a).re.sqrt()
 }
 
-/// A deterministic pseudo-random SU(3) matrix for (seed, stream):
-/// Gram-Schmidt two random rows, third row = conjugate cross product
-/// (guarantees `det = +1`).
-pub fn random_su3(seed: u64, stream: u64) -> ColorMatrix {
-    let mut rows: [ColorVector; 2] = std::array::from_fn(|r| {
-        std::array::from_fn(|c| {
-            Complex::new(
-                uniform(seed, stream.wrapping_mul(64) + (r * 6 + c * 2) as u64),
-                uniform(seed, stream.wrapping_mul(64) + (r * 6 + c * 2 + 1) as u64),
-            )
-        })
-    });
+/// Project a (near-)invertible matrix onto SU(3): Gram-Schmidt the first
+/// two rows, third row = conjugate cross product (guarantees unitarity and
+/// `det = +1`). For a matrix that is already special unitary up to rounding
+/// drift this is the standard reunitarization used on long HMC chains: it
+/// removes the `O(drift)` defect while moving each entry by `O(drift)`.
+pub fn project_su3(m: &ColorMatrix) -> ColorMatrix {
+    let mut rows: [ColorVector; 2] = [m[0], m[1]];
     // Normalize row 0.
     let n0 = vnorm(&rows[0]);
     for c in 0..NCOLOR {
@@ -104,6 +99,21 @@ pub fn random_su3(seed: u64, stream: u64) -> ColorMatrix {
         (r0[0] * r1[1] - r0[1] * r1[0]).conj(),
     ];
     [rows[0], rows[1], row2]
+}
+
+/// A deterministic pseudo-random SU(3) matrix for (seed, stream): two
+/// random complex rows pushed through [`project_su3`].
+pub fn random_su3(seed: u64, stream: u64) -> ColorMatrix {
+    let rows: [ColorVector; 2] = std::array::from_fn(|r| {
+        std::array::from_fn(|c| {
+            Complex::new(
+                uniform(seed, stream.wrapping_mul(64) + (r * 6 + c * 2) as u64),
+                uniform(seed, stream.wrapping_mul(64) + (r * 6 + c * 2 + 1) as u64),
+            )
+        })
+    });
+    let zero: ColorVector = [Complex::ZERO; NCOLOR];
+    project_su3(&[rows[0], rows[1], zero])
 }
 
 /// Fill a gauge field with deterministic random SU(3) links (one matrix per
@@ -171,6 +181,58 @@ pub fn mat_dag_vec<E: SveFloat>(
         let mut acc = eng.mult_conj(u[0][r], v[0]);
         acc = eng.madd_conj(acc, u[1][r], v[1]);
         eng.madd_conj(acc, u[2][r], v[2])
+    })
+}
+
+/// `out = a b` over SIMD words: the 3×3 complex matrix product (27
+/// multiply-adds), one product per virtual node per call — the plaquette /
+/// staple building block of the HMC gauge force.
+#[inline]
+pub fn mat_mul<E: SveFloat>(
+    eng: &SimdEngine<E>,
+    a: &[[CVec; NCOLOR]; NCOLOR],
+    b: &[[CVec; NCOLOR]; NCOLOR],
+) -> [[CVec; NCOLOR]; NCOLOR] {
+    std::array::from_fn(|r| {
+        std::array::from_fn(|c| {
+            let mut acc = eng.mult(a[r][0], b[0][c]);
+            acc = eng.madd(acc, a[r][1], b[1][c]);
+            eng.madd(acc, a[r][2], b[2][c])
+        })
+    })
+}
+
+/// `out = a b†` over SIMD words, via the conjugated-FCMLA idiom
+/// (`conj(b[c][k]) * a[r][k]` — complex multiplication commutes) instead of
+/// materializing the adjoint.
+#[inline]
+pub fn mat_mul_dag<E: SveFloat>(
+    eng: &SimdEngine<E>,
+    a: &[[CVec; NCOLOR]; NCOLOR],
+    b: &[[CVec; NCOLOR]; NCOLOR],
+) -> [[CVec; NCOLOR]; NCOLOR] {
+    std::array::from_fn(|r| {
+        std::array::from_fn(|c| {
+            let mut acc = eng.mult_conj(b[c][0], a[r][0]);
+            acc = eng.madd_conj(acc, b[c][1], a[r][1]);
+            eng.madd_conj(acc, b[c][2], a[r][2])
+        })
+    })
+}
+
+/// `out = a† b` over SIMD words (conjugated-FCMLA on the left factor).
+#[inline]
+pub fn mat_dag_mul<E: SveFloat>(
+    eng: &SimdEngine<E>,
+    a: &[[CVec; NCOLOR]; NCOLOR],
+    b: &[[CVec; NCOLOR]; NCOLOR],
+) -> [[CVec; NCOLOR]; NCOLOR] {
+    std::array::from_fn(|r| {
+        std::array::from_fn(|c| {
+            let mut acc = eng.mult_conj(a[0][r], b[0][c]);
+            acc = eng.madd_conj(acc, a[1][r], b[1][c]);
+            eng.madd_conj(acc, a[2][r], b[2][c])
+        })
     })
 }
 
@@ -259,6 +321,79 @@ mod tests {
                         (eng.lane(udv[r], l) - want_dag[r]).abs() < 1e-12,
                         "{backend:?} U†v lane {l} row {r}"
                     );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn project_su3_restores_special_unitarity() {
+        // Drift a good matrix by O(1e-6) per entry; the projection must
+        // land back on SU(3) and stay within O(drift) of the original.
+        let u = random_su3(19, 3);
+        let mut drifted = u;
+        for r in 0..NCOLOR {
+            for c in 0..NCOLOR {
+                drifted[r][c] += Complex::new(1e-6 * (r + 1) as f64, -1e-6 * (c as f64 - 1.0));
+            }
+        }
+        assert!(unitarity_defect(&drifted) > 1e-7);
+        let fixed = project_su3(&drifted);
+        assert!(unitarity_defect(&fixed) < 1e-14);
+        assert!((det(&fixed) - Complex::ONE).abs() < 1e-14);
+        for r in 0..NCOLOR {
+            for c in 0..NCOLOR {
+                assert!((fixed[r][c] - u[r][c]).abs() < 1e-5, "moved too far");
+            }
+        }
+        // Idempotent on an exact SU(3) matrix (up to rounding).
+        let again = project_su3(&fixed);
+        for r in 0..NCOLOR {
+            for c in 0..NCOLOR {
+                assert!((again[r][c] - fixed[r][c]).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn word_level_matmul_matches_scalar_all_backends() {
+        for backend in SimdBackend::all() {
+            let eng = SimdEngine::<f64>::new(
+                std::sync::Arc::new(sve::SveCtx::new(VectorLength::of(256))),
+                backend,
+            );
+            let am: Vec<ColorMatrix> = (0..eng.lanes_c())
+                .map(|l| random_su3(7, l as u64 + 1))
+                .collect();
+            let bm: Vec<ColorMatrix> = (0..eng.lanes_c())
+                .map(|l| random_su3(8, l as u64 + 1))
+                .collect();
+            let aw: [[CVec; 3]; 3] =
+                std::array::from_fn(|r| std::array::from_fn(|c| eng.from_fn(|l| am[l][r][c])));
+            let bw: [[CVec; 3]; 3] =
+                std::array::from_fn(|r| std::array::from_fn(|c| eng.from_fn(|l| bm[l][r][c])));
+            let ab = mat_mul(&eng, &aw, &bw);
+            let abd = mat_mul_dag(&eng, &aw, &bw);
+            let adb = mat_dag_mul(&eng, &aw, &bw);
+            for l in 0..eng.lanes_c() {
+                let want_ab = mat_mul_scalar(&am[l], &bm[l]);
+                let want_abd = mat_mul_scalar(&am[l], &dagger(&bm[l]));
+                let want_adb = mat_mul_scalar(&dagger(&am[l]), &bm[l]);
+                for r in 0..NCOLOR {
+                    for c in 0..NCOLOR {
+                        assert!(
+                            (eng.lane(ab[r][c], l) - want_ab[r][c]).abs() < 1e-12,
+                            "{backend:?} AB lane {l} ({r},{c})"
+                        );
+                        assert!(
+                            (eng.lane(abd[r][c], l) - want_abd[r][c]).abs() < 1e-12,
+                            "{backend:?} AB† lane {l} ({r},{c})"
+                        );
+                        assert!(
+                            (eng.lane(adb[r][c], l) - want_adb[r][c]).abs() < 1e-12,
+                            "{backend:?} A†B lane {l} ({r},{c})"
+                        );
+                    }
                 }
             }
         }

@@ -1,0 +1,539 @@
+//! Wilson gauge action, staple-sum force, and the molecular-dynamics field
+//! updates — the compute kernels of the HMC trajectory.
+//!
+//! All heavy loops run word-level through the [`grid::SimdEngine`] (one
+//! 3×3 product per virtual node per call) and are parallelized through the
+//! rayon shim using the same fixed-chunk decomposition as the solver
+//! kernels: chunks of [`reduce::CHUNK_SITES`] outer sites, reductions over
+//! a fixed binary-split tree. Forces are per-site maps (no reduction at
+//! all), actions reduce through the chunk tree — so every number produced
+//! here is bit-identical for 1, 2, or 8 worker threads.
+//!
+//! **Force derivation.** With `U̇_µ(x) = P_µ(x) U_µ(x)` and the Wilson
+//! action `S = β Σ_{x,µ<ν} (1 - Re tr P_{µν}/3)`, writing `Σ_µ(x)` for the
+//! sum of the six staples of the link, energy conservation
+//! `d(K+S)/dt = 0` for every `P ∈ su(3)` fixes
+//!
+//! ```text
+//! Ṗ_µ(x) = -(β/6) · TA(U_µ(x) Σ_µ(x)),    K = -Σ_{x,µ} tr P_µ(x)²
+//! ```
+//!
+//! using `Re tr(P M) = tr(P · TA(M))` (see [`crate::algebra::ta_project`]).
+//! The `β/6 = β/(2N_c)` normalization is not folklore here: the
+//! `force_matches_numerical_gradient` test differentiates the action
+//! numerically along a random algebra direction, and the ΔH ∝ ε² sweep
+//! would expose any mismatch as an O(1) energy drift.
+
+use crate::algebra::{exp_su3, momentum_from_gaussians};
+use grid::field::GaugeKind;
+use grid::gauge::ColourMatrixKind;
+use grid::prelude::*;
+use grid::reduce;
+use grid::rng::{gaussian, stream_id};
+use grid::tensor::su3::{mat_dag_mul, mat_mul, mat_mul_dag, mat_mul_scalar, ColorMatrix};
+use grid::{gauge_comp, CVec, Field, FieldKind, NCOLOR, NDIM};
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// Complex 3×3 matrix product: 9 entries × (3 complex mults + 2 adds).
+const MATMUL_FLOPS: u64 = 9 * (3 * 6 + 2 * 2);
+
+/// Useful flops per lattice site of one [`force`] evaluation: 12 ordered
+/// staple pairs × (4 matrix products + 2 accumulating adds of 9 complex
+/// entries), plus the 4 per-direction `U·Σ` products and TA projections.
+pub const FORCE_FLOPS_PER_SITE: u64 = 12 * (4 * MATMUL_FLOPS + 2 * 18) + 4 * (MATMUL_FLOPS + 46);
+
+/// Useful flops per lattice site of one [`wilson_action`] sweep: 6 planes ×
+/// (2 matrix products + the 9-term trace inner product).
+pub const ACTION_FLOPS_PER_SITE: u64 = 6 * (2 * MATMUL_FLOPS + 70);
+
+/// Load a 3×3 complex word matrix from `NCOMP ≥ comp0 + 9` field storage.
+#[inline]
+fn load_mat<K: FieldKind>(
+    eng: &SimdEngine<f64>,
+    f: &Field<K>,
+    osite: usize,
+    comp0: usize,
+) -> [[CVec; NCOLOR]; NCOLOR] {
+    std::array::from_fn(|r| std::array::from_fn(|c| eng.load(f.word(osite, comp0 + r * 3 + c))))
+}
+
+/// Deterministic fixed-chunk sum over outer sites: ascending-osite leaves
+/// of [`reduce::CHUNK_SITES`] sites combined through the fixed binary tree,
+/// exactly like the field reductions — thread count never changes the bits.
+fn osite_tree_sum(grid: &Arc<Grid>, leaf: impl Fn(usize, usize) -> f64 + Sync) -> f64 {
+    let osites = grid.osites();
+    let n = reduce::n_chunks(osites, reduce::CHUNK_SITES);
+    let chunk_sum = |ci: usize| {
+        let lo = ci * reduce::CHUNK_SITES;
+        let hi = (lo + reduce::CHUNK_SITES).min(osites);
+        leaf(lo, hi)
+    };
+    if rayon::current_num_threads() <= 1 || n <= 1 {
+        let mut lf = chunk_sum;
+        reduce::reduce_serial(n, &mut lf, &|a, b| a + b)
+    } else {
+        let ids: Vec<usize> = (0..n).collect();
+        let leaves: Vec<f64> = ids
+            .par_chunks(1)
+            .enumerate()
+            .map(|(_, c)| chunk_sum(c[0]))
+            .collect();
+        reduce::combine_tree(&leaves, &|a, b| a + b)
+    }
+}
+
+/// `tr(M C†)` per word: `Σ_{r,k} M[r][k]·conj(C[r][k])` — the trace of a
+/// product with an adjoint without materializing the product.
+#[inline]
+fn trace_mul_dag(
+    eng: &SimdEngine<f64>,
+    m: &[[CVec; NCOLOR]; NCOLOR],
+    c: &[[CVec; NCOLOR]; NCOLOR],
+) -> CVec {
+    let mut acc = eng.mult_conj(c[0][0], m[0][0]);
+    for r in 0..NCOLOR {
+        for k in 0..NCOLOR {
+            if r == 0 && k == 0 {
+                continue;
+            }
+            acc = eng.madd_conj(acc, c[r][k], m[r][k]);
+        }
+    }
+    acc
+}
+
+/// Sum of `Re tr P_{µν}(x)` over all sites and the six `µ<ν` planes,
+/// word-level with a deterministic chunk-tree reduction.
+fn plaquette_re_trace_sum(u: &GaugeField) -> f64 {
+    let grid = u.grid().clone();
+    let eng = grid.engine();
+    // U(x+d̂) for every direction, site-local after the shift.
+    let shifted: Vec<GaugeField> = (0..NDIM).map(|d| cshift(u, d, 1)).collect();
+    osite_tree_sum(&grid, |lo, hi| {
+        let mut sum = 0.0;
+        for osite in lo..hi {
+            for mu in 0..NDIM {
+                let umu = load_mat(eng, u, osite, gauge_comp(mu, 0, 0));
+                for nu in (mu + 1)..NDIM {
+                    let unu_xmu = load_mat(eng, &shifted[mu], osite, gauge_comp(nu, 0, 0));
+                    let umu_xnu = load_mat(eng, &shifted[nu], osite, gauge_comp(mu, 0, 0));
+                    let unu = load_mat(eng, u, osite, gauge_comp(nu, 0, 0));
+                    // P = U_µ(x) U_ν(x+µ̂) U_µ†(x+ν̂) U_ν†(x); take the
+                    // trace against the last adjoint directly.
+                    let m1 = mat_mul(eng, &umu, &unu_xmu);
+                    let m2 = mat_mul_dag(eng, &m1, &umu_xnu);
+                    sum += eng.reduce_sum(trace_mul_dag(eng, &m2, &unu)).re;
+                }
+            }
+        }
+        sum
+    })
+}
+
+/// Wilson gauge action `S = β Σ_{x,µ<ν} (1 - Re tr P_{µν}(x) / 3)`.
+///
+/// Zero on a unit gauge configuration, `≈ 6βV` deep in the random regime.
+/// Gauge invariant, and bit-identical across 1/2/8 worker threads (fixed
+/// chunk-tree reduction).
+pub fn wilson_action(u: &GaugeField, beta: f64) -> f64 {
+    let grid = u.grid().clone();
+    let eng = grid.engine();
+    let _span = qcd_trace::span!("hmc.action", eng.ctx());
+    let sites = grid.volume() as u64;
+    qcd_trace::record_sites(sites);
+    qcd_trace::record_flops(sites * ACTION_FLOPS_PER_SITE);
+    let n_plaq = (grid.volume() * NDIM * (NDIM - 1) / 2) as f64;
+    beta * (n_plaq - plaquette_re_trace_sum(u) / NCOLOR as f64)
+}
+
+/// Average plaquette `⟨Re tr P / 3⟩` through the same word-level kernel as
+/// [`wilson_action`] (agrees with `grid::gauge::average_plaquette` to
+/// rounding; this one is parallel and cheap enough to log per trajectory).
+pub fn average_plaquette_fast(u: &GaugeField) -> f64 {
+    let grid = u.grid().clone();
+    let n_plaq = (grid.volume() * NDIM * (NDIM - 1) / 2) as f64;
+    plaquette_re_trace_sum(u) / NCOLOR as f64 / n_plaq
+}
+
+/// Sum of the six staples `Σ_µ(x)` for every link, packed like gauge
+/// links (component `gauge_comp(µ, r, c)`):
+///
+/// ```text
+/// Σ_µ(x) = Σ_{ν≠µ}  U_ν(x+µ̂) U_µ†(x+ν̂) U_ν†(x)                    (up)
+///                 + U_ν†(x+µ̂-ν̂) U_µ†(x-ν̂) U_ν(x-ν̂)               (down)
+/// ```
+///
+/// so that `Re tr[U_µ(x) Σ_µ(x)]` summed over links counts every plaquette
+/// four times (once per link it contains).
+pub fn staple_field(u: &GaugeField) -> GaugeField {
+    let grid = u.grid().clone();
+    let eng = grid.engine();
+    let w = eng.word_len();
+    let shifted: Vec<GaugeField> = (0..NDIM).map(|d| cshift(u, d, 1)).collect();
+    let mut staple = GaugeField::zero(grid.clone());
+    let cs = reduce::CHUNK_SITES * GaugeKind::NCOMP * w;
+
+    for mu in 0..NDIM {
+        for nu in 0..NDIM {
+            if nu == mu {
+                continue;
+            }
+            // Down staple: build D(y) = U_ν†(y+µ̂) U_µ†(y) U_ν(y) site-
+            // locally, then shift it down so D arrives at x = y+ν̂.
+            let mut down_src = Field::<ColourMatrixKind>::zero(grid.clone());
+            let tcs = reduce::CHUNK_SITES * ColourMatrixKind::NCOMP * w;
+            down_src
+                .data_mut()
+                .par_chunks_mut(tcs)
+                .enumerate()
+                .for_each(|(ci, chunk)| {
+                    let base = ci * reduce::CHUNK_SITES;
+                    for (j, block) in chunk
+                        .chunks_exact_mut(ColourMatrixKind::NCOMP * w)
+                        .enumerate()
+                    {
+                        let osite = base + j;
+                        let a = load_mat(eng, &shifted[mu], osite, gauge_comp(nu, 0, 0));
+                        let b = load_mat(eng, u, osite, gauge_comp(mu, 0, 0));
+                        let c = load_mat(eng, u, osite, gauge_comp(nu, 0, 0));
+                        let d = mat_dag_mul(eng, &a, &mat_dag_mul(eng, &b, &c));
+                        for r in 0..NCOLOR {
+                            for cc in 0..NCOLOR {
+                                eng.store(&mut block[(r * 3 + cc) * w..][..w], d[r][cc]);
+                            }
+                        }
+                    }
+                });
+            let down = cshift(&down_src, nu, -1);
+
+            // Up staple is site-local given the shifted fields; accumulate
+            // both contributions into the packed staple component.
+            staple
+                .data_mut()
+                .par_chunks_mut(cs)
+                .enumerate()
+                .for_each(|(ci, chunk)| {
+                    let base = ci * reduce::CHUNK_SITES;
+                    for (j, block) in chunk.chunks_exact_mut(GaugeKind::NCOMP * w).enumerate() {
+                        let osite = base + j;
+                        let a = load_mat(eng, &shifted[mu], osite, gauge_comp(nu, 0, 0));
+                        let b = load_mat(eng, &shifted[nu], osite, gauge_comp(mu, 0, 0));
+                        let c = load_mat(eng, u, osite, gauge_comp(nu, 0, 0));
+                        let up = mat_mul_dag(eng, &mat_mul_dag(eng, &a, &b), &c);
+                        let d = load_mat(eng, &down, osite, 0);
+                        for r in 0..NCOLOR {
+                            for cc in 0..NCOLOR {
+                                let slot = &mut block[(gauge_comp(mu, r, cc)) * w..][..w];
+                                let acc = eng.add(eng.load(slot), eng.add(up[r][cc], d[r][cc]));
+                                eng.store(slot, acc);
+                            }
+                        }
+                    }
+                });
+        }
+    }
+    staple
+}
+
+/// The HMC gauge force `F_µ(x) = -(β/6) · TA(U_µ(x) Σ_µ(x))` as a
+/// link-shaped field — the time derivative `Ṗ` of the momenta.
+///
+/// A pure per-site map (no reduction), parallel over fixed chunks; emits a
+/// `hmc.force` trace span with site and flop counts.
+pub fn force(u: &GaugeField, beta: f64) -> GaugeField {
+    let grid = u.grid().clone();
+    let eng = grid.engine();
+    let _span = qcd_trace::span!("hmc.force", eng.ctx());
+    let sites = grid.volume() as u64;
+    qcd_trace::record_sites(sites);
+    qcd_trace::record_flops(sites * FORCE_FLOPS_PER_SITE);
+
+    let staple = staple_field(u);
+    let w = eng.word_len();
+    let coef = eng.dup_real(-beta / (2.0 * NCOLOR as f64));
+    let half = eng.dup_real(0.5);
+    let third = eng.dup_real(1.0 / NCOLOR as f64);
+    let mut f = GaugeField::zero(grid.clone());
+    let cs = reduce::CHUNK_SITES * GaugeKind::NCOMP * w;
+    f.data_mut()
+        .par_chunks_mut(cs)
+        .enumerate()
+        .for_each(|(ci, chunk)| {
+            let base = ci * reduce::CHUNK_SITES;
+            for (j, block) in chunk.chunks_exact_mut(GaugeKind::NCOMP * w).enumerate() {
+                let osite = base + j;
+                for mu in 0..NDIM {
+                    let um = load_mat(eng, u, osite, gauge_comp(mu, 0, 0));
+                    let sm = load_mat(eng, &staple, osite, gauge_comp(mu, 0, 0));
+                    let wm = mat_mul(eng, &um, &sm);
+                    // A = W - W† (anti-Hermitian part, twice).
+                    let a: [[CVec; NCOLOR]; NCOLOR] = std::array::from_fn(|r| {
+                        std::array::from_fn(|c| eng.sub(wm[r][c], eng.conj(wm[c][r])))
+                    });
+                    // TA(W) = A/2 - (tr A / 2N_c) · 1, then scale by -β/2N_c.
+                    let tr = eng.add(eng.add(a[0][0], a[1][1]), a[2][2]);
+                    let tr_term = eng.scale(half, eng.scale(third, tr));
+                    for r in 0..NCOLOR {
+                        for c in 0..NCOLOR {
+                            let mut v = eng.scale(half, a[r][c]);
+                            if r == c {
+                                v = eng.sub(v, tr_term);
+                            }
+                            eng.store(
+                                &mut block[gauge_comp(mu, r, c) * w..][..w],
+                                eng.scale(coef, v),
+                            );
+                        }
+                    }
+                }
+            }
+        });
+    f
+}
+
+/// Kinetic energy of a momentum field: `K = -Σ_{x,µ} tr P_µ(x)²`, which for
+/// anti-Hermitian momenta is exactly the Frobenius `norm2` — reusing the
+/// field's deterministic chunk-tree reduction.
+pub fn kinetic_energy(p: &GaugeField) -> f64 {
+    p.norm2()
+}
+
+/// Gaussian heat-bath momentum refresh: an independent
+/// `P_µ(x) = Σ_a η_a (i T_a)` per link, with every normal drawn from its
+/// own counter-mode stream keyed by `(global site, µ·8+a)` — drawing order
+/// never matters, so the field is identical across vector lengths, thread
+/// counts, and site iteration orders.
+pub fn refresh_momenta(grid: Arc<Grid>, seed: u64) -> GaugeField {
+    let mut p = GaugeField::zero(grid.clone());
+    for x in grid.coords() {
+        let gi = grid.global_index(&x);
+        for mu in 0..NDIM {
+            let etas: [f64; 8] =
+                std::array::from_fn(|a| gaussian(seed, stream_id(gi, mu * 8 + a, 0)));
+            let m = momentum_from_gaussians(&etas);
+            for (r, row) in m.iter().enumerate() {
+                for (c, &v) in row.iter().enumerate() {
+                    p.poke(&x, gauge_comp(mu, r, c), v);
+                }
+            }
+        }
+    }
+    p
+}
+
+/// Molecular-dynamics link drift: `U_µ(x) ← exp(ε P_µ(x)) U_µ(x)` for every
+/// link — a per-site map (parallel, deterministic), with the exponential
+/// evaluated per SIMD lane through [`crate::algebra::exp_su3`].
+pub fn update_links(u: &mut GaugeField, p: &GaugeField, eps: f64) {
+    let grid = u.grid().clone();
+    let eng = grid.engine();
+    let w = eng.word_len();
+    let lanes = eng.lanes_c();
+    let cs = reduce::CHUNK_SITES * GaugeKind::NCOMP * w;
+    u.data_mut()
+        .par_chunks_mut(cs)
+        .enumerate()
+        .for_each(|(ci, chunk)| {
+            let base = ci * reduce::CHUNK_SITES;
+            for (j, block) in chunk.chunks_exact_mut(GaugeKind::NCOMP * w).enumerate() {
+                let osite = base + j;
+                for mu in 0..NDIM {
+                    let pw = load_mat(eng, p, osite, gauge_comp(mu, 0, 0));
+                    let uw: [[CVec; NCOLOR]; NCOLOR] = std::array::from_fn(|r| {
+                        std::array::from_fn(|c| eng.load(&block[gauge_comp(mu, r, c) * w..][..w]))
+                    });
+                    let per_lane: Vec<ColorMatrix> = (0..lanes)
+                        .map(|l| {
+                            let pm: ColorMatrix = std::array::from_fn(|r| {
+                                std::array::from_fn(|c| eng.lane(pw[r][c], l).scale(eps))
+                            });
+                            let um: ColorMatrix = std::array::from_fn(|r| {
+                                std::array::from_fn(|c| eng.lane(uw[r][c], l))
+                            });
+                            mat_mul_scalar(&exp_su3(&pm), &um)
+                        })
+                        .collect();
+                    for r in 0..NCOLOR {
+                        for c in 0..NCOLOR {
+                            let v = eng.from_fn(|l| per_lane[l][r][c]);
+                            eng.store(&mut block[gauge_comp(mu, r, c) * w..][..w], v);
+                        }
+                    }
+                }
+            }
+        });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grid::gauge::{average_plaquette, max_unitarity_deviation};
+    use grid::tensor::su3::{peek_link, random_gauge, unit_gauge};
+
+    fn grid4(bits: usize) -> Arc<Grid> {
+        Grid::new([4, 4, 4, 4], VectorLength::of(bits), SimdBackend::Fcmla)
+    }
+
+    #[test]
+    fn action_matches_scalar_plaquette() {
+        let g = grid4(256);
+        let u = random_gauge(g.clone(), 51);
+        let beta = 5.7;
+        let n_plaq = (g.volume() * 6) as f64;
+        let want = beta * n_plaq * (1.0 - average_plaquette(&u));
+        let got = wilson_action(&u, beta);
+        assert!(
+            (want - got).abs() < 1e-9 * want.abs().max(1.0),
+            "{want} vs {got}"
+        );
+        assert!((average_plaquette_fast(&u) - average_plaquette(&u)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn action_is_zero_on_unit_gauge() {
+        let g = grid4(128);
+        assert!(wilson_action(&unit_gauge(g.clone()), 6.0).abs() < 1e-9);
+        let f = force(&unit_gauge(g), 6.0);
+        assert!(f.norm2() < 1e-20, "unit gauge must be a fixed point");
+    }
+
+    #[test]
+    fn action_is_identical_across_vector_lengths() {
+        // Same physical field, different layouts: per-site arithmetic is
+        // lane-wise identical, but the summation order over sites follows
+        // the layout, so agreement is to rounding, not to the bit.
+        let mut vals = Vec::new();
+        for bits in [128usize, 512, 2048] {
+            let g = grid4(bits);
+            let u = random_gauge(g, 52);
+            vals.push(wilson_action(&u, 5.7));
+        }
+        for v in &vals[1..] {
+            assert!((v - vals[0]).abs() < 1e-8 * vals[0].abs());
+        }
+    }
+
+    #[test]
+    fn force_lives_in_the_algebra() {
+        let g = grid4(256);
+        let u = random_gauge(g.clone(), 53);
+        let f = force(&u, 5.7);
+        for x in g.coords().step_by(7) {
+            for mu in 0..NDIM {
+                let m = peek_link(&f, &x, mu);
+                let p = crate::algebra::ta_project(&m);
+                for r in 0..NCOLOR {
+                    for c in 0..NCOLOR {
+                        assert!((m[r][c] - p[r][c]).abs() < 1e-13, "not in su(3)");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn force_matches_numerical_gradient() {
+        // Directional derivative along a random algebra direction Q:
+        //   d/dt S(e^{tQ} U)|_0  =  2 Σ_{x,µ} tr(Q_µ(x) F_µ(x))
+        // — the identity that makes Ḣ = 0, since K = -Σ tr P² gives
+        // K̇ = -2 Σ tr(P Ṗ) = -2 Σ tr(P F). Checked by symmetric
+        // difference.
+        let g = Grid::new([2, 2, 2, 2], VectorLength::of(128), SimdBackend::Fcmla);
+        let u = random_gauge(g.clone(), 54);
+        let beta = 5.7;
+        let q = {
+            let mut q = GaugeField::zero(g.clone());
+            for x in g.coords() {
+                let gi = g.global_index(&x);
+                for mu in 0..NDIM {
+                    let etas: [f64; 8] =
+                        std::array::from_fn(|a| gaussian(99, stream_id(gi, mu * 8 + a, 0)));
+                    let m = momentum_from_gaussians(&etas);
+                    for (r, row) in m.iter().enumerate() {
+                        for (c, &v) in row.iter().enumerate() {
+                            q.poke(&x, gauge_comp(mu, r, c), v);
+                        }
+                    }
+                }
+            }
+            q
+        };
+        let h = 1e-5;
+        let mut up = u.clone();
+        update_links(&mut up, &q, h);
+        let mut dn = u.clone();
+        update_links(&mut dn, &q, -h);
+        let numeric = (wilson_action(&up, beta) - wilson_action(&dn, beta)) / (2.0 * h);
+
+        let f = force(&u, beta);
+        let mut analytic = 0.0;
+        for x in g.coords() {
+            for mu in 0..NDIM {
+                let qm = peek_link(&q, &x, mu);
+                let fm = peek_link(&f, &x, mu);
+                analytic += crate::algebra::trace(&mat_mul_scalar(&qm, &fm)).re;
+            }
+        }
+        analytic *= 2.0;
+        assert!(
+            (numeric - analytic).abs() < 1e-6 * analytic.abs().max(1.0),
+            "dS numeric {numeric} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn refresh_is_layout_independent_and_gaussian() {
+        let a = refresh_momenta(grid4(128), 7);
+        let b = refresh_momenta(grid4(1024), 7);
+        let x = [1, 2, 3, 0];
+        for mu in 0..NDIM {
+            assert_eq!(peek_link(&a, &x, mu), peek_link(&b, &x, mu));
+        }
+        // K/dof = ½ in expectation with dof = 8 per link.
+        let dof = (a.grid().volume() * NDIM * 8) as f64;
+        let k = kinetic_energy(&a);
+        assert!(
+            (k / dof - 0.5).abs() < 0.03,
+            "K/dof = {} should be near 1/2",
+            k / dof
+        );
+    }
+
+    #[test]
+    fn update_links_stays_in_the_group_and_inverts() {
+        let g = grid4(256);
+        let mut u = random_gauge(g.clone(), 55);
+        let u0 = u.clone();
+        let p = refresh_momenta(g.clone(), 8);
+        update_links(&mut u, &p, 0.2);
+        assert!(max_unitarity_deviation(&u) < 1e-12);
+        assert!(u.max_abs_diff(&u0) > 1e-3, "drift must move the links");
+        update_links(&mut u, &p, -0.2);
+        assert!(
+            u.max_abs_diff(&u0) < 1e-13,
+            "exp(-εP) must undo exp(εP) to rounding"
+        );
+    }
+
+    #[test]
+    fn staple_reconstructs_the_action() {
+        // Σ_{x,µ} Re tr[U_µ Σ_µ] counts every plaquette 4 times.
+        let g = grid4(256);
+        let u = random_gauge(g.clone(), 56);
+        let staple = staple_field(&u);
+        let mut sum = 0.0;
+        for x in g.coords() {
+            for mu in 0..NDIM {
+                let um = peek_link(&u, &x, mu);
+                let sm = peek_link(&staple, &x, mu);
+                sum += crate::algebra::trace(&mat_mul_scalar(&um, &sm)).re;
+            }
+        }
+        let plaq_sum = plaquette_re_trace_sum(&u);
+        assert!(
+            (sum - 4.0 * plaq_sum).abs() < 1e-8 * plaq_sum.abs().max(1.0),
+            "{sum} vs 4·{plaq_sum}"
+        );
+    }
+}

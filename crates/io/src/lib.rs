@@ -50,6 +50,7 @@ pub mod crc;
 pub mod error;
 pub mod fault;
 pub mod fields;
+pub mod hmc;
 
 pub use checkpoint::{
     bicgstab_checkpointed_from, cg_checkpointed, cg_checkpointed_from, load_bicgstab, load_cg,
@@ -63,3 +64,4 @@ pub use fields::{
     plaquette_tolerance, read_field, read_gauge, rng_from_record, rng_record, write_field,
     write_gauge, FieldMeta,
 };
+pub use hmc::{read_hmc_chain, write_hmc_chain, HmcChainState, HMC_HISTORY_RECORD, HMC_RECORD};
