@@ -11,7 +11,7 @@
 //!
 //! Usage: `wilson_report [--json <path>] [--checkpoint <path>]
 //! [--resume <path>] [--ckpt-every <n>] [--bench <path>] [--bench-l <n>]
-//! [--bench-iters <n>]`.
+//! [--bench-iters <n>] [--rhs <n>]`.
 //!
 //! With `--json`, additionally writes the registry snapshot as a
 //! `qcd-trace/v1` document (schema documented on
@@ -27,7 +27,10 @@
 //! With `--bench`, times the unfused allocating CG against the fused
 //! workspace CG on an `l⁴` demo problem (bit-identical iterates asserted)
 //! and writes the validated `qcd-bench-solver/v1` document — the artifact
-//! the CI bench-smoke job uploads.
+//! the CI bench-smoke job uploads. The document also carries the batched
+//! multi-RHS `M†M` legs (default N ∈ {1,4,8,16}; `--rhs <n>` benchmarks
+//! `{1, n}` instead), and the run fails if batching eight right-hand
+//! sides is slower than one at a time.
 //!
 //! With `--hmc`, generates a short pure-gauge ensemble (cold start,
 //! `--hmc-therm` thermalization trajectories, `--hmc-traj` measured ones on
@@ -56,14 +59,21 @@ fn main() {
     // A benchmark run is standalone: time the two solver legs, write the
     // validated document, skip the instruction-efficiency sweep.
     if let Some(path) = &report_args.bench {
-        let bench =
-            match solver_bench::run_solver_bench(report_args.bench_l, report_args.bench_iters) {
-                Ok(b) => b,
-                Err(e) => {
-                    eprintln!("wilson_report: {e}");
-                    std::process::exit(1);
-                }
-            };
+        let rhs_counts: Vec<usize> = match report_args.rhs {
+            Some(n) => vec![1, n],
+            None => solver_bench::BLOCK_RHS_COUNTS.to_vec(),
+        };
+        let bench = match solver_bench::run_solver_bench_with_rhs(
+            report_args.bench_l,
+            report_args.bench_iters,
+            &rhs_counts,
+        ) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("wilson_report: {e}");
+                std::process::exit(1);
+            }
+        };
         println!(
             "SOLVER BENCHMARK — fused workspace CG vs unfused allocating CG\n\
              lattice {:?}, VL{} {}, {} thread(s), {} iterations/leg\n",
@@ -87,6 +97,43 @@ fn main() {
             "\nspeedup: x{:.2} (fused / baseline, sites/s)",
             bench.speedup
         );
+        println!(
+            "\nBATCHED M†M — one link load per site amortised over N right-hand sides\n\
+             {:<6} {:>14} {:>16} {:>10} {:>8} {:>9} {:>9} {:>9} {:>12}",
+            "N",
+            "wall ms",
+            "RHS-sites/s",
+            "GFLOP/s",
+            "AI",
+            "AI 2row",
+            "speedup",
+            "AI gain",
+            "mem-bound x"
+        );
+        for leg in &bench.block {
+            println!(
+                "{:<6} {:>14.2} {:>16.0} {:>10.3} {:>8.3} {:>9.3} {:>9.2} {:>9.2} {:>12.3}",
+                leg.nrhs,
+                leg.wall_ns as f64 / 1e6,
+                leg.sites_per_sec,
+                leg.gflops,
+                leg.ai,
+                leg.ai_two_row,
+                leg.speedup,
+                leg.ai_gain,
+                leg.mem_bound_speedup
+            );
+        }
+        println!(
+            "(mem-bound x: trace-span bytes per RHS-site, N=1 full links over\n\
+             batch-N two-row links — the throughput factor in the\n\
+             bandwidth-bound regime the paper targets; wall clock here is\n\
+             compute-bound on the scalar SVE functional model.)"
+        );
+        if let Err(e) = solver_bench::check_block_throughput(&bench) {
+            eprintln!("wilson_report: {e}");
+            std::process::exit(1);
+        }
         match solver_bench::write_validated_bench_json(&bench, path) {
             Ok(()) => println!(
                 "wrote validated {schema} document to {path}",

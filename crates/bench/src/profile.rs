@@ -213,6 +213,10 @@ pub struct ReportArgs {
     pub bench_l: usize,
     /// `--bench-iters <n>`: timed CG iterations per benchmark leg.
     pub bench_iters: usize,
+    /// `--rhs <n>`: benchmark the multi-RHS operator at this batch size
+    /// (plus the N=1 baseline) instead of the default N ∈ {1,4,8,16}
+    /// sweep.
+    pub rhs: Option<usize>,
     /// `--hmc <path>`: run the HMC ensemble-generation benchmark, enforce
     /// the equilibrium physics gates, and write the `qcd-bench-hmc/v1`
     /// document to the path.
@@ -227,7 +231,7 @@ pub struct ReportArgs {
 
 /// Parse the `wilson_report` command line: `[--json <path>]
 /// [--checkpoint <path>] [--resume <path>] [--ckpt-every <n>]
-/// [--bench <path>] [--bench-l <n>] [--bench-iters <n>]
+/// [--bench <path>] [--bench-l <n>] [--bench-iters <n>] [--rhs <n>]
 /// [--hmc <path>] [--hmc-l <n>] [--hmc-traj <n>] [--hmc-therm <n>]`.
 pub fn parse_report_args(args: &[String]) -> Result<ReportArgs, String> {
     let mut out = ReportArgs {
@@ -266,12 +270,13 @@ pub fn parse_report_args(args: &[String]) -> Result<ReportArgs, String> {
             "--ckpt-every" => out.every = count_value(&mut it, arg)?,
             "--bench-l" => out.bench_l = count_value(&mut it, arg)?,
             "--bench-iters" => out.bench_iters = count_value(&mut it, arg)?,
+            "--rhs" => out.rhs = Some(count_value(&mut it, arg)?),
             "--hmc-l" => out.hmc_l = count_value(&mut it, arg)?,
             "--hmc-traj" => out.hmc_traj = count_value(&mut it, arg)?,
             "--hmc-therm" => out.hmc_therm = count_value(&mut it, arg)?,
             other => {
                 return Err(format!(
-                    "unrecognised argument `{other}` (expected --json/--checkpoint/--resume/--bench/--hmc <path>, --ckpt-every/--bench-l/--bench-iters/--hmc-l/--hmc-traj/--hmc-therm <n>)"
+                    "unrecognised argument `{other}` (expected --json/--checkpoint/--resume/--bench/--hmc <path>, --ckpt-every/--bench-l/--bench-iters/--rhs/--hmc-l/--hmc-traj/--hmc-therm <n>)"
                 ))
             }
         }

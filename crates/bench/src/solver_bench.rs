@@ -25,10 +25,14 @@ use grid::dirac::{
 use grid::prelude::*;
 use grid::Coor;
 use qcd_trace::Json;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Schema identifier of the exported benchmark document.
 pub const SOLVER_BENCH_SCHEMA: &str = "qcd-bench-solver/v1";
+
+/// Default batch sizes of the multi-RHS legs.
+pub const BLOCK_RHS_COUNTS: [usize; 4] = [1, 4, 8, 16];
 
 /// Useful floating-point work per lattice site per CG iteration, identical
 /// for both legs (they compute the same recurrence):
@@ -65,6 +69,42 @@ pub struct LegResult {
     pub sweeps_per_iter: f64,
 }
 
+/// Throughput of one multi-RHS operator leg: `iters` applications of the
+/// fused `M†M` + curvature-dot kernel to a batch of `nrhs` spinors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockLeg {
+    /// Right-hand sides in the batch.
+    pub nrhs: usize,
+    /// Wall time of the application loop.
+    pub wall_ns: u64,
+    /// RHS-site applications retired per second (volume × nrhs ×
+    /// iterations / wall) — the figure the batched layout is meant to
+    /// raise by amortising link loads.
+    pub sites_per_sec: f64,
+    /// Useful GFLOP/s (model flops from the telemetry of one
+    /// application, scaled by the loop count).
+    pub gflops: f64,
+    /// Measured arithmetic intensity (telemetry flops / telemetry bytes)
+    /// of one batched application. Links are loaded once per site
+    /// regardless of `nrhs`, so this grows with the batch.
+    pub ai: f64,
+    /// Arithmetic intensity of the same batched application through the
+    /// two-row operator mode (12 link scalars on the bus instead of 18,
+    /// third row rebuilt in registers).
+    pub ai_two_row: f64,
+    /// `sites_per_sec / (N=1 leg's sites_per_sec)`.
+    pub speedup: f64,
+    /// `ai / (N=1 leg's ai)` — the AI gain of batching alone.
+    pub ai_gain: f64,
+    /// Projected throughput gain in the memory-bandwidth-bound regime the
+    /// paper targets, with both levers engaged: bytes per RHS-site of the
+    /// N=1 full-link leg over bytes per RHS-site of this leg under
+    /// two-row links (all from trace-span byte accounting — on
+    /// bandwidth-bound hardware, sites/s scales as the inverse of bytes
+    /// moved per site).
+    pub mem_bound_speedup: f64,
+}
+
 /// A complete before/after solver benchmark.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SolverBench {
@@ -84,6 +124,8 @@ pub struct SolverBench {
     pub fused: LegResult,
     /// `fused.sites_per_sec / baseline.sites_per_sec`.
     pub speedup: f64,
+    /// Multi-RHS operator legs, one per batch size (N=1 first).
+    pub block: Vec<BlockLeg>,
 }
 
 fn leg_result(dims: Coor, iters: usize, wall_ns: u64, sweeps: f64) -> LegResult {
@@ -98,18 +140,184 @@ fn leg_result(dims: Coor, iters: usize, wall_ns: u64, sweeps: f64) -> LegResult 
     }
 }
 
-/// Run both legs for exactly `iters` iterations on an `l⁴` lattice at
-/// 512-bit SVE with the FCMLA backend, assert their iterates agree bit for
-/// bit, and return the throughput comparison.
-pub fn run_solver_bench(l: usize, iters: usize) -> Result<SolverBench, String> {
+/// One traced application of the batched kernel: the flops and bytes its
+/// `dirac.block` spans credited to the registry, plus the per-RHS
+/// curvature dots. The spans land under a uniquely named parent so the
+/// subtree sum is race-free against concurrent telemetry; the registry
+/// lock keeps a concurrent `qcd_trace::reset` (the profile/HMC paths)
+/// from wiping the subtree before it is read back.
+fn probe_block(
+    op: &WilsonDirac,
+    block: &FermionBlock,
+    tmp: &mut FermionBlock,
+    out: &mut FermionBlock,
+) -> Result<(u64, u64, Vec<f64>), String> {
+    static SPAN_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let probe = format!(
+        "bench.block.{}",
+        SPAN_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    );
+    let guard = crate::registry_lock();
+    let span = qcd_trace::SpanGuard::enter(&probe, None);
+    let dots = op.mdag_m_block_into_dot(block, tmp, out);
+    let _ = span.finish();
+    let prefix = format!("{probe}/");
+    let (flops, traffic) = qcd_trace::snapshot()
+        .regions
+        .iter()
+        .filter(|(path, _)| path.starts_with(&prefix))
+        .fold((0u64, 0u64), |(f, t), (_, stat)| {
+            (f + stat.flops, t + stat.bytes_read + stat.bytes_written)
+        });
+    drop(guard);
+    if flops == 0 || traffic == 0 {
+        return Err(format!(
+            "block probe recorded no telemetry for N={}",
+            block.nrhs()
+        ));
+    }
+    Ok((flops, traffic, dots))
+}
+
+/// Time the batched `M†M` legs: `iters` applications of
+/// [`WilsonDirac::mdag_m_block_into_dot`] per batch size. The `N = 1` leg
+/// is asserted bit-identical to the single-RHS fused kernel — batching
+/// must change the memory traffic, never the math. Each leg is also
+/// probed through `op_two_row` (same links, two-row compressed loads) to
+/// derive the combined batching + compression bandwidth model.
+fn run_block_legs(
+    g: &Arc<Grid>,
+    op: &WilsonDirac,
+    op_two_row: &WilsonDirac,
+    iters: usize,
+    rhs_counts: &[usize],
+) -> Result<Vec<BlockLeg>, String> {
+    // Always measure N = 1: it anchors `speedup` and `ai_gain`.
+    let mut counts: Vec<usize> = rhs_counts.to_vec();
+    counts.push(1);
+    counts.sort_unstable();
+    counts.dedup();
+    let max_n = *counts.last().expect("at least one batch size");
+    let fields: Vec<FermionField> = (0..max_n)
+        .map(|j| FermionField::random(g.clone(), 92 + j as u64))
+        .collect();
+    let volume = g.fdims().iter().product::<usize>() as f64;
+
+    let mut legs = Vec::with_capacity(counts.len());
+    let mut full_bytes = Vec::with_capacity(counts.len());
+    let mut two_row_bytes = Vec::with_capacity(counts.len());
+    for &n in &counts {
+        let block = FermionBlock::from_fields(&fields[..n]);
+        let mut tmp = FermionBlock::zero(g.clone(), n);
+        let mut out = FermionBlock::zero(g.clone(), n);
+        let _ = op.mdag_m_block_into_dot(&block, &mut tmp, &mut out); // warm-up
+
+        // Measured arithmetic intensity of one batched application.
+        let (flops, traffic, dots) = probe_block(op, &block, &mut tmp, &mut out)?;
+        let ai = flops as f64 / traffic as f64;
+
+        if n == 1 {
+            // The batched kernel with one RHS must retire the exact bits
+            // of the single-RHS fused path.
+            let mut stmp = FermionField::zero(g.clone());
+            let mut sout = FermionField::zero(g.clone());
+            let sdot = op.mdag_m_into_dot(&fields[0], &mut stmp, &mut sout);
+            if dots[0].to_bits() != sdot.to_bits() || out.rhs_field(0).max_abs_diff(&sout) != 0.0 {
+                return Err(
+                    "block leg diverged: N=1 batch is not bit-identical to single RHS".into(),
+                );
+            }
+        }
+
+        // Same batch through two-row compressed links: same flops, 12
+        // link scalars on the bus per leg instead of 18.
+        let (tr_flops, tr_traffic, _) = probe_block(op_two_row, &block, &mut tmp, &mut out)?;
+        let ai_two_row = tr_flops as f64 / tr_traffic as f64;
+        full_bytes.push(traffic);
+        two_row_bytes.push(tr_traffic);
+
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            let _ = op.mdag_m_block_into_dot(&block, &mut tmp, &mut out);
+        }
+        let wall_ns = (t0.elapsed().as_nanos() as u64).max(1);
+        let secs = wall_ns as f64 / 1e9;
+        legs.push(BlockLeg {
+            nrhs: n,
+            wall_ns,
+            sites_per_sec: volume * n as f64 * iters as f64 / secs,
+            gflops: flops as f64 * iters as f64 / secs / 1e9,
+            ai,
+            ai_two_row,
+            speedup: 1.0, // filled in once the N=1 leg is known
+            ai_gain: 1.0,
+            mem_bound_speedup: 1.0,
+        });
+    }
+    let base = legs[0];
+    // `counts` starts at 1, so the base leg's traffic IS bytes per RHS.
+    let base_bytes_per_rhs = full_bytes[0] as f64;
+    for (leg, &tr) in legs.iter_mut().zip(&two_row_bytes) {
+        leg.speedup = leg.sites_per_sec / base.sites_per_sec;
+        leg.ai_gain = leg.ai / base.ai;
+        leg.mem_bound_speedup = base_bytes_per_rhs / (tr as f64 / leg.nrhs as f64);
+    }
+    Ok(legs)
+}
+
+/// Target factor for the batched memory-bound model: with eight
+/// right-hand sides amortising each two-row link load, the trace-span
+/// byte accounting must show at least 1.5× the single-RHS full-link
+/// throughput in the bandwidth-bound regime.
+pub const BLOCK_MEM_BOUND_TARGET: f64 = 1.5;
+
+/// The CI gate on the exported block legs: batching eight right-hand
+/// sides must retire at least as many RHS-sites per second as running
+/// them one at a time, and the derived memory-bound model (batching +
+/// two-row links, from trace-span byte accounting) must reach
+/// [`BLOCK_MEM_BOUND_TARGET`] over the N=1 full-link leg.
+pub fn check_block_throughput(b: &SolverBench) -> Result<(), String> {
+    let leg = |n: usize| b.block.iter().find(|l| l.nrhs == n);
+    match (leg(1), leg(8)) {
+        (Some(one), Some(eight)) => {
+            if eight.sites_per_sec < one.sites_per_sec {
+                return Err(format!(
+                    "block throughput regressed: N=8 {:.0} sites/s < N=1 {:.0} sites/s",
+                    eight.sites_per_sec, one.sites_per_sec
+                ));
+            }
+            if eight.mem_bound_speedup < BLOCK_MEM_BOUND_TARGET {
+                return Err(format!(
+                    "block memory-bound model regressed: N=8 two-row {:.3}× < {}× target",
+                    eight.mem_bound_speedup, BLOCK_MEM_BOUND_TARGET
+                ));
+            }
+            Ok(())
+        }
+        // A custom --rhs sweep without both anchors: nothing to gate.
+        _ => Ok(()),
+    }
+}
+
+/// [`run_solver_bench`] with a caller-chosen set of multi-RHS batch sizes
+/// (`--rhs`). N = 1 is always included as the batching baseline.
+pub fn run_solver_bench_with_rhs(
+    l: usize,
+    iters: usize,
+    rhs_counts: &[usize],
+) -> Result<SolverBench, String> {
     if iters == 0 {
         return Err("--bench-iters must be positive".into());
+    }
+    if rhs_counts.contains(&0) {
+        return Err("--rhs must be positive".into());
     }
     let dims: Coor = [l, l, l, l];
     let vl = VectorLength::of(512);
     let backend = SimdBackend::Fcmla;
     let g = Grid::new(dims, vl, backend);
     let u = random_gauge(g.clone(), 91);
+    let op_two_row = WilsonDirac::new_two_row(u.clone(), 0.2);
     let op = WilsonDirac::new(u, 0.2);
     let b = FermionField::random(g.clone(), 92);
     let a = 0.2 + 4.0;
@@ -161,6 +369,7 @@ pub fn run_solver_bench(l: usize, iters: usize) -> Result<SolverBench, String> {
 
     let baseline = leg_result(dims, iters, base_wall.max(1), BASELINE_SWEEPS_PER_ITER);
     let fused = leg_result(dims, iters, fused_wall.max(1), FUSED_SWEEPS_PER_ITER);
+    let block = run_block_legs(&g, &op, &op_two_row, iters, rhs_counts)?;
     Ok(SolverBench {
         dims,
         vl_bits: vl.bits() as u64,
@@ -170,7 +379,16 @@ pub fn run_solver_bench(l: usize, iters: usize) -> Result<SolverBench, String> {
         speedup: fused.sites_per_sec / baseline.sites_per_sec,
         baseline,
         fused,
+        block,
     })
+}
+
+/// Run both single-RHS legs plus the default multi-RHS sweep
+/// ([`BLOCK_RHS_COUNTS`]) for exactly `iters` iterations on an `l⁴`
+/// lattice at 512-bit SVE with the FCMLA backend, assert the legs agree
+/// bit for bit, and return the throughput comparison.
+pub fn run_solver_bench(l: usize, iters: usize) -> Result<SolverBench, String> {
+    run_solver_bench_with_rhs(l, iters, &BLOCK_RHS_COUNTS)
 }
 
 fn leg_json(leg: &LegResult) -> Json {
@@ -179,6 +397,20 @@ fn leg_json(leg: &LegResult) -> Json {
         ("sites_per_sec".into(), Json::Num(leg.sites_per_sec)),
         ("gflops".into(), Json::Num(leg.gflops)),
         ("sweeps_per_iter".into(), Json::Num(leg.sweeps_per_iter)),
+    ])
+}
+
+fn block_leg_json(leg: &BlockLeg) -> Json {
+    Json::Obj(vec![
+        ("nrhs".into(), Json::Num(leg.nrhs as f64)),
+        ("wall_ns".into(), Json::Num(leg.wall_ns as f64)),
+        ("sites_per_sec".into(), Json::Num(leg.sites_per_sec)),
+        ("gflops".into(), Json::Num(leg.gflops)),
+        ("ai".into(), Json::Num(leg.ai)),
+        ("ai_two_row".into(), Json::Num(leg.ai_two_row)),
+        ("speedup".into(), Json::Num(leg.speedup)),
+        ("ai_gain".into(), Json::Num(leg.ai_gain)),
+        ("mem_bound_speedup".into(), Json::Num(leg.mem_bound_speedup)),
     ])
 }
 
@@ -197,6 +429,10 @@ pub fn bench_to_json(b: &SolverBench) -> Json {
         ("baseline".into(), leg_json(&b.baseline)),
         ("fused".into(), leg_json(&b.fused)),
         ("speedup".into(), Json::Num(b.speedup)),
+        (
+            "block".into(),
+            Json::Arr(b.block.iter().map(block_leg_json).collect()),
+        ),
     ])
 }
 
@@ -248,6 +484,40 @@ pub fn validate_solver_bench_json(doc: &Json) -> Result<(), String> {
     {
         return Err("`speedup` missing or not positive".into());
     }
+    let block = doc
+        .get("block")
+        .and_then(Json::as_arr)
+        .ok_or("missing array `block`")?;
+    if block.is_empty() {
+        return Err("`block` must hold at least the N=1 leg".into());
+    }
+    for (i, row) in block.iter().enumerate() {
+        if row
+            .get("nrhs")
+            .and_then(Json::as_u64)
+            .is_none_or(|v| v == 0)
+        {
+            return Err(format!("`block[{i}].nrhs` missing or not positive"));
+        }
+        for field in [
+            "wall_ns",
+            "sites_per_sec",
+            "gflops",
+            "ai",
+            "ai_two_row",
+            "speedup",
+            "ai_gain",
+            "mem_bound_speedup",
+        ] {
+            let v = row
+                .get(field)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("`block[{i}].{field}` missing or not a number"))?;
+            if v <= 0.0 || !v.is_finite() {
+                return Err(format!("`block[{i}].{field}` must be positive, got {v}"));
+            }
+        }
+    }
     Ok(())
 }
 
@@ -272,17 +542,74 @@ mod tests {
 
     #[test]
     fn bench_runs_and_exports_a_valid_document() {
-        let bench = run_solver_bench(4, 3).unwrap();
+        let bench = run_solver_bench_with_rhs(4, 3, &[1, 2]).unwrap();
         assert_eq!(bench.iterations, 3);
         assert!(bench.baseline.sites_per_sec > 0.0);
         assert!(bench.fused.sites_per_sec > 0.0);
         assert!(bench.speedup > 0.0);
+        assert_eq!(bench.block.len(), 2);
+        assert_eq!(bench.block[0].nrhs, 1);
+        assert_eq!(bench.block[0].speedup, 1.0);
+        assert_eq!(bench.block[0].ai_gain, 1.0);
+        // Link loads amortise over the batch, so the telemetry-measured
+        // arithmetic intensity must strictly grow with N.
+        assert!(
+            bench.block[1].ai > bench.block[0].ai,
+            "AI must grow with the batch: {} vs {}",
+            bench.block[1].ai,
+            bench.block[0].ai
+        );
+        for leg in &bench.block {
+            // Two-row loads shrink the byte denominator at equal flops.
+            assert!(
+                leg.ai_two_row > leg.ai,
+                "two-row AI must beat full links at N={}: {} vs {}",
+                leg.nrhs,
+                leg.ai_two_row,
+                leg.ai
+            );
+            assert!(leg.mem_bound_speedup > 1.0);
+        }
         let doc = bench_to_json(&bench);
         validate_solver_bench_json(&doc).unwrap();
         // Rendered → parsed survives the schema check too (what CI does).
         let parsed = Json::parse(&doc.render()).unwrap();
         validate_solver_bench_json(&parsed).unwrap();
         assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn block_gate_flags_a_throughput_regression() {
+        let mut bench = run_solver_bench_with_rhs(4, 1, &[1, 8]).unwrap();
+        check_block_throughput(&bench).unwrap();
+        // Eight RHS amortising two-row link loads must clear the 1.5×
+        // bandwidth-model target over the N=1 full-link leg.
+        let eight = bench.block.iter().find(|l| l.nrhs == 8).unwrap();
+        assert!(
+            eight.mem_bound_speedup >= BLOCK_MEM_BOUND_TARGET,
+            "memory-bound model below target: {}",
+            eight.mem_bound_speedup
+        );
+        // Forge regressions: the gate must reject both.
+        let forged = bench.clone();
+        let one = bench.block[0].sites_per_sec;
+        bench.block.last_mut().unwrap().sites_per_sec = one / 2.0;
+        assert!(check_block_throughput(&bench)
+            .unwrap_err()
+            .contains("regressed"));
+        let mut bench = forged;
+        bench.block.last_mut().unwrap().mem_bound_speedup = 1.2;
+        assert!(check_block_throughput(&bench)
+            .unwrap_err()
+            .contains("memory-bound"));
+        // A sweep without both anchors has nothing to gate.
+        bench.block.retain(|l| l.nrhs != 8);
+        check_block_throughput(&bench).unwrap();
+    }
+
+    #[test]
+    fn zero_rhs_is_refused() {
+        assert!(run_solver_bench_with_rhs(4, 1, &[0]).is_err());
     }
 
     #[test]
@@ -299,6 +626,13 @@ mod tests {
         assert!(validate_solver_bench_json(&Json::Obj(members))
             .unwrap_err()
             .contains("fused"));
+        let Json::Obj(mut members) = bench_to_json(&bench) else {
+            panic!("bench document must be an object");
+        };
+        members.retain(|(k, _)| k != "block");
+        assert!(validate_solver_bench_json(&Json::Obj(members))
+            .unwrap_err()
+            .contains("block"));
         let zero_lat = Json::parse(
             r#"{"schema":"qcd-bench-solver/v1","lattice":[4,4,4,0],"vl_bits":512,
                 "threads":1,"iterations":1,"backend":"fcmla"}"#,

@@ -31,6 +31,18 @@ pub enum Compression {
     F16,
 }
 
+/// Wire format for gauge-link halos. SU(3) links can drop their third row
+/// on the wire — the receiver rebuilds it as the conjugate cross product of
+/// the first two (the shared [`codec`](crate::codec) two-row path), cutting
+/// gauge halo volume by a third before any scalar compression.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GaugeWire {
+    /// All nine complex entries per link (18 scalars).
+    Full,
+    /// First two rows only (12 scalars); third row reconstructed on unpack.
+    TwoRow,
+}
+
 /// A halo message.
 #[derive(Clone, Debug)]
 pub enum HaloMsg {
@@ -301,6 +313,53 @@ pub fn cshift_dist<K: FieldKind>(
         let mine = pack_slice(f, mu, l - 1);
         let (from_prev, _ignored) = ctx.exchange_dim(mu, &mine, &[], compression);
         unpack_slice(&mut out, mu, 0, &from_prev);
+    }
+    out
+}
+
+/// Distributed circular shift of a gauge field with a selectable link wire
+/// format: under [`GaugeWire::TwoRow`] only the first two rows of each link
+/// cross the network (24 of 36 complex components per site) and the third
+/// row is reconstructed on unpack. [`HaloMsg::wire_bytes`] and the comms
+/// telemetry counters see the *compressed* stream, so bytes-on-wire
+/// accounting is truthful for every (wire, compression) combination.
+pub fn cshift_dist_gauge(
+    ctx: &RankCtx,
+    u: &GaugeField,
+    mu: usize,
+    disp: i32,
+    wire: GaugeWire,
+    compression: Compression,
+) -> GaugeField {
+    let _span = qcd_trace::span!("comms.cshift_dist");
+    let mut out = cshift(u, mu, disp);
+    if ctx.rank_grid[mu] == 1 {
+        return out;
+    }
+    // `pack_slice` emits links in the codec's layout (18 scalars per link,
+    // row-major, re/im interleaved), so the shared two-row codec applies
+    // directly to the packed stream.
+    let shrink = |data: Vec<f64>| match wire {
+        GaugeWire::Full => data,
+        GaugeWire::TwoRow => {
+            crate::codec::compress_two_row(&data).expect("gauge slice holds whole links")
+        }
+    };
+    let expand = |data: Vec<f64>| match wire {
+        GaugeWire::Full => data,
+        GaugeWire::TwoRow => {
+            crate::codec::decompress_two_row(&data).expect("two-row slice holds whole links")
+        }
+    };
+    let l = ctx.grid.fdims()[mu];
+    if disp == 1 {
+        let mine = shrink(pack_slice(u, mu, 0));
+        let (_ignored, from_next) = ctx.exchange_dim(mu, &[], &mine, compression);
+        unpack_slice(&mut out, mu, l - 1, &expand(from_next));
+    } else {
+        let mine = shrink(pack_slice(u, mu, l - 1));
+        let (from_prev, _ignored) = ctx.exchange_dim(mu, &mine, &[], compression);
+        unpack_slice(&mut out, mu, 0, &expand(from_prev));
     }
     out
 }
@@ -602,6 +661,77 @@ mod tests {
         );
         assert_eq!(half_f64, 4 * half_f16, "fp16 must quarter it again");
         assert_eq!(full_f64, 8 * half_f16, "combined: 8x reduction");
+    }
+
+    #[test]
+    fn two_row_gauge_halo_matches_full_wire() {
+        // A two-row gauge halo must reproduce the full-wire shift to the
+        // SU(3) reconstruction bound: links are unitary, so rebuilding the
+        // third row as the conjugate cross product is exact to rounding.
+        let nranks = 2;
+        let shifted = |wire: GaugeWire| {
+            run_multinode(GLOBAL, nranks, VL, SimdBackend::Fcmla, |ctx| {
+                let u = local_gauge(ctx, 91);
+                cshift_dist_gauge(ctx, &u, SPLIT_DIM, 1, wire, Compression::None)
+            })
+        };
+        let full = shifted(GaugeWire::Full);
+        let two_row = shifted(GaugeWire::TwoRow);
+        let mut worst: f64 = 0.0;
+        for (a, b) in full.iter().zip(&two_row) {
+            for lx in a.grid().coords() {
+                for comp in 0..36 {
+                    worst = worst.max((a.peek(&lx, comp) - b.peek(&lx, comp)).abs());
+                }
+            }
+        }
+        assert!(worst <= 1e-13, "two-row halo error {worst}");
+        // Rows 0 and 1 never leave f64, so away from the reconstructed row
+        // the shift is bit-identical.
+        for (a, b) in full.iter().zip(&two_row) {
+            for lx in a.grid().coords().step_by(3) {
+                for mu in 0..4 {
+                    for r in 0..2 {
+                        for c in 0..3 {
+                            let comp = crate::field::gauge_comp(mu, r, c);
+                            assert_eq!(a.peek(&lx, comp), b.peek(&lx, comp));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gauge_halo_bytes_on_wire_are_pinned_per_face() {
+        // GLOBAL = [4,4,4,8] over 2 time ranks: each rank's halo face is
+        // 4*4*4 = 64 sites. Per site a gauge halo carries 4 links:
+        //   full f64:    4 * 18 scalars * 8 B = 576 B/site
+        //   two-row f64: 4 * 12 scalars * 8 B = 384 B/site
+        //   two-row f16: 4 * 12 scalars * 2 B =  96 B/site
+        // Each rank sends exactly one face per shift, so `sent_bytes` and
+        // the wire telemetry must pin to these values exactly.
+        let face_sites = GLOBAL[0] * GLOBAL[1] * GLOBAL[2];
+        let sent = |wire: GaugeWire, comp: Compression| -> Vec<usize> {
+            run_multinode(GLOBAL, 2, VL, SimdBackend::Fcmla, |ctx| {
+                let u = local_gauge(ctx, 93);
+                let _ = cshift_dist_gauge(ctx, &u, SPLIT_DIM, 1, wire, comp);
+                ctx.sent_bytes.get()
+            })
+        };
+        for (wire, comp, bytes_per_site) in [
+            (GaugeWire::Full, Compression::None, 576),
+            (GaugeWire::TwoRow, Compression::None, 384),
+            (GaugeWire::TwoRow, Compression::F16, 96),
+        ] {
+            for (rank, got) in sent(wire, comp).iter().enumerate() {
+                assert_eq!(
+                    *got,
+                    face_sites * bytes_per_site,
+                    "rank {rank} {wire:?}/{comp:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -640,6 +640,467 @@ pub fn cg_update_x_r<K: FieldKind, E: SveFloat>(
     }
 }
 
+/// A batch of `N` right-hand-side fermion fields stored **site-major**: at
+/// every outer site the `N` spinors are contiguous (site, rhs, component,
+/// lanes), so the dslash loads each gauge link and projector table once per
+/// site and applies them to all `N` spinors while they are hot.
+///
+/// The layout is the multi-RHS trick of Grid-on-A64FX: arithmetic intensity
+/// of the hopping term grows from `1320 / (192N + 144)·N⁻¹` flops per read
+/// toward the link-free limit as `N` grows, because the `8 × 18` link reals
+/// per site are amortized over the batch.
+///
+/// Every per-RHS quantity (norms, inner products, CG recurrences) is
+/// computed with the same fixed-chunk tree reductions as [`Field`] — chunks
+/// cover [`reduce::CHUNK_SITES`] outer sites, so the chunk *count* and the
+/// per-RHS accumulation order are identical to a single-RHS field on the
+/// same grid. A block with `N = 1` is therefore bit-identical to the
+/// single-RHS path, and per-RHS results at any `N` match `N` independent
+/// single-RHS computations bit for bit.
+pub struct FermionBlock<E: SveFloat = f64> {
+    grid: Arc<Grid<E>>,
+    nrhs: usize,
+    data: Vec<E>,
+}
+
+impl<E: SveFloat> Clone for FermionBlock<E> {
+    fn clone(&self) -> Self {
+        FermionBlock {
+            grid: self.grid.clone(),
+            nrhs: self.nrhs,
+            data: self.data.clone(),
+        }
+    }
+}
+
+impl<E: SveFloat> FermionBlock<E> {
+    /// A zero block of `nrhs` right-hand sides on `grid`.
+    pub fn zero(grid: Arc<Grid<E>>, nrhs: usize) -> Self {
+        assert!(nrhs >= 1, "a fermion block needs at least one RHS");
+        let word = grid.engine().word_len();
+        let data = vec![E::zero(); grid.osites() * nrhs * FermionKind::NCOMP * word];
+        FermionBlock { grid, nrhs, data }
+    }
+
+    /// Gather `fields` into one site-major block (RHS `i` = `fields[i]`).
+    pub fn from_fields(fields: &[Field<FermionKind, E>]) -> Self {
+        assert!(!fields.is_empty(), "a fermion block needs at least one RHS");
+        let grid = fields[0].grid().clone();
+        let mut block = Self::zero(grid, fields.len());
+        for (i, f) in fields.iter().enumerate() {
+            block.set_rhs(i, f);
+        }
+        block
+    }
+
+    /// The lattice this block lives on.
+    pub fn grid(&self) -> &Arc<Grid<E>> {
+        &self.grid
+    }
+
+    /// Number of right-hand sides in the batch.
+    pub fn nrhs(&self) -> usize {
+        self.nrhs
+    }
+
+    /// Scalars per outer site = `nrhs * 12 * 2 * lanes_c`.
+    pub fn site_stride(&self) -> usize {
+        self.nrhs * FermionKind::NCOMP * self.grid.engine().word_len()
+    }
+
+    /// One component word of one RHS at an outer site.
+    #[inline]
+    pub fn word(&self, osite: usize, rhs: usize, comp: usize) -> &[E] {
+        let w = self.grid.engine().word_len();
+        let off = ((osite * self.nrhs + rhs) * FermionKind::NCOMP + comp) * w;
+        &self.data[off..off + w]
+    }
+
+    /// Mutable component word of one RHS at an outer site.
+    #[inline]
+    pub fn word_mut(&mut self, osite: usize, rhs: usize, comp: usize) -> &mut [E] {
+        let w = self.grid.engine().word_len();
+        let off = ((osite * self.nrhs + rhs) * FermionKind::NCOMP + comp) * w;
+        &mut self.data[off..off + w]
+    }
+
+    /// Raw storage (site, rhs, component, interleaved lanes).
+    pub fn data(&self) -> &[E] {
+        &self.data
+    }
+
+    /// Mutable raw storage.
+    pub fn data_mut(&mut self) -> &mut [E] {
+        &mut self.data
+    }
+
+    /// Overwrite RHS `i` with a field's content (bit-exact copy).
+    pub fn set_rhs(&mut self, i: usize, f: &Field<FermionKind, E>) {
+        assert!(
+            Arc::ptr_eq(&self.grid, f.grid()),
+            "fields live on different grids"
+        );
+        assert!(i < self.nrhs, "RHS index out of range");
+        let w = self.grid.engine().word_len();
+        for osite in 0..self.grid.osites() {
+            for comp in 0..FermionKind::NCOMP {
+                self.word_mut(osite, i, comp)
+                    .copy_from_slice(&f.data()[(osite * FermionKind::NCOMP + comp) * w..][..w]);
+            }
+        }
+    }
+
+    /// Extract RHS `i` into a freshly allocated field (bit-exact copy).
+    pub fn rhs_field(&self, i: usize) -> Field<FermionKind, E> {
+        let mut f = Field::<FermionKind, E>::zero(self.grid.clone());
+        self.copy_rhs_into(i, &mut f);
+        f
+    }
+
+    /// Copy RHS `i` into an existing field (bit-exact).
+    pub fn copy_rhs_into(&self, i: usize, out: &mut Field<FermionKind, E>) {
+        assert!(
+            Arc::ptr_eq(&self.grid, out.grid()),
+            "fields live on different grids"
+        );
+        assert!(i < self.nrhs, "RHS index out of range");
+        let w = self.grid.engine().word_len();
+        for osite in 0..self.grid.osites() {
+            for comp in 0..FermionKind::NCOMP {
+                out.data_mut()[(osite * FermionKind::NCOMP + comp) * w..][..w]
+                    .copy_from_slice(self.word(osite, i, comp));
+            }
+        }
+    }
+
+    fn assert_compatible(&self, other: &FermionBlock<E>) {
+        assert!(
+            Arc::ptr_eq(&self.grid, &other.grid),
+            "blocks live on different grids"
+        );
+        assert_eq!(self.nrhs, other.nrhs, "blocks hold different batch sizes");
+    }
+
+    /// Scalars per parallel work unit / reduction chunk: the block chunk
+    /// covers the same [`reduce::CHUNK_SITES`] outer sites as a [`Field`]
+    /// chunk, so the reduction tree has the same shape.
+    #[inline]
+    fn chunk_scalars(&self) -> usize {
+        reduce::CHUNK_SITES * self.nrhs * FermionKind::NCOMP * self.grid.engine().word_len()
+    }
+
+    /// `self *= a` (real scale, uniform across the batch) — per word the
+    /// exact op of [`Field::scale`].
+    pub fn scale(&mut self, a: f64) {
+        let cs = self.chunk_scalars();
+        let eng = self.grid.engine();
+        let w = eng.word_len();
+        let a_dup = eng.dup_real(a);
+        self.data.par_chunks_mut(cs).for_each(|chunk| {
+            for sw in chunk.chunks_exact_mut(w) {
+                let sv = eng.load(sw);
+                eng.store(sw, eng.scale(a_dup, sv));
+            }
+        });
+    }
+
+    /// `self += a * x` (uniform across the batch) — per word the exact op of
+    /// [`Field::axpy_inplace`].
+    pub fn axpy_inplace(&mut self, a: f64, x: &FermionBlock<E>) {
+        self.assert_compatible(x);
+        let cs = self.chunk_scalars();
+        let eng = self.grid.engine();
+        let w = eng.word_len();
+        let a_dup = eng.dup_real(a);
+        let xd = x.data();
+        self.data
+            .par_chunks_mut(cs)
+            .enumerate()
+            .for_each(|(ci, chunk)| {
+                let base = ci * cs;
+                for (j, sw) in chunk.chunks_exact_mut(w).enumerate() {
+                    let off = base + j * w;
+                    let sv = eng.load(sw);
+                    let xv = eng.load(&xd[off..off + w]);
+                    eng.store(sw, eng.axpy_word(a_dup, xv, sv));
+                }
+            });
+    }
+
+    /// `self = a * x + c * y` (uniform) — per word the exact op sequence of
+    /// [`Field::scale_axpy_from`].
+    pub fn scale_axpy_from(&mut self, a: f64, x: &FermionBlock<E>, c: f64, y: &FermionBlock<E>) {
+        self.assert_compatible(x);
+        self.assert_compatible(y);
+        let cs = self.chunk_scalars();
+        let eng = self.grid.engine();
+        let w = eng.word_len();
+        let a_dup = eng.dup_real(a);
+        let c_dup = eng.dup_real(c);
+        let xd = x.data();
+        let yd = y.data();
+        self.data
+            .par_chunks_mut(cs)
+            .enumerate()
+            .for_each(|(ci, chunk)| {
+                let base = ci * cs;
+                for (j, sw) in chunk.chunks_exact_mut(w).enumerate() {
+                    let off = base + j * w;
+                    let xv = eng.load(&xd[off..off + w]);
+                    let yv = eng.load(&yd[off..off + w]);
+                    eng.store(sw, eng.axpy_word(c_dup, yv, eng.scale(a_dup, xv)));
+                }
+            });
+    }
+
+    /// Per-RHS search-direction update `self_j = x_j + a[j] * self_j`,
+    /// skipping inactive RHS entirely (their words are not even loaded).
+    /// For an active RHS this is per word the exact op of [`Field::aypx`].
+    pub fn aypx_masked(&mut self, a: &[f64], x: &FermionBlock<E>, active: &[bool]) {
+        self.assert_compatible(x);
+        assert_eq!(a.len(), self.nrhs);
+        assert_eq!(active.len(), self.nrhs);
+        let cs = self.chunk_scalars();
+        let nrhs = self.nrhs;
+        let eng = self.grid.engine();
+        let w = eng.word_len();
+        let a_dups: Vec<CVec> = a.iter().map(|&v| eng.dup_real(v)).collect();
+        let xd = x.data();
+        self.data
+            .par_chunks_mut(cs)
+            .enumerate()
+            .for_each(|(ci, chunk)| {
+                let base = ci * cs;
+                for (j, sw) in chunk.chunks_exact_mut(w).enumerate() {
+                    let rhs = (j / FermionKind::NCOMP) % nrhs;
+                    if !active[rhs] {
+                        continue;
+                    }
+                    let off = base + j * w;
+                    let sv = eng.load(sw);
+                    let xv = eng.load(&xd[off..off + w]);
+                    eng.store(sw, eng.axpy_word(a_dups[rhs], sv, xv));
+                }
+            });
+    }
+
+    /// Deterministic chunked tree reduction producing one partial *vector*
+    /// (one entry per RHS) per chunk. Within a chunk the leaf walks words in
+    /// storage order (site, rhs, component), so each RHS accumulates its
+    /// values in exactly the order the corresponding [`Field`] reduction
+    /// would; the partials combine element-wise through
+    /// [`reduce::combine_tree_ref`], whose tree shape matches
+    /// [`reduce::combine_tree`] — per-RHS results are bit-identical to `N`
+    /// independent single-RHS reductions.
+    fn chunk_reduce_vec<R: Clone + Send + Sync>(
+        &self,
+        leaf: impl Fn(usize, &[E]) -> Vec<R> + Sync,
+        combine: impl Fn(&R, &R) -> R + Sync,
+    ) -> Vec<R> {
+        let cs = self.chunk_scalars();
+        let n = reduce::n_chunks(self.data.len(), cs);
+        let combine_vec = |a: &Vec<R>, b: &Vec<R>| -> Vec<R> {
+            a.iter().zip(b.iter()).map(|(x, y)| combine(x, y)).collect()
+        };
+        if rayon::current_num_threads() <= 1 || n <= 1 {
+            let mut lf = |ci: usize| {
+                let lo = ci * cs;
+                let hi = (lo + cs).min(self.data.len());
+                leaf(ci, &self.data[lo..hi])
+            };
+            reduce::reduce_serial(n, &mut lf, &|a, b| combine_vec(&a, &b))
+        } else {
+            let leaves: Vec<Vec<R>> = self
+                .data
+                .par_chunks(cs)
+                .enumerate()
+                .map(|(ci, c)| leaf(ci, c))
+                .collect();
+            reduce::combine_tree_ref(&leaves, &combine_vec)
+        }
+    }
+
+    /// Per-RHS squared norms, bit-identical to calling [`Field::norm2`] on
+    /// each extracted RHS.
+    pub fn norms2(&self) -> Vec<f64> {
+        let eng = self.grid.engine();
+        let w = eng.word_len();
+        let nrhs = self.nrhs;
+        self.chunk_reduce_vec(
+            |_, chunk| {
+                let mut t = vec![0.0; nrhs];
+                for (j, aw) in chunk.chunks_exact(w).enumerate() {
+                    t[(j / FermionKind::NCOMP) % nrhs] += eng.norm2(eng.load(aw));
+                }
+                t
+            },
+            |a, b| a + b,
+        )
+    }
+
+    /// Per-RHS inner products `⟨self_j, other_j⟩`, bit-identical to
+    /// [`Field::inner`] per extracted RHS (same conjugate-FMA word
+    /// accumulation, one `reduce_sum` per chunk per RHS, same chunk tree).
+    pub fn inners(&self, other: &FermionBlock<E>) -> Vec<Complex> {
+        self.assert_compatible(other);
+        let cs = self.chunk_scalars();
+        let eng = self.grid.engine();
+        let w = eng.word_len();
+        let nrhs = self.nrhs;
+        let od = other.data();
+        self.chunk_reduce_vec(
+            |ci, chunk| {
+                let base = ci * cs;
+                let mut acc: Vec<CVec> = vec![eng.zero(); nrhs];
+                for (j, aw) in chunk.chunks_exact(w).enumerate() {
+                    let off = base + j * w;
+                    let a = eng.load(aw);
+                    let b = eng.load(&od[off..off + w]);
+                    let rhs = (j / FermionKind::NCOMP) % nrhs;
+                    acc[rhs] = eng.madd_conj(acc[rhs], a, b);
+                }
+                acc.iter().map(|&a| eng.reduce_sum(a)).collect()
+            },
+            |a, b| *a + *b,
+        )
+    }
+
+    /// Fused `self = x - y; per-RHS |self|²` in one sweep — the block form
+    /// of [`Field::sub_norm2`], used for the batched true-residual check.
+    pub fn sub_norms2(&mut self, x: &FermionBlock<E>, y: &FermionBlock<E>) -> Vec<f64> {
+        self.assert_compatible(x);
+        self.assert_compatible(y);
+        let cs = self.chunk_scalars();
+        let len = self.data.len();
+        let n = reduce::n_chunks(len, cs);
+        let eng = self.grid.engine();
+        let w = eng.word_len();
+        let nrhs = self.nrhs;
+        let xd = x.data();
+        let yd = y.data();
+        let kernel = |ci: usize, chunk: &mut [E]| -> Vec<f64> {
+            let base = ci * cs;
+            let mut t = vec![0.0; nrhs];
+            for (j, sw) in chunk.chunks_exact_mut(w).enumerate() {
+                let off = base + j * w;
+                let xv = eng.load(&xd[off..off + w]);
+                let yv = eng.load(&yd[off..off + w]);
+                let r = eng.sub(xv, yv);
+                eng.store(sw, r);
+                t[(j / FermionKind::NCOMP) % nrhs] += eng.norm2(r);
+            }
+            t
+        };
+        let combine = |a: &Vec<f64>, b: &Vec<f64>| -> Vec<f64> {
+            a.iter().zip(b.iter()).map(|(x, y)| x + y).collect()
+        };
+        let data = &mut self.data;
+        if rayon::current_num_threads() <= 1 || n <= 1 {
+            let mut lf = |ci: usize| {
+                let lo = ci * cs;
+                let hi = (lo + cs).min(len);
+                kernel(ci, &mut data[lo..hi])
+            };
+            reduce::reduce_serial(n, &mut lf, &|a, b| combine(&a, &b))
+        } else {
+            let leaves: Vec<Vec<f64>> = data
+                .par_chunks_mut(cs)
+                .enumerate()
+                .map(|(ci, c)| kernel(ci, c))
+                .collect();
+            reduce::combine_tree_ref(&leaves, &combine)
+        }
+    }
+
+    /// Maximum absolute difference to another block (test metric).
+    pub fn max_abs_diff(&self, other: &FermionBlock<E>) -> f64 {
+        self.assert_compatible(other);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a.to_f64() - b.to_f64()).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// The batched CG iterate/residual update: for every **active** RHS `j`,
+/// `x_j += alpha[j] * p_j`, `r_j -= alpha[j] * ap_j`, returning the new
+/// per-RHS `|r_j|²` — the block form of [`cg_update_x_r`]. Inactive RHS are
+/// untouched (words not loaded, nothing accumulated; their result entry is
+/// 0 and must be ignored). For an active RHS every word sees the exact op
+/// sequence of [`cg_update_x_r`] and the norm accumulates in the same chunk
+/// order and tree grouping, so per-RHS results match the single-RHS path
+/// bit for bit.
+pub fn block_cg_update_x_r<E: SveFloat>(
+    x: &mut FermionBlock<E>,
+    r: &mut FermionBlock<E>,
+    alpha: &[f64],
+    p: &FermionBlock<E>,
+    ap: &FermionBlock<E>,
+    active: &[bool],
+) -> Vec<f64> {
+    x.assert_compatible(r);
+    x.assert_compatible(p);
+    x.assert_compatible(ap);
+    let nrhs = x.nrhs();
+    assert_eq!(alpha.len(), nrhs);
+    assert_eq!(active.len(), nrhs);
+    let cs = x.chunk_scalars();
+    let eng = p.grid.engine();
+    let w = eng.word_len();
+    let a_dups: Vec<CVec> = alpha.iter().map(|&a| eng.dup_real(a)).collect();
+    let na_dups: Vec<CVec> = alpha.iter().map(|&a| eng.dup_real(-a)).collect();
+    let pd = p.data();
+    let apd = ap.data();
+    let xd = x.data.as_mut_slice();
+    let rd = r.data.as_mut_slice();
+    let len = xd.len();
+    let kernel = |ci: usize, xc: &mut [E], rc: &mut [E]| -> Vec<f64> {
+        let base = ci * cs;
+        let mut t = vec![0.0; nrhs];
+        for (j, (xw, rw)) in xc
+            .chunks_exact_mut(w)
+            .zip(rc.chunks_exact_mut(w))
+            .enumerate()
+        {
+            let rhs = (j / FermionKind::NCOMP) % nrhs;
+            if !active[rhs] {
+                continue;
+            }
+            let off = base + j * w;
+            let pv = eng.load(&pd[off..off + w]);
+            let apv = eng.load(&apd[off..off + w]);
+            let xv = eng.load(xw);
+            eng.store(xw, eng.axpy_word(a_dups[rhs], pv, xv));
+            let rv = eng.load(rw);
+            let rn = eng.axpy_word(na_dups[rhs], apv, rv);
+            eng.store(rw, rn);
+            t[rhs] += eng.norm2(rn);
+        }
+        t
+    };
+    let combine = |a: &Vec<f64>, b: &Vec<f64>| -> Vec<f64> {
+        a.iter().zip(b.iter()).map(|(x, y)| x + y).collect()
+    };
+    let n = reduce::n_chunks(len, cs);
+    if rayon::current_num_threads() <= 1 || n <= 1 {
+        let mut lf = |ci: usize| {
+            let lo = ci * cs;
+            let hi = (lo + cs).min(len);
+            kernel(ci, &mut xd[lo..hi], &mut rd[lo..hi])
+        };
+        reduce::reduce_serial(n, &mut lf, &|a, b| combine(&a, &b))
+    } else {
+        let leaves: Vec<Vec<f64>> = xd
+            .par_chunks_mut(cs)
+            .zip(rd.par_chunks_mut(cs))
+            .enumerate()
+            .map(|(ci, (xc, rc))| kernel(ci, xc, rc))
+            .collect();
+        reduce::combine_tree_ref(&leaves, &combine)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -914,5 +1375,128 @@ mod tests {
         f2.scale(1.7);
         f2.axpy_inplace(-0.25, &y);
         assert_eq!(f1.max_abs_diff(&f2), 0.0);
+    }
+
+    fn block_fields(g: &Arc<Grid>, n: usize, seed0: u64) -> Vec<FermionField> {
+        (0..n)
+            .map(|i| FermionField::random(g.clone(), seed0 + i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn block_gather_extract_round_trips_bitwise() {
+        let g = grid();
+        let fields = block_fields(&g, 3, 30);
+        let block = FermionBlock::from_fields(&fields);
+        assert_eq!(block.nrhs(), 3);
+        for (i, f) in fields.iter().enumerate() {
+            assert_eq!(block.rhs_field(i).max_abs_diff(f), 0.0);
+            let mut bits = f.clone();
+            block.copy_rhs_into(i, &mut bits);
+            assert_eq!(bits.max_abs_diff(f), 0.0);
+        }
+    }
+
+    #[test]
+    fn block_norms_and_inners_match_per_field_bitwise() {
+        let g = grid();
+        let xs = block_fields(&g, 4, 40);
+        let ys = block_fields(&g, 4, 50);
+        let bx = FermionBlock::from_fields(&xs);
+        let by = FermionBlock::from_fields(&ys);
+        let norms = bx.norms2();
+        let inners = bx.inners(&by);
+        for j in 0..4 {
+            assert_eq!(norms[j].to_bits(), xs[j].norm2().to_bits(), "rhs {j}");
+            let want = xs[j].inner(&ys[j]);
+            assert_eq!(inners[j].re.to_bits(), want.re.to_bits(), "rhs {j}");
+            assert_eq!(inners[j].im.to_bits(), want.im.to_bits(), "rhs {j}");
+        }
+    }
+
+    #[test]
+    fn block_blas_matches_per_field_bitwise() {
+        let g = grid();
+        let xs = block_fields(&g, 3, 60);
+        let ys = block_fields(&g, 3, 63);
+        let bx = FermionBlock::from_fields(&xs);
+        let by = FermionBlock::from_fields(&ys);
+
+        let mut s = bx.clone();
+        s.scale(1.375);
+        let mut a = bx.clone();
+        a.axpy_inplace(-0.5, &by);
+        let mut f = FermionBlock::zero(g.clone(), 3);
+        f.scale_axpy_from(1.7, &bx, -0.25, &by);
+        let mut sub = FermionBlock::zero(g.clone(), 3);
+        let sn = sub.sub_norms2(&bx, &by);
+        for j in 0..3 {
+            let mut fs = xs[j].clone();
+            fs.scale(1.375);
+            assert_eq!(s.rhs_field(j).max_abs_diff(&fs), 0.0);
+            let mut fa = xs[j].clone();
+            fa.axpy_inplace(-0.5, &ys[j]);
+            assert_eq!(a.rhs_field(j).max_abs_diff(&fa), 0.0);
+            let mut ff = FermionField::zero(g.clone());
+            ff.scale_axpy_from(1.7, &xs[j], -0.25, &ys[j]);
+            assert_eq!(f.rhs_field(j).max_abs_diff(&ff), 0.0);
+            let mut fsub = FermionField::zero(g.clone());
+            let want = fsub.sub_norm2(&xs[j], &ys[j]);
+            assert_eq!(sub.rhs_field(j).max_abs_diff(&fsub), 0.0);
+            assert_eq!(sn[j].to_bits(), want.to_bits(), "rhs {j}");
+        }
+    }
+
+    #[test]
+    fn masked_block_ops_match_field_ops_and_freeze_inactive_rhs() {
+        let g = grid();
+        let xs = block_fields(&g, 3, 70);
+        let ps = block_fields(&g, 3, 73);
+        let aps = block_fields(&g, 3, 76);
+        let rs = block_fields(&g, 3, 79);
+        let bp = FermionBlock::from_fields(&ps);
+        let bap = FermionBlock::from_fields(&aps);
+        let mut bx = FermionBlock::from_fields(&xs);
+        let mut br = FermionBlock::from_fields(&rs);
+        let active = [true, false, true];
+        let alphas = [0.6875, 123.0, -0.3125]; // inactive alpha must be ignored
+        let r2 = block_cg_update_x_r(&mut bx, &mut br, &alphas, &bp, &bap, &active);
+        let mut pb = bp.clone();
+        pb.aypx_masked(&alphas, &br, &active);
+        for j in 0..3 {
+            if active[j] {
+                let mut fx = xs[j].clone();
+                let mut fr = rs[j].clone();
+                let want = cg_update_x_r(&mut fx, &mut fr, alphas[j], &ps[j], &aps[j]);
+                assert_eq!(bx.rhs_field(j).max_abs_diff(&fx), 0.0);
+                assert_eq!(br.rhs_field(j).max_abs_diff(&fr), 0.0);
+                assert_eq!(r2[j].to_bits(), want.to_bits(), "rhs {j}");
+                let mut fp = ps[j].clone();
+                fp.aypx(alphas[j], &fr);
+                assert_eq!(pb.rhs_field(j).max_abs_diff(&fp), 0.0);
+            } else {
+                // Frozen RHS carry their words through bit-untouched.
+                assert_eq!(bx.rhs_field(j).max_abs_diff(&xs[j]), 0.0);
+                assert_eq!(br.rhs_field(j).max_abs_diff(&rs[j]), 0.0);
+                assert_eq!(pb.rhs_field(j).max_abs_diff(&ps[j]), 0.0);
+                assert_eq!(r2[j], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn single_rhs_block_reductions_are_bitwise_the_field_path() {
+        // N = 1 block reductions must reproduce the Field reductions bit for
+        // bit: same chunk count, same in-chunk order, same combine tree.
+        let g = grid();
+        let x = FermionField::random(g.clone(), 90);
+        let y = FermionField::random(g.clone(), 91);
+        let bx = FermionBlock::from_fields(std::slice::from_ref(&x));
+        let by = FermionBlock::from_fields(std::slice::from_ref(&y));
+        assert_eq!(bx.norms2()[0].to_bits(), x.norm2().to_bits());
+        let bi = bx.inners(&by)[0];
+        let fi = x.inner(&y);
+        assert_eq!(bi.re.to_bits(), fi.re.to_bits());
+        assert_eq!(bi.im.to_bits(), fi.im.to_bits());
     }
 }

@@ -398,6 +398,35 @@ mod tests {
     }
 
     #[test]
+    fn plaquette_survives_two_row_compression() {
+        // The compressed operator mode stores only two rows per link and
+        // rebuilds the third in registers. Round-tripping every link
+        // through that compression must leave the plaquette (and every
+        // other observable of the links) unchanged to rounding, because
+        // SU(3) makes the third row redundant.
+        use crate::tensor::su3::{compress_su3, reconstruct_su3};
+        let gr = grid(512);
+        let u = random_gauge(gr.clone(), 101);
+        let mut rec = u.clone();
+        for x in gr.coords() {
+            for mu in 0..4 {
+                let link = reconstruct_su3(&compress_su3(&peek_link(&u, &x, mu)));
+                for r in 0..NCOLOR {
+                    for c in 0..NCOLOR {
+                        rec.poke(&x, crate::field::gauge_comp(mu, r, c), link[r][c]);
+                    }
+                }
+            }
+        }
+        // Rows 0 and 1 are carried verbatim; only row 2 is rebuilt.
+        assert!(rec.max_abs_diff(&u) <= 1e-13);
+        let p0 = average_plaquette(&u);
+        let p1 = average_plaquette(&rec);
+        assert!((p0 - p1).abs() <= 1e-13, "{p0} vs {p1}");
+        assert!(max_unitarity_deviation(&rec) < 1e-12);
+    }
+
+    #[test]
     fn fermion_transform_preserves_norm() {
         let gr = grid(256);
         let g = random_transform(gr.clone(), 92);

@@ -67,8 +67,8 @@ pub mod tensor;
 
 pub use complex::Complex;
 pub use field::{
-    gauge_comp, spinor_comp, ComplexField, FermionField, Field, FieldKind, GaugeField,
-    HalfFermionField,
+    gauge_comp, spinor_comp, ComplexField, FermionBlock, FermionField, Field, FieldKind,
+    GaugeField, HalfFermionField,
 };
 pub use layout::{Coor, Grid, NCOLOR, NDIM, NSPIN};
 pub use simd::{CVec, SimdBackend, SimdEngine};
@@ -76,21 +76,23 @@ pub use simd::{CVec, SimdBackend, SimdEngine};
 /// Everything a downstream application typically needs.
 pub mod prelude {
     pub use crate::clover::{field_strength, CloverWilson};
-    pub use crate::codec::Precision;
+    pub use crate::codec::{
+        compress_two_row, decompress_two_row, Precision, LINK_SCALARS_FULL, LINK_SCALARS_TWO_ROW,
+    };
     pub use crate::comms::{
-        cshift_dist, hopping_dist, hopping_dist_half, run_multinode, run_multinode_grid,
-        Compression, RankCtx,
+        cshift_dist, cshift_dist_gauge, hopping_dist, hopping_dist_half, run_multinode,
+        run_multinode_grid, Compression, GaugeWire, RankCtx,
     };
     pub use crate::cshift::cshift;
     pub use crate::dirac::{
-        gamma5, gamma5_inplace, hopping_via_cshift, mult_gauge, project_half, reconstruct_half,
-        WilsonDirac,
+        gamma5, gamma5_block_inplace, gamma5_inplace, hopping_via_cshift, mult_gauge, project_half,
+        reconstruct_half, WilsonDirac,
     };
     pub use crate::dwf::{axpy_chiral, cg_dwf, chiral_minus, chiral_plus, DomainWall, Fermion5};
-    pub use crate::eo::{parity_project, solve_eo};
-    pub use crate::field::cg_update_x_r;
+    pub use crate::eo::{parity_project, solve_eo, solve_eo_block};
+    pub use crate::field::{block_cg_update_x_r, cg_update_x_r};
     pub use crate::field::{
-        gauge_comp, spinor_comp, ComplexField, FermionField, Field, GaugeField,
+        gauge_comp, spinor_comp, ComplexField, FermionBlock, FermionField, Field, GaugeField,
     };
     pub use crate::gauge::{
         average_plaquette, average_polyakov_loop, max_unitarity_deviation, random_transform,
@@ -104,11 +106,14 @@ pub mod prelude {
     pub use crate::rng::StreamRng;
     pub use crate::simd::{SimdBackend, SimdEngine};
     pub use crate::solver::{
-        bicgstab, bicgstab_from_state, cg, cg_op, cg_op_from_state, cg_ws, cg_ws_from_state,
-        solve_wilson, BicgStabState, CgState, SolveReport, SolverWorkspace,
+        bicgstab, bicgstab_from_state, block_cg, block_cg_ws, block_cg_ws_from_state, cg, cg_op,
+        cg_op_from_state, cg_ws, cg_ws_from_state, solve_wilson, BicgStabState, BlockCgState,
+        BlockSolveReport, BlockWorkspace, CgState, SolveReport, SolverWorkspace,
     };
     pub use crate::tensor::gamma_algebra::{mult_gamma, GammaElement};
-    pub use crate::tensor::su3::{random_gauge, unit_gauge};
+    pub use crate::tensor::su3::{
+        compress_su3, random_gauge, reconstruct_row2, reconstruct_su3, unit_gauge, TwoRowMatrix,
+    };
     pub use crate::Complex;
     pub use sve::{CostModel, SveCtx, VectorLength};
 }

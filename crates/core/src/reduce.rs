@@ -71,6 +71,26 @@ pub fn reduce_serial<R>(
     rec(0, n, leaf, combine)
 }
 
+/// [`combine_tree`] for non-`Copy` partials (e.g. the per-RHS `Vec<f64>`
+/// accumulators of the block kernels). Walks the identical binary-split
+/// tree (`mid = lo + (hi - lo) / 2`), so element `r` of the result combines
+/// the per-chunk partials in exactly the grouping [`combine_tree`] would use
+/// for a scalar reduction over the same chunk count — the property the
+/// block path's per-RHS bitwise-identity guarantee rests on.
+pub fn combine_tree_ref<R: Clone>(leaves: &[R], combine: &impl Fn(&R, &R) -> R) -> R {
+    fn rec<R: Clone>(leaves: &[R], lo: usize, hi: usize, combine: &impl Fn(&R, &R) -> R) -> R {
+        if hi - lo == 1 {
+            return leaves[lo].clone();
+        }
+        let mid = lo + (hi - lo) / 2;
+        let left = rec(leaves, lo, mid, combine);
+        let right = rec(leaves, mid, hi, combine);
+        combine(&left, &right)
+    }
+    assert!(!leaves.is_empty(), "reduction over an empty leaf set");
+    rec(leaves, 0, leaves.len(), combine)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,6 +128,29 @@ mod tests {
         let total = reduce_serial(11, &mut lf, &|a, b| a + b);
         assert_eq!(total, (0..11).sum::<u64>());
         assert_eq!(seen, (0..11).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ref_tree_matches_scalar_tree_elementwise() {
+        // Per-RHS vectors reduced through combine_tree_ref must group each
+        // element exactly as combine_tree groups the corresponding scalars.
+        let scalar: Vec<Vec<f64>> = (0..2)
+            .map(|r| {
+                (0..37)
+                    .map(|i| {
+                        (1.0 + i as f64 + r as f64).powi(7) * if i % 3 == 0 { 1e-13 } else { 1.0 }
+                    })
+                    .collect()
+            })
+            .collect();
+        let leaves: Vec<Vec<f64>> = (0..37).map(|i| vec![scalar[0][i], scalar[1][i]]).collect();
+        let tree = combine_tree_ref(&leaves, &|a, b| {
+            a.iter().zip(b.iter()).map(|(x, y)| x + y).collect()
+        });
+        for r in 0..2 {
+            let want = combine_tree(&scalar[r], &|a, b| a + b);
+            assert_eq!(tree[r].to_bits(), want.to_bits(), "rhs {r}");
+        }
     }
 
     #[test]

@@ -23,7 +23,9 @@
 //! resumes exactly on the other.
 
 use crate::dirac::WilsonDirac;
-use crate::field::{cg_update_x_r, FermionField, FermionKind, Field};
+use crate::field::{
+    block_cg_update_x_r, cg_update_x_r, FermionBlock, FermionField, FermionKind, Field,
+};
 use crate::layout::Grid;
 use std::sync::Arc;
 use sve::SveFloat;
@@ -324,6 +326,266 @@ pub fn solve_wilson(
     let mut true_r = rhs; // reuse the spent right-hand side as scratch
     report.residual = (true_r.sub_norm2(b, &mx) / b.norm2()).sqrt();
     (x, report)
+}
+
+/// Outcome of a batched block-CG solve: the per-RHS counterparts of every
+/// [`SolveReport`] member, plus the shared solve-level telemetry.
+#[derive(Clone, Debug)]
+pub struct BlockSolveReport {
+    /// Iterations performed by the slowest RHS (the solve's wall-clock
+    /// iteration count — the batch sweeps until the last RHS converges).
+    pub iterations: usize,
+    /// Iterations each RHS took before it converged (or hit the budget).
+    pub per_rhs_iterations: Vec<usize>,
+    /// Final relative true residual per RHS.
+    pub residuals: Vec<f64>,
+    /// Whether each RHS reached the target tolerance.
+    pub converged: Vec<bool>,
+    /// Relative residual history per RHS, entry 0 = before iteration 1.
+    pub histories: Vec<Vec<f64>>,
+    /// Profile of the whole batched solve (see [`qcd_trace`]).
+    pub telemetry: qcd_trace::RegionSummary,
+}
+
+/// Preallocated scratch blocks for the batched solver path — the
+/// [`SolverWorkspace`] shape at batch width `N`.
+pub struct BlockWorkspace<E: SveFloat = f64> {
+    /// `M p` intermediate (CG on the normal equations).
+    pub tmp: FermionBlock<E>,
+    /// Operator output `A p`.
+    pub ap: FermionBlock<E>,
+    /// Extra scratch (hopping intermediates for the even-odd Schur solve).
+    pub hop: FermionBlock<E>,
+}
+
+impl<E: SveFloat> BlockWorkspace<E> {
+    /// Allocate a workspace of batch width `nrhs` on `grid`.
+    pub fn new(grid: Arc<Grid<E>>, nrhs: usize) -> Self {
+        BlockWorkspace {
+            tmp: FermionBlock::zero(grid.clone(), nrhs),
+            ap: FermionBlock::zero(grid.clone(), nrhs),
+            hop: FermionBlock::zero(grid, nrhs),
+        }
+    }
+
+    /// The lattice the workspace blocks live on.
+    pub fn grid(&self) -> &Arc<Grid<E>> {
+        self.tmp.grid()
+    }
+
+    /// The batch width.
+    pub fn nrhs(&self) -> usize {
+        self.tmp.nrhs()
+    }
+}
+
+/// The complete state of an in-flight **block** Conjugate Gradient solve:
+/// `N` independent Hestenes–Stiefel recurrences sharing every operator
+/// sweep. There is no stored "active" mask — which RHS still iterate is
+/// *derived* from `iterations` and `r2` exactly like the single-RHS loop
+/// condition, so a state snapshot carries everything a resume needs.
+///
+/// Per RHS the recurrence is bit-identical to [`CgState`] driven alone:
+/// converged RHS are frozen (their words are not even loaded by the masked
+/// sweeps), and the shared reductions accumulate per RHS in the single-RHS
+/// chunk order and tree.
+#[derive(Clone)]
+pub struct BlockCgState<E: SveFloat = f64> {
+    /// Current solution estimates.
+    pub x: FermionBlock<E>,
+    /// Recurrence residuals `b_j − A x_j`.
+    pub r: FermionBlock<E>,
+    /// Search directions.
+    pub p: FermionBlock<E>,
+    /// Squared norm of each `r_j` (recurrence values, not recomputed).
+    pub r2: Vec<f64>,
+    /// Squared norm of each right-hand side.
+    pub b_norm2: Vec<f64>,
+    /// Iterations completed per RHS.
+    pub iterations: Vec<usize>,
+    /// Relative residual history per RHS.
+    pub histories: Vec<Vec<f64>>,
+}
+
+impl<E: SveFloat> BlockCgState<E> {
+    /// Fresh state for solving `A x_j = b_j` from zero initial guesses.
+    pub fn new(b: &FermionBlock<E>) -> Self {
+        let grid = b.grid().clone();
+        let nrhs = b.nrhs();
+        let b_norm2 = b.norms2();
+        for (j, &n) in b_norm2.iter().enumerate() {
+            assert!(n > 0.0, "CG needs a nonzero right-hand side (RHS {j})");
+        }
+        let x = FermionBlock::zero(grid, nrhs);
+        let r = b.clone();
+        let p = r.clone();
+        let r2 = r.norms2();
+        let histories = (0..nrhs)
+            .map(|j| vec![(r2[j] / b_norm2[j]).sqrt()])
+            .collect();
+        BlockCgState {
+            x,
+            r,
+            p,
+            r2,
+            b_norm2,
+            iterations: vec![0; nrhs],
+            histories,
+        }
+    }
+
+    /// The batch width.
+    pub fn nrhs(&self) -> usize {
+        self.r2.len()
+    }
+
+    /// Whether RHS `j`'s recurrence residual is at or below `tol` relative
+    /// to `|b_j|` — the per-RHS [`CgState::converged`].
+    pub fn converged_rhs(&self, j: usize, tol: f64) -> bool {
+        self.r2[j] <= tol * tol * self.b_norm2[j]
+    }
+
+    /// Which RHS still iterate: exactly the single-RHS loop condition
+    /// `iterations < max_iter && !converged(tol)`, derived per RHS.
+    pub fn active(&self, tol: f64, max_iter: usize) -> Vec<bool> {
+        (0..self.nrhs())
+            .map(|j| self.iterations[j] < max_iter && !self.converged_rhs(j, tol))
+            .collect()
+    }
+
+    /// One batched Hestenes–Stiefel iteration over the active RHS.
+    ///
+    /// `apply_into` evaluates the operator at its first argument into
+    /// `ws.ap` (over the whole batch — the sweep is uniform; frozen RHS
+    /// carry converged data whose result is simply ignored) and returns the
+    /// per-RHS curvatures `Re ⟨p_j, A p_j⟩`. Active RHS then run the exact
+    /// [`CgState::advance`] sequence through the masked fused sweeps;
+    /// inactive RHS are untouched.
+    pub fn step_ws(
+        &mut self,
+        ws: &mut BlockWorkspace<E>,
+        apply_into: &mut impl FnMut(&FermionBlock<E>, &mut BlockWorkspace<E>) -> Vec<f64>,
+        active: &[bool],
+    ) {
+        let nrhs = self.nrhs();
+        let p_ap = apply_into(&self.p, ws);
+        let mut alphas = vec![0.0; nrhs];
+        for j in 0..nrhs {
+            if active[j] {
+                assert!(
+                    p_ap[j] > 0.0,
+                    "search direction has non-positive curvature: operator not HPD? (RHS {j})"
+                );
+                alphas[j] = self.r2[j] / p_ap[j];
+            }
+        }
+        let r2_new =
+            block_cg_update_x_r(&mut self.x, &mut self.r, &alphas, &self.p, &ws.ap, active);
+        let mut betas = vec![0.0; nrhs];
+        for j in 0..nrhs {
+            if active[j] {
+                betas[j] = r2_new[j] / self.r2[j];
+            }
+        }
+        self.p.aypx_masked(&betas, &self.r, active);
+        for j in 0..nrhs {
+            if active[j] {
+                self.r2[j] = r2_new[j];
+                self.iterations[j] += 1;
+                self.histories[j].push((self.r2[j] / self.b_norm2[j]).sqrt());
+            }
+        }
+    }
+}
+
+/// Continue an allocation-free **block** Conjugate Gradient solve from an
+/// arbitrary [`BlockCgState`] through a caller-provided [`BlockWorkspace`]
+/// — the batched [`cg_ws_from_state`]. The loop sweeps all RHS together
+/// until every one has converged or exhausted `max_iter`; per-RHS
+/// convergence masking freezes finished recurrences without branching the
+/// shared operator sweeps.
+///
+/// RHS `j` of the solution, its history, and its reported residual are
+/// bit-identical to an independent single-RHS [`cg_ws`] solve of `b_j`.
+pub fn block_cg_ws_from_state<E: SveFloat>(
+    mut apply_into: impl FnMut(&FermionBlock<E>, &mut BlockWorkspace<E>) -> Vec<f64>,
+    b: &FermionBlock<E>,
+    ws: &mut BlockWorkspace<E>,
+    mut state: BlockCgState<E>,
+    tol: f64,
+    max_iter: usize,
+) -> (FermionBlock<E>, BlockSolveReport) {
+    let grid = b.grid().clone();
+    let nrhs = b.nrhs();
+    let span = qcd_trace::span!("solver.block_cg", grid.engine().ctx());
+    for h in &mut state.histories {
+        h.reserve((max_iter + 1).saturating_sub(h.len()));
+    }
+
+    loop {
+        let active = state.active(tol, max_iter);
+        if !active.iter().any(|&a| a) {
+            break;
+        }
+        state.step_ws(ws, &mut apply_into, &active);
+    }
+
+    let converged: Vec<bool> = (0..nrhs).map(|j| state.converged_rhs(j, tol)).collect();
+    // True residual check per RHS, batched: `A x` lands in the workspace and
+    // the subtract-and-norms runs as one fused sweep through the spent
+    // search directions.
+    apply_into(&state.x, ws);
+    let sn = state.p.sub_norms2(b, &ws.ap);
+    let residuals: Vec<f64> = (0..nrhs)
+        .map(|j| (sn[j] / state.b_norm2[j]).sqrt())
+        .collect();
+    (
+        state.x,
+        BlockSolveReport {
+            iterations: state.iterations.iter().copied().max().unwrap_or(0),
+            per_rhs_iterations: state.iterations,
+            residuals,
+            converged,
+            histories: state.histories,
+            telemetry: span.finish(),
+        },
+    )
+}
+
+/// Block Conjugate Gradient on the Wilson normal equations through a
+/// reusable workspace: `M†M x_j = b_j` for all RHS at once, each dslash
+/// sweep loading every gauge link once per site for the whole batch.
+pub fn block_cg_ws<E: SveFloat>(
+    op: &WilsonDirac<E>,
+    b: &FermionBlock<E>,
+    ws: &mut BlockWorkspace<E>,
+    tol: f64,
+    max_iter: usize,
+) -> (FermionBlock<E>, BlockSolveReport) {
+    block_cg_ws_from_state(
+        |p, ws| {
+            let BlockWorkspace { tmp, ap, .. } = ws;
+            op.mdag_m_block_into_dot(p, tmp, ap)
+        },
+        b,
+        ws,
+        BlockCgState::new(b),
+        tol,
+        max_iter,
+    )
+}
+
+/// Block Conjugate Gradient on the Wilson normal equations (workspace
+/// allocated here): solves `M†M x_j = b_j` for every RHS in `b`, with RHS
+/// `j` bit-identical to a single-RHS [`cg`] solve of `b_j`.
+pub fn block_cg<E: SveFloat>(
+    op: &WilsonDirac<E>,
+    b: &FermionBlock<E>,
+    tol: f64,
+    max_iter: usize,
+) -> (FermionBlock<E>, BlockSolveReport) {
+    let mut ws = BlockWorkspace::new(b.grid().clone(), b.nrhs());
+    block_cg_ws(op, b, &mut ws, tol, max_iter)
 }
 
 /// The complete state of an in-flight BiCGStab solve — the checkpoint unit
@@ -695,5 +957,98 @@ mod tests {
         let (op, b) = setup(128, SimdBackend::Fcmla);
         let zero = FermionField::zero(b.grid().clone());
         let _ = cg(&op, &zero, 1e-8, 10);
+    }
+
+    #[test]
+    fn block_cg_is_bit_identical_to_independent_solves() {
+        // The batched solver's contract: RHS j of the block solve — solution
+        // bits, iteration count, history, and reported residual — matches an
+        // independent single-RHS cg() of that RHS exactly. Different seeds
+        // give different convergence points, so the masking path (frozen
+        // early converges while others iterate) is exercised for real.
+        let (op, b0) = setup(512, SimdBackend::Fcmla);
+        let g = b0.grid().clone();
+        let rhss = vec![
+            b0,
+            FermionField::random(g.clone(), 31),
+            FermionField::random(g.clone(), 32),
+        ];
+        let block = FermionBlock::from_fields(&rhss);
+        let (bx, brep) = block_cg(&op, &block, 1e-8, 2000);
+        let mut iteration_counts = Vec::new();
+        for (j, rhs) in rhss.iter().enumerate() {
+            let (x, rep) = cg(&op, rhs, 1e-8, 2000);
+            assert!(rep.converged, "rhs {j} failed");
+            assert_eq!(brep.per_rhs_iterations[j], rep.iterations, "rhs {j}");
+            assert!(brep.converged[j], "rhs {j}");
+            assert_eq!(
+                brep.residuals[j].to_bits(),
+                rep.residual.to_bits(),
+                "rhs {j} residual"
+            );
+            assert_eq!(brep.histories[j].len(), rep.history.len(), "rhs {j}");
+            for (a, c) in brep.histories[j].iter().zip(&rep.history) {
+                assert_eq!(a.to_bits(), c.to_bits(), "rhs {j} history diverged");
+            }
+            let xb = bx.rhs_field(j);
+            assert_eq!(xb.max_abs_diff(&x), 0.0, "rhs {j} solution diverged");
+            iteration_counts.push(rep.iterations);
+        }
+        assert_eq!(
+            brep.iterations,
+            *iteration_counts.iter().max().unwrap(),
+            "block iteration count must be the slowest RHS"
+        );
+    }
+
+    #[test]
+    fn block_cg_with_one_rhs_matches_cg_bitwise() {
+        let (op, b) = setup(256, SimdBackend::Fcmla);
+        let block = FermionBlock::from_fields(std::slice::from_ref(&b));
+        let (bx, brep) = block_cg(&op, &block, 1e-8, 2000);
+        let (x, rep) = cg(&op, &b, 1e-8, 2000);
+        assert_eq!(brep.per_rhs_iterations[0], rep.iterations);
+        assert_eq!(brep.residuals[0].to_bits(), rep.residual.to_bits());
+        assert_eq!(bx.rhs_field(0).max_abs_diff(&x), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero right-hand side (RHS 1)")]
+    fn block_cg_rejects_zero_rhs_by_index() {
+        let (op, b) = setup(128, SimdBackend::Fcmla);
+        let zero = FermionField::zero(b.grid().clone());
+        let block = FermionBlock::from_fields(&[b, zero]);
+        let _ = block_cg(&op, &block, 1e-8, 10);
+    }
+
+    #[test]
+    fn block_cg_state_snapshot_resumes_bit_identically() {
+        // The checkpoint contract extends to the batch: snapshot the block
+        // state mid-solve, continue from the clone — everything matches the
+        // uninterrupted run bitwise.
+        let (op, b0) = setup(256, SimdBackend::Fcmla);
+        let g = b0.grid().clone();
+        let rhss = vec![b0, FermionField::random(g.clone(), 33)];
+        let block = FermionBlock::from_fields(&rhss);
+        let (x_full, full) = block_cg(&op, &block, 1e-8, 2000);
+
+        let mut ws = BlockWorkspace::new(g.clone(), 2);
+        let mut apply = |p: &FermionBlock, ws: &mut BlockWorkspace| {
+            let BlockWorkspace { tmp, ap, .. } = ws;
+            op.mdag_m_block_into_dot(p, tmp, ap)
+        };
+        let mut st = BlockCgState::new(&block);
+        for _ in 0..10 {
+            let active = st.active(1e-8, 2000);
+            st.step_ws(&mut ws, &mut apply, &active);
+        }
+        let snapshot = st.clone();
+        drop(st);
+        let (x_res, res) = block_cg_ws_from_state(apply, &block, &mut ws, snapshot, 1e-8, 2000);
+        assert_eq!(res.per_rhs_iterations, full.per_rhs_iterations);
+        assert_eq!(x_res.max_abs_diff(&x_full), 0.0);
+        for j in 0..2 {
+            assert_eq!(res.residuals[j].to_bits(), full.residuals[j].to_bits());
+        }
     }
 }

@@ -135,11 +135,22 @@ impl<E: SveFloat> Stencil<E> {
         comp: usize,
         entry: StencilEntry,
     ) -> CVec {
-        let eng = self.grid.engine();
-        let v = eng.load(field.word(entry.nbr as usize, comp));
+        let v = self
+            .grid
+            .engine()
+            .load(field.word(entry.nbr as usize, comp));
+        self.permute(v, entry)
+    }
+
+    /// Apply a leg's lane permutation to an already-loaded word — the
+    /// [`Stencil::fetch`] tail for containers that are not [`Field`]s (the
+    /// multi-RHS block path loads its own words, then permutes through
+    /// here so its dataflow matches `fetch` exactly).
+    #[inline]
+    pub fn permute(&self, v: CVec, entry: StencilEntry) -> CVec {
         match entry.perm {
             None => v,
-            Some(id) => eng.permute_elems(
+            Some(id) => self.grid.engine().permute_elems(
                 v,
                 self.eperms[id as usize]
                     .as_deref()

@@ -101,6 +101,30 @@ pub fn project_su3(m: &ColorMatrix) -> ColorMatrix {
     [rows[0], rows[1], row2]
 }
 
+/// The two stored rows of a two-row compressed SU(3) link.
+pub type TwoRowMatrix = [ColorVector; 2];
+
+/// Two-row compression of an SU(3) link: keep rows 0 and 1 verbatim (12
+/// reals instead of 18). Lossless for special-unitary matrices, whose third
+/// row is determined by the first two.
+pub fn compress_su3(u: &ColorMatrix) -> TwoRowMatrix {
+    [u[0], u[1]]
+}
+
+/// Rebuild the full link from its two stored rows: the third row is the
+/// conjugate cross product `conj(row0 × row1)` — the same unitary
+/// completion [`project_su3`] uses, so for an exactly special-unitary input
+/// `reconstruct_su3(&compress_su3(u))` recovers `u` to rounding.
+pub fn reconstruct_su3(rows: &TwoRowMatrix) -> ColorMatrix {
+    let (r0, r1) = (rows[0], rows[1]);
+    let row2: ColorVector = [
+        (r0[1] * r1[2] - r0[2] * r1[1]).conj(),
+        (r0[2] * r1[0] - r0[0] * r1[2]).conj(),
+        (r0[0] * r1[1] - r0[1] * r1[0]).conj(),
+    ];
+    [rows[0], rows[1], row2]
+}
+
 /// A deterministic pseudo-random SU(3) matrix for (seed, stream): two
 /// random complex rows pushed through [`project_su3`].
 pub fn random_su3(seed: u64, stream: u64) -> ColorMatrix {
@@ -181,6 +205,22 @@ pub fn mat_dag_vec<E: SveFloat>(
         let mut acc = eng.mult_conj(u[0][r], v[0]);
         acc = eng.madd_conj(acc, u[1][r], v[1]);
         eng.madd_conj(acc, u[2][r], v[2])
+    })
+}
+
+/// Word-level third-row reconstruction: `row2[c] = conj(r0[a]·r1[b] −
+/// r0[b]·r1[a])` with `(a, b)` cycling over colors — 6 complex multiplies
+/// per word where loading the row would cost 3 word loads. This is the
+/// compute the two-row operator mode trades for gauge bandwidth.
+#[inline]
+pub fn reconstruct_row2<E: SveFloat>(
+    eng: &SimdEngine<E>,
+    r0: &[CVec; NCOLOR],
+    r1: &[CVec; NCOLOR],
+) -> [CVec; NCOLOR] {
+    std::array::from_fn(|c| {
+        let (a, b) = ((c + 1) % NCOLOR, (c + 2) % NCOLOR);
+        eng.conj(eng.sub(eng.mult(r0[a], r1[b]), eng.mult(r0[b], r1[a])))
     })
 }
 
@@ -394,6 +434,53 @@ mod tests {
                             "{backend:?} A†B lane {l} ({r},{c})"
                         );
                     }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_row_round_trip_is_exact_to_rounding() {
+        // Satellite: ‖U − rec(compress(U))‖ ≤ 1e-13 on random SU(3) links.
+        for stream in 1..64u64 {
+            let u = random_su3(41, stream);
+            let back = reconstruct_su3(&compress_su3(&u));
+            let mut worst: f64 = 0.0;
+            for r in 0..NCOLOR {
+                for c in 0..NCOLOR {
+                    worst = worst.max((u[r][c] - back[r][c]).abs());
+                }
+            }
+            assert!(worst <= 1e-13, "stream {stream}: error {worst}");
+            // Rows 0 and 1 are bit-identical (carried verbatim).
+            for r in 0..2 {
+                for c in 0..NCOLOR {
+                    assert_eq!(u[r][c], back[r][c], "stream {stream} row {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn word_level_row2_matches_scalar_all_backends() {
+        for backend in SimdBackend::all() {
+            let eng = SimdEngine::<f64>::new(
+                std::sync::Arc::new(sve::SveCtx::new(VectorLength::of(512))),
+                backend,
+            );
+            let mats: Vec<ColorMatrix> = (0..eng.lanes_c())
+                .map(|l| random_su3(13, l as u64 + 1))
+                .collect();
+            let r0: [CVec; 3] = std::array::from_fn(|c| eng.from_fn(|l| mats[l][0][c]));
+            let r1: [CVec; 3] = std::array::from_fn(|c| eng.from_fn(|l| mats[l][1][c]));
+            let row2 = reconstruct_row2(&eng, &r0, &r1);
+            for l in 0..eng.lanes_c() {
+                let want = reconstruct_su3(&compress_su3(&mats[l]))[2];
+                for c in 0..NCOLOR {
+                    assert!(
+                        (eng.lane(row2[c], l) - want[c]).abs() < 1e-13,
+                        "{backend:?} lane {l} col {c}"
+                    );
                 }
             }
         }

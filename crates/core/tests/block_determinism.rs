@@ -1,0 +1,123 @@
+//! Determinism and single-RHS equivalence of the batched multi-RHS path.
+//!
+//! The batching contract is that a `FermionBlock` never changes the math:
+//! per right-hand side, the block kernels and `block_cg` retire the exact
+//! op sequence of the single-RHS fused path, so every RHS of a batched
+//! solve is bit-identical to its own independent `cg` solve — per-RHS
+//! convergence masking included — at every precision, vector length and
+//! thread count.
+//!
+//! `rayon::set_num_threads` mutates process-global state, so this file is
+//! a single `#[test]` in its own integration-test binary.
+
+use grid::field::FermionKind;
+use grid::prelude::*;
+use grid::{FermionBlock, Field};
+
+/// One precision × vector-length case: assert the block path against the
+/// single-RHS path RHS by RHS, and distill every result into a bit
+/// signature for the cross-thread comparison.
+macro_rules! block_case {
+    ($ty:ty, $vl:expr, $tol:expr) => {{
+        let g = Grid::<$ty>::new([4, 4, 4, 4], VectorLength::of($vl), SimdBackend::Fcmla);
+        let u = random_gauge(g.clone(), 51);
+        let op = WilsonDirac::<$ty>::new(u, 0.2);
+        let fields: Vec<Field<FermionKind, $ty>> = (0..3)
+            .map(|j| Field::random(g.clone(), 52 + j as u64))
+            .collect();
+        let mut sig: Vec<u64> = Vec::new();
+
+        // Batched fused M†M + curvature dot vs the single-RHS workspace
+        // kernel, for N = 1 and N = 3: bit-identical per RHS.
+        for n in [1usize, 3] {
+            let block = FermionBlock::from_fields(&fields[..n]);
+            let mut tmp = FermionBlock::zero(g.clone(), n);
+            let mut out = FermionBlock::zero(g.clone(), n);
+            let dots = op.mdag_m_block_into_dot(&block, &mut tmp, &mut out);
+            for j in 0..n {
+                let mut stmp = Field::<FermionKind, $ty>::zero(g.clone());
+                let mut sout = Field::<FermionKind, $ty>::zero(g.clone());
+                let sdot = op.mdag_m_into_dot(&fields[j], &mut stmp, &mut sout);
+                assert_eq!(
+                    dots[j].to_bits(),
+                    sdot.to_bits(),
+                    "vl={} N={n} rhs={j} curvature dot",
+                    $vl
+                );
+                assert_eq!(
+                    out.rhs_field(j).max_abs_diff(&sout),
+                    0.0,
+                    "vl={} N={n} rhs={j} M†M output",
+                    $vl
+                );
+                sig.push(sdot.to_bits() as u64);
+            }
+        }
+
+        // Batched CG with per-RHS convergence masking vs three independent
+        // single-RHS solves: iteration counts, residuals, histories and
+        // solutions must all match bit for bit even though the RHS
+        // converge at different iterations.
+        let block = FermionBlock::from_fields(&fields);
+        let (x, rep) = block_cg(&op, &block, $tol, 60);
+        for (j, f) in fields.iter().enumerate() {
+            let (xs, rs) = cg(&op, f, $tol, 60);
+            assert_eq!(
+                rep.per_rhs_iterations[j], rs.iterations,
+                "vl={} rhs={j} iterations",
+                $vl
+            );
+            assert_eq!(
+                rep.residuals[j].to_bits(),
+                rs.residual.to_bits(),
+                "vl={} rhs={j} residual",
+                $vl
+            );
+            assert_eq!(
+                rep.histories[j]
+                    .iter()
+                    .map(|r| r.to_bits())
+                    .collect::<Vec<_>>(),
+                rs.history.iter().map(|r| r.to_bits()).collect::<Vec<_>>(),
+                "vl={} rhs={j} history",
+                $vl
+            );
+            assert_eq!(
+                x.rhs_field(j).max_abs_diff(&xs),
+                0.0,
+                "vl={} rhs={j} solution",
+                $vl
+            );
+            sig.push(rs.iterations as u64);
+            sig.push(rs.residual.to_bits());
+        }
+        sig.extend(x.data().iter().map(|w| w.to_bits() as u64));
+        sig
+    }};
+}
+
+/// The full sweep at the current rayon thread count.
+fn signatures() -> Vec<Vec<u64>> {
+    let mut sigs = Vec::new();
+    for vl in [128usize, 256, 512] {
+        sigs.push(block_case!(f64, vl, 1e-8));
+        sigs.push(block_case!(f32, vl, 1e-3));
+    }
+    sigs
+}
+
+#[test]
+fn block_path_is_deterministic_across_threads_precisions_and_vls() {
+    rayon::set_num_threads(1);
+    let reference = signatures();
+
+    for threads in [2usize, 8] {
+        rayon::set_num_threads(threads);
+        let got = signatures();
+        assert_eq!(
+            got, reference,
+            "block path diverged at {threads} threads (vs single-thread reference)"
+        );
+    }
+    rayon::set_num_threads(0);
+}

@@ -190,6 +190,37 @@ proptest! {
         );
     }
 
+    /// Two-row reconstruction of a reunitarized link is exact to rounding
+    /// — in fact bit-exact: `project_su3`'s unitary completion and
+    /// `reconstruct_su3` build row 2 from rows 0–1 with the identical
+    /// conjugate-cross-product expression, so compressing a freshly
+    /// reunitarized link loses nothing at all.
+    #[test]
+    fn two_row_reconstruction_of_a_reunitarized_link_is_exact(
+        seed in 1u64..500,
+        stream in 0u64..8,
+        drift in 0.0f64..1e-6,
+    ) {
+        use grid::tensor::su3::{compress_su3, project_su3, random_su3, reconstruct_su3, unitarity_defect};
+        // A random SU(3) link with injected non-unitary drift, as
+        // accumulated by long HMC chains.
+        let mut m = random_su3(seed, stream);
+        for (r, row) in m.iter_mut().enumerate() {
+            for (c, e) in row.iter_mut().enumerate() {
+                *e = e.scale(1.0 + drift * ((r * 3 + c) as f64 - 4.0) / 4.0);
+            }
+        }
+        let u = project_su3(&m); // reunitarize
+        prop_assert!(unitarity_defect(&u) < 1e-12);
+        let rec = reconstruct_su3(&compress_su3(&u));
+        for r in 0..3 {
+            for c in 0..3 {
+                prop_assert_eq!(rec[r][c].re.to_bits(), u[r][c].re.to_bits());
+                prop_assert_eq!(rec[r][c].im.to_bits(), u[r][c].im.to_bits());
+            }
+        }
+    }
+
     /// Spin projection halves data and reconstructs exactly.
     #[test]
     fn half_spinor_projection(mu in 0usize..4, plus in any::<bool>(), seed in 1u64..500) {

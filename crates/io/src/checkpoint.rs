@@ -22,9 +22,12 @@ use crate::container::{Container, Record};
 use crate::error::{IoError, Result};
 use crate::fields::{decode_field, encode_field, Cursor, FieldMeta, META_RECORD};
 use grid::codec::Precision;
-use grid::prelude::{cg_op_from_state, BicgStabState, CgState, SolveReport, WilsonDirac};
+use grid::prelude::{
+    block_cg_ws_from_state, cg_op_from_state, BicgStabState, BlockCgState, BlockSolveReport,
+    BlockWorkspace, CgState, SolveReport, WilsonDirac,
+};
 use grid::solver::bicgstab_from_state;
-use grid::{Complex, FermionField, Grid};
+use grid::{Complex, FermionBlock, FermionField, Grid};
 use std::path::Path;
 use std::sync::Arc;
 
@@ -34,6 +37,8 @@ pub const CG_SCALARS: &str = "cg.scalars";
 pub const BI_SCALARS: &str = "bi.scalars";
 /// Record holding the mixed-precision outer-loop counters.
 pub const MX_SCALARS: &str = "mx.scalars";
+/// Record holding the block-CG recurrence scalars (all right-hand sides).
+pub const BLK_SCALARS: &str = "blk.scalars";
 
 fn push_f64_bits(out: &mut Vec<u8>, x: f64) {
     out.extend_from_slice(&x.to_bits().to_le_bytes());
@@ -192,6 +197,153 @@ pub fn load_mixed(path: &Path, grid: &Arc<Grid<f64>>) -> Result<MixedCheckpoint>
         outer_done,
         inner_done,
     })
+}
+
+/// Snapshot an in-flight block CG solve to `path` (atomic write). The
+/// per-RHS recurrence scalars go to [`BLK_SCALARS`] as raw IEEE-754 bits;
+/// the three block iterates are stored one field record per right-hand
+/// side (`blk.x.<i>`, `blk.r.<i>`, `blk.p.<i>`), so the on-disk format
+/// stays portable across vector lengths like every other field record.
+pub fn save_block_cg(state: &BlockCgState, path: &Path) -> Result<u64> {
+    let nrhs = state.nrhs();
+    let meta = FieldMeta::of(&state.x.rhs_field(0), Precision::F64);
+    let mut scalars = Vec::new();
+    scalars.extend_from_slice(&(nrhs as u64).to_le_bytes());
+    for j in 0..nrhs {
+        scalars.extend_from_slice(&(state.iterations[j] as u64).to_le_bytes());
+        push_f64_bits(&mut scalars, state.r2[j]);
+        push_f64_bits(&mut scalars, state.b_norm2[j]);
+        push_history(&mut scalars, &state.histories[j]);
+    }
+    let mut c = Container::new();
+    c.push(Record::new(META_RECORD, meta.encode()));
+    c.push(Record::new(BLK_SCALARS, scalars));
+    for j in 0..nrhs {
+        c.push(field_record(&format!("blk.x.{j}"), &state.x.rhs_field(j)));
+        c.push(field_record(&format!("blk.r.{j}"), &state.r.rhs_field(j)));
+        c.push(field_record(&format!("blk.p.{j}"), &state.p.rhs_field(j)));
+    }
+    c.write_atomic(path)
+}
+
+/// Restore a block CG snapshot written by [`save_block_cg`] onto `grid`.
+pub fn load_block_cg(path: &Path, grid: &Arc<Grid<f64>>) -> Result<BlockCgState> {
+    let c = Container::open(path)?;
+    let meta = FieldMeta::decode(&c.expect(META_RECORD)?.payload, META_RECORD)?;
+    let scalars = &c.expect(BLK_SCALARS)?.payload;
+    let mut cur = Cursor::new(scalars, BLK_SCALARS);
+    let nrhs = cur.u64("RHS count")? as usize;
+    if nrhs == 0 {
+        return Err(IoError::BadRecord {
+            record: BLK_SCALARS.to_string(),
+            msg: "a block checkpoint needs at least one right-hand side".to_string(),
+        });
+    }
+    let mut iterations = Vec::with_capacity(nrhs);
+    let mut r2 = Vec::with_capacity(nrhs);
+    let mut b_norm2 = Vec::with_capacity(nrhs);
+    let mut histories = Vec::with_capacity(nrhs);
+    for _ in 0..nrhs {
+        iterations.push(cur.u64("iteration count")? as usize);
+        r2.push(f64::from_bits(cur.u64("r2")?));
+        b_norm2.push(f64::from_bits(cur.u64("b_norm2")?));
+        histories.push(read_history(&mut cur)?);
+    }
+    cur.done()?;
+    let load_block = |stem: &str| -> Result<FermionBlock> {
+        let fields = (0..nrhs)
+            .map(|j| load_field(&c, &meta, &format!("{stem}.{j}"), grid))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(FermionBlock::from_fields(&fields))
+    };
+    Ok(BlockCgState {
+        x: load_block("blk.x")?,
+        r: load_block("blk.r")?,
+        p: load_block("blk.p")?,
+        r2,
+        b_norm2,
+        iterations,
+        histories,
+    })
+}
+
+/// Step the block CG recurrence to convergence, writing an atomic snapshot
+/// every `every` outer iterations. The restored run replays the identical
+/// per-RHS iteration sequence the uninterrupted solve would have — the
+/// active mask is *derived* from the checkpointed per-RHS scalars, so
+/// convergence masking survives the round trip bit-exactly. Entry point
+/// for both cold starts and resumes — pass either `BlockCgState::new(b)`
+/// or a state from [`load_block_cg`].
+pub fn block_cg_checkpointed_from(
+    op: &WilsonDirac,
+    b: &FermionBlock,
+    mut state: BlockCgState,
+    tol: f64,
+    max_iter: usize,
+    every: usize,
+    path: &Path,
+) -> Result<(FermionBlock, BlockSolveReport, usize)> {
+    assert!(every > 0, "checkpoint interval must be positive");
+    for (j, (&stored, recomputed)) in state.b_norm2.iter().zip(b.norms2()).enumerate() {
+        if recomputed.to_bits() != stored.to_bits() {
+            return Err(IoError::BadRecord {
+                record: BLK_SCALARS.to_string(),
+                msg: format!(
+                    "right-hand side {j} does not match the checkpoint \
+                     (|b|² {recomputed} vs stored {stored})"
+                ),
+            });
+        }
+    }
+    let mut ws = BlockWorkspace::new(b.grid().clone(), b.nrhs());
+    let mut apply = |p: &FermionBlock, ws: &mut BlockWorkspace| {
+        let BlockWorkspace { tmp, ap, .. } = ws;
+        op.mdag_m_block_into_dot(p, tmp, ap)
+    };
+    let mut snapshots = 0;
+    let mut steps = 0usize;
+    loop {
+        let active = state.active(tol, max_iter);
+        if !active.iter().any(|&a| a) {
+            break;
+        }
+        state.step_ws(&mut ws, &mut apply, &active);
+        steps += 1;
+        if steps.is_multiple_of(every) {
+            save_block_cg(&state, path)?;
+            snapshots += 1;
+        }
+    }
+    // Zero further iterations happen here; this builds the per-RHS report
+    // with the true-residual check.
+    let (x, report) = block_cg_ws_from_state(&mut apply, b, &mut ws, state, tol, max_iter);
+    Ok((x, report, snapshots))
+}
+
+/// [`block_cg_checkpointed_from`] starting from the zero initial guess.
+pub fn block_cg_checkpointed(
+    op: &WilsonDirac,
+    b: &FermionBlock,
+    tol: f64,
+    max_iter: usize,
+    every: usize,
+    path: &Path,
+) -> Result<(FermionBlock, BlockSolveReport, usize)> {
+    block_cg_checkpointed_from(op, b, BlockCgState::new(b), tol, max_iter, every, path)
+}
+
+/// Resume a block CG solve from the snapshot at `path` and run it to
+/// convergence, continuing to checkpoint every `every` iterations.
+pub fn resume_block_cg(
+    op: &WilsonDirac,
+    b: &FermionBlock,
+    tol: f64,
+    max_iter: usize,
+    every: usize,
+    path: &Path,
+) -> Result<(FermionBlock, BlockSolveReport, usize)> {
+    let state = load_block_cg(path, b.grid())?;
+    block_cg_checkpointed_from(op, b, state, tol, max_iter, every, path)
 }
 
 /// Check that a resumed solve is continuing against the same right-hand

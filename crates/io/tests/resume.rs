@@ -5,8 +5,9 @@
 use grid::prelude::*;
 use qcd_io::checkpoint::bicgstab_checkpointed_from;
 use qcd_io::{
-    cg_checkpointed, load_bicgstab, load_cg, load_mixed, resume_bicgstab, resume_cg, save_bicgstab,
-    save_cg, save_mixed, IoError, MixedCheckpoint,
+    block_cg_checkpointed, cg_checkpointed, load_bicgstab, load_block_cg, load_cg, load_mixed,
+    resume_bicgstab, resume_block_cg, resume_cg, save_bicgstab, save_block_cg, save_cg, save_mixed,
+    IoError, MixedCheckpoint,
 };
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -173,6 +174,106 @@ fn bicgstab_state_survives_a_save_load_cycle_bit_exactly() {
         (&back.p, &state.p),
     ] {
         assert_eq!(f_back.max_abs_diff(f_state), 0.0);
+    }
+}
+
+#[test]
+fn block_cg_killed_and_resumed_from_disk_is_bit_identical() {
+    let (op, b0) = setup();
+    let b1 = FermionField::random(b0.grid().clone(), 83);
+    let b = FermionBlock::from_fields(&[b0.clone(), b1]);
+    let tol = 1e-10;
+    let max_iter = 500;
+
+    // Reference: the uninterrupted batched solve.
+    let (x_ref, ref_report) = block_cg(&op, &b, tol, max_iter);
+
+    // "Kill" a checkpointing solve by capping its budget at 12 outer
+    // steps; the snapshot on disk is then the one written at step 10.
+    let path = tmp("blk.qio");
+    let (_, partial, snapshots) = block_cg_checkpointed(&op, &b, tol, 12, 5, &path).unwrap();
+    assert_eq!(partial.iterations, 12);
+    assert_eq!(snapshots, 2, "snapshots at steps 5 and 10");
+    let on_disk = load_block_cg(&path, b.grid()).unwrap();
+    assert_eq!(on_disk.iterations, vec![10, 10]);
+
+    // Resume from disk with the full budget: every right-hand side must
+    // retrace the uninterrupted batched solve bit for bit.
+    let (x, resumed, _) = resume_block_cg(&op, &b, tol, max_iter, 50, &path).unwrap();
+    assert_eq!(resumed.per_rhs_iterations, ref_report.per_rhs_iterations);
+    assert_eq!(
+        x.max_abs_diff(&x_ref),
+        0.0,
+        "solutions must be bit-identical"
+    );
+    for j in 0..b.nrhs() {
+        assert_eq!(
+            resumed.residuals[j].to_bits(),
+            ref_report.residuals[j].to_bits(),
+            "RHS {j} residual diverged"
+        );
+        assert!(resumed.converged[j]);
+        assert_eq!(resumed.histories[j].len(), ref_report.histories[j].len());
+        for (i, (a, r)) in resumed.histories[j]
+            .iter()
+            .zip(&ref_report.histories[j])
+            .enumerate()
+        {
+            assert_eq!(a.to_bits(), r.to_bits(), "RHS {j} history entry {i}");
+        }
+    }
+}
+
+#[test]
+fn block_cg_state_survives_a_save_load_cycle_bit_exactly() {
+    let (op, b0) = setup();
+    let b1 = FermionField::random(b0.grid().clone(), 84);
+    let b = FermionBlock::from_fields(&[b0, b1]);
+    let mut state = BlockCgState::new(&b);
+    let mut ws = BlockWorkspace::new(b.grid().clone(), b.nrhs());
+    let mut apply = |p: &FermionBlock, ws: &mut BlockWorkspace| {
+        let BlockWorkspace { tmp, ap, .. } = ws;
+        op.mdag_m_block_into_dot(p, tmp, ap)
+    };
+    for _ in 0..7 {
+        let active = state.active(1e-10, 500);
+        state.step_ws(&mut ws, &mut apply, &active);
+    }
+    let path = tmp("blk_state.qio");
+    save_block_cg(&state, &path).unwrap();
+    let back = load_block_cg(&path, b.grid()).unwrap();
+    assert_eq!(back.iterations, state.iterations);
+    for j in 0..b.nrhs() {
+        assert_eq!(back.r2[j].to_bits(), state.r2[j].to_bits());
+        assert_eq!(back.b_norm2[j].to_bits(), state.b_norm2[j].to_bits());
+        for (a, s) in back.histories[j].iter().zip(&state.histories[j]) {
+            assert_eq!(a.to_bits(), s.to_bits());
+        }
+    }
+    assert_eq!(back.x.max_abs_diff(&state.x), 0.0);
+    assert_eq!(back.r.max_abs_diff(&state.r), 0.0);
+    assert_eq!(back.p.max_abs_diff(&state.p), 0.0);
+}
+
+#[test]
+fn block_resume_against_the_wrong_rhs_is_refused_by_index() {
+    let (op, b0) = setup();
+    let b1 = FermionField::random(b0.grid().clone(), 85);
+    let b = FermionBlock::from_fields(&[b0.clone(), b1]);
+    let path = tmp("blk_wrong_rhs.qio");
+    block_cg_checkpointed(&op, &b, 1e-10, 12, 5, &path).unwrap();
+    // Swap out the second right-hand side only: the error must name it.
+    let other =
+        FermionBlock::from_fields(&[b0.clone(), FermionField::random(b0.grid().clone(), 998)]);
+    match resume_block_cg(&op, &other, 1e-10, 500, 50, &path) {
+        Err(IoError::BadRecord { record, msg }) => {
+            assert_eq!(record, "blk.scalars");
+            assert!(msg.contains("right-hand side 1"), "{msg}");
+        }
+        other => panic!(
+            "expected a right-hand-side mismatch, got {other:?}",
+            other = other.err()
+        ),
     }
 }
 
