@@ -1,0 +1,50 @@
+//! The CI bench-regression gate CLI.
+//!
+//! Usage: `bench_diff <baseline.json> <current.json>`.
+//!
+//! Both files must carry the same benchmark schema (`qcd-bench-solver/v1`
+//! or `qcd-bench-hmc/v1`, auto-detected). Model-derived metrics — sweep
+//! counts, arithmetic intensities, the memory-bound speedup model, the
+//! seeded HMC physics observables — are compared at floating-point
+//! tolerance and any drift fails the gate. Wall-clock metrics are compared
+//! at a loose host-noise tolerance and only warn.
+//!
+//! Exit codes: `0` no regression (warnings allowed), `1` regression or
+//! configuration mismatch, `2` usage / unreadable / mismatched-schema
+//! input.
+
+use bench::diff;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline, current] = args.as_slice() else {
+        eprintln!("usage: bench_diff <baseline.json> <current.json>");
+        std::process::exit(2);
+    };
+    let report = match diff::diff_files(baseline, current) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_diff: {e}");
+            std::process::exit(2);
+        }
+    };
+    for w in &report.warnings {
+        println!("warning (wall-clock, not gated): {w}");
+    }
+    for f in &report.failures {
+        println!("REGRESSION: {f}");
+    }
+    if report.passed() {
+        println!(
+            "bench_diff: OK — {baseline} vs {current}: no model-derived drift \
+             ({} wall-clock warning(s))",
+            report.warnings.len()
+        );
+    } else {
+        eprintln!(
+            "bench_diff: FAILED — {} regression(s) against {baseline}",
+            report.failures.len()
+        );
+        std::process::exit(1);
+    }
+}

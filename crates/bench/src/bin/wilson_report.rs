@@ -11,7 +11,7 @@
 //!
 //! Usage: `wilson_report [--json <path>] [--checkpoint <path>]
 //! [--resume <path>] [--ckpt-every <n>] [--bench <path>] [--bench-l <n>]
-//! [--bench-iters <n>] [--rhs <n>]`.
+//! [--bench-iters <n>] [--rhs <n>] [--metrics <path>]`.
 //!
 //! With `--json`, additionally writes the registry snapshot as a
 //! `qcd-trace/v1` document (schema documented on
@@ -37,6 +37,11 @@
 //! an `--hmc-l`⁴ lattice), enforces the equilibrium gates — Metropolis
 //! acceptance above 0.5 and `⟨exp(-ΔH)⟩ = 1` within 3σ — and writes the
 //! validated `qcd-bench-hmc/v1` document the CI hmc-smoke job uploads.
+//!
+//! With `--metrics <path>`, additionally dumps the observability state —
+//! every registered counter/gauge/histogram, the flight-recorder ring, and
+//! (for `--hmc`) the per-trajectory sampler time series — as a validated
+//! `qcd-metrics/v1` JSONL document.
 
 use bench::hmc_bench;
 use bench::profile;
@@ -44,6 +49,27 @@ use bench::solver_bench;
 use bench::BENCH_LATTICE;
 use grid::prelude::*;
 use sve::{OpClass, Opcode};
+
+/// Render, validate, and write the `qcd-metrics/v1` JSONL dump, with the
+/// sampler's time-series lines appended when a sampler ran.
+fn write_metrics_dump(path: &str, sampler: Option<&qcd_metrics::Sampler>) {
+    let mut doc = qcd_metrics::dump_all_jsonl();
+    if let Some(s) = sampler {
+        doc.push_str(&s.to_jsonl());
+    }
+    if let Err(e) = qcd_metrics::validate_jsonl(&doc) {
+        eprintln!("wilson_report: metrics dump failed validation: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write(path, &doc) {
+        eprintln!("wilson_report: write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "wrote validated {schema} metrics dump to {path}",
+        schema = qcd_metrics::SCHEMA
+    );
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -55,6 +81,9 @@ fn main() {
         }
     };
     let json_path = report_args.json.clone();
+    // Every span close from here on feeds the flight recorder and the
+    // `span.<leaf>` histograms.
+    qcd_metrics::install_span_observer();
 
     // A benchmark run is standalone: time the two solver legs, write the
     // validated document, skip the instruction-efficiency sweep.
@@ -134,6 +163,16 @@ fn main() {
             eprintln!("wilson_report: {e}");
             std::process::exit(1);
         }
+        println!(
+            "metrics overhead: x{:.4} (flight recorder on / off, N=8 block solve; \
+             gate x{:.2})",
+            bench.metrics_overhead,
+            solver_bench::METRICS_OVERHEAD_LIMIT
+        );
+        if let Err(e) = solver_bench::check_metrics_overhead(&bench) {
+            eprintln!("wilson_report: {e}");
+            std::process::exit(1);
+        }
         match solver_bench::write_validated_bench_json(&bench, path) {
             Ok(()) => println!(
                 "wrote validated {schema} document to {path}",
@@ -143,6 +182,9 @@ fn main() {
                 eprintln!("wilson_report: {e}");
                 std::process::exit(1);
             }
+        }
+        if let Some(mpath) = &report_args.metrics {
+            write_metrics_dump(mpath, None);
         }
         return;
     }
@@ -156,7 +198,13 @@ fn main() {
             therm: report_args.hmc_therm,
             ..hmc_bench::HmcBenchConfig::default()
         };
-        let bench = match hmc_bench::run_hmc_bench(cfg) {
+        // With --metrics, sample the registry once per measured trajectory
+        // so the dump carries the plaquette / ΔH time series.
+        let mut sampler = report_args
+            .metrics
+            .as_ref()
+            .map(|_| qcd_metrics::Sampler::new(1));
+        let bench = match hmc_bench::run_hmc_bench_sampled(cfg, sampler.as_mut()) {
             Ok(b) => b,
             Err(e) => {
                 eprintln!("wilson_report: {e}");
@@ -202,6 +250,9 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        if let Some(mpath) = &report_args.metrics {
+            write_metrics_dump(mpath, sampler.as_ref());
+        }
         return;
     }
 
@@ -233,6 +284,9 @@ fn main() {
                     std::process::exit(1);
                 }
             }
+        }
+        if let Some(mpath) = &report_args.metrics {
+            write_metrics_dump(mpath, None);
         }
         return;
     }
@@ -336,5 +390,8 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+    if let Some(mpath) = &report_args.metrics {
+        write_metrics_dump(mpath, None);
     }
 }

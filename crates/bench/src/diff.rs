@@ -1,0 +1,407 @@
+//! The bench-regression gate: compare two benchmark documents
+//! (`qcd-bench-solver/v1` or `qcd-bench-hmc/v1`) metric by metric.
+//!
+//! Metrics split into two classes with different consequences:
+//!
+//! * **Model-derived** metrics are pure functions of the configuration —
+//!   sweeps per iteration, arithmetic intensities, the two-row AI gain, the
+//!   memory-bound speedup model, and the HMC physics observables (which are
+//!   deterministic given the seeded chain). Any drift beyond floating-point
+//!   noise ([`HARD_RTOL`]) means the *code model* changed, not the machine,
+//!   so it is a hard failure.
+//! * **Wall-clock** metrics (wall time, throughput, GFLOP/s, the metrics
+//!   overhead ratio) vary with the host; drift beyond [`WALL_RTOL`] is
+//!   reported as a warning but never fails the gate.
+//!
+//! Configuration keys (lattice, vector length, backend, iteration counts,
+//! HMC parameters) must match exactly — comparing runs of different shapes
+//! is a hard failure, not a warning.
+
+use crate::hmc_bench::HMC_BENCH_SCHEMA;
+use crate::solver_bench::SOLVER_BENCH_SCHEMA;
+use qcd_trace::Json;
+
+/// Relative tolerance for model-derived metrics: floating-point noise only.
+pub const HARD_RTOL: f64 = 1e-9;
+
+/// Relative tolerance for wall-clock metrics before a warning is emitted.
+pub const WALL_RTOL: f64 = 0.25;
+
+/// Outcome of a document comparison: hard failures (exit 1) and host-noise
+/// warnings (reported, exit 0).
+#[derive(Debug, Default)]
+pub struct DiffReport {
+    /// Model-derived drift and configuration mismatches.
+    pub failures: Vec<String>,
+    /// Wall-clock drift beyond [`WALL_RTOL`].
+    pub warnings: Vec<String>,
+}
+
+impl DiffReport {
+    /// True when no hard failure was recorded.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Symmetric relative difference, zero-safe: `|b-a| / max(|a|,|b|)`.
+fn rel_delta(a: f64, b: f64) -> f64 {
+    if a == b {
+        return 0.0;
+    }
+    (b - a).abs() / a.abs().max(b.abs()).max(f64::MIN_POSITIVE)
+}
+
+/// Fetch a numeric field through a dotted path like `fused.wall_ns`.
+fn num(doc: &Json, path: &str) -> Result<f64, String> {
+    let mut cur = doc;
+    for key in path.split('.') {
+        cur = cur
+            .get(key)
+            .ok_or_else(|| format!("missing field `{path}`"))?;
+    }
+    cur.as_f64()
+        .ok_or_else(|| format!("field `{path}` is not a number"))
+}
+
+struct Diff<'a> {
+    baseline: &'a Json,
+    current: &'a Json,
+    report: DiffReport,
+}
+
+impl<'a> Diff<'a> {
+    fn new(baseline: &'a Json, current: &'a Json) -> Self {
+        Diff {
+            baseline,
+            current,
+            report: DiffReport::default(),
+        }
+    }
+
+    /// Configuration key: any mismatch is a hard failure.
+    fn config(&mut self, path: &str) {
+        let (b, c) = (self.baseline.get(path), self.current.get(path));
+        match (b, c) {
+            (Some(b), Some(c)) if b == c => {}
+            (Some(b), Some(c)) => self.report.failures.push(format!(
+                "config `{path}` differs: baseline {} vs current {}",
+                b.render(),
+                c.render()
+            )),
+            _ => self
+                .report
+                .failures
+                .push(format!("config `{path}` missing from one document")),
+        }
+    }
+
+    /// Model-derived metric: drift beyond [`HARD_RTOL`] is a hard failure.
+    fn hard(&mut self, path: &str) {
+        self.metric(path, HARD_RTOL, true);
+    }
+
+    /// Wall-clock metric: drift beyond [`WALL_RTOL`] is a warning.
+    fn wall(&mut self, path: &str) {
+        self.metric(path, WALL_RTOL, false);
+    }
+
+    fn metric(&mut self, path: &str, rtol: f64, hard: bool) {
+        let (b, c) = match (num(self.baseline, path), num(self.current, path)) {
+            (Ok(b), Ok(c)) => (b, c),
+            (Err(e), _) | (_, Err(e)) => {
+                self.report.failures.push(e);
+                return;
+            }
+        };
+        let delta = rel_delta(b, c);
+        if delta <= rtol {
+            return;
+        }
+        let msg = format!(
+            "`{path}`: baseline {b:.6e} vs current {c:.6e} (rel delta {delta:.3e} > {rtol:.0e})"
+        );
+        if hard {
+            self.report.failures.push(msg);
+        } else {
+            self.report.warnings.push(msg);
+        }
+    }
+}
+
+fn diff_solver(baseline: &Json, current: &Json) -> DiffReport {
+    let mut d = Diff::new(baseline, current);
+    for key in ["lattice", "vl_bits", "backend", "threads", "iterations"] {
+        d.config(key);
+    }
+    for leg in ["baseline", "fused"] {
+        d.hard(&format!("{leg}.sweeps_per_iter"));
+        for m in ["wall_ns", "sites_per_sec", "gflops"] {
+            d.wall(&format!("{leg}.{m}"));
+        }
+    }
+    d.wall("speedup");
+    d.wall("metrics_overhead");
+    diff_solver_block(baseline, current, d.report)
+}
+
+/// Compare the multi-RHS legs row by row, matching on `nrhs`.
+fn diff_solver_block(baseline: &Json, current: &Json, mut report: DiffReport) -> DiffReport {
+    let (Some(b_rows), Some(c_rows)) = (
+        baseline.get("block").and_then(Json::as_arr),
+        current.get("block").and_then(Json::as_arr),
+    ) else {
+        report.failures.push("missing array `block`".into());
+        return report;
+    };
+    let nrhs = |row: &Json| row.get("nrhs").and_then(Json::as_u64);
+    let b_ns: Vec<_> = b_rows.iter().filter_map(nrhs).collect();
+    let c_ns: Vec<_> = c_rows.iter().filter_map(nrhs).collect();
+    if b_ns != c_ns {
+        report.failures.push(format!(
+            "`block` RHS counts differ: baseline {b_ns:?} vs current {c_ns:?}"
+        ));
+        return report;
+    }
+    for (b_row, c_row) in b_rows.iter().zip(c_rows) {
+        let mut d = Diff::new(b_row, c_row);
+        let n = nrhs(b_row).unwrap_or(0);
+        for m in ["ai", "ai_two_row", "ai_gain", "mem_bound_speedup"] {
+            d.hard(m);
+        }
+        for m in ["wall_ns", "sites_per_sec", "gflops", "speedup"] {
+            d.wall(m);
+        }
+        let tag = |msgs: Vec<String>| -> Vec<String> {
+            msgs.into_iter()
+                .map(|m| format!("block N={n} {m}"))
+                .collect()
+        };
+        report.failures.extend(tag(d.report.failures));
+        report.warnings.extend(tag(d.report.warnings));
+    }
+    report
+}
+
+fn diff_hmc(baseline: &Json, current: &Json) -> DiffReport {
+    let mut d = Diff::new(baseline, current);
+    for key in [
+        "lattice",
+        "vl_bits",
+        "backend",
+        "threads",
+        "beta",
+        "therm",
+        "trajectories",
+        "n_steps",
+        "step_size",
+        "seed",
+    ] {
+        d.config(key);
+    }
+    // The chain is a pure function of (config, seed): the Metropolis
+    // decisions and plaquette history must reproduce bit-for-bit.
+    for m in [
+        "acceptance",
+        "avg_plaquette",
+        "mean_exp_dh",
+        "stderr_exp_dh",
+    ] {
+        d.hard(m);
+    }
+    for m in ["wall_ns", "trajectories_per_sec", "force_gflops"] {
+        d.wall(m);
+    }
+    d.report
+}
+
+/// Compare two parsed benchmark documents. The schema is detected from the
+/// baseline and must match the current document; unknown schemas are a
+/// usage error (`Err`), not a regression.
+pub fn diff_docs(baseline: &Json, current: &Json) -> Result<DiffReport, String> {
+    let schema = baseline
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("baseline document has no `schema` field")?;
+    let cur_schema = current
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("current document has no `schema` field")?;
+    if schema != cur_schema {
+        return Err(format!(
+            "schema mismatch: baseline `{schema}` vs current `{cur_schema}`"
+        ));
+    }
+    match schema {
+        SOLVER_BENCH_SCHEMA => Ok(diff_solver(baseline, current)),
+        HMC_BENCH_SCHEMA => Ok(diff_hmc(baseline, current)),
+        other => Err(format!("unsupported benchmark schema `{other}`")),
+    }
+}
+
+/// Read, parse, and compare two benchmark files.
+pub fn diff_files(baseline_path: &str, current_path: &str) -> Result<DiffReport, String> {
+    let read = |path: &str| -> Result<Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        Json::parse(&text).map_err(|e| format!("{path}: bad JSON: {} at byte {}", e.msg, e.at))
+    };
+    diff_docs(&read(baseline_path)?, &read(current_path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solver_doc() -> String {
+        r#"{
+          "schema": "qcd-bench-solver/v1",
+          "lattice": [8, 8, 8, 8],
+          "vl_bits": 512,
+          "backend": "fcmla",
+          "threads": 4,
+          "iterations": 10,
+          "baseline": {"wall_ns": 5.0e8, "sites_per_sec": 81920.0,
+                       "gflops": 0.5, "sweeps_per_iter": 3.0},
+          "fused": {"wall_ns": 4.0e8, "sites_per_sec": 102400.0,
+                    "gflops": 0.625, "sweeps_per_iter": 2.0},
+          "speedup": 1.25,
+          "block": [
+            {"nrhs": 1, "wall_ns": 4.0e8, "sites_per_sec": 102400.0,
+             "gflops": 0.625, "ai": 0.691, "ai_two_row": 0.875,
+             "speedup": 1.0, "ai_gain": 1.266, "mem_bound_speedup": 1.266},
+            {"nrhs": 8, "wall_ns": 3.0e9, "sites_per_sec": 109227.0,
+             "gflops": 0.667, "ai": 1.234, "ai_two_row": 1.876,
+             "speedup": 1.07, "ai_gain": 1.52, "mem_bound_speedup": 2.715}
+          ],
+          "metrics_overhead": 1.004
+        }"#
+        .into()
+    }
+
+    fn hmc_doc() -> String {
+        r#"{
+          "schema": "qcd-bench-hmc/v1",
+          "lattice": [8, 8, 8, 8],
+          "vl_bits": 512,
+          "backend": "fcmla",
+          "threads": 4,
+          "beta": 5.6,
+          "therm": 10,
+          "trajectories": 20,
+          "n_steps": 12,
+          "step_size": 0.0833,
+          "seed": 77,
+          "wall_ns": 9.0e9,
+          "trajectories_per_sec": 2.22,
+          "force_gflops": 1.8,
+          "acceptance": 0.85,
+          "mean_exp_dh": 1.002,
+          "stderr_exp_dh": 0.011,
+          "avg_plaquette": 0.574312
+        }"#
+        .into()
+    }
+
+    fn parse(doc: &str) -> Json {
+        Json::parse(doc).expect("fixture parses")
+    }
+
+    #[test]
+    fn self_compare_is_clean_for_both_schemas() {
+        for doc in [solver_doc(), hmc_doc()] {
+            let j = parse(&doc);
+            let report = diff_docs(&j, &j).expect("same schema");
+            assert!(report.passed(), "failures: {:?}", report.failures);
+            assert!(
+                report.warnings.is_empty(),
+                "warnings: {:?}",
+                report.warnings
+            );
+        }
+    }
+
+    #[test]
+    fn model_metric_drift_is_a_hard_failure() {
+        let base = parse(&solver_doc());
+        let cur = parse(&solver_doc().replace("\"ai_gain\": 1.52", "\"ai_gain\": 1.61"));
+        let report = diff_docs(&base, &cur).unwrap();
+        assert!(!report.passed());
+        assert!(
+            report.failures.iter().any(|f| f.contains("ai_gain")),
+            "failures: {:?}",
+            report.failures
+        );
+    }
+
+    #[test]
+    fn wall_clock_drift_is_warn_only() {
+        let base = parse(&solver_doc());
+        // Double every fused wall-clock figure: far past WALL_RTOL, but the
+        // gate must still pass.
+        let cur = parse(
+            &solver_doc()
+                .replace("\"wall_ns\": 4.0e8", "\"wall_ns\": 8.0e8")
+                .replace("\"sites_per_sec\": 102400.0", "\"sites_per_sec\": 51200.0"),
+        );
+        let report = diff_docs(&base, &cur).unwrap();
+        assert!(report.passed(), "failures: {:?}", report.failures);
+        assert!(!report.warnings.is_empty());
+    }
+
+    #[test]
+    fn wall_clock_drift_within_tolerance_is_silent() {
+        let base = parse(&solver_doc());
+        let cur = parse(&solver_doc().replace("\"wall_ns\": 5.0e8", "\"wall_ns\": 5.5e8"));
+        let report = diff_docs(&base, &cur).unwrap();
+        assert!(report.passed());
+        assert!(
+            report.warnings.is_empty(),
+            "warnings: {:?}",
+            report.warnings
+        );
+    }
+
+    #[test]
+    fn config_mismatch_is_a_hard_failure() {
+        let base = parse(&solver_doc());
+        let cur = parse(&solver_doc().replace("\"vl_bits\": 512", "\"vl_bits\": 256"));
+        let report = diff_docs(&base, &cur).unwrap();
+        assert!(report.failures.iter().any(|f| f.contains("vl_bits")));
+    }
+
+    #[test]
+    fn block_rhs_set_mismatch_is_a_hard_failure() {
+        let base = parse(&solver_doc());
+        let cur = parse(&solver_doc().replace("\"nrhs\": 8", "\"nrhs\": 16"));
+        let report = diff_docs(&base, &cur).unwrap();
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("RHS counts differ")));
+    }
+
+    #[test]
+    fn hmc_physics_drift_is_a_hard_failure() {
+        let base = parse(&hmc_doc());
+        let cur = parse(&hmc_doc().replace("\"acceptance\": 0.85", "\"acceptance\": 0.84"));
+        let report = diff_docs(&base, &cur).unwrap();
+        assert!(report.failures.iter().any(|f| f.contains("acceptance")));
+    }
+
+    #[test]
+    fn schema_mismatch_is_a_usage_error() {
+        let err = diff_docs(&parse(&solver_doc()), &parse(&hmc_doc())).unwrap_err();
+        assert!(err.contains("schema mismatch"));
+    }
+
+    #[test]
+    fn missing_metric_is_a_hard_failure() {
+        let base = parse(&solver_doc());
+        let cur = parse(&solver_doc().replace("\"metrics_overhead\": 1.004", "\"x\": 1.0"));
+        let report = diff_docs(&base, &cur).unwrap();
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("metrics_overhead")));
+    }
+}

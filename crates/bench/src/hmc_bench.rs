@@ -85,6 +85,16 @@ pub struct HmcBench {
 /// Resets the global `qcd-trace` registry (the force GFLOP/s comes out of
 /// the `hmc.force` spans), so don't interleave with another profile build.
 pub fn run_hmc_bench(cfg: HmcBenchConfig) -> Result<HmcBench, String> {
+    run_hmc_bench_sampled(cfg, None)
+}
+
+/// [`run_hmc_bench`] with an optional [`qcd_metrics::Sampler`] ticked once
+/// per measured trajectory, building the metrics time series behind
+/// `wilson_report --hmc --metrics`.
+pub fn run_hmc_bench_sampled(
+    cfg: HmcBenchConfig,
+    sampler: Option<&mut qcd_metrics::Sampler>,
+) -> Result<HmcBench, String> {
     if cfg.traj == 0 || cfg.n_steps == 0 {
         return Err("--hmc-traj and MD steps must be positive".into());
     }
@@ -116,7 +126,16 @@ pub fn run_hmc_bench(cfg: HmcBenchConfig) -> Result<HmcBench, String> {
 
     qcd_trace::reset();
     let t0 = Instant::now();
-    let reports = chain.run(cfg.traj);
+    let reports = match sampler {
+        Some(sampler) => (0..cfg.traj)
+            .map(|_| {
+                let r = chain.step();
+                sampler.tick();
+                r
+            })
+            .collect(),
+        None => chain.run(cfg.traj),
+    };
     let wall_ns = (t0.elapsed().as_nanos() as u64).max(1);
     let snap = qcd_trace::snapshot();
 

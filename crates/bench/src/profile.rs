@@ -227,12 +227,17 @@ pub struct ReportArgs {
     pub hmc_traj: usize,
     /// `--hmc-therm <n>`: thermalization trajectories discarded first.
     pub hmc_therm: usize,
+    /// `--metrics <path>`: dump the `qcd-metrics/v1` JSONL document —
+    /// every registered metric, the flight-recorder ring, and (for `--hmc`)
+    /// the per-trajectory sampler series — after the run.
+    pub metrics: Option<String>,
 }
 
 /// Parse the `wilson_report` command line: `[--json <path>]
 /// [--checkpoint <path>] [--resume <path>] [--ckpt-every <n>]
 /// [--bench <path>] [--bench-l <n>] [--bench-iters <n>] [--rhs <n>]
-/// [--hmc <path>] [--hmc-l <n>] [--hmc-traj <n>] [--hmc-therm <n>]`.
+/// [--hmc <path>] [--hmc-l <n>] [--hmc-traj <n>] [--hmc-therm <n>]
+/// [--metrics <path>]`.
 pub fn parse_report_args(args: &[String]) -> Result<ReportArgs, String> {
     let mut out = ReportArgs {
         every: 5,
@@ -267,6 +272,7 @@ pub fn parse_report_args(args: &[String]) -> Result<ReportArgs, String> {
             "--resume" => out.resume = Some(path_value(&mut it, arg)?),
             "--bench" => out.bench = Some(path_value(&mut it, arg)?),
             "--hmc" => out.hmc = Some(path_value(&mut it, arg)?),
+            "--metrics" => out.metrics = Some(path_value(&mut it, arg)?),
             "--ckpt-every" => out.every = count_value(&mut it, arg)?,
             "--bench-l" => out.bench_l = count_value(&mut it, arg)?,
             "--bench-iters" => out.bench_iters = count_value(&mut it, arg)?,
@@ -276,7 +282,7 @@ pub fn parse_report_args(args: &[String]) -> Result<ReportArgs, String> {
             "--hmc-therm" => out.hmc_therm = count_value(&mut it, arg)?,
             other => {
                 return Err(format!(
-                    "unrecognised argument `{other}` (expected --json/--checkpoint/--resume/--bench/--hmc <path>, --ckpt-every/--bench-l/--bench-iters/--rhs/--hmc-l/--hmc-traj/--hmc-therm <n>)"
+                    "unrecognised argument `{other}` (expected --json/--checkpoint/--resume/--bench/--hmc/--metrics <path>, --ckpt-every/--bench-l/--bench-iters/--rhs/--hmc-l/--hmc-traj/--hmc-therm <n>)"
                 ))
             }
         }

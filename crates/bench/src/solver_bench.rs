@@ -126,6 +126,57 @@ pub struct SolverBench {
     pub speedup: f64,
     /// Multi-RHS operator legs, one per batch size (N=1 first).
     pub block: Vec<BlockLeg>,
+    /// Wall-time ratio of an N=8 block solve with the metrics layer
+    /// (flight recorder + span observer) enabled over disabled — the
+    /// observability tax, gated at [`METRICS_OVERHEAD_LIMIT`] by the CI
+    /// bench-smoke job.
+    pub metrics_overhead: f64,
+}
+
+/// Ceiling on [`SolverBench::metrics_overhead`]: the metrics layer may
+/// cost at most 2% of N=8 block-solve wall time.
+pub const METRICS_OVERHEAD_LIMIT: f64 = 1.02;
+
+/// Measure the observability tax: time an N=8 block solve with the flight
+/// recorder and span observer enabled, then disabled, taking the min over
+/// `reps` runs of each. The solver's health monitors run in both legs (they
+/// are part of the solve); what toggles is event recording and the span
+/// histogram feed. The prior enabled/disabled state is restored.
+pub fn metrics_overhead_probe(g: &Arc<Grid>, op: &WilsonDirac, iters: usize, reps: usize) -> f64 {
+    let fields: Vec<FermionField> = (0..8)
+        .map(|j| FermionField::random(g.clone(), 292 + j as u64))
+        .collect();
+    let block = FermionBlock::from_fields(&fields);
+    let was_enabled = qcd_metrics::flight_enabled();
+    qcd_metrics::install_span_observer();
+    let _ = block_cg(op, &block, 1e-8, iters); // warm-up
+    let time_leg = |enabled: bool| -> u64 {
+        qcd_metrics::set_flight_enabled(enabled);
+        (0..reps.max(1))
+            .map(|_| {
+                let t0 = Instant::now();
+                let _ = block_cg(op, &block, 1e-8, iters);
+                t0.elapsed().as_nanos() as u64
+            })
+            .min()
+            .unwrap()
+            .max(1)
+    };
+    let off = time_leg(false);
+    let on = time_leg(true);
+    qcd_metrics::set_flight_enabled(was_enabled);
+    on as f64 / off as f64
+}
+
+/// The CI gate on the observability tax.
+pub fn check_metrics_overhead(b: &SolverBench) -> Result<(), String> {
+    if b.metrics_overhead > METRICS_OVERHEAD_LIMIT {
+        return Err(format!(
+            "metrics overhead {:.4}x exceeds the {METRICS_OVERHEAD_LIMIT}x limit",
+            b.metrics_overhead
+        ));
+    }
+    Ok(())
 }
 
 fn leg_result(dims: Coor, iters: usize, wall_ns: u64, sweeps: f64) -> LegResult {
@@ -370,6 +421,7 @@ pub fn run_solver_bench_with_rhs(
     let baseline = leg_result(dims, iters, base_wall.max(1), BASELINE_SWEEPS_PER_ITER);
     let fused = leg_result(dims, iters, fused_wall.max(1), FUSED_SWEEPS_PER_ITER);
     let block = run_block_legs(&g, &op, &op_two_row, iters, rhs_counts)?;
+    let metrics_overhead = metrics_overhead_probe(&g, &op, iters, 3);
     Ok(SolverBench {
         dims,
         vl_bits: vl.bits() as u64,
@@ -380,6 +432,7 @@ pub fn run_solver_bench_with_rhs(
         baseline,
         fused,
         block,
+        metrics_overhead,
     })
 }
 
@@ -433,6 +486,7 @@ pub fn bench_to_json(b: &SolverBench) -> Json {
             "block".into(),
             Json::Arr(b.block.iter().map(block_leg_json).collect()),
         ),
+        ("metrics_overhead".into(), Json::Num(b.metrics_overhead)),
     ])
 }
 
@@ -517,6 +571,13 @@ pub fn validate_solver_bench_json(doc: &Json) -> Result<(), String> {
                 return Err(format!("`block[{i}].{field}` must be positive, got {v}"));
             }
         }
+    }
+    if !doc
+        .get("metrics_overhead")
+        .and_then(Json::as_f64)
+        .is_some_and(|v| v > 0.0 && v.is_finite())
+    {
+        return Err("`metrics_overhead` missing or not positive".into());
     }
     Ok(())
 }
@@ -610,6 +671,23 @@ mod tests {
     #[test]
     fn zero_rhs_is_refused() {
         assert!(run_solver_bench_with_rhs(4, 1, &[0]).is_err());
+    }
+
+    #[test]
+    fn metrics_overhead_is_measured_and_gated() {
+        let mut bench = run_solver_bench_with_rhs(4, 2, &[1]).unwrap();
+        assert!(
+            bench.metrics_overhead > 0.0 && bench.metrics_overhead.is_finite(),
+            "probe must produce a positive ratio, got {}",
+            bench.metrics_overhead
+        );
+        // A forged over-budget ratio must be rejected, a healthy one pass.
+        bench.metrics_overhead = METRICS_OVERHEAD_LIMIT + 0.03;
+        assert!(check_metrics_overhead(&bench)
+            .unwrap_err()
+            .contains("overhead"));
+        bench.metrics_overhead = 1.001;
+        check_metrics_overhead(&bench).unwrap();
     }
 
     #[test]

@@ -292,6 +292,8 @@ pub fn cg_dwf(op: &DomainWall, b: &Fermion5, tol: f64, max_iter: usize) -> (Ferm
     let target = tol * tol * b_norm2;
     let mut history = Vec::with_capacity(max_iter + 1);
     history.push((r2 / b_norm2).sqrt());
+    let mut monitor = qcd_metrics::HealthMonitor::new("solver.cg_dwf");
+    monitor.replay(&history);
     let mut iterations = 0;
     while iterations < max_iter && r2 > target {
         op.ddag_d_into(&p, &mut tmp, &mut ap);
@@ -303,19 +305,29 @@ pub fn cg_dwf(op: &DomainWall, b: &Fermion5, tol: f64, max_iter: usize) -> (Ferm
         p.aypx(r2_new / r2, &r);
         r2 = r2_new;
         iterations += 1;
-        history.push((r2 / b_norm2).sqrt());
+        let rel = (r2 / b_norm2).sqrt();
+        history.push(rel);
+        monitor.observe(rel);
     }
     // True residual check, reusing the workspaces and the spent residual.
     op.ddag_d_into(&x, &mut tmp, &mut ap);
     r.sub(b, &ap);
     let residual = (r.norm2() / b_norm2).sqrt();
+    let (capped, _kept) = qcd_metrics::bound_history(
+        &history,
+        &monitor.flagged_iterations(),
+        crate::solver::HISTORY_CAP,
+    );
+    qcd_metrics::histogram("solver.cg_dwf.iterations").record(iterations as u64);
+    qcd_metrics::counter("solver.solves").inc();
     (
         x,
         SolveReport {
             iterations,
             residual,
             converged: r2 <= target,
-            history,
+            history: capped,
+            health: monitor.into_events(),
             telemetry: span.finish(),
         },
     )

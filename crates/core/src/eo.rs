@@ -175,6 +175,7 @@ pub fn solve_eo(
             residual,
             converged: residual <= tol * 100.0,
             history: inner_report.history,
+            health: inner_report.health,
             telemetry: span.finish(),
         },
     )
@@ -275,6 +276,7 @@ pub fn solve_eo_block(
             residuals,
             converged,
             histories: inner.histories,
+            health: inner.health,
             telemetry: span.finish(),
         },
     )

@@ -27,8 +27,16 @@ use crate::field::{
     block_cg_update_x_r, cg_update_x_r, FermionBlock, FermionField, FermionKind, Field,
 };
 use crate::layout::Grid;
+use qcd_metrics::{HealthEvent, HealthMonitor};
 use std::sync::Arc;
 use sve::SveFloat;
+
+/// Cap on the residual history surfaced in a [`SolveReport`]. Longer
+/// histories are downsampled by [`qcd_metrics::bound_history`], keeping the
+/// endpoints and every health-flagged entry. The history inside the solver
+/// *state* (the checkpoint unit) is never capped, so resume stays
+/// bit-identical.
+pub const HISTORY_CAP: usize = 512;
 
 /// Solver outcome.
 #[derive(Clone, Debug)]
@@ -40,11 +48,33 @@ pub struct SolveReport {
     /// Whether the target tolerance was reached.
     pub converged: bool,
     /// Relative true residual per iteration (preconditioned residual norm
-    /// history), for convergence plots.
+    /// history), for convergence plots. Capped at [`HISTORY_CAP`] entries
+    /// (first, last, and health-flagged iterations always survive).
     pub history: Vec<f64>,
+    /// Typed health events the monitor raised while consuming the residual
+    /// history (stall, divergence, NaN/Inf). Empty for a healthy solve.
+    pub health: Vec<HealthEvent>,
     /// Profile of the solve: wall time, per-iteration child time, and the
     /// SVE instruction delta the solve retired (see [`qcd_trace`]).
     pub telemetry: qcd_trace::RegionSummary,
+}
+
+/// Build the reported (capped) history and the health-event list from a
+/// finished monitor, and feed the solve-level metrics. The monitor must
+/// have observed every entry of `history` — restored prefix replayed, new
+/// entries observed live — so a resumed solve reports exactly what the
+/// uninterrupted one would.
+fn conclude_health(
+    region: &str,
+    monitor: HealthMonitor,
+    history: &[f64],
+    iterations: usize,
+) -> (Vec<f64>, Vec<HealthEvent>) {
+    let (capped, _kept) =
+        qcd_metrics::bound_history(history, &monitor.flagged_iterations(), HISTORY_CAP);
+    qcd_metrics::histogram(&format!("{region}.iterations")).record(iterations as u64);
+    qcd_metrics::counter("solver.solves").inc();
+    (capped, monitor.into_events())
 }
 
 /// Preallocated scratch fields for the allocation-free solver paths: built
@@ -208,9 +238,12 @@ pub fn cg_op_from_state<E: SveFloat>(
 ) -> (Field<FermionKind, E>, SolveReport) {
     let grid = b.grid().clone();
     let span = qcd_trace::span!("solver.cg", grid.engine().ctx());
+    let mut monitor = HealthMonitor::new("solver.cg");
+    monitor.replay(&state.history);
 
     while state.iterations < max_iter && !state.converged(tol) {
         state.step(&apply);
+        monitor.observe(*state.history.last().unwrap());
     }
 
     // True residual check (guards against recurrence drift).
@@ -218,13 +251,15 @@ pub fn cg_op_from_state<E: SveFloat>(
     true_r.sub(b, &apply(&state.x));
     let residual = (true_r.norm2() / state.b_norm2).sqrt();
     let converged = state.converged(tol);
+    let (history, health) = conclude_health("solver.cg", monitor, &state.history, state.iterations);
     (
         state.x,
         SolveReport {
             iterations: state.iterations,
             residual,
             converged,
-            history: state.history,
+            history,
+            health,
             telemetry: span.finish(),
         },
     )
@@ -251,9 +286,12 @@ pub fn cg_ws_from_state<E: SveFloat>(
     state
         .history
         .reserve((max_iter + 1).saturating_sub(state.history.len()));
+    let mut monitor = HealthMonitor::new("solver.cg");
+    monitor.replay(&state.history);
 
     while state.iterations < max_iter && !state.converged(tol) {
         state.step_ws(ws, &mut apply_into);
+        monitor.observe(*state.history.last().unwrap());
     }
 
     let converged = state.converged(tol);
@@ -262,13 +300,15 @@ pub fn cg_ws_from_state<E: SveFloat>(
     // through the spent search direction — no fresh field.
     apply_into(&state.x, ws);
     let residual = (state.p.sub_norm2(b, &ws.ap) / state.b_norm2).sqrt();
+    let (history, health) = conclude_health("solver.cg", monitor, &state.history, state.iterations);
     (
         state.x,
         SolveReport {
             iterations: state.iterations,
             residual,
             converged,
-            history: state.history,
+            history,
+            health,
             telemetry: span.finish(),
         },
     )
@@ -342,7 +382,11 @@ pub struct BlockSolveReport {
     /// Whether each RHS reached the target tolerance.
     pub converged: Vec<bool>,
     /// Relative residual history per RHS, entry 0 = before iteration 1.
+    /// Capped at [`HISTORY_CAP`] entries per RHS like
+    /// [`SolveReport::history`].
     pub histories: Vec<Vec<f64>>,
+    /// Typed health events per RHS (stall, divergence, NaN/Inf).
+    pub health: Vec<Vec<HealthEvent>>,
     /// Profile of the whole batched solve (see [`qcd_trace`]).
     pub telemetry: qcd_trace::RegionSummary,
 }
@@ -521,6 +565,12 @@ pub fn block_cg_ws_from_state<E: SveFloat>(
     for h in &mut state.histories {
         h.reserve((max_iter + 1).saturating_sub(h.len()));
     }
+    let mut monitors: Vec<HealthMonitor> = (0..nrhs)
+        .map(|j| HealthMonitor::new(&format!("solver.block_cg[{j}]")))
+        .collect();
+    for (m, h) in monitors.iter_mut().zip(&state.histories) {
+        m.replay(h);
+    }
 
     loop {
         let active = state.active(tol, max_iter);
@@ -528,6 +578,11 @@ pub fn block_cg_ws_from_state<E: SveFloat>(
             break;
         }
         state.step_ws(ws, &mut apply_into, &active);
+        for j in 0..nrhs {
+            if active[j] {
+                monitors[j].observe(*state.histories[j].last().unwrap());
+            }
+        }
     }
 
     let converged: Vec<bool> = (0..nrhs).map(|j| state.converged_rhs(j, tol)).collect();
@@ -539,6 +594,16 @@ pub fn block_cg_ws_from_state<E: SveFloat>(
     let residuals: Vec<f64> = (0..nrhs)
         .map(|j| (sn[j] / state.b_norm2[j]).sqrt())
         .collect();
+    let mut histories = Vec::with_capacity(nrhs);
+    let mut health = Vec::with_capacity(nrhs);
+    for (monitor, (full, iters)) in monitors
+        .into_iter()
+        .zip(state.histories.iter().zip(&state.iterations))
+    {
+        let (capped, events) = conclude_health("solver.block_cg", monitor, full, *iters);
+        histories.push(capped);
+        health.push(events);
+    }
     (
         state.x,
         BlockSolveReport {
@@ -546,7 +611,8 @@ pub fn block_cg_ws_from_state<E: SveFloat>(
             per_rhs_iterations: state.iterations,
             residuals,
             converged,
-            histories: state.histories,
+            histories,
+            health,
             telemetry: span.finish(),
         },
     )
@@ -743,20 +809,26 @@ pub fn bicgstab_from_state(
         .history
         .reserve((max_iter + 1).saturating_sub(state.history.len()));
     let mut apply_into = |f: &FermionField, out: &mut FermionField| op.apply_into(f, out);
+    let mut monitor = HealthMonitor::new("solver.bicgstab");
+    monitor.replay(&state.history);
 
     while state.iterations < max_iter && !state.converged(tol) {
         state.step_ws(&mut ws, &mut apply_into);
+        monitor.observe(*state.history.last().unwrap());
     }
 
     op.apply_into(&state.x, &mut ws.ap);
     let residual = (ws.tmp.sub_norm2(b, &ws.ap) / state.b_norm2).sqrt();
+    let (history, health) =
+        conclude_health("solver.bicgstab", monitor, &state.history, state.iterations);
     (
         state.x,
         SolveReport {
             iterations: state.iterations,
             residual,
             converged: residual <= tol * 10.0,
-            history: state.history,
+            history,
+            health,
             telemetry: span.finish(),
         },
     )
@@ -930,6 +1002,9 @@ mod tests {
             assert_eq!(a.to_bits(), c.to_bits(), "solution bits diverged");
         }
         assert_eq!(res.residual.to_bits(), full.residual.to_bits());
+        // Health is replayed through the restored history, so the resumed
+        // report carries the same typed events as the uninterrupted one.
+        assert_eq!(res.health, full.health);
     }
 
     #[test]
@@ -1050,5 +1125,60 @@ mod tests {
         for j in 0..2 {
             assert_eq!(res.residuals[j].to_bits(), full.residuals[j].to_bits());
         }
+        assert_eq!(res.health, full.health);
+    }
+
+    #[test]
+    fn a_stalled_f32_solve_reports_stall_events_and_caps_history() {
+        use qcd_metrics::HealthEventKind;
+        // Ask the f32 path for a tolerance single precision cannot reach:
+        // the recurrence residual floors near the f32 underflow region
+        // (~1e-24 relative) and the monitor must flag the stall. The long
+        // run also exercises the report-time history cap.
+        let _guard = qcd_metrics::global_test_lock();
+        qcd_metrics::flight_reset();
+        let g = Grid::<f32>::new([4, 4, 4, 4], VectorLength::of(512), SimdBackend::Fcmla);
+        let u = random_gauge(g.clone(), 21);
+        let op = WilsonDirac::<f32>::new(u, 0.2);
+        let b = Field::<FermionKind, f32>::random(g.clone(), 22);
+        let mut ws = SolverWorkspace::<f32>::new(g.clone());
+        let (_, report) = cg_ws(&op, &b, &mut ws, 1e-30, 700);
+
+        assert!(!report.converged, "f32 cannot reach 1e-30");
+        assert_eq!(report.iterations, 700, "must burn the whole budget");
+        assert!(
+            report
+                .health
+                .iter()
+                .any(|e| e.kind == HealthEventKind::Stall),
+            "no stall event in {:?}",
+            report.health
+        );
+        assert!(
+            report.history.len() <= HISTORY_CAP,
+            "history not capped: {} entries",
+            report.history.len()
+        );
+        // Endpoints survive the cap.
+        assert_eq!(report.history[0].to_bits(), 1.0f64.to_bits());
+        // Every health event also landed in the flight recorder, typed.
+        let flight = qcd_metrics::flight_snapshot();
+        let stalls: Vec<_> = flight
+            .iter()
+            .filter(|ev| ev.kind == "health" && ev.label == "solver.cg:stall")
+            .collect();
+        assert!(!stalls.is_empty(), "stall missing from flight ring");
+        let dump = qcd_metrics::flight_dump_jsonl();
+        assert!(dump.contains("\"label\":\"solver.cg:stall\""));
+        qcd_metrics::validate_jsonl(&dump).expect("flight dump must validate");
+    }
+
+    #[test]
+    fn a_healthy_solve_reports_no_events_and_full_history() {
+        let (op, b) = setup(256, SimdBackend::Fcmla);
+        let (_, report) = cg(&op, &b, 1e-8, 2000);
+        assert!(report.health.is_empty(), "events: {:?}", report.health);
+        // Short histories pass through the cap untouched.
+        assert_eq!(report.history.len(), report.iterations + 1);
     }
 }

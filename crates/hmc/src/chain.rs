@@ -173,13 +173,33 @@ impl MarkovChain {
 
         // ⟨plaq⟩ falls out of the action: S = β·6V·(1 - ⟨plaq⟩).
         let n_plaq = (grid.volume() * NDIM * (NDIM - 1) / 2) as f64;
+        let plaquette = 1.0 - s_now / (beta * n_plaq);
+        qcd_metrics::counter(if accepted {
+            "hmc.accepted"
+        } else {
+            "hmc.rejected"
+        })
+        .inc();
+        qcd_metrics::gauge("hmc.plaquette").set(plaquette);
+        // |ΔH| in micro-units so the log2-bucket histogram resolves the
+        // typical 1e-4..1e-1 range of a well-tuned integrator.
+        qcd_metrics::histogram("hmc.abs_dh_micro").record((dh.abs() * 1e6) as u64);
+        qcd_metrics::record_event(
+            "hmc.trajectory",
+            if accepted { "accept" } else { "reject" },
+            &[
+                ("trajectory", self.trajectory as f64),
+                ("dh", dh),
+                ("plaquette", plaquette),
+            ],
+        );
         TrajectoryReport {
             trajectory: self.trajectory,
             dh,
             accepted,
             h0,
             h1,
-            plaquette: 1.0 - s_now / (beta * n_plaq),
+            plaquette,
         }
     }
 

@@ -247,8 +247,14 @@ impl Container {
         self.records.push(record);
     }
 
-    /// Parse and validate every record from a `Read` source.
+    /// Parse and validate every record from a `Read` source. Any failure —
+    /// OS error, lost framing, truncation, CRC mismatch — lands in the
+    /// flight recorder as a typed `io.error` event before it propagates.
     pub fn read_from<R: Read>(source: R) -> Result<Self> {
+        Self::read_from_inner(source).inspect_err(crate::record_io_error)
+    }
+
+    fn read_from_inner<R: Read>(source: R) -> Result<Self> {
         let mut reader = ContainerReader::new(source)?;
         let mut records = Vec::new();
         while let Some(r) = reader.next_record()? {
@@ -294,6 +300,20 @@ impl Container {
     /// either the old file or the new one — never a torn checkpoint.
     pub fn write_atomic(&self, path: &Path) -> Result<u64> {
         let _span = qcd_trace::span!("io.write");
+        self.write_atomic_inner(path)
+            .inspect(|&written| {
+                qcd_metrics::counter("io.writes").inc();
+                qcd_metrics::histogram("io.write.bytes").record(written);
+                qcd_metrics::record_event(
+                    "checkpoint.write",
+                    &path.to_string_lossy(),
+                    &[("bytes", written as f64)],
+                );
+            })
+            .inspect_err(crate::record_io_error)
+    }
+
+    fn write_atomic_inner(&self, path: &Path) -> Result<u64> {
         let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
         let mut tmp = path.as_os_str().to_os_string();
         tmp.push(".tmp");

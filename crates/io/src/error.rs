@@ -86,6 +86,28 @@ pub enum IoError {
     Codec(CodecError),
 }
 
+impl IoError {
+    /// Stable variant tag for telemetry: the flight recorder labels
+    /// `io.error` events with this name so dumps can be grepped by failure
+    /// class without parsing the human-readable message.
+    pub fn variant_name(&self) -> &'static str {
+        match self {
+            IoError::Io(_) => "io",
+            IoError::BadMagic { .. } => "bad_magic",
+            IoError::UnsupportedVersion(_) => "unsupported_version",
+            IoError::BadRecordMark { .. } => "bad_record_mark",
+            IoError::Truncated { .. } => "truncated",
+            IoError::CrcMismatch { .. } => "crc_mismatch",
+            IoError::BadRecord { .. } => "bad_record",
+            IoError::MissingRecord { .. } => "missing_record",
+            IoError::GridMismatch { .. } => "grid_mismatch",
+            IoError::KindMismatch { .. } => "kind_mismatch",
+            IoError::PlaquetteMismatch { .. } => "plaquette_mismatch",
+            IoError::Codec(_) => "codec",
+        }
+    }
+}
+
 impl fmt::Display for IoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -205,9 +227,12 @@ mod tests {
                 msg: "ragged stream".into(),
             }),
         ];
+        let mut names = std::collections::BTreeSet::new();
         for e in cases {
             assert!(!e.to_string().is_empty());
+            names.insert(e.variant_name());
         }
+        assert_eq!(names.len(), 12, "variant names must be distinct");
     }
 
     #[test]

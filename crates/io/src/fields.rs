@@ -323,7 +323,14 @@ pub fn write_gauge(u: &GaugeField, path: &Path, precision: Precision) -> Result<
 /// that slips past the CRC layer — e.g. a file assembled from records of
 /// two different configurations.
 pub fn read_gauge(path: &Path, grid: &Arc<Grid<f64>>) -> Result<GaugeField> {
+    // `Container::open` records its own failures; this wrapper catches the
+    // post-open classes (missing records, decode failures, physics
+    // validation) without double-recording transport errors.
     let c = Container::open(path)?;
+    read_gauge_inner(&c, grid).inspect_err(crate::record_io_error)
+}
+
+fn read_gauge_inner(c: &Container, grid: &Arc<Grid<f64>>) -> Result<GaugeField> {
     let meta = FieldMeta::decode(&c.expect(META_RECORD)?.payload, META_RECORD)?;
     let u = decode_field(&meta, &c.expect(FIELD_RECORD)?.payload, grid, FIELD_RECORD)?;
     if let Some(stored) = meta.plaquette {

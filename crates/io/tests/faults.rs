@@ -223,3 +223,72 @@ fn opening_a_nonexistent_file_is_an_io_error() {
         Err(IoError::Io(_))
     ));
 }
+
+#[test]
+fn injected_faults_land_in_the_flight_recorder_typed() {
+    // The acceptance contract of the observability layer: drive errors
+    // through `FaultyReader` and find each class in the flight-recorder
+    // dump as a typed `io.error` event, in a dump that validates as
+    // `qcd-metrics/v1` JSONL.
+    let _guard = qcd_metrics::global_test_lock();
+    qcd_metrics::flight_reset();
+    let bytes = sample_bytes();
+
+    // Device failure mid-read -> "io".
+    let reader = FaultyReader::new(&bytes[..], Fault::FailAfter { bytes: 12 });
+    assert!(Container::read_from(reader).is_err());
+    // Torn stream -> "truncated".
+    let reader = FaultyReader::new(
+        &bytes[..],
+        Fault::TruncateAfter {
+            bytes: bytes.len() as u64 - 3,
+        },
+    );
+    assert!(Container::read_from(reader).is_err());
+    // Payload bit flip -> "crc_mismatch".
+    let reader = FaultyReader::new(
+        &bytes[..],
+        Fault::BitFlip {
+            offset: bytes.len() as u64 - 40,
+            bit: 3,
+        },
+    );
+    assert!(Container::read_from(reader).is_err());
+
+    let events = qcd_metrics::flight_snapshot();
+    let labels: Vec<&str> = events
+        .iter()
+        .filter(|ev| ev.kind == "io.error")
+        .map(|ev| ev.label.as_str())
+        .collect();
+    for expected in ["io", "truncated", "crc_mismatch"] {
+        assert!(
+            labels.contains(&expected),
+            "missing {expected} in {labels:?}"
+        );
+    }
+
+    let dump = qcd_metrics::flight_dump_jsonl();
+    qcd_metrics::validate_jsonl(&dump).expect("flight dump must validate");
+    assert!(dump.contains("\"kind\":\"io.error\",\"label\":\"crc_mismatch\""));
+    qcd_metrics::flight_reset();
+}
+
+#[test]
+fn checkpoint_writes_are_flight_recorded() {
+    let _guard = qcd_metrics::global_test_lock();
+    qcd_metrics::flight_reset();
+    let g = small_grid();
+    let u = random_gauge(g.clone(), 72);
+    let path = tmp("flight-write.qio");
+    let written = write_gauge(&u, &path, Precision::F64).unwrap();
+    let events = qcd_metrics::flight_snapshot();
+    let ev = events
+        .iter()
+        .find(|ev| ev.kind == "checkpoint.write")
+        .expect("write must be recorded");
+    assert!(ev.label.ends_with("flight-write.qio"));
+    assert_eq!(ev.data[0], ("bytes".to_string(), written as f64));
+    std::fs::remove_file(&path).unwrap();
+    qcd_metrics::flight_reset();
+}

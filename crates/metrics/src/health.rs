@@ -1,0 +1,228 @@
+//! Solver health monitoring: a small state machine over the per-iteration
+//! relative-residual sequence.
+//!
+//! The monitor is a pure function of the residual history — replaying a
+//! checkpointed history through a fresh monitor reproduces exactly the
+//! events the uninterrupted solve would have reported, which is what keeps
+//! `SolveReport.health` bit-stable across kill/resume.
+
+use crate::recorder::record_event;
+
+/// Default stall window: iterations without a new best relative residual
+/// before a [`HealthEventKind::Stall`] fires. Chosen well above the
+/// short-range non-monotonicity of CG/BiCGStab on the lattices in this
+/// repository, so converging solves report no events.
+pub const DEFAULT_STALL_WINDOW: usize = 25;
+
+/// Default divergence factor: a relative residual this many times above the
+/// best seen so far fires a [`HealthEventKind::Divergence`].
+pub const DEFAULT_DIVERGENCE_FACTOR: f64 = 100.0;
+
+/// What went wrong.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HealthEventKind {
+    /// No new best relative residual for a full window of iterations.
+    Stall,
+    /// The relative residual blew up far above the best seen so far.
+    Divergence,
+    /// A NaN or infinity reached the residual reduction.
+    NonFinite,
+}
+
+impl HealthEventKind {
+    /// Stable lowercase name used in JSONL dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            HealthEventKind::Stall => "stall",
+            HealthEventKind::Divergence => "divergence",
+            HealthEventKind::NonFinite => "non_finite",
+        }
+    }
+}
+
+/// One detected health episode.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HealthEvent {
+    /// Event class.
+    pub kind: HealthEventKind,
+    /// Iteration (index into the residual history) at which it fired.
+    pub iteration: usize,
+    /// Relative residual observed at that iteration.
+    pub rel_residual: f64,
+}
+
+/// Streaming monitor over a relative-residual sequence. Feed it every
+/// history entry in order via [`HealthMonitor::observe`]; episodes are
+/// de-duplicated, so a 300-iteration stall yields one event, not 275.
+pub struct HealthMonitor {
+    label: String,
+    stall_window: usize,
+    divergence_factor: f64,
+    best: f64,
+    best_iteration: usize,
+    iteration: usize,
+    in_stall: bool,
+    in_divergence: bool,
+    in_non_finite: bool,
+    events: Vec<HealthEvent>,
+}
+
+impl HealthMonitor {
+    /// Monitor with the default thresholds. `label` names the solve in
+    /// flight-recorder events (e.g. `solver.cg`, `solver.block_cg[3]`).
+    pub fn new(label: &str) -> Self {
+        Self::with_thresholds(label, DEFAULT_STALL_WINDOW, DEFAULT_DIVERGENCE_FACTOR)
+    }
+
+    /// Monitor with explicit thresholds.
+    pub fn with_thresholds(label: &str, stall_window: usize, divergence_factor: f64) -> Self {
+        assert!(stall_window > 0, "stall window must be positive");
+        HealthMonitor {
+            label: label.to_string(),
+            stall_window,
+            divergence_factor,
+            best: f64::INFINITY,
+            best_iteration: 0,
+            iteration: 0,
+            in_stall: false,
+            in_divergence: false,
+            in_non_finite: false,
+            events: Vec::new(),
+        }
+    }
+
+    /// Feed the next relative residual (history entry `iteration`).
+    pub fn observe(&mut self, rel_residual: f64) {
+        let iteration = self.iteration;
+        self.iteration += 1;
+        if !rel_residual.is_finite() {
+            if !self.in_non_finite {
+                self.in_non_finite = true;
+                self.push(HealthEventKind::NonFinite, iteration, rel_residual);
+            }
+            return;
+        }
+        self.in_non_finite = false;
+        if rel_residual < self.best {
+            self.best = rel_residual;
+            self.best_iteration = iteration;
+            self.in_stall = false;
+            self.in_divergence = false;
+            return;
+        }
+        if rel_residual > self.divergence_factor * self.best && !self.in_divergence {
+            self.in_divergence = true;
+            self.push(HealthEventKind::Divergence, iteration, rel_residual);
+        }
+        if iteration - self.best_iteration >= self.stall_window && !self.in_stall {
+            self.in_stall = true;
+            self.push(HealthEventKind::Stall, iteration, rel_residual);
+        }
+    }
+
+    fn push(&mut self, kind: HealthEventKind, iteration: usize, rel_residual: f64) {
+        record_event(
+            "health",
+            &format!("{}:{}", self.label, kind.name()),
+            &[
+                ("iteration", iteration as f64),
+                ("rel_residual", rel_residual),
+            ],
+        );
+        crate::counter("health.events").inc();
+        self.events.push(HealthEvent {
+            kind,
+            iteration,
+            rel_residual,
+        });
+    }
+
+    /// Feed a whole (checkpointed) history prefix in order.
+    pub fn replay(&mut self, history: &[f64]) {
+        for &rel in history {
+            self.observe(rel);
+        }
+    }
+
+    /// Events detected so far.
+    pub fn events(&self) -> &[HealthEvent] {
+        &self.events
+    }
+
+    /// Consume the monitor, returning its events.
+    pub fn into_events(self) -> Vec<HealthEvent> {
+        self.events
+    }
+
+    /// History indices that carry an event (for downsampling to preserve).
+    pub fn flagged_iterations(&self) -> Vec<usize> {
+        self.events.iter().map(|e| e.iteration).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events_of(history: &[f64]) -> Vec<HealthEvent> {
+        let mut m = HealthMonitor::with_thresholds("test", 5, 100.0);
+        m.replay(history);
+        m.into_events()
+    }
+
+    #[test]
+    fn a_converging_history_is_healthy() {
+        let history: Vec<f64> = (0..40).map(|i| 1.0 / (1.5f64.powi(i))).collect();
+        assert!(events_of(&history).is_empty());
+    }
+
+    #[test]
+    fn a_plateau_fires_exactly_one_stall() {
+        let mut history = vec![1.0, 0.5, 0.25];
+        history.extend_from_slice(&[0.3; 20]);
+        let events = events_of(&history);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, HealthEventKind::Stall);
+        // Best was at index 2; window 5 → fires at index 7.
+        assert_eq!(events[0].iteration, 7);
+    }
+
+    #[test]
+    fn progress_after_a_stall_rearms_the_detector() {
+        let mut history = vec![1.0];
+        history.extend_from_slice(&[0.9; 6]); // stall #1
+        history.push(0.1); // recovery
+        history.extend_from_slice(&[0.09; 6]); // stall #2
+        let events = events_of(&history);
+        let stalls = events
+            .iter()
+            .filter(|e| e.kind == HealthEventKind::Stall)
+            .count();
+        assert_eq!(stalls, 2);
+    }
+
+    #[test]
+    fn divergence_and_non_finite_are_typed() {
+        let events = events_of(&[1.0, 0.5, 900.0, f64::NAN, f64::NAN]);
+        assert_eq!(events[0].kind, HealthEventKind::Divergence);
+        assert_eq!(events[0].iteration, 2);
+        let nans: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == HealthEventKind::NonFinite)
+            .collect();
+        assert_eq!(nans.len(), 1, "consecutive NaNs dedupe to one event");
+        assert_eq!(nans[0].iteration, 3);
+    }
+
+    #[test]
+    fn replay_equals_streaming() {
+        let history = [1.0, 0.9, 0.9, 0.9, 0.9, 0.9, 0.9, 0.01, f64::INFINITY];
+        let mut streamed = HealthMonitor::with_thresholds("s", 3, 10.0);
+        for &r in &history {
+            streamed.observe(r);
+        }
+        let mut replayed = HealthMonitor::with_thresholds("s", 3, 10.0);
+        replayed.replay(&history);
+        assert_eq!(streamed.events(), replayed.events());
+    }
+}

@@ -1,0 +1,431 @@
+//! Counters, gauges, and deterministic log2-bucket histograms, registered
+//! in a process-global registry with snapshot/reset semantics mirroring the
+//! `qcd-trace` span registry.
+//!
+//! Handles are cheap clones of `Arc<Atomic…>` cells, so the hot path of an
+//! instrumented loop is a relaxed atomic add — no lock, no allocation. The
+//! registry lock is taken only on first lookup of a name and on
+//! snapshot/reset.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use qcd_trace::Json;
+
+use crate::SCHEMA;
+
+/// Number of log2 buckets: bucket `i` (for `i > 0`) holds values in
+/// `[2^(i-1), 2^i - 1]`; bucket 0 holds the value 0. Values at or above
+/// `2^62` saturate into the last bucket.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A monotonically increasing counter.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge carrying an `f64` (stored as raw bits).
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Overwrite the gauge value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Shared histogram storage.
+pub(crate) struct HistogramCells {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl HistogramCells {
+    fn new() -> Self {
+        HistogramCells {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: [(); HISTOGRAM_BUCKETS].map(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn zero(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Bucket index for a recorded value: 0 for 0, otherwise the bit width of
+/// the value, capped at the last bucket.
+pub fn bucket_index(v: u64) -> usize {
+    ((64 - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// Inclusive upper boundary of a bucket — the value percentiles report, so
+/// percentile estimates are deterministic and never under-state a latency.
+pub fn bucket_upper(idx: usize) -> u64 {
+    if idx == 0 {
+        0
+    } else {
+        (1u64 << idx) - 1
+    }
+}
+
+/// A log2-bucket histogram of non-negative integer observations (typically
+/// nanoseconds or iteration counts).
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramCells>);
+
+impl Histogram {
+    /// Record one observation.
+    pub fn record(&self, v: u64) {
+        let cells = &self.0;
+        cells.count.fetch_add(1, Ordering::Relaxed);
+        cells.sum.fetch_add(v, Ordering::Relaxed);
+        cells.min.fetch_min(v, Ordering::Relaxed);
+        cells.max.fetch_max(v, Ordering::Relaxed);
+        cells.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+}
+
+/// One registered metric cell.
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+fn registry() -> &'static Mutex<BTreeMap<String, Metric>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<String, Metric>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Get or create the counter named `name`.
+///
+/// # Panics
+/// If `name` is already registered as a different metric kind.
+pub fn counter(name: &str) -> Counter {
+    let mut reg = registry().lock().unwrap();
+    let metric = reg
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Counter(Counter(Arc::new(AtomicU64::new(0)))));
+    match metric {
+        Metric::Counter(c) => c.clone(),
+        other => panic!("metric `{name}` is a {}, not a counter", other.kind()),
+    }
+}
+
+/// Get or create the gauge named `name`.
+///
+/// # Panics
+/// If `name` is already registered as a different metric kind.
+pub fn gauge(name: &str) -> Gauge {
+    let mut reg = registry().lock().unwrap();
+    let metric = reg
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Gauge(Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))));
+    match metric {
+        Metric::Gauge(g) => g.clone(),
+        other => panic!("metric `{name}` is a {}, not a gauge", other.kind()),
+    }
+}
+
+/// Get or create the histogram named `name`.
+///
+/// # Panics
+/// If `name` is already registered as a different metric kind.
+pub fn histogram(name: &str) -> Histogram {
+    let mut reg = registry().lock().unwrap();
+    let metric = reg
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Histogram(Histogram(Arc::new(HistogramCells::new()))));
+    match metric {
+        Metric::Histogram(h) => h.clone(),
+        other => panic!("metric `{name}` is a {}, not a histogram", other.kind()),
+    }
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Smallest observation (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Non-empty buckets as `(index, count)` pairs, index order.
+    pub buckets: Vec<(usize, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Deterministic percentile estimate: the upper boundary of the first
+    /// bucket whose cumulative count reaches `q * count` (q in 0..=1).
+    /// `None` when the histogram is empty.
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for &(idx, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                // Never report past the true extremes.
+                return Some(bucket_upper(idx).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+}
+
+/// Point-in-time copy of the whole metric registry.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// True when no metric has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Render as `qcd-metrics/v1` JSON lines: one self-describing object per
+    /// metric. Histogram lines carry the non-empty buckets and the
+    /// deterministic p50/p90/p99 estimates.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&metric_line(
+                name,
+                "counter",
+                vec![("value".into(), Json::Num(*v as f64))],
+            ));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&metric_line(
+                name,
+                "gauge",
+                vec![("value".into(), Json::Num(*v))],
+            ));
+        }
+        for (name, h) in &self.histograms {
+            let buckets: Vec<Json> = h
+                .buckets
+                .iter()
+                .map(|&(idx, n)| {
+                    Json::Obj(vec![
+                        ("le".into(), Json::Num(bucket_upper(idx) as f64)),
+                        ("count".into(), Json::Num(n as f64)),
+                    ])
+                })
+                .collect();
+            let min = if h.count == 0 { 0 } else { h.min };
+            out.push_str(&metric_line(
+                name,
+                "histogram",
+                vec![
+                    ("count".into(), Json::Num(h.count as f64)),
+                    ("sum".into(), Json::Num(h.sum as f64)),
+                    ("min".into(), Json::Num(min as f64)),
+                    ("max".into(), Json::Num(h.max as f64)),
+                    ("p50".into(), percentile_json(h, 0.50)),
+                    ("p90".into(), percentile_json(h, 0.90)),
+                    ("p99".into(), percentile_json(h, 0.99)),
+                    ("buckets".into(), Json::Arr(buckets)),
+                ],
+            ));
+        }
+        out
+    }
+}
+
+fn percentile_json(h: &HistogramSnapshot, q: f64) -> Json {
+    match h.percentile(q) {
+        Some(v) => Json::Num(v as f64),
+        None => Json::Null,
+    }
+}
+
+fn metric_line(name: &str, kind: &str, rest: Vec<(String, Json)>) -> String {
+    let mut members = vec![
+        ("schema".to_string(), Json::Str(SCHEMA.into())),
+        ("type".to_string(), Json::Str(kind.into())),
+        ("name".to_string(), Json::Str(name.into())),
+    ];
+    members.extend(rest);
+    let mut line = Json::Obj(members).render();
+    line.push('\n');
+    line
+}
+
+/// Copy every registered metric.
+pub fn metrics_snapshot() -> MetricsSnapshot {
+    let reg = registry().lock().unwrap();
+    let mut snap = MetricsSnapshot::default();
+    for (name, metric) in reg.iter() {
+        match metric {
+            Metric::Counter(c) => {
+                snap.counters.insert(name.clone(), c.get());
+            }
+            Metric::Gauge(g) => {
+                snap.gauges.insert(name.clone(), g.get());
+            }
+            Metric::Histogram(h) => {
+                let cells = &h.0;
+                let buckets: Vec<(usize, u64)> = cells
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(idx, b)| {
+                        let n = b.load(Ordering::Relaxed);
+                        (n != 0).then_some((idx, n))
+                    })
+                    .collect();
+                snap.histograms.insert(
+                    name.clone(),
+                    HistogramSnapshot {
+                        count: cells.count.load(Ordering::Relaxed),
+                        sum: cells.sum.load(Ordering::Relaxed),
+                        min: cells.min.load(Ordering::Relaxed),
+                        max: cells.max.load(Ordering::Relaxed),
+                        buckets,
+                    },
+                );
+            }
+        }
+    }
+    snap
+}
+
+/// Zero every registered metric in place. Live handles stay valid — they
+/// observe the reset, exactly like spans folding into a cleared registry.
+pub fn metrics_reset() {
+    let reg = registry().lock().unwrap();
+    for metric in reg.values() {
+        match metric {
+            Metric::Counter(c) => c.0.store(0, Ordering::Relaxed),
+            Metric::Gauge(g) => g.0.store(0f64.to_bits(), Ordering::Relaxed),
+            Metric::Histogram(h) => h.0.zero(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indices_partition_the_u64_range() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        for idx in 1..HISTOGRAM_BUCKETS - 1 {
+            assert_eq!(bucket_index(bucket_upper(idx)), idx);
+            assert_eq!(bucket_index(bucket_upper(idx) + 1), idx + 1);
+        }
+    }
+
+    #[test]
+    fn percentiles_are_deterministic_bucket_boundaries() {
+        let h = Histogram(Arc::new(HistogramCells::new()));
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let snap = metrics_snapshot_of(&h);
+        // p50 of 1..=100 lands in the bucket holding 50 (i.e. [32,63]).
+        assert_eq!(snap.percentile(0.50), Some(63));
+        assert_eq!(snap.percentile(0.99), Some(100)); // clamped to max
+        assert_eq!(snap.percentile(0.0), Some(1)); // clamped to min
+    }
+
+    fn metrics_snapshot_of(h: &Histogram) -> HistogramSnapshot {
+        let cells = &h.0;
+        HistogramSnapshot {
+            count: cells.count.load(Ordering::Relaxed),
+            sum: cells.sum.load(Ordering::Relaxed),
+            min: cells.min.load(Ordering::Relaxed),
+            max: cells.max.load(Ordering::Relaxed),
+            buckets: cells
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(idx, b)| {
+                    let n = b.load(Ordering::Relaxed);
+                    (n != 0).then_some((idx, n))
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn empty_histogram_has_no_percentiles() {
+        let h = HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: Vec::new(),
+        };
+        assert_eq!(h.percentile(0.5), None);
+    }
+}

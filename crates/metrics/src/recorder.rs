@@ -1,0 +1,169 @@
+//! The flight recorder: a bounded ring of structured events for postmortem.
+//!
+//! Long runs append events (span closes, solver health events, `qcd-io`
+//! faults, checkpoint writes, HMC accept/reject) into a fixed-capacity ring;
+//! when something goes wrong the last [`FLIGHT_CAP`] events are dumped as
+//! `qcd-metrics/v1` JSONL. Recording is a short critical section on a global
+//! mutex guarded by an atomic enable flag, so disabled recording costs one
+//! relaxed load.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+use qcd_trace::{Json, SpanClose};
+
+use crate::SCHEMA;
+
+/// Capacity of the flight-recorder ring; older events are dropped first.
+pub const FLIGHT_CAP: usize = 4096;
+
+/// One recorded event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlightEvent {
+    /// Monotonic sequence number (never reset by ring eviction, so gaps
+    /// reveal how much history was dropped).
+    pub seq: u64,
+    /// Microseconds since the recorder first started.
+    pub t_us: u64,
+    /// Event class: `span`, `health`, `io.error`, `checkpoint.write`,
+    /// `hmc.trajectory`, `sampler.frame`, ...
+    pub kind: String,
+    /// Event-specific label (region path, error variant, accept/reject...).
+    pub label: String,
+    /// Numeric payload as name/value pairs.
+    pub data: Vec<(String, f64)>,
+}
+
+struct Ring {
+    events: VecDeque<FlightEvent>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+fn ring() -> &'static Mutex<Ring> {
+    static RING: OnceLock<Mutex<Ring>> = OnceLock::new();
+    RING.get_or_init(|| {
+        Mutex::new(Ring {
+            events: VecDeque::with_capacity(FLIGHT_CAP),
+            next_seq: 0,
+            dropped: 0,
+        })
+    })
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Turn the recorder on or off (on by default). The bench overhead probe
+/// measures the enabled/disabled wall-time ratio through this switch.
+pub fn set_flight_enabled(enabled: bool) {
+    ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether the recorder currently accepts events.
+pub fn flight_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Append one event to the ring (dropped silently while disabled).
+pub fn record_event(kind: &str, label: &str, data: &[(&str, f64)]) {
+    if !flight_enabled() {
+        return;
+    }
+    let t_us = epoch().elapsed().as_micros() as u64;
+    let mut ring = ring().lock().unwrap();
+    let seq = ring.next_seq;
+    ring.next_seq += 1;
+    if ring.events.len() == FLIGHT_CAP {
+        ring.events.pop_front();
+        ring.dropped += 1;
+    }
+    ring.events.push_back(FlightEvent {
+        seq,
+        t_us,
+        kind: kind.to_string(),
+        label: label.to_string(),
+        data: data.iter().map(|&(k, v)| (k.to_string(), v)).collect(),
+    });
+}
+
+/// Copy the retained events, oldest first.
+pub fn flight_snapshot() -> Vec<FlightEvent> {
+    ring().lock().unwrap().events.iter().cloned().collect()
+}
+
+/// Number of events evicted from the ring so far.
+pub fn flight_dropped() -> u64 {
+    ring().lock().unwrap().dropped
+}
+
+/// Clear the ring and its counters.
+pub fn flight_reset() {
+    let mut ring = ring().lock().unwrap();
+    ring.events.clear();
+    ring.next_seq = 0;
+    ring.dropped = 0;
+}
+
+/// Render the retained events as `qcd-metrics/v1` JSONL, one event per line.
+pub fn flight_dump_jsonl() -> String {
+    let mut out = String::new();
+    for ev in flight_snapshot() {
+        let data: Vec<(String, Json)> = ev
+            .data
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::Num(*v)))
+            .collect();
+        let line = Json::Obj(vec![
+            ("schema".into(), Json::Str(SCHEMA.into())),
+            ("type".into(), Json::Str("flight".into())),
+            ("seq".into(), Json::Num(ev.seq as f64)),
+            ("t_us".into(), Json::Num(ev.t_us as f64)),
+            ("kind".into(), Json::Str(ev.kind.clone())),
+            ("label".into(), Json::Str(ev.label.clone())),
+            ("data".into(), Json::Obj(data)),
+        ]);
+        out.push_str(&line.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Install the `qcd-trace` span observer: every span close becomes a
+/// `span` flight event and feeds the `span.<leaf>` wall-time histogram
+/// (per-iteration `iter` spans thus yield iteration-latency percentiles).
+/// Idempotent.
+pub fn install_span_observer() {
+    qcd_trace::set_span_observer(Some(Arc::new(|close: &SpanClose| {
+        if !flight_enabled() {
+            return;
+        }
+        let leaf = close.path.rsplit('/').next().unwrap_or(&close.path);
+        crate::histogram(&format!("span.{leaf}")).record(close.wall_ns);
+        record_event(
+            "span",
+            &close.path,
+            &[("wall_ns", close.wall_ns as f64), ("tid", close.tid as f64)],
+        );
+    })));
+}
+
+/// Remove the span observer installed by [`install_span_observer`].
+pub fn uninstall_span_observer() {
+    qcd_trace::set_span_observer(None);
+}
+
+/// Serialize tests (and tools) that assert on the global ring, registry, or
+/// observer. Poisoning is ignored: a panicking test must not cascade.
+pub fn global_test_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}

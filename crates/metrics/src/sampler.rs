@@ -1,0 +1,126 @@
+//! Time-series sampling: periodic snapshots of the metric registry taken at
+//! explicit ticks (per solver iteration, per HMC trajectory), rendered into
+//! the same `qcd-metrics/v1` JSONL stream as everything else.
+//!
+//! Ticks are logical, not wall-clock, so sampled series are deterministic
+//! and replayable in tests.
+
+use qcd_trace::Json;
+
+use crate::metrics::{metrics_snapshot, MetricsSnapshot};
+use crate::recorder::record_event;
+use crate::SCHEMA;
+
+/// One captured frame: the tick index it was taken at plus the registry
+/// contents at that moment.
+#[derive(Clone, Debug)]
+pub struct SampleFrame {
+    /// Tick count at capture time (1-based: the first tick is 1).
+    pub tick: usize,
+    /// Registry contents at capture time.
+    pub snapshot: MetricsSnapshot,
+}
+
+/// Periodic metric sampler. Call [`Sampler::tick`] once per unit of work;
+/// every `every` ticks it captures a frame and logs a `sampler.frame`
+/// flight event.
+pub struct Sampler {
+    every: usize,
+    ticks: usize,
+    frames: Vec<SampleFrame>,
+}
+
+impl Sampler {
+    /// Sample every `every` ticks.
+    pub fn new(every: usize) -> Self {
+        assert!(every > 0, "sampler cadence must be positive");
+        Sampler {
+            every,
+            ticks: 0,
+            frames: Vec::new(),
+        }
+    }
+
+    /// Advance one tick, capturing a frame when the cadence comes due.
+    pub fn tick(&mut self) {
+        self.ticks += 1;
+        if self.ticks.is_multiple_of(self.every) {
+            self.frames.push(SampleFrame {
+                tick: self.ticks,
+                snapshot: metrics_snapshot(),
+            });
+            record_event("sampler.frame", "tick", &[("tick", self.ticks as f64)]);
+        }
+    }
+
+    /// Ticks observed so far.
+    pub fn ticks(&self) -> usize {
+        self.ticks
+    }
+
+    /// Frames captured so far.
+    pub fn frames(&self) -> &[SampleFrame] {
+        &self.frames
+    }
+
+    /// Render every frame as `qcd-metrics/v1` JSONL: one `sample` line per
+    /// frame, with counters/gauges flattened and histograms reduced to
+    /// count/sum/percentiles.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for frame in &self.frames {
+            let counters: Vec<(String, Json)> = frame
+                .snapshot
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                .collect();
+            let gauges: Vec<(String, Json)> = frame
+                .snapshot
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                .collect();
+            let histograms: Vec<(String, Json)> = frame
+                .snapshot
+                .histograms
+                .iter()
+                .map(|(k, h)| {
+                    (
+                        k.clone(),
+                        Json::Obj(vec![
+                            ("count".into(), Json::Num(h.count as f64)),
+                            ("sum".into(), Json::Num(h.sum as f64)),
+                            (
+                                "p50".into(),
+                                h.percentile(0.50)
+                                    .map_or(Json::Null, |v| Json::Num(v as f64)),
+                            ),
+                            (
+                                "p90".into(),
+                                h.percentile(0.90)
+                                    .map_or(Json::Null, |v| Json::Num(v as f64)),
+                            ),
+                            (
+                                "p99".into(),
+                                h.percentile(0.99)
+                                    .map_or(Json::Null, |v| Json::Num(v as f64)),
+                            ),
+                        ]),
+                    )
+                })
+                .collect();
+            let line = Json::Obj(vec![
+                ("schema".into(), Json::Str(SCHEMA.into())),
+                ("type".into(), Json::Str("sample".into())),
+                ("tick".into(), Json::Num(frame.tick as f64)),
+                ("counters".into(), Json::Obj(counters)),
+                ("gauges".into(), Json::Obj(gauges)),
+                ("histograms".into(), Json::Obj(histograms)),
+            ]);
+            out.push_str(&line.render());
+            out.push('\n');
+        }
+        out
+    }
+}

@@ -86,28 +86,49 @@ pub fn to_json_lines(snap: &Snapshot) -> String {
 /// Render the retained span timeline in Chrome `trace_event` JSON (load via
 /// `chrome://tracing` or Perfetto). Events are complete (`"ph":"X"`) with
 /// microsecond timestamps relative to the first span of the process.
+/// Metadata events (`"ph":"M"`) name the process and every thread that
+/// closed a span, so Perfetto groups worker tracks by name instead of by
+/// bare ordinal.
 pub fn to_chrome_trace() -> String {
+    let mut events: Vec<Json> = vec![Json::Obj(vec![
+        ("name".into(), Json::Str("process_name".into())),
+        ("ph".into(), Json::Str("M".into())),
+        ("pid".into(), Json::Num(1.0)),
+        (
+            "args".into(),
+            Json::Obj(vec![("name".into(), Json::Str("lqcd-sve".into()))]),
+        ),
+    ])];
+    for (tid, name) in crate::span::thread_name_map() {
+        events.push(Json::Obj(vec![
+            ("name".into(), Json::Str("thread_name".into())),
+            ("ph".into(), Json::Str("M".into())),
+            ("pid".into(), Json::Num(1.0)),
+            ("tid".into(), Json::Num(tid as f64)),
+            (
+                "args".into(),
+                Json::Obj(vec![("name".into(), Json::Str(name))]),
+            ),
+        ]));
+    }
     let log = trace_log().lock().unwrap();
-    let events: Vec<Json> = log
-        .iter()
-        .map(
-            |TraceEvent {
-                 path,
-                 start_us,
-                 dur_us,
-                 tid,
-             }| {
-                Json::Obj(vec![
-                    ("name".into(), Json::Str(path.clone())),
-                    ("ph".into(), Json::Str("X".into())),
-                    ("ts".into(), Json::Num(*start_us as f64)),
-                    ("dur".into(), Json::Num(*dur_us as f64)),
-                    ("pid".into(), Json::Num(1.0)),
-                    ("tid".into(), Json::Num(*tid as f64)),
-                ])
-            },
-        )
-        .collect();
+    events.extend(log.iter().map(
+        |TraceEvent {
+             path,
+             start_us,
+             dur_us,
+             tid,
+         }| {
+            Json::Obj(vec![
+                ("name".into(), Json::Str(path.clone())),
+                ("ph".into(), Json::Str("X".into())),
+                ("ts".into(), Json::Num(*start_us as f64)),
+                ("dur".into(), Json::Num(*dur_us as f64)),
+                ("pid".into(), Json::Num(1.0)),
+                ("tid".into(), Json::Num(*tid as f64)),
+            ])
+        },
+    ));
     Json::Obj(vec![
         ("traceEvents".into(), Json::Arr(events)),
         ("displayTimeUnit".into(), Json::Str("ms".into())),

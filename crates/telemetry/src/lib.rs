@@ -60,7 +60,8 @@ pub use json::{Json, JsonError};
 pub use region::{RegionStat, RegionSummary, Snapshot, SCHEMA};
 pub use span::{
     record_bytes, record_flops, record_predicted_insts, record_sites, record_wire_bytes, reset,
-    snapshot, snapshot_counters, CounterSnapshot, SpanGuard,
+    set_span_observer, snapshot, snapshot_counters, thread_name_map, CounterSnapshot, SpanClose,
+    SpanGuard, SpanObserver,
 };
 
 /// Open a profiling region for the enclosing scope.

@@ -8,8 +8,8 @@
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use sve::{Opcode, SveCtx};
@@ -97,12 +97,78 @@ fn epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
 }
 
+fn thread_names() -> &'static Mutex<BTreeMap<u64, String>> {
+    static NAMES: OnceLock<Mutex<BTreeMap<u64, String>>> = OnceLock::new();
+    NAMES.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
 fn thread_ordinal() -> u64 {
     static NEXT: AtomicU64 = AtomicU64::new(1);
     thread_local! {
-        static ORDINAL: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+        // Registering the thread's name at ordinal assignment guarantees
+        // every tid that ever appears in the trace log has a name.
+        static ORDINAL: u64 = {
+            let n = NEXT.fetch_add(1, Ordering::Relaxed);
+            let name = std::thread::current()
+                .name()
+                .map(str::to_string)
+                .unwrap_or_else(|| format!("thread-{n}"));
+            thread_names().lock().unwrap().insert(n, name);
+            n
+        };
     }
     ORDINAL.with(|t| *t)
+}
+
+/// Names of every thread that has closed a span, keyed by the `tid` used in
+/// the trace log. Unnamed threads get `thread-<ordinal>`. Survives
+/// [`reset`] — ordinals are process-lifetime identities.
+pub fn thread_name_map() -> BTreeMap<u64, String> {
+    thread_names().lock().unwrap().clone()
+}
+
+/// A completed span as seen by the registered observer: the full region
+/// path, its inclusive wall time, and the closing thread's trace ordinal.
+#[derive(Clone, Debug)]
+pub struct SpanClose {
+    /// Full `/`-joined region path.
+    pub path: String,
+    /// Inclusive wall time of the span.
+    pub wall_ns: u64,
+    /// Trace-log thread ordinal (see [`thread_name_map`]).
+    pub tid: u64,
+}
+
+/// Observer callback type: called after every span close, outside all
+/// internal locks. The callback must not open spans.
+pub type SpanObserver = Arc<dyn Fn(&SpanClose) + Send + Sync>;
+
+static OBSERVER_ACTIVE: AtomicBool = AtomicBool::new(false);
+
+fn observer_slot() -> &'static Mutex<Option<SpanObserver>> {
+    static OBSERVER: OnceLock<Mutex<Option<SpanObserver>>> = OnceLock::new();
+    OBSERVER.get_or_init(|| Mutex::new(None))
+}
+
+/// Install (or with `None`, remove) the global span observer. The fast path
+/// of a span close checks one relaxed atomic, so an uninstalled observer
+/// costs nothing measurable.
+pub fn set_span_observer(observer: Option<SpanObserver>) {
+    let mut slot = observer_slot().lock().unwrap();
+    OBSERVER_ACTIVE.store(observer.is_some(), Ordering::Release);
+    *slot = observer;
+}
+
+fn notify_observer(close: &SpanClose) {
+    if !OBSERVER_ACTIVE.load(Ordering::Acquire) {
+        return;
+    }
+    // Clone the Arc under the lock, call outside it, so a slow observer
+    // never blocks installation/removal from other threads.
+    let observer = observer_slot().lock().unwrap().clone();
+    if let Some(observer) = observer {
+        observer(close);
+    }
 }
 
 /// An open profiling region. Created by [`crate::span!`] or
@@ -179,7 +245,7 @@ impl<'a> SpanGuard<'a> {
         let ctx_delta = self
             .ctx
             .and_then(|ctx| self.baseline.as_ref().map(|base| base.delta_to(ctx)));
-        STACK.with(|stack| {
+        let (summary, close) = STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
             assert_eq!(
                 stack.len(),
@@ -245,18 +311,29 @@ impl<'a> SpanGuard<'a> {
                 .merge(&contribution);
 
             let start_us = frame.start.saturating_duration_since(epoch()).as_micros() as u64;
-            let mut log = trace_log().lock().unwrap();
-            if log.len() < TRACE_EVENT_CAP {
-                log.push(TraceEvent {
-                    path: frame.path,
-                    start_us,
-                    dur_us: wall_ns / 1_000,
-                    tid: thread_ordinal(),
-                });
+            let tid = thread_ordinal();
+            {
+                let mut log = trace_log().lock().unwrap();
+                if log.len() < TRACE_EVENT_CAP {
+                    log.push(TraceEvent {
+                        path: frame.path.clone(),
+                        start_us,
+                        dur_us: wall_ns / 1_000,
+                        tid,
+                    });
+                }
             }
 
-            summary
-        })
+            let close = SpanClose {
+                path: frame.path,
+                wall_ns,
+                tid,
+            };
+            (summary, close)
+        });
+        // Outside the thread-local borrow and all internal locks.
+        notify_observer(&close);
+        summary
     }
 }
 
