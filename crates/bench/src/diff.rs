@@ -1,5 +1,6 @@
 //! The bench-regression gate: compare two benchmark documents
-//! (`qcd-bench-solver/v1` or `qcd-bench-hmc/v1`) metric by metric.
+//! (`qcd-bench-solver/v1`, `qcd-bench-hmc/v1`, or `qcd-bench-farm/v1`)
+//! metric by metric.
 //!
 //! Metrics split into two classes with different consequences:
 //!
@@ -19,6 +20,7 @@
 
 use crate::hmc_bench::HMC_BENCH_SCHEMA;
 use crate::solver_bench::SOLVER_BENCH_SCHEMA;
+use qcd_farm::bench::FARM_BENCH_SCHEMA;
 use qcd_trace::Json;
 
 /// Relative tolerance for model-derived metrics: floating-point noise only.
@@ -215,6 +217,73 @@ fn diff_hmc(baseline: &Json, current: &Json) -> DiffReport {
     d.report
 }
 
+/// Compare the farm document's leg arrays row by row, matching `coalesce`
+/// on `nrhs` and `workers` on `workers`.
+fn diff_farm(baseline: &Json, current: &Json) -> DiffReport {
+    let mut d = Diff::new(baseline, current);
+    for key in ["lattice", "vl_bits", "backend", "probe_iters", "requests"] {
+        d.config(key);
+    }
+    // The coalescing gain is byte-traffic accounting of a fixed-iteration
+    // dispatch — a pure function of the code, so drift is a hard failure.
+    d.hard("coalesce_gain");
+    d.hard("mean_planned_fill");
+    let mut report = d.report;
+    let rows = |doc: &Json, arr: &str, key: &str| -> Vec<u64> {
+        doc.get(arr)
+            .and_then(Json::as_arr)
+            .map(|rows| {
+                rows.iter()
+                    .filter_map(|r| r.get(key).and_then(Json::as_u64))
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    for (arr, key, hard, wall) in [
+        (
+            "coalesce",
+            "nrhs",
+            &["bytes_per_rhs", "model_speedup"][..],
+            &["wall_ns", "rhs_per_sec"][..],
+        ),
+        (
+            "workers",
+            "workers",
+            &[][..],
+            &["wall_ns", "units_per_sec"][..],
+        ),
+    ] {
+        let (b_keys, c_keys) = (rows(baseline, arr, key), rows(current, arr, key));
+        if b_keys != c_keys {
+            report.failures.push(format!(
+                "`{arr}` rows differ: baseline {b_keys:?} vs current {c_keys:?}"
+            ));
+            continue;
+        }
+        let (b_rows, c_rows) = (
+            baseline.get(arr).and_then(Json::as_arr).unwrap_or(&[]),
+            current.get(arr).and_then(Json::as_arr).unwrap_or(&[]),
+        );
+        for ((b_row, c_row), id) in b_rows.iter().zip(c_rows).zip(&b_keys) {
+            let mut d = Diff::new(b_row, c_row);
+            for m in hard {
+                d.hard(m);
+            }
+            for m in wall {
+                d.wall(m);
+            }
+            let tag = |msgs: Vec<String>| -> Vec<String> {
+                msgs.into_iter()
+                    .map(|m| format!("{arr} {key}={id} {m}"))
+                    .collect()
+            };
+            report.failures.extend(tag(d.report.failures));
+            report.warnings.extend(tag(d.report.warnings));
+        }
+    }
+    report
+}
+
 /// Compare two parsed benchmark documents. The schema is detected from the
 /// baseline and must match the current document; unknown schemas are a
 /// usage error (`Err`), not a regression.
@@ -235,6 +304,7 @@ pub fn diff_docs(baseline: &Json, current: &Json) -> Result<DiffReport, String> 
     match schema {
         SOLVER_BENCH_SCHEMA => Ok(diff_solver(baseline, current)),
         HMC_BENCH_SCHEMA => Ok(diff_hmc(baseline, current)),
+        FARM_BENCH_SCHEMA => Ok(diff_farm(baseline, current)),
         other => Err(format!("unsupported benchmark schema `{other}`")),
     }
 }
@@ -302,13 +372,37 @@ mod tests {
         .into()
     }
 
+    fn farm_doc() -> String {
+        r#"{
+          "schema": "qcd-bench-farm/v1",
+          "lattice": [4, 4, 4, 4],
+          "vl_bits": 256,
+          "backend": "sve-fcmla",
+          "probe_iters": 4,
+          "requests": 16,
+          "coalesce": [
+            {"nrhs": 1, "bytes_per_rhs": 9.0e6, "wall_ns": 2.0e8,
+             "rhs_per_sec": 80.0, "model_speedup": 1.0},
+            {"nrhs": 16, "bytes_per_rhs": 6.0e6, "wall_ns": 1.4e8,
+             "rhs_per_sec": 114.0, "model_speedup": 1.5}
+          ],
+          "coalesce_gain": 1.5,
+          "mean_planned_fill": 16.0,
+          "workers": [
+            {"workers": 1, "wall_ns": 4.0e9, "units": 7, "units_per_sec": 1.75},
+            {"workers": 2, "wall_ns": 2.4e9, "units": 7, "units_per_sec": 2.9}
+          ]
+        }"#
+        .into()
+    }
+
     fn parse(doc: &str) -> Json {
         Json::parse(doc).expect("fixture parses")
     }
 
     #[test]
-    fn self_compare_is_clean_for_both_schemas() {
-        for doc in [solver_doc(), hmc_doc()] {
+    fn self_compare_is_clean_for_all_schemas() {
+        for doc in [solver_doc(), hmc_doc(), farm_doc()] {
             let j = parse(&doc);
             let report = diff_docs(&j, &j).expect("same schema");
             assert!(report.passed(), "failures: {:?}", report.failures);
@@ -386,6 +480,35 @@ mod tests {
         let cur = parse(&hmc_doc().replace("\"acceptance\": 0.85", "\"acceptance\": 0.84"));
         let report = diff_docs(&base, &cur).unwrap();
         assert!(report.failures.iter().any(|f| f.contains("acceptance")));
+    }
+
+    #[test]
+    fn farm_coalescing_drift_is_a_hard_failure() {
+        let base = parse(&farm_doc());
+        let cur = parse(&farm_doc().replace("\"coalesce_gain\": 1.5", "\"coalesce_gain\": 1.2"));
+        let report = diff_docs(&base, &cur).unwrap();
+        assert!(report.failures.iter().any(|f| f.contains("coalesce_gain")));
+        let per_leg = parse(&farm_doc().replace(
+            "\"nrhs\": 16, \"bytes_per_rhs\": 6.0e6",
+            "\"nrhs\": 16, \"bytes_per_rhs\": 7.5e6",
+        ));
+        let report = diff_docs(&base, &per_leg).unwrap();
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("coalesce nrhs=16") && f.contains("bytes_per_rhs")));
+    }
+
+    #[test]
+    fn farm_wall_drift_is_warn_only_and_row_sets_must_match() {
+        let base = parse(&farm_doc());
+        let slow = parse(&farm_doc().replace("\"wall_ns\": 4.0e9", "\"wall_ns\": 9.0e9"));
+        let report = diff_docs(&base, &slow).unwrap();
+        assert!(report.passed(), "failures: {:?}", report.failures);
+        assert!(!report.warnings.is_empty());
+        let reshaped = parse(&farm_doc().replace("\"workers\": 2,", "\"workers\": 4,"));
+        let report = diff_docs(&base, &reshaped).unwrap();
+        assert!(report.failures.iter().any(|f| f.contains("rows differ")));
     }
 
     #[test]

@@ -59,6 +59,7 @@ pub mod gauge;
 pub mod layout;
 pub mod mixed;
 pub mod reduce;
+pub mod requests;
 pub mod rng;
 pub mod simd;
 pub mod solver;
@@ -103,6 +104,7 @@ pub mod prelude {
         mixed_precision_solve, mixed_precision_solve_from, to_precision, to_precision_into,
         MixedReport,
     };
+    pub use crate::requests::{solve_cg_requests, solve_eo_requests, SolveOutcome, SolveRequest};
     pub use crate::rng::StreamRng;
     pub use crate::simd::{SimdBackend, SimdEngine};
     pub use crate::solver::{

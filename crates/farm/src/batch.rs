@@ -1,0 +1,66 @@
+//! Batch-coalescing policy: how pending solve requests become
+//! [`FermionBlock`](grid::prelude::FermionBlock) batches.
+//!
+//! The block solver's per-RHS bit-identity guarantee means batch shape is
+//! purely a throughput decision, so the policy is a standalone pure
+//! function: greedily carve the preferred widths ([`PREFERRED_WIDTHS`],
+//! largest first — each link load is amortised over the whole batch), and
+//! let whatever remains ride as one final undersized batch rather than
+//! wait for traffic that may never come.
+
+/// Batch widths the scheduler prefers, in descending order.
+pub const PREFERRED_WIDTHS: [usize; 3] = [16, 8, 4];
+
+/// Split `pending` requests into batch widths: greedy largest-fit over
+/// [`PREFERRED_WIDTHS`], then one remainder batch (< 4) if anything is
+/// left. The widths sum to `pending` exactly.
+pub fn plan_batches(pending: usize) -> Vec<usize> {
+    let mut plan = Vec::new();
+    let mut left = pending;
+    for &w in &PREFERRED_WIDTHS {
+        while left >= w {
+            plan.push(w);
+            left -= w;
+        }
+    }
+    if left > 0 {
+        plan.push(left);
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_cover_exactly_the_pending_count() {
+        for pending in 0..200 {
+            let plan = plan_batches(pending);
+            assert_eq!(plan.iter().sum::<usize>(), pending);
+            for &w in &plan {
+                assert!((1..=16).contains(&w));
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_largest_fit_shapes() {
+        assert!(plan_batches(0).is_empty());
+        assert_eq!(plan_batches(3), [3]);
+        assert_eq!(plan_batches(4), [4]);
+        assert_eq!(plan_batches(6), [4, 2]);
+        assert_eq!(plan_batches(10), [8, 2]);
+        assert_eq!(plan_batches(16), [16]);
+        assert_eq!(plan_batches(29), [16, 8, 4, 1]);
+        assert_eq!(plan_batches(48), [16, 16, 16]);
+    }
+
+    #[test]
+    fn at_most_one_batch_below_the_smallest_preferred_width() {
+        for pending in 0..200 {
+            let small = plan_batches(pending).iter().filter(|&&w| w < 4).count();
+            assert!(small <= 1, "pending {pending}");
+        }
+    }
+}

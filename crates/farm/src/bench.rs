@@ -1,0 +1,491 @@
+//! The farm benchmark: what does request coalescing buy, and what does the
+//! worker pool scale like — exported as a `qcd-bench-farm/v1` document and
+//! gated like `bench_diff`.
+//!
+//! The headline number is **model-derived**, not wall-clock: trace-span
+//! byte accounting of one batched `block_cg` dispatch vs sixteen
+//! one-at-a-time dispatches of the same requests. Gauge links are loaded
+//! once per site regardless of batch width, so bytes-per-RHS falls as the
+//! batch fills; on the bandwidth-bound hardware the paper targets,
+//! RHS-throughput scales as its inverse. The gate
+//! ([`check_coalescing`]) requires at least [`COALESCE_TARGET`]× at a
+//! 16-request batch — the farm's whole reason to coalesce. Wall-clock
+//! figures (dispatch times, jobs/s per worker count) ride along for
+//! context and only ever warn in the diff gate.
+
+use crate::batch::plan_batches;
+use crate::job::{FarmConfig, HmcStreamSpec, JobSpec, Priority, SolveSpec};
+use crate::scheduler::Farm;
+use grid::prelude::*;
+use qcd_hmc::HmcParams;
+use qcd_trace::Json;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Schema identifier of the exported benchmark document.
+pub const FARM_BENCH_SCHEMA: &str = "qcd-bench-farm/v1";
+
+/// Required RHS-throughput gain (bytes-per-RHS model) of a 16-wide batch
+/// over one-at-a-time dispatch.
+pub const COALESCE_TARGET: f64 = 1.3;
+
+/// One coalescing leg: the same 16 requests dispatched in batches of
+/// `nrhs`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CoalesceLeg {
+    /// Batch width of this leg.
+    pub nrhs: usize,
+    /// Trace-span bytes moved per RHS per dispatch (model metric).
+    pub bytes_per_rhs: f64,
+    /// Wall time to serve all requests at this width.
+    pub wall_ns: u64,
+    /// RHS-iterations retired per second (wall metric).
+    pub rhs_per_sec: f64,
+    /// `bytes_per_rhs(N=1) / bytes_per_rhs` — the bandwidth-bound
+    /// RHS-throughput model (model metric).
+    pub model_speedup: f64,
+}
+
+/// One worker-pool leg: the same job mix drained by `workers` threads.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WorkerLeg {
+    /// Pool size.
+    pub workers: usize,
+    /// Wall time to drain the mix.
+    pub wall_ns: u64,
+    /// Work units executed.
+    pub units: u64,
+    /// Units per second (wall metric).
+    pub units_per_sec: f64,
+}
+
+/// A complete farm benchmark.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FarmBench {
+    /// Lattice extents.
+    pub dims: [usize; 4],
+    /// SVE vector length in bits.
+    pub vl_bits: u64,
+    /// Complex-arithmetic backend name.
+    pub backend: String,
+    /// CG iterations each probe dispatch runs (fixed, so legs compare
+    /// equal work).
+    pub probe_iters: usize,
+    /// Concurrent solve requests the coalescing legs serve.
+    pub requests: usize,
+    /// Coalescing legs, batch width ascending (N=1 first).
+    pub coalesce: Vec<CoalesceLeg>,
+    /// `model_speedup` of the widest leg — the gated headline.
+    pub coalesce_gain: f64,
+    /// Mean planned batch width for `requests` pending solves (a pure
+    /// function of the batching policy — model metric).
+    pub mean_planned_fill: f64,
+    /// Worker-pool legs (wall metrics only).
+    pub workers: Vec<WorkerLeg>,
+}
+
+/// Trace-span bytes of one `block_cg` dispatch at fixed iteration count.
+/// The spans land under a uniquely named parent so the subtree sum is
+/// race-free against concurrent telemetry.
+fn probe_dispatch_bytes(
+    op: &WilsonDirac,
+    block: &FermionBlock,
+    iters: usize,
+) -> Result<u64, String> {
+    static SPAN_ID: AtomicU64 = AtomicU64::new(0);
+    let probe = format!("farm.bench.{}", SPAN_ID.fetch_add(1, Ordering::Relaxed));
+    let span = qcd_trace::SpanGuard::enter(&probe, None);
+    let _ = block_cg(op, block, 0.0, iters); // tol 0: exactly `iters` sweeps
+    let _ = span.finish();
+    let prefix = format!("{probe}/");
+    let bytes = qcd_trace::snapshot()
+        .regions
+        .iter()
+        .filter(|(path, _)| path.starts_with(&prefix))
+        .map(|(_, stat)| stat.bytes_read + stat.bytes_written)
+        .sum();
+    if bytes == 0 {
+        return Err(format!(
+            "dispatch probe recorded no telemetry for N={}",
+            block.nrhs()
+        ));
+    }
+    Ok(bytes)
+}
+
+fn run_coalesce_legs(
+    cfg: &FarmConfig,
+    requests: usize,
+    probe_iters: usize,
+    widths: &[usize],
+) -> Result<Vec<CoalesceLeg>, String> {
+    let g = cfg.grid();
+    let op = WilsonDirac::new(random_gauge(g.clone(), 181), 0.2);
+    let fields: Vec<FermionField> = (0..requests)
+        .map(|j| FermionField::random(g.clone(), 200 + j as u64))
+        .collect();
+    let volume = g.fdims().iter().product::<usize>() as f64;
+
+    let mut legs = Vec::with_capacity(widths.len());
+    for &n in widths {
+        if !requests.is_multiple_of(n) {
+            return Err(format!(
+                "batch width {n} does not divide {requests} requests"
+            ));
+        }
+        let blocks: Vec<FermionBlock> = fields.chunks(n).map(FermionBlock::from_fields).collect();
+        let bytes = probe_dispatch_bytes(&op, &blocks[0], probe_iters)?;
+        let bytes_per_rhs = bytes as f64 / n as f64;
+        let _ = block_cg(&op, &blocks[0], 0.0, probe_iters); // warm-up
+        let t0 = Instant::now();
+        for block in &blocks {
+            let _ = block_cg(&op, block, 0.0, probe_iters);
+        }
+        let wall_ns = (t0.elapsed().as_nanos() as u64).max(1);
+        legs.push(CoalesceLeg {
+            nrhs: n,
+            bytes_per_rhs,
+            wall_ns,
+            rhs_per_sec: volume * requests as f64 * probe_iters as f64 / (wall_ns as f64 / 1e9),
+            model_speedup: 1.0,
+        });
+    }
+    let base = legs[0].bytes_per_rhs;
+    for leg in &mut legs {
+        leg.model_speedup = base / leg.bytes_per_rhs;
+    }
+    Ok(legs)
+}
+
+fn run_worker_legs(
+    cfg: &FarmConfig,
+    worker_counts: &[usize],
+    scratch: &std::path::Path,
+) -> Result<Vec<WorkerLeg>, String> {
+    let mut legs = Vec::with_capacity(worker_counts.len());
+    for &workers in worker_counts {
+        let dir = scratch.join(format!("w{workers}"));
+        let farm = Farm::open(&dir, *cfg).map_err(|e| format!("open bench farm: {e}"))?;
+        for s in 0..2u64 {
+            farm.submit(JobSpec::Hmc(HmcStreamSpec {
+                name: format!("bench-stream-{s}"),
+                priority: Priority::Low,
+                seed: 300 + s,
+                params: HmcParams {
+                    beta: 5.6,
+                    n_steps: 4,
+                    step_size: 0.125,
+                    integrator: qcd_hmc::IntegratorKind::Omelyan,
+                },
+                trajectories: 2,
+                chunk: 1,
+            }))
+            .map_err(|e| format!("submit bench stream: {e}"))?;
+        }
+        farm.submit(JobSpec::Solve(SolveSpec {
+            name: "bench-burst".into(),
+            priority: Priority::Normal,
+            gauge_seed: 181,
+            mass: 0.2,
+            rhs_seeds: (400..408).collect(),
+            tol: 1e-6,
+            max_iter: 400,
+        }))
+        .map_err(|e| format!("submit bench burst: {e}"))?;
+        let stop = AtomicBool::new(false);
+        let t0 = Instant::now();
+        let report = farm
+            .run(workers, &stop, None)
+            .map_err(|e| format!("bench farm run: {e}"))?;
+        let wall_ns = (t0.elapsed().as_nanos() as u64).max(1);
+        if !farm.all_done() {
+            return Err(format!("bench farm with {workers} workers did not drain"));
+        }
+        legs.push(WorkerLeg {
+            workers,
+            wall_ns,
+            units: report.units,
+            units_per_sec: report.units as f64 / (wall_ns as f64 / 1e9),
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    Ok(legs)
+}
+
+/// Run the full farm benchmark: coalescing legs at widths 1/4/8/16 over
+/// `requests` concurrent solve requests, plus a worker-pool sweep.
+/// `scratch` is a directory for the throwaway farm state.
+pub fn run_farm_bench(
+    cfg: &FarmConfig,
+    requests: usize,
+    probe_iters: usize,
+    worker_counts: &[usize],
+    scratch: &std::path::Path,
+) -> Result<FarmBench, String> {
+    if probe_iters == 0 {
+        return Err("probe_iters must be positive".into());
+    }
+    let widths: Vec<usize> = [1usize, 4, 8, 16]
+        .into_iter()
+        .filter(|&w| w <= requests && requests.is_multiple_of(w))
+        .collect();
+    let coalesce = run_coalesce_legs(cfg, requests, probe_iters, &widths)?;
+    let coalesce_gain = coalesce.last().map(|l| l.model_speedup).unwrap_or(1.0);
+    let plan = plan_batches(requests);
+    let mean_planned_fill = if plan.is_empty() {
+        0.0
+    } else {
+        requests as f64 / plan.len() as f64
+    };
+    let workers = run_worker_legs(cfg, worker_counts, scratch)?;
+    Ok(FarmBench {
+        dims: cfg.dims,
+        vl_bits: cfg.vl_bits as u64,
+        backend: cfg.backend.name().to_string(),
+        probe_iters,
+        requests,
+        coalesce,
+        coalesce_gain,
+        mean_planned_fill,
+        workers,
+    })
+}
+
+/// The CI gate: coalescing 16 concurrent requests must model at least
+/// [`COALESCE_TARGET`]× the RHS-throughput of one-at-a-time dispatch.
+pub fn check_coalescing(b: &FarmBench) -> Result<(), String> {
+    let widest = b
+        .coalesce
+        .iter()
+        .max_by_key(|l| l.nrhs)
+        .ok_or("no coalescing legs")?;
+    if widest.nrhs >= 16 && widest.model_speedup < COALESCE_TARGET {
+        return Err(format!(
+            "coalescing model regressed: N={} gives {:.3}x < {COALESCE_TARGET}x target",
+            widest.nrhs, widest.model_speedup
+        ));
+    }
+    Ok(())
+}
+
+fn coalesce_leg_json(leg: &CoalesceLeg) -> Json {
+    Json::Obj(vec![
+        ("nrhs".into(), Json::Num(leg.nrhs as f64)),
+        ("bytes_per_rhs".into(), Json::Num(leg.bytes_per_rhs)),
+        ("wall_ns".into(), Json::Num(leg.wall_ns as f64)),
+        ("rhs_per_sec".into(), Json::Num(leg.rhs_per_sec)),
+        ("model_speedup".into(), Json::Num(leg.model_speedup)),
+    ])
+}
+
+fn worker_leg_json(leg: &WorkerLeg) -> Json {
+    Json::Obj(vec![
+        ("workers".into(), Json::Num(leg.workers as f64)),
+        ("wall_ns".into(), Json::Num(leg.wall_ns as f64)),
+        ("units".into(), Json::Num(leg.units as f64)),
+        ("units_per_sec".into(), Json::Num(leg.units_per_sec)),
+    ])
+}
+
+/// Render a benchmark as a `qcd-bench-farm/v1` document.
+pub fn bench_to_json(b: &FarmBench) -> Json {
+    Json::Obj(vec![
+        ("schema".into(), Json::Str(FARM_BENCH_SCHEMA.into())),
+        (
+            "lattice".into(),
+            Json::Arr(b.dims.iter().map(|&d| Json::Num(d as f64)).collect()),
+        ),
+        ("vl_bits".into(), Json::Num(b.vl_bits as f64)),
+        ("backend".into(), Json::Str(b.backend.clone())),
+        ("probe_iters".into(), Json::Num(b.probe_iters as f64)),
+        ("requests".into(), Json::Num(b.requests as f64)),
+        (
+            "coalesce".into(),
+            Json::Arr(b.coalesce.iter().map(coalesce_leg_json).collect()),
+        ),
+        ("coalesce_gain".into(), Json::Num(b.coalesce_gain)),
+        ("mean_planned_fill".into(), Json::Num(b.mean_planned_fill)),
+        (
+            "workers".into(),
+            Json::Arr(b.workers.iter().map(worker_leg_json).collect()),
+        ),
+    ])
+}
+
+/// Validate a parsed document against the `qcd-bench-farm/v1` schema.
+pub fn validate_farm_bench_json(doc: &Json) -> Result<(), String> {
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(FARM_BENCH_SCHEMA) => {}
+        Some(other) => return Err(format!("schema `{other}` != `{FARM_BENCH_SCHEMA}`")),
+        None => return Err("missing `schema`".into()),
+    }
+    let lat = doc
+        .get("lattice")
+        .and_then(Json::as_arr)
+        .ok_or("missing array `lattice`")?;
+    if lat.len() != 4 || lat.iter().any(|d| d.as_u64().is_none_or(|v| v == 0)) {
+        return Err("`lattice` must be four positive extents".into());
+    }
+    for field in ["vl_bits", "probe_iters", "requests"] {
+        if doc.get(field).and_then(Json::as_u64).is_none_or(|v| v == 0) {
+            return Err(format!("`{field}` missing or not a positive integer"));
+        }
+    }
+    if doc.get("backend").and_then(Json::as_str).is_none() {
+        return Err("missing string `backend`".into());
+    }
+    let coalesce = doc
+        .get("coalesce")
+        .and_then(Json::as_arr)
+        .ok_or("missing array `coalesce`")?;
+    if coalesce.is_empty() {
+        return Err("`coalesce` must hold at least the N=1 leg".into());
+    }
+    for (i, row) in coalesce.iter().enumerate() {
+        if row
+            .get("nrhs")
+            .and_then(Json::as_u64)
+            .is_none_or(|v| v == 0)
+        {
+            return Err(format!("`coalesce[{i}].nrhs` missing or not positive"));
+        }
+        for field in ["bytes_per_rhs", "wall_ns", "rhs_per_sec", "model_speedup"] {
+            let v = row
+                .get(field)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("`coalesce[{i}].{field}` missing or not a number"))?;
+            if v <= 0.0 || !v.is_finite() {
+                return Err(format!("`coalesce[{i}].{field}` must be positive, got {v}"));
+            }
+        }
+    }
+    for field in ["coalesce_gain", "mean_planned_fill"] {
+        if !doc
+            .get(field)
+            .and_then(Json::as_f64)
+            .is_some_and(|v| v > 0.0 && v.is_finite())
+        {
+            return Err(format!("`{field}` missing or not positive"));
+        }
+    }
+    let workers = doc
+        .get("workers")
+        .and_then(Json::as_arr)
+        .ok_or("missing array `workers`")?;
+    for (i, row) in workers.iter().enumerate() {
+        for field in ["workers", "wall_ns", "units"] {
+            if row.get(field).and_then(Json::as_u64).is_none_or(|v| v == 0) {
+                return Err(format!("`workers[{i}].{field}` missing or not positive"));
+            }
+        }
+        if !row
+            .get("units_per_sec")
+            .and_then(Json::as_f64)
+            .is_some_and(|v| v > 0.0 && v.is_finite())
+        {
+            return Err(format!(
+                "`workers[{i}].units_per_sec` missing or not positive"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Render, validate by parse-back, and write `BENCH_farm.json`. An invalid
+/// document is an error, not an artifact.
+pub fn write_validated_bench_json(b: &FarmBench, path: &str) -> Result<(), String> {
+    let json = bench_to_json(b);
+    let doc = json.render();
+    let parsed = Json::parse(&doc)
+        .map_err(|e| format!("emitted JSON does not parse: {} at byte {}", e.msg, e.at))?;
+    validate_farm_bench_json(&parsed)?;
+    if parsed != json {
+        return Err("JSON round-trip did not reproduce the benchmark document".into());
+    }
+    std::fs::write(path, doc).map_err(|e| format!("write {path}: {e}"))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> FarmConfig {
+        FarmConfig {
+            dims: [4, 4, 4, 4],
+            vl_bits: 256,
+            backend: SimdBackend::Fcmla,
+        }
+    }
+
+    #[test]
+    fn coalescing_model_shows_gain_and_the_document_validates() {
+        let g = cfg();
+        let legs = run_coalesce_legs(&g, 16, 2, &[1, 4, 8, 16]).unwrap();
+        assert_eq!(legs[0].nrhs, 1);
+        assert_eq!(legs[0].model_speedup, 1.0);
+        // Link loads amortise over the batch: bytes per RHS must strictly
+        // fall, so the model speedup strictly grows.
+        for pair in legs.windows(2) {
+            assert!(
+                pair[1].bytes_per_rhs < pair[0].bytes_per_rhs,
+                "bytes/RHS must fall with batch width: {pair:?}"
+            );
+        }
+        let gain = legs.last().unwrap().model_speedup;
+        assert!(
+            gain >= COALESCE_TARGET,
+            "16-wide coalescing model {gain:.3}x below the {COALESCE_TARGET}x target"
+        );
+    }
+
+    #[test]
+    fn the_gate_flags_a_forged_regression() {
+        let leg = |nrhs, speedup| CoalesceLeg {
+            nrhs,
+            bytes_per_rhs: 100.0,
+            wall_ns: 1,
+            rhs_per_sec: 1.0,
+            model_speedup: speedup,
+        };
+        let mut bench = FarmBench {
+            dims: [4, 4, 4, 4],
+            vl_bits: 256,
+            backend: "sve-fcmla".into(),
+            probe_iters: 2,
+            requests: 16,
+            coalesce: vec![leg(1, 1.0), leg(16, 1.5)],
+            coalesce_gain: 1.5,
+            mean_planned_fill: 16.0,
+            workers: vec![],
+        };
+        check_coalescing(&bench).unwrap();
+        bench.coalesce[1].model_speedup = 1.1;
+        assert!(check_coalescing(&bench).unwrap_err().contains("regressed"));
+    }
+
+    #[test]
+    fn schema_validation_rejects_malformed_documents() {
+        let bad = Json::parse(r#"{"schema":"qcd-bench-farm/v2"}"#).unwrap();
+        assert!(validate_farm_bench_json(&bad)
+            .unwrap_err()
+            .contains("schema"));
+        let minimal = Json::parse(
+            r#"{"schema":"qcd-bench-farm/v1","lattice":[4,4,4,4],"vl_bits":256,
+                "backend":"sve-fcmla","probe_iters":2,"requests":16,
+                "coalesce":[{"nrhs":1,"bytes_per_rhs":10.0,"wall_ns":5,
+                             "rhs_per_sec":1.0,"model_speedup":1.0}],
+                "coalesce_gain":1.5,"mean_planned_fill":16.0,
+                "workers":[{"workers":1,"wall_ns":5,"units":3,"units_per_sec":1.0}]}"#,
+        )
+        .unwrap();
+        validate_farm_bench_json(&minimal).unwrap();
+        let Json::Obj(mut members) = minimal.clone() else {
+            panic!("document must be an object")
+        };
+        members.retain(|(k, _)| k != "coalesce_gain");
+        assert!(validate_farm_bench_json(&Json::Obj(members))
+            .unwrap_err()
+            .contains("coalesce_gain"));
+    }
+}

@@ -1,0 +1,174 @@
+//! End-to-end farm tests: a mixed workload runs to completion with a valid
+//! status surface, an interrupted service recovers bit-identically, and
+//! preemption never perturbs chain results.
+
+use grid::prelude::*;
+use qcd_farm::{
+    read_done, render_validated_status, validate_status_json, verify_dirs, DoneDigest, Farm,
+    FarmConfig, HmcStreamSpec, JobPaths, JobSpec, Priority, SolveSpec,
+};
+use qcd_hmc::{HmcParams, IntegratorKind};
+use qcd_trace::Json;
+use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
+use std::time::Duration;
+
+fn cfg() -> FarmConfig {
+    FarmConfig {
+        dims: [4, 4, 4, 4],
+        vl_bits: 256,
+        backend: SimdBackend::Fcmla,
+    }
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qcd-farm-it-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn stream(name: &str, seed: u64, trajectories: u64, chunk: u64) -> JobSpec {
+    JobSpec::Hmc(HmcStreamSpec {
+        name: name.into(),
+        priority: Priority::Low,
+        seed,
+        params: HmcParams {
+            beta: 5.6,
+            n_steps: 4,
+            step_size: 0.125,
+            integrator: IntegratorKind::Omelyan,
+        },
+        trajectories,
+        chunk,
+    })
+}
+
+fn burst(name: &str, requests: u64) -> JobSpec {
+    JobSpec::Solve(SolveSpec {
+        name: name.into(),
+        priority: Priority::High,
+        gauge_seed: 77,
+        mass: 0.2,
+        rhs_seeds: (0..requests).map(|i| 500 + i).collect(),
+        tol: 1e-6,
+        max_iter: 2000,
+    })
+}
+
+#[test]
+fn a_mixed_workload_runs_to_completion_with_a_valid_status_surface() {
+    let dir = scratch("mixed");
+    let farm = Farm::open(&dir, cfg()).unwrap();
+    farm.submit(stream("stream-a", 11, 2, 1)).unwrap();
+    farm.submit(stream("stream-b", 12, 2, 1)).unwrap();
+    farm.submit(burst("burst-0", 6)).unwrap();
+    let stop = AtomicBool::new(false);
+    let report = farm.run(2, &stop, None).unwrap();
+    assert!(farm.all_done(), "every job must reach done");
+    assert!(!report.stopped);
+    // 2 trajectories/stream at chunk 1, plus plan_batches(6) = [4, 2].
+    assert_eq!(report.units, 2 + 2 + 2);
+
+    // Every job left a digest that reads back.
+    for name in ["stream-a", "stream-b"] {
+        let DoneDigest::Hmc { trajectory, .. } = read_done(&JobPaths::done(&dir, name)).unwrap()
+        else {
+            panic!("stream digest expected")
+        };
+        assert_eq!(trajectory, 2);
+    }
+    let DoneDigest::Solve(reqs) = read_done(&JobPaths::done(&dir, "burst-0")).unwrap() else {
+        panic!("solve digest expected")
+    };
+    assert_eq!(reqs.len(), 6);
+    assert!(reqs.iter().enumerate().all(|(i, r)| r.index == i as u64));
+
+    // The status document validates and reports the drained state.
+    let doc = render_validated_status(&farm).unwrap();
+    let parsed = Json::parse(&doc).unwrap();
+    validate_status_json(&parsed).unwrap();
+    let jobs = parsed.get("jobs").and_then(Json::as_arr).unwrap();
+    assert_eq!(jobs.len(), 3);
+    assert!(jobs
+        .iter()
+        .all(|j| j.get("state").and_then(Json::as_str) == Some("done")));
+    assert_eq!(
+        parsed.get("units_done").and_then(Json::as_u64),
+        Some(report.units)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn an_interrupted_service_recovers_bit_identically() {
+    let mix = |farm: &Farm| {
+        farm.submit(stream("stream-a", 21, 3, 1)).unwrap();
+        farm.submit(stream("stream-b", 22, 3, 1)).unwrap();
+        farm.submit(burst("burst-0", 5)).unwrap();
+    };
+
+    // Reference: the same mix drained without interruption.
+    let ref_dir = scratch("recover-ref");
+    let reference = Farm::open(&ref_dir, cfg()).unwrap();
+    mix(&reference);
+    reference.run(1, &AtomicBool::new(false), None).unwrap();
+    assert!(reference.all_done());
+
+    // Interrupted service: the unit budget cuts the run mid-mix, exactly
+    // like a SIGTERM at a checkpoint boundary.
+    let cut_dir = scratch("recover-cut");
+    let first = Farm::open(&cut_dir, cfg()).unwrap();
+    mix(&first);
+    let report = first.run(1, &AtomicBool::new(false), Some(3)).unwrap();
+    assert!(report.stopped, "the budget must stop the service early");
+    assert!(!first.all_done(), "work must remain after the cut");
+    drop(first);
+
+    // Recovery: reopen the directory and drain what the scan re-enqueues.
+    let second = Farm::open(&cut_dir, cfg()).unwrap();
+    second.run(1, &AtomicBool::new(false), None).unwrap();
+    assert!(second.all_done(), "recovery must finish every job");
+
+    verify_dirs(&ref_dir, &cut_dir).unwrap();
+    std::fs::remove_dir_all(&ref_dir).ok();
+    std::fs::remove_dir_all(&cut_dir).ok();
+}
+
+#[test]
+fn preemption_checkpoints_the_stream_without_changing_its_results() {
+    // Reference: the stream alone, uninterrupted, one giant chunk.
+    let ref_dir = scratch("preempt-ref");
+    let reference = Farm::open(&ref_dir, cfg()).unwrap();
+    reference.submit(stream("stream-a", 31, 8, 8)).unwrap();
+    reference.run(1, &AtomicBool::new(false), None).unwrap();
+    assert!(reference.all_done());
+
+    // Contended: the same stream on one worker, with a high-priority burst
+    // submitted while the chunk is mid-flight. The burst must preempt the
+    // stream at a trajectory boundary and run first.
+    let dir = scratch("preempt");
+    let farm = Farm::open(&dir, cfg()).unwrap();
+    farm.submit(stream("stream-a", 31, 8, 8)).unwrap();
+    let stop = AtomicBool::new(false);
+    let report = std::thread::scope(|scope| {
+        let handle = scope.spawn(|| farm.run(1, &stop, None));
+        std::thread::sleep(Duration::from_millis(120));
+        farm.submit(burst("burst-hi", 4)).unwrap();
+        handle.join().unwrap().unwrap()
+    });
+    assert!(farm.all_done(), "both jobs must finish");
+    assert!(
+        report.preemptions >= 1,
+        "the high-priority burst must preempt the running chunk"
+    );
+
+    // The preempted-and-resumed chain is bit-identical to the
+    // uninterrupted one; so is its digest.
+    for artifact in [JobPaths::chain, JobPaths::done] {
+        let a = std::fs::read(artifact(&ref_dir, "stream-a")).unwrap();
+        let b = std::fs::read(artifact(&dir, "stream-a")).unwrap();
+        assert_eq!(a, b, "stream artifacts must be byte-identical");
+    }
+    std::fs::remove_dir_all(&ref_dir).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}

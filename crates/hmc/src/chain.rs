@@ -29,6 +29,7 @@ use grid::tensor::su3::{peek_link, unit_gauge};
 use grid::{GaugeField, Grid, NCOLOR, NDIM};
 use qcd_io::{read_hmc_chain, write_hmc_chain, HmcChainState, IoError};
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Unitarity drift above which [`MarkovChain::load`] attaches a warning.
@@ -76,6 +77,17 @@ pub struct UnitarityWarning {
     pub max_deviation: f64,
     /// The [`UNITARITY_WARN_THRESHOLD`] that was exceeded.
     pub threshold: f64,
+}
+
+/// What a chunked [`MarkovChain::run_trajectories`] call accomplished.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Reports of the trajectories that completed, in order.
+    pub reports: Vec<TrajectoryReport>,
+    /// Whether the stop flag cut the chunk short. When `true`, fewer than
+    /// the requested `k` trajectories ran (possibly zero) and the caller
+    /// should re-enqueue the remaining work.
+    pub stopped: bool,
 }
 
 /// A pure-gauge Wilson-action HMC Markov chain.
@@ -206,6 +218,45 @@ impl MarkovChain {
     /// Run `n` trajectories, returning the report of each.
     pub fn run(&mut self, n: usize) -> Vec<TrajectoryReport> {
         (0..n).map(|_| self.step()).collect()
+    }
+
+    /// Run up to `k` trajectories as one preemptible work chunk.
+    ///
+    /// This is the step-K entry point a job scheduler drives: the `stop`
+    /// flag is polled at every trajectory boundary (a trajectory is the
+    /// atomic unit of work — a flag raised mid-integration finishes the
+    /// current trajectory first), and when `checkpoint` is given the chain
+    /// is snapshotted once at chunk exit — normal completion *or* early
+    /// stop — so an accepted trajectory is never lost to a SIGTERM-style
+    /// shutdown whose handler raises the flag. Because [`MarkovChain`]
+    /// randomness is counter-based, `run_trajectories(a)` followed by
+    /// `run_trajectories(b)` — across any number of checkpoint/resume
+    /// cycles — is bit-identical to one uninterrupted `run(a + b)`.
+    ///
+    /// Callers that dump the [`qcd_metrics`] flight recorder should flush
+    /// it after the chunk that observed the stop (the `qcd_farm` binary
+    /// does), so the shutdown's trailing events reach the postmortem file.
+    pub fn run_trajectories(
+        &mut self,
+        k: usize,
+        stop: &AtomicBool,
+        checkpoint: Option<&Path>,
+    ) -> Result<RunOutcome, IoError> {
+        let mut reports = Vec::with_capacity(k);
+        let mut stopped = false;
+        for _ in 0..k {
+            if stop.load(Ordering::SeqCst) {
+                stopped = true;
+                break;
+            }
+            reports.push(self.step());
+        }
+        // One snapshot per chunk, at the boundary: everything in `reports`
+        // is durable once this returns.
+        if let Some(path) = checkpoint {
+            self.save(path)?;
+        }
+        Ok(RunOutcome { reports, stopped })
     }
 
     /// Run `n` trajectories with the Metropolis verdict overridden to
@@ -390,6 +441,75 @@ mod tests {
         let last = reports.last().unwrap();
         assert!(last.plaquette < 1.0 && last.plaquette > 0.3, "{last:?}");
         assert!(max_unitarity_deviation(chain.links()) < 1e-11);
+    }
+
+    #[test]
+    fn chunked_run_is_bit_identical_to_one_uninterrupted_run() {
+        let g = grid4();
+        let stop = AtomicBool::new(false);
+        let mut whole = MarkovChain::cold_start(g.clone(), small_params(), 31);
+        let whole_reports = whole.run(4);
+
+        let mut chunked = MarkovChain::cold_start(g.clone(), small_params(), 31);
+        let a = chunked.run_trajectories(2, &stop, None).unwrap();
+        let b = chunked.run_trajectories(2, &stop, None).unwrap();
+        assert!(!a.stopped && !b.stopped);
+        let chunk_reports: Vec<_> = a.reports.into_iter().chain(b.reports).collect();
+
+        assert_eq!(chunk_reports.len(), whole_reports.len());
+        for (x, y) in chunk_reports.iter().zip(&whole_reports) {
+            assert_eq!(x.dh.to_bits(), y.dh.to_bits());
+            assert_eq!(x.plaquette.to_bits(), y.plaquette.to_bits());
+            assert_eq!(x.accepted, y.accepted);
+        }
+        assert_eq!(chunked.links().max_abs_diff(whole.links()), 0.0);
+    }
+
+    #[test]
+    fn raised_stop_flag_checkpoints_before_any_work() {
+        let g = grid4();
+        let stop = AtomicBool::new(true);
+        let mut chain = MarkovChain::cold_start(g.clone(), small_params(), 17);
+        let mut path = std::env::temp_dir();
+        path.push(format!("qcd-hmc-stop-{}", std::process::id()));
+        let out = chain.run_trajectories(3, &stop, Some(&path)).unwrap();
+        assert!(out.stopped);
+        assert!(out.reports.is_empty());
+        assert_eq!(chain.trajectory(), 0);
+        // The checkpoint was still written, so a supervisor that re-enqueues
+        // from disk resumes exactly where the flag caught the chain.
+        let (back, _) = MarkovChain::load(&path, &g).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back.trajectory(), 0);
+        assert_eq!(back.links().max_abs_diff(chain.links()), 0.0);
+    }
+
+    #[test]
+    fn stop_then_resume_from_checkpoint_loses_no_trajectory() {
+        let g = grid4();
+        let mut reference = MarkovChain::cold_start(g.clone(), small_params(), 23);
+        reference.run(4);
+
+        let stop = AtomicBool::new(false);
+        let mut chain = MarkovChain::cold_start(g.clone(), small_params(), 23);
+        let mut path = std::env::temp_dir();
+        path.push(format!("qcd-hmc-resume-{}", std::process::id()));
+        // Chunk of 2 with a checkpoint at the boundary, then "crash": drop
+        // the in-memory chain and restart from disk for the rest.
+        let first = chain.run_trajectories(2, &stop, Some(&path)).unwrap();
+        assert_eq!(first.reports.len(), 2);
+        drop(chain);
+        let (mut resumed, warn) = MarkovChain::load(&path, &g).unwrap();
+        assert!(warn.is_none());
+        let second = resumed.run_trajectories(2, &stop, Some(&path)).unwrap();
+        assert_eq!(second.reports.len(), 2);
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(resumed.trajectory(), reference.trajectory());
+        assert_eq!(resumed.links().max_abs_diff(reference.links()), 0.0);
+        for (a, b) in resumed.dh_history().iter().zip(reference.dh_history()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub use action::{
 };
 pub use algebra::{exp_su3, momentum_from_gaussians, ta_project};
 pub use chain::{
-    max_algebra_defect, HmcParams, MarkovChain, TrajectoryReport, UnitarityWarning,
+    max_algebra_defect, HmcParams, MarkovChain, RunOutcome, TrajectoryReport, UnitarityWarning,
     UNITARITY_WARN_THRESHOLD,
 };
 pub use integrator::{Integrator, IntegratorKind, Leapfrog, Omelyan, OMELYAN_LAMBDA};

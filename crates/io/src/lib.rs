@@ -55,6 +55,7 @@ pub mod error;
 pub mod fault;
 pub mod fields;
 pub mod hmc;
+pub mod scan;
 
 pub use checkpoint::{
     bicgstab_checkpointed_from, block_cg_checkpointed, block_cg_checkpointed_from, cg_checkpointed,
@@ -70,6 +71,7 @@ pub use fields::{
     write_gauge, FieldMeta,
 };
 pub use hmc::{read_hmc_chain, write_hmc_chain, HmcChainState, HMC_HISTORY_RECORD, HMC_RECORD};
+pub use scan::{scan_checkpoints, CheckpointEntry, CheckpointKind, ScanReport, SkippedCheckpoint};
 
 /// Record a typed `io.error` flight event and bump the `io.errors` counter.
 /// Called by every read/write/validate path the moment a failure surfaces,

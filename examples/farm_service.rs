@@ -1,0 +1,137 @@
+//! Farm service walkthrough: submit a mixed ensemble/solve workload, cut
+//! the service mid-mix, and recover it bit-identically from disk.
+//!
+//! ```text
+//! cargo run --release --example farm_service
+//! ```
+//!
+//! The example exits nonzero unless the killed-and-recovered farm
+//! directory ends up byte-identical to an uninterrupted one — the same
+//! guarantee the CI farm-smoke job checks with a real `kill -9`.
+
+use grid::prelude::*;
+use qcd_farm::{
+    render_validated_status, verify_dirs, Farm, FarmConfig, HmcStreamSpec, JobSpec, Priority,
+    SolveSpec,
+};
+use qcd_hmc::{HmcParams, IntegratorKind};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::AtomicBool;
+
+fn cfg() -> FarmConfig {
+    FarmConfig {
+        dims: [4, 4, 4, 4],
+        vl_bits: 256,
+        backend: SimdBackend::Fcmla,
+    }
+}
+
+/// The workload: two low-priority ensemble streams and one high-priority
+/// burst of six inversion requests. Every job is a deterministic spec, so
+/// re-running any part of it reproduces the same bytes.
+fn submit_mix(farm: &Farm) {
+    for (name, seed) in [("stream-a", 41u64), ("stream-b", 42)] {
+        farm.submit(JobSpec::Hmc(HmcStreamSpec {
+            name: name.into(),
+            priority: Priority::Low,
+            seed,
+            params: HmcParams {
+                beta: 5.6,
+                n_steps: 6,
+                step_size: 1.0 / 12.0,
+                integrator: IntegratorKind::Omelyan,
+            },
+            trajectories: 3,
+            chunk: 1,
+        }))
+        .expect("submit stream");
+    }
+    farm.submit(JobSpec::Solve(SolveSpec {
+        name: "burst-0".into(),
+        priority: Priority::High,
+        gauge_seed: 99,
+        mass: 0.2,
+        rhs_seeds: (0..6).map(|i| 700 + i).collect(),
+        tol: 1e-7,
+        max_iter: 2000,
+    }))
+    .expect("submit burst");
+}
+
+fn fresh(dir: &Path) -> PathBuf {
+    std::fs::remove_dir_all(dir).ok();
+    dir.to_path_buf()
+}
+
+fn main() {
+    let base = std::env::temp_dir().join(format!("qcd-farm-example-{}", std::process::id()));
+
+    // --- Part 1: drain the mix on two workers -------------------------
+    println!("== An uninterrupted farm run (2 workers) ==\n");
+    let ref_dir = fresh(&base.join("reference"));
+    let reference = Farm::open(&ref_dir, cfg()).expect("open reference farm");
+    submit_mix(&reference);
+    let report = reference
+        .run(2, &AtomicBool::new(false), None)
+        .expect("reference run");
+    for job in reference.job_views() {
+        println!(
+            "  {:<10} {:<10} {:<8} {}/{}",
+            job.name,
+            job.kind,
+            job.state.name(),
+            job.progress,
+            job.target
+        );
+    }
+    println!(
+        "  {} unit(s) executed (the burst coalesced its 6 requests into [4, 2])\n",
+        report.units
+    );
+
+    // --- Part 2: cut the service mid-mix, then recover ----------------
+    println!("== Interrupted service + crash recovery ==\n");
+    let cut_dir = fresh(&base.join("interrupted"));
+    let farm = Farm::open(&cut_dir, cfg()).expect("open farm");
+    submit_mix(&farm);
+    // A 3-unit budget stops the pool early, exactly like a SIGTERM at a
+    // checkpoint boundary (a kill -9 loses at most the current chunk).
+    let report = farm
+        .run(1, &AtomicBool::new(false), Some(3))
+        .expect("interrupted run");
+    println!(
+        "  service stopped after {} unit(s); jobs left behind:",
+        report.units
+    );
+    for job in farm.job_views() {
+        println!(
+            "    {:<10} {:<8} {}/{}",
+            job.name,
+            job.state.name(),
+            job.progress,
+            job.target
+        );
+    }
+    drop(farm);
+
+    // Reopen the same directory: the scan re-enqueues every spec without
+    // a result digest, streams resume from their chain checkpoints.
+    let recovered = Farm::open(&cut_dir, cfg()).expect("reopen farm");
+    recovered
+        .run(1, &AtomicBool::new(false), None)
+        .expect("recovery run");
+    assert!(recovered.all_done(), "recovery must drain every job");
+    println!("\n  recovered and drained; status document:");
+    let status = render_validated_status(&recovered).expect("validated status");
+    println!("  {status}");
+
+    // --- Part 3: the bit-identity guarantee ---------------------------
+    match verify_dirs(&ref_dir, &cut_dir) {
+        Ok(()) => println!("\n  OK: recovered results are byte-identical to the uninterrupted run"),
+        Err(e) => {
+            eprintln!("\n  FAIL: {e}");
+            std::process::exit(1);
+        }
+    }
+    std::fs::remove_dir_all(&base).ok();
+}
