@@ -11,7 +11,8 @@
 //!
 //! Usage: `wilson_report [--json <path>] [--checkpoint <path>]
 //! [--resume <path>] [--ckpt-every <n>] [--bench <path>] [--bench-l <n>]
-//! [--bench-iters <n>] [--rhs <n>] [--metrics <path>]`.
+//! [--bench-iters <n>] [--rhs <n>] [--bench-comms <path>]
+//! [--comms-rhs <n>] [--comms-iters <n>] [--metrics <path>]`.
 //!
 //! With `--json`, additionally writes the registry snapshot as a
 //! `qcd-trace/v1` document (schema documented on
@@ -32,6 +33,15 @@
 //! `{1, n}` instead), and the run fails if batching eight right-hand
 //! sides is slower than one at a time.
 //!
+//! With `--bench-comms`, runs the multi-rank strong-scaling sweep: the
+//! same global problem solved by a distributed block CG at R ∈ {1,2,4}
+//! (time-direction decomposition) over a modeled interconnect, reporting
+//! sites/s vs R, measured-vs-modeled wire bytes, and the comms/compute
+//! overlap efficiency. Residual histories must be bit-identical across
+//! rank counts and every multi-rank leg must hide at least half its
+//! modeled flight time; the validated `qcd-bench-comms/v1` document is
+//! the artifact the CI comms-smoke job gates.
+//!
 //! With `--hmc`, generates a short pure-gauge ensemble (cold start,
 //! `--hmc-therm` thermalization trajectories, `--hmc-traj` measured ones on
 //! an `--hmc-l`⁴ lattice), enforces the equilibrium gates — Metropolis
@@ -43,6 +53,7 @@
 //! (for `--hmc`) the per-trajectory sampler time series — as a validated
 //! `qcd-metrics/v1` JSONL document.
 
+use bench::comms_bench;
 use bench::hmc_bench;
 use bench::profile;
 use bench::solver_bench;
@@ -177,6 +188,89 @@ fn main() {
             Ok(()) => println!(
                 "wrote validated {schema} document to {path}",
                 schema = solver_bench::SOLVER_BENCH_SCHEMA
+            ),
+            Err(e) => {
+                eprintln!("wilson_report: {e}");
+                std::process::exit(1);
+            }
+        }
+        if let Some(mpath) = &report_args.metrics {
+            write_metrics_dump(mpath, None);
+        }
+        return;
+    }
+
+    // A comms scaling run is standalone: sweep the rank counts, enforce
+    // the wire-byte and overlap gates, write the validated document.
+    if let Some(path) = &report_args.bench_comms {
+        let bench = match comms_bench::run_comms_bench(
+            comms_bench::COMMS_BENCH_LATTICE,
+            &comms_bench::COMMS_RANK_COUNTS,
+            report_args.comms_rhs,
+            report_args.comms_iters,
+        ) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("wilson_report: {e}");
+                std::process::exit(1);
+            }
+        };
+        println!(
+            "MULTI-RANK STRONG SCALING — distributed block CG with comms/compute overlap\n\
+             global lattice {:?}, VL{} {}, {} thread(s), N={} RHS, {} iterations/RHS\n\
+             fabric: {} ns/message latency, {} GB/s per link; lossless two-row wire\n",
+            bench.dims,
+            bench.vl_bits,
+            bench.backend,
+            bench.threads,
+            bench.nrhs,
+            bench.iterations,
+            comms_bench::COMMS_NET_LATENCY_NS,
+            comms_bench::COMMS_NET_GBYTES_PER_S,
+        );
+        println!(
+            "{:<4} {:<12} {:>10} {:>14} {:>12} {:>12} {:>10} {:>10} {:>9}",
+            "R",
+            "rank grid",
+            "wall ms",
+            "RHS-sites/s",
+            "wire B meas",
+            "wire B model",
+            "wait µs",
+            "flight µs",
+            "overlap"
+        );
+        for leg in &bench.legs {
+            println!(
+                "{:<4} {:<12} {:>10.2} {:>14.0} {:>12} {:>12} {:>10.1} {:>10.1} {:>9.3}",
+                leg.ranks,
+                format!("{:?}", leg.rank_grid),
+                leg.wall_ns as f64 / 1e6,
+                leg.sites_per_sec,
+                leg.wire_bytes_measured,
+                leg.wire_bytes_modeled,
+                leg.wait_ns as f64 / 1e3,
+                leg.flight_ns as f64 / 1e3,
+                leg.overlap_eff,
+            );
+        }
+        println!(
+            "\n(residual histories bit-identical across rank counts; measured wire\n\
+             bytes equal the pinned two-row face model on every leg.)"
+        );
+        if let Err(e) = comms_bench::check_overlap_efficiency(&bench) {
+            eprintln!("wilson_report: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "overlap gate passed: every multi-rank leg hides >= {:.0}% of its modeled\n\
+             comms flight time behind the interior sweep",
+            comms_bench::OVERLAP_EFF_TARGET * 100.0
+        );
+        match comms_bench::write_validated_comms_bench_json(&bench, path) {
+            Ok(()) => println!(
+                "wrote validated {schema} document to {path}",
+                schema = comms_bench::COMMS_BENCH_SCHEMA
             ),
             Err(e) => {
                 eprintln!("wilson_report: {e}");

@@ -1,0 +1,481 @@
+//! The multi-rank scaling benchmark behind `wilson_report --bench-comms`.
+//!
+//! One strong-scaling sweep: the same global lattice solved by an N-RHS
+//! distributed block CG at every requested rank count (1-D time-direction
+//! decomposition), over a modeled interconnect. Each leg reports
+//!
+//! * throughput (RHS-site iterations retired per second vs rank count),
+//! * **measured vs modeled wire bytes** — the bytes every rank actually
+//!   put on the wire against the pinned face model
+//!   (`DistWilson::modeled_wire_bytes`: 192 B fermion face bytes and 96 B
+//!   two-row ghost-link bytes per site); any mismatch aborts the run,
+//! * **overlap efficiency** — the fraction of modeled comms flight time
+//!   hidden behind the interior sweep,
+//!   `(flight − wait) / flight`, where `wait` is the time ranks sat
+//!   blocked on halo arrival and `flight` is what the comms would cost
+//!   with zero overlap.
+//!
+//! The residual histories of every leg are asserted bit-identical across
+//! rank counts (the canonical-reduction guarantee), so the sweep measures
+//! communication cost, never a different computation. The result is
+//! exported as a validated `qcd-bench-comms/v1` document — the artifact
+//! the CI comms-smoke job gates with `bench_diff`.
+//!
+//! The modeled fabric deliberately carries a high per-message latency
+//! ([`COMMS_NET_LATENCY_NS`]): flight times far above scheduler jitter
+//! make the overlap-efficiency measurement reproducible on noisy CI
+//! hosts, while staying far below the interior-sweep compute time so a
+//! correctly overlapped dslash can still hide them.
+
+use grid::prelude::*;
+use grid::Coor;
+use qcd_trace::Json;
+use std::time::Instant;
+
+/// Schema identifier of the exported benchmark document.
+pub const COMMS_BENCH_SCHEMA: &str = "qcd-bench-comms/v1";
+
+/// Default global lattice of the scaling sweep. Chosen so the rank-local
+/// lattice keeps an interior overlap window (split-direction outer extent
+/// ≥ 3) at every default rank count.
+pub const COMMS_BENCH_LATTICE: Coor = [4, 4, 8, 16];
+
+/// Default rank counts of the strong-scaling sweep.
+pub const COMMS_RANK_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Per-message latency of the modeled fabric (see module docs).
+pub const COMMS_NET_LATENCY_NS: u64 = 50_000;
+
+/// Per-link bandwidth of the modeled fabric (≈100 Gb/s class).
+pub const COMMS_NET_GBYTES_PER_S: f64 = 12.5;
+
+/// Gate on the overlapped dslash: at least this fraction of the modeled
+/// comms flight time must be hidden behind interior compute on every
+/// multi-rank leg.
+pub const OVERLAP_EFF_TARGET: f64 = 0.5;
+
+/// One rank count of the scaling sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommsLeg {
+    /// Ranks in this leg.
+    pub ranks: usize,
+    /// How the ranks tile the four dimensions.
+    pub rank_grid: Coor,
+    /// Wall time of the slowest rank's solve loop.
+    pub wall_ns: u64,
+    /// RHS-site iterations retired per second (global volume × nrhs ×
+    /// iterations / wall) — the strong-scaling figure of merit.
+    pub sites_per_sec: f64,
+    /// Face bytes all ranks actually put on the wire (ghost exchange +
+    /// every halo sweep).
+    pub wire_bytes_measured: u64,
+    /// The same quantity from the pinned wire model
+    /// (`DistWilson::modeled_wire_bytes`, summed over ranks). Equal to
+    /// `wire_bytes_measured` by construction — the run aborts otherwise.
+    pub wire_bytes_modeled: u64,
+    /// Nanoseconds ranks sat blocked on halo arrival (summed).
+    pub wait_ns: u64,
+    /// Modeled flight nanoseconds of every received face (summed) — the
+    /// comms cost a non-overlapping implementation would expose.
+    pub flight_ns: u64,
+    /// `(flight − wait) / flight`, clamped to [0, 1]; 1.0 when the leg
+    /// has no comms (R = 1).
+    pub overlap_eff: f64,
+    /// Rank-local outer sites whose sweep needs no halo data.
+    pub interior_osites: u64,
+    /// Rank-local outer sites completed in the boundary pass.
+    pub boundary_osites: u64,
+}
+
+/// A complete strong-scaling sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommsBench {
+    /// Global lattice extents.
+    pub dims: Coor,
+    /// SVE vector length in bits.
+    pub vl_bits: u64,
+    /// Complex-arithmetic backend name.
+    pub backend: String,
+    /// Worker threads the parallel field kernels used.
+    pub threads: usize,
+    /// Right-hand sides in the block solve.
+    pub nrhs: usize,
+    /// CG iterations each RHS ran (fixed, far from convergence).
+    pub iterations: usize,
+    /// One row per rank count.
+    pub legs: Vec<CommsLeg>,
+}
+
+/// Run the strong-scaling sweep: an `nrhs`-RHS distributed block CG for
+/// exactly `iters` iterations per RHS at every rank count, on a two-row
+/// f64 wire over the modeled fabric. The wire stays lossless because the
+/// sweep's anchor property is that residual histories are bit-identical
+/// across rank counts — an f16 wire rounds halo spinors and would
+/// legitimately perturb the iterates (its byte accounting is pinned by
+/// the wire-model property tests instead). Measured wire bytes must
+/// equal the model; both checks are errors, not warnings.
+pub fn run_comms_bench(
+    global: Coor,
+    rank_counts: &[usize],
+    nrhs: usize,
+    iters: usize,
+) -> Result<CommsBench, String> {
+    if iters == 0 {
+        return Err("--comms-iters must be positive".into());
+    }
+    if nrhs == 0 {
+        return Err("--comms-rhs must be positive".into());
+    }
+    if rank_counts.is_empty() {
+        return Err("at least one rank count is required".into());
+    }
+    let vl = VectorLength::of(256);
+    let backend = SimdBackend::Fcmla;
+    let net = NetworkModel::custom(COMMS_NET_LATENCY_NS, COMMS_NET_GBYTES_PER_S);
+    let volume: usize = global.iter().product();
+
+    let mut legs = Vec::with_capacity(rank_counts.len());
+    let mut ref_histories: Option<Vec<Vec<u64>>> = None;
+    for &r in rank_counts {
+        if !global[3].is_multiple_of(r) || global[3] / r < 2 {
+            return Err(format!(
+                "rank count {r} does not tile the time extent {}",
+                global[3]
+            ));
+        }
+        let topo = RankTopology::one_dim(r);
+        let per_rank = run_multinode_topo(global, topo, vl, backend, net, |ctx| {
+            let g = Grid::new(global, vl, backend);
+            let u = restrict_field(ctx, &random_gauge(g.clone(), 1001));
+            let fields: Vec<FermionField> = (0..nrhs)
+                .map(|j| restrict_field(ctx, &FermionField::random(g.clone(), 1002 + j as u64)))
+                .collect();
+            let block = FermionBlock::from_fields(&fields);
+            let dw = DistWilson::new(ctx, u, 0.25, GaugeWire::TwoRow, Compression::None);
+            let t0 = Instant::now();
+            let (_, reports) = dist_block_cg(&dw, &block, 1e-30, iters);
+            let wall_ns = (t0.elapsed().as_nanos() as u64).max(1);
+            let (interior, boundary) = dw.interior_boundary_sites();
+            let histories: Vec<Vec<u64>> = reports
+                .iter()
+                .map(|rep| rep.history.iter().map(|h| h.to_bits()).collect())
+                .collect();
+            (
+                wall_ns,
+                ctx.sent_bytes.get() as u64,
+                dw.modeled_wire_bytes() as u64,
+                ctx.wait_ns(),
+                ctx.flight_ns(),
+                (interior as u64, boundary as u64),
+                histories,
+            )
+        });
+
+        let wall_ns = per_rank.iter().map(|l| l.0).max().unwrap_or(1);
+        let measured: u64 = per_rank.iter().map(|l| l.1).sum();
+        let modeled: u64 = per_rank.iter().map(|l| l.2).sum();
+        if measured != modeled {
+            return Err(format!(
+                "R={r}: measured wire bytes {measured} diverge from the pinned model {modeled}"
+            ));
+        }
+        let wait_ns: u64 = per_rank.iter().map(|l| l.3).sum();
+        let flight_ns: u64 = per_rank.iter().map(|l| l.4).sum();
+        let (interior_osites, boundary_osites) = per_rank[0].5;
+        for (rank, l) in per_rank.iter().enumerate() {
+            if l.6.iter().any(|h| h.len() != iters + 1) {
+                return Err(format!(
+                    "R={r} rank {rank}: solve ended early (the fixed-iteration sweep must not \
+                     converge)"
+                ));
+            }
+            match &ref_histories {
+                None => ref_histories = Some(l.6.clone()),
+                Some(reference) => {
+                    if &l.6 != reference {
+                        return Err(format!(
+                            "R={r} rank {rank}: residual history diverges from the R={} leg — \
+                             the distributed solve is not rank-count invariant",
+                            rank_counts[0]
+                        ));
+                    }
+                }
+            }
+        }
+        let overlap_eff = if flight_ns == 0 {
+            1.0
+        } else {
+            (flight_ns.saturating_sub(wait_ns) as f64 / flight_ns as f64).clamp(0.0, 1.0)
+        };
+        legs.push(CommsLeg {
+            ranks: r,
+            rank_grid: topo.rank_grid(),
+            wall_ns,
+            sites_per_sec: (volume * nrhs * iters) as f64 / (wall_ns as f64 / 1e9),
+            wire_bytes_measured: measured,
+            wire_bytes_modeled: modeled,
+            wait_ns,
+            flight_ns,
+            overlap_eff,
+            interior_osites,
+            boundary_osites,
+        });
+    }
+    Ok(CommsBench {
+        dims: global,
+        vl_bits: VectorLength::of(256).bits() as u64,
+        backend: backend.name().to_string(),
+        threads: rayon::current_num_threads(),
+        nrhs,
+        iterations: iters,
+        legs,
+    })
+}
+
+/// The CI gate on comms/compute overlap: every multi-rank leg must hide
+/// at least [`OVERLAP_EFF_TARGET`] of its modeled flight time behind the
+/// interior sweep.
+pub fn check_overlap_efficiency(b: &CommsBench) -> Result<(), String> {
+    for leg in &b.legs {
+        if leg.ranks > 1 && leg.overlap_eff < OVERLAP_EFF_TARGET {
+            return Err(format!(
+                "R={}: overlap efficiency {:.3} below the {OVERLAP_EFF_TARGET} target \
+                 (wait {} ns of {} ns flight was exposed)",
+                leg.ranks, leg.overlap_eff, leg.wait_ns, leg.flight_ns
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn leg_json(leg: &CommsLeg) -> Json {
+    Json::Obj(vec![
+        ("ranks".into(), Json::Num(leg.ranks as f64)),
+        (
+            "rank_grid".into(),
+            Json::Arr(leg.rank_grid.iter().map(|&d| Json::Num(d as f64)).collect()),
+        ),
+        ("wall_ns".into(), Json::Num(leg.wall_ns as f64)),
+        ("sites_per_sec".into(), Json::Num(leg.sites_per_sec)),
+        (
+            "wire_bytes_measured".into(),
+            Json::Num(leg.wire_bytes_measured as f64),
+        ),
+        (
+            "wire_bytes_modeled".into(),
+            Json::Num(leg.wire_bytes_modeled as f64),
+        ),
+        ("wait_ns".into(), Json::Num(leg.wait_ns as f64)),
+        ("flight_ns".into(), Json::Num(leg.flight_ns as f64)),
+        ("overlap_eff".into(), Json::Num(leg.overlap_eff)),
+        (
+            "interior_osites".into(),
+            Json::Num(leg.interior_osites as f64),
+        ),
+        (
+            "boundary_osites".into(),
+            Json::Num(leg.boundary_osites as f64),
+        ),
+    ])
+}
+
+/// Render a sweep as a `qcd-bench-comms/v1` document.
+pub fn bench_to_json(b: &CommsBench) -> Json {
+    Json::Obj(vec![
+        ("schema".into(), Json::Str(COMMS_BENCH_SCHEMA.into())),
+        (
+            "lattice".into(),
+            Json::Arr(b.dims.iter().map(|&d| Json::Num(d as f64)).collect()),
+        ),
+        ("vl_bits".into(), Json::Num(b.vl_bits as f64)),
+        ("backend".into(), Json::Str(b.backend.clone())),
+        ("threads".into(), Json::Num(b.threads as f64)),
+        ("nrhs".into(), Json::Num(b.nrhs as f64)),
+        ("iterations".into(), Json::Num(b.iterations as f64)),
+        (
+            "legs".into(),
+            Json::Arr(b.legs.iter().map(leg_json).collect()),
+        ),
+    ])
+}
+
+/// Validate a parsed document against the `qcd-bench-comms/v1` schema —
+/// the check the CI comms-smoke job runs on the uploaded artifact.
+pub fn validate_comms_bench_json(doc: &Json) -> Result<(), String> {
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(COMMS_BENCH_SCHEMA) => {}
+        Some(other) => return Err(format!("schema `{other}` != `{COMMS_BENCH_SCHEMA}`")),
+        None => return Err("missing `schema`".into()),
+    }
+    let lat = doc
+        .get("lattice")
+        .and_then(Json::as_arr)
+        .ok_or("missing array `lattice`")?;
+    if lat.len() != 4 || lat.iter().any(|d| d.as_u64().is_none_or(|v| v == 0)) {
+        return Err("`lattice` must be four positive extents".into());
+    }
+    for field in ["vl_bits", "threads", "nrhs", "iterations"] {
+        if doc.get(field).and_then(Json::as_u64).is_none_or(|v| v == 0) {
+            return Err(format!("`{field}` missing or not a positive integer"));
+        }
+    }
+    if doc.get("backend").and_then(Json::as_str).is_none() {
+        return Err("missing string `backend`".into());
+    }
+    let legs = doc
+        .get("legs")
+        .and_then(Json::as_arr)
+        .ok_or("missing array `legs`")?;
+    if legs.is_empty() {
+        return Err("`legs` must hold at least one rank count".into());
+    }
+    for (i, leg) in legs.iter().enumerate() {
+        let ranks = leg
+            .get("ranks")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("`legs[{i}].ranks` missing or not an integer"))?;
+        if ranks == 0 {
+            return Err(format!("`legs[{i}].ranks` must be positive"));
+        }
+        let rg = leg
+            .get("rank_grid")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("missing array `legs[{i}].rank_grid`"))?;
+        if rg.len() != 4 || rg.iter().any(|d| d.as_u64().is_none_or(|v| v == 0)) {
+            return Err(format!(
+                "`legs[{i}].rank_grid` must be four positive counts"
+            ));
+        }
+        for field in ["wall_ns", "sites_per_sec"] {
+            let v = leg
+                .get(field)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("`legs[{i}].{field}` missing or not a number"))?;
+            if v <= 0.0 || !v.is_finite() {
+                return Err(format!("`legs[{i}].{field}` must be positive, got {v}"));
+            }
+        }
+        // Wire bytes, wait and flight are legitimately zero on the R=1 leg.
+        for field in [
+            "wire_bytes_measured",
+            "wire_bytes_modeled",
+            "wait_ns",
+            "flight_ns",
+            "interior_osites",
+            "boundary_osites",
+        ] {
+            if leg
+                .get(field)
+                .and_then(Json::as_f64)
+                .is_none_or(|v| v < 0.0)
+            {
+                return Err(format!("`legs[{i}].{field}` missing or negative"));
+            }
+        }
+        let (m, w) = (
+            num_field(leg, "wire_bytes_measured")?,
+            num_field(leg, "wire_bytes_modeled")?,
+        );
+        if m != w {
+            return Err(format!(
+                "`legs[{i}]`: measured wire bytes {m} != modeled {w} — the pinned model broke"
+            ));
+        }
+        let eff = leg
+            .get("overlap_eff")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("`legs[{i}].overlap_eff` missing or not a number"))?;
+        if !(0.0..=1.0).contains(&eff) {
+            return Err(format!(
+                "`legs[{i}].overlap_eff` must lie in [0, 1], got {eff}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn num_field(leg: &Json, field: &str) -> Result<f64, String> {
+    leg.get(field)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("`{field}` missing or not a number"))
+}
+
+/// Render, validate by parse-back, and write `BENCH_comms.json`. An
+/// invalid document is an error, not an artifact.
+pub fn write_validated_comms_bench_json(b: &CommsBench, path: &str) -> Result<(), String> {
+    let json = bench_to_json(b);
+    let doc = json.render();
+    let parsed = Json::parse(&doc)
+        .map_err(|e| format!("emitted JSON does not parse: {} at byte {}", e.msg, e.at))?;
+    validate_comms_bench_json(&parsed)?;
+    if parsed != json {
+        return Err("JSON round-trip did not reproduce the benchmark document".into());
+    }
+    std::fs::write(path, doc).map_err(|e| format!("write {path}: {e}"))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comms_bench_runs_and_exports_a_valid_document() {
+        // Small sweep: enough to exercise the R=1 and multi-rank paths.
+        let bench = run_comms_bench([4, 4, 4, 8], &[1, 2], 2, 2).unwrap();
+        assert_eq!(bench.legs.len(), 2);
+        assert_eq!(bench.legs[0].ranks, 1);
+        assert_eq!(bench.legs[0].wire_bytes_measured, 0);
+        assert_eq!(bench.legs[0].overlap_eff, 1.0);
+        let two = &bench.legs[1];
+        assert_eq!(two.ranks, 2);
+        assert!(two.wire_bytes_measured > 0);
+        assert_eq!(two.wire_bytes_measured, two.wire_bytes_modeled);
+        assert!(two.flight_ns > 0);
+        let doc = bench_to_json(&bench);
+        validate_comms_bench_json(&doc).unwrap();
+        let parsed = Json::parse(&doc.render()).unwrap();
+        validate_comms_bench_json(&parsed).unwrap();
+        assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn overlap_gate_flags_an_exposed_wait() {
+        let mut bench = run_comms_bench([4, 4, 4, 8], &[2], 1, 1).unwrap();
+        bench.legs[0].overlap_eff = OVERLAP_EFF_TARGET - 0.1;
+        assert!(check_overlap_efficiency(&bench)
+            .unwrap_err()
+            .contains("overlap efficiency"));
+        bench.legs[0].overlap_eff = 1.0;
+        check_overlap_efficiency(&bench).unwrap();
+        // The R=1 leg is never gated — it has no comms to hide.
+        bench.legs[0].ranks = 1;
+        bench.legs[0].overlap_eff = 0.0;
+        check_overlap_efficiency(&bench).unwrap();
+    }
+
+    #[test]
+    fn broken_wire_model_is_rejected_by_validation() {
+        let bench = run_comms_bench([4, 4, 4, 8], &[2], 1, 1).unwrap();
+        let doc = bench_to_json(&bench).render();
+        let measured = bench.legs[0].wire_bytes_measured;
+        let forged = doc.replace(
+            &format!("\"wire_bytes_measured\":{measured}"),
+            &format!("\"wire_bytes_measured\":{}", measured + 8),
+        );
+        assert_ne!(forged, doc, "forgery must hit the rendered document");
+        let parsed = Json::parse(&forged).unwrap();
+        assert!(validate_comms_bench_json(&parsed)
+            .unwrap_err()
+            .contains("pinned model"));
+    }
+
+    #[test]
+    fn degenerate_configurations_are_refused() {
+        assert!(run_comms_bench([4, 4, 4, 8], &[1], 1, 0).is_err());
+        assert!(run_comms_bench([4, 4, 4, 8], &[1], 0, 1).is_err());
+        assert!(run_comms_bench([4, 4, 4, 8], &[], 1, 1).is_err());
+        assert!(run_comms_bench([4, 4, 4, 8], &[3], 1, 1).is_err());
+        assert!(run_comms_bench([4, 4, 4, 8], &[8], 1, 1).is_err());
+    }
+}

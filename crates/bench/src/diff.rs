@@ -1,6 +1,6 @@
 //! The bench-regression gate: compare two benchmark documents
-//! (`qcd-bench-solver/v1`, `qcd-bench-hmc/v1`, or `qcd-bench-farm/v1`)
-//! metric by metric.
+//! (`qcd-bench-solver/v1`, `qcd-bench-hmc/v1`, `qcd-bench-farm/v1`, or
+//! `qcd-bench-comms/v1`) metric by metric.
 //!
 //! Metrics split into two classes with different consequences:
 //!
@@ -18,6 +18,7 @@
 //! HMC parameters) must match exactly — comparing runs of different shapes
 //! is a hard failure, not a warning.
 
+use crate::comms_bench::COMMS_BENCH_SCHEMA;
 use crate::hmc_bench::HMC_BENCH_SCHEMA;
 use crate::solver_bench::SOLVER_BENCH_SCHEMA;
 use qcd_farm::bench::FARM_BENCH_SCHEMA;
@@ -185,6 +186,72 @@ fn diff_solver_block(baseline: &Json, current: &Json, mut report: DiffReport) ->
     report
 }
 
+/// Compare the comms scaling legs row by row, matching on `ranks`. Wire
+/// bytes and the interior/boundary split are pure functions of the
+/// topology and the pinned wire model, so their drift is a hard failure;
+/// wall clock, wait/flight times and the overlap ratio vary with the
+/// host and only warn.
+fn diff_comms(baseline: &Json, current: &Json) -> DiffReport {
+    let mut d = Diff::new(baseline, current);
+    for key in [
+        "lattice",
+        "vl_bits",
+        "backend",
+        "threads",
+        "nrhs",
+        "iterations",
+    ] {
+        d.config(key);
+    }
+    let mut report = d.report;
+    let (Some(b_rows), Some(c_rows)) = (
+        baseline.get("legs").and_then(Json::as_arr),
+        current.get("legs").and_then(Json::as_arr),
+    ) else {
+        report.failures.push("missing array `legs`".into());
+        return report;
+    };
+    let ranks = |row: &Json| row.get("ranks").and_then(Json::as_u64);
+    let b_rs: Vec<_> = b_rows.iter().filter_map(ranks).collect();
+    let c_rs: Vec<_> = c_rows.iter().filter_map(ranks).collect();
+    if b_rs != c_rs {
+        report.failures.push(format!(
+            "`legs` rank counts differ: baseline {b_rs:?} vs current {c_rs:?}"
+        ));
+        return report;
+    }
+    for (b_row, c_row) in b_rows.iter().zip(c_rows) {
+        let mut d = Diff::new(b_row, c_row);
+        let r = ranks(b_row).unwrap_or(0);
+        d.config("rank_grid");
+        for m in [
+            "wire_bytes_measured",
+            "wire_bytes_modeled",
+            "interior_osites",
+            "boundary_osites",
+        ] {
+            d.hard(m);
+        }
+        for m in [
+            "wall_ns",
+            "sites_per_sec",
+            "wait_ns",
+            "flight_ns",
+            "overlap_eff",
+        ] {
+            d.wall(m);
+        }
+        let tag = |msgs: Vec<String>| -> Vec<String> {
+            msgs.into_iter()
+                .map(|m| format!("legs R={r} {m}"))
+                .collect()
+        };
+        report.failures.extend(tag(d.report.failures));
+        report.warnings.extend(tag(d.report.warnings));
+    }
+    report
+}
+
 fn diff_hmc(baseline: &Json, current: &Json) -> DiffReport {
     let mut d = Diff::new(baseline, current);
     for key in [
@@ -305,6 +372,7 @@ pub fn diff_docs(baseline: &Json, current: &Json) -> Result<DiffReport, String> 
         SOLVER_BENCH_SCHEMA => Ok(diff_solver(baseline, current)),
         HMC_BENCH_SCHEMA => Ok(diff_hmc(baseline, current)),
         FARM_BENCH_SCHEMA => Ok(diff_farm(baseline, current)),
+        COMMS_BENCH_SCHEMA => Ok(diff_comms(baseline, current)),
         other => Err(format!("unsupported benchmark schema `{other}`")),
     }
 }
@@ -396,13 +464,36 @@ mod tests {
         .into()
     }
 
+    fn comms_doc() -> String {
+        r#"{
+          "schema": "qcd-bench-comms/v1",
+          "lattice": [4, 4, 8, 16],
+          "vl_bits": 256,
+          "backend": "fcmla",
+          "threads": 4,
+          "nrhs": 8,
+          "iterations": 6,
+          "legs": [
+            {"ranks": 1, "rank_grid": [1, 1, 1, 1], "wall_ns": 2.0e9,
+             "sites_per_sec": 49152.0, "wire_bytes_measured": 0,
+             "wire_bytes_modeled": 0, "wait_ns": 0, "flight_ns": 0,
+             "overlap_eff": 1.0, "interior_osites": 768, "boundary_osites": 256},
+            {"ranks": 2, "rank_grid": [1, 1, 1, 2], "wall_ns": 1.2e9,
+             "sites_per_sec": 81920.0, "wire_bytes_measured": 2260992,
+             "wire_bytes_modeled": 2260992, "wait_ns": 31000, "flight_ns": 11200000,
+             "overlap_eff": 0.997, "interior_osites": 256, "boundary_osites": 256}
+          ]
+        }"#
+        .into()
+    }
+
     fn parse(doc: &str) -> Json {
         Json::parse(doc).expect("fixture parses")
     }
 
     #[test]
     fn self_compare_is_clean_for_all_schemas() {
-        for doc in [solver_doc(), hmc_doc(), farm_doc()] {
+        for doc in [solver_doc(), hmc_doc(), farm_doc(), comms_doc()] {
             let j = parse(&doc);
             let report = diff_docs(&j, &j).expect("same schema");
             assert!(report.passed(), "failures: {:?}", report.failures);
@@ -509,6 +600,61 @@ mod tests {
         let reshaped = parse(&farm_doc().replace("\"workers\": 2,", "\"workers\": 4,"));
         let report = diff_docs(&base, &reshaped).unwrap();
         assert!(report.failures.iter().any(|f| f.contains("rows differ")));
+    }
+
+    #[test]
+    fn comms_wire_byte_drift_is_a_hard_failure() {
+        let base = parse(&comms_doc());
+        let cur = parse(&comms_doc().replace(
+            "\"wire_bytes_modeled\": 2260992",
+            "\"wire_bytes_modeled\": 2261000",
+        ));
+        let report = diff_docs(&base, &cur).unwrap();
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("legs R=2") && f.contains("wire_bytes_modeled")));
+        let cur = parse(&comms_doc().replace(
+            "\"boundary_osites\": 256}\n          ]",
+            "\"boundary_osites\": 512}\n          ]",
+        ));
+        let report = diff_docs(&base, &cur).unwrap();
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("boundary_osites")));
+    }
+
+    #[test]
+    fn comms_wait_and_overlap_drift_warn_only() {
+        let base = parse(&comms_doc());
+        let cur = parse(
+            &comms_doc()
+                .replace("\"wait_ns\": 31000", "\"wait_ns\": 4600000")
+                .replace("\"overlap_eff\": 0.997", "\"overlap_eff\": 0.59"),
+        );
+        let report = diff_docs(&base, &cur).unwrap();
+        assert!(report.passed(), "failures: {:?}", report.failures);
+        assert!(
+            report.warnings.iter().any(|w| w.contains("wait_ns"))
+                && report.warnings.iter().any(|w| w.contains("overlap_eff")),
+            "warnings: {:?}",
+            report.warnings
+        );
+    }
+
+    #[test]
+    fn comms_rank_set_mismatch_is_a_hard_failure() {
+        let base = parse(&comms_doc());
+        let cur = parse(&comms_doc().replace("\"ranks\": 2", "\"ranks\": 4"));
+        let report = diff_docs(&base, &cur).unwrap();
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("rank counts differ")));
+        let regrid = parse(&comms_doc().replace("[1, 1, 1, 2]", "[1, 1, 2, 1]"));
+        let report = diff_docs(&base, &regrid).unwrap();
+        assert!(report.failures.iter().any(|f| f.contains("rank_grid")));
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! `wilson_report` and `table_inst_counts` binaries, including their
 //! `--json` export in the `qcd-trace/v1` schema.
 
+pub mod comms_bench;
 pub mod diff;
 pub mod hmc_bench;
 pub mod profile;

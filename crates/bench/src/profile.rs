@@ -231,12 +231,21 @@ pub struct ReportArgs {
     /// every registered metric, the flight-recorder ring, and (for `--hmc`)
     /// the per-trajectory sampler series — after the run.
     pub metrics: Option<String>,
+    /// `--bench-comms <path>`: run the multi-rank strong-scaling sweep,
+    /// enforce the wire-byte model and overlap-efficiency gates, and write
+    /// the `qcd-bench-comms/v1` document to the path.
+    pub bench_comms: Option<String>,
+    /// `--comms-rhs <n>`: right-hand sides in the distributed block solve.
+    pub comms_rhs: usize,
+    /// `--comms-iters <n>`: fixed CG iterations per RHS in the sweep.
+    pub comms_iters: usize,
 }
 
 /// Parse the `wilson_report` command line: `[--json <path>]
 /// [--checkpoint <path>] [--resume <path>] [--ckpt-every <n>]
 /// [--bench <path>] [--bench-l <n>] [--bench-iters <n>] [--rhs <n>]
 /// [--hmc <path>] [--hmc-l <n>] [--hmc-traj <n>] [--hmc-therm <n>]
+/// [--bench-comms <path>] [--comms-rhs <n>] [--comms-iters <n>]
 /// [--metrics <path>]`.
 pub fn parse_report_args(args: &[String]) -> Result<ReportArgs, String> {
     let mut out = ReportArgs {
@@ -246,6 +255,8 @@ pub fn parse_report_args(args: &[String]) -> Result<ReportArgs, String> {
         hmc_l: 8,
         hmc_traj: 20,
         hmc_therm: 10,
+        comms_rhs: 8,
+        comms_iters: 6,
         ..ReportArgs::default()
     };
     fn path_value(it: &mut std::slice::Iter<'_, String>, arg: &str) -> Result<String, String> {
@@ -272,6 +283,7 @@ pub fn parse_report_args(args: &[String]) -> Result<ReportArgs, String> {
             "--resume" => out.resume = Some(path_value(&mut it, arg)?),
             "--bench" => out.bench = Some(path_value(&mut it, arg)?),
             "--hmc" => out.hmc = Some(path_value(&mut it, arg)?),
+            "--bench-comms" => out.bench_comms = Some(path_value(&mut it, arg)?),
             "--metrics" => out.metrics = Some(path_value(&mut it, arg)?),
             "--ckpt-every" => out.every = count_value(&mut it, arg)?,
             "--bench-l" => out.bench_l = count_value(&mut it, arg)?,
@@ -280,9 +292,11 @@ pub fn parse_report_args(args: &[String]) -> Result<ReportArgs, String> {
             "--hmc-l" => out.hmc_l = count_value(&mut it, arg)?,
             "--hmc-traj" => out.hmc_traj = count_value(&mut it, arg)?,
             "--hmc-therm" => out.hmc_therm = count_value(&mut it, arg)?,
+            "--comms-rhs" => out.comms_rhs = count_value(&mut it, arg)?,
+            "--comms-iters" => out.comms_iters = count_value(&mut it, arg)?,
             other => {
                 return Err(format!(
-                    "unrecognised argument `{other}` (expected --json/--checkpoint/--resume/--bench/--hmc/--metrics <path>, --ckpt-every/--bench-l/--bench-iters/--rhs/--hmc-l/--hmc-traj/--hmc-therm <n>)"
+                    "unrecognised argument `{other}` (expected --json/--checkpoint/--resume/--bench/--hmc/--bench-comms/--metrics <path>, --ckpt-every/--bench-l/--bench-iters/--rhs/--hmc-l/--hmc-traj/--hmc-therm/--comms-rhs/--comms-iters <n>)"
                 ))
             }
         }

@@ -117,6 +117,27 @@ pub fn decompress_f16(bits: &[u16]) -> Vec<f64> {
     bits.iter().map(|&b| F16::from_bits(b).to_f64()).collect()
 }
 
+/// [`compress_f16`] into a reusable buffer: `out` is cleared and refilled,
+/// so a buffer whose capacity already covers `data.len()` is compressed
+/// without touching the allocator — the halo-exchange steady state.
+pub fn compress_f16_into(data: &[f64], out: &mut Vec<u16>) {
+    out.clear();
+    out.extend(data.iter().map(|&x| F16::from_f64(x).to_bits()));
+}
+
+/// [`decompress_f16`] into a caller-owned slice (exact, allocation-free).
+/// Panics if the lengths differ — wire messages carry a fixed face shape.
+pub fn decompress_f16_into(bits: &[u16], out: &mut [f64]) {
+    assert_eq!(
+        bits.len(),
+        out.len(),
+        "f16 stream length does not match the output buffer"
+    );
+    for (o, &b) in out.iter_mut().zip(bits) {
+        *o = F16::from_bits(b).to_f64();
+    }
+}
+
 /// Drop the third row of each 3×3 link in a flat row-major re/im scalar
 /// stream (18 scalars per link → 12). For SU(3) links the third row is
 /// redundant — it is the conjugate cross product of the first two — so this

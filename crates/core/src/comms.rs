@@ -2,24 +2,57 @@
 //!
 //! "For the coarsest level a set of sub-lattices is distributed over (a very
 //! large number of) different processes, e.g., different MPI ranks" (paper,
-//! Section II-A). Here ranks are threads: the global lattice is split along
-//! the time direction, each rank owns a local [`Grid`], and nearest-
-//! neighbour halo exchange runs over channels. Boundary data can optionally
-//! be compressed to binary16 on the wire — the paper's only use of fp16:
-//! "this data type is used only for data compression upon data exchange
-//! over the communications network" (Section V-B).
+//! Section II-A). Here ranks are threads: the global lattice is split over
+//! an explicit [`RankTopology`] (1 to 4 split dimensions), each rank owns a
+//! local [`Grid`], and nearest-neighbour halo exchange runs over *bounded*
+//! channels so a slow rank exerts backpressure instead of growing queues
+//! without bound. Boundary data can optionally be compressed to binary16 on
+//! the wire — the paper's only use of fp16: "this data type is used only for
+//! data compression upon data exchange over the communications network"
+//! (Section V-B).
+//!
+//! Two exchange styles coexist:
+//!
+//! * the blocking [`RankCtx::exchange_dim`] (send both faces, wait for
+//!   both), which the `cshift`-composed operators below use, and
+//! * the split [`RankCtx::post_face_send`] / [`RankCtx::wait_face_into`]
+//!   pair, which lets a caller post its face sends, overlap interior
+//!   compute while the halos are in flight, and only then block on the
+//!   faces it needs — the comms/compute overlap the distributed operator
+//!   ([`DistWilson`](crate::dist::DistWilson)) is built on. Message flight
+//!   time is simulated by a [`NetworkModel`], so the *exposed* wait time
+//!   (`comms.wait`) can be compared against the total flight time to
+//!   measure how much communication the interior sweep actually hid.
+//!
+//! Halo payloads travel as [`HaloMsg`] buffers that are recycled through a
+//! per-rank shell pool ([`HaloMsg::encode_into_shell`] /
+//! [`HaloMsg::decode_into`]), so the steady state of a distributed solve
+//! performs no allocation in the comms layer.
 
 use crate::cshift::cshift;
 use crate::dirac::{mult_gauge, proj_recon};
 use crate::field::{FermionField, Field, FieldKind, GaugeField};
 use crate::layout::{Coor, Grid, NDIM};
 use crate::simd::SimdBackend;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::topology::RankTopology;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use std::cell::{Cell, RefCell};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 use sve::VectorLength;
 
-/// The dimension the rank grid splits (time).
+/// The dimension the legacy 1-D rank grid splits (time).
 pub const SPLIT_DIM: usize = 3;
+
+/// Capacity of every halo channel: at most this many face messages may be
+/// in flight per (dimension, direction, rank pair) before the sender
+/// blocks. Two is the lockstep maximum — a rank can run at most one dslash
+/// ahead of its neighbour, so one face from the previous sweep plus one
+/// from the current sweep may be queued.
+pub const FACES_IN_FLIGHT: usize = 2;
+
+/// Shells kept per rank for reuse; beyond this, returned buffers are freed.
+const SHELL_POOL_CAP: usize = 16;
 
 /// Wire format for halo buffers.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -57,9 +90,35 @@ impl HaloMsg {
     /// is the shared [`codec`](crate::codec) path, so wire halos and
     /// `qcd-io` on-disk records compress identically.
     pub fn encode(data: &[f64], compression: Compression) -> HaloMsg {
+        HaloMsg::encode_into_shell(data, compression, None)
+    }
+
+    /// Encode reusing a spent message's buffer when its variant matches the
+    /// requested compression — in the steady state of a halo loop no
+    /// allocation happens here, the shell's capacity is simply refilled.
+    pub fn encode_into_shell(
+        data: &[f64],
+        compression: Compression,
+        shell: Option<HaloMsg>,
+    ) -> HaloMsg {
         match compression {
-            Compression::None => HaloMsg::F64(data.to_vec()),
-            Compression::F16 => HaloMsg::F16(crate::codec::compress_f16(data)),
+            Compression::None => {
+                let mut v = match shell {
+                    Some(HaloMsg::F64(v)) => v,
+                    _ => Vec::with_capacity(data.len()),
+                };
+                v.clear();
+                v.extend_from_slice(data);
+                HaloMsg::F64(v)
+            }
+            Compression::F16 => {
+                let mut v = match shell {
+                    Some(HaloMsg::F16(v)) => v,
+                    _ => Vec::with_capacity(data.len()),
+                };
+                crate::codec::compress_f16_into(data, &mut v);
+                HaloMsg::F16(v)
+            }
         }
     }
 
@@ -68,6 +127,31 @@ impl HaloMsg {
         match self {
             HaloMsg::F64(v) => v.clone(),
             HaloMsg::F16(v) => crate::codec::decompress_f16(v),
+        }
+    }
+
+    /// Decode into a caller-owned buffer without allocating. Panics if the
+    /// buffer length does not match the message's scalar count — halo faces
+    /// have a fixed shape, so a mismatch is a protocol error.
+    pub fn decode_into(&self, out: &mut [f64]) {
+        match self {
+            HaloMsg::F64(v) => {
+                assert_eq!(
+                    v.len(),
+                    out.len(),
+                    "halo payload does not fit the face buffer"
+                );
+                out.copy_from_slice(v);
+            }
+            HaloMsg::F16(v) => crate::codec::decompress_f16_into(v, out),
+        }
+    }
+
+    /// Scalars carried by this message.
+    pub fn scalars(&self) -> usize {
+        match self {
+            HaloMsg::F64(v) => v.len(),
+            HaloMsg::F16(v) => v.len(),
         }
     }
 
@@ -80,12 +164,70 @@ impl HaloMsg {
     }
 }
 
+/// A latency/bandwidth model for the simulated interconnect. Each posted
+/// face is stamped with a modeled flight time; the receiver's
+/// [`RankCtx::wait_face_msg`] refuses to hand the message over before the
+/// flight completes, so a rank that does *not* overlap compute with its
+/// halos pays the full flight time as exposed `comms.wait`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetworkModel {
+    latency_ns: u64,
+    gbytes_per_s: f64,
+}
+
+impl NetworkModel {
+    /// Zero-latency, infinite-bandwidth wire: messages are ready the moment
+    /// they are sent. The default for correctness tests.
+    pub fn instant() -> NetworkModel {
+        NetworkModel {
+            latency_ns: 0,
+            gbytes_per_s: f64::INFINITY,
+        }
+    }
+
+    /// A generic modern interconnect: 1.5 µs per-message latency and
+    /// 12.5 GB/s per-link bandwidth (≈100 Gb/s class fabric).
+    pub fn interconnect() -> NetworkModel {
+        NetworkModel {
+            latency_ns: 1_500,
+            gbytes_per_s: 12.5,
+        }
+    }
+
+    /// An explicit latency/bandwidth point.
+    pub fn custom(latency_ns: u64, gbytes_per_s: f64) -> NetworkModel {
+        assert!(gbytes_per_s > 0.0, "bandwidth must be positive");
+        NetworkModel {
+            latency_ns,
+            gbytes_per_s,
+        }
+    }
+
+    /// Modeled flight time of one message: latency plus transfer time
+    /// (1 GB/s is exactly 1 byte/ns, so `bytes / gbytes_per_s` is ns).
+    pub fn flight_ns(&self, wire_bytes: usize) -> u64 {
+        self.latency_ns + (wire_bytes as f64 / self.gbytes_per_s) as u64
+    }
+}
+
+/// One in-flight face: the payload plus when the modeled network delivers
+/// it.
+struct FaceMsg {
+    msg: HaloMsg,
+    ready_at: Instant,
+    flight_ns: u64,
+}
+
+/// One hop of the rank-order allgather ring: the originating rank's id
+/// plus its slab.
+type RingSlab = (usize, Vec<f64>);
+
 /// Channel endpoints to the two neighbours along one split dimension.
 struct DimLinks {
-    send_next: Sender<HaloMsg>,
-    recv_prev: Receiver<HaloMsg>,
-    send_prev: Sender<HaloMsg>,
-    recv_next: Receiver<HaloMsg>,
+    send_next: Sender<FaceMsg>,
+    recv_prev: Receiver<FaceMsg>,
+    send_prev: Sender<FaceMsg>,
+    recv_next: Receiver<FaceMsg>,
 }
 
 /// Per-rank communication context: the local lattice, its placement in the
@@ -108,8 +250,27 @@ pub struct RankCtx {
     /// Global coordinate of the local origin.
     pub offset: Coor,
     links: [Option<DimLinks>; NDIM],
-    /// Total bytes this rank has put on the wire.
-    pub sent_bytes: std::cell::Cell<usize>,
+    /// Total bytes this rank has put on the wire in *face* messages (halo
+    /// payloads; allreduce traffic is counted in `reduce_bytes`).
+    pub sent_bytes: Cell<usize>,
+    topology: RankTopology,
+    net: NetworkModel,
+    /// When true (the default), every face send/recv opens a
+    /// `comms.send`/`comms.recv`/`comms.wait` span and logs a flight-
+    /// recorder event. The distributed hot path turns this off to keep its
+    /// steady state allocation-free; the counters and the `comms.wait`
+    /// histogram below always update regardless.
+    detail: Cell<bool>,
+    wait_hist: qcd_metrics::Histogram,
+    wait_ns: Cell<u64>,
+    flight_ns: Cell<u64>,
+    /// When this rank last posted a face send: the start of its overlap
+    /// window. Exposed wait is measured against this local stamp so the
+    /// metric stays meaningful when rank threads timeshare cores.
+    last_post: Cell<Instant>,
+    reduce_bytes: Cell<usize>,
+    shells: RefCell<Vec<HaloMsg>>,
+    ring: Option<(Sender<RingSlab>, Receiver<RingSlab>)>,
 }
 
 impl RankCtx {
@@ -118,9 +279,205 @@ impl RankCtx {
         std::array::from_fn(|d| local[d] + self.offset[d])
     }
 
+    /// The rank topology this context lives in.
+    pub fn topology(&self) -> RankTopology {
+        self.topology
+    }
+
+    /// The interconnect model stamping flight times on this rank's sends.
+    pub fn net(&self) -> NetworkModel {
+        self.net
+    }
+
+    /// Whether per-face spans and flight-recorder events are emitted.
+    pub fn detail_spans(&self) -> bool {
+        self.detail.get()
+    }
+
+    /// Enable/disable per-face spans and flight events (see `detail`).
+    pub fn set_detail_spans(&self, on: bool) {
+        self.detail.set(on);
+    }
+
+    /// Nanoseconds of modeled flight time this rank failed to hide behind
+    /// its own compute (exposed, non-overlapped communication time). Each
+    /// received face contributes `flight − (time since this rank last
+    /// posted a send)`, floored at zero: the overlap window opens when the
+    /// rank posts its own faces, and whatever portion of the modeled
+    /// flight outlives that window is exposed. Measuring against the
+    /// rank's *local* post stamp (rather than real blocked wall time)
+    /// keeps the metric meaningful when rank threads timeshare cores and
+    /// channel waits are dominated by scheduler skew.
+    pub fn wait_ns(&self) -> u64 {
+        self.wait_ns.get()
+    }
+
+    /// Total modeled flight nanoseconds of every face this rank received
+    /// (what the comms would cost with zero overlap).
+    pub fn flight_ns(&self) -> u64 {
+        self.flight_ns.get()
+    }
+
+    /// Bytes this rank contributed to allreduce/allgather traffic (kept
+    /// separate from `sent_bytes` so face bytes stay pinned to the halo
+    /// wire model).
+    pub fn reduce_bytes(&self) -> usize {
+        self.reduce_bytes.get()
+    }
+
+    /// Reset `sent_bytes`, `reduce_bytes` and the wait/flight clocks.
+    pub fn reset_comm_counters(&self) {
+        self.sent_bytes.set(0);
+        self.reduce_bytes.set(0);
+        self.wait_ns.set(0);
+        self.flight_ns.set(0);
+    }
+
+    fn take_shell(&self) -> Option<HaloMsg> {
+        self.shells.borrow_mut().pop()
+    }
+
+    fn recycle_shell(&self, msg: HaloMsg) {
+        let mut pool = self.shells.borrow_mut();
+        if pool.len() < SHELL_POOL_CAP {
+            pool.push(msg);
+        }
+    }
+
+    fn dim_links(&self, d: usize) -> &DimLinks {
+        self.links[d]
+            .as_ref()
+            .expect("dimension is not split across ranks")
+    }
+
+    /// Post one face send along split dimension `d` without waiting for
+    /// anything: the payload is encoded into a recycled shell, stamped with
+    /// the modeled flight time, and queued toward the `+d` neighbour
+    /// (`toward_next`) or the `−d` neighbour. Returns immediately — the
+    /// caller overlaps interior compute and later collects the matching
+    /// face with [`wait_face_into`](RankCtx::wait_face_into).
+    pub fn post_face_send(
+        &self,
+        d: usize,
+        toward_next: bool,
+        data: &[f64],
+        compression: Compression,
+    ) {
+        let links = self.dim_links(d);
+        let msg = HaloMsg::encode_into_shell(data, compression, self.take_shell());
+        let bytes = msg.wire_bytes();
+        let flight = self.net.flight_ns(bytes);
+        let detail = self.detail.get();
+        {
+            let _span = detail.then(|| qcd_trace::span!("comms.send"));
+            qcd_trace::record_wire_bytes(bytes as u64);
+        }
+        if detail && qcd_metrics::flight_enabled() {
+            qcd_metrics::record_event(
+                "comms",
+                if toward_next {
+                    "send.next"
+                } else {
+                    "send.prev"
+                },
+                &[
+                    ("dim", d as f64),
+                    ("bytes", bytes as f64),
+                    ("flight_ns", flight as f64),
+                ],
+            );
+        }
+        self.sent_bytes.set(self.sent_bytes.get() + bytes);
+        let now = Instant::now();
+        self.last_post.set(now);
+        let face = FaceMsg {
+            msg,
+            ready_at: now + Duration::from_nanos(flight),
+            flight_ns: flight,
+        };
+        let tx = if toward_next {
+            &links.send_next
+        } else {
+            &links.send_prev
+        };
+        assert!(tx.send(face).is_ok(), "neighbour hung up");
+    }
+
+    /// Block until the face from the `+d` (`from_next`) or `−d` neighbour
+    /// lands, honouring the modeled flight time. The *exposed* wait it
+    /// records is `flight − (time since this rank last posted a send)`,
+    /// floored at zero — the portion of the modeled flight the rank's own
+    /// compute since [`post_face_send`](RankCtx::post_face_send) did not
+    /// hide. It accumulates in [`wait_ns`](RankCtx::wait_ns) and the
+    /// `comms.wait` histogram, while the face's full modeled flight time
+    /// accumulates in [`flight_ns`](RankCtx::flight_ns) — their ratio is
+    /// the overlap efficiency. The exposure is measured against the local
+    /// post stamp rather than real blocked wall time so it survives rank
+    /// threads timesharing cores, where channel waits reflect scheduler
+    /// skew instead of the modeled fabric.
+    pub fn wait_face_msg(&self, d: usize, from_next: bool) -> HaloMsg {
+        let links = self.dim_links(d);
+        let rx = if from_next {
+            &links.recv_next
+        } else {
+            &links.recv_prev
+        };
+        let detail = self.detail.get();
+        let start = Instant::now();
+        let face = {
+            let _span = detail.then(|| qcd_trace::span!("comms.wait"));
+            let face = match rx.try_recv() {
+                Ok(face) => face,
+                Err(_) => rx.recv().expect("neighbour hung up"),
+            };
+            while Instant::now() < face.ready_at {
+                std::hint::spin_loop();
+            }
+            face
+        };
+        // `duration_since` saturates to zero if the post stamp is newer.
+        let hidden = start.duration_since(self.last_post.get()).as_nanos() as u64;
+        let waited = face.flight_ns.saturating_sub(hidden);
+        self.wait_ns.set(self.wait_ns.get() + waited);
+        self.flight_ns.set(self.flight_ns.get() + face.flight_ns);
+        self.wait_hist.record(waited);
+        if detail {
+            let _span = qcd_trace::span!("comms.recv");
+            qcd_trace::record_wire_bytes(face.msg.wire_bytes() as u64);
+            if qcd_metrics::flight_enabled() {
+                qcd_metrics::record_event(
+                    "comms",
+                    if from_next { "recv.next" } else { "recv.prev" },
+                    &[
+                        ("dim", d as f64),
+                        ("bytes", face.msg.wire_bytes() as f64),
+                        ("wait_ns", waited as f64),
+                    ],
+                );
+            }
+        }
+        face.msg
+    }
+
+    /// [`wait_face_msg`](RankCtx::wait_face_msg), decoded into a reusable
+    /// face buffer; the message shell goes back to the pool. The whole path
+    /// is allocation-free in the steady state.
+    pub fn wait_face_into(&self, d: usize, from_next: bool, out: &mut [f64]) {
+        let msg = self.wait_face_msg(d, from_next);
+        msg.decode_into(out);
+        self.recycle_shell(msg);
+    }
+
     /// Exchange halo slices with both neighbours along split dimension `d`
     /// (periodic ring): sends `to_next` toward the +d neighbour and
     /// `to_prev` toward the −d neighbour; returns `(from_prev, from_next)`.
+    ///
+    /// This is the blocking composition of [`post_face_send`] and
+    /// [`wait_face_msg`]: no compute is overlapped, so the full modeled
+    /// flight time shows up as exposed wait.
+    ///
+    /// [`post_face_send`]: RankCtx::post_face_send
+    /// [`wait_face_msg`]: RankCtx::wait_face_msg
     pub fn exchange_dim(
         &self,
         d: usize,
@@ -129,19 +486,15 @@ impl RankCtx {
         compression: Compression,
     ) -> (Vec<f64>, Vec<f64>) {
         let _span = qcd_trace::span!("comms.exchange");
-        let links = self.links[d]
-            .as_ref()
-            .expect("dimension is not split across ranks");
-        let up = HaloMsg::encode(to_next, compression);
-        let down = HaloMsg::encode(to_prev, compression);
-        qcd_trace::record_wire_bytes((up.wire_bytes() + down.wire_bytes()) as u64);
-        self.sent_bytes
-            .set(self.sent_bytes.get() + up.wire_bytes() + down.wire_bytes());
-        links.send_next.send(up).expect("neighbour hung up");
-        links.send_prev.send(down).expect("neighbour hung up");
-        let from_prev = links.recv_prev.recv().expect("neighbour hung up");
-        let from_next = links.recv_next.recv().expect("neighbour hung up");
-        (from_prev.decode(), from_next.decode())
+        self.post_face_send(d, true, to_next, compression);
+        self.post_face_send(d, false, to_prev, compression);
+        let prev_msg = self.wait_face_msg(d, false);
+        let next_msg = self.wait_face_msg(d, true);
+        let from_prev = prev_msg.decode();
+        let from_next = next_msg.decode();
+        self.recycle_shell(prev_msg);
+        self.recycle_shell(next_msg);
+        (from_prev, from_next)
     }
 
     /// Legacy single-dimension exchange along the default split (time).
@@ -153,56 +506,84 @@ impl RankCtx {
     ) -> (Vec<f64>, Vec<f64>) {
         self.exchange_dim(SPLIT_DIM, to_next, to_prev, compression)
     }
+
+    /// Ring allgather: `visit` sees every rank's slab exactly once (own
+    /// slab first, then the others as they circulate the ring, R−1 hops).
+    /// The returned buffer is a same-length slab the caller reuses for the
+    /// next allgather, making the steady state allocation-free. Traffic is
+    /// counted in [`reduce_bytes`](RankCtx::reduce_bytes), not
+    /// `sent_bytes`. With one rank this degenerates to a single `visit`.
+    pub fn ring_allgather(&self, slab: Vec<f64>, mut visit: impl FnMut(usize, &[f64])) -> Vec<f64> {
+        visit(self.rank, &slab);
+        let Some((tx, rx)) = self.ring.as_ref() else {
+            return slab;
+        };
+        let _span = self
+            .detail
+            .get()
+            .then(|| qcd_trace::span!("comms.allgather"));
+        self.reduce_bytes
+            .set(self.reduce_bytes.get() + slab.len() * 8);
+        tx.send((self.rank, slab)).expect("ring neighbour hung up");
+        let mut keep = None;
+        for hop in 1..self.nranks {
+            let (src, s) = rx.recv().expect("ring neighbour hung up");
+            visit(src, &s);
+            if hop + 1 < self.nranks {
+                self.reduce_bytes.set(self.reduce_bytes.get() + s.len() * 8);
+                tx.send((src, s)).expect("ring neighbour hung up");
+            } else {
+                keep = Some(s);
+            }
+        }
+        keep.expect("ring allgather ran zero hops")
+    }
 }
 
-/// Run `f` on a full rank grid (threads), splitting `global_dims` by
-/// `rank_grid` (entry `d` = ranks along dimension `d`). Returns per-rank
-/// results in linear rank order.
-pub fn run_multinode_grid<T: Send>(
+/// Run `f` on every rank of an explicit [`RankTopology`] (threads),
+/// splitting `global_dims` per the topology's rank grid and stamping every
+/// face message with `net`'s modeled flight time. Returns per-rank results
+/// in linear rank order.
+pub fn run_multinode_topo<T: Send>(
     global_dims: Coor,
-    rank_grid: Coor,
+    topo: RankTopology,
     vl: VectorLength,
     backend: SimdBackend,
+    net: NetworkModel,
     f: impl Fn(&RankCtx) -> T + Sync,
 ) -> Vec<T> {
     let _span = qcd_trace::span!("comms.run_multinode");
-    let nranks: usize = rank_grid.iter().product();
-    assert!(nranks >= 1);
-    let mut local_dims = [0; NDIM];
-    for d in 0..NDIM {
-        assert!(
-            global_dims[d].is_multiple_of(rank_grid[d]),
-            "dimension {d} must divide evenly over its ranks"
-        );
-        local_dims[d] = global_dims[d] / rank_grid[d];
-    }
+    let rank_grid = topo.rank_grid();
+    let nranks = topo.nranks();
+    let local_dims = topo.local_dims(&global_dims);
 
     // One forward and one backward channel per (dimension, rank): the
     // forward channel at (d, r) carries r -> next_d(r), so rank r receives
-    // "from prev" on the forward channel of prev_d(r).
-    let prev_of = |r: usize, d: usize| {
-        let mut c = crate::layout::delex(r, &rank_grid);
-        c[d] = (c[d] + rank_grid[d] - 1) % rank_grid[d];
-        crate::layout::lex(&c, &rank_grid)
+    // "from prev" on the forward channel of prev_d(r). All channels are
+    // bounded to FACES_IN_FLIGHT — a rank that runs ahead blocks on send.
+    let mk = |n: usize| -> Vec<(Sender<FaceMsg>, Receiver<FaceMsg>)> {
+        (0..n).map(|_| bounded(FACES_IN_FLIGHT)).collect()
     };
-    let mk = |n: usize| -> Vec<(Sender<HaloMsg>, Receiver<HaloMsg>)> {
-        (0..n).map(|_| unbounded()).collect()
-    };
-    let fwd: [Vec<(Sender<HaloMsg>, Receiver<HaloMsg>)>; NDIM] =
+    let fwd: [Vec<(Sender<FaceMsg>, Receiver<FaceMsg>)>; NDIM] =
         std::array::from_fn(|_| mk(nranks));
-    let bwd: [Vec<(Sender<HaloMsg>, Receiver<HaloMsg>)>; NDIM] =
+    let bwd: [Vec<(Sender<FaceMsg>, Receiver<FaceMsg>)>; NDIM] =
         std::array::from_fn(|_| mk(nranks));
+    // A rank-order ring for allgathers: channel r carries r -> (r+1) % R.
+    let ring: Vec<_> = (0..nranks)
+        .map(|_| bounded::<RingSlab>(FACES_IN_FLIGHT))
+        .collect();
 
     let mut ctxs: Vec<RankCtx> = (0..nranks)
         .map(|r| {
-            let rank_coor = crate::layout::delex(r, &rank_grid);
-            let offset: Coor = std::array::from_fn(|d| rank_coor[d] * local_dims[d]);
+            let rank_coor = topo.rank_coor(r);
+            let offset = topo.offset(r, &global_dims);
             let links: [Option<DimLinks>; NDIM] = std::array::from_fn(|d| {
                 if rank_grid[d] > 1 {
+                    let prev = topo.neighbour(r, d, false);
                     Some(DimLinks {
                         send_next: fwd[d][r].0.clone(),
-                        recv_prev: fwd[d][prev_of(r, d)].1.clone(),
-                        send_prev: bwd[d][prev_of(r, d)].0.clone(),
+                        recv_prev: fwd[d][prev].1.clone(),
+                        send_prev: bwd[d][prev].0.clone(),
                         recv_next: bwd[d][r].1.clone(),
                     })
                 } else {
@@ -218,7 +599,18 @@ pub fn run_multinode_grid<T: Send>(
                 grid: Grid::new(local_dims, vl, backend),
                 offset,
                 links,
-                sent_bytes: std::cell::Cell::new(0),
+                sent_bytes: Cell::new(0),
+                topology: topo,
+                net,
+                detail: Cell::new(true),
+                wait_hist: qcd_metrics::histogram("comms.wait"),
+                wait_ns: Cell::new(0),
+                flight_ns: Cell::new(0),
+                last_post: Cell::new(Instant::now()),
+                reduce_bytes: Cell::new(0),
+                shells: RefCell::new(Vec::with_capacity(SHELL_POOL_CAP)),
+                ring: (nranks > 1)
+                    .then(|| (ring[r].0.clone(), ring[(r + nranks - 1) % nranks].1.clone())),
             }
         })
         .collect();
@@ -233,6 +625,26 @@ pub fn run_multinode_grid<T: Send>(
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     })
+}
+
+/// Run `f` on a full rank grid (threads), splitting `global_dims` by
+/// `rank_grid` (entry `d` = ranks along dimension `d`) over an instant
+/// network. Returns per-rank results in linear rank order.
+pub fn run_multinode_grid<T: Send>(
+    global_dims: Coor,
+    rank_grid: Coor,
+    vl: VectorLength,
+    backend: SimdBackend,
+    f: impl Fn(&RankCtx) -> T + Sync,
+) -> Vec<T> {
+    run_multinode_topo(
+        global_dims,
+        RankTopology::new(rank_grid),
+        vl,
+        backend,
+        NetworkModel::instant(),
+        f,
+    )
 }
 
 /// Run `f` on `nranks` ranks, splitting `global_dims` along the time
@@ -365,7 +777,7 @@ pub fn cshift_dist_gauge(
 }
 
 /// Distributed Wilson hopping term via the cshift composition, with halo
-/// exchange (optionally fp16-compressed) on the time-direction legs.
+/// exchange (optionally fp16-compressed) on the split-direction legs.
 pub fn hopping_dist(
     ctx: &RankCtx,
     u: &GaugeField,
@@ -476,6 +888,45 @@ mod tests {
         let f16 = HaloMsg::encode(&data, Compression::F16);
         assert_eq!(f16.decode(), data); // all values exact in binary16
         assert_eq!(f16.wire_bytes(), 8);
+    }
+
+    #[test]
+    fn decode_into_matches_decode_without_allocating_a_fresh_vec() {
+        let data = vec![1.5, -2.25, 0.0, 1024.0, -0.375];
+        for comp in [Compression::None, Compression::F16] {
+            let msg = HaloMsg::encode(&data, comp);
+            let mut out = vec![f64::NAN; data.len()];
+            msg.decode_into(&mut out);
+            assert_eq!(out, msg.decode(), "{comp:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn decode_into_rejects_a_mis_sized_face_buffer() {
+        let msg = HaloMsg::encode(&[1.0, 2.0], Compression::None);
+        let mut out = [0.0; 3];
+        msg.decode_into(&mut out);
+    }
+
+    #[test]
+    fn encode_into_shell_reuses_the_spent_buffer() {
+        let data = vec![0.5; 64];
+        let msg = HaloMsg::encode_into_shell(&data, Compression::None, None);
+        let HaloMsg::F64(v) = &msg else {
+            panic!("uncompressed encode must yield F64")
+        };
+        let ptr = v.as_ptr();
+        // Re-encoding through the spent shell must reuse its allocation.
+        let msg2 = HaloMsg::encode_into_shell(&data, Compression::None, Some(msg));
+        let HaloMsg::F64(v2) = &msg2 else {
+            panic!("uncompressed encode must yield F64")
+        };
+        assert_eq!(v2.as_ptr(), ptr, "shell buffer was not reused");
+        // A variant mismatch falls back to a fresh buffer of the right kind.
+        let msg3 = HaloMsg::encode_into_shell(&data, Compression::F16, Some(msg2));
+        assert!(matches!(msg3, HaloMsg::F16(_)));
+        assert_eq!(msg3.scalars(), data.len());
     }
 
     #[test]
@@ -748,6 +1199,91 @@ mod tests {
             })
             .collect();
         assert_eq!(volumes[0], 4 * volumes[1]);
+    }
+
+    #[test]
+    fn blocking_exchange_exposes_the_modeled_flight_time_as_wait() {
+        // 50 µs latency, 1 GB/s: a blocking cshift exchange overlaps
+        // nothing, so every received face's flight time must show up as
+        // exposed wait.
+        let stats = run_multinode_topo(
+            GLOBAL,
+            RankTopology::one_dim(2),
+            VL,
+            SimdBackend::Fcmla,
+            NetworkModel::custom(50_000, 1.0),
+            |ctx| {
+                ctx.reset_comm_counters();
+                let face = vec![1.0; 24];
+                let _ = ctx.exchange(&face, &face, Compression::None);
+                (ctx.wait_ns(), ctx.flight_ns())
+            },
+        );
+        for (rank, (wait, flight)) in stats.iter().enumerate() {
+            assert!(*flight >= 2 * 50_000, "rank {rank}: flight {flight}");
+            // Exposure is measured against the rank's own post stamp, so
+            // only the (sub-latency) encode time between posting and
+            // waiting can shave anything off; half is a generous floor.
+            assert!(
+                *wait >= 25_000,
+                "rank {rank}: blocking exchange must expose the latency, waited {wait} ns"
+            );
+        }
+    }
+
+    #[test]
+    fn ring_allgather_delivers_every_ranks_slab_exactly_once() {
+        let nranks = 4;
+        let seen = run_multinode(GLOBAL, nranks, VL, SimdBackend::Fcmla, |ctx| {
+            let slab = vec![ctx.rank as f64; 3];
+            let mut seen = vec![0u32; ctx.nranks];
+            let ret = ctx.ring_allgather(slab, |src, s| {
+                assert_eq!(s.len(), 3);
+                assert!(s.iter().all(|&x| x == src as f64), "slab mislabelled");
+                seen[src] += 1;
+            });
+            // The returned buffer is slab-shaped, ready for reuse.
+            assert_eq!(ret.len(), 3);
+            assert!(ctx.reduce_bytes() > 0);
+            assert_eq!(
+                ctx.sent_bytes.get(),
+                0,
+                "allgather must not count as face bytes"
+            );
+            seen
+        });
+        for (rank, counts) in seen.iter().enumerate() {
+            assert!(
+                counts.iter().all(|&c| c == 1),
+                "rank {rank} visits {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn split_send_wait_pair_matches_the_blocking_exchange() {
+        // post_face_send + wait_face_into must move exactly the same
+        // payloads as exchange_dim, through reusable face buffers.
+        let nranks = 2;
+        let face = GLOBAL[0] * GLOBAL[1] * GLOBAL[2];
+        let results = run_multinode(GLOBAL, nranks, VL, SimdBackend::Fcmla, |ctx| {
+            let mine: Vec<f64> = (0..face).map(|i| (ctx.rank * face + i) as f64).collect();
+            let mut from_prev = vec![0.0; face];
+            let mut from_next = vec![0.0; face];
+            for _round in 0..3 {
+                ctx.post_face_send(SPLIT_DIM, true, &mine, Compression::None);
+                ctx.post_face_send(SPLIT_DIM, false, &mine, Compression::None);
+                ctx.wait_face_into(SPLIT_DIM, false, &mut from_prev);
+                ctx.wait_face_into(SPLIT_DIM, true, &mut from_next);
+            }
+            (ctx.rank, from_prev, from_next)
+        });
+        for (rank, from_prev, from_next) in &results {
+            let other = (rank + 1) % nranks;
+            assert_eq!(from_prev[0], (other * face) as f64);
+            assert_eq!(from_next[0], (other * face) as f64);
+            assert_eq!(from_prev[face - 1], (other * face + face - 1) as f64);
+        }
     }
 }
 

@@ -57,7 +57,7 @@ pub const FUSED_DOT_FLOPS_PER_SITE: u64 = 96;
 
 /// Apply a projector coefficient to a SIMD word.
 #[inline]
-fn apply_coeff<E: SveFloat>(eng: &SimdEngine<E>, coeff: Coeff, v: CVec) -> CVec {
+pub(crate) fn apply_coeff<E: SveFloat>(eng: &SimdEngine<E>, coeff: Coeff, v: CVec) -> CVec {
     match coeff {
         Coeff::One => v,
         Coeff::MinusOne => eng.neg(v),
@@ -340,8 +340,14 @@ impl<E: SveFloat> WilsonDirac<E> {
         }
     }
 
+    /// The neighbour stencil (shared with the distributed operator, which
+    /// reuses the same legs and lane permutations for its interior sweep).
+    pub(crate) fn stencil(&self) -> &Stencil<E> {
+        &self.stencil
+    }
+
     /// All eight legs of the hopping term for one outer site.
-    fn site_hopping(
+    pub(crate) fn site_hopping(
         &self,
         psi: &Field<FermionKind, E>,
         osite: usize,
@@ -406,7 +412,7 @@ impl<E: SveFloat> WilsonDirac<E> {
     /// Load `U_µ` at this outer site (forward legs). In two-row mode only
     /// rows 0 and 1 are read; the third is reconstructed in registers.
     #[inline]
-    fn load_link_local(&self, osite: usize, mu: usize) -> [[CVec; NCOLOR]; NCOLOR] {
+    pub(crate) fn load_link_local(&self, osite: usize, mu: usize) -> [[CVec; NCOLOR]; NCOLOR] {
         let eng = self.grid.engine();
         if self.two_row {
             let rows: [[CVec; NCOLOR]; 2] = std::array::from_fn(|r| {
@@ -427,7 +433,7 @@ impl<E: SveFloat> WilsonDirac<E> {
     /// Load `U_µ` at the leg's neighbour site, lane-permuted like the
     /// spinor data (backward legs need `U_{x−µ̂,µ}`).
     #[inline]
-    fn load_link_leg(&self, entry: StencilEntry, mu: usize) -> [[CVec; NCOLOR]; NCOLOR] {
+    pub(crate) fn load_link_leg(&self, entry: StencilEntry, mu: usize) -> [[CVec; NCOLOR]; NCOLOR] {
         if self.two_row {
             let eng = self.grid.engine();
             let rows: [[CVec; NCOLOR]; 2] = std::array::from_fn(|r| {

@@ -1,0 +1,1195 @@
+//! Multi-rank domain decomposition with comms/compute overlap.
+//!
+//! [`DistWilson`] is the Wilson operator of [`crate::dirac`] run across the
+//! ranks of a [`RankTopology`]: each rank owns a sub-lattice, and hopping
+//! legs that cross a rank boundary read *halo* data received from the
+//! neighbour instead of wrapping around the local periodic stencil. The
+//! sweep is split so communication hides under compute:
+//!
+//! 1. **Post** — pack the ±d boundary faces of the source fermion and queue
+//!    them to both neighbours along every split dimension
+//!    ([`RankCtx::post_face_send`], non-blocking).
+//! 2. **Interior** — run the unmodified eight-leg site kernel over every
+//!    outer site whose legs stay on-rank, while the faces are in flight.
+//! 3. **Collect** — block on each face as it lands
+//!    ([`RankCtx::wait_face_into`]); only time not already covered by the
+//!    interior sweep shows up as exposed wait.
+//! 4. **Boundary** — finish the outer sites that touch a halo, patching the
+//!    crossing SIMD lanes of each fetched word with face data (and ghost
+//!    links on backward legs) before the spin projection runs.
+//!
+//! Because the patch replaces exactly the lanes whose stencil fetch wrapped
+//! around the local lattice — after the fetch's lane permutation, before
+//! any arithmetic — every engine operation sees the same per-lane values
+//! the single-rank global operator would, and the distributed dslash is
+//! **bit-identical** to it at any rank count (with uncompressed wire).
+//!
+//! Gauge links only move once: at construction each rank sends its
+//! `x_d = L−1` link slice `U_d` toward `+d` and keeps the slice received
+//! from `−d` as *ghost links* for its backward boundary legs, reusing the
+//! two-row wire format (rows 0 and 1 on the wire, third row reconstructed
+//! in registers after patching).
+//!
+//! [`dist_cg`]/[`dist_block_cg`] thread the overlapped operator through the
+//! Hestenes–Stiefel recurrence with **canonical scalars**: every inner
+//! product and norm is assembled per site, allgathered into global lexical
+//! order ([`RankCtx::ring_allgather`]), and summed by the deterministic
+//! chunk tree of [`reduce`] over the *global* volume — so α and β (and
+//! therefore every iterate) are bitwise independent of the rank count, the
+//! vector length, and the worker thread count.
+//!
+//! [`RankTopology`]: crate::topology::RankTopology
+//! [`RankCtx::post_face_send`]: crate::comms::RankCtx::post_face_send
+//! [`RankCtx::wait_face_into`]: crate::comms::RankCtx::wait_face_into
+//! [`RankCtx::ring_allgather`]: crate::comms::RankCtx::ring_allgather
+
+use crate::codec::{LINK_SCALARS_FULL, LINK_SCALARS_TWO_ROW};
+use crate::comms::{Compression, GaugeWire, RankCtx};
+use crate::dirac::{
+    apply_coeff, WilsonDirac, FUSED_MASS_AXPY_FLOPS_PER_SITE, HOPPING_FLOPS_PER_SITE,
+    HOPPING_READS_PER_SITE, HOPPING_WRITES_PER_SITE,
+};
+use crate::field::{
+    cg_update_x_r, gauge_comp, spinor_comp, FermionBlock, FermionField, Field, FieldKind,
+    GaugeField,
+};
+use crate::layout::{lex, Coor, NCOLOR, NDIM, NSPIN};
+use crate::reduce;
+use crate::simd::{CVec, SimdEngine};
+use crate::solver::{conclude_health, SolveReport};
+use crate::stencil::{dir_index, StencilEntry};
+use crate::tensor::gamma::proj_table;
+use crate::tensor::su3::{mat_dag_vec, mat_vec, reconstruct_row2};
+use crate::topology::{fermion_face_bytes, link_ghost_bytes, FERMION_FACE_SCALARS};
+use qcd_metrics::HealthMonitor;
+use std::cell::Cell;
+use std::sync::Arc;
+
+/// Complex components per spinor.
+const NCOMP: usize = NSPIN * NCOLOR;
+
+/// Stack buffer large enough for one SIMD word at any modeled vector
+/// length (VL 2048 ⇒ 16 complex lanes ⇒ 32 f64 elements).
+const MAX_WORD: usize = 64;
+
+/// Everything precomputed for one split dimension: which `(outer site,
+/// lane)` pairs form the two faces, and — inverted — which lanes of which
+/// outer sites must be patched with halo data during the boundary pass.
+struct DimPlan {
+    /// The split dimension.
+    dim: usize,
+    /// Sites per face (`volume / L_dim`).
+    face_sites: usize,
+    /// My `x_d = 0` face in canonical (transverse-lex) order — sent toward
+    /// the `−d` neighbour.
+    send_prev: Vec<(u32, u16)>,
+    /// My `x_d = L−1` face — sent toward the `+d` neighbour.
+    send_next: Vec<(u32, u16)>,
+    /// `patch_fwd[osite]` = the `(lane, face index)` pairs whose *forward*
+    /// leg along `dim` crosses the rank boundary (sites at `x_d = L−1`);
+    /// the halo value comes from the `+d` neighbour's `x_d = 0` face.
+    patch_fwd: Vec<Vec<(u16, u32)>>,
+    /// Same for the *backward* leg (sites at `x_d = 0`), patched from the
+    /// `−d` neighbour's `x_d = L−1` face and its ghost links.
+    patch_bwd: Vec<Vec<(u16, u32)>>,
+}
+
+/// The Wilson normal operator distributed over the ranks of a
+/// [`RankCtx`], with overlapped halo exchange (see the module docs).
+pub struct DistWilson<'a> {
+    ctx: &'a RankCtx,
+    op: WilsonDirac,
+    wire: GaugeWire,
+    compression: Compression,
+    plans: Vec<DimPlan>,
+    plan_of_dim: [Option<usize>; NDIM],
+    /// Outer sites with no off-rank neighbour: the overlap window.
+    interior: Vec<u32>,
+    /// Outer sites holding at least one lane on a rank boundary.
+    boundary: Vec<u32>,
+    /// Per-plan ghost links `U_d` from the `−d` neighbour's `x_d = L−1`
+    /// face, decoded once at construction.
+    ghosts: Vec<Vec<f64>>,
+    /// All local `(outer site, lane)` pairs in local coordinate order —
+    /// the slab layout of the canonical scalar reductions.
+    site_list: Vec<(u32, u16)>,
+    /// `scatter[rank][j]` = global lexical index of rank `rank`'s `j`-th
+    /// slab entry; every rank scatters every slab identically, so the
+    /// canonical sum runs over the same global array on all ranks.
+    scatter: Vec<Vec<u32>>,
+    dslash_count: Cell<u64>,
+}
+
+/// Reusable storage for the distributed operator and solver: the `M p`
+/// intermediate, the pre-sized face buffers, and the allgather slabs. Built
+/// once, reused every iteration — the distributed hot path allocates
+/// nothing in the steady state.
+pub struct DistWorkspace {
+    /// `M p` intermediate of the normal-equations application.
+    pub tmp: FermionField,
+    send_prev: Vec<Vec<f64>>,
+    send_next: Vec<Vec<f64>>,
+    halo_fwd: Vec<Vec<f64>>,
+    halo_bwd: Vec<Vec<f64>>,
+    slab: Vec<f64>,
+    global_scalars: Vec<f64>,
+}
+
+impl DistWorkspace {
+    /// Allocate every buffer the operator and solver will reuse.
+    pub fn new(dw: &DistWilson) -> Self {
+        let grid = dw.ctx.grid.clone();
+        let face = |p: &DimPlan| vec![0.0; p.face_sites * FERMION_FACE_SCALARS];
+        DistWorkspace {
+            tmp: Field::zero(grid.clone()),
+            send_prev: dw.plans.iter().map(face).collect(),
+            send_next: dw.plans.iter().map(face).collect(),
+            halo_fwd: dw.plans.iter().map(face).collect(),
+            halo_bwd: dw.plans.iter().map(face).collect(),
+            slab: vec![0.0; grid.volume()],
+            global_scalars: vec![0.0; dw.ctx.global_dims.iter().product()],
+        }
+    }
+}
+
+impl<'a> DistWilson<'a> {
+    /// Build the distributed operator on `ctx` from the *rank-local* gauge
+    /// field (see [`restrict_field`]), exchanging ghost links with both
+    /// neighbours along every split dimension. `wire` selects the gauge
+    /// wire format *and* the in-memory link mode (two-row wire ⇒ two-row
+    /// operator, so the third row is reconstructed after halo patching);
+    /// `compression` applies binary16 to every face payload.
+    pub fn new(
+        ctx: &'a RankCtx,
+        u: GaugeField,
+        mass: f64,
+        wire: GaugeWire,
+        compression: Compression,
+    ) -> Self {
+        assert!(
+            Arc::ptr_eq(u.grid(), &ctx.grid),
+            "gauge field must live on the rank-local grid"
+        );
+        let op = match wire {
+            GaugeWire::TwoRow => WilsonDirac::new_two_row(u, mass),
+            GaugeWire::Full => WilsonDirac::new(u, mass),
+        };
+        let grid = ctx.grid.clone();
+        let fdims = grid.fdims();
+        let mut plans = Vec::new();
+        let mut plan_of_dim = [None; NDIM];
+        for d in 0..NDIM {
+            if ctx.rank_grid[d] <= 1 {
+                continue;
+            }
+            let l = fdims[d];
+            assert!(
+                l >= 2,
+                "split dimension {d} leaves fewer than 2 local sites"
+            );
+            let st = op.stencil();
+            let f0 = st.face_sites(d, 0);
+            let f1 = st.face_sites(d, l - 1);
+            let mut patch_fwd = vec![Vec::new(); grid.osites()];
+            let mut patch_bwd = vec![Vec::new(); grid.osites()];
+            for (i, &(o, lane)) in f1.iter().enumerate() {
+                patch_fwd[o].push((lane as u16, i as u32));
+            }
+            for (i, &(o, lane)) in f0.iter().enumerate() {
+                patch_bwd[o].push((lane as u16, i as u32));
+            }
+            plan_of_dim[d] = Some(plans.len());
+            plans.push(DimPlan {
+                dim: d,
+                face_sites: f1.len(),
+                send_prev: f0.iter().map(|&(o, l)| (o as u32, l as u16)).collect(),
+                send_next: f1.iter().map(|&(o, l)| (o as u32, l as u16)).collect(),
+                patch_fwd,
+                patch_bwd,
+            });
+        }
+        let mut interior = Vec::new();
+        let mut boundary = Vec::new();
+        for o in 0..grid.osites() {
+            if plans
+                .iter()
+                .any(|p| op.stencil().osite_touches_face(o, p.dim))
+            {
+                boundary.push(o as u32);
+            } else {
+                interior.push(o as u32);
+            }
+        }
+        let site_list: Vec<(u32, u16)> = grid
+            .coords()
+            .map(|x| {
+                let (o, l) = grid.coor_to_osite_lane(&x);
+                (o as u32, l as u16)
+            })
+            .collect();
+        let topo = ctx.topology();
+        let scatter: Vec<Vec<u32>> = (0..ctx.nranks)
+            .map(|r| {
+                let off = topo.offset(r, &ctx.global_dims);
+                grid.coords()
+                    .map(|x| {
+                        let g: Coor = std::array::from_fn(|d| x[d] + off[d]);
+                        lex(&g, &ctx.global_dims) as u32
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut dw = DistWilson {
+            ctx,
+            op,
+            wire,
+            compression,
+            plans,
+            plan_of_dim,
+            interior,
+            boundary,
+            ghosts: Vec::new(),
+            site_list,
+            scatter,
+            dslash_count: Cell::new(0),
+        };
+        dw.exchange_ghost_links();
+        dw
+    }
+
+    /// The rank-local single-process operator this wraps.
+    pub fn op(&self) -> &WilsonDirac {
+        &self.op
+    }
+
+    /// The communication context.
+    pub fn ctx(&self) -> &RankCtx {
+        self.ctx
+    }
+
+    /// Outer sites with no off-rank neighbour (the overlap window) and
+    /// outer sites touching a halo, as counts.
+    pub fn interior_boundary_sites(&self) -> (usize, usize) {
+        (self.interior.len(), self.boundary.len())
+    }
+
+    /// Overlapped dslash sweeps performed so far (each normal-operator
+    /// application counts two).
+    pub fn dslash_count(&self) -> u64 {
+        self.dslash_count.get()
+    }
+
+    /// Reset the sweep counter (pairs with
+    /// [`RankCtx::reset_comm_counters`] when starting a measured region).
+    ///
+    /// [`RankCtx::reset_comm_counters`]: crate::comms::RankCtx::reset_comm_counters
+    pub fn reset_dslash_count(&self) {
+        self.dslash_count.set(0);
+    }
+
+    /// Fermion face bytes one overlapped sweep puts on the wire (both
+    /// directions of every split dimension), per the pinned wire model.
+    pub fn face_bytes_per_sweep(&self) -> usize {
+        self.plans
+            .iter()
+            .map(|p| 2 * fermion_face_bytes(p.face_sites, self.compression))
+            .sum()
+    }
+
+    /// Ghost-link bytes the construction-time exchange put on the wire.
+    pub fn ghost_bytes(&self) -> usize {
+        self.plans
+            .iter()
+            .map(|p| link_ghost_bytes(p.face_sites, self.wire, self.compression))
+            .sum()
+    }
+
+    /// Model-predicted total face bytes: the one-time ghost exchange plus
+    /// [`face_bytes_per_sweep`](Self::face_bytes_per_sweep) per sweep.
+    /// Equals [`RankCtx::sent_bytes`] exactly — the proptest in
+    /// `tests/dist_wire_model.rs` pins this.
+    ///
+    /// [`RankCtx::sent_bytes`]: crate::comms::RankCtx::sent_bytes
+    pub fn modeled_wire_bytes(&self) -> usize {
+        self.ghost_bytes() + self.dslash_count.get() as usize * self.face_bytes_per_sweep()
+    }
+
+    fn link_scalars(&self) -> usize {
+        if self.op.two_row() {
+            LINK_SCALARS_TWO_ROW
+        } else {
+            LINK_SCALARS_FULL
+        }
+    }
+
+    /// Send my `x_d = L−1` link slice toward `+d` and keep the slice
+    /// arriving from `−d`: the ghost links backward boundary legs multiply
+    /// by. One face per split dimension, once per operator lifetime.
+    fn exchange_ghost_links(&mut self) {
+        let gs = self.link_scalars();
+        let nrows = if self.op.two_row() { 2 } else { 3 };
+        let u = self.op.gauge();
+        for plan in &self.plans {
+            let mut buf = vec![0.0; plan.face_sites * gs];
+            for (j, &(o, lane)) in plan.send_next.iter().enumerate() {
+                let (o, li) = (o as usize, 2 * lane as usize);
+                for r in 0..nrows {
+                    for c in 0..NCOLOR {
+                        let w = u.word(o, gauge_comp(plan.dim, r, c));
+                        let base = j * gs + (r * NCOLOR + c) * 2;
+                        buf[base] = w[li];
+                        buf[base + 1] = w[li + 1];
+                    }
+                }
+            }
+            let mut ghost = vec![0.0; plan.face_sites * gs];
+            self.ctx
+                .post_face_send(plan.dim, true, &buf, self.compression);
+            self.ctx.wait_face_into(plan.dim, false, &mut ghost);
+            self.ghosts.push(ghost);
+        }
+    }
+
+    /// Overwrite the crossing lanes of a fetched word with halo scalars:
+    /// `halo` is laid out `stride` scalars per face site, the patched
+    /// complex number at scalar offset `offset` within the site.
+    fn patch_word(
+        &self,
+        v: CVec,
+        patches: &[(u16, u32)],
+        halo: &[f64],
+        stride: usize,
+        offset: usize,
+    ) -> CVec {
+        let eng = self.ctx.grid.engine();
+        let word = eng.word_len();
+        let mut buf = [0.0f64; MAX_WORD];
+        eng.store(&mut buf[..word], v);
+        for &(lane, fidx) in patches {
+            let base = fidx as usize * stride + offset;
+            buf[2 * lane as usize] = halo[base];
+            buf[2 * lane as usize + 1] = halo[base + 1];
+        }
+        eng.load(&buf[..word])
+    }
+
+    /// `U_d` at the backward leg's neighbour with crossing lanes patched
+    /// from ghost links. In two-row mode the patch lands on rows 0 and 1
+    /// and the third row is reconstructed *afterwards*, exactly as the
+    /// global operator reconstructs from the true neighbour rows.
+    fn load_link_bwd_patched(
+        &self,
+        entry: StencilEntry,
+        mu: usize,
+        patches: &[(u16, u32)],
+        ghost: &[f64],
+    ) -> [[CVec; NCOLOR]; NCOLOR] {
+        let eng = self.ctx.grid.engine();
+        let st = self.op.stencil();
+        let gs = self.link_scalars();
+        let u = self.op.gauge();
+        let fetch_row = |r: usize, c: usize| {
+            let v = st.fetch(u, gauge_comp(mu, r, c), entry);
+            self.patch_word(v, patches, ghost, gs, (r * NCOLOR + c) * 2)
+        };
+        if self.op.two_row() {
+            let rows: [[CVec; NCOLOR]; 2] =
+                std::array::from_fn(|r| std::array::from_fn(|c| fetch_row(r, c)));
+            [rows[0], rows[1], reconstruct_row2(eng, &rows[0], &rows[1])]
+        } else {
+            std::array::from_fn(|r| std::array::from_fn(|c| fetch_row(r, c)))
+        }
+    }
+
+    /// The eight-leg site kernel of [`WilsonDirac::site_hopping`] with halo
+    /// patching on the legs that cross a rank boundary. The op sequence is
+    /// identical; only the *values* of the crossing lanes differ (they
+    /// become the true neighbour-rank values), so interior lanes are
+    /// untouched bit for bit.
+    fn site_hopping_patched(
+        &self,
+        psi: &FermionField,
+        osite: usize,
+        dagger: bool,
+        halo_fwd: &[Vec<f64>],
+        halo_bwd: &[Vec<f64>],
+    ) -> [[CVec; NCOLOR]; NSPIN] {
+        let eng = self.ctx.grid.engine();
+        let st = self.op.stencil();
+        let mut out = [[eng.zero(); NCOLOR]; NSPIN];
+        for mu in 0..4 {
+            for forward in [true, false] {
+                let plus = forward ^ dagger;
+                let dir = dir_index(mu, forward);
+                let entry = st.leg(dir, osite);
+                let t = proj_table(mu, plus);
+                let (patches, halo, ghost): (&[(u16, u32)], &[f64], &[f64]) =
+                    match self.plan_of_dim[mu] {
+                        Some(i) if forward => (&self.plans[i].patch_fwd[osite], &halo_fwd[i], &[]),
+                        Some(i) => (
+                            &self.plans[i].patch_bwd[osite],
+                            &halo_bwd[i],
+                            &self.ghosts[i],
+                        ),
+                        None => (&[], &[], &[]),
+                    };
+                let fetch = |comp: usize| -> CVec {
+                    let v = st.fetch(psi, comp, entry);
+                    if patches.is_empty() {
+                        v
+                    } else {
+                        self.patch_word(v, patches, halo, FERMION_FACE_SCALARS, 2 * comp)
+                    }
+                };
+
+                let mut h = [[eng.zero(); NCOLOR]; 2];
+                for (k, row) in h.iter_mut().enumerate() {
+                    let (src, coeff) = t.proj[k];
+                    for (c, out_w) in row.iter_mut().enumerate() {
+                        let sk = fetch(spinor_comp(k, c));
+                        let ss = fetch(spinor_comp(src, c));
+                        *out_w = eng.add(sk, apply_coeff(eng, coeff, ss));
+                    }
+                }
+
+                let uh: [[CVec; NCOLOR]; 2] = if forward {
+                    let uw = self.op.load_link_local(osite, mu);
+                    [mat_vec(eng, &uw, &h[0]), mat_vec(eng, &uw, &h[1])]
+                } else {
+                    let uw = if patches.is_empty() {
+                        self.op.load_link_leg(entry, mu)
+                    } else {
+                        self.load_link_bwd_patched(entry, mu, patches, ghost)
+                    };
+                    [mat_dag_vec(eng, &uw, &h[0]), mat_dag_vec(eng, &uw, &h[1])]
+                };
+
+                for c in 0..NCOLOR {
+                    out[0][c] = eng.add(out[0][c], uh[0][c]);
+                    out[1][c] = eng.add(out[1][c], uh[1][c]);
+                    for k in 0..2 {
+                        let (row, coeff) = t.recon[k];
+                        out[2 + k][c] = eng.add(out[2 + k][c], apply_coeff(eng, coeff, uh[row][c]));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// One overlapped hopping sweep: post faces, interior pass, collect
+    /// halos, boundary pass. `mass_axpy = Some(m+4)` fuses the Wilson mass
+    /// term into the store exactly like the single-process fused sweep.
+    #[allow(clippy::too_many_arguments)]
+    fn dslash_overlapped(
+        &self,
+        psi: &FermionField,
+        out: &mut FermionField,
+        dagger: bool,
+        mass_axpy: Option<f64>,
+        send_prev: &mut [Vec<f64>],
+        send_next: &mut [Vec<f64>],
+        halo_fwd: &mut [Vec<f64>],
+        halo_bwd: &mut [Vec<f64>],
+    ) {
+        let grid = &self.ctx.grid;
+        assert!(
+            Arc::ptr_eq(psi.grid(), grid),
+            "fermion field lives on a different grid"
+        );
+        assert!(
+            Arc::ptr_eq(out.grid(), grid),
+            "output field lives on a different grid"
+        );
+        let eng = grid.engine();
+        let _span = self.ctx.detail_spans().then(|| {
+            qcd_trace::span!(
+                if dagger { "dist.hop_dag" } else { "dist.hop" },
+                grid.engine().ctx()
+            )
+        });
+        let sites = grid.volume() as u64;
+        let mut flops = HOPPING_FLOPS_PER_SITE;
+        let mut reads = HOPPING_READS_PER_SITE - 8 * 18 + 8 * self.link_scalars() as u64;
+        if mass_axpy.is_some() {
+            flops += FUSED_MASS_AXPY_FLOPS_PER_SITE;
+            reads += HOPPING_WRITES_PER_SITE;
+        }
+        qcd_trace::record_sites(sites);
+        qcd_trace::record_flops(sites * flops);
+        qcd_trace::record_bytes(sites * reads * 8, sites * HOPPING_WRITES_PER_SITE * 8);
+
+        // 1. Post both faces of every split dimension; the network carries
+        // them while the interior pass runs.
+        for (i, plan) in self.plans.iter().enumerate() {
+            pack_face(psi, &plan.send_prev, &mut send_prev[i]);
+            self.ctx
+                .post_face_send(plan.dim, false, &send_prev[i], self.compression);
+            pack_face(psi, &plan.send_next, &mut send_next[i]);
+            self.ctx
+                .post_face_send(plan.dim, true, &send_next[i], self.compression);
+        }
+
+        let mass_dup = mass_axpy.map(|m| eng.dup_real(m));
+        let neg_half = eng.dup_real(-0.5);
+
+        // 2. Interior pass — no leg leaves the rank, the plain kernel runs.
+        for &o in &self.interior {
+            let o = o as usize;
+            let acc = self.op.site_hopping(psi, o, dagger);
+            store_site(eng, psi, out, o, &acc, mass_dup, neg_half);
+        }
+
+        // 3. Collect the halos (exposed wait is whatever the interior pass
+        // did not hide).
+        for (i, plan) in self.plans.iter().enumerate() {
+            self.ctx.wait_face_into(plan.dim, false, &mut halo_bwd[i]);
+            self.ctx.wait_face_into(plan.dim, true, &mut halo_fwd[i]);
+        }
+
+        // 4. Boundary pass — same kernel with crossing lanes patched.
+        for &o in &self.boundary {
+            let o = o as usize;
+            let acc = self.site_hopping_patched(psi, o, dagger, halo_fwd, halo_bwd);
+            store_site(eng, psi, out, o, &acc, mass_dup, neg_half);
+        }
+        self.dslash_count.set(self.dslash_count.get() + 1);
+    }
+
+    /// `out = Dh ψ` (distributed hopping term, no mass).
+    pub fn hopping_into(&self, psi: &FermionField, ws: &mut DistWorkspace, out: &mut FermionField) {
+        let DistWorkspace {
+            send_prev,
+            send_next,
+            halo_fwd,
+            halo_bwd,
+            ..
+        } = ws;
+        self.dslash_overlapped(
+            psi, out, false, None, send_prev, send_next, halo_fwd, halo_bwd,
+        );
+    }
+
+    /// `out = M ψ = (m+4)ψ − ½ Dh ψ`, mass fused into the store.
+    pub fn apply_into(&self, psi: &FermionField, ws: &mut DistWorkspace, out: &mut FermionField) {
+        let m = self.op.mass + 4.0;
+        let DistWorkspace {
+            send_prev,
+            send_next,
+            halo_fwd,
+            halo_bwd,
+            ..
+        } = ws;
+        self.dslash_overlapped(
+            psi,
+            out,
+            false,
+            Some(m),
+            send_prev,
+            send_next,
+            halo_fwd,
+            halo_bwd,
+        );
+    }
+
+    /// `out = M† ψ`.
+    pub fn apply_dag_into(
+        &self,
+        psi: &FermionField,
+        ws: &mut DistWorkspace,
+        out: &mut FermionField,
+    ) {
+        let m = self.op.mass + 4.0;
+        let DistWorkspace {
+            send_prev,
+            send_next,
+            halo_fwd,
+            halo_bwd,
+            ..
+        } = ws;
+        self.dslash_overlapped(
+            psi,
+            out,
+            true,
+            Some(m),
+            send_prev,
+            send_next,
+            halo_fwd,
+            halo_bwd,
+        );
+    }
+
+    /// `out = M†M ψ` — two overlapped sweeps through `ws.tmp`.
+    pub fn mdag_m_into(&self, psi: &FermionField, ws: &mut DistWorkspace, out: &mut FermionField) {
+        let m = self.op.mass + 4.0;
+        let DistWorkspace {
+            tmp,
+            send_prev,
+            send_next,
+            halo_fwd,
+            halo_bwd,
+            ..
+        } = ws;
+        self.dslash_overlapped(
+            psi,
+            tmp,
+            false,
+            Some(m),
+            send_prev,
+            send_next,
+            halo_fwd,
+            halo_bwd,
+        );
+        self.dslash_overlapped(
+            tmp,
+            out,
+            true,
+            Some(m),
+            send_prev,
+            send_next,
+            halo_fwd,
+            halo_bwd,
+        );
+    }
+
+    // ---- Canonical (rank-count-invariant) scalar reductions ---------------
+
+    /// Scatter this rank's slab (and every other rank's, as they circulate
+    /// the ring) into global lexical order, then sum with the deterministic
+    /// chunk tree over the *global* volume. Identical on every rank, at
+    /// every rank count, vector length, and thread count.
+    fn gather_and_sum(&self, ws: &mut DistWorkspace) -> f64 {
+        let slab = std::mem::take(&mut ws.slab);
+        let global = &mut ws.global_scalars;
+        let scatter = &self.scatter;
+        ws.slab = self.ctx.ring_allgather(slab, |src, s| {
+            for (j, &g) in scatter[src].iter().enumerate() {
+                global[g as usize] = s[j];
+            }
+        });
+        canonical_sum(&ws.global_scalars)
+    }
+
+    /// Globally canonical `|f|²`.
+    pub fn canon_norm2(&self, f: &FermionField, ws: &mut DistWorkspace) -> f64 {
+        for (j, &(o, lane)) in self.site_list.iter().enumerate() {
+            let (o, li) = (o as usize, 2 * lane as usize);
+            let mut s = 0.0;
+            for comp in 0..NCOMP {
+                let w = f.word(o, comp);
+                s += w[li] * w[li] + w[li + 1] * w[li + 1];
+            }
+            ws.slab[j] = s;
+        }
+        self.gather_and_sum(ws)
+    }
+
+    /// Globally canonical `Re ⟨a, b⟩`.
+    pub fn canon_inner_re(
+        &self,
+        a: &FermionField,
+        b: &FermionField,
+        ws: &mut DistWorkspace,
+    ) -> f64 {
+        for (j, &(o, lane)) in self.site_list.iter().enumerate() {
+            let (o, li) = (o as usize, 2 * lane as usize);
+            let mut s = 0.0;
+            for comp in 0..NCOMP {
+                let wa = a.word(o, comp);
+                let wb = b.word(o, comp);
+                s += wa[li] * wb[li] + wa[li + 1] * wb[li + 1];
+            }
+            ws.slab[j] = s;
+        }
+        self.gather_and_sum(ws)
+    }
+}
+
+/// Deterministic chunk-tree sum over a global scalar array: the same
+/// binary-split grouping as [`reduce::combine_tree`], leaves of
+/// [`reduce::CHUNK_SITES`] summed left to right.
+fn canonical_sum(vals: &[f64]) -> f64 {
+    let n = reduce::n_chunks(vals.len(), reduce::CHUNK_SITES);
+    let mut leaf = |ci: usize| {
+        let lo = ci * reduce::CHUNK_SITES;
+        let hi = (lo + reduce::CHUNK_SITES).min(vals.len());
+        vals[lo..hi].iter().sum::<f64>()
+    };
+    reduce::reduce_serial(n, &mut leaf, &|a, b| a + b)
+}
+
+/// Serialize the listed `(outer site, lane)` pairs of a fermion field into
+/// a face buffer, [`FERMION_FACE_SCALARS`] per site.
+fn pack_face(psi: &FermionField, list: &[(u32, u16)], buf: &mut [f64]) {
+    for (j, &(o, lane)) in list.iter().enumerate() {
+        let (o, li) = (o as usize, 2 * lane as usize);
+        for comp in 0..NCOMP {
+            let w = psi.word(o, comp);
+            let base = j * FERMION_FACE_SCALARS + 2 * comp;
+            buf[base] = w[li];
+            buf[base + 1] = w[li + 1];
+        }
+    }
+}
+
+/// The fused store of the hopping sweep: optional mass axpy (the exact op
+/// sequence of the single-process fused path), then one store per
+/// component word.
+fn store_site(
+    eng: &SimdEngine<f64>,
+    psi: &FermionField,
+    out: &mut FermionField,
+    osite: usize,
+    acc: &[[CVec; NCOLOR]; NSPIN],
+    mass_dup: Option<CVec>,
+    neg_half: CVec,
+) {
+    for s in 0..NSPIN {
+        for c in 0..NCOLOR {
+            let comp = spinor_comp(s, c);
+            let mut r = acc[s][c];
+            if let Some(m_dup) = mass_dup {
+                let hs = eng.scale(neg_half, r);
+                let pv = eng.load(psi.word(osite, comp));
+                r = eng.axpy_word(m_dup, pv, hs);
+            }
+            eng.store(out.word_mut(osite, comp), r);
+        }
+    }
+}
+
+/// Restrict a globally-seeded field to the rank-local lattice, site by
+/// site: each rank builds the same global field and keeps its own block.
+pub fn restrict_field<K: FieldKind>(ctx: &RankCtx, global: &Field<K>) -> Field<K> {
+    let mut out = Field::<K>::zero(ctx.grid.clone());
+    for local in ctx.grid.coords() {
+        let g = ctx.to_global(&local);
+        for comp in 0..K::NCOMP {
+            out.poke(&local, comp, global.peek(&g, comp));
+        }
+    }
+    out
+}
+
+/// Distributed Conjugate Gradient on `M†M x = b` through a caller-provided
+/// workspace. The operator applications overlap comms with interior
+/// compute; every recurrence scalar is globally canonical, so for a fixed
+/// global lattice the solution and residual history are **bit-identical at
+/// any rank count** (uncompressed wire), and invariant under vector length
+/// and worker thread count.
+pub fn dist_cg_ws(
+    dw: &DistWilson,
+    b: &FermionField,
+    ws: &mut DistWorkspace,
+    tol: f64,
+    max_iter: usize,
+) -> (FermionField, SolveReport) {
+    let grid = b.grid().clone();
+    let span = qcd_trace::span!("solver.dist_cg", grid.engine().ctx());
+    let b_norm2 = dw.canon_norm2(b, ws);
+    assert!(b_norm2 > 0.0, "CG needs a nonzero right-hand side");
+    let mut x = FermionField::zero(grid.clone());
+    let mut r = b.clone();
+    let mut p = r.clone();
+    let mut ap = FermionField::zero(grid.clone());
+    let mut r2 = b_norm2;
+    let mut iterations = 0usize;
+    let mut history = Vec::with_capacity(max_iter + 2);
+    history.push((r2 / b_norm2).sqrt());
+    let mut monitor = HealthMonitor::new("solver.dist_cg");
+    monitor.replay(&history);
+
+    while iterations < max_iter && r2 > tol * tol * b_norm2 {
+        dw.mdag_m_into(&p, ws, &mut ap);
+        let p_ap = dw.canon_inner_re(&p, &ap, ws);
+        assert!(
+            p_ap > 0.0,
+            "search direction has non-positive curvature: operator not HPD?"
+        );
+        let alpha = r2 / p_ap;
+        // The fused sweep's local |r|² is discarded: the recurrence runs on
+        // the canonical norm below so scalars match at every rank count.
+        let _local_r2 = cg_update_x_r(&mut x, &mut r, alpha, &p, &ap);
+        let r2_new = dw.canon_norm2(&r, ws);
+        let beta = r2_new / r2;
+        p.aypx(beta, &r);
+        r2 = r2_new;
+        iterations += 1;
+        history.push((r2 / b_norm2).sqrt());
+        monitor.observe(*history.last().unwrap());
+    }
+
+    let converged = r2 <= tol * tol * b_norm2;
+    // True residual (canonical), reusing the spent search direction.
+    dw.mdag_m_into(&x, ws, &mut ap);
+    p.sub(b, &ap);
+    let residual = (dw.canon_norm2(&p, ws) / b_norm2).sqrt();
+    let (history, health) = conclude_health("solver.dist_cg", monitor, &history, iterations);
+    (
+        x,
+        SolveReport {
+            iterations,
+            residual,
+            converged,
+            history,
+            health,
+            telemetry: span.finish(),
+        },
+    )
+}
+
+/// [`dist_cg_ws`] with an internally allocated workspace.
+pub fn dist_cg(
+    dw: &DistWilson,
+    b: &FermionField,
+    tol: f64,
+    max_iter: usize,
+) -> (FermionField, SolveReport) {
+    let mut ws = DistWorkspace::new(dw);
+    dist_cg_ws(dw, b, &mut ws, tol, max_iter)
+}
+
+/// Distributed multi-RHS solve: each right-hand side runs an independent
+/// [`dist_cg_ws`] through one shared workspace. Unlike the single-process
+/// block solver there is no shared-Krylov coupling across the batch, so
+/// every RHS inherits the full per-RHS determinism guarantee: bit-identical
+/// at any rank count to the same RHS solved at `R = 1`.
+pub fn dist_block_cg(
+    dw: &DistWilson,
+    b: &FermionBlock,
+    tol: f64,
+    max_iter: usize,
+) -> (FermionBlock, Vec<SolveReport>) {
+    let grid = b.grid().clone();
+    let nrhs = b.nrhs();
+    let mut ws = DistWorkspace::new(dw);
+    let mut x = FermionBlock::zero(grid.clone(), nrhs);
+    let mut rhs = FermionField::zero(grid.clone());
+    let mut reports = Vec::with_capacity(nrhs);
+    for j in 0..nrhs {
+        for o in 0..grid.osites() {
+            for comp in 0..NCOMP {
+                rhs.word_mut(o, comp).copy_from_slice(b.word(o, j, comp));
+            }
+        }
+        let (xj, report) = dist_cg_ws(dw, &rhs, &mut ws, tol, max_iter);
+        for o in 0..grid.osites() {
+            for comp in 0..NCOMP {
+                x.word_mut(o, j, comp).copy_from_slice(xj.word(o, comp));
+            }
+        }
+        reports.push(report);
+    }
+    (x, reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comms::{run_multinode_grid, run_multinode_topo, NetworkModel};
+    use crate::layout::Grid;
+    use crate::simd::SimdBackend;
+    use crate::solver::cg;
+    use crate::tensor::su3::random_gauge;
+    use crate::topology::RankTopology;
+    use sve::VectorLength;
+
+    const GLOBAL: Coor = [4, 4, 4, 8];
+    const VL: VectorLength = VectorLength::of(256);
+
+    fn global_op(two_row: bool) -> (WilsonDirac, FermionField) {
+        let g = Grid::new(GLOBAL, VL, SimdBackend::Fcmla);
+        let u = random_gauge(g.clone(), 7);
+        let psi = FermionField::random(g.clone(), 11);
+        let d = if two_row {
+            WilsonDirac::new_two_row(u, 0.3)
+        } else {
+            WilsonDirac::new(u, 0.3)
+        };
+        (d, psi)
+    }
+
+    fn local_setup<'c>(ctx: &'c RankCtx, wire: GaugeWire) -> (DistWilson<'c>, FermionField) {
+        let g = Grid::new(GLOBAL, VL, SimdBackend::Fcmla);
+        let u = random_gauge(g.clone(), 7);
+        let psi = FermionField::random(g, 11);
+        let ul = restrict_field(ctx, &u);
+        let psil = restrict_field(ctx, &psi);
+        (DistWilson::new(ctx, ul, 0.3, wire, Compression::None), psil)
+    }
+
+    /// Per-site bit comparison of a rank-local field against the matching
+    /// block of a global reference field.
+    fn assert_matches_global(ctx: &RankCtx, local: &FermionField, global: &FermionField) {
+        for x in ctx.grid.coords() {
+            let g = ctx.to_global(&x);
+            for comp in 0..NCOMP {
+                let lv = local.peek(&x, comp);
+                let gv = global.peek(&g, comp);
+                assert_eq!(
+                    (lv.re.to_bits(), lv.im.to_bits()),
+                    (gv.re.to_bits(), gv.im.to_bits()),
+                    "site {g:?} comp {comp} rank {}",
+                    ctx.rank
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_hopping_matches_the_global_operator_bitwise() {
+        for rank_grid in [[1, 1, 1, 2], [1, 1, 2, 2], [1, 1, 1, 4], [2, 1, 1, 2]] {
+            for wire in [GaugeWire::Full, GaugeWire::TwoRow] {
+                for dagger in [false, true] {
+                    let (d, psi) = global_op(matches!(wire, GaugeWire::TwoRow));
+                    let reference = if dagger {
+                        d.hopping_dag(&psi)
+                    } else {
+                        d.hopping(&psi)
+                    };
+                    run_multinode_grid(GLOBAL, rank_grid, VL, SimdBackend::Fcmla, |ctx| {
+                        let (dw, psil) = local_setup(ctx, wire);
+                        let mut ws = DistWorkspace::new(&dw);
+                        let mut out = FermionField::zero(ctx.grid.clone());
+                        let DistWorkspace {
+                            send_prev,
+                            send_next,
+                            halo_fwd,
+                            halo_bwd,
+                            ..
+                        } = &mut ws;
+                        dw.dslash_overlapped(
+                            &psil, &mut out, dagger, None, send_prev, send_next, halo_fwd, halo_bwd,
+                        );
+                        assert_matches_global(ctx, &out, &reference);
+                    });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_normal_operator_matches_the_global_one_bitwise() {
+        let (d, psi) = global_op(true);
+        let reference = d.mdag_m(&psi);
+        run_multinode_grid(GLOBAL, [1, 1, 2, 2], VL, SimdBackend::Fcmla, |ctx| {
+            let (dw, psil) = local_setup(ctx, GaugeWire::TwoRow);
+            let mut ws = DistWorkspace::new(&dw);
+            let mut out = FermionField::zero(ctx.grid.clone());
+            dw.mdag_m_into(&psil, &mut ws, &mut out);
+            assert_matches_global(ctx, &out, &reference);
+        });
+    }
+
+    /// One rank count's outcome: sorted per-component solution bits plus
+    /// the residual-history bits.
+    type SolveBits = (Vec<(usize, u64, u64)>, Vec<u64>);
+
+    /// Gather one rank's solution into (global site, comp) → bit pairs.
+    fn solution_bits(ctx: &RankCtx, x: &FermionField) -> Vec<(usize, u64, u64)> {
+        let mut out = Vec::new();
+        for local in ctx.grid.coords() {
+            let g = ctx.to_global(&local);
+            let gidx = lex(&g, &ctx.global_dims);
+            for comp in 0..NCOMP {
+                let v = x.peek(&local, comp);
+                out.push((gidx * NCOMP + comp, v.re.to_bits(), v.im.to_bits()));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn distributed_solve_is_bit_identical_across_rank_counts() {
+        let mut runs: Vec<SolveBits> = Vec::new();
+        for nranks in [1usize, 2, 4] {
+            let mut rank_grid = [1; NDIM];
+            rank_grid[3] = nranks;
+            let mut per_rank =
+                run_multinode_grid(GLOBAL, rank_grid, VL, SimdBackend::Fcmla, |ctx| {
+                    let g = Grid::new(GLOBAL, VL, SimdBackend::Fcmla);
+                    let u = random_gauge(g.clone(), 7);
+                    let b = FermionField::random(g, 13);
+                    let ul = restrict_field(ctx, &u);
+                    let bl = restrict_field(ctx, &b);
+                    let dw = DistWilson::new(ctx, ul, 0.3, GaugeWire::TwoRow, Compression::None);
+                    let (x, report) = dist_cg(&dw, &bl, 1e-8, 60);
+                    assert!(report.converged, "R={nranks} failed to converge");
+                    assert!(report.residual < 1e-7);
+                    (
+                        solution_bits(ctx, &x),
+                        report
+                            .history
+                            .iter()
+                            .map(|h| h.to_bits())
+                            .collect::<Vec<_>>(),
+                    )
+                });
+            let mut bits: Vec<(usize, u64, u64)> = per_rank
+                .iter_mut()
+                .flat_map(|(b, _)| std::mem::take(b))
+                .collect();
+            bits.sort_unstable();
+            let history = per_rank.pop().unwrap().1;
+            for (_, h) in &per_rank {
+                assert_eq!(*h, history, "ranks disagree on the residual history");
+            }
+            runs.push((bits, history));
+        }
+        for run in &runs[1..] {
+            assert_eq!(run.0, runs[0].0, "solutions differ across rank counts");
+            assert_eq!(run.1, runs[0].1, "histories differ across rank counts");
+        }
+    }
+
+    #[test]
+    fn distributed_solve_agrees_with_the_single_process_solver() {
+        let g = Grid::new(GLOBAL, VL, SimdBackend::Fcmla);
+        let u = random_gauge(g.clone(), 7);
+        let b = FermionField::random(g.clone(), 13);
+        let d = WilsonDirac::new_two_row(u.clone(), 0.3);
+        let (x_ref, rep_ref) = cg(&d, &b, 1e-10, 120);
+        assert!(rep_ref.converged);
+        run_multinode_grid(GLOBAL, [1, 1, 1, 2], VL, SimdBackend::Fcmla, |ctx| {
+            let ul = restrict_field(ctx, &u);
+            let bl = restrict_field(ctx, &b);
+            let dw = DistWilson::new(ctx, ul, 0.3, GaugeWire::TwoRow, Compression::None);
+            let (x, report) = dist_cg(&dw, &bl, 1e-10, 120);
+            assert!(report.converged);
+            for local in ctx.grid.coords() {
+                let gc = ctx.to_global(&local);
+                for comp in 0..NCOMP {
+                    let a = x.peek(&local, comp);
+                    let r = x_ref.peek(&gc, comp);
+                    assert!(
+                        (a.re - r.re).abs() < 1e-6 && (a.im - r.im).abs() < 1e-6,
+                        "distributed and single-process solutions disagree at {gc:?}"
+                    );
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn distributed_block_solve_matches_per_rhs_dist_cg() {
+        run_multinode_grid(GLOBAL, [1, 1, 1, 2], VL, SimdBackend::Fcmla, |ctx| {
+            let g = Grid::new(GLOBAL, VL, SimdBackend::Fcmla);
+            let u = random_gauge(g, 7);
+            let ul = restrict_field(ctx, &u);
+            let dw = DistWilson::new(ctx, ul, 0.3, GaugeWire::TwoRow, Compression::None);
+            let nrhs = 3;
+            let mut b = FermionBlock::zero(ctx.grid.clone(), nrhs);
+            for j in 0..nrhs {
+                let g = Grid::new(GLOBAL, VL, SimdBackend::Fcmla);
+                let bj = restrict_field(ctx, &FermionField::random(g, 20 + j as u64));
+                for o in 0..ctx.grid.osites() {
+                    for comp in 0..NCOMP {
+                        b.word_mut(o, j, comp).copy_from_slice(bj.word(o, comp));
+                    }
+                }
+            }
+            let (x, reports) = dist_block_cg(&dw, &b, 1e-8, 60);
+            assert_eq!(reports.len(), nrhs);
+            for j in 0..nrhs {
+                assert!(reports[j].converged);
+                let g = Grid::new(GLOBAL, VL, SimdBackend::Fcmla);
+                let bj = restrict_field(ctx, &FermionField::random(g, 20 + j as u64));
+                let (xj, _) = dist_cg(&dw, &bj, 1e-8, 60);
+                for o in 0..ctx.grid.osites() {
+                    for comp in 0..NCOMP {
+                        assert_eq!(
+                            x.word(o, j, comp),
+                            xj.word(o, comp),
+                            "block RHS {j} differs from its standalone solve"
+                        );
+                    }
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn face_traffic_matches_the_pinned_wire_model() {
+        for (wire, compression) in [
+            (GaugeWire::Full, Compression::None),
+            (GaugeWire::TwoRow, Compression::None),
+            (GaugeWire::TwoRow, Compression::F16),
+        ] {
+            run_multinode_grid(GLOBAL, [1, 1, 1, 2], VL, SimdBackend::Fcmla, |ctx| {
+                let g = Grid::new(GLOBAL, VL, SimdBackend::Fcmla);
+                let u = random_gauge(g.clone(), 7);
+                let psi = FermionField::random(g, 11);
+                let ul = restrict_field(ctx, &u);
+                let psil = restrict_field(ctx, &psi);
+                let dw = DistWilson::new(ctx, ul, 0.3, wire, compression);
+                assert_eq!(
+                    ctx.sent_bytes.get(),
+                    dw.ghost_bytes(),
+                    "ghost exchange off-model for {wire:?}/{compression:?}"
+                );
+                let mut ws = DistWorkspace::new(&dw);
+                let mut out = FermionField::zero(ctx.grid.clone());
+                for _ in 0..3 {
+                    dw.apply_into(&psil, &mut ws, &mut out);
+                }
+                assert_eq!(
+                    ctx.sent_bytes.get(),
+                    dw.modeled_wire_bytes(),
+                    "face traffic off-model for {wire:?}/{compression:?}"
+                );
+            });
+        }
+    }
+
+    #[test]
+    fn overlap_accounting_attributes_flight_time_to_every_sweep() {
+        // [4,4,8,8] over 2 t-ranks: the local [4,4,8,4] lattice puts its
+        // vnode split on dim 2 (largest extent), leaving rdims[3] = 4 and a
+        // genuine interior window between the two t-faces.
+        run_multinode_topo(
+            [4, 4, 8, 8],
+            RankTopology::one_dim(2),
+            VL,
+            SimdBackend::Fcmla,
+            NetworkModel::custom(10_000, 1.0),
+            |ctx| {
+                let g = Grid::new([4, 4, 8, 8], VL, SimdBackend::Fcmla);
+                let ul = restrict_field(ctx, &random_gauge(g.clone(), 7));
+                let psil = restrict_field(ctx, &FermionField::random(g, 11));
+                let dw = DistWilson::new(ctx, ul, 0.3, GaugeWire::TwoRow, Compression::None);
+                let (interior, boundary) = dw.interior_boundary_sites();
+                assert!(interior > 0, "no overlap window on this geometry");
+                assert!(boundary > 0);
+                ctx.reset_comm_counters();
+                let mut ws = DistWorkspace::new(&dw);
+                let mut out = FermionField::zero(ctx.grid.clone());
+                dw.apply_into(&psil, &mut ws, &mut out);
+                // Two faces landed, each with ≥ 10 µs modeled latency.
+                assert!(ctx.flight_ns() >= 20_000, "flight {}", ctx.flight_ns());
+            },
+        );
+    }
+
+    #[test]
+    fn r1_topology_needs_no_channels_and_still_solves() {
+        run_multinode_grid(GLOBAL, [1, 1, 1, 1], VL, SimdBackend::Fcmla, |ctx| {
+            let g = Grid::new(GLOBAL, VL, SimdBackend::Fcmla);
+            let u = random_gauge(g.clone(), 7);
+            let b = FermionField::random(g, 13);
+            let dw = DistWilson::new(
+                ctx,
+                restrict_field(ctx, &u),
+                0.3,
+                GaugeWire::TwoRow,
+                Compression::None,
+            );
+            let (interior, boundary) = dw.interior_boundary_sites();
+            assert_eq!(boundary, 0);
+            assert_eq!(interior, ctx.grid.osites());
+            let (x, report) = dist_cg(&dw, &restrict_field(ctx, &b), 1e-8, 60);
+            assert!(report.converged);
+            assert_eq!(ctx.sent_bytes.get(), 0);
+            drop(x);
+        });
+    }
+}

@@ -52,6 +52,7 @@ pub mod comms;
 pub mod complex;
 pub mod cshift;
 pub mod dirac;
+pub mod dist;
 pub mod dwf;
 pub mod eo;
 pub mod field;
@@ -65,6 +66,7 @@ pub mod simd;
 pub mod solver;
 pub mod stencil;
 pub mod tensor;
+pub mod topology;
 
 pub use complex::Complex;
 pub use field::{
@@ -82,12 +84,16 @@ pub mod prelude {
     };
     pub use crate::comms::{
         cshift_dist, cshift_dist_gauge, hopping_dist, hopping_dist_half, run_multinode,
-        run_multinode_grid, Compression, GaugeWire, RankCtx,
+        run_multinode_grid, run_multinode_topo, Compression, GaugeWire, HaloMsg, NetworkModel,
+        RankCtx,
     };
     pub use crate::cshift::cshift;
     pub use crate::dirac::{
         gamma5, gamma5_block_inplace, gamma5_inplace, hopping_via_cshift, mult_gauge, project_half,
         reconstruct_half, WilsonDirac,
+    };
+    pub use crate::dist::{
+        dist_block_cg, dist_cg, dist_cg_ws, restrict_field, DistWilson, DistWorkspace,
     };
     pub use crate::dwf::{axpy_chiral, cg_dwf, chiral_minus, chiral_plus, DomainWall, Fermion5};
     pub use crate::eo::{parity_project, solve_eo, solve_eo_block};
@@ -115,6 +121,9 @@ pub mod prelude {
     pub use crate::tensor::gamma_algebra::{mult_gamma, GammaElement};
     pub use crate::tensor::su3::{
         compress_su3, random_gauge, reconstruct_row2, reconstruct_su3, unit_gauge, TwoRowMatrix,
+    };
+    pub use crate::topology::{
+        fermion_face_bytes, gauge_face_bytes, link_ghost_bytes, FaceGeometry, RankTopology,
     };
     pub use crate::Complex;
     pub use sve::{CostModel, SveCtx, VectorLength};

@@ -64,7 +64,7 @@ pub struct SolveReport {
 /// have observed every entry of `history` — restored prefix replayed, new
 /// entries observed live — so a resumed solve reports exactly what the
 /// uninterrupted one would.
-fn conclude_health(
+pub(crate) fn conclude_health(
     region: &str,
     monitor: HealthMonitor,
     history: &[f64],

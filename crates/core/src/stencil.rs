@@ -159,6 +159,31 @@ impl<E: SveFloat> Stencil<E> {
         }
     }
 
+    /// All `(outer site, lane)` pairs of the slice `x[d] = idx`, in global
+    /// coordinate (lex) order — the canonical face ordering both ends of a
+    /// halo exchange agree on. The transverse ordering is independent of
+    /// `idx`, so entry `i` of one rank's `x[d] = L−1` face lines up with
+    /// entry `i` of its neighbour's `x[d] = 0` face.
+    pub fn face_sites(&self, d: usize, idx: usize) -> Vec<(usize, usize)> {
+        self.grid
+            .coords()
+            .filter(|x| x[d] == idx)
+            .map(|x| self.grid.coor_to_osite_lane(&x))
+            .collect()
+    }
+
+    /// Whether outer site `osite` holds any lane whose site sits on the
+    /// local lattice boundary along `d` (`x[d] = 0` or `x[d] = L−1`). When
+    /// `d` is split across ranks these are exactly the outer sites whose
+    /// `±d` legs wrap around the local lattice and must be patched with
+    /// halo data — the *boundary pass* of the overlapped dslash; every
+    /// other outer site is pure interior work.
+    pub fn osite_touches_face(&self, osite: usize, d: usize) -> bool {
+        let rdims = self.grid.rdims();
+        let i = delex(osite, &rdims);
+        i[d] == 0 || i[d] + 1 == rdims[d]
+    }
+
     /// Scalar oracle: the global coordinate supplying data for global site
     /// `x` through direction `dir`.
     pub fn neighbour_coor(&self, x: &Coor, dir: usize) -> Coor {

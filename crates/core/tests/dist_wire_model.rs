@@ -1,0 +1,137 @@
+//! Property tests pinning the halo wire-byte model for *any* rank count
+//! and face geometry.
+//!
+//! The `qcd-bench-comms/v1` regression gate and the comms telemetry both
+//! trust the per-site model (gauge: 576/384/96 B per site for full-f64 /
+//! two-row-f64 / two-row-f16; fermion: 192/48 B per site for f64/f16).
+//! These properties tie the model to the actual bytes [`HaloMsg`] puts on
+//! the wire, for arbitrary rank grids and local extents — not just the
+//! geometries the unit tests happen to use.
+
+use grid::prelude::*;
+use grid::{Coor, NDIM};
+use proptest::prelude::*;
+
+/// Pinned gauge bytes per site for a 4-link face (the model table in
+/// `topology.rs`, plus the full-f16 corner it implies).
+fn gauge_bytes_per_site(wire: GaugeWire, comp: Compression) -> usize {
+    match (wire, comp) {
+        (GaugeWire::Full, Compression::None) => 576,
+        (GaugeWire::TwoRow, Compression::None) => 384,
+        (GaugeWire::Full, Compression::F16) => 144,
+        (GaugeWire::TwoRow, Compression::F16) => 96,
+    }
+}
+
+fn fermion_bytes_per_site(comp: Compression) -> usize {
+    match comp {
+        Compression::None => 192,
+        Compression::F16 => 48,
+    }
+}
+
+fn link_scalars(wire: GaugeWire) -> usize {
+    match wire {
+        GaugeWire::Full => LINK_SCALARS_FULL,
+        GaugeWire::TwoRow => LINK_SCALARS_TWO_ROW,
+    }
+}
+
+fn coor_from(choices: Vec<usize>) -> impl Strategy<Value = Coor> {
+    proptest::collection::vec(proptest::sample::select(choices), 4)
+        .prop_map(|v| std::array::from_fn(|d| v[d]))
+}
+
+/// A rank-grid strategy: zero to four split dimensions, 1–4 ranks each.
+fn rank_grids() -> impl Strategy<Value = Coor> {
+    coor_from(vec![1, 2, 4])
+}
+
+/// Local extents: small even sizes so every generated global lattice is a
+/// legal decomposition.
+fn local_extents() -> impl Strategy<Value = Coor> {
+    coor_from(vec![2, 4, 6])
+}
+
+fn wires() -> impl Strategy<Value = GaugeWire> {
+    proptest::sample::select(vec![GaugeWire::Full, GaugeWire::TwoRow])
+}
+
+fn compressions() -> impl Strategy<Value = Compression> {
+    proptest::sample::select(vec![Compression::None, Compression::F16])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For any topology, every face's modeled byte counts are exactly
+    /// `sites × bytes/site` from the pinned table, and the face site count
+    /// is the transverse volume of the local lattice.
+    #[test]
+    fn face_geometry_follows_the_pinned_per_site_model(
+        rank_grid in rank_grids(),
+        local in local_extents(),
+        wire in wires(),
+        comp in compressions(),
+    ) {
+        let topo = RankTopology::new(rank_grid);
+        let global: Coor = std::array::from_fn(|d| rank_grid[d] * local[d]);
+        let faces = topo.faces(&global);
+        let n_split = (0..NDIM).filter(|&d| rank_grid[d] > 1).count();
+        prop_assert_eq!(faces.len(), n_split);
+        for f in faces {
+            prop_assert!(rank_grid[f.dim] > 1);
+            let transverse: usize =
+                local.iter().product::<usize>() / local[f.dim];
+            prop_assert_eq!(f.sites, transverse);
+            prop_assert_eq!(
+                gauge_face_bytes(f.sites, wire, comp),
+                f.sites * gauge_bytes_per_site(wire, comp)
+            );
+            prop_assert_eq!(
+                link_ghost_bytes(f.sites, wire, comp),
+                f.sites * gauge_bytes_per_site(wire, comp) / 4
+            );
+            prop_assert_eq!(
+                fermion_face_bytes(f.sites, comp),
+                f.sites * fermion_bytes_per_site(comp)
+            );
+        }
+    }
+
+    /// The bytes a fermion-face [`HaloMsg`] actually carries equal the
+    /// model, and an uncompressed round trip through `decode_into` is
+    /// bit-exact.
+    #[test]
+    fn fermion_halo_messages_match_the_model(
+        sites in 1usize..200,
+        comp in compressions(),
+        seed in 0u64..1000,
+    ) {
+        let data: Vec<f64> = (0..sites * 24)
+            .map(|i| ((seed as f64) + i as f64).sin())
+            .collect();
+        let msg = HaloMsg::encode(&data, comp);
+        prop_assert_eq!(msg.wire_bytes(), fermion_face_bytes(sites, comp));
+        prop_assert_eq!(msg.scalars(), sites * 24);
+        let mut out = vec![0.0; data.len()];
+        msg.decode_into(&mut out);
+        if comp == Compression::None {
+            prop_assert_eq!(out, data);
+        }
+    }
+
+    /// The bytes a one-link gauge-ghost [`HaloMsg`] carries equal the
+    /// model's `link_ghost_bytes` — the quantity `DistWilson::ghost_bytes`
+    /// sums per split dimension.
+    #[test]
+    fn gauge_ghost_messages_match_the_model(
+        sites in 1usize..200,
+        wire in wires(),
+        comp in compressions(),
+    ) {
+        let data = vec![0.5; sites * link_scalars(wire)];
+        let msg = HaloMsg::encode(&data, comp);
+        prop_assert_eq!(msg.wire_bytes(), link_ghost_bytes(sites, wire, comp));
+    }
+}

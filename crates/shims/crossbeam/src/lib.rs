@@ -1,6 +1,6 @@
 //! Offline stand-in for the [crossbeam](https://crates.io/crates/crossbeam)
 //! API surface this workspace uses: multi-producer multi-consumer unbounded
-//! channels with cloneable senders *and* receivers.
+//! *and bounded* channels with cloneable senders *and* receivers.
 //!
 //! The build container has no crates.io access; this vendors the one slice
 //! the comms layer calls, over `Mutex<VecDeque>` + `Condvar`.
@@ -8,7 +8,7 @@
 #![forbid(unsafe_code)]
 
 pub mod channel {
-    //! Unbounded MPMC channels, mirroring `crossbeam::channel`.
+    //! MPMC channels, mirroring `crossbeam::channel`.
 
     use std::collections::VecDeque;
     use std::sync::{Arc, Condvar, Mutex};
@@ -16,11 +16,16 @@ pub mod channel {
     struct State<T> {
         queue: VecDeque<T>,
         senders: usize,
+        /// `usize::MAX` for unbounded channels; otherwise [`Sender::send`]
+        /// blocks while the queue holds `capacity` messages.
+        capacity: usize,
     }
 
     struct Inner<T> {
         state: Mutex<State<T>>,
         ready: Condvar,
+        /// Signalled when a bounded queue frees a slot.
+        space: Condvar,
     }
 
     /// Sending half; cloneable.
@@ -59,8 +64,29 @@ pub mod channel {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
                 senders: 1,
+                capacity: usize::MAX,
             }),
             ready: Condvar::new(),
+            space: Condvar::new(),
+        });
+        (Sender(inner.clone()), Receiver(inner))
+    }
+
+    /// Create a bounded channel holding at most `cap` messages. A send on
+    /// a full queue blocks until a receiver frees a slot — the sender
+    /// experiences backpressure instead of growing the queue without
+    /// bound. The queue's backing storage is reserved up front, so sends
+    /// within capacity never allocate.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap > 0, "bounded channel needs capacity >= 1");
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                queue: VecDeque::with_capacity(cap),
+                senders: 1,
+                capacity: cap,
+            }),
+            ready: Condvar::new(),
+            space: Condvar::new(),
         });
         (Sender(inner.clone()), Receiver(inner))
     }
@@ -84,9 +110,29 @@ pub mod channel {
     }
 
     impl<T> Sender<T> {
-        /// Enqueue a message; never blocks.
+        /// Enqueue a message. On a bounded channel this blocks while the
+        /// queue is at capacity (backpressure); unbounded sends never
+        /// block.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.0.state.lock().unwrap().queue.push_back(value);
+            let mut st = self.0.state.lock().unwrap();
+            while st.queue.len() >= st.capacity {
+                st = self.0.space.wait(st).unwrap();
+            }
+            st.queue.push_back(value);
+            drop(st);
+            self.0.ready.notify_one();
+            Ok(())
+        }
+
+        /// Enqueue without blocking; returns the message back if the
+        /// bounded queue is full.
+        pub fn try_send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.0.state.lock().unwrap();
+            if st.queue.len() >= st.capacity {
+                return Err(SendError(value));
+            }
+            st.queue.push_back(value);
+            drop(st);
             self.0.ready.notify_one();
             Ok(())
         }
@@ -104,6 +150,8 @@ pub mod channel {
             let mut st = self.0.state.lock().unwrap();
             loop {
                 if let Some(v) = st.queue.pop_front() {
+                    drop(st);
+                    self.0.space.notify_one();
                     return Ok(v);
                 }
                 if st.senders == 0 {
@@ -115,13 +163,14 @@ pub mod channel {
 
         /// Non-blocking receive of an already-queued message.
         pub fn try_recv(&self) -> Result<T, RecvError> {
-            self.0
-                .state
-                .lock()
-                .unwrap()
-                .queue
-                .pop_front()
-                .ok_or(RecvError)
+            let v = self.0.state.lock().unwrap().queue.pop_front();
+            match v {
+                Some(v) => {
+                    self.0.space.notify_one();
+                    Ok(v)
+                }
+                None => Err(RecvError),
+            }
         }
     }
 }
@@ -160,6 +209,41 @@ mod tests {
         drop(tx);
         assert_eq!(rx.recv(), Ok(9));
         assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn bounded_send_blocks_at_capacity_until_a_recv_frees_a_slot() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        // Queue full: try_send reports backpressure instead of growing.
+        assert_eq!(tx.try_send(3), Err(SendError(3)));
+        std::thread::scope(|s| {
+            let t = s.spawn(|| {
+                // Blocks until the main thread drains one slot.
+                tx.send(3).unwrap();
+            });
+            assert_eq!(rx.recv(), Ok(1));
+            t.join().unwrap();
+        });
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn bounded_capacity_is_preallocated() {
+        // Within capacity, sends must not reallocate the backing queue —
+        // the distributed hot path counts on this for its zero-allocation
+        // steady state.
+        let (tx, rx) = bounded::<u64>(4);
+        for round in 0..8 {
+            for i in 0..4 {
+                tx.send(round * 4 + i).unwrap();
+            }
+            for i in 0..4 {
+                assert_eq!(rx.recv(), Ok(round * 4 + i));
+            }
+        }
     }
 
     #[test]
