@@ -11,7 +11,7 @@
 //!
 //! Usage: `wilson_report [--json <path>] [--checkpoint <path>]
 //! [--resume <path>] [--ckpt-every <n>] [--bench <path>] [--bench-l <n>]
-//! [--bench-iters <n>] [--rhs <n>] [--bench-comms <path>]
+//! [--bench-iters <n>] [--rhs <n>] [--deflate] [--bench-comms <path>]
 //! [--comms-rhs <n>] [--comms-iters <n>] [--metrics <path>]`.
 //!
 //! With `--json`, additionally writes the registry snapshot as a
@@ -31,7 +31,12 @@
 //! the CI bench-smoke job uploads. The document also carries the batched
 //! multi-RHS `M†M` legs (default N ∈ {1,4,8,16}; `--rhs <n>` benchmarks
 //! `{1, n}` instead), and the run fails if batching eight right-hand
-//! sides is slower than one at a time.
+//! sides is slower than one at a time. Adding `--deflate` thermalizes a
+//! short HMC chain, builds a thick-restart Lanczos subspace on `M†M`, and
+//! runs the deflated-vs-undeflated N=16 block comparison plus the
+//! coarse-grid two-level leg; the run fails unless the deflated batch
+//! beats the undeflated one in total iterations AND wall time, and the
+//! gated `deflation` section is exported in the document.
 //!
 //! With `--bench-comms`, runs the multi-rank strong-scaling sweep: the
 //! same global problem solved by a distributed block CG at R ∈ {1,2,4}
@@ -54,6 +59,7 @@
 //! `qcd-metrics/v1` JSONL document.
 
 use bench::comms_bench;
+use bench::deflate_bench;
 use bench::hmc_bench;
 use bench::profile;
 use bench::solver_bench;
@@ -103,7 +109,7 @@ fn main() {
             Some(n) => vec![1, n],
             None => solver_bench::BLOCK_RHS_COUNTS.to_vec(),
         };
-        let bench = match solver_bench::run_solver_bench_with_rhs(
+        let mut bench = match solver_bench::run_solver_bench_with_rhs(
             report_args.bench_l,
             report_args.bench_iters,
             &rhs_counts,
@@ -114,6 +120,16 @@ fn main() {
                 std::process::exit(1);
             }
         };
+        if report_args.deflate {
+            let cfg = deflate_bench::DeflationConfig::default();
+            match deflate_bench::run_deflation_bench(&cfg) {
+                Ok(d) => bench.deflation = Some(d),
+                Err(e) => {
+                    eprintln!("wilson_report: deflation benchmark: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
         println!(
             "SOLVER BENCHMARK — fused workspace CG vs unfused allocating CG\n\
              lattice {:?}, VL{} {}, {} thread(s), {} iterations/leg\n",
@@ -183,6 +199,53 @@ fn main() {
         if let Err(e) = solver_bench::check_metrics_overhead(&bench) {
             eprintln!("wilson_report: {e}");
             std::process::exit(1);
+        }
+        if let Some(d) = &bench.deflation {
+            let c = &d.config;
+            println!(
+                "\nLOW-MODE DEFLATION — thermalized configuration, N={} RHS at tol {:.0e}\n\
+                 lattice {:?}, β={} × {} trajectories (plaquette {:.6}), mass {}\n\
+                 subspace: {} pairs, basis {}, {} restarts / {} M†M products, \
+                 λ ∈ [{:.4}, {:.4}], built in {:.2} s\n",
+                c.nrhs,
+                c.tol,
+                c.dims,
+                c.beta,
+                c.therm,
+                d.plaquette,
+                c.mass,
+                c.nev,
+                c.m,
+                d.eig_restarts,
+                d.eig_mvps,
+                d.lambda_min,
+                d.lambda_max,
+                d.eig_wall_ns as f64 / 1e9,
+            );
+            println!("{:<12} {:>12} {:>14}", "leg", "total iters", "wall ms");
+            for (name, iters, wall) in [
+                ("undeflated", d.undeflated_iters, d.undeflated_wall_ns),
+                ("deflated", d.deflated_iters, d.deflated_wall_ns),
+            ] {
+                println!("{:<12} {:>12} {:>14.2}", name, iters, wall as f64 / 1e6);
+            }
+            println!(
+                "\niteration gain x{:.2}, wall gain x{:.2}; subspace setup amortized \
+                 after {:.0} RHS\ncoarse-grid PCG on RHS 0: {} iterations vs {} plain CG",
+                d.iter_gain,
+                d.wall_gain,
+                d.crossover_rhs.ceil(),
+                d.coarse_rhs0_iters,
+                d.undeflated_rhs0_iters,
+            );
+            if let Err(e) = deflate_bench::check_deflation_gain(d) {
+                eprintln!("wilson_report: deflation gate failed: {e}");
+                std::process::exit(1);
+            }
+            println!(
+                "deflation gate passed: deflated batch beats undeflated in total \
+                 iterations and wall time"
+            );
         }
         match solver_bench::write_validated_bench_json(&bench, path) {
             Ok(()) => println!(

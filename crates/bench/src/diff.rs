@@ -145,7 +145,75 @@ fn diff_solver(baseline: &Json, current: &Json) -> DiffReport {
     }
     d.wall("speedup");
     d.wall("metrics_overhead");
-    diff_solver_block(baseline, current, d.report)
+    let report = diff_solver_block(baseline, current, d.report);
+    diff_solver_deflation(baseline, current, report)
+}
+
+/// Compare the optional `deflation` sections. Iteration counts,
+/// eigenvalues, and the thermalized plaquette are pure functions of the
+/// seeded recipe, so any drift is a hard failure; wall clocks and the
+/// amortization crossover vary with the host and only warn. A section
+/// present in only one document is a warning (one run used `--deflate`,
+/// the other did not), not a regression.
+fn diff_solver_deflation(baseline: &Json, current: &Json, mut report: DiffReport) -> DiffReport {
+    let (b, c) = (baseline.get("deflation"), current.get("deflation"));
+    let (b, c) = match (b, c) {
+        (None, None) => return report,
+        (Some(b), Some(c)) => (b, c),
+        _ => {
+            report
+                .warnings
+                .push("`deflation` section present in only one document".into());
+            return report;
+        }
+    };
+    let mut d = Diff::new(b, c);
+    for key in [
+        "lattice",
+        "beta",
+        "therm",
+        "chain_seed",
+        "mass",
+        "nev",
+        "basis",
+        "eig_tol",
+        "eig_seed",
+        "nrhs",
+        "rhs_seed",
+        "tol",
+        "cell",
+    ] {
+        d.config(key);
+    }
+    for m in [
+        "plaquette",
+        "eig_restarts",
+        "eig_mvps",
+        "lambda_min",
+        "lambda_max",
+        "undeflated_iters",
+        "deflated_iters",
+        "undeflated_rhs0_iters",
+        "coarse_rhs0_iters",
+        "iter_gain",
+    ] {
+        d.hard(m);
+    }
+    for m in [
+        "eig_wall_ns",
+        "undeflated_wall_ns",
+        "deflated_wall_ns",
+        "wall_gain",
+        "crossover_rhs",
+    ] {
+        d.wall(m);
+    }
+    let tag = |msgs: Vec<String>| -> Vec<String> {
+        msgs.into_iter().map(|m| format!("deflation {m}")).collect()
+    };
+    report.failures.extend(tag(d.report.failures));
+    report.warnings.extend(tag(d.report.warnings));
+    report
 }
 
 /// Compare the multi-RHS legs row by row, matching on `nrhs`.
@@ -416,6 +484,26 @@ mod tests {
         .into()
     }
 
+    fn deflated_solver_doc() -> String {
+        let section = r#",
+          "deflation": {
+            "lattice": [4, 4, 4, 4], "beta": 5.6, "therm": 12,
+            "chain_seed": 5, "mass": -0.2, "nev": 8, "basis": 24,
+            "eig_tol": 1e-8, "eig_seed": 99, "nrhs": 16, "rhs_seed": 401,
+            "tol": 1e-8, "cell": [2, 2, 2, 2], "plaquette": 0.557,
+            "eig_restarts": 25, "eig_mvps": 480, "eig_wall_ns": 9.0e9,
+            "lambda_min": 0.26, "lambda_max": 1.9,
+            "undeflated_iters": 1890, "undeflated_wall_ns": 3.1e10,
+            "deflated_iters": 1460, "deflated_wall_ns": 2.4e10,
+            "undeflated_rhs0_iters": 118, "coarse_rhs0_iters": 111,
+            "iter_gain": 1.29, "wall_gain": 1.29, "crossover_rhs": 21.0
+          }
+        }"#;
+        let doc = solver_doc();
+        let trimmed = doc.trim_end().trim_end_matches('}').trim_end();
+        format!("{trimmed}{section}")
+    }
+
     fn hmc_doc() -> String {
         r#"{
           "schema": "qcd-bench-hmc/v1",
@@ -563,6 +651,59 @@ mod tests {
             .failures
             .iter()
             .any(|f| f.contains("RHS counts differ")));
+    }
+
+    #[test]
+    fn deflation_iteration_drift_is_a_hard_failure() {
+        let base = parse(&deflated_solver_doc());
+        let report = diff_docs(&base, &base).unwrap();
+        assert!(report.passed() && report.warnings.is_empty());
+        let cur = parse(
+            &deflated_solver_doc().replace("\"deflated_iters\": 1460", "\"deflated_iters\": 1461"),
+        );
+        let report = diff_docs(&base, &cur).unwrap();
+        assert!(
+            report
+                .failures
+                .iter()
+                .any(|f| f.contains("deflation") && f.contains("deflated_iters")),
+            "failures: {:?}",
+            report.failures
+        );
+        let cur =
+            parse(&deflated_solver_doc().replace("\"lambda_min\": 0.26", "\"lambda_min\": 0.27"));
+        let report = diff_docs(&base, &cur).unwrap();
+        assert!(report.failures.iter().any(|f| f.contains("lambda_min")));
+        // A different recipe is a config mismatch, not a metric drift.
+        let cur = parse(&deflated_solver_doc().replace("\"nev\": 8", "\"nev\": 12"));
+        let report = diff_docs(&base, &cur).unwrap();
+        assert!(report.failures.iter().any(|f| f.contains("nev")));
+    }
+
+    #[test]
+    fn deflation_wall_drift_warns_and_asymmetry_warns() {
+        let base = parse(&deflated_solver_doc());
+        let cur = parse(&deflated_solver_doc().replace(
+            "\"deflated_wall_ns\": 2.4e10",
+            "\"deflated_wall_ns\": 4.8e10",
+        ));
+        let report = diff_docs(&base, &cur).unwrap();
+        assert!(report.passed(), "failures: {:?}", report.failures);
+        assert!(report
+            .warnings
+            .iter()
+            .any(|w| w.contains("deflation") && w.contains("deflated_wall_ns")));
+        // One run with --deflate, one without: a warning, never a failure.
+        let bare = parse(&solver_doc());
+        let report = diff_docs(&base, &bare).unwrap();
+        assert!(report.passed(), "failures: {:?}", report.failures);
+        assert!(report
+            .warnings
+            .iter()
+            .any(|w| w.contains("only one document")));
+        let report = diff_docs(&bare, &base).unwrap();
+        assert!(report.passed());
+        assert!(!report.warnings.is_empty());
     }
 
     #[test]

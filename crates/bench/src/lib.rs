@@ -5,6 +5,7 @@
 //! `--json` export in the `qcd-trace/v1` schema.
 
 pub mod comms_bench;
+pub mod deflate_bench;
 pub mod diff;
 pub mod hmc_bench;
 pub mod profile;

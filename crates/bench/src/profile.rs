@@ -217,6 +217,10 @@ pub struct ReportArgs {
     /// (plus the N=1 baseline) instead of the default N ∈ {1,4,8,16}
     /// sweep.
     pub rhs: Option<usize>,
+    /// `--deflate`: with `--bench`, additionally run the low-mode
+    /// deflation comparison on a thermalized configuration and export the
+    /// gated `deflation` section.
+    pub deflate: bool,
     /// `--hmc <path>`: run the HMC ensemble-generation benchmark, enforce
     /// the equilibrium physics gates, and write the `qcd-bench-hmc/v1`
     /// document to the path.
@@ -244,9 +248,9 @@ pub struct ReportArgs {
 /// Parse the `wilson_report` command line: `[--json <path>]
 /// [--checkpoint <path>] [--resume <path>] [--ckpt-every <n>]
 /// [--bench <path>] [--bench-l <n>] [--bench-iters <n>] [--rhs <n>]
-/// [--hmc <path>] [--hmc-l <n>] [--hmc-traj <n>] [--hmc-therm <n>]
-/// [--bench-comms <path>] [--comms-rhs <n>] [--comms-iters <n>]
-/// [--metrics <path>]`.
+/// [--deflate] [--hmc <path>] [--hmc-l <n>] [--hmc-traj <n>]
+/// [--hmc-therm <n>] [--bench-comms <path>] [--comms-rhs <n>]
+/// [--comms-iters <n>] [--metrics <path>]`.
 pub fn parse_report_args(args: &[String]) -> Result<ReportArgs, String> {
     let mut out = ReportArgs {
         every: 5,
@@ -289,6 +293,7 @@ pub fn parse_report_args(args: &[String]) -> Result<ReportArgs, String> {
             "--bench-l" => out.bench_l = count_value(&mut it, arg)?,
             "--bench-iters" => out.bench_iters = count_value(&mut it, arg)?,
             "--rhs" => out.rhs = Some(count_value(&mut it, arg)?),
+            "--deflate" => out.deflate = true,
             "--hmc-l" => out.hmc_l = count_value(&mut it, arg)?,
             "--hmc-traj" => out.hmc_traj = count_value(&mut it, arg)?,
             "--hmc-therm" => out.hmc_therm = count_value(&mut it, arg)?,
@@ -296,7 +301,7 @@ pub fn parse_report_args(args: &[String]) -> Result<ReportArgs, String> {
             "--comms-iters" => out.comms_iters = count_value(&mut it, arg)?,
             other => {
                 return Err(format!(
-                    "unrecognised argument `{other}` (expected --json/--checkpoint/--resume/--bench/--hmc/--bench-comms/--metrics <path>, --ckpt-every/--bench-l/--bench-iters/--rhs/--hmc-l/--hmc-traj/--hmc-therm/--comms-rhs/--comms-iters <n>)"
+                    "unrecognised argument `{other}` (expected --json/--checkpoint/--resume/--bench/--hmc/--bench-comms/--metrics <path>, --ckpt-every/--bench-l/--bench-iters/--rhs/--hmc-l/--hmc-traj/--hmc-therm/--comms-rhs/--comms-iters <n>, --deflate)"
                 ))
             }
         }

@@ -131,6 +131,10 @@ pub struct SolverBench {
     /// observability tax, gated at [`METRICS_OVERHEAD_LIMIT`] by the CI
     /// bench-smoke job.
     pub metrics_overhead: f64,
+    /// The low-mode deflation comparison on a thermalized configuration
+    /// (`--deflate`): present when the deflation legs ran, gated by
+    /// [`crate::deflate_bench::check_deflation_gain`] in CI.
+    pub deflation: Option<crate::deflate_bench::DeflationBench>,
 }
 
 /// Ceiling on [`SolverBench::metrics_overhead`]: the metrics layer may
@@ -433,6 +437,7 @@ pub fn run_solver_bench_with_rhs(
         fused,
         block,
         metrics_overhead,
+        deflation: None,
     })
 }
 
@@ -469,7 +474,7 @@ fn block_leg_json(leg: &BlockLeg) -> Json {
 
 /// Render a benchmark as a `qcd-bench-solver/v1` document.
 pub fn bench_to_json(b: &SolverBench) -> Json {
-    Json::Obj(vec![
+    let mut members = vec![
         ("schema".into(), Json::Str(SOLVER_BENCH_SCHEMA.into())),
         (
             "lattice".into(),
@@ -487,7 +492,14 @@ pub fn bench_to_json(b: &SolverBench) -> Json {
             Json::Arr(b.block.iter().map(block_leg_json).collect()),
         ),
         ("metrics_overhead".into(), Json::Num(b.metrics_overhead)),
-    ])
+    ];
+    if let Some(d) = &b.deflation {
+        members.push((
+            "deflation".into(),
+            crate::deflate_bench::deflation_to_json(d),
+        ));
+    }
+    Json::Obj(members)
 }
 
 fn check_leg(doc: &Json, key: &str) -> Result<(), String> {
@@ -578,6 +590,11 @@ pub fn validate_solver_bench_json(doc: &Json) -> Result<(), String> {
         .is_some_and(|v| v > 0.0 && v.is_finite())
     {
         return Err("`metrics_overhead` missing or not positive".into());
+    }
+    // The deflation section is optional (--deflate); when present it must
+    // be a complete, well-formed comparison.
+    if let Some(d) = doc.get("deflation") {
+        crate::deflate_bench::validate_deflation_json(d)?;
     }
     Ok(())
 }

@@ -54,7 +54,7 @@ use crate::field::{
     GaugeField,
 };
 use crate::layout::{lex, Coor, NCOLOR, NDIM, NSPIN};
-use crate::reduce;
+use crate::reduce::canonical_sum;
 use crate::simd::{CVec, SimdEngine};
 use crate::solver::{conclude_health, SolveReport};
 use crate::stencil::{dir_index, StencilEntry};
@@ -703,19 +703,6 @@ impl<'a> DistWilson<'a> {
         }
         self.gather_and_sum(ws)
     }
-}
-
-/// Deterministic chunk-tree sum over a global scalar array: the same
-/// binary-split grouping as [`reduce::combine_tree`], leaves of
-/// [`reduce::CHUNK_SITES`] summed left to right.
-fn canonical_sum(vals: &[f64]) -> f64 {
-    let n = reduce::n_chunks(vals.len(), reduce::CHUNK_SITES);
-    let mut leaf = |ci: usize| {
-        let lo = ci * reduce::CHUNK_SITES;
-        let hi = (lo + reduce::CHUNK_SITES).min(vals.len());
-        vals[lo..hi].iter().sum::<f64>()
-    };
-    reduce::reduce_serial(n, &mut leaf, &|a, b| a + b)
 }
 
 /// Serialize the listed `(outer site, lane)` pairs of a fermion field into

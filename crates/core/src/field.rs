@@ -483,6 +483,119 @@ impl<K: FieldKind, E: SveFloat> Field<K, E> {
         )
     }
 
+    /// Scatter the per-site scalar `Σ_comp |f(x)|²` into `out` in **global
+    /// lexicographic site order** (`out.len() == volume`). The order depends
+    /// only on the lattice extents — never on the SIMD layout or the worker
+    /// count — so [`reduce::canonical_sum`] over `out` returns the same bits
+    /// at every vector length and thread count. This is the single-process
+    /// form of the canonical scalars `dist_cg` reduces over ranks, and the
+    /// primitive the `qcd-deflate` eigensolver builds its VL-invariant
+    /// recurrences on.
+    pub fn site_norm2_lex(&self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.grid.volume(), "scatter buffer != volume");
+        let grid = &self.grid;
+        let fdims = grid.fdims();
+        out.par_chunks_mut(reduce::CHUNK_SITES)
+            .enumerate()
+            .for_each(|(ci, chunk)| {
+                for (k, slot) in chunk.iter_mut().enumerate() {
+                    let x = crate::layout::delex(ci * reduce::CHUNK_SITES + k, &fdims);
+                    let (osite, lane) = grid.coor_to_osite_lane(&x);
+                    let li = 2 * lane;
+                    let mut s = 0.0;
+                    for comp in 0..K::NCOMP {
+                        let w = self.word(osite, comp);
+                        let (re, im) = (w[li].to_f64(), w[li + 1].to_f64());
+                        s += re * re + im * im;
+                    }
+                    *slot = s;
+                }
+            });
+    }
+
+    /// Scatter the per-site scalar `Re Σ_comp conj(self)·other` into `out`
+    /// in global lexicographic site order (see [`Self::site_norm2_lex`]).
+    pub fn site_inner_re_lex(&self, other: &Field<K, E>, out: &mut [f64]) {
+        self.assert_compatible(other);
+        assert_eq!(out.len(), self.grid.volume(), "scatter buffer != volume");
+        let grid = &self.grid;
+        let fdims = grid.fdims();
+        out.par_chunks_mut(reduce::CHUNK_SITES)
+            .enumerate()
+            .for_each(|(ci, chunk)| {
+                for (k, slot) in chunk.iter_mut().enumerate() {
+                    let x = crate::layout::delex(ci * reduce::CHUNK_SITES + k, &fdims);
+                    let (osite, lane) = grid.coor_to_osite_lane(&x);
+                    let li = 2 * lane;
+                    let mut s = 0.0;
+                    for comp in 0..K::NCOMP {
+                        let a = self.word(osite, comp);
+                        let b = other.word(osite, comp);
+                        s += a[li].to_f64() * b[li].to_f64()
+                            + a[li + 1].to_f64() * b[li + 1].to_f64();
+                    }
+                    *slot = s;
+                }
+            });
+    }
+
+    /// Scatter the per-site complex `Σ_comp conj(self)·other` into
+    /// `(out_re, out_im)` in global lexicographic site order.
+    pub fn site_inner_lex(&self, other: &Field<K, E>, out_re: &mut [f64], out_im: &mut [f64]) {
+        self.assert_compatible(other);
+        assert_eq!(out_re.len(), self.grid.volume(), "scatter buffer != volume");
+        assert_eq!(out_im.len(), self.grid.volume(), "scatter buffer != volume");
+        let grid = &self.grid;
+        let fdims = grid.fdims();
+        out_re
+            .par_chunks_mut(reduce::CHUNK_SITES)
+            .zip(out_im.par_chunks_mut(reduce::CHUNK_SITES))
+            .enumerate()
+            .for_each(|(ci, (cre, cim))| {
+                for (k, (sre, sim)) in cre.iter_mut().zip(cim.iter_mut()).enumerate() {
+                    let x = crate::layout::delex(ci * reduce::CHUNK_SITES + k, &fdims);
+                    let (osite, lane) = grid.coor_to_osite_lane(&x);
+                    let li = 2 * lane;
+                    let (mut re, mut im) = (0.0, 0.0);
+                    for comp in 0..K::NCOMP {
+                        let a = self.word(osite, comp);
+                        let b = other.word(osite, comp);
+                        let (ar, ai) = (a[li].to_f64(), a[li + 1].to_f64());
+                        let (br, bi) = (b[li].to_f64(), b[li + 1].to_f64());
+                        re += ar * br + ai * bi;
+                        im += ar * bi - ai * br;
+                    }
+                    *sre = re;
+                    *sim = im;
+                }
+            });
+    }
+
+    /// `|self|²` via the canonical (layout-independent) reduction: same bits
+    /// at every vector length and thread count. Allocates a per-site scatter
+    /// buffer; hot loops should hold one and call [`Self::site_norm2_lex`] +
+    /// [`reduce::canonical_sum`] directly.
+    pub fn canonical_norm2(&self) -> f64 {
+        let mut buf = vec![0.0; self.grid.volume()];
+        self.site_norm2_lex(&mut buf);
+        reduce::canonical_sum(&buf)
+    }
+
+    /// `Re ⟨self, other⟩` via the canonical reduction.
+    pub fn canonical_inner_re(&self, other: &Field<K, E>) -> f64 {
+        let mut buf = vec![0.0; self.grid.volume()];
+        self.site_inner_re_lex(other, &mut buf);
+        reduce::canonical_sum(&buf)
+    }
+
+    /// `⟨self, other⟩` via the canonical reduction.
+    pub fn canonical_inner(&self, other: &Field<K, E>) -> Complex {
+        let mut re = vec![0.0; self.grid.volume()];
+        let mut im = vec![0.0; self.grid.volume()];
+        self.site_inner_lex(other, &mut re, &mut im);
+        Complex::new(reduce::canonical_sum(&re), reduce::canonical_sum(&im))
+    }
+
     /// Fused `self += a * x; |self|^2` in one sweep. Bit-identical to the
     /// unfused pair: the norm accumulates the freshly computed words in the
     /// same chunk order [`Self::norm2`] would read them back.
@@ -965,6 +1078,76 @@ impl<E: SveFloat> FermionBlock<E> {
         )
     }
 
+    /// Scatter per-site per-RHS `Σ_comp |·|²` into `out` in global
+    /// lexicographic site order, RHS-major: `out[j * volume + lex(x)]` is
+    /// RHS `j`'s contribution at site `x`. The per-site accumulation order
+    /// (components ascending, `re² + im²`) matches [`Field::site_norm2_lex`]
+    /// exactly, so per-RHS canonical sums are bit-identical to the extracted
+    /// single-RHS field's — at every vector length, batch width, and thread
+    /// count.
+    pub fn site_norms2_lex(&self, out: &mut [f64]) {
+        let vol = self.grid.volume();
+        assert_eq!(
+            out.len(),
+            self.nrhs * vol,
+            "scatter buffer != nrhs * volume"
+        );
+        let grid = &self.grid;
+        let fdims = grid.fdims();
+        for (rhs, row) in out.chunks_exact_mut(vol).enumerate() {
+            row.par_chunks_mut(reduce::CHUNK_SITES)
+                .enumerate()
+                .for_each(|(ci, chunk)| {
+                    for (k, slot) in chunk.iter_mut().enumerate() {
+                        let x = crate::layout::delex(ci * reduce::CHUNK_SITES + k, &fdims);
+                        let (osite, lane) = grid.coor_to_osite_lane(&x);
+                        let li = 2 * lane;
+                        let mut s = 0.0;
+                        for comp in 0..FermionKind::NCOMP {
+                            let w = self.word(osite, rhs, comp);
+                            let (re, im) = (w[li].to_f64(), w[li + 1].to_f64());
+                            s += re * re + im * im;
+                        }
+                        *slot = s;
+                    }
+                });
+        }
+    }
+
+    /// Scatter per-site per-RHS `Re Σ_comp conj(self)·other` into `out`
+    /// (RHS-major lexicographic, see [`Self::site_norms2_lex`]), matching
+    /// [`Field::site_inner_re_lex`] per RHS bit for bit.
+    pub fn site_inners_re_lex(&self, other: &FermionBlock<E>, out: &mut [f64]) {
+        self.assert_compatible(other);
+        let vol = self.grid.volume();
+        assert_eq!(
+            out.len(),
+            self.nrhs * vol,
+            "scatter buffer != nrhs * volume"
+        );
+        let grid = &self.grid;
+        let fdims = grid.fdims();
+        for (rhs, row) in out.chunks_exact_mut(vol).enumerate() {
+            row.par_chunks_mut(reduce::CHUNK_SITES)
+                .enumerate()
+                .for_each(|(ci, chunk)| {
+                    for (k, slot) in chunk.iter_mut().enumerate() {
+                        let x = crate::layout::delex(ci * reduce::CHUNK_SITES + k, &fdims);
+                        let (osite, lane) = grid.coor_to_osite_lane(&x);
+                        let li = 2 * lane;
+                        let mut s = 0.0;
+                        for comp in 0..FermionKind::NCOMP {
+                            let a = self.word(osite, rhs, comp);
+                            let b = other.word(osite, rhs, comp);
+                            s += a[li].to_f64() * b[li].to_f64()
+                                + a[li + 1].to_f64() * b[li + 1].to_f64();
+                        }
+                        *slot = s;
+                    }
+                });
+        }
+    }
+
     /// Fused `self = x - y; per-RHS |self|²` in one sweep — the block form
     /// of [`Field::sub_norm2`], used for the batched true-residual check.
     pub fn sub_norms2(&mut self, x: &FermionBlock<E>, y: &FermionBlock<E>) -> Vec<f64> {
@@ -1194,6 +1377,62 @@ mod tests {
         assert!(xx.im.abs() < 1e-10);
         assert!(xx.re > 0.0);
         assert!((xx.re - x.norm2()).abs() < 1e-9 * xx.re);
+    }
+
+    #[test]
+    fn canonical_reductions_are_bit_identical_across_vls() {
+        // The canonical reductions sum per-site scalars in global lex order
+        // with the fixed chunk tree: the exact bits must not depend on the
+        // vector length (random fields are layout-independent by seed).
+        let mut reference: Option<(u64, u64, u64, u64)> = None;
+        for bits in [128usize, 256, 512, 1024, 2048] {
+            let g = Grid::new([4, 4, 4, 4], VectorLength::of(bits), SimdBackend::Fcmla);
+            let x = FermionField::random(g.clone(), 9);
+            let y = FermionField::random(g.clone(), 10);
+            let n = x.canonical_norm2();
+            let ir = x.canonical_inner_re(&y);
+            let z = x.canonical_inner(&y);
+            assert!((n - x.norm2()).abs() < 1e-9 * n, "vl={bits}");
+            assert!((z.re - ir).abs() == 0.0, "vl={bits}");
+            let got = (n.to_bits(), ir.to_bits(), z.re.to_bits(), z.im.to_bits());
+            match reference {
+                None => reference = Some(got),
+                Some(want) => assert_eq!(got, want, "vl={bits}"),
+            }
+        }
+    }
+
+    #[test]
+    fn block_canonical_scatter_matches_single_rhs() {
+        let g = grid();
+        let fields: Vec<FermionField> = (0..3)
+            .map(|j| FermionField::random(g.clone(), 30 + j))
+            .collect();
+        let others: Vec<FermionField> = (0..3)
+            .map(|j| FermionField::random(g.clone(), 40 + j))
+            .collect();
+        let a = FermionBlock::from_fields(&fields);
+        let b = FermionBlock::from_fields(&others);
+        let vol = g.volume();
+        let mut outs = vec![0.0; 3 * vol];
+        let mut dots = vec![0.0; 3 * vol];
+        a.site_norms2_lex(&mut outs);
+        a.site_inners_re_lex(&b, &mut dots);
+        let mut single = vec![0.0; vol];
+        for j in 0..3 {
+            fields[j].site_norm2_lex(&mut single);
+            assert_eq!(
+                reduce::canonical_sum(&single).to_bits(),
+                reduce::canonical_sum(&outs[j * vol..(j + 1) * vol]).to_bits(),
+                "rhs {j} norm"
+            );
+            fields[j].site_inner_re_lex(&others[j], &mut single);
+            assert_eq!(
+                reduce::canonical_sum(&single).to_bits(),
+                reduce::canonical_sum(&dots[j * vol..(j + 1) * vol]).to_bits(),
+                "rhs {j} dot"
+            );
+        }
     }
 
     #[test]

@@ -71,6 +71,25 @@ pub fn reduce_serial<R>(
     rec(0, n, leaf, combine)
 }
 
+/// Deterministic chunk-tree sum over a scalar array laid out in a
+/// **layout-independent** order (global lexicographic site order): the same
+/// binary-split grouping as [`combine_tree`], leaves of [`CHUNK_SITES`]
+/// values summed left to right. Because the grouping depends only on
+/// `vals.len()`, a sum over per-site scalars in global lexicographic order
+/// is bit-identical at every vector length, thread count — and, for the
+/// distributed solver, rank count. This is the reduction the canonical
+/// scalars of `dist_cg` and the deflation subsystem (`qcd-deflate`) are
+/// built on.
+pub fn canonical_sum(vals: &[f64]) -> f64 {
+    let n = n_chunks(vals.len(), CHUNK_SITES);
+    let mut leaf = |ci: usize| {
+        let lo = ci * CHUNK_SITES;
+        let hi = (lo + CHUNK_SITES).min(vals.len());
+        vals[lo..hi].iter().sum::<f64>()
+    };
+    reduce_serial(n, &mut leaf, &|a, b| a + b)
+}
+
 /// [`combine_tree`] for non-`Copy` partials (e.g. the per-RHS `Vec<f64>`
 /// accumulators of the block kernels). Walks the identical binary-split
 /// tree (`mid = lo + (hi - lo) / 2`), so element `r` of the result combines

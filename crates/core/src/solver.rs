@@ -63,18 +63,15 @@ pub struct SolveReport {
 /// finished monitor, and feed the solve-level metrics. The monitor must
 /// have observed every entry of `history` — restored prefix replayed, new
 /// entries observed live — so a resumed solve reports exactly what the
-/// uninterrupted one would.
+/// uninterrupted one would. Thin wrapper over
+/// [`qcd_metrics::conclude_solver_health`] at [`HISTORY_CAP`].
 pub(crate) fn conclude_health(
     region: &str,
     monitor: HealthMonitor,
     history: &[f64],
     iterations: usize,
 ) -> (Vec<f64>, Vec<HealthEvent>) {
-    let (capped, _kept) =
-        qcd_metrics::bound_history(history, &monitor.flagged_iterations(), HISTORY_CAP);
-    qcd_metrics::histogram(&format!("{region}.iterations")).record(iterations as u64);
-    qcd_metrics::counter("solver.solves").inc();
-    (capped, monitor.into_events())
+    qcd_metrics::conclude_solver_health(region, monitor, history, iterations, HISTORY_CAP)
 }
 
 /// Preallocated scratch fields for the allocation-free solver paths: built

@@ -99,7 +99,7 @@ macro_rules! block_case {
 /// The full sweep at the current rayon thread count.
 fn signatures() -> Vec<Vec<u64>> {
     let mut sigs = Vec::new();
-    for vl in [128usize, 256, 512] {
+    for vl in [128usize, 256, 512, 1024, 2048] {
         sigs.push(block_case!(f64, vl, 1e-8));
         sigs.push(block_case!(f32, vl, 1e-3));
     }

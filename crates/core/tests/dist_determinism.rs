@@ -72,7 +72,7 @@ fn distributed_solve_is_invariant_across_ranks_vl_and_threads() {
     for threads in [1usize, 2, 8] {
         rayon::set_num_threads(threads);
         for nranks in [1usize, 2, 4] {
-            for bits in [128usize, 256, 512] {
+            for bits in [128usize, 256, 512, 1024, 2048] {
                 let vl = VectorLength::of(bits);
                 let run = dist_solve_bits(nranks, vl);
                 match &reference {

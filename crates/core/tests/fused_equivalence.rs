@@ -1,6 +1,6 @@
 //! Bit-for-bit equivalence of the fused hot-path kernels against the same
 //! math composed from separate full-field primitives, across precisions
-//! (f64, f32) and vector lengths (128/256/512 bits).
+//! (f64, f32) and vector lengths (128 through 2048 bits).
 //!
 //! The fusion contract is that `apply_into`, `apply_dag_into` and the
 //! fused curvature dot retire the *exact same engine ops per word in the
@@ -15,7 +15,7 @@ macro_rules! fused_equivalence_for {
     ($name:ident, $ty:ty) => {
         #[test]
         fn $name() {
-            for bits in [128usize, 256, 512] {
+            for bits in [128usize, 256, 512, 1024, 2048] {
                 let g = Grid::<$ty>::new([4, 4, 4, 4], VectorLength::of(bits), SimdBackend::Fcmla);
                 let u = random_gauge(g.clone(), 31);
                 let d = WilsonDirac::<$ty>::new(u, 0.2);
@@ -71,7 +71,7 @@ fused_equivalence_for!(fused_sweeps_are_bit_identical_in_f32, f32);
 fn fused_solvers_are_bit_identical_to_the_closure_solvers() {
     // End-to-end: full fused CG vs closure CG at several vector lengths in
     // both precisions (the unit tests cover one; this sweeps the matrix).
-    for bits in [128usize, 256, 512] {
+    for bits in [128usize, 256, 512, 1024, 2048] {
         let g = Grid::<f64>::new([4, 4, 4, 4], VectorLength::of(bits), SimdBackend::Fcmla);
         let u = random_gauge(g.clone(), 33);
         let d = WilsonDirac::new(u, 0.25);
@@ -82,7 +82,7 @@ fn fused_solvers_are_bit_identical_to_the_closure_solvers() {
         assert_eq!(rep_ws.residual.to_bits(), rep_cl.residual.to_bits());
         assert_eq!(x_ws.max_abs_diff(&x_cl), 0.0, "vl={bits}");
     }
-    for bits in [128usize, 256, 512] {
+    for bits in [128usize, 256, 512, 1024, 2048] {
         let g = Grid::<f32>::new([4, 4, 4, 4], VectorLength::of(bits), SimdBackend::Fcmla);
         let u = random_gauge(g.clone(), 35);
         let d = WilsonDirac::<f32>::new(u, 0.25);

@@ -1,0 +1,283 @@
+//! Deterministic dense linear algebra on small matrices.
+//!
+//! The eigensolver and the coarse-grid correction both reduce the lattice
+//! problem to dense systems whose dimension is the subspace size (tens,
+//! not thousands). Everything here is plain scalar `f64` arithmetic in a
+//! fixed operation order — no SIMD, no threading, no pivoting heuristics
+//! that depend on runtime state — so the results are bit-identical across
+//! SVE vector lengths, thread counts, and ranks by construction. That
+//! determinism is what lets the Lanczos restarts and the coarse solves
+//! reproduce exactly on any machine.
+
+use grid::Complex;
+
+/// Eigen-decomposition of a real symmetric matrix by cyclic Jacobi
+/// rotations.
+///
+/// `a` is the `n × n` matrix in row-major order; only the values are read
+/// (symmetry is assumed, the strictly-lower triangle is ignored). Returns
+/// `(values, vectors)` with eigenvalues ascending and `vectors[j * n + i]`
+/// the `j`-th component of the eigenvector for `values[i]` (column-major
+/// eigenvector matrix: column `i` pairs with eigenvalue `i`).
+///
+/// Cyclic sweeps visit the strict upper triangle in fixed row-major order
+/// and rotate every off-diagonal entry above a shrinking threshold; the
+/// sweep count is bounded and the termination test is exact, so the whole
+/// computation is a fixed scalar instruction sequence for given input bits.
+pub fn jacobi_eigh(a: &[f64], n: usize) -> (Vec<f64>, Vec<f64>) {
+    assert_eq!(a.len(), n * n, "matrix shape mismatch");
+    let mut m = a.to_vec();
+    // Symmetrize from the upper triangle so rounding asymmetries in the
+    // input cannot steer the rotation sequence.
+    for p in 0..n {
+        for q in (p + 1)..n {
+            m[q * n + p] = m[p * n + q];
+        }
+    }
+    let mut v = vec![0.0; n * n];
+    for i in 0..n {
+        v[i * n + i] = 1.0;
+    }
+    let total: f64 = m.iter().map(|x| x * x).sum();
+    const MAX_SWEEPS: usize = 64;
+    for _ in 0..MAX_SWEEPS {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off += m[p * n + q] * m[p * n + q];
+            }
+        }
+        // Converged to working precision: the remaining off-diagonal mass
+        // cannot move the diagonal. The test is an exact f64 comparison on
+        // deterministically computed values, so every machine stops after
+        // the same sweep.
+        if off <= 1e-60 * total {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[p * n + q];
+                if apq == 0.0 {
+                    continue;
+                }
+                let app = m[p * n + p];
+                let aqq = m[q * n + q];
+                // Stable rotation angle (Golub & Van Loan, sym.schur2).
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    1.0 / (theta - (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                for k in 0..n {
+                    let mkp = m[k * n + p];
+                    let mkq = m[k * n + q];
+                    m[k * n + p] = c * mkp - s * mkq;
+                    m[k * n + q] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[p * n + k];
+                    let mqk = m[q * n + k];
+                    m[p * n + k] = c * mpk - s * mqk;
+                    m[q * n + k] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[k * n + p];
+                    let vkq = v[k * n + q];
+                    v[k * n + p] = c * vkp - s * vkq;
+                    v[k * n + q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    // Sort eigenpairs ascending. The sort key includes the column index so
+    // ties (degenerate eigenvalues) break deterministically.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| {
+        m[i * n + i]
+            .partial_cmp(&m[j * n + j])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(i.cmp(&j))
+    });
+    let values: Vec<f64> = order.iter().map(|&i| m[i * n + i]).collect();
+    let mut vectors = vec![0.0; n * n];
+    for (col, &src) in order.iter().enumerate() {
+        for row in 0..n {
+            vectors[row * n + col] = v[row * n + src];
+        }
+    }
+    (values, vectors)
+}
+
+/// Cholesky factor `L` (lower-triangular, `A = L L†`) of a Hermitian
+/// positive-definite complex matrix, plus its triangular solves.
+pub struct Cholesky {
+    n: usize,
+    l: Vec<Complex>,
+}
+
+impl Cholesky {
+    /// Factor the `n × n` row-major Hermitian matrix `a`. Only the lower
+    /// triangle (including the diagonal) is read. Panics if a pivot is not
+    /// strictly positive — the coarse operator is Galerkin-projected from a
+    /// positive-definite fine operator, so a non-positive pivot means the
+    /// near-null vectors were rank-deficient, which the orthonormalization
+    /// step must prevent.
+    pub fn factor(a: &[Complex], n: usize) -> Self {
+        assert_eq!(a.len(), n * n, "matrix shape mismatch");
+        let mut l = vec![Complex::ZERO; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[i * n + j];
+                for k in 0..j {
+                    sum -= l[i * n + k] * l[j * n + k].conj();
+                }
+                if i == j {
+                    assert!(
+                        sum.re > 0.0,
+                        "coarse operator is not positive-definite (pivot {i}: {})",
+                        sum.re
+                    );
+                    l[i * n + i] = Complex::new(sum.re.sqrt(), 0.0);
+                } else {
+                    let d = l[j * n + j].re;
+                    l[i * n + j] = sum.scale(1.0 / d);
+                }
+            }
+        }
+        Cholesky { n, l }
+    }
+
+    /// Solve `A x = b` in place: forward substitution with `L`, then back
+    /// substitution with `L†`.
+    #[allow(clippy::needless_range_loop)] // fixed evaluation order is load-bearing
+    pub fn solve(&self, b: &mut [Complex]) {
+        let n = self.n;
+        assert_eq!(b.len(), n, "right-hand side length mismatch");
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[i * n + k] * b[k];
+            }
+            b[i] = sum.scale(1.0 / self.l[i * n + i].re);
+        }
+        for i in (0..n).rev() {
+            let mut sum = b[i];
+            for k in (i + 1)..n {
+                sum -= self.l[k * n + i].conj() * b[k];
+            }
+            b[i] = sum.scale(1.0 / self.l[i * n + i].re);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jacobi_recovers_known_spectrum() {
+        // diag(1, 4, 9) conjugated by a rotation in the (0,2) plane.
+        let (c, s) = (0.8f64, 0.6f64);
+        // R diag R^T with R = [[c,0,-s],[0,1,0],[s,0,c]].
+        let d = [1.0, 4.0, 9.0];
+        let mut a = vec![0.0; 9];
+        let r = [[c, 0.0, -s], [0.0, 1.0, 0.0], [s, 0.0, c]];
+        for i in 0..3 {
+            for j in 0..3 {
+                for k in 0..3 {
+                    a[i * 3 + j] += r[i][k] * d[k] * r[j][k];
+                }
+            }
+        }
+        let (vals, vecs) = jacobi_eigh(&a, 3);
+        for (got, want) in vals.iter().zip([1.0, 4.0, 9.0]) {
+            assert!((got - want).abs() < 1e-12, "eigenvalue {got} vs {want}");
+        }
+        // Residual ‖A q − λ q‖ per pair.
+        for e in 0..3 {
+            for i in 0..3 {
+                let mut aq = 0.0;
+                for j in 0..3 {
+                    aq += a[i * 3 + j] * vecs[j * 3 + e];
+                }
+                assert!((aq - vals[e] * vecs[i * 3 + e]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn jacobi_is_bitwise_deterministic() {
+        let n = 8;
+        let mut a = vec![0.0; n * n];
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        for i in 0..n {
+            for j in i..n {
+                seed = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let x = (seed >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+                a[i * n + j] = x;
+                a[j * n + i] = x;
+            }
+        }
+        let (v1, q1) = jacobi_eigh(&a, n);
+        let (v2, q2) = jacobi_eigh(&a, n);
+        assert_eq!(
+            v1.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            v2.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            q1.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            q2.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn cholesky_solves_hermitian_system() {
+        // A = B B† + I is Hermitian positive-definite.
+        let n = 4;
+        let mut b = vec![Complex::ZERO; n * n];
+        let mut seed = 42u64;
+        for z in b.iter_mut() {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let re = (seed >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let im = (seed >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+            *z = Complex::new(re, im);
+        }
+        let mut a = vec![Complex::ZERO; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = if i == j { Complex::ONE } else { Complex::ZERO };
+                for k in 0..n {
+                    s += b[i * n + k] * b[j * n + k].conj();
+                }
+                a[i * n + j] = s;
+            }
+        }
+        let chol = Cholesky::factor(&a, n);
+        let rhs: Vec<Complex> = (0..n)
+            .map(|i| Complex::new(i as f64 + 1.0, -(i as f64)))
+            .collect();
+        let mut x = rhs.clone();
+        chol.solve(&mut x);
+        for i in 0..n {
+            let mut ax = Complex::ZERO;
+            for j in 0..n {
+                ax += a[i * n + j] * x[j];
+            }
+            assert!(
+                (ax - rhs[i]).abs() < 1e-10,
+                "row {i}: {ax:?} vs {:?}",
+                rhs[i]
+            );
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! `qcd-deflate`: low-mode deflation and coarse-grid preconditioning for
+//! many-RHS campaigns.
+//!
+//! Lattice campaigns solve the same Wilson operator against dozens to
+//! thousands of right-hand sides per gauge configuration. Near the
+//! physical mass the cost is dominated by a handful of tiny `M†M`
+//! eigenvalues that every solve re-discovers the hard way. This crate
+//! computes that low-mode subspace **once** and recycles it:
+//!
+//! * **Eigensolver** ([`lanczos`]): deterministic thick-restart Lanczos
+//!   with full reorthogonalization on `M†M`, producing a [`Subspace`] of
+//!   validated eigenpairs (explicit `‖Av − θv‖` residuals, not estimates).
+//! * **Deflated solves** ([`defl`]): [`defl_cg`] projects the low modes
+//!   out of each RHS via the Galerkin guess `x₀ = V (V†AV)⁻¹ V† b`;
+//!   [`defl_block_cg`] recycles one subspace across a whole N-RHS batch
+//!   with per-RHS results bit-identical to the single-RHS path;
+//!   [`defl_mixed_solve`] seeds the mixed-precision defect-correction
+//!   ladder; [`solve_deflated_requests`] is the coalescing entry point a
+//!   job farm drives.
+//! * **Coarse grid** ([`coarse`]): cell-blocked near-null vectors,
+//!   Galerkin triple-product coarse operator, and a two-level
+//!   preconditioner inside CG ([`coarse_pcg`]).
+//! * **Persistence** ([`persist`]): subspaces stored as `qcd-io/v1`
+//!   `defl.*` records at f64/f32/f16 tiers, validated on load
+//!   (wrong-lattice and wrong-mass are typed errors), so farm jobs load a
+//!   shared subspace instead of recomputing it.
+//!
+//! # Determinism
+//!
+//! Everything here is bit-identical across SVE vector lengths, thread
+//! counts, and (for the building blocks it shares with `dist`) ranks:
+//! every scalar that steers an iteration is a *canonical* reduction
+//! (global-lexicographic scatter, fixed chunk-tree sum), dense linear
+//! algebra is fixed-order scalar arithmetic ([`dense`]), and intergrid
+//! transfers use the layout-independent scalar accessors. Eigenpairs,
+//! deflated residual histories, and coarse-corrected solves reproduce to
+//! the last bit on any machine — the property the determinism suites
+//! assert across VL ∈ {128…2048} × threads ∈ {1,2,8}.
+//!
+//! Solves run under `solver.deflate` spans, the eigensolver under
+//! `eig.lanczos`, the coarse machinery under `mg.coarse`; health events
+//! surface through the shared [`qcd_metrics`] monitor exactly like the
+//! `grid` solvers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coarse;
+pub mod defl;
+pub mod dense;
+pub mod lanczos;
+pub mod persist;
+pub mod requests;
+
+pub use coarse::{coarse_pcg, CoarseSpace};
+pub use defl::{defl_block_cg, defl_cg, defl_mixed_solve, galerkin_guess};
+pub use lanczos::{build_subspace, lanczos, EigenReport, LanczosParams, Subspace};
+pub use requests::solve_deflated_requests;

@@ -1,0 +1,48 @@
+//! Subspace persistence: save/load a [`Subspace`] as `qcd-io/v1`
+//! `defl.*` records.
+//!
+//! Thin wrappers over [`qcd_io::subspace`] (which speaks in primitives so
+//! `qcd-io` carries no dependency on this crate). Files are portable
+//! across SVE vector lengths — payloads are serialized in global site
+//! order — and validated on load: wrong lattice ⇒
+//! [`qcd_io::IoError::GridMismatch`], wrong mass ⇒
+//! [`qcd_io::IoError::MassMismatch`] (bit-exact comparison). An f64-tier
+//! file reloads the eigenvectors bit-identically, so a solve deflated with
+//! a reloaded subspace reproduces the original solve to the last bit; the
+//! f32/f16 tiers trade that for footprint (the reloaded vectors still
+//! deflate, with residuals degraded to the storage precision).
+
+use crate::lanczos::Subspace;
+use grid::codec::Precision;
+use grid::Grid;
+use std::path::Path;
+use std::sync::Arc;
+use sve::SveFloat;
+
+impl<E: SveFloat> Subspace<E> {
+    /// Write the subspace to `path` atomically at the chosen precision
+    /// tier.
+    pub fn save(&self, path: &Path, precision: Precision) -> qcd_io::Result<u64> {
+        qcd_io::write_subspace(
+            &self.vectors,
+            &self.values,
+            &self.residuals,
+            self.mass,
+            path,
+            precision,
+        )
+    }
+
+    /// Load a subspace written by [`Subspace::save`] onto `grid`, for use
+    /// with an operator at `mass`. Typed errors for wrong lattice or
+    /// wrong mass; see the module docs.
+    pub fn load(path: &Path, grid: &Arc<Grid<E>>, mass: f64) -> qcd_io::Result<Self> {
+        let data = qcd_io::read_subspace::<E>(path, grid, mass)?;
+        Ok(Subspace {
+            vectors: data.vectors,
+            values: data.values,
+            residuals: data.residuals,
+            mass: data.mass,
+        })
+    }
+}

@@ -1,0 +1,57 @@
+//! Deflated solve-request coalescing: the entry point a job service drives
+//! when a shared subspace is available.
+//!
+//! Mirrors [`grid::requests::solve_cg_requests`] — gather pending
+//! requests into one [`FermionBlock`], dispatch one batched deflated
+//! solve, demultiplex per-request outcomes — with the same contract: each
+//! outcome is bit-identical to a standalone [`defl_cg`](crate::defl_cg)
+//! of its RHS, regardless of batch composition or arrival order. Batching
+//! stays purely an amortization decision even with deflation in the loop.
+
+use crate::defl::defl_block_cg;
+use crate::lanczos::Subspace;
+use grid::dirac::WilsonDirac;
+use grid::field::FermionBlock;
+use grid::requests::{SolveOutcome, SolveRequest};
+use grid::solver::SolveReport;
+
+/// Coalesce `requests` into one [`defl_block_cg`] dispatch and
+/// demultiplex the results per request. Batch fill is recorded in the
+/// `solver.requests.batch_fill` histogram like the undeflated path.
+pub fn solve_deflated_requests(
+    op: &WilsonDirac,
+    sub: &Subspace,
+    requests: &[SolveRequest],
+    tol: f64,
+    max_iter: usize,
+) -> Vec<SolveOutcome> {
+    assert!(
+        !requests.is_empty(),
+        "cannot coalesce an empty request batch"
+    );
+    let grid = requests[0].rhs.grid().clone();
+    let mut block = FermionBlock::zero(grid, requests.len());
+    for (i, req) in requests.iter().enumerate() {
+        block.set_rhs(i, &req.rhs);
+    }
+    let span = qcd_trace::span!("solver.requests", block.grid().engine().ctx());
+    qcd_metrics::histogram("solver.requests.batch_fill").record(requests.len() as u64);
+    let (x, rep) = defl_block_cg(op, sub, &block, tol, max_iter);
+    drop(span);
+    requests
+        .iter()
+        .enumerate()
+        .map(|(j, req)| SolveOutcome {
+            id: req.id,
+            solution: x.rhs_field(j),
+            report: SolveReport {
+                iterations: rep.per_rhs_iterations[j],
+                residual: rep.residuals[j],
+                converged: rep.converged[j],
+                history: rep.histories[j].clone(),
+                health: rep.health[j].clone(),
+                telemetry: rep.telemetry.clone(),
+            },
+        })
+        .collect()
+}

@@ -1,0 +1,293 @@
+//! Behavioural tests of the deflated solvers on a thermalized gauge
+//! configuration: eigenpair validation, iteration gains over plain CG,
+//! per-RHS bit-identity of the batched path, and the request-coalescing
+//! contract.
+//!
+//! A *thermalized* configuration matters here: a random gauge field has no
+//! low modes (`λ_min(M†M) ≳ 2.5` even at zero quark mass, because maximal
+//! link disorder pushes the additive mass renormalization far from
+//! criticality), so deflation would have nothing to deflate. After a short
+//! HMC equilibration the spectrum develops the small eigenvalues the
+//! subspace is built to remove.
+
+use std::sync::{Arc, OnceLock};
+
+use grid::prelude::*;
+use qcd_deflate::{
+    coarse_pcg, defl_block_cg, defl_cg, defl_mixed_solve, galerkin_guess, lanczos,
+    solve_deflated_requests, CoarseSpace, LanczosParams, Subspace,
+};
+use qcd_hmc::{HmcParams, IntegratorKind, MarkovChain};
+
+const MASS: f64 = -0.2;
+const TOL: f64 = 1e-8;
+
+struct Fixture {
+    grid: Arc<Grid>,
+    op: WilsonDirac,
+    sub: Subspace,
+}
+
+/// Thermalize once, build the subspace once; every test shares the result.
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let grid = Grid::new([4, 4, 4, 4], VectorLength::of(256), SimdBackend::Fcmla);
+        let hp = HmcParams {
+            beta: 5.6,
+            n_steps: 8,
+            step_size: 0.0625,
+            integrator: IntegratorKind::Omelyan,
+        };
+        let mut chain = MarkovChain::cold_start(grid.clone(), hp, 5);
+        chain.thermalize(12);
+        let op = WilsonDirac::new(chain.links().clone(), MASS);
+        let params = LanczosParams {
+            nev: 8,
+            m: 24,
+            tol: TOL,
+            max_restarts: 80,
+        };
+        let (sub, rep) = lanczos(&op, &params, 99);
+        assert!(
+            rep.converged,
+            "fixture eigensolve did not converge: {rep:?}"
+        );
+        Fixture { grid, op, sub }
+    })
+}
+
+#[test]
+fn lanczos_eigenpairs_are_validated_and_positive() {
+    let f = fixture();
+    assert_eq!(f.sub.nev(), 8);
+    for i in 0..f.sub.nev() {
+        assert!(
+            f.sub.values[i] > 0.0,
+            "M†M eigenvalue {i} not positive: {}",
+            f.sub.values[i]
+        );
+        assert!(
+            f.sub.residuals[i] <= TOL,
+            "eigenpair {i} residual {} above tol",
+            f.sub.residuals[i]
+        );
+        if i > 0 {
+            assert!(
+                f.sub.values[i] >= f.sub.values[i - 1],
+                "values not ascending"
+            );
+        }
+    }
+    // Ritz vectors are orthonormal to solver accuracy.
+    for i in 0..f.sub.nev() {
+        for j in 0..=i {
+            let ip = f.sub.vectors[j].canonical_inner(&f.sub.vectors[i]);
+            let want = if i == j { 1.0 } else { 0.0 };
+            assert!(
+                (ip.re - want).abs() < 1e-7 && ip.im.abs() < 1e-7,
+                "⟨v{j}, v{i}⟩ = {ip:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn deflated_cg_converges_in_fewer_iterations_than_plain_cg() {
+    let f = fixture();
+    let b = FermionField::random(f.grid.clone(), 11);
+    let (x_plain, rep_plain) = cg(&f.op, &b, TOL, 6000);
+    let (x_defl, rep_defl) = defl_cg(&f.op, &f.sub, &b, TOL, 6000);
+    assert!(rep_plain.converged && rep_defl.converged);
+    assert!(
+        rep_defl.iterations < rep_plain.iterations,
+        "deflation gained nothing: {} vs {} iterations",
+        rep_defl.iterations,
+        rep_plain.iterations
+    );
+    // Same solution to solver accuracy.
+    let mut d = FermionField::zero(f.grid.clone());
+    d.sub(&x_plain, &x_defl);
+    assert!(d.norm2().sqrt() / x_plain.norm2().sqrt() < 1e-5);
+}
+
+#[test]
+fn galerkin_guess_nails_in_subspace_rhs() {
+    let f = fixture();
+    // b = A v0: the exact solution is v0, which lies in the subspace, so
+    // the Galerkin guess alone reaches the tolerance almost immediately.
+    let b = f.op.mdag_m(&f.sub.vectors[0]);
+    let (x, rep) = defl_cg(&f.op, &f.sub, &b, 1e-6, 100);
+    assert!(rep.converged);
+    assert!(
+        rep.iterations <= 2,
+        "in-subspace RHS took {} iterations",
+        rep.iterations
+    );
+    let mut d = x.clone();
+    d.sub(&x, &f.sub.vectors[0]);
+    assert!(d.norm2().sqrt() < 1e-4, "solution is not v0");
+}
+
+#[test]
+fn block_defl_cg_is_bit_identical_to_single_rhs_defl_cg() {
+    let f = fixture();
+    let rhss: Vec<FermionField> = (0..3)
+        .map(|k| FermionField::random(f.grid.clone(), 21 + k))
+        .collect();
+    let solo: Vec<_> = rhss
+        .iter()
+        .map(|b| defl_cg(&f.op, &f.sub, b, TOL, 6000))
+        .collect();
+    let block = FermionBlock::from_fields(&rhss);
+    let (x, rep) = defl_block_cg(&f.op, &f.sub, &block, TOL, 6000);
+    for (j, (sx, srep)) in solo.iter().enumerate() {
+        assert_eq!(rep.per_rhs_iterations[j], srep.iterations, "RHS {j}");
+        assert_eq!(
+            rep.residuals[j].to_bits(),
+            srep.residual.to_bits(),
+            "RHS {j} residual"
+        );
+        assert_eq!(rep.histories[j].len(), srep.history.len());
+        for (a, b) in rep.histories[j].iter().zip(&srep.history) {
+            assert_eq!(a.to_bits(), b.to_bits(), "RHS {j} history");
+        }
+        assert_eq!(x.rhs_field(j).max_abs_diff(sx), 0.0, "RHS {j} solution");
+    }
+}
+
+#[test]
+fn deflated_requests_match_standalone_solves_in_any_order() {
+    let f = fixture();
+    let rhss: Vec<FermionField> = (0..3)
+        .map(|k| FermionField::random(f.grid.clone(), 31 + k))
+        .collect();
+    let solo: Vec<_> = rhss
+        .iter()
+        .map(|b| defl_cg(&f.op, &f.sub, b, TOL, 6000))
+        .collect();
+    for order in [[0usize, 1, 2], [2, 0, 1]] {
+        let requests: Vec<_> = order
+            .iter()
+            .map(|&k| grid::requests::SolveRequest {
+                id: 50 + k as u64,
+                rhs: rhss[k].clone(),
+            })
+            .collect();
+        let outcomes = solve_deflated_requests(&f.op, &f.sub, &requests, TOL, 6000);
+        for (slot, &k) in order.iter().enumerate() {
+            assert_eq!(outcomes[slot].id, 50 + k as u64);
+            assert_eq!(outcomes[slot].report.iterations, solo[k].1.iterations);
+            assert_eq!(
+                outcomes[slot].report.residual.to_bits(),
+                solo[k].1.residual.to_bits()
+            );
+            assert_eq!(outcomes[slot].solution.max_abs_diff(&solo[k].0), 0.0);
+        }
+    }
+}
+
+#[test]
+fn deflation_composes_with_the_mixed_precision_ladder() {
+    let f = fixture();
+    let b = FermionField::random(f.grid.clone(), 41);
+    let (x_mixed, rep_mixed) = mixed_precision_solve(&f.op, &b, TOL, 1e-5, 50, 600);
+    let (x_defl, rep_defl) = defl_mixed_solve(&f.op, &f.sub, &b, TOL, 1e-5, 50, 600);
+    assert!(rep_mixed.converged && rep_defl.converged);
+    assert!(
+        rep_defl.inner_iterations <= rep_mixed.inner_iterations,
+        "deflated ladder spent more inner iterations: {} vs {}",
+        rep_defl.inner_iterations,
+        rep_mixed.inner_iterations
+    );
+    let mut d = x_mixed.clone();
+    d.sub(&x_mixed, &x_defl);
+    assert!(d.norm2().sqrt() / x_mixed.norm2().sqrt() < 1e-5);
+}
+
+#[test]
+#[should_panic(expected = "subspace was built at mass")]
+fn wrong_mass_subspace_is_rejected() {
+    let f = fixture();
+    let other = WilsonDirac::new(random_gauge(f.grid.clone(), 7), 0.25);
+    let b = FermionField::random(f.grid.clone(), 11);
+    let _ = defl_cg(&other, &f.sub, &b, TOL, 100);
+}
+
+#[test]
+fn coarse_pcg_beats_plain_cg_on_the_thermalized_config() {
+    let f = fixture();
+    let cs = CoarseSpace::build(&f.op, &f.sub.vectors, [2, 2, 2, 2]);
+    assert_eq!(cs.cdims(), [2, 2, 2, 2]);
+    assert_eq!(cs.ncoarse(), 16 * f.sub.nev());
+    let b = FermionField::random(f.grid.clone(), 11);
+    let (x_plain, rep_plain) = cg(&f.op, &b, TOL, 6000);
+    let (x_pcg, rep_pcg) = coarse_pcg(&f.op, &cs, &b, TOL, 6000);
+    assert!(rep_plain.converged && rep_pcg.converged);
+    assert!(
+        rep_pcg.iterations < rep_plain.iterations,
+        "coarse correction gained nothing: {} vs {} iterations",
+        rep_pcg.iterations,
+        rep_plain.iterations
+    );
+    let mut d = FermionField::zero(f.grid.clone());
+    d.sub(&x_plain, &x_pcg);
+    assert!(d.norm2().sqrt() / x_plain.norm2().sqrt() < 1e-5);
+}
+
+#[test]
+fn restriction_is_the_adjoint_of_prolongation() {
+    let f = fixture();
+    let cs = CoarseSpace::build(&f.op, &f.sub.vectors[..4], [2, 2, 2, 2]);
+    let fine = FermionField::random(f.grid.clone(), 61);
+    // Any coarse vector with deterministic non-trivial entries.
+    let y: Vec<Complex> = (0..cs.ncoarse())
+        .map(|k| Complex::new(0.3 + 0.01 * k as f64, -0.2 + 0.02 * k as f64))
+        .collect();
+    let mut py = FermionField::zero(f.grid.clone());
+    cs.prolong_into(&y, &mut py);
+    let rf = cs.restrict(&fine);
+    // ⟨P† f, y⟩_coarse must equal ⟨f, P y⟩_fine.
+    let lhs: Complex = rf
+        .iter()
+        .zip(&y)
+        .fold(Complex::ZERO, |acc, (a, b)| acc + a.conj() * *b);
+    let rhs = fine.canonical_inner(&py);
+    assert!(
+        (lhs - rhs).abs() < 1e-10 * (1.0 + rhs.abs()),
+        "⟨P†f, y⟩ = {lhs:?} vs ⟨f, Py⟩ = {rhs:?}"
+    );
+}
+
+#[test]
+fn coarse_preconditioner_is_positive_definite() {
+    let f = fixture();
+    let cs = CoarseSpace::build(&f.op, &f.sub.vectors[..4], [2, 2, 2, 2]);
+    for seed in [71u64, 72, 73] {
+        let r = FermionField::random(f.grid.clone(), seed);
+        let z = cs.precondition(&r);
+        let rz = r.canonical_inner(&z);
+        assert!(
+            rz.re > 0.0 && rz.im.abs() < 1e-9 * rz.re,
+            "⟨r, M⁻¹r⟩ = {rz:?} not real-positive (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn galerkin_guess_is_the_projected_exact_solve() {
+    let f = fixture();
+    let b = FermionField::random(f.grid.clone(), 51);
+    let x0 = galerkin_guess(&f.sub, &b);
+    // ⟨v_i, A x₀⟩ = ⟨v_i, b⟩ for every subspace direction: the low-mode
+    // part of the residual b − A x₀ vanishes to eigensolver accuracy.
+    let ax0 = f.op.mdag_m(&x0);
+    for (i, v) in f.sub.vectors.iter().enumerate() {
+        let lhs = v.canonical_inner(&ax0);
+        let rhs = v.canonical_inner(&b);
+        assert!(
+            (lhs - rhs).abs() < 1e-6,
+            "direction {i}: ⟨v,Ax₀⟩ = {lhs:?} vs ⟨v,b⟩ = {rhs:?}"
+        );
+    }
+}

@@ -190,6 +190,7 @@ fn run_worker_legs(
             rhs_seeds: (400..408).collect(),
             tol: 1e-6,
             max_iter: 400,
+            subspace: None,
         }))
         .map_err(|e| format!("submit bench burst: {e}"))?;
         let stop = AtomicBool::new(false);

@@ -173,6 +173,7 @@ fn submit_mix(farm: &Farm, args: &Args) {
                 .collect(),
             tol: args.tol,
             max_iter: 4000,
+            subspace: None,
         });
         if let Err(e) = farm.submit(spec) {
             fail(&format!("submit burst-0: {e}"));

@@ -118,6 +118,14 @@ pub struct SolveSpec {
     pub tol: f64,
     /// Iteration budget per solve.
     pub max_iter: u64,
+    /// Stem of a shared low-mode subspace checkpoint
+    /// (`<stem>.subspace.qio` in the farm directory, written by
+    /// `qcd_deflate::Subspace::save`). When set, every batch of this job
+    /// runs the deflated solver against that subspace — still bit-identical
+    /// to standalone `defl_cg` solves of the same requests. The subspace
+    /// must match the job's lattice and mass; mismatches are typed errors
+    /// at batch execution.
+    pub subspace: Option<String>,
 }
 
 /// Any job the farm schedules.
@@ -165,18 +173,29 @@ impl JobSpec {
     /// Reject names that cannot serve as file stems. Dots are reserved for
     /// the `<name>.job.qio` / `<name>.chain.qio` suffix scheme.
     pub fn validate_name(&self) -> Result<()> {
+        let ok_stem = |s: &str| {
+            !s.is_empty()
+                && s.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+        };
         let name = self.name();
-        let ok = !name.is_empty()
-            && name
-                .chars()
-                .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_');
-        if ok {
-            Ok(())
-        } else {
-            Err(bad(format!(
+        if !ok_stem(name) {
+            return Err(bad(format!(
                 "job name `{name}` must be non-empty [A-Za-z0-9_-]"
-            )))
+            )));
         }
+        if let JobSpec::Solve(SolveSpec {
+            subspace: Some(stem),
+            ..
+        }) = self
+        {
+            if !ok_stem(stem) {
+                return Err(bad(format!(
+                    "subspace stem `{stem}` must be non-empty [A-Za-z0-9_-]"
+                )));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -197,6 +216,12 @@ impl JobPaths {
     /// The result digest written on completion.
     pub fn done(dir: &Path, name: &str) -> PathBuf {
         dir.join(format!("{name}.done.qio"))
+    }
+
+    /// A shared low-mode subspace checkpoint (referenced by
+    /// [`SolveSpec::subspace`]; written by `qcd_deflate::Subspace::save`).
+    pub fn subspace(dir: &Path, stem: &str) -> PathBuf {
+        dir.join(format!("{stem}.subspace.qio"))
     }
 }
 
@@ -332,6 +357,13 @@ fn job_record(spec: &JobSpec) -> Record {
             e.f64(s.mass);
             e.f64(s.tol);
             e.u64(s.max_iter);
+            match &s.subspace {
+                None => e.u8(0),
+                Some(stem) => {
+                    e.u8(1);
+                    e.str(stem);
+                }
+            }
             e.u64(s.rhs_seeds.len() as u64);
             for &seed in &s.rhs_seeds {
                 e.u64(seed);
@@ -378,6 +410,11 @@ fn job_from_record(r: &Record) -> Result<JobSpec> {
             let mass = d.f64("mass")?;
             let tol = d.f64("tolerance")?;
             let max_iter = d.u64("iteration budget")?;
+            let subspace = match d.u8("subspace flag")? {
+                0 => None,
+                1 => Some(d.str("subspace stem")?),
+                other => return Err(bad(format!("unknown subspace flag {other}"))),
+            };
             let n = d.u64("request count")? as usize;
             let mut rhs_seeds = Vec::with_capacity(n);
             for _ in 0..n {
@@ -391,6 +428,7 @@ fn job_from_record(r: &Record) -> Result<JobSpec> {
                 rhs_seeds,
                 tol,
                 max_iter,
+                subspace,
             })
         }
         other => return Err(bad(format!("unknown job kind tag {other}"))),
@@ -553,6 +591,7 @@ mod tests {
             rhs_seeds: vec![5, 6, 7],
             tol: 1e-8,
             max_iter: 2000,
+            subspace: None,
         })
     }
 

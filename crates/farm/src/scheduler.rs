@@ -547,7 +547,27 @@ impl Farm {
                 rhs: FermionField::random(grid.clone(), spec.rhs_seeds[i]),
             })
             .collect();
-        let outcomes = solve_cg_requests(&op, &requests, spec.tol, spec.max_iter as usize);
+        let outcomes = match &spec.subspace {
+            None => solve_cg_requests(&op, &requests, spec.tol, spec.max_iter as usize),
+            Some(stem) => {
+                // Shared low-mode subspace: load the `defl.*` checkpoint
+                // (validated against this job's lattice and mass) and run
+                // the deflated batch solver. Each outcome remains
+                // bit-identical to a standalone `defl_cg` of its RHS.
+                let sub = qcd_deflate::Subspace::load(
+                    &JobPaths::subspace(&self.dir, stem),
+                    &grid,
+                    spec.mass,
+                )?;
+                qcd_deflate::solve_deflated_requests(
+                    &op,
+                    &sub,
+                    &requests,
+                    spec.tol,
+                    spec.max_iter as usize,
+                )
+            }
+        };
         drop(span);
         let mut jobs = self.jobs.lock().unwrap_or_else(|e| e.into_inner());
         let entry = jobs.get_mut(&unit.job).expect("queued job is tracked");

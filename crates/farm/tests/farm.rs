@@ -52,6 +52,7 @@ fn burst(name: &str, requests: u64) -> JobSpec {
         rhs_seeds: (0..requests).map(|i| 500 + i).collect(),
         tol: 1e-6,
         max_iter: 2000,
+        subspace: None,
     })
 }
 
@@ -132,6 +133,91 @@ fn an_interrupted_service_recovers_bit_identically() {
     verify_dirs(&ref_dir, &cut_dir).unwrap();
     std::fs::remove_dir_all(&ref_dir).ok();
     std::fs::remove_dir_all(&cut_dir).ok();
+}
+
+#[test]
+fn a_shared_subspace_deflates_farm_bursts_bit_identically() {
+    // Build the subspace for the exact operator the bursts solve against
+    // (gauge seed 77, mass 0.2) and park it in the farm directory.
+    let dir = scratch("deflated");
+    std::fs::create_dir_all(&dir).unwrap();
+    let grid = cfg().grid();
+    let op = WilsonDirac::new(random_gauge(grid.clone(), 77), 0.2);
+    let (sub, _) = qcd_deflate::build_subspace(&op, 4, 99);
+    sub.save(&JobPaths::subspace(&dir, "shared"), Precision::F64)
+        .unwrap();
+
+    // Two bursts share the one subspace; a third runs undeflated.
+    let deflated = |name: &str, seeds: std::ops::Range<u64>| {
+        JobSpec::Solve(SolveSpec {
+            name: name.into(),
+            priority: Priority::Normal,
+            gauge_seed: 77,
+            mass: 0.2,
+            rhs_seeds: seeds.map(|i| 500 + i).collect(),
+            tol: 1e-6,
+            max_iter: 2000,
+            subspace: Some("shared".into()),
+        })
+    };
+    let farm = Farm::open(&dir, cfg()).unwrap();
+    farm.submit(deflated("defl-a", 0..3)).unwrap();
+    farm.submit(deflated("defl-b", 3..5)).unwrap();
+    farm.submit(burst("plain", 2)).unwrap();
+    farm.run(2, &AtomicBool::new(false), None).unwrap();
+    assert!(farm.all_done());
+
+    // Every deflated request digest matches a standalone defl_cg solve of
+    // the same seed, regardless of which job/batch carried it.
+    let reload =
+        qcd_deflate::Subspace::load(&JobPaths::subspace(&dir, "shared"), &grid, 0.2).unwrap();
+    let expect = |seed: u64| {
+        let b = FermionField::random(grid.clone(), 500 + seed);
+        let (x, rep) = qcd_deflate::defl_cg(&op, &reload, &b, 1e-6, 2000);
+        (
+            rep.iterations as u64,
+            rep.residual.to_bits(),
+            x.norm2().to_bits(),
+        )
+    };
+    for (name, seeds) in [("defl-a", 0..3u64), ("defl-b", 3..5)] {
+        let DoneDigest::Solve(reqs) = read_done(&JobPaths::done(&dir, name)).unwrap() else {
+            panic!("solve digest expected for {name}")
+        };
+        for (slot, seed) in seeds.enumerate() {
+            let (iters, res, norm) = expect(seed);
+            assert_eq!(reqs[slot].iterations, iters, "{name} req {slot}");
+            assert_eq!(reqs[slot].residual_bits, res, "{name} req {slot}");
+            assert_eq!(reqs[slot].norm2_bits, norm, "{name} req {slot}");
+        }
+    }
+
+    // The plain burst is unaffected by deflated neighbours.
+    let DoneDigest::Solve(plain) = read_done(&JobPaths::done(&dir, "plain")).unwrap() else {
+        panic!("solve digest expected")
+    };
+    let (x, rep) = cg(&op, &FermionField::random(grid.clone(), 500), 1e-6, 2000);
+    assert_eq!(plain[0].iterations, rep.iterations as u64);
+    assert_eq!(plain[0].residual_bits, rep.residual.to_bits());
+    assert_eq!(plain[0].norm2_bits, x.norm2().to_bits());
+
+    // A burst naming a missing subspace fails the run as a typed IO error.
+    let missing = Farm::open(&scratch("deflated-missing"), cfg()).unwrap();
+    missing
+        .submit(JobSpec::Solve(SolveSpec {
+            name: "orphan".into(),
+            priority: Priority::Normal,
+            gauge_seed: 77,
+            mass: 0.2,
+            rhs_seeds: vec![900],
+            tol: 1e-6,
+            max_iter: 2000,
+            subspace: Some("nowhere".into()),
+        }))
+        .unwrap();
+    assert!(missing.run(1, &AtomicBool::new(false), None).is_err());
+    std::fs::remove_dir_all(missing.dir()).ok();
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -38,7 +38,7 @@ fn link_bits(u: &grid::GaugeField) -> Vec<u64> {
 
 #[test]
 fn resume_is_bit_identical_to_uninterrupted_chain() {
-    for bits in [128usize, 256, 512] {
+    for bits in [128usize, 256, 512, 1024, 2048] {
         let g = grid4(bits);
 
         // The chain that never stops: 4 trajectories straight.

@@ -82,6 +82,16 @@ pub enum IoError {
         /// Tolerance allowed for the file's storage precision.
         tolerance: f64,
     },
+    /// Physics validation failed: a stored operator parameter (e.g. the
+    /// Wilson mass a deflation subspace was built at) does not match the
+    /// operator the caller wants to use the data with. Comparison is exact
+    /// (bit-level): a subspace deflates `M†M(mass)` and nothing else.
+    MassMismatch {
+        /// Mass of the operator the caller is solving with.
+        want: f64,
+        /// Mass recorded in the file.
+        found: f64,
+    },
     /// A scalar-stream decode failure from the shared precision codec.
     Codec(CodecError),
 }
@@ -103,6 +113,7 @@ impl IoError {
             IoError::GridMismatch { .. } => "grid_mismatch",
             IoError::KindMismatch { .. } => "kind_mismatch",
             IoError::PlaquetteMismatch { .. } => "plaquette_mismatch",
+            IoError::MassMismatch { .. } => "mass_mismatch",
             IoError::Codec(_) => "codec",
         }
     }
@@ -152,6 +163,12 @@ impl fmt::Display for IoError {
                 f,
                 "plaquette validation failed: stored {stored:.12}, recomputed {computed:.12}, tolerance {tolerance:e}"
             ),
+            IoError::MassMismatch { want, found } => {
+                write!(
+                    f,
+                    "operator mass mismatch: solving at {want:.12}, file built at {found:.12}"
+                )
+            }
             IoError::Codec(e) => write!(f, "{e}"),
         }
     }
@@ -223,6 +240,10 @@ mod tests {
                 computed: 0.4,
                 tolerance: 1e-11,
             },
+            IoError::MassMismatch {
+                want: 0.1,
+                found: 0.2,
+            },
             IoError::Codec(CodecError {
                 msg: "ragged stream".into(),
             }),
@@ -232,7 +253,7 @@ mod tests {
             assert!(!e.to_string().is_empty());
             names.insert(e.variant_name());
         }
-        assert_eq!(names.len(), 12, "variant names must be distinct");
+        assert_eq!(names.len(), 13, "variant names must be distinct");
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub mod fault;
 pub mod fields;
 pub mod hmc;
 pub mod scan;
+pub mod subspace;
 
 pub use checkpoint::{
     bicgstab_checkpointed_from, block_cg_checkpointed, block_cg_checkpointed_from, cg_checkpointed,
@@ -72,6 +73,10 @@ pub use fields::{
 };
 pub use hmc::{read_hmc_chain, write_hmc_chain, HmcChainState, HMC_HISTORY_RECORD, HMC_RECORD};
 pub use scan::{scan_checkpoints, CheckpointEntry, CheckpointKind, ScanReport, SkippedCheckpoint};
+pub use subspace::{
+    defl_vector_record, read_subspace, write_subspace, SubspaceData, DEFL_META_RECORD,
+    DEFL_SCALARS_RECORD,
+};
 
 /// Record a typed `io.error` flight event and bump the `io.errors` counter.
 /// Called by every read/write/validate path the moment a failure surfaces,

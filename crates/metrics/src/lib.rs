@@ -78,6 +78,28 @@ pub fn validate_jsonl(text: &str) -> Result<usize, String> {
     Ok(n)
 }
 
+/// Finish a solve's health bookkeeping in one call: cap the reported
+/// residual history with [`bound_history`] (keeping every health-flagged
+/// iteration), feed the `<region>.iterations` histogram and the global
+/// `solver.solves` counter, and drain the monitor into its typed event
+/// list. Every solver in `grid` — and the deflated solvers in
+/// `qcd-deflate` — conclude through here, so solve-level metrics stay
+/// uniform across subsystems. The monitor must have observed every entry
+/// of `history` (restored prefix replayed, new entries live), so a resumed
+/// solve reports exactly what the uninterrupted one would.
+pub fn conclude_solver_health(
+    region: &str,
+    monitor: HealthMonitor,
+    history: &[f64],
+    iterations: usize,
+    cap: usize,
+) -> (Vec<f64>, Vec<HealthEvent>) {
+    let (capped, _kept) = bound_history(history, &monitor.flagged_iterations(), cap);
+    histogram(&format!("{region}.iterations")).record(iterations as u64);
+    counter("solver.solves").inc();
+    (capped, monitor.into_events())
+}
+
 /// Cap a solver residual history for reporting: keep the first and last
 /// entries and every `flagged` index (health events), then fill the rest by
 /// uniform striding, doubling the stride until the result fits `cap`. The

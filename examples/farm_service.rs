@@ -54,6 +54,7 @@ fn submit_mix(farm: &Farm) {
         rhs_seeds: (0..6).map(|i| 700 + i).collect(),
         tol: 1e-7,
         max_iter: 2000,
+        subspace: None,
     }))
     .expect("submit burst");
 }
