@@ -11,8 +11,9 @@
 //!
 //! Usage: `wilson_report [--json <path>] [--checkpoint <path>]
 //! [--resume <path>] [--ckpt-every <n>] [--bench <path>] [--bench-l <n>]
-//! [--bench-iters <n>] [--rhs <n>] [--deflate] [--bench-comms <path>]
-//! [--comms-rhs <n>] [--comms-iters <n>] [--metrics <path>]`.
+//! [--bench-iters <n>] [--rhs <n>] [--deflate] [--precision]
+//! [--bench-comms <path>] [--comms-rhs <n>] [--comms-iters <n>]
+//! [--metrics <path>]`.
 //!
 //! With `--json`, additionally writes the registry snapshot as a
 //! `qcd-trace/v1` document (schema documented on
@@ -36,7 +37,12 @@
 //! runs the deflated-vs-undeflated N=16 block comparison plus the
 //! coarse-grid two-level leg; the run fails unless the deflated batch
 //! beats the undeflated one in total iterations AND wall time, and the
-//! gated `deflation` section is exported in the document.
+//! gated `deflation` section is exported in the document. Adding
+//! `--precision` runs the f16-inner vs f32-inner mixed-precision ladder
+//! comparison on the same thermalized recipe; the run fails unless both
+//! ladders reach the f64 tolerance and the f16-inner leg moves at most
+//! 0.6x the f32-inner leg's trace-span bytes per inner iteration, and the
+//! gated `precision` section is exported in the document.
 //!
 //! With `--bench-comms`, runs the multi-rank strong-scaling sweep: the
 //! same global problem solved by a distributed block CG at R ∈ {1,2,4}
@@ -61,6 +67,7 @@
 use bench::comms_bench;
 use bench::deflate_bench;
 use bench::hmc_bench;
+use bench::precision_bench;
 use bench::profile;
 use bench::solver_bench;
 use bench::BENCH_LATTICE;
@@ -126,6 +133,16 @@ fn main() {
                 Ok(d) => bench.deflation = Some(d),
                 Err(e) => {
                     eprintln!("wilson_report: deflation benchmark: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        if report_args.precision {
+            let cfg = precision_bench::PrecisionConfig::default();
+            match precision_bench::run_precision_bench(&cfg) {
+                Ok(p) => bench.precision = Some(p),
+                Err(e) => {
+                    eprintln!("wilson_report: precision benchmark: {e}");
                     std::process::exit(1);
                 }
             }
@@ -245,6 +262,54 @@ fn main() {
             println!(
                 "deflation gate passed: deflated batch beats undeflated in total \
                  iterations and wall time"
+            );
+        }
+        if let Some(p) = &bench.precision {
+            let c = &p.config;
+            println!(
+                "\nMIXED-PRECISION LADDER — f16-inner vs f32-inner, reliable updates\n\
+                 lattice {:?}, β={} × {} trajectories (plaquette {:.6}), mass {}, tol {:.0e}\n",
+                c.dims, c.beta, c.therm, p.plaquette, c.mass, c.tol,
+            );
+            println!(
+                "{:<10} {:>6} {:>9} {:>9} {:>8} {:>9} {:>12} {:>12} {:>11}",
+                "leg",
+                "outer",
+                "f16 iter",
+                "f32 iter",
+                "rel.upd",
+                "fallback",
+                "residual",
+                "wall ms",
+                "bytes/iter"
+            );
+            for (name, leg) in [("f32-inner", &p.f32_inner), ("f16-inner", &p.f16_inner)] {
+                println!(
+                    "{:<10} {:>6} {:>9} {:>9} {:>8} {:>9} {:>12.3e} {:>12.2} {:>11.0}",
+                    name,
+                    leg.outer_rounds,
+                    leg.f16_iters,
+                    leg.f32_iters,
+                    leg.reliable_updates,
+                    leg.tier_fallbacks,
+                    leg.residual,
+                    leg.wall_ns as f64 / 1e6,
+                    leg.bytes_per_iter,
+                );
+            }
+            println!(
+                "\ninner-sweep byte ratio: x{:.3} (f16-inner / f32-inner, trace-span \
+                 bytes per inner iteration; gate x{})",
+                p.byte_ratio,
+                precision_bench::PRECISION_BYTE_RATIO_LIMIT
+            );
+            if let Err(e) = precision_bench::check_precision(p) {
+                eprintln!("wilson_report: precision gate failed: {e}");
+                std::process::exit(1);
+            }
+            println!(
+                "precision gate passed: both ladders reach the f64 tolerance and the \
+                 f16-inner leg moves <= 0.6x the bytes per inner iteration"
             );
         }
         match solver_bench::write_validated_bench_json(&bench, path) {

@@ -146,7 +146,8 @@ fn diff_solver(baseline: &Json, current: &Json) -> DiffReport {
     d.wall("speedup");
     d.wall("metrics_overhead");
     let report = diff_solver_block(baseline, current, d.report);
-    diff_solver_deflation(baseline, current, report)
+    let report = diff_solver_deflation(baseline, current, report);
+    diff_solver_precision(baseline, current, report)
 }
 
 /// Compare the optional `deflation` sections. Iteration counts,
@@ -210,6 +211,62 @@ fn diff_solver_deflation(baseline: &Json, current: &Json, mut report: DiffReport
     }
     let tag = |msgs: Vec<String>| -> Vec<String> {
         msgs.into_iter().map(|m| format!("deflation {m}")).collect()
+    };
+    report.failures.extend(tag(d.report.failures));
+    report.warnings.extend(tag(d.report.warnings));
+    report
+}
+
+/// Compare the optional `precision` sections. Iteration counts, residuals
+/// (canonical reductions), the thermalized plaquette, and the trace-span
+/// byte model are pure functions of the seeded recipe, so any drift is a
+/// hard failure; wall clocks vary with the host and only warn. A section
+/// present in only one document is a warning (one run used `--precision`,
+/// the other did not), not a regression.
+fn diff_solver_precision(baseline: &Json, current: &Json, mut report: DiffReport) -> DiffReport {
+    let (b, c) = (baseline.get("precision"), current.get("precision"));
+    let (b, c) = match (b, c) {
+        (None, None) => return report,
+        (Some(b), Some(c)) => (b, c),
+        _ => {
+            report
+                .warnings
+                .push("`precision` section present in only one document".into());
+            return report;
+        }
+    };
+    let mut d = Diff::new(b, c);
+    for key in [
+        "lattice",
+        "beta",
+        "therm",
+        "chain_seed",
+        "mass",
+        "rhs_seed",
+        "tol",
+    ] {
+        d.config(key);
+    }
+    d.hard("plaquette");
+    d.hard("byte_ratio");
+    for leg in ["f32_inner", "f16_inner"] {
+        for m in [
+            "outer_rounds",
+            "f16_iters",
+            "f32_iters",
+            "reliable_updates",
+            "tier_fallbacks",
+            "inner_iters",
+            "residual",
+            "inner_bytes",
+            "bytes_per_iter",
+        ] {
+            d.hard(&format!("{leg}.{m}"));
+        }
+        d.wall(&format!("{leg}.wall_ns"));
+    }
+    let tag = |msgs: Vec<String>| -> Vec<String> {
+        msgs.into_iter().map(|m| format!("precision {m}")).collect()
     };
     report.failures.extend(tag(d.report.failures));
     report.warnings.extend(tag(d.report.warnings));
@@ -504,6 +561,30 @@ mod tests {
         format!("{trimmed}{section}")
     }
 
+    fn precision_solver_doc() -> String {
+        let section = r#",
+          "precision": {
+            "lattice": [4, 4, 4, 4], "beta": 5.6, "therm": 12,
+            "chain_seed": 5, "mass": -0.2, "rhs_seed": 501, "tol": 1e-10,
+            "plaquette": 0.557,
+            "f32_inner": {"outer_rounds": 3, "f16_iters": 0, "f32_iters": 320,
+                          "reliable_updates": 0, "tier_fallbacks": 0,
+                          "inner_iters": 320, "residual": 4.1e-11,
+                          "wall_ns": 2.1e9, "inner_bytes": 5.2e8,
+                          "bytes_per_iter": 1625000.0},
+            "f16_inner": {"outer_rounds": 4, "f16_iters": 360, "f32_iters": 40,
+                          "reliable_updates": 12, "tier_fallbacks": 0,
+                          "inner_iters": 400, "residual": 6.3e-11,
+                          "wall_ns": 2.4e9, "inner_bytes": 3.4e8,
+                          "bytes_per_iter": 850000.0},
+            "byte_ratio": 0.523
+          }
+        }"#;
+        let doc = solver_doc();
+        let trimmed = doc.trim_end().trim_end_matches('}').trim_end();
+        format!("{trimmed}{section}")
+    }
+
     fn hmc_doc() -> String {
         r#"{
           "schema": "qcd-bench-hmc/v1",
@@ -701,6 +782,56 @@ mod tests {
             .warnings
             .iter()
             .any(|w| w.contains("only one document")));
+        let report = diff_docs(&bare, &base).unwrap();
+        assert!(report.passed());
+        assert!(!report.warnings.is_empty());
+    }
+
+    #[test]
+    fn precision_model_drift_is_a_hard_failure() {
+        let base = parse(&precision_solver_doc());
+        let report = diff_docs(&base, &base).unwrap();
+        assert!(report.passed() && report.warnings.is_empty());
+        let cur =
+            parse(&precision_solver_doc().replace("\"f16_iters\": 360", "\"f16_iters\": 361"));
+        let report = diff_docs(&base, &cur).unwrap();
+        assert!(
+            report
+                .failures
+                .iter()
+                .any(|f| f.contains("precision") && f.contains("f16_inner.f16_iters")),
+            "failures: {:?}",
+            report.failures
+        );
+        let cur =
+            parse(&precision_solver_doc().replace("\"byte_ratio\": 0.523", "\"byte_ratio\": 0.61"));
+        let report = diff_docs(&base, &cur).unwrap();
+        assert!(report.failures.iter().any(|f| f.contains("byte_ratio")));
+        // A different recipe is a config mismatch, not a metric drift.
+        let cur = parse(&precision_solver_doc().replace("\"tol\": 1e-10", "\"tol\": 1e-8"));
+        let report = diff_docs(&base, &cur).unwrap();
+        assert!(report.failures.iter().any(|f| f.contains("tol")));
+    }
+
+    #[test]
+    fn precision_wall_drift_warns_and_asymmetry_warns() {
+        let base = parse(&precision_solver_doc());
+        let cur =
+            parse(&precision_solver_doc().replace("\"wall_ns\": 2.4e9", "\"wall_ns\": 4.8e9"));
+        let report = diff_docs(&base, &cur).unwrap();
+        assert!(report.passed(), "failures: {:?}", report.failures);
+        assert!(report
+            .warnings
+            .iter()
+            .any(|w| w.contains("precision") && w.contains("f16_inner.wall_ns")));
+        // One run with --precision, one without: a warning, never a failure.
+        let bare = parse(&solver_doc());
+        let report = diff_docs(&base, &bare).unwrap();
+        assert!(report.passed(), "failures: {:?}", report.failures);
+        assert!(report
+            .warnings
+            .iter()
+            .any(|w| w.contains("`precision` section present in only one document")));
         let report = diff_docs(&bare, &base).unwrap();
         assert!(report.passed());
         assert!(!report.warnings.is_empty());

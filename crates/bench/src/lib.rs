@@ -8,6 +8,7 @@ pub mod comms_bench;
 pub mod deflate_bench;
 pub mod diff;
 pub mod hmc_bench;
+pub mod precision_bench;
 pub mod profile;
 pub mod solver_bench;
 

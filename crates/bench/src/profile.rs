@@ -221,6 +221,10 @@ pub struct ReportArgs {
     /// deflation comparison on a thermalized configuration and export the
     /// gated `deflation` section.
     pub deflate: bool,
+    /// `--precision`: with `--bench`, additionally run the f16-inner vs
+    /// f32-inner mixed-precision ladder comparison on a thermalized
+    /// configuration and export the gated `precision` section.
+    pub precision: bool,
     /// `--hmc <path>`: run the HMC ensemble-generation benchmark, enforce
     /// the equilibrium physics gates, and write the `qcd-bench-hmc/v1`
     /// document to the path.
@@ -248,9 +252,9 @@ pub struct ReportArgs {
 /// Parse the `wilson_report` command line: `[--json <path>]
 /// [--checkpoint <path>] [--resume <path>] [--ckpt-every <n>]
 /// [--bench <path>] [--bench-l <n>] [--bench-iters <n>] [--rhs <n>]
-/// [--deflate] [--hmc <path>] [--hmc-l <n>] [--hmc-traj <n>]
-/// [--hmc-therm <n>] [--bench-comms <path>] [--comms-rhs <n>]
-/// [--comms-iters <n>] [--metrics <path>]`.
+/// [--deflate] [--precision] [--hmc <path>] [--hmc-l <n>]
+/// [--hmc-traj <n>] [--hmc-therm <n>] [--bench-comms <path>]
+/// [--comms-rhs <n>] [--comms-iters <n>] [--metrics <path>]`.
 pub fn parse_report_args(args: &[String]) -> Result<ReportArgs, String> {
     let mut out = ReportArgs {
         every: 5,
@@ -294,6 +298,7 @@ pub fn parse_report_args(args: &[String]) -> Result<ReportArgs, String> {
             "--bench-iters" => out.bench_iters = count_value(&mut it, arg)?,
             "--rhs" => out.rhs = Some(count_value(&mut it, arg)?),
             "--deflate" => out.deflate = true,
+            "--precision" => out.precision = true,
             "--hmc-l" => out.hmc_l = count_value(&mut it, arg)?,
             "--hmc-traj" => out.hmc_traj = count_value(&mut it, arg)?,
             "--hmc-therm" => out.hmc_therm = count_value(&mut it, arg)?,
@@ -301,7 +306,7 @@ pub fn parse_report_args(args: &[String]) -> Result<ReportArgs, String> {
             "--comms-iters" => out.comms_iters = count_value(&mut it, arg)?,
             other => {
                 return Err(format!(
-                    "unrecognised argument `{other}` (expected --json/--checkpoint/--resume/--bench/--hmc/--bench-comms/--metrics <path>, --ckpt-every/--bench-l/--bench-iters/--rhs/--hmc-l/--hmc-traj/--hmc-therm/--comms-rhs/--comms-iters <n>, --deflate)"
+                    "unrecognised argument `{other}` (expected --json/--checkpoint/--resume/--bench/--hmc/--bench-comms/--metrics <path>, --ckpt-every/--bench-l/--bench-iters/--rhs/--hmc-l/--hmc-traj/--hmc-therm/--comms-rhs/--comms-iters <n>, --deflate, --precision)"
                 ))
             }
         }

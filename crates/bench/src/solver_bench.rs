@@ -135,6 +135,11 @@ pub struct SolverBench {
     /// (`--deflate`): present when the deflation legs ran, gated by
     /// [`crate::deflate_bench::check_deflation_gain`] in CI.
     pub deflation: Option<crate::deflate_bench::DeflationBench>,
+    /// The f16-inner vs f32-inner mixed-precision ladder comparison on a
+    /// thermalized configuration (`--precision`): present when the
+    /// precision legs ran, gated by
+    /// [`crate::precision_bench::check_precision`] in CI.
+    pub precision: Option<crate::precision_bench::PrecisionBench>,
 }
 
 /// Ceiling on [`SolverBench::metrics_overhead`]: the metrics layer may
@@ -438,6 +443,7 @@ pub fn run_solver_bench_with_rhs(
         block,
         metrics_overhead,
         deflation: None,
+        precision: None,
     })
 }
 
@@ -497,6 +503,12 @@ pub fn bench_to_json(b: &SolverBench) -> Json {
         members.push((
             "deflation".into(),
             crate::deflate_bench::deflation_to_json(d),
+        ));
+    }
+    if let Some(p) = &b.precision {
+        members.push((
+            "precision".into(),
+            crate::precision_bench::precision_to_json(p),
         ));
     }
     Json::Obj(members)
@@ -591,10 +603,14 @@ pub fn validate_solver_bench_json(doc: &Json) -> Result<(), String> {
     {
         return Err("`metrics_overhead` missing or not positive".into());
     }
-    // The deflation section is optional (--deflate); when present it must
-    // be a complete, well-formed comparison.
+    // The deflation and precision sections are optional (--deflate,
+    // --precision); when present each must be a complete, well-formed
+    // comparison.
     if let Some(d) = doc.get("deflation") {
         crate::deflate_bench::validate_deflation_json(d)?;
+    }
+    if let Some(p) = doc.get("precision") {
+        crate::precision_bench::validate_precision_json(p)?;
     }
     Ok(())
 }

@@ -54,13 +54,30 @@ pub const FACES_IN_FLIGHT: usize = 2;
 /// Shells kept per rank for reuse; beyond this, returned buffers are freed.
 const SHELL_POOL_CAP: usize = 16;
 
+/// Relative rounding grain of a binary16 wire scalar (`2⁻¹¹`, RTNE).
+///
+/// This constant anchors the **lossy-wire accuracy contract** of
+/// [`Compression::F16`]: each halo scalar a sweep reads from the wire is
+/// within `F16_WIRE_EPS` of the sender's value, so a distributed solve
+/// over a compressed wire applies a perturbed operator `Ã` with
+/// `‖Ã − A‖ ≤ O(F16_WIRE_EPS)` concentrated on the face sites. The solve
+/// converges against its own recurrence exactly as over an uncompressed
+/// wire, and its solution agrees with the uncompressed-wire solution to
+/// `O(κ(A) · F16_WIRE_EPS)` in relative norm — pinned by
+/// `tests/f16_wire_contract.rs`. Residual targets *below* the contract
+/// bound require the uncompressed wire (or an outer correction loop such
+/// as [`crate::mixed::ladder_solve`] running its defect at full
+/// precision).
+pub const F16_WIRE_EPS: f64 = 4.8828125e-4;
+
 /// Wire format for halo buffers.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Compression {
     /// Full double precision on the wire.
     None,
     /// Compress to IEEE binary16, quartering the wire volume
-    /// (8 bytes → 2 bytes per real), at ~2^-11 relative error.
+    /// (8 bytes → 2 bytes per real), at [`F16_WIRE_EPS`] ≈ 2⁻¹¹ relative
+    /// error per scalar — see the accuracy contract on that constant.
     F16,
 }
 

@@ -16,12 +16,15 @@
 //! genuine re-layout, exactly as in Grid (separate `GridF`/`GridD`).
 
 use crate::dirac::WilsonDirac;
-use crate::field::{Field, FieldKind};
+use crate::field::{cg_update_x_r, FermionKind, Field, FieldKind};
 use crate::layout::Grid;
-use crate::solver::{cg_ws, SolverWorkspace};
+use crate::reduce;
+use crate::solver::{cg_canonical_ws, cg_ws, SolverWorkspace};
 use crate::FermionField;
+use qcd_metrics::{HealthEvent, HealthMonitor};
+use rayon::prelude::*;
 use std::sync::Arc;
-use sve::{Opcode, SveFloat};
+use sve::{Opcode, SveFloat, F16};
 
 /// Convert a field into a preallocated field of another precision (and its
 /// grid's layout). The per-scalar conversions are accounted as vectorized
@@ -166,6 +169,545 @@ pub fn mixed_precision_solve_from(
     )
 }
 
+// ---------------------------------------------------------------------------
+// Binary16 canonical reductions (f32 scalar accumulation)
+// ---------------------------------------------------------------------------
+
+/// Relative-residual floor of the binary16 compute tier: the f16 unit
+/// roundoff `2⁻¹⁰`  ≈ 9.8 × 10⁻⁴. A recurrence residual driven below this
+/// level is dominated by representation noise of the iterate and stops
+/// carrying information, so an inner f16 cycle exits here and hands the
+/// true residual back to the f32 tier (a *reliable update*).
+pub const F16_RESIDUAL_FLOOR: f64 = 9.765625e-4;
+
+/// Scatter the per-site scalar `Σ_comp |f(x)|²` of a binary16 field into
+/// `out` in global lexicographic site order, accumulating each site in
+/// **f32**: the square of any f16 value is exact in f32 (11-bit mantissas
+/// square into at most 22 bits), so only the component-order additions
+/// round — in a fixed order that depends on neither the SIMD layout nor
+/// the worker count. [`reduce::canonical_sum`] over `out` therefore returns
+/// the same bits at every vector length and thread count, the same regime
+/// as [`Field::site_norm2_lex`] at f64/f32.
+pub fn f16_site_norm2_lex<K: FieldKind>(f: &Field<K, F16>, out: &mut [f64]) {
+    let grid = f.grid();
+    assert_eq!(out.len(), grid.volume(), "scatter buffer != volume");
+    let fdims = grid.fdims();
+    out.par_chunks_mut(reduce::CHUNK_SITES)
+        .enumerate()
+        .for_each(|(ci, chunk)| {
+            for (k, slot) in chunk.iter_mut().enumerate() {
+                let x = crate::layout::delex(ci * reduce::CHUNK_SITES + k, &fdims);
+                let (osite, lane) = grid.coor_to_osite_lane(&x);
+                let li = 2 * lane;
+                let mut s = 0.0f32;
+                for comp in 0..K::NCOMP {
+                    let w = f.word(osite, comp);
+                    let (re, im) = (w[li].to_f32(), w[li + 1].to_f32());
+                    s += re * re + im * im;
+                }
+                *slot = s as f64;
+            }
+        });
+}
+
+/// Scatter the per-site scalar `Re Σ_comp conj(a)·b` of two binary16
+/// fields in global lexicographic site order, accumulating each site in
+/// f32 (products of f16 values are exact in f32; see
+/// [`f16_site_norm2_lex`]).
+pub fn f16_site_inner_re_lex<K: FieldKind>(a: &Field<K, F16>, b: &Field<K, F16>, out: &mut [f64]) {
+    let grid = a.grid();
+    assert_eq!(grid.fdims(), b.grid().fdims(), "lattices must match");
+    assert_eq!(out.len(), grid.volume(), "scatter buffer != volume");
+    let fdims = grid.fdims();
+    out.par_chunks_mut(reduce::CHUNK_SITES)
+        .enumerate()
+        .for_each(|(ci, chunk)| {
+            for (k, slot) in chunk.iter_mut().enumerate() {
+                let x = crate::layout::delex(ci * reduce::CHUNK_SITES + k, &fdims);
+                let (osite, lane) = grid.coor_to_osite_lane(&x);
+                let (bsite, blane) = b.grid().coor_to_osite_lane(&x);
+                let (li, bi) = (2 * lane, 2 * blane);
+                let mut s = 0.0f32;
+                for comp in 0..K::NCOMP {
+                    let aw = a.word(osite, comp);
+                    let bw = b.word(bsite, comp);
+                    s += aw[li].to_f32() * bw[bi].to_f32()
+                        + aw[li + 1].to_f32() * bw[bi + 1].to_f32();
+                }
+                *slot = s as f64;
+            }
+        });
+}
+
+/// `|f|²` of a binary16 field through the canonical reduction with f32
+/// per-site accumulation. `buf` is the caller-held scatter buffer
+/// (`volume` entries) so hot loops allocate nothing.
+pub fn f16_canonical_norm2<K: FieldKind>(f: &Field<K, F16>, buf: &mut [f64]) -> f64 {
+    f16_site_norm2_lex(f, buf);
+    reduce::canonical_sum(buf)
+}
+
+/// `Re ⟨a, b⟩` of two binary16 fields through the canonical reduction with
+/// f32 per-site accumulation.
+pub fn f16_canonical_inner_re<K: FieldKind>(
+    a: &Field<K, F16>,
+    b: &Field<K, F16>,
+    buf: &mut [f64],
+) -> f64 {
+    f16_site_inner_re_lex(a, b, buf);
+    reduce::canonical_sum(buf)
+}
+
+// ---------------------------------------------------------------------------
+// The three-level precision ladder
+// ---------------------------------------------------------------------------
+
+/// Configuration of the three-level reliable-update ladder
+/// ([`ladder_solve`]). The defaults of [`LadderConfig::new`] are the
+/// production recipe; [`LadderConfig::f32_only`] is the two-level
+/// comparison baseline (identical outer/middle structure, binary16 tier
+/// disabled).
+#[derive(Clone, Debug)]
+pub struct LadderConfig {
+    /// Target relative residual of the outer double-precision system.
+    pub tol: f64,
+    /// Per-outer-round target of the f32 middle level, relative to the
+    /// round's normal-equation right-hand side.
+    pub inner_tol: f64,
+    /// Per-cycle target of the binary16 tier on its *normalized* residual
+    /// system. Production values sit above [`F16_RESIDUAL_FLOOR`]; a value
+    /// below the floor asks the f16 recurrence for more than it can
+    /// represent, stalls it, and exercises the health-driven fallback.
+    pub f16_cycle_tol: f64,
+    /// Outer defect-correction round budget.
+    pub max_outer: usize,
+    /// Iteration budget per inner cycle (f16) or per middle round (f32).
+    pub max_inner: usize,
+    /// Reliable-update cycles per outer round before the round is handed
+    /// to the f32 tier regardless of progress.
+    pub max_cycles: usize,
+    /// Whether the binary16 tier starts enabled. The ladder may demote
+    /// itself (f16 → f32) at runtime; [`LadderReport::f16_active_at_exit`]
+    /// reports the final state so a resume can carry it over.
+    pub use_f16: bool,
+    /// Stall window of the inner-tier health monitor.
+    pub stall_window: usize,
+    /// Divergence factor of the inner-tier health monitor.
+    pub divergence_factor: f64,
+}
+
+impl LadderConfig {
+    /// Production three-level recipe targeting `tol`.
+    pub fn new(tol: f64) -> Self {
+        LadderConfig {
+            tol,
+            inner_tol: 1e-4,
+            f16_cycle_tol: 3.90625e-3, // 2⁻⁸: four f16 bits above the floor
+            max_outer: 30,
+            max_inner: 500,
+            max_cycles: 8,
+            use_f16: true,
+            stall_window: qcd_metrics::DEFAULT_STALL_WINDOW,
+            divergence_factor: qcd_metrics::DEFAULT_DIVERGENCE_FACTOR,
+        }
+    }
+
+    /// The two-level baseline: same outer/middle structure, f16 tier off.
+    pub fn f32_only(tol: f64) -> Self {
+        LadderConfig {
+            use_f16: false,
+            ..LadderConfig::new(tol)
+        }
+    }
+}
+
+/// Report of a [`ladder_solve`].
+#[derive(Clone, Debug)]
+pub struct LadderReport {
+    /// Outer (double-precision) defect-correction rounds.
+    pub outer_iterations: usize,
+    /// Total binary16 inner-CG iterations.
+    pub f16_iterations: usize,
+    /// Total f32 CG iterations (fallback rounds and f32-only ladders).
+    pub f32_iterations: usize,
+    /// Reliable updates performed: f32 residual recomputations closing an
+    /// f16 cycle.
+    pub reliable_updates: usize,
+    /// Health-driven tier demotions (f16 → f32).
+    pub tier_fallbacks: usize,
+    /// Whether the binary16 tier was still enabled when the solve ended.
+    /// Pass this back via [`LadderConfig::use_f16`] when resuming from a
+    /// checkpointed iterate so the continuation replays the same tiers.
+    pub f16_active_at_exit: bool,
+    /// Final true relative residual in double precision.
+    pub residual: f64,
+    /// Whether the target tolerance was reached.
+    pub converged: bool,
+    /// Outer relative residuals, entry 0 = before the first correction.
+    /// Every entry is a canonical reduction: bit-identical across vector
+    /// lengths and thread counts.
+    pub outer_history: Vec<f64>,
+    /// Concatenated inner-tier relative-residual histories (f16 cycles in
+    /// order, then any f32 rounds), likewise canonical.
+    pub inner_history: Vec<f64>,
+    /// Health events the inner-tier monitors raised.
+    pub health: Vec<HealthEvent>,
+    /// Vector instructions retired on the binary16 context.
+    pub f16_instructions: u64,
+    /// Vector instructions retired on the f32 context.
+    pub f32_instructions: u64,
+    /// Vector instructions retired on the f64 context during the solve.
+    pub f64_instructions: u64,
+}
+
+/// Scratch for one binary16 inner cycle, hoisted across all cycles.
+struct F16Tier {
+    op: WilsonDirac<F16>,
+    b: Field<FermionKind, F16>,
+    x: Field<FermionKind, F16>,
+    r: Field<FermionKind, F16>,
+    p: Field<FermionKind, F16>,
+    ws: SolverWorkspace<F16>,
+}
+
+/// One binary16 inner-CG cycle on the normalized residual system
+/// `A†A e = ŝ`, with canonical f32-accumulated steering scalars. Appends
+/// per-iteration relative residuals to `history` and feeds them to
+/// `monitor`; returns `(iterations, aborted)` where `aborted` means the
+/// monitor raised an episode (stall / divergence / non-finite) and the
+/// caller must demote the tier.
+#[allow(clippy::too_many_arguments)]
+fn f16_cycle(
+    t: &mut F16Tier,
+    site_buf: &mut [f64],
+    tol: f64,
+    max_iter: usize,
+    monitor: &mut HealthMonitor,
+    history: &mut Vec<f64>,
+) -> (usize, bool) {
+    // x = 0, r = p = b  (computed as b − A·0 so no copy primitive is needed).
+    t.x.scale(0.0);
+    t.op.mdag_m_into(&t.x, &mut t.ws.tmp, &mut t.ws.ap);
+    t.r.sub(&t.b, &t.ws.ap);
+    t.p.sub(&t.b, &t.ws.ap);
+    let b2 = f16_canonical_norm2(&t.b, site_buf);
+    if b2.is_nan() || b2 <= 0.0 {
+        // The residual underflowed binary16 entirely: nothing to solve at
+        // this tier.
+        monitor.observe(f64::NAN);
+        return (0, true);
+    }
+    let mut r2 = f16_canonical_norm2(&t.r, site_buf);
+    history.push((r2 / b2).sqrt());
+    let events_at_entry = monitor.events().len();
+    monitor.observe(*history.last().unwrap());
+
+    let mut iterations = 0;
+    let mut aborted = false;
+    while iterations < max_iter && r2 > tol * tol * b2 {
+        t.op.mdag_m_into(&t.p, &mut t.ws.tmp, &mut t.ws.ap);
+        let p_ap = f16_canonical_inner_re(&t.p, &t.ws.ap, site_buf);
+        if p_ap.is_nan() || p_ap <= 0.0 {
+            // Curvature lost to binary16 noise — surface it as a
+            // non-finite episode and demote.
+            monitor.observe(f64::NAN);
+            aborted = true;
+            break;
+        }
+        let alpha = r2 / p_ap;
+        // The fused sweep's returned |r|² is layout-dependent; discard it
+        // and recompute canonically (f32-accumulated) so the trajectory is
+        // VL- and thread-invariant.
+        let _ = cg_update_x_r(&mut t.x, &mut t.r, alpha, &t.p, &t.ws.ap);
+        let r2_new = f16_canonical_norm2(&t.r, site_buf);
+        let beta = r2_new / r2;
+        t.p.aypx(beta, &t.r);
+        r2 = r2_new;
+        iterations += 1;
+        history.push((r2 / b2).sqrt());
+        monitor.observe(*history.last().unwrap());
+        if monitor.events().len() > events_at_entry {
+            aborted = true;
+            break;
+        }
+    }
+    (iterations, aborted)
+}
+
+/// Three-level reliable-update mixed-precision solve of `M x = b`:
+/// f64 outer defect correction ↔ f32 middle ↔ binary16 inner CG.
+///
+/// Each outer round converts the double-precision defect to f32 and solves
+/// the normal-equation correction system at the lowest tier that still
+/// makes progress. With the binary16 tier enabled, the f32 residual is
+/// **normalized to unit norm** (binary16 spans only ±65504 with ~2⁻¹¹
+/// relative grain, so the raw residual of a late round would denormalize),
+/// converted down, and attacked by an inner f16 CG whose steering scalars
+/// are canonical f32-accumulated reductions. The cycle exits at
+/// [`LadderConfig::f16_cycle_tol`] or at the [`F16_RESIDUAL_FLOOR`]; the
+/// correction is promoted back and the **reliable update** recomputes the
+/// true f32 residual before the next cycle. A [`HealthMonitor`] watches
+/// every inner history: a stall, divergence or non-finite episode demotes
+/// the ladder to the f32 tier for the rest of the solve (a `tier`-kind
+/// flight event records the switch), where [`cg_canonical_ws`] finishes
+/// the round.
+///
+/// Every steering scalar at every level is a canonical reduction, so
+/// residual histories and the solution are **bit-identical across vector
+/// lengths and thread counts**.
+pub fn ladder_solve(
+    op: &WilsonDirac<f64>,
+    b: &FermionField,
+    cfg: &LadderConfig,
+) -> (FermionField, LadderReport) {
+    let x0 = FermionField::zero(b.grid().clone());
+    ladder_solve_from(op, b, x0, cfg)
+}
+
+/// [`ladder_solve`] from an arbitrary initial guess — the resume entry
+/// point. As with [`mixed_precision_solve_from`], a checkpoint of a ladder
+/// solve is just the double-precision iterate: every outer round is a
+/// memoryless function of `x`, so resuming at a round boundary replays the
+/// uninterrupted trajectory bit for bit (carry
+/// [`LadderReport::f16_active_at_exit`] into [`LadderConfig::use_f16`] if
+/// the interrupted run had demoted tiers).
+pub fn ladder_solve_from(
+    op: &WilsonDirac<f64>,
+    b: &FermionField,
+    x0: FermionField,
+    cfg: &LadderConfig,
+) -> (FermionField, LadderReport) {
+    let grid64 = b.grid().clone();
+    let _span = qcd_trace::span!("solver.ladder", grid64.engine().ctx());
+    let grid32 = Grid::<f32>::new(grid64.fdims(), grid64.vl(), grid64.engine().backend());
+    let f64_before = grid64.engine().ctx().counters().total();
+    let volume = grid64.volume();
+
+    let u32f = to_precision(op.gauge(), &grid32);
+    let op32 = WilsonDirac::<f32>::new(u32f, op.mass);
+
+    let mut f16_on = cfg.use_f16;
+    let cycle_tol = cfg.f16_cycle_tol;
+    let mut tier16 = if f16_on {
+        let grid16 = Grid::<F16>::new(grid64.fdims(), grid64.vl(), grid64.engine().backend());
+        let u16f = to_precision(op.gauge(), &grid16);
+        Some(F16Tier {
+            op: WilsonDirac::<F16>::new(u16f, op.mass),
+            b: Field::zero(grid16.clone()),
+            x: Field::zero(grid16.clone()),
+            r: Field::zero(grid16.clone()),
+            p: Field::zero(grid16.clone()),
+            ws: SolverWorkspace::<F16>::new(grid16),
+        })
+    } else {
+        None
+    };
+
+    let b_norm2 = b.canonical_norm2();
+    assert!(
+        b_norm2 > 0.0,
+        "ladder solve needs a nonzero right-hand side"
+    );
+    let mut x = x0;
+    let mut outer = 0;
+    let mut f16_iters = 0;
+    let mut f32_iters = 0;
+    let mut reliable_updates = 0;
+    let mut tier_fallbacks = 0;
+    let mut residual;
+    let mut outer_history = Vec::new();
+    let mut inner_history = Vec::new();
+    let mut health = Vec::new();
+
+    // Outer-loop buffers hoisted across every round.
+    let mut ax = FermionField::zero(grid64.clone());
+    let mut r = FermionField::zero(grid64.clone());
+    let mut d64 = FermionField::zero(grid64.clone());
+    let mut r32 = Field::<FermionKind, f32>::zero(grid32.clone());
+    let mut rhs32 = Field::<FermionKind, f32>::zero(grid32.clone());
+    let mut d32 = Field::<FermionKind, f32>::zero(grid32.clone());
+    let mut s32 = Field::<FermionKind, f32>::zero(grid32.clone());
+    let mut e32 = Field::<FermionKind, f32>::zero(grid32.clone());
+    let mut ws32 = SolverWorkspace::<f32>::new(grid32.clone());
+    let mut site_buf = vec![0.0f64; volume];
+
+    loop {
+        // Double-precision defect, canonically reduced.
+        op.apply_into(&x, &mut ax);
+        r.sub(b, &ax);
+        residual = (r.canonical_norm2() / b_norm2).sqrt();
+        outer_history.push(residual);
+        if residual <= cfg.tol || outer >= cfg.max_outer {
+            break;
+        }
+
+        to_precision_into(&r, &mut r32);
+        let rhs_n2;
+        {
+            let _t32 = qcd_trace::span!("solver.tier.f32", grid32.engine().ctx());
+            op32.apply_dag_into(&r32, &mut rhs32);
+            rhs_n2 = rhs32.canonical_norm2();
+            d32.scale(0.0);
+            s32.clone_from(&rhs32);
+        }
+        let mid_target = cfg.inner_tol * cfg.inner_tol * rhs_n2;
+        let mut s2 = rhs_n2;
+        let mut cycles = 0;
+
+        // Binary16 cycles with reliable updates in between.
+        while f16_on && s2 > mid_target && cycles < cfg.max_cycles {
+            let t = tier16.as_mut().expect("f16 tier enabled but not built");
+            let scale = s2.sqrt();
+            let rel = (s2 / rhs_n2).sqrt();
+            qcd_metrics::record_event(
+                "tier",
+                "solver.ladder.switch:f32_to_f16",
+                &[
+                    ("outer", outer as f64),
+                    ("cycle", cycles as f64),
+                    ("rel_residual", rel),
+                ],
+            );
+            let mut monitor = HealthMonitor::with_thresholds(
+                "solver.ladder.f16",
+                cfg.stall_window,
+                cfg.divergence_factor,
+            );
+            let (it, aborted) = {
+                let g16 = t.b.grid().clone();
+                let _t16 = qcd_trace::span!("solver.tier.f16", g16.engine().ctx());
+                // Normalize into binary16 range; `s32` is rebuilt by the
+                // reliable update (or the fallback path) before reuse.
+                s32.scale(1.0 / scale);
+                to_precision_into(&s32, &mut t.b);
+                f16_cycle(
+                    t,
+                    &mut site_buf,
+                    cycle_tol,
+                    cfg.max_inner,
+                    &mut monitor,
+                    &mut inner_history,
+                )
+            };
+            f16_iters += it;
+            health.extend(monitor.into_events());
+            if aborted {
+                tier_fallbacks += 1;
+                f16_on = false;
+                qcd_metrics::record_event(
+                    "tier",
+                    "solver.ladder.fallback:f16_to_f32",
+                    &[
+                        ("outer", outer as f64),
+                        ("cycle", cycles as f64),
+                        ("rel_residual", rel),
+                    ],
+                );
+                qcd_metrics::counter("ladder.tier_fallbacks").inc();
+                // Rebuild the residual the cycle consumed.
+                let _t32 = qcd_trace::span!("solver.tier.f32", grid32.engine().ctx());
+                op32.mdag_m_into(&d32, &mut ws32.tmp, &mut ws32.ap);
+                s32.sub(&rhs32, &ws32.ap);
+                s2 = s32.canonical_norm2();
+                break;
+            }
+            // Promote the correction and perform the reliable update:
+            // recompute the true f32 residual of the accumulated `d32`.
+            {
+                let _t32 = qcd_trace::span!("solver.tier.f32", grid32.engine().ctx());
+                to_precision_into(&t.x, &mut e32);
+                d32.axpy_inplace(scale, &e32);
+                op32.mdag_m_into(&d32, &mut ws32.tmp, &mut ws32.ap);
+                s32.sub(&rhs32, &ws32.ap);
+            }
+            let s2_new = s32.canonical_norm2();
+            reliable_updates += 1;
+            qcd_metrics::record_event(
+                "tier",
+                "solver.ladder.switch:f16_to_f32",
+                &[
+                    ("outer", outer as f64),
+                    ("cycle", cycles as f64),
+                    ("rel_residual", (s2_new / rhs_n2).sqrt()),
+                ],
+            );
+            if s2_new >= s2 {
+                // The f16 tier stopped paying for itself (floor reached
+                // before the middle target): demote for good.
+                tier_fallbacks += 1;
+                f16_on = false;
+                qcd_metrics::record_event(
+                    "tier",
+                    "solver.ladder.fallback:f16_to_f32",
+                    &[
+                        ("outer", outer as f64),
+                        ("cycle", cycles as f64),
+                        ("rel_residual", (s2_new / rhs_n2).sqrt()),
+                    ],
+                );
+                qcd_metrics::counter("ladder.tier_fallbacks").inc();
+            }
+            s2 = s2_new;
+            cycles += 1;
+        }
+
+        // Whatever the binary16 tier left behind is finished at f32.
+        if s2 > mid_target {
+            let _t32 = qcd_trace::span!("solver.tier.f32", grid32.engine().ctx());
+            // Aim the leftover system so the *round's* residual lands at
+            // `inner_tol` relative to `rhs32`.
+            let eff_tol = (mid_target / s2).sqrt().min(0.9);
+            let (e, rep) = cg_canonical_ws(
+                &op32,
+                &s32,
+                &mut ws32,
+                eff_tol,
+                cfg.max_inner,
+                "solver.ladder.f32",
+            );
+            f32_iters += rep.iterations;
+            inner_history.extend_from_slice(&rep.history);
+            health.extend(rep.health);
+            d32.add_assign_field(&e);
+        }
+
+        to_precision_into(&d32, &mut d64);
+        x.add_assign_field(&d64);
+        outer += 1;
+    }
+
+    qcd_metrics::counter("ladder.iterations.f64").add(outer as u64);
+    qcd_metrics::counter("ladder.iterations.f32").add(f32_iters as u64);
+    qcd_metrics::counter("ladder.iterations.f16").add(f16_iters as u64);
+    qcd_metrics::counter("ladder.reliable_updates").add(reliable_updates as u64);
+
+    let f16_instructions = tier16
+        .as_ref()
+        .map(|t| t.b.grid().engine().ctx().counters().total())
+        .unwrap_or(0);
+    let f32_instructions = grid32.engine().ctx().counters().total();
+    let f64_instructions = grid64.engine().ctx().counters().total() - f64_before;
+    (
+        x,
+        LadderReport {
+            outer_iterations: outer,
+            f16_iterations: f16_iters,
+            f32_iterations: f32_iters,
+            reliable_updates,
+            tier_fallbacks,
+            f16_active_at_exit: f16_on,
+            residual,
+            converged: residual <= cfg.tol,
+            outer_history,
+            inner_history,
+            health,
+            f16_instructions,
+            f32_instructions,
+            f64_instructions,
+        },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -263,6 +805,112 @@ mod tests {
         let mut diff = FermionField::zero(b.grid().clone());
         diff.sub(&x, &x_ref);
         assert!((diff.norm2() / x_ref.norm2()).sqrt() < 1e-8);
+    }
+
+    #[test]
+    fn ladder_reaches_double_precision_accuracy() {
+        // The inner tier computes in binary16 (≈3 decimal digits), yet the
+        // reliable-update ladder drives the f64 residual to 1e-10.
+        let (op, b) = setup();
+        let cfg = LadderConfig::new(1e-10);
+        let (x, report) = ladder_solve(&op, &b, &cfg);
+        assert!(report.converged, "{report:?}");
+        assert!(report.residual <= 1e-10, "residual {}", report.residual);
+        assert!(report.f16_iterations > 0, "f16 tier never ran");
+        assert!(report.reliable_updates >= 1, "no reliable updates");
+        assert_eq!(report.tier_fallbacks, 0, "healthy solve demoted tiers");
+        assert!(report.f16_active_at_exit);
+        let (x_ref, _) = solve_wilson(&op, &b, 1e-10, 3000);
+        let mut diff = FermionField::zero(b.grid().clone());
+        diff.sub(&x, &x_ref);
+        assert!((diff.norm2() / x_ref.norm2()).sqrt() < 1e-8);
+    }
+
+    #[test]
+    fn ladder_runs_the_bulk_of_inner_work_at_binary16() {
+        let (op, b) = setup();
+        let (_, report) = ladder_solve(&op, &b, &LadderConfig::new(1e-9));
+        assert!(
+            report.f16_iterations > report.f32_iterations,
+            "f16 {} vs f32 {} iterations",
+            report.f16_iterations,
+            report.f32_iterations
+        );
+        assert!(
+            report.f16_instructions > report.f64_instructions,
+            "f16 {} vs f64 {} instructions",
+            report.f16_instructions,
+            report.f64_instructions
+        );
+    }
+
+    #[test]
+    fn f32_only_ladder_matches_the_target_too() {
+        // The comparison baseline: identical outer/middle structure with
+        // the binary16 tier disabled.
+        let (op, b) = setup();
+        let (x, report) = ladder_solve(&op, &b, &LadderConfig::f32_only(1e-10));
+        assert!(report.converged, "{report:?}");
+        assert_eq!(report.f16_iterations, 0);
+        assert!(report.f32_iterations > 0);
+        let (x_ref, _) = solve_wilson(&op, &b, 1e-10, 3000);
+        let mut diff = FermionField::zero(b.grid().clone());
+        diff.sub(&x, &x_ref);
+        assert!((diff.norm2() / x_ref.norm2()).sqrt() < 1e-8);
+    }
+
+    #[test]
+    fn under_precise_f16_cycle_falls_back_to_f32_and_still_converges() {
+        // A cycle tolerance below the representable floor stalls the f16
+        // recurrence; the monitor must demote the tier instead of spinning.
+        let (op, b) = setup();
+        let mut cfg = LadderConfig::new(1e-10);
+        cfg.f16_cycle_tol = 1e-7; // far below F16_RESIDUAL_FLOOR
+        let (x, report) = ladder_solve(&op, &b, &cfg);
+        assert!(report.tier_fallbacks >= 1, "no fallback: {report:?}");
+        assert!(!report.f16_active_at_exit);
+        assert!(report.converged, "{report:?}");
+        assert!(
+            report
+                .health
+                .iter()
+                .any(|e| matches!(e.kind, qcd_metrics::HealthEventKind::Stall)),
+            "expected a typed stall episode, got {:?}",
+            report.health
+        );
+        let (x_ref, _) = solve_wilson(&op, &b, 1e-10, 3000);
+        let mut diff = FermionField::zero(b.grid().clone());
+        diff.sub(&x, &x_ref);
+        assert!((diff.norm2() / x_ref.norm2()).sqrt() < 1e-8);
+    }
+
+    #[test]
+    fn ladder_resumed_from_an_iterate_replays_the_tail_bit_for_bit() {
+        // Interrupt at an outer-round boundary, keep only the f64 iterate
+        // (the mixed checkpoint payload), resume: every outer round is a
+        // memoryless function of x, so the continuation's history is the
+        // uninterrupted run's tail, bit for bit.
+        let (op, b) = setup();
+        let cfg = LadderConfig::new(1e-10);
+        let (x_full, full) = ladder_solve(&op, &b, &cfg);
+        let mut cut = cfg.clone();
+        cut.max_outer = 2;
+        let (x_partial, partial) = ladder_solve(&op, &b, &cut);
+        assert_eq!(partial.outer_iterations, 2);
+        let (x_res, resumed) = ladder_solve_from(&op, &b, x_partial, &cfg);
+        assert!(resumed.converged, "{resumed:?}");
+        assert_eq!(x_res.max_abs_diff(&x_full), 0.0, "resumed solution differs");
+        let tail = &full.outer_history[2..];
+        assert_eq!(
+            resumed.outer_history.len(),
+            tail.len(),
+            "resumed {} vs tail {} outer entries",
+            resumed.outer_history.len(),
+            tail.len()
+        );
+        for (a, c) in resumed.outer_history.iter().zip(tail) {
+            assert_eq!(a.to_bits(), c.to_bits(), "outer history diverged");
+        }
     }
 
     #[test]

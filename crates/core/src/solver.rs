@@ -347,6 +347,78 @@ pub fn cg<E: SveFloat>(
     cg_ws(op, b, &mut ws, tol, max_iter)
 }
 
+/// Conjugate Gradient on the Wilson normal equations with **canonical**
+/// steering scalars: every norm and curvature dot is a lexicographic
+/// per-site scatter summed through the fixed chunk tree
+/// ([`Field::canonical_norm2`] / [`Field::canonical_inner_re`]), so the
+/// residual history, iteration count and solution are bit-identical across
+/// vector lengths *and* thread counts — the invariance regime `dist_cg`
+/// and the `qcd-deflate` stack already maintain. The fused update sweep's
+/// layout-dependent reduction is discarded and recomputed canonically:
+/// slower per iteration than [`cg_ws`], layout-invariant in exchange.
+/// `region` labels the health monitor and the concluded metrics (e.g.
+/// `solver.ladder.f32`).
+pub fn cg_canonical_ws<E: SveFloat>(
+    op: &WilsonDirac<E>,
+    b: &Field<FermionKind, E>,
+    ws: &mut SolverWorkspace<E>,
+    tol: f64,
+    max_iter: usize,
+    region: &str,
+) -> (Field<FermionKind, E>, SolveReport) {
+    let grid = b.grid().clone();
+    let span = qcd_trace::span!("solver.cg_canonical", grid.engine().ctx());
+    let mut monitor = HealthMonitor::new(region);
+    let b_norm2 = b.canonical_norm2();
+    assert!(b_norm2 > 0.0, "CG needs a nonzero right-hand side");
+    let mut x = Field::<FermionKind, E>::zero(grid.clone());
+    let mut r = b.clone();
+    let mut p = r.clone();
+    let mut r2 = r.canonical_norm2();
+    let mut history = vec![(r2 / b_norm2).sqrt()];
+    monitor.replay(&history);
+
+    let mut iterations = 0;
+    while iterations < max_iter && r2 > tol * tol * b_norm2 {
+        op.mdag_m_into(&p, &mut ws.tmp, &mut ws.ap);
+        let p_ap = p.canonical_inner_re(&ws.ap);
+        assert!(
+            p_ap > 0.0,
+            "search direction has non-positive curvature: operator not HPD?"
+        );
+        let alpha = r2 / p_ap;
+        // The fused sweep's returned |r|² is layout-dependent; discard it
+        // and recompute canonically so the trajectory is VL-invariant.
+        let _ = cg_update_x_r(&mut x, &mut r, alpha, &p, &ws.ap);
+        let r2_new = r.canonical_norm2();
+        let beta = r2_new / r2;
+        p.aypx(beta, &r);
+        r2 = r2_new;
+        iterations += 1;
+        history.push((r2 / b_norm2).sqrt());
+        monitor.observe(*history.last().unwrap());
+    }
+
+    let converged = r2 <= tol * tol * b_norm2;
+    // True residual check (canonical, guards recurrence drift); the spent
+    // search direction serves as scratch.
+    op.mdag_m_into(&x, &mut ws.tmp, &mut ws.ap);
+    p.sub(b, &ws.ap);
+    let residual = (p.canonical_norm2() / b_norm2).sqrt();
+    let (history, health) = conclude_health(region, monitor, &history, iterations);
+    (
+        x,
+        SolveReport {
+            iterations,
+            residual,
+            converged,
+            history,
+            health,
+            telemetry: span.finish(),
+        },
+    )
+}
+
 /// Solve `M x = b` through the normal equations: CG on `M†M x = M†b`.
 pub fn solve_wilson(
     op: &WilsonDirac,

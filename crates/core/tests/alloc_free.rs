@@ -3,16 +3,22 @@
 //! A counting global allocator wraps `System`; after a warm-up (which may
 //! grow the residual-history vector to its reserved capacity), a block of
 //! `step_ws` iterations must leave the allocation counter untouched — for
-//! both CG on the fused `M†M` path and BiCGStab on `apply_into`.
+//! CG on the fused `M†M` path, for BiCGStab on `apply_into`, and for all
+//! six precision-pair directions of `to_precision_into` (f64/f32/f16,
+//! both ways) into preallocated destinations.
 //!
 //! The guarantee is for the serial sweep path (`rayon` worker spawning
 //! allocates thread stacks by design), so the test pins one worker. The
-//! allocator is process-global, hence this file is its own test binary.
+//! allocator is process-global and parallel test threads would pollute
+//! the measurement window, hence this file is a single test in its own
+//! binary.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use grid::field::FermionKind;
 use grid::prelude::*;
+use sve::F16;
 
 struct CountingAlloc;
 
@@ -86,5 +92,41 @@ fn solver_steady_state_allocates_nothing() {
         delta, 0,
         "BiCGStab steady state performed {delta} allocations"
     );
+
+    // --- to_precision_into: all six precision-pair directions ----------
+    // The re-layout walks the allocation-free `coords()` iterator and
+    // pokes into a preallocated destination; once the fields exist, no
+    // direction may touch the heap.
+    let g32 = Grid::<f32>::new(g.fdims(), g.vl(), g.engine().backend());
+    let g16 = Grid::<F16>::new(g.fdims(), g.vl(), g.engine().backend());
+    let f64a = FermionField::random(g.clone(), 53);
+    let mut f64b = FermionField::zero(g.clone());
+    let mut f32a = Field::<FermionKind, f32>::zero(g32.clone());
+    let mut f16a = Field::<FermionKind, F16>::zero(g16.clone());
+    let mut convert_all = || {
+        to_precision_into(&f64a, &mut f32a); // f64 -> f32
+        to_precision_into(&f64a, &mut f16a); // f64 -> f16
+        to_precision_into(&f32a, &mut f16a); // f32 -> f16
+        to_precision_into(&f16a, &mut f32a); // f16 -> f32
+        to_precision_into(&f32a, &mut f64b); // f32 -> f64
+        to_precision_into(&f16a, &mut f64b); // f16 -> f64
+    };
+    convert_all(); // warm-up (first trace-counter touch may intern)
+    let before = allocations();
+    for _ in 0..5 {
+        convert_all();
+    }
+    let delta = allocations() - before;
+    assert_eq!(
+        delta, 0,
+        "to_precision_into steady state performed {delta} allocations"
+    );
+    // And the chain was lossy in the expected, bounded way: the final
+    // f16 -> f64 image differs from the source by at most the binary16
+    // grain per scalar.
+    let mut diff = FermionField::zero(g.clone());
+    diff.sub(&f64a, &f64b);
+    let rel = (diff.norm2() / f64a.norm2()).sqrt();
+    assert!(rel > 0.0 && rel < 2e-3, "f16 round-trip error {rel}");
     rayon::set_num_threads(0);
 }

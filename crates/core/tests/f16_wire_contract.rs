@@ -1,0 +1,107 @@
+//! The lossy-wire accuracy contract of `Compression::F16`
+//! (`comms::F16_WIRE_EPS`): a distributed solve whose halos cross the wire
+//! as binary16 still converges against its own recurrence, and its
+//! solution sits within `O(κ · 2⁻¹¹)` of the uncompressed-wire solution —
+//! close, but measurably *not* identical (the wire really is lossy).
+
+use grid::comms::F16_WIRE_EPS;
+use grid::prelude::*;
+use grid::Coor;
+
+const GLOBAL: Coor = [4, 4, 4, 8];
+const MASS: f64 = 0.3;
+const TOL: f64 = 1e-8;
+
+/// Two-rank solve under the given compression; returns the solution
+/// reassembled onto `gout` and the report.
+fn dist_solve(
+    compression: Compression,
+    gout: &std::sync::Arc<Grid>,
+) -> (FermionField, SolveReport) {
+    let vl = VectorLength::of(512);
+    let mut rank_grid = [1; 4];
+    rank_grid[3] = 2;
+    let mut per_rank = run_multinode_grid(GLOBAL, rank_grid, vl, SimdBackend::Fcmla, |ctx| {
+        let g = Grid::new(GLOBAL, vl, SimdBackend::Fcmla);
+        let u = random_gauge(g.clone(), 7);
+        let b = FermionField::random(g, 13);
+        let dw = DistWilson::new(
+            ctx,
+            restrict_field(ctx, &u),
+            MASS,
+            GaugeWire::TwoRow,
+            compression,
+        );
+        let (x, report) = dist_cg(&dw, &restrict_field(ctx, &b), TOL, 2000);
+        let mut vals = Vec::new();
+        for local in ctx.grid.coords() {
+            let gc = ctx.to_global(&local);
+            let comps: Vec<Complex> = (0..12).map(|c| x.peek(&local, c)).collect();
+            vals.push((gc, comps));
+        }
+        (vals, report)
+    });
+    let mut x = FermionField::zero(gout.clone());
+    for (vals, _) in &per_rank {
+        for (gc, comps) in vals {
+            for (c, z) in comps.iter().enumerate() {
+                x.poke(gc, c, *z);
+            }
+        }
+    }
+    let report = per_rank.pop().unwrap().1;
+    (x, report)
+}
+
+#[test]
+fn f16_wire_halos_meet_the_accuracy_contract() {
+    let g = Grid::new(GLOBAL, VectorLength::of(512), SimdBackend::Fcmla);
+    let (x_none, rep_none) = dist_solve(Compression::None, &g);
+    let (x_f16, rep_f16) = dist_solve(Compression::F16, &g);
+
+    // 1. The compressed-wire solve converges against its own recurrence
+    //    at the same target as the uncompressed one. Its *true* residual,
+    //    however, floors at the wire grain: halo compression is applied
+    //    per sweep (nonlinear in the field), so no recurrence can push the
+    //    actual defect below O(κ · F16_WIRE_EPS) — that is the contract,
+    //    and why residual targets beneath it require the uncompressed
+    //    wire. The floor must sit inside the per-scalar grain and five
+    //    decades above the recurrence target.
+    assert!(rep_none.converged, "{rep_none:?}");
+    assert!(
+        rep_none.residual <= 10.0 * TOL,
+        "residual {}",
+        rep_none.residual
+    );
+    assert!(rep_f16.converged, "f16 wire broke convergence: {rep_f16:?}");
+    assert!(
+        rep_f16.residual <= F16_WIRE_EPS,
+        "true residual {} above the wire grain",
+        rep_f16.residual
+    );
+    assert!(
+        rep_f16.residual > 10.0 * TOL,
+        "true residual {} below the lossy-wire floor — compression inactive?",
+        rep_f16.residual
+    );
+
+    // 2. The contract bound: the two solutions agree to O(κ · 2⁻¹¹).
+    //    The budget below is ~40× the per-scalar wire grain — room for
+    //    the modest condition number of this operator — and five decades
+    //    above the solver tolerance, so it genuinely measures wire loss.
+    let mut diff = FermionField::zero(x_none.grid().clone());
+    diff.sub(&x_f16, &x_none);
+    let rel = (diff.norm2() / x_none.norm2()).sqrt();
+    assert!(
+        rel <= 40.0 * F16_WIRE_EPS,
+        "contract violated: ‖Δx‖/‖x‖ = {rel} > 40·F16_WIRE_EPS"
+    );
+
+    // 3. …and the wire is genuinely lossy: the perturbation must dominate
+    //    the solver tolerance, or the compression path silently fell back
+    //    to f64.
+    assert!(
+        rel > 10.0 * TOL,
+        "f16 wire produced a near-exact solution ({rel}) — compression inactive?"
+    );
+}

@@ -1,0 +1,80 @@
+//! Layout invariance of the three-level precision ladder: residual
+//! histories (outer and inner) and the solution must be **bit-identical**
+//! across vector lengths {128..2048} and thread counts {1, 2, 8}. Every
+//! steering scalar in the ladder is a canonical reduction — the f16 tier's
+//! with f32 per-site accumulation — and every field update is pointwise,
+//! so nothing may depend on the virtual-node decomposition or the worker
+//! count.
+//!
+//! `rayon::set_num_threads` mutates process-global state, so this file is
+//! a single `#[test]` in its own integration-test binary.
+
+use grid::mixed::{ladder_solve, LadderConfig};
+use grid::prelude::*;
+
+struct Run {
+    outer: Vec<u64>,
+    inner: Vec<u64>,
+    solution: Vec<u64>,
+    f16_iterations: usize,
+    reliable_updates: usize,
+}
+
+fn run(vl_bits: usize) -> Run {
+    let g = Grid::new([4, 4, 4, 4], VectorLength::of(vl_bits), SimdBackend::Fcmla);
+    let u = random_gauge(g.clone(), 121);
+    let b = FermionField::random(g.clone(), 122);
+    let op = WilsonDirac::new(u, 0.3);
+    let (x, report) = ladder_solve(&op, &b, &LadderConfig::new(1e-8));
+    assert!(report.converged, "vl {vl_bits}: {report:?}");
+    assert!(
+        report.f16_iterations > 0,
+        "vl {vl_bits}: f16 tier never ran"
+    );
+    // The SIMD layout differs per VL, so compare site values, not words.
+    let mut solution = Vec::with_capacity(g.volume() * 24);
+    for xcoor in g.coords() {
+        for comp in 0..12 {
+            let z = x.peek(&xcoor, comp);
+            solution.push(z.re.to_bits());
+            solution.push(z.im.to_bits());
+        }
+    }
+    Run {
+        outer: report.outer_history.iter().map(|v| v.to_bits()).collect(),
+        inner: report.inner_history.iter().map(|v| v.to_bits()).collect(),
+        solution,
+        f16_iterations: report.f16_iterations,
+        reliable_updates: report.reliable_updates,
+    }
+}
+
+#[test]
+fn ladder_is_bit_identical_across_vector_lengths_and_thread_counts() {
+    rayon::set_num_threads(1);
+    let reference = run(128);
+    assert!(reference.reliable_updates >= 1);
+    for threads in [1, 2, 8] {
+        rayon::set_num_threads(threads);
+        for vl_bits in [128, 256, 512, 1024, 2048] {
+            let probe = run(vl_bits);
+            assert_eq!(
+                probe.f16_iterations, reference.f16_iterations,
+                "f16 iteration count differs at vl {vl_bits} / {threads} threads"
+            );
+            assert_eq!(
+                probe.outer, reference.outer,
+                "outer residual history differs at vl {vl_bits} / {threads} threads"
+            );
+            assert_eq!(
+                probe.inner, reference.inner,
+                "inner residual history differs at vl {vl_bits} / {threads} threads"
+            );
+            assert_eq!(
+                probe.solution, reference.solution,
+                "solution bits differ at vl {vl_bits} / {threads} threads"
+            );
+        }
+    }
+    rayon::set_num_threads(0); // restore the default pool
+}

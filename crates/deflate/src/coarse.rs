@@ -34,11 +34,12 @@ use crate::dense::Cholesky;
 use grid::dirac::WilsonDirac;
 use grid::field::FermionKind;
 use grid::layout::{delex, lex};
+use grid::mixed::{to_precision, to_precision_into};
 use grid::solver::{SolveReport, SolverWorkspace, HISTORY_CAP};
 use grid::{Complex, Coor, Field, FieldKind, Grid};
 use qcd_metrics::HealthMonitor;
 use std::sync::Arc;
-use sve::SveFloat;
+use sve::{SveFloat, F16};
 
 /// A built two-level coarse space: blocked orthonormal near-null vectors
 /// plus the factored Galerkin coarse operator.
@@ -244,6 +245,92 @@ impl<E: SveFloat> CoarseSpace<E> {
     }
 }
 
+/// A fixed-polynomial **binary16 smoother**: `steps` Richardson sweeps
+/// `s ← s + ω (r − A s)` on the normal operator, run entirely in f16
+/// arithmetic through the real Dirac kernels on an F16 replica of the
+/// gauge field. After `k` steps `s = p_k(A) r` with
+/// `p_k(A) = ω Σ_{j<k} (I − ωA)^j`, a polynomial in `A` that is Hermitian
+/// positive-definite whenever `0 < ω ≤ 1/λ_max` — so adding it to the
+/// two-level correction keeps the preconditioner HPD.
+///
+/// The input residual is normalized to unit norm before the f16
+/// conversion (the smoother is linear, so the scale commutes out
+/// exactly up to f16 rounding of the scaled field) — the same range
+/// trick the solver ladder's inner tier uses, keeping the iterate clear
+/// of the binary16 floor as CG drives `r` down. Every sweep is
+/// pointwise fixed-order arithmetic with **no reductions**, so the
+/// smoother is bit-identical across vector lengths and thread counts
+/// like the rest of the preconditioner.
+pub struct F16Smoother<E: SveFloat = f64> {
+    op16: WilsonDirac<F16>,
+    omega: f64,
+    steps: usize,
+    r16: Field<FermionKind, F16>,
+    s16: Field<FermionKind, F16>,
+    t16: Field<FermionKind, F16>,
+    ws16: SolverWorkspace<F16>,
+    fine: Field<FermionKind, E>,
+}
+
+impl<E: SveFloat> F16Smoother<E> {
+    /// Conservative default damping factor `1/64`: an under-estimate of
+    /// `1/λ_max(M†M)` for Wilson operators anywhere near the physical
+    /// region (`λ_max ≲ (8 + 2|m|)²/…` is safely below 64 on the lattices
+    /// this crate targets).
+    pub const DEFAULT_OMEGA: f64 = 1.0 / 64.0;
+    /// Default sweep count: enough to damp the top of the spectrum,
+    /// cheap enough (in f16 bytes) to disappear next to the fine
+    /// operator applications of the CG iteration itself.
+    pub const DEFAULT_STEPS: usize = 4;
+
+    /// Build the F16 replica of `op` and the smoother workspaces.
+    pub fn new(op: &WilsonDirac<E>, omega: f64, steps: usize) -> Self {
+        assert!(omega > 0.0, "Richardson damping must be positive");
+        assert!(steps > 0, "a zero-step smoother is the zero operator");
+        let g = op.grid();
+        let g16 = Grid::<F16>::new(g.fdims(), g.vl(), g.engine().backend());
+        let u16 = to_precision(op.gauge(), &g16);
+        F16Smoother {
+            op16: WilsonDirac::<F16>::new(u16, op.mass),
+            omega,
+            steps,
+            r16: Field::zero(g16.clone()),
+            s16: Field::zero(g16.clone()),
+            t16: Field::zero(g16.clone()),
+            ws16: SolverWorkspace::new(g16),
+            fine: Field::zero(g.clone()),
+        }
+    }
+
+    /// `new` with the default `ω` and sweep count.
+    pub fn with_defaults(op: &WilsonDirac<E>) -> Self {
+        Self::new(op, Self::DEFAULT_OMEGA, Self::DEFAULT_STEPS)
+    }
+
+    /// Accumulate the smoothed residual: `out += p_k(A) r`, the polynomial
+    /// applied in binary16.
+    pub fn accumulate(&mut self, r: &Field<FermionKind, E>, out: &mut Field<FermionKind, E>) {
+        let rn2 = r.canonical_norm2();
+        if rn2.is_nan() || rn2 <= 0.0 {
+            return; // smoothing a zero residual is a no-op
+        }
+        let scale = rn2.sqrt();
+        self.fine.clone_from(r);
+        self.fine.scale(1.0 / scale);
+        to_precision_into(&self.fine, &mut self.r16);
+        self.s16.scale(0.0);
+        for _ in 0..self.steps {
+            self.op16
+                .mdag_m_into(&self.s16, &mut self.ws16.tmp, &mut self.t16);
+            self.ws16.ap.sub(&self.r16, &self.t16);
+            self.s16.axpy_inplace(self.omega, &self.ws16.ap);
+        }
+        to_precision_into(&self.s16, &mut self.fine);
+        out.axpy_inplace(scale, &self.fine);
+        qcd_metrics::counter("mg.smoother.f16_sweeps").add(self.steps as u64);
+    }
+}
+
 /// Preconditioned Conjugate Gradient on `M†M` with the two-level coarse
 /// correction of `cs` as the (fixed, HPD) preconditioner. Every steering
 /// scalar is canonical; convergence is tested on the true residual norm
@@ -253,6 +340,34 @@ impl<E: SveFloat> CoarseSpace<E> {
 pub fn coarse_pcg<E: SveFloat>(
     op: &WilsonDirac<E>,
     cs: &CoarseSpace<E>,
+    b: &Field<FermionKind, E>,
+    tol: f64,
+    max_iter: usize,
+) -> (Field<FermionKind, E>, SolveReport) {
+    coarse_pcg_inner(op, cs, None, b, tol, max_iter)
+}
+
+/// [`coarse_pcg`] with an additive [`F16Smoother`] term in the
+/// preconditioner: `M⁻¹ r = (I − P P†) r + P A_c⁻¹ P† r + p_k(A) r`, the
+/// last term computed in binary16. The coarse solve removes the low end
+/// of the spectrum, the smoother damps the high end — and the smoother's
+/// operator applications run at half precision, moving that slice of the
+/// preconditioning work onto the f16 compute tier.
+pub fn coarse_pcg_smoothed<E: SveFloat>(
+    op: &WilsonDirac<E>,
+    cs: &CoarseSpace<E>,
+    smoother: &mut F16Smoother<E>,
+    b: &Field<FermionKind, E>,
+    tol: f64,
+    max_iter: usize,
+) -> (Field<FermionKind, E>, SolveReport) {
+    coarse_pcg_inner(op, cs, Some(smoother), b, tol, max_iter)
+}
+
+fn coarse_pcg_inner<E: SveFloat>(
+    op: &WilsonDirac<E>,
+    cs: &CoarseSpace<E>,
+    mut smoother: Option<&mut F16Smoother<E>>,
     b: &Field<FermionKind, E>,
     tol: f64,
     max_iter: usize,
@@ -268,6 +383,9 @@ pub fn coarse_pcg<E: SveFloat>(
     let mut r = b.clone();
     let mut r2 = b_norm2;
     let mut z = cs.precondition(&r);
+    if let Some(sm) = smoother.as_deref_mut() {
+        sm.accumulate(&r, &mut z);
+    }
     let mut p = z.clone();
     let mut rz = r.canonical_inner_re(&z);
     let mut history = vec![(r2 / b_norm2).sqrt()];
@@ -292,6 +410,9 @@ pub fn coarse_pcg<E: SveFloat>(
             break;
         }
         z = cs.precondition(&r);
+        if let Some(sm) = smoother.as_deref_mut() {
+            sm.accumulate(&r, &mut z);
+        }
         let rz_new = r.canonical_inner_re(&z);
         let beta = rz_new / rz;
         p.aypx(beta, &z);

@@ -29,12 +29,15 @@
 use crate::lanczos::Subspace;
 use grid::dirac::WilsonDirac;
 use grid::field::{block_cg_update_x_r, cg_update_x_r, FermionBlock, FermionKind};
-use grid::mixed::{mixed_precision_solve_from, MixedReport};
+use grid::mixed::{
+    ladder_solve_from, mixed_precision_solve_from, to_precision, to_precision_into, LadderConfig,
+    LadderReport, MixedReport,
+};
 use grid::reduce::canonical_sum;
 use grid::solver::{BlockSolveReport, SolveReport, SolverWorkspace, HISTORY_CAP};
-use grid::{FermionField, Field};
+use grid::{FermionField, Field, Grid};
 use qcd_metrics::HealthMonitor;
-use sve::SveFloat;
+use sve::{SveFloat, F16};
 
 /// Check that `sub` belongs to `op`: same lattice, bit-identical mass.
 fn assert_subspace_matches<E: SveFloat>(op: &WilsonDirac<E>, sub: &Subspace<E>) {
@@ -68,6 +71,54 @@ pub fn galerkin_guess<E: SveFloat>(
         x0.axpy_complex(c.scale(1.0 / theta), v);
     }
     x0
+}
+
+/// The Galerkin guess with the subspace **applied at binary16**: the Ritz
+/// vectors and the right-hand side are re-laid-out to F16 fields, the
+/// projection coefficients `⟨v_i, b⟩` are canonical reductions over the
+/// f16 data, and the accumulation `x₀ += (c_i/θ_i) v_i` runs in f16
+/// arithmetic. Storing and streaming the subspace at 2 bytes/scalar is
+/// the point — a 16-vector subspace applied this way moves a quarter of
+/// the bytes of the f64 [`galerkin_guess`].
+///
+/// The guess is an *initial iterate*, so binary16 grain (`~5·10⁻⁴`
+/// relative) is harmless: whatever low-mode content the rounding
+/// re-introduces, the outer loop it seeds removes again. Use it to seed
+/// defect-correction solvers ([`defl_ladder_solve`]), not as a
+/// standalone projector.
+pub fn galerkin_guess_f16(sub: &Subspace<f64>, b: &FermionField) -> FermionField {
+    let g = b.grid();
+    let g16 = Grid::<F16>::new(g.fdims(), g.vl(), g.engine().backend());
+    let b16 = to_precision(b, &g16);
+    let mut x0_16 = Field::<FermionKind, F16>::zero(g16.clone());
+    for (v, &theta) in sub.vectors.iter().zip(sub.values.iter()) {
+        let v16 = to_precision(v, &g16);
+        let c = v16.canonical_inner(&b16);
+        x0_16.axpy_complex(c.scale(1.0 / theta), &v16);
+    }
+    let mut x0 = FermionField::zero(g.clone());
+    to_precision_into(&x0_16, &mut x0);
+    x0
+}
+
+/// Deflation composed with the three-level precision ladder: solve
+/// `M x = b` (like [`defl_mixed_solve`]) seeded by the **f16-applied**
+/// Galerkin guess for `x = (M†M)⁻¹ M† b`, then run the f64 ↔ f32 ↔ f16
+/// reliable-update ladder from there. The subspace projection and the
+/// bulk of the Krylov work both execute on the binary16 compute tier;
+/// the f64 outer loop still certifies the final residual, so the
+/// accuracy contract of [`ladder_solve_from`] is untouched.
+pub fn defl_ladder_solve(
+    op: &WilsonDirac<f64>,
+    sub: &Subspace<f64>,
+    b: &FermionField,
+    cfg: &LadderConfig,
+) -> (FermionField, LadderReport) {
+    assert_subspace_matches(op, sub);
+    let _span = qcd_trace::span!("solver.deflate", op.grid().engine().ctx());
+    let rhs_dag = op.apply_dag(b);
+    let x0 = galerkin_guess_f16(sub, &rhs_dag);
+    ladder_solve_from(op, b, x0, cfg)
 }
 
 /// Deflated Conjugate Gradient on the Wilson normal equations:

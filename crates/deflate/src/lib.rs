@@ -52,7 +52,9 @@ pub mod lanczos;
 pub mod persist;
 pub mod requests;
 
-pub use coarse::{coarse_pcg, CoarseSpace};
-pub use defl::{defl_block_cg, defl_cg, defl_mixed_solve, galerkin_guess};
+pub use coarse::{coarse_pcg, coarse_pcg_smoothed, CoarseSpace, F16Smoother};
+pub use defl::{
+    defl_block_cg, defl_cg, defl_ladder_solve, defl_mixed_solve, galerkin_guess, galerkin_guess_f16,
+};
 pub use lanczos::{build_subspace, lanczos, EigenReport, LanczosParams, Subspace};
 pub use requests::solve_deflated_requests;

@@ -14,8 +14,9 @@ use std::sync::{Arc, OnceLock};
 
 use grid::prelude::*;
 use qcd_deflate::{
-    coarse_pcg, defl_block_cg, defl_cg, defl_mixed_solve, galerkin_guess, lanczos,
-    solve_deflated_requests, CoarseSpace, LanczosParams, Subspace,
+    coarse_pcg, coarse_pcg_smoothed, defl_block_cg, defl_cg, defl_ladder_solve, defl_mixed_solve,
+    galerkin_guess, galerkin_guess_f16, lanczos, solve_deflated_requests, CoarseSpace, F16Smoother,
+    LanczosParams, Subspace,
 };
 use qcd_hmc::{HmcParams, IntegratorKind, MarkovChain};
 
@@ -272,6 +273,76 @@ fn coarse_preconditioner_is_positive_definite() {
             "⟨r, M⁻¹r⟩ = {rz:?} not real-positive (seed {seed})"
         );
     }
+}
+
+#[test]
+fn f16_galerkin_guess_tracks_the_f64_projection() {
+    let f = fixture();
+    let b = FermionField::random(f.grid.clone(), 51);
+    let x64 = galerkin_guess(&f.sub, &b);
+    let x16 = galerkin_guess_f16(&f.sub, &b);
+    let mut d = FermionField::zero(f.grid.clone());
+    d.sub(&x64, &x16);
+    let rel = (d.norm2() / x64.norm2()).sqrt();
+    // Each projection term carries binary16 grain (~5·10⁻⁴ relative) from
+    // the re-laid-out vectors, twice (inner product and accumulation).
+    assert!(rel < 5e-2, "f16 projection off by {rel}");
+    assert!(rel > 0.0, "suspiciously exact — f16 path not exercised?");
+}
+
+#[test]
+fn deflation_composes_with_the_f16_inner_ladder() {
+    let f = fixture();
+    let b = FermionField::random(f.grid.clone(), 41);
+    let cfg = grid::mixed::LadderConfig::new(TOL);
+    let (x_plain, rep_plain) = grid::mixed::ladder_solve(&f.op, &b, &cfg);
+    let (x_defl, rep_defl) = defl_ladder_solve(&f.op, &f.sub, &b, &cfg);
+    assert!(rep_plain.converged && rep_defl.converged);
+    assert!(
+        rep_defl.f16_iterations > 0,
+        "f16 tier never ran: {rep_defl:?}"
+    );
+    // The f16-applied guess removes the low modes to binary16 grain, so
+    // the deflated ladder never needs *more* total inner work.
+    let inner = |r: &grid::mixed::LadderReport| r.f16_iterations + r.f32_iterations;
+    assert!(
+        inner(&rep_defl) <= inner(&rep_plain),
+        "deflated ladder spent more inner iterations: {} vs {}",
+        inner(&rep_defl),
+        inner(&rep_plain)
+    );
+    let mut d = FermionField::zero(f.grid.clone());
+    d.sub(&x_plain, &x_defl);
+    assert!(d.norm2().sqrt() / x_plain.norm2().sqrt() < 1e-5);
+}
+
+#[test]
+fn f16_smoothed_pcg_converges_to_the_same_solution() {
+    let f = fixture();
+    let cs = CoarseSpace::build(&f.op, &f.sub.vectors, [2, 2, 2, 2]);
+    let b = FermionField::random(f.grid.clone(), 11);
+    let (x_pcg, rep_pcg) = coarse_pcg(&f.op, &cs, &b, TOL, 6000);
+    let mut sm = F16Smoother::with_defaults(&f.op);
+    let (x_sm, rep_sm) = coarse_pcg_smoothed(&f.op, &cs, &mut sm, &b, TOL, 6000);
+    assert!(rep_pcg.converged && rep_sm.converged);
+    // The additive f16 term perturbs the preconditioner at the binary16
+    // grain — it must not derail convergence (small slack over the
+    // unsmoothed count covers the perturbation).
+    assert!(
+        rep_sm.iterations <= rep_pcg.iterations + rep_pcg.iterations / 5 + 2,
+        "smoothing derailed PCG: {} vs {} iterations",
+        rep_sm.iterations,
+        rep_pcg.iterations
+    );
+    let mut d = FermionField::zero(f.grid.clone());
+    d.sub(&x_pcg, &x_sm);
+    assert!(d.norm2().sqrt() / x_pcg.norm2().sqrt() < 1e-5);
+    // The smoother genuinely ran in binary16, and rerunning it on the
+    // same right-hand side is deterministic bit for bit.
+    let (x_sm2, rep_sm2) = coarse_pcg_smoothed(&f.op, &cs, &mut sm, &b, TOL, 6000);
+    assert_eq!(rep_sm2.iterations, rep_sm.iterations);
+    assert_eq!(rep_sm2.residual.to_bits(), rep_sm.residual.to_bits());
+    assert_eq!(x_sm2.max_abs_diff(&x_sm), 0.0);
 }
 
 #[test]

@@ -313,6 +313,56 @@ fn mixed_solve_resumes_from_a_disk_checkpoint() {
 }
 
 #[test]
+fn ladder_solve_killed_and_resumed_from_disk_is_bit_identical() {
+    use grid::mixed::{ladder_solve, ladder_solve_from, LadderConfig};
+    let (op, b) = setup();
+    let tol = 1e-10;
+
+    // Reference: the uninterrupted f16-inner ladder.
+    let cfg = LadderConfig::new(tol);
+    let (x_ref, full) = ladder_solve(&op, &b, &cfg);
+    assert!(full.converged, "{full:?}");
+    assert!(full.f16_iterations > 0, "f16 tier never ran");
+
+    // "Kill" the solve after two outer rounds; the f64 iterate is a
+    // complete restart point (each outer round is a memoryless function
+    // of x), so the MixedCheckpoint container fits the ladder unchanged.
+    let mut cut = cfg.clone();
+    cut.max_outer = 2;
+    let (x_partial, partial) = ladder_solve(&op, &b, &cut);
+    assert!(!partial.converged, "cut solve must stop early");
+    let path = tmp("ladder.qio");
+    save_mixed(
+        &MixedCheckpoint {
+            x: x_partial,
+            outer_done: partial.outer_iterations,
+            inner_done: partial.f32_iterations + partial.f16_iterations,
+        },
+        &path,
+    )
+    .unwrap();
+
+    // Reload and finish: the resumed trajectory must retrace the
+    // uninterrupted one bit for bit — outer histories align round for
+    // round past the kill point, and the solutions are identical.
+    let ck = load_mixed(&path, b.grid()).unwrap();
+    assert_eq!(ck.outer_done, partial.outer_iterations);
+    let (x, resumed) = ladder_solve_from(&op, &b, ck.x, &cfg);
+    assert!(resumed.converged, "{resumed:?}");
+    assert_eq!(x.max_abs_diff(&x_ref), 0.0, "resumed solution diverged");
+    assert_eq!(
+        resumed.outer_iterations + ck.outer_done,
+        full.outer_iterations,
+        "checkpointed progress must be reused"
+    );
+    let tail = &full.outer_history[ck.outer_done..];
+    assert_eq!(resumed.outer_history.len(), tail.len());
+    for (a, r) in resumed.outer_history.iter().zip(tail) {
+        assert_eq!(a.to_bits(), r.to_bits(), "outer history tail diverged");
+    }
+}
+
+#[test]
 fn resuming_against_the_wrong_rhs_is_refused() {
     let (op, b) = setup();
     let apply = |v: &FermionField| op.mdag_m(v);

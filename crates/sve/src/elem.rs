@@ -29,10 +29,13 @@ pub trait SveElem: Copy + PartialEq + Send + Sync + std::fmt::Debug + 'static {
 }
 
 /// Floating-point element: the operations behind `fmul`, `fmla`, `fcmla`
-/// and friends. All arithmetic is performed in the element's own precision
-/// (for [`F16`] this means round-tripping through `f32` per operation, which
-/// matches a hardware half-precision unit to within double-rounding of the
-/// intermediate — acceptable because Grid never computes in fp16).
+/// and friends. All arithmetic is performed in the element's own precision.
+/// For [`F16`] this means round-tripping through `f32` per operation — not
+/// an approximation: f32's 24-bit significand satisfies 24 ≥ 2·11 + 2, so
+/// the intermediate rounding is innocuous and every op is the *correctly
+/// rounded* binary16 result, matching a hardware half-precision unit bit
+/// for bit (the property-test suite pins this). The solver's f16 compute
+/// tier depends on it.
 pub trait SveFloat: SveElem {
     /// The multiplicative identity.
     fn one() -> Self;

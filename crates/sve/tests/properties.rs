@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use sve::intrinsics::*;
-use sve::{SveCtx, VReg, VectorLength, F16};
+use sve::{SveCtx, SveFloat, VReg, VectorLength, F16};
 
 /// Strategy: any architecturally valid vector length.
 fn any_vl() -> impl Strategy<Value = VectorLength> {
@@ -336,6 +336,134 @@ proptest! {
             }
         }
     }
+}
+
+// --- binary16 *arithmetic* audit: the `SveFloat` ops for `F16` round
+// through f32. Because f32's 24-bit significand satisfies 24 ≥ 2·11 + 2,
+// the intermediate rounding is innocuous (the classic double-rounding
+// bound): every op must equal the correctly rounded binary16 result of
+// the exact real value, bit for bit. The solver's f16 compute tier — and
+// its canonical reductions, which accumulate f16 products in f32 — lean
+// on exactly these properties. ---
+
+/// Strategy: any finite binary16 value, normals and subnormals alike.
+fn any_finite_f16() -> impl Strategy<Value = F16> {
+    any::<u16>()
+        .prop_map(F16::from_bits)
+        .prop_filter("finite", |h| !h.is_nan() && !h.is_infinite())
+}
+
+/// Strategy: a binary16 value in a moderate range (no overflow in sums).
+fn moderate_f16() -> impl Strategy<Value = F16> {
+    (-8.0f64..8.0).prop_map(F16::from_f64)
+}
+
+proptest! {
+    /// add/sub/mul through the f32 leg are *correctly rounded*: the sum or
+    /// product of two f16 values is exact in f64, so `from_f64` of it is
+    /// the one true RTNE result — and the f32 path must hit it exactly,
+    /// including results that land in the subnormal range around 2⁻²⁵.
+    #[test]
+    fn f16_add_sub_mul_are_correctly_rounded(a in any_finite_f16(), b in any_finite_f16()) {
+        let cases = [
+            (a.add(b), a.to_f64() + b.to_f64(), "add"),
+            (a.sub(b), a.to_f64() - b.to_f64(), "sub"),
+            (a.mul(b), a.to_f64() * b.to_f64(), "mul"),
+        ];
+        for (got, exact, op) in cases {
+            let want = F16::from_f64(exact);
+            prop_assert_eq!(
+                got.to_bits(), want.to_bits(),
+                "{}({:?}, {:?}): got {:?}, correctly rounded {:?}",
+                op, a, b, got, want
+            );
+        }
+    }
+
+    /// `mul_add` single-rounds: the f16·f16 product is exact in f32, and
+    /// the one f32 rounding of the subsequent add cannot shift the final
+    /// f16 rounding (24 ≥ 2·11 + 2). The reference rounds the *fused* f64
+    /// result, itself innocuous at 53 bits.
+    #[test]
+    fn f16_mul_add_is_single_rounded(
+        a in any_finite_f16(), b in any_finite_f16(), c in any_finite_f16()
+    ) {
+        let got = a.mul_add(b, c);
+        let want = F16::from_f64(a.to_f64().mul_add(b.to_f64(), c.to_f64()));
+        if want.is_nan() {
+            prop_assert!(got.is_nan());
+        } else {
+            prop_assert_eq!(
+                got.to_bits(), want.to_bits(),
+                "mul_add({:?}, {:?}, {:?}): got {:?}, want {:?}",
+                a, b, c, got, want
+            );
+        }
+    }
+
+    /// The keystone of the ladder's f32-accumulated reductions: the
+    /// product of any two finite f16 values is **exact** in f32 (22
+    /// significand bits, exponents within ±48 — comfortably inside f32).
+    #[test]
+    fn f16_products_are_exact_in_f32(a in any_finite_f16(), b in any_finite_f16()) {
+        let f32_product = (a.to_f32() * b.to_f32()) as f64;
+        prop_assert_eq!(f32_product, a.to_f64() * b.to_f64());
+    }
+
+    /// A fused axpy + norm² sweep at binary16 with f32 scalar accumulation
+    /// — the exact shape of the inner tier's `cg_update_x_r`-style pass.
+    /// Every updated lane must be the correctly rounded f16 axpy, and the
+    /// fixed-order f32 accumulator must track the exact f64 sum of the
+    /// rounded lanes to accumulation grain: the squares themselves are
+    /// exact in f32, so no double-rounding drift leaks into the scalar.
+    #[test]
+    fn fused_axpy_norm2_sweep_has_no_double_rounding_drift(
+        a in moderate_f16(),
+        lanes in proptest::collection::vec((moderate_f16(), moderate_f16()), 1..64)
+    ) {
+        let mut acc32 = 0.0f32;
+        let mut exact = 0.0f64;
+        for &(x, y) in &lanes {
+            let h = a.mul_add(x, y);
+            let want = F16::from_f64(a.to_f64().mul_add(x.to_f64(), y.to_f64()));
+            prop_assert_eq!(h.to_bits(), want.to_bits(), "axpy lane double-rounded");
+            acc32 += h.to_f32() * h.to_f32();
+            exact += h.to_f64() * h.to_f64();
+        }
+        // Only the fixed-order f32 adds round: (n-1) of them, each within
+        // eps32 of the running sum, which never exceeds the final sum here
+        // (all terms are non-negative).
+        let bound = lanes.len() as f64 * f64::from(f32::EPSILON) * exact.max(1.0);
+        prop_assert!(
+            ((acc32 as f64) - exact).abs() <= bound,
+            "f32 accumulation drifted: acc={} exact={}", acc32, exact
+        );
+    }
+}
+
+#[test]
+fn the_2pow_minus_25_subnormal_boundary_is_exact() {
+    // 2⁻²⁵ is exactly half the smallest f16 subnormal (2⁻²⁴): a tie, and
+    // ties-to-even flushes it to (signed) zero…
+    let tiny = (2.0f64).powi(-25);
+    assert_eq!(F16::from_f64(tiny).to_bits(), 0x0000);
+    assert_eq!(F16::from_f64(-tiny).to_bits(), 0x8000);
+    // …while anything past the midpoint survives as the smallest
+    // subnormal. (The nudge must exceed f32's half-ulp ≈ 6·10⁻⁸: `from_f64`
+    // models the hardware's two-step fcvt through f32, and a smaller nudge
+    // is legitimately folded back onto the tie by the f32 leg.)
+    assert_eq!(F16::from_f64(tiny * (1.0 + 1e-6)).to_bits(), 0x0001);
+
+    // The same boundary reached through *arithmetic*: an exact product on
+    // the midpoint must flush via the f32 leg too (f32 holds 2⁻²⁵ exactly,
+    // so the tie is preserved, not double-rounded upward)…
+    let a = F16::from_f64((2.0f64).powi(-13));
+    let b = F16::from_f64((2.0f64).powi(-12));
+    assert_eq!(a.mul(b).to_bits(), 0x0000);
+    // …and a product one f16-ulp above the tie must round *up* to the
+    // smallest subnormal, not collapse to zero.
+    let b_up = F16::from_f64((2.0f64).powi(-12) * (1.0 + (2.0f64).powi(-10)));
+    assert_eq!(a.mul(b_up).to_bits(), 0x0001);
 }
 
 #[test]
